@@ -1,0 +1,289 @@
+//! Statistical anomaly detectors (model-free).
+
+/// What kind of deviation an anomaly represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// A single extreme point (spike/dip).
+    Point,
+    /// A sustained shift detected by the streaming chart.
+    Shift,
+}
+
+/// One detected anomaly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Anomaly {
+    /// Sample index of the anomalous observation.
+    pub index: usize,
+    /// Observed value.
+    pub value: f64,
+    /// Expected value (rolling mean / median / forecast).
+    pub expected: f64,
+    /// Deviation score in detector units (z-score or IQR multiples).
+    pub score: f64,
+    /// Anomaly category.
+    pub kind: AnomalyKind,
+}
+
+/// Rolling z-score detector: flags points more than `threshold` standard
+/// deviations from the mean of the preceding `window` samples.
+#[derive(Debug, Clone)]
+pub struct RollingZScoreDetector {
+    /// Rolling window length.
+    pub window: usize,
+    /// Z-score threshold (typically 3.0).
+    pub threshold: f64,
+}
+
+impl RollingZScoreDetector {
+    /// New detector with the given window and threshold.
+    pub fn new(window: usize, threshold: f64) -> Self {
+        assert!(window >= 3, "rolling window must be >= 3");
+        assert!(threshold > 0.0, "threshold must be positive");
+        Self { window, threshold }
+    }
+
+    /// Scan a series for point anomalies.
+    pub fn detect(&self, series: &[f64]) -> Vec<Anomaly> {
+        let mut out = Vec::new();
+        if series.len() <= self.window {
+            return out;
+        }
+        for t in self.window..series.len() {
+            let win = &series[t - self.window..t];
+            let mean = autoai_linalg::mean(win);
+            let sd = autoai_linalg::std_dev(win).max(1e-12);
+            let z = (series[t] - mean) / sd;
+            if z.abs() > self.threshold {
+                out.push(Anomaly {
+                    index: t,
+                    value: series[t],
+                    expected: mean,
+                    score: z,
+                    kind: AnomalyKind::Point,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Tukey-fence (IQR) detector: global outliers beyond
+/// `quartile ± multiplier × IQR`.
+#[derive(Debug, Clone)]
+pub struct IqrDetector {
+    /// IQR multiplier (1.5 = Tukey's classic fences, 3.0 = "far out").
+    pub multiplier: f64,
+}
+
+impl IqrDetector {
+    /// New detector with the given fence multiplier.
+    pub fn new(multiplier: f64) -> Self {
+        assert!(multiplier > 0.0, "multiplier must be positive");
+        Self { multiplier }
+    }
+
+    /// Scan a series for distributional outliers.
+    pub fn detect(&self, series: &[f64]) -> Vec<Anomaly> {
+        if series.len() < 8 {
+            return Vec::new();
+        }
+        let q1 = autoai_linalg::quantile(series, 0.25);
+        let q3 = autoai_linalg::quantile(series, 0.75);
+        let iqr = (q3 - q1).max(1e-12);
+        let (lo, hi) = (q1 - self.multiplier * iqr, q3 + self.multiplier * iqr);
+        let median = autoai_linalg::median(series);
+        series
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v < lo || v > hi)
+            .map(|(i, &v)| Anomaly {
+                index: i,
+                value: v,
+                expected: median,
+                score: if v > hi { (v - q3) / iqr } else { (q1 - v) / iqr },
+                kind: AnomalyKind::Point,
+            })
+            .collect()
+    }
+}
+
+/// Streaming EWMA control chart: tracks an exponentially-weighted mean and
+/// variance; emits `Point` anomalies for isolated excursions and `Shift`
+/// once the smoothed statistic itself leaves the control band.
+#[derive(Debug, Clone)]
+pub struct EwmaDetector {
+    /// Smoothing constant for the level (0 < λ ≤ 1).
+    pub lambda: f64,
+    /// Control limit width in sigmas.
+    pub limit: f64,
+    level: f64,
+    variance: f64,
+    /// Long-run level for shift detection.
+    baseline: f64,
+    n_seen: usize,
+}
+
+impl EwmaDetector {
+    /// New streaming detector.
+    pub fn new(lambda: f64, limit: f64) -> Self {
+        assert!(lambda > 0.0 && lambda <= 1.0, "lambda in (0, 1]");
+        Self { lambda, limit, level: 0.0, variance: 0.0, baseline: 0.0, n_seen: 0 }
+    }
+
+    /// Feed one observation; returns an anomaly when the point (or the
+    /// smoothed level) escapes the control band.
+    pub fn update(&mut self, index: usize, value: f64) -> Option<Anomaly> {
+        if self.n_seen == 0 {
+            self.level = value;
+            self.baseline = value;
+            self.variance = 0.0;
+            self.n_seen = 1;
+            return None;
+        }
+        // scale-aware floor: on (near-)constant data the EWMA variance
+        // collapses to zero and any numerical residue would divide into an
+        // infinite z-score
+        let floor = 1e-6 * (1.0 + self.level.abs());
+        let sd = self.variance.sqrt().max(floor);
+        let err = value - self.level;
+        let point_z = err / sd;
+        let mut hit = None;
+        if self.n_seen >= 8 && point_z.abs() > self.limit && err.abs() > floor {
+            hit = Some(Anomaly {
+                index,
+                value,
+                expected: self.level,
+                score: point_z,
+                kind: AnomalyKind::Point,
+            });
+        }
+        // anomalous points update the fast level with reduced weight and do
+        // NOT touch the slow baseline — a single spike must poison neither
+        let w = if hit.is_some() { self.lambda * 0.1 } else { self.lambda };
+        self.level += w * err;
+        self.variance = (1.0 - w) * (self.variance + w * err * err);
+        if hit.is_none() {
+            self.baseline += 0.01 * (value - self.baseline);
+        }
+        self.n_seen += 1;
+
+        // sustained shift: the fast level departs from the slow baseline by
+        // a meaningful amount (relative guard against degenerate variance)
+        if hit.is_none() && self.n_seen >= 16 {
+            let gap = self.level - self.baseline;
+            let shift_z = gap / sd;
+            let meaningful = gap.abs() > 1e-3 * (1.0 + self.baseline.abs());
+            if shift_z.abs() > self.limit * 1.5 && meaningful {
+                hit = Some(Anomaly {
+                    index,
+                    value,
+                    expected: self.baseline,
+                    score: shift_z,
+                    kind: AnomalyKind::Shift,
+                });
+            }
+        }
+        hit
+    }
+
+    /// Run the streaming detector over a whole series.
+    pub fn detect(&mut self, series: &[f64]) -> Vec<Anomaly> {
+        series
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &v)| self.update(i, v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_with_spike(n: usize, spike_at: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let base = 10.0 + 2.0 * (2.0 * std::f64::consts::PI * i as f64 / 24.0).sin();
+                if i == spike_at {
+                    base + 30.0
+                } else {
+                    base
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rolling_z_finds_the_spike() {
+        let x = sine_with_spike(200, 120);
+        let hits = RollingZScoreDetector::new(24, 3.5).detect(&x);
+        assert!(hits.iter().any(|a| a.index == 120), "hits: {hits:?}");
+        // and not too many false positives
+        assert!(hits.len() <= 3, "{} hits", hits.len());
+    }
+
+    #[test]
+    fn rolling_z_clean_series_quiet() {
+        let x: Vec<f64> = (0..200).map(|i| (i as f64 * 0.1).sin()).collect();
+        let hits = RollingZScoreDetector::new(30, 4.0).detect(&x);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn iqr_flags_global_outliers() {
+        let mut x = vec![5.0; 100];
+        for (i, v) in x.iter_mut().enumerate() {
+            *v += (i % 7) as f64 * 0.1;
+        }
+        x[50] = 50.0;
+        x[70] = -40.0;
+        let hits = IqrDetector::new(3.0).detect(&x);
+        let idx: Vec<usize> = hits.iter().map(|a| a.index).collect();
+        assert!(idx.contains(&50) && idx.contains(&70), "{idx:?}");
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn iqr_short_series_quiet() {
+        assert!(IqrDetector::new(1.5).detect(&[1.0, 100.0]).is_empty());
+    }
+
+    #[test]
+    fn ewma_catches_point_anomaly() {
+        let mut x: Vec<f64> = (0..150).map(|i| 20.0 + 0.5 * ((i % 5) as f64 - 2.0)).collect();
+        x[100] = 45.0;
+        let hits = EwmaDetector::new(0.2, 4.0).detect(&x);
+        assert!(hits.iter().any(|a| a.index == 100 && a.kind == AnomalyKind::Point), "{hits:?}");
+    }
+
+    #[test]
+    fn ewma_catches_level_shift() {
+        let x: Vec<f64> = (0..300)
+            .map(|i| if i < 150 { 10.0 + 0.3 * ((i % 4) as f64) } else { 25.0 + 0.3 * ((i % 4) as f64) })
+            .collect();
+        let hits = EwmaDetector::new(0.3, 3.0).detect(&x);
+        assert!(
+            hits.iter().any(|a| a.index >= 150 && a.index < 175),
+            "shift not caught near the change point: {:?}",
+            hits.iter().map(|a| (a.index, a.kind)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ewma_spike_does_not_poison_level() {
+        let mut x = vec![10.0; 100];
+        x[50] = 100.0;
+        let mut det = EwmaDetector::new(0.3, 4.0);
+        let hits = det.detect(&x);
+        // exactly the spike, and nothing after (the level must recover)
+        let idxs: Vec<usize> = hits.iter().map(|a| a.index).collect();
+        assert!(idxs.contains(&50));
+        assert!(idxs.iter().all(|&i| i >= 50 && i <= 55), "{idxs:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be >= 3")]
+    fn tiny_window_rejected() {
+        let _ = RollingZScoreDetector::new(2, 3.0);
+    }
+}

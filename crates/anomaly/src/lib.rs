@@ -1,0 +1,25 @@
+//! Anomaly detection for time series — the first item on the paper's §6
+//! future-work list ("we plan to extend AutoAI-TS in various directions
+//! such as adding anomaly detection").
+//!
+//! Three complementary detectors, all emitting the same [`Anomaly`]
+//! records:
+//!
+//! * [`RollingZScoreDetector`] — point anomalies against a rolling
+//!   mean/std window (classic control chart).
+//! * [`IqrDetector`] — global distributional outliers via Tukey fences.
+//! * [`ResidualDetector`] — *model-based* detection: any fitted
+//!   [`Forecaster`] supplies one-step-ahead expectations over a sliding
+//!   re-fit window, and points whose residuals are extreme are flagged.
+//!   This composes directly with the AutoAI-TS pipelines: select a model
+//!   with the zero-conf system, then monitor new data with it.
+//! * [`EwmaDetector`] — an exponentially-weighted control chart for
+//!   streaming use (drift + spike detection with O(1) state).
+
+#![warn(missing_docs)]
+
+pub mod detectors;
+pub mod residual;
+
+pub use detectors::{Anomaly, AnomalyKind, EwmaDetector, IqrDetector, RollingZScoreDetector};
+pub use residual::ResidualDetector;

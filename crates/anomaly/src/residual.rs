@@ -1,0 +1,166 @@
+//! Model-based anomaly detection: flag observations that a fitted
+//! forecasting pipeline did not expect.
+
+use autoai_pipelines::Forecaster;
+use autoai_tsdata::TimeSeriesFrame;
+
+use crate::detectors::{Anomaly, AnomalyKind};
+
+/// Detects anomalies as extreme one-step-ahead forecast residuals.
+///
+/// The detector walks the series in blocks: it fits the supplied pipeline
+/// on everything before a block, forecasts the block, and scores each
+/// observation by its standardized residual. Because the expectation comes
+/// from a real forecasting model, seasonal peaks that a rolling z-score
+/// would flag are *expected* here and stay quiet — only genuine departures
+/// from the learned structure fire.
+pub struct ResidualDetector {
+    prototype: Box<dyn Forecaster>,
+    /// Residual z-score threshold.
+    pub threshold: f64,
+    /// Forecast block length per re-fit (larger = faster, less adaptive).
+    pub block: usize,
+    /// Minimum history before detection starts.
+    pub warmup: usize,
+}
+
+impl ResidualDetector {
+    /// New detector around any pipeline (e.g. the winner of a zero-conf run).
+    pub fn new(prototype: Box<dyn Forecaster>, threshold: f64) -> Self {
+        Self { prototype, threshold, block: 12, warmup: 60 }
+    }
+
+    /// Scan a univariate series. Returns anomalies ordered by index.
+    pub fn detect(&self, series: &[f64]) -> Vec<Anomaly> {
+        let n = series.len();
+        let mut out = Vec::new();
+        if n <= self.warmup + 1 {
+            return out;
+        }
+        let mut residuals: Vec<f64> = Vec::new();
+        // scale-aware floor on the residual spread: a model that fits the
+        // series near-perfectly would otherwise produce a ~0 MAD and every
+        // later numerical wiggle would divide into an infinite z-score
+        let data_scale = autoai_linalg::std_dev(series).max(1e-9);
+        let sd_floor = 1e-4 * data_scale;
+        // flagged observations are replaced by their expectation in this
+        // working copy, so corrupted points never poison later refits
+        let mut working = series.to_vec();
+        let mut t = self.warmup;
+        while t < n {
+            let block_end = (t + self.block).min(n);
+            let train = TimeSeriesFrame::univariate(working[..t].to_vec());
+            let mut model = self.prototype.clone_unfitted();
+            let preds: Option<Vec<f64>> = (|| {
+                model.fit(&train).ok()?;
+                Some(model.predict(block_end - t).ok()?.series(0).to_vec())
+            })();
+            match preds {
+                Some(preds) => {
+                    for (offset, &pred) in preds.iter().enumerate() {
+                        let idx = t + offset;
+                        let resid = series[idx] - pred;
+                        // robust location/scale from the *recent* residual
+                        // window: rolling so the detector re-calibrates
+                        // after a corruption, centered so a systematic
+                        // model bias is absorbed instead of flagged forever
+                        let recent =
+                            &residuals[residuals.len().saturating_sub(48)..];
+                        let (center, spread) = robust_center_spread(recent);
+                        let sd = spread.max(sd_floor);
+                        let z = (resid - center) / sd;
+                        if recent.len() >= 16 && z.abs() > self.threshold {
+                            out.push(Anomaly {
+                                index: idx,
+                                value: series[idx],
+                                expected: pred,
+                                score: z,
+                                kind: AnomalyKind::Point,
+                            });
+                            // quarantine: later refits see the expectation,
+                            // not the corrupted observation
+                            working[idx] = pred;
+                        } else {
+                            residuals.push(resid);
+                        }
+                    }
+                }
+                None => {
+                    // model failed on this prefix; skip the block silently
+                }
+            }
+            t = block_end;
+        }
+        out
+    }
+}
+
+/// Robust `(median, 1.4826 × MAD)` of a residual window.
+fn robust_center_spread(residuals: &[f64]) -> (f64, f64) {
+    if residuals.len() < 4 {
+        return (0.0, f64::INFINITY); // not enough evidence to flag anything
+    }
+    let med = autoai_linalg::median(residuals);
+    let abs_dev: Vec<f64> = residuals.iter().map(|r| (r - med).abs()).collect();
+    (med, 1.4826 * autoai_linalg::median(&abs_dev))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoai_pipelines::{Mt2rForecaster, PipelineError};
+
+    #[test]
+    fn seasonal_peaks_are_expected_but_breaks_fire() {
+        // clean period-12 signal with one corrupted stretch
+        let mut x: Vec<f64> = (0..300)
+            .map(|i| 50.0 + 10.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin())
+            .collect();
+        x[200] += 35.0;
+        x[201] -= 35.0;
+        let det = ResidualDetector::new(Box::new(Mt2rForecaster::new(12, 12)), 5.0);
+        let hits = det.detect(&x);
+        let idxs: Vec<usize> = hits.iter().map(|a| a.index).collect();
+        assert!(idxs.contains(&200) && idxs.contains(&201), "{idxs:?}");
+        // the regular seasonal peaks must NOT be flagged
+        let false_pos = idxs.iter().filter(|&&i| i != 200 && i != 201).count();
+        assert!(false_pos <= 2, "false positives at {idxs:?}");
+    }
+
+    #[test]
+    fn clean_series_is_quiet() {
+        let x: Vec<f64> = (0..240)
+            .map(|i| 20.0 + 5.0 * (2.0 * std::f64::consts::PI * i as f64 / 8.0).sin())
+            .collect();
+        let det = ResidualDetector::new(Box::new(Mt2rForecaster::new(8, 8)), 6.0);
+        assert!(det.detect(&x).is_empty());
+    }
+
+    #[test]
+    fn too_short_series_is_quiet() {
+        let det = ResidualDetector::new(Box::new(Mt2rForecaster::new(4, 4)), 4.0);
+        assert!(det.detect(&[1.0; 30]).is_empty());
+    }
+
+    #[test]
+    fn failing_model_degrades_gracefully() {
+        struct Broken;
+        impl Forecaster for Broken {
+            fn fit(&mut self, _: &TimeSeriesFrame) -> Result<(), PipelineError> {
+                Err(PipelineError::Fit("nope".into()))
+            }
+            fn predict(&self, _: usize) -> Result<TimeSeriesFrame, PipelineError> {
+                Err(PipelineError::NotFitted)
+            }
+            fn name(&self) -> String {
+                "Broken".into()
+            }
+            fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+                Box::new(Broken)
+            }
+        }
+        let det = ResidualDetector::new(Box::new(Broken), 4.0);
+        let x: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        assert!(det.detect(&x).is_empty());
+    }
+}

@@ -1,0 +1,44 @@
+//! Criterion benchmark: cost of the §4.1 look-back discovery pieces —
+//! periodogram, zero-crossing estimate, influence ranking, full discovery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use autoai_linalg::periodogram;
+use autoai_lookback::{discover_univariate, influence_order, zero_crossing_lookback, LookbackConfig};
+
+fn seasonal(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 10.0 + 4.0 * (2.0 * std::f64::consts::PI * i as f64 / 24.0).sin())
+        .collect()
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lookback_estimators");
+    for n in [500usize, 2000, 8000] {
+        let x = seasonal(n);
+        g.bench_with_input(BenchmarkId::new("periodogram", n), &x, |b, x| {
+            b.iter(|| periodogram(black_box(x)))
+        });
+        g.bench_with_input(BenchmarkId::new("zero_crossing", n), &x, |b, x| {
+            b.iter(|| zero_crossing_lookback(black_box(x)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_influence_and_discovery(c: &mut Criterion) {
+    let x = seasonal(2000);
+    let mut g = c.benchmark_group("lookback_discovery");
+    g.sample_size(10);
+    g.bench_function("influence_order_3_candidates", |b| {
+        b.iter(|| influence_order(black_box(&x), &[12, 24, 48], 400, 0))
+    });
+    g.bench_function("discover_univariate_full", |b| {
+        b.iter(|| discover_univariate(black_box(&x), None, &LookbackConfig::default()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_estimators, bench_influence_and_discovery);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion microbenchmarks: fit cost of every model family on a
+//! representative seasonal series — the per-pipeline training times behind
+//! Tables 4–6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use autoai_ml_models::{
+    GradientBoostingRegressor, LinearRegression, RandomForestConfig, RandomForestRegressor,
+    Regressor,
+};
+use autoai_pipelines::{pipeline_by_name, PipelineContext};
+use autoai_stat_models::{Arima, ArimaSpec, Bats, BatsConfig, HoltWinters, Seasonality};
+use autoai_transforms::flatten_windows;
+use autoai_tsdata::TimeSeriesFrame;
+
+fn seasonal_series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            50.0 + 0.05 * i as f64
+                + 10.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin()
+        })
+        .collect()
+}
+
+fn bench_stat_models(c: &mut Criterion) {
+    let series = seasonal_series(500);
+    let mut g = c.benchmark_group("stat_models_fit");
+    g.bench_function("arima_2_1_1", |b| {
+        b.iter(|| Arima::fit(black_box(&series), ArimaSpec::new(2, 1, 1)).unwrap())
+    });
+    g.bench_function("holtwinters_additive_12", |b| {
+        b.iter(|| HoltWinters::fit(black_box(&series), Seasonality::Additive(12)).unwrap())
+    });
+    g.bench_function("bats_period_12", |b| {
+        b.iter(|| Bats::fit(black_box(&series), &BatsConfig::with_periods(vec![12])).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_ml_models(c: &mut Criterion) {
+    let frame = TimeSeriesFrame::univariate(seasonal_series(500));
+    let ds = flatten_windows(&frame, 12, 1);
+    let y = ds.y.col(0);
+    let mut g = c.benchmark_group("ml_models_fit");
+    g.bench_function("linear_regression", |b| {
+        b.iter(|| {
+            let mut m = LinearRegression::new();
+            m.fit(black_box(&ds.x), black_box(&y)).unwrap();
+        })
+    });
+    g.bench_function("random_forest_30", |b| {
+        b.iter(|| {
+            let mut m = RandomForestRegressor::with_config(RandomForestConfig {
+                n_trees: 30,
+                ..Default::default()
+            });
+            m.fit(black_box(&ds.x), black_box(&y)).unwrap();
+        })
+    });
+    g.bench_function("gbm_60", |b| {
+        b.iter(|| {
+            let mut m = GradientBoostingRegressor::new();
+            m.fit(black_box(&ds.x), black_box(&y)).unwrap();
+        })
+    });
+    g.finish();
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let frame = TimeSeriesFrame::univariate(seasonal_series(400));
+    let ctx = PipelineContext::new(12, 12, vec![12]);
+    let mut g = c.benchmark_group("pipeline_fit");
+    g.sample_size(10);
+    for name in ["MT2RForecaster", "WindowRandomForest", "HW-Additive", "Arima"] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), name, |b, name| {
+            b.iter(|| {
+                let mut p = pipeline_by_name(name, &ctx).unwrap();
+                p.fit(black_box(&frame)).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_stat_models, bench_ml_models, bench_pipelines);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benchmark: T-Daub selection cost vs exhaustive full-data
+//! evaluation (ablation A1) and the cost of reverse vs forward allocation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use autoai_pipelines::{Forecaster, Mt2rForecaster, ThetaPipeline, ZeroModelPipeline};
+use autoai_tdaub::{run_tdaub, TDaubConfig};
+use autoai_tsdata::{Metric, TimeSeriesFrame};
+
+fn frame(n: usize) -> TimeSeriesFrame {
+    TimeSeriesFrame::univariate(
+        (0..n)
+            .map(|i| 20.0 + 5.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin())
+            .collect(),
+    )
+}
+
+fn pool() -> Vec<Box<dyn Forecaster>> {
+    vec![
+        Box::new(ZeroModelPipeline::new()),
+        Box::new(Mt2rForecaster::new(12, 12)),
+        Box::new(ThetaPipeline::new()),
+    ]
+}
+
+fn bench_tdaub_vs_full(c: &mut Criterion) {
+    let data = frame(1000);
+    let mut g = c.benchmark_group("selection");
+    g.sample_size(10);
+    g.bench_function("tdaub_reverse", |b| {
+        b.iter(|| {
+            let cfg = TDaubConfig { parallel: false, ..Default::default() };
+            run_tdaub(pool(), black_box(&data), &cfg).unwrap()
+        })
+    });
+    g.bench_function("tdaub_forward", |b| {
+        b.iter(|| {
+            let cfg = TDaubConfig {
+                parallel: false,
+                reverse_allocation: false,
+                ..Default::default()
+            };
+            run_tdaub(pool(), black_box(&data), &cfg).unwrap()
+        })
+    });
+    g.bench_function("exhaustive_full_data", |b| {
+        b.iter(|| {
+            let n = data.len();
+            let cut = n - n / 5;
+            let (t1, t2) = (data.slice(0, cut), data.slice(cut, n));
+            let mut best = f64::INFINITY;
+            for mut p in pool() {
+                p.fit(black_box(&t1)).unwrap();
+                let s = p.score(&t2, Metric::Smape).unwrap();
+                best = best.min(s);
+            }
+            best
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tdaub_vs_full);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Experiment 1 (§5.2, Figure 5): synthetic-signal validation.
+//!
+//! 1700 samples train / 300 test on the 21-signal synthetic suite. The
+//! paper showcases four signals — cosine with increasing amplitude (5a),
+//! cosine with outliers (5b), logarithmic increase with variance (5c), and
+//! dual seasonality (5d) — and claims "error between actual and predicted
+//! value for all time series was below 1%". We reproduce the per-signal
+//! table, render ASCII overlays for the four showcase signals, and check
+//! the <1% claim on the noise-free signals (noisy variants report their
+//! SMAPE for comparison; the claim cannot hold pointwise under injected
+//! noise, which the paper's own figures show as unmodeled residual).
+
+use autoai_datasets::{synthetic_suite, SyntheticSignal};
+use autoai_ts::{AutoAITS, AutoAITSConfig, TimeSeriesFrame};
+
+const TRAIN: usize = 1700;
+const TEST: usize = 300;
+
+fn forecast_signal(values: &[f64]) -> (Vec<f64>, f64) {
+    let train = TimeSeriesFrame::univariate(values[..TRAIN].to_vec());
+    let truth = &values[TRAIN..TRAIN + TEST];
+    let mut system = AutoAITS::with_config(AutoAITSConfig { horizon: 12, ..Default::default() });
+    system.fit(&train).expect("synthetic signals are well-formed");
+    let pred = system.predict(TEST).expect("fitted");
+    let smape = autoai_tsdata::smape(truth, pred.series(0));
+    (pred.series(0).to_vec(), smape)
+}
+
+fn ascii_overlay(name: &str, actual: &[f64], predicted: &[f64]) -> String {
+    // 60-column, 12-row overlay of the last 120 test points
+    let take = actual.len().min(120);
+    let a = &actual[actual.len() - take..];
+    let p = &predicted[predicted.len() - take..];
+    let lo = a.iter().chain(p).cloned().fold(f64::INFINITY, f64::min);
+    let hi = a.iter().chain(p).cloned().fold(f64::NEG_INFINITY, f64::max);
+    let rows = 12usize;
+    let cols = 60usize;
+    let mut grid = vec![vec![' '; cols]; rows];
+    #[allow(clippy::needless_range_loop)]
+    let place = |grid: &mut Vec<Vec<char>>, series: &[f64], ch: char| {
+        for c in 0..cols {
+            let idx = c * (take - 1) / (cols - 1);
+            let v = series[idx];
+            let r = if hi - lo < 1e-12 {
+                rows / 2
+            } else {
+                ((hi - v) / (hi - lo) * (rows - 1) as f64).round() as usize
+            };
+            let cell = &mut grid[r.min(rows - 1)][c];
+            *cell = if *cell == ' ' || *cell == ch { ch } else { '*' };
+        }
+    };
+    place(&mut grid, a, '.');
+    place(&mut grid, p, 'o');
+    let mut out = format!("\n-- {name}: actual '.', predicted 'o', overlap '*' --\n");
+    for row in grid {
+        out.push_str(&row.into_iter().collect::<String>());
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    println!("Experiment 1: synthetic dataset ({} signals, {TRAIN} train / {TEST} test)", 21);
+    let suite = synthetic_suite(7);
+    let showcase = [
+        SyntheticSignal::CosineGrowingAmplitude.name(), // Fig 5a
+        SyntheticSignal::CosineOutliers.name(),         // Fig 5b
+        SyntheticSignal::LogVariance.name(),            // Fig 5c
+        SyntheticSignal::DualSeasonality.name(),        // Fig 5d
+    ];
+    // signals with injected randomness, where pointwise <1% error is not
+    // achievable by any forecaster (the noise itself exceeds 1%)
+    let noisy = [
+        "linear_noise",
+        "sine_outliers",
+        "cosine_outliers",
+        "log_variance",
+        "random_walk_drift",
+        "level_shifts",
+    ];
+
+    println!("\n{:<26} {:>10} {:>8}", "signal", "smape", "<1% ok");
+    let mut clean_failures = 0;
+    for (name, values) in &suite {
+        let (pred, smape) = forecast_signal(values);
+        let is_noisy = noisy.contains(name);
+        // SMAPE on the 0-200 scale: 1% error ≈ smape 1.0
+        let ok = smape < 1.0;
+        if !is_noisy && !ok {
+            clean_failures += 1;
+        }
+        println!(
+            "{name:<26} {smape:>10.3} {:>8}",
+            if is_noisy { "(noisy)" } else if ok { "yes" } else { "NO" }
+        );
+        if showcase.contains(name) {
+            let truth = &values[TRAIN..TRAIN + TEST];
+            print!("{}", ascii_overlay(name, truth, &pred));
+        }
+    }
+    println!(
+        "\nnoise-free signals above 1% error: {clean_failures} (paper claims 0; \
+         see EXPERIMENTS.md for the measured discussion)"
+    );
+}

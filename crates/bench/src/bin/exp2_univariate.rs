@@ -1,0 +1,100 @@
+//! Experiment 2 (§5.3, Figures 6–9, Table 4): AutoAI-TS vs the 10 SOTA
+//! toolkits on the 62 univariate benchmark datasets, horizon 12.
+//!
+//! Flags: `--quick` evaluates the first 20 datasets only; `--table` prints
+//! the full Table 4 analogue; `--horizon H` overrides the default 12.
+//! Results are always written to `results/exp2_univariate.csv`.
+
+use autoai_bench::{
+    ascii_rank_chart, ascii_rank_histogram, evaluate_autoai, evaluate_forecaster, results_table,
+    score_matrix, write_results_csv, EvalOutcome,
+};
+use autoai_datasets::univariate_catalog;
+use autoai_sota::{sota_by_name, SOTA_NAMES};
+use autoai_tsdata::average_ranks;
+use rayon::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let show_table = args.iter().any(|a| a == "--table");
+    let horizon = args
+        .iter()
+        .position(|a| a == "--horizon")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(12);
+
+    let mut catalog = univariate_catalog();
+    if quick {
+        catalog.truncate(20);
+    }
+    let systems: Vec<&str> = std::iter::once("AutoAI-TS").chain(SOTA_NAMES).collect();
+    println!(
+        "Experiment 2: {} univariate datasets x {} systems, horizon {horizon}",
+        catalog.len(),
+        systems.len()
+    );
+
+    let cells: Vec<Vec<EvalOutcome>> = catalog
+        .par_iter()
+        .map(|entry| {
+            let frame = entry.generate(11);
+            let mut row = Vec::with_capacity(systems.len());
+            row.push(evaluate_autoai(&frame, horizon));
+            for name in SOTA_NAMES {
+                let sim = sota_by_name(name).expect("registered");
+                row.push(evaluate_forecaster(sim, &frame, horizon));
+            }
+            eprintln!("  done {}", entry.name);
+            row
+        })
+        .collect();
+
+    let dataset_names: Vec<String> = catalog.iter().map(|e| e.name.to_string()).collect();
+
+    // Figure 6: average SMAPE rank
+    let smape_scores = score_matrix(&cells, false);
+    let smape_ranks = average_ranks(&systems, &smape_scores);
+    println!("{}", ascii_rank_chart("Figure 6: average SMAPE rank (univariate)", &smape_ranks));
+
+    // Figure 7: datasets per rank
+    println!(
+        "{}",
+        ascii_rank_histogram("Figure 7: SMAPE rank histogram (univariate)", &smape_ranks)
+    );
+
+    // Figures 8/9: training-time ranks
+    let time_scores = score_matrix(&cells, true);
+    let time_ranks = average_ranks(&systems, &time_scores);
+    println!(
+        "{}",
+        ascii_rank_chart("Figure 8: average training-time rank (univariate)", &time_ranks)
+    );
+    println!(
+        "{}",
+        ascii_rank_histogram("Figure 9: training-time rank histogram (univariate)", &time_ranks)
+    );
+
+    if show_table {
+        println!(
+            "{}",
+            results_table("Table 4: smape (seconds) per dataset", &dataset_names, &systems, &cells)
+        );
+    }
+
+    write_results_csv("exp2_univariate.csv", &dataset_names, &systems, &cells)
+        .expect("write results csv");
+    autoai_bench::write_results_json("exp2_univariate.json", &dataset_names, &systems, &cells)
+        .expect("write results json");
+    println!("\nwrote results/exp2_univariate.csv");
+
+    // headline check: the paper's Figure 6 puts AutoAI-TS at the best
+    // average rank
+    if let Some(first) = smape_ranks.first() {
+        println!(
+            "headline: best average SMAPE rank = {} ({:.2}); paper: AutoAI-TS",
+            first.name, first.average_rank
+        );
+    }
+}

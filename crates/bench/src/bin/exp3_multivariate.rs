@@ -1,0 +1,92 @@
+//! Experiment 3 (§5.3, Figures 10–13, Table 5): AutoAI-TS vs the 10 SOTA
+//! toolkits on the 9 multivariate benchmark datasets, horizon 12.
+//!
+//! Flags: `--table` prints the Table 5 analogue; `--horizon H` overrides
+//! the default 12. Results go to `results/exp3_multivariate.csv`.
+
+use autoai_bench::{
+    ascii_rank_chart, ascii_rank_histogram, evaluate_autoai, evaluate_forecaster, results_table,
+    score_matrix, write_results_csv, EvalOutcome,
+};
+use autoai_datasets::multivariate_catalog;
+use autoai_sota::{sota_by_name, SOTA_NAMES};
+use autoai_tsdata::average_ranks;
+use rayon::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let show_table = args.iter().any(|a| a == "--table");
+    let horizon = args
+        .iter()
+        .position(|a| a == "--horizon")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(12);
+
+    let catalog = multivariate_catalog();
+    let systems: Vec<&str> = std::iter::once("AutoAI-TS").chain(SOTA_NAMES).collect();
+    println!(
+        "Experiment 3: {} multivariate datasets x {} systems, horizon {horizon}",
+        catalog.len(),
+        systems.len()
+    );
+
+    let cells: Vec<Vec<EvalOutcome>> = catalog
+        .par_iter()
+        .map(|entry| {
+            let frame = entry.generate(13);
+            let mut row = Vec::with_capacity(systems.len());
+            row.push(evaluate_autoai(&frame, horizon));
+            for name in SOTA_NAMES {
+                let sim = sota_by_name(name).expect("registered");
+                row.push(evaluate_forecaster(sim, &frame, horizon));
+            }
+            eprintln!("  done {}", entry.name);
+            row
+        })
+        .collect();
+
+    let dataset_names: Vec<String> = catalog.iter().map(|e| e.name.to_string()).collect();
+
+    let smape_scores = score_matrix(&cells, false);
+    let smape_ranks = average_ranks(&systems, &smape_scores);
+    println!(
+        "{}",
+        ascii_rank_chart("Figure 10: average SMAPE rank (multivariate)", &smape_ranks)
+    );
+    println!(
+        "{}",
+        ascii_rank_histogram("Figure 11: SMAPE rank histogram (multivariate)", &smape_ranks)
+    );
+
+    let time_scores = score_matrix(&cells, true);
+    let time_ranks = average_ranks(&systems, &time_scores);
+    println!(
+        "{}",
+        ascii_rank_chart("Figure 12: average training-time rank (multivariate)", &time_ranks)
+    );
+    println!(
+        "{}",
+        ascii_rank_histogram("Figure 13: training-time rank histogram (multivariate)", &time_ranks)
+    );
+
+    if show_table {
+        println!(
+            "{}",
+            results_table("Table 5: smape (seconds) per dataset", &dataset_names, &systems, &cells)
+        );
+    }
+
+    write_results_csv("exp3_multivariate.csv", &dataset_names, &systems, &cells)
+        .expect("write results csv");
+    autoai_bench::write_results_json("exp3_multivariate.json", &dataset_names, &systems, &cells)
+        .expect("write results json");
+    println!("\nwrote results/exp3_multivariate.csv");
+
+    if let Some(first) = smape_ranks.first() {
+        println!(
+            "headline: best average SMAPE rank = {} ({:.2}); paper: AutoAI-TS",
+            first.name, first.average_rank
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Experiment 4 (§5.3, Figures 14–15, Table 6): the 10 internal AutoAI-TS
+//! pipelines evaluated individually on the univariate and multivariate
+//! benchmarks — the evidence for "no single model works best on all 62
+//! data sets".
+//!
+//! Flags: `--quick` (first 20 UTS), `--table` (Table 6 analogue),
+//! `--horizon H`. Results go to `results/exp4_pipelines_{uts,mts}.csv`.
+
+use autoai_bench::{
+    ascii_rank_chart, ascii_rank_histogram, evaluate_forecaster, results_table, score_matrix,
+    write_results_csv, EvalOutcome,
+};
+use autoai_datasets::{multivariate_catalog, univariate_catalog, CatalogEntry};
+use autoai_pipelines::{pipeline_by_name, PipelineContext, PIPELINE_NAMES};
+use autoai_tsdata::average_ranks;
+use rayon::prelude::*;
+
+fn run(
+    catalog: &[CatalogEntry],
+    horizon: usize,
+    seed: u64,
+) -> (Vec<String>, Vec<Vec<EvalOutcome>>) {
+    let cells: Vec<Vec<EvalOutcome>> = catalog
+        .par_iter()
+        .map(|entry| {
+            let frame = entry.generate(seed);
+            // pipelines need a context; use the discovery default the
+            // orchestrator would pick, with seasonal hints from the domain
+            let ctx = PipelineContext::new(12, horizon, vec![12, 7, 24]);
+            let row: Vec<EvalOutcome> = PIPELINE_NAMES
+                .iter()
+                .map(|name| {
+                    let p = pipeline_by_name(name, &ctx).expect("registered");
+                    evaluate_forecaster(p, &frame, horizon)
+                })
+                .collect();
+            eprintln!("  done {}", entry.name);
+            row
+        })
+        .collect();
+    (catalog.iter().map(|e| e.name.to_string()).collect(), cells)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let show_table = args.iter().any(|a| a == "--table");
+    let horizon = args
+        .iter()
+        .position(|a| a == "--horizon")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(12);
+
+    let names: Vec<&str> = PIPELINE_NAMES.to_vec();
+
+    // ---- univariate (Figure 14) ----
+    let mut uts = univariate_catalog();
+    if quick {
+        uts.truncate(20);
+    }
+    println!("Experiment 4a: {} UTS x {} pipelines, horizon {horizon}", uts.len(), names.len());
+    let (uts_names, uts_cells) = run(&uts, horizon, 17);
+    let uts_ranks = average_ranks(&names, &score_matrix(&uts_cells, false));
+    println!(
+        "{}",
+        ascii_rank_chart("Figure 14: internal pipeline SMAPE ranks (univariate)", &uts_ranks)
+    );
+    println!(
+        "{}",
+        ascii_rank_histogram("Figure 14 detail: pipelines per rank (univariate)", &uts_ranks)
+    );
+    write_results_csv("exp4_pipelines_uts.csv", &uts_names, &names, &uts_cells)
+        .expect("write csv");
+
+    // the paper's core hypothesis: several different pipelines occupy the
+    // top-3 ranks across datasets
+    let distinct_winners = uts_ranks.iter().filter(|s| s.histogram.first().copied().unwrap_or(0) > 0).count();
+    println!("pipelines winning at least one UTS dataset: {distinct_winners} (paper: top-3 spread across model classes)");
+
+    // ---- multivariate (Figure 15 / Table 6) ----
+    let mts = multivariate_catalog();
+    println!("\nExperiment 4b: {} MTS x {} pipelines, horizon {horizon}", mts.len(), names.len());
+    let (mts_names, mts_cells) = run(&mts, horizon, 19);
+    let mts_ranks = average_ranks(&names, &score_matrix(&mts_cells, false));
+    println!(
+        "{}",
+        ascii_rank_chart("Figure 15: internal pipeline SMAPE ranks (multivariate)", &mts_ranks)
+    );
+    println!(
+        "{}",
+        ascii_rank_histogram("Figure 15 detail: pipelines per rank (multivariate)", &mts_ranks)
+    );
+    if show_table {
+        println!(
+            "{}",
+            results_table(
+                "Table 6: smape (seconds) per MTS dataset per pipeline",
+                &mts_names,
+                &names,
+                &mts_cells
+            )
+        );
+    }
+    write_results_csv("exp4_pipelines_mts.csv", &mts_names, &names, &mts_cells)
+        .expect("write csv");
+    println!("\nwrote results/exp4_pipelines_uts.csv and results/exp4_pipelines_mts.csv");
+}

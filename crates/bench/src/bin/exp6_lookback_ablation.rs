@@ -1,0 +1,73 @@
+//! Ablation A2 (DESIGN.md §5): does automatic look-back discovery (§4.1)
+//! beat the fixed default of 8, and how close does it get to an oracle
+//! sweep over look-back values?
+//!
+//! Protocol: for seasonal catalog datasets, fit a WindowRandomForest
+//! pipeline with (a) the discovered look-back, (b) the fixed default 8,
+//! (c) every look-back in a sweep grid (oracle = best of sweep on the
+//! holdout). Reports SMAPE per dataset and the mean regret vs oracle.
+
+use autoai_bench::evaluate_forecaster;
+use autoai_datasets::univariate_catalog;
+use autoai_lookback::{discover_univariate, LookbackConfig};
+use autoai_pipelines::WindowRegressorPipeline;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut catalog = univariate_catalog();
+    catalog.retain(|e| e.scaled_len() >= 300);
+    catalog.truncate(if quick { 5 } else { 15 });
+    let horizon = 12;
+    let sweep = [4usize, 8, 12, 24, 48, 96];
+
+    println!("Look-back ablation over {} datasets (horizon {horizon})", catalog.len());
+    println!(
+        "\n{:<28} {:>10} {:>12} {:>10} {:>12} {:>10}",
+        "dataset", "discovered", "smape(disc)", "smape(8)", "oracle-lb", "smape(orc)"
+    );
+
+    let mut regret_disc = Vec::new();
+    let mut regret_fixed = Vec::new();
+    for entry in &catalog {
+        let frame = entry.generate(29);
+        let train_len = frame.len() - frame.len() / 5;
+        let train = frame.slice(0, train_len);
+        let discovered = discover_univariate(
+            train.series(0),
+            train.timestamps(),
+            &LookbackConfig::default(),
+        )[0];
+
+        let eval_lb = |lb: usize| -> f64 {
+            let p = WindowRegressorPipeline::random_forest(lb);
+            evaluate_forecaster(Box::new(p), &frame, horizon)
+                .smape
+                .unwrap_or(f64::INFINITY)
+        };
+
+        let disc_smape = eval_lb(discovered);
+        let fixed_smape = eval_lb(8);
+        let (oracle_lb, oracle_smape) = sweep
+            .iter()
+            .map(|&lb| (lb, eval_lb(lb)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+
+        println!(
+            "{:<28} {:>10} {:>12.2} {:>10.2} {:>12} {:>10.2}",
+            entry.name, discovered, disc_smape, fixed_smape, oracle_lb, oracle_smape
+        );
+        if oracle_smape.is_finite() {
+            regret_disc.push(disc_smape - oracle_smape);
+            regret_fixed.push(fixed_smape - oracle_smape);
+        }
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!("\n== summary ==");
+    println!("mean SMAPE regret vs oracle — discovered: {:.2}", mean(&regret_disc));
+    println!("mean SMAPE regret vs oracle — fixed 8   : {:.2}", mean(&regret_fixed));
+    println!(
+        "shape check: discovered look-backs should have no more regret than the fixed default."
+    );
+}

@@ -1,0 +1,72 @@
+//! Horizon-consistency check (§5.3): "we vary the forecasting horizon
+//! between 6 and 30 in steps of 6. The experimental results are quite
+//! consistent across these settings."
+//!
+//! Protocol: on a subset of the univariate catalog, rank AutoAI-TS against
+//! three representative SOTA simulators at every horizon in {6, 12, 18,
+//! 24, 30}; report the average rank per horizon and the rank correlation
+//! between horizons.
+
+use autoai_bench::{evaluate_autoai, evaluate_forecaster, score_matrix, EvalOutcome};
+use autoai_datasets::univariate_catalog;
+use autoai_sota::sota_by_name;
+use autoai_tsdata::average_ranks;
+use rayon::prelude::*;
+
+const SYSTEMS: [&str; 4] = ["AutoAI-TS", "PMDArima", "GLS", "Component"];
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut catalog = univariate_catalog();
+    catalog.retain(|e| e.scaled_len() >= 300);
+    catalog.truncate(if quick { 5 } else { 12 });
+    let horizons = [6usize, 12, 18, 24, 30];
+    println!(
+        "Horizon consistency: {} datasets x {} systems x horizons {:?}",
+        catalog.len(),
+        SYSTEMS.len(),
+        horizons
+    );
+
+    let mut per_horizon_ranks: Vec<Vec<f64>> = Vec::new(); // [horizon][system]
+    for &h in &horizons {
+        let cells: Vec<Vec<EvalOutcome>> = catalog
+            .par_iter()
+            .map(|entry| {
+                let frame = entry.generate(37);
+                let mut row = Vec::with_capacity(SYSTEMS.len());
+                row.push(evaluate_autoai(&frame, h));
+                for name in &SYSTEMS[1..] {
+                    row.push(evaluate_forecaster(sota_by_name(name).unwrap(), &frame, h));
+                }
+                row
+            })
+            .collect();
+        let summaries = average_ranks(&SYSTEMS, &score_matrix(&cells, false));
+        // reorder back to SYSTEMS order
+        let ranks: Vec<f64> = SYSTEMS
+            .iter()
+            .map(|s| summaries.iter().find(|x| &x.name == s).unwrap().average_rank)
+            .collect();
+        println!("\nhorizon {h:>2}:");
+        for (s, r) in SYSTEMS.iter().zip(&ranks) {
+            println!("  {s:<12} avg rank {r:.2}");
+        }
+        per_horizon_ranks.push(ranks);
+    }
+
+    // Spearman-style consistency: correlation of system orderings between
+    // adjacent horizons
+    println!("\nrank correlation between adjacent horizons:");
+    for w in per_horizon_ranks.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        let ma = a.iter().sum::<f64>() / a.len() as f64;
+        let mb = b.iter().sum::<f64>() / b.len() as f64;
+        let num: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+        let da: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum::<f64>().sqrt();
+        let db: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum::<f64>().sqrt();
+        let corr = num / (da * db).max(1e-12);
+        println!("  corr = {corr:.3}");
+    }
+    println!("\nshape check: correlations near 1.0 reproduce the paper's consistency claim.");
+}

@@ -1,0 +1,82 @@
+//! Pipeline-pool scaling (§4): "We have tested the system with about 80
+//! different pipelines including deep learning models and the system
+//! successfully selected the best pipeline independent of type and nature
+//! of underlying models."
+//!
+//! This experiment runs T-Daub over growing pools — the 10 defaults, the
+//! ~40-pipeline extended registry, and the extended registry duplicated
+//! with varied look-backs (~80) — and verifies that (a) selection still
+//! completes, (b) the winner's holdout SMAPE does not degrade as the pool
+//! grows, and (c) the selection cost grows sub-linearly thanks to the
+//! allocation mechanism.
+
+use std::time::Instant;
+
+use autoai_datasets::univariate_catalog;
+use autoai_pipelines::{
+    default_pipelines, extended_pipelines, Forecaster, PipelineContext,
+};
+use autoai_tdaub::{run_tdaub, TDaubConfig};
+use autoai_tsdata::{holdout_split, Metric};
+
+fn big_pool(ctx: &PipelineContext) -> Vec<Box<dyn Forecaster>> {
+    // ~80 pipelines: the extended registry at two base look-backs
+    let mut pool = extended_pipelines(ctx);
+    let alt = PipelineContext::new(ctx.lookback * 3 / 2 + 2, ctx.horizon, ctx.seasonal_periods.clone());
+    pool.extend(extended_pipelines(&alt));
+    pool
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut catalog = univariate_catalog();
+    catalog.retain(|e| e.scaled_len() >= 400 && e.scaled_len() <= 1500);
+    catalog.truncate(if quick { 2 } else { 4 });
+    println!("Pipeline-pool scaling over {} datasets\n", catalog.len());
+    println!(
+        "{:<26} {:>6} {:>12} {:>10} {:>12} {:>28}",
+        "dataset", "pool", "evaluations", "time (s)", "holdout", "winner"
+    );
+
+    for entry in &catalog {
+        let frame = entry.generate(41);
+        let (train, holdout) = holdout_split(&frame, frame.len() / 5);
+        let ctx = PipelineContext::new(12, 12, vec![12, 24]);
+        for (label, pool) in [
+            ("10", default_pipelines(&ctx)),
+            ("~40", extended_pipelines(&ctx)),
+            ("~80", big_pool(&ctx)),
+        ] {
+            let size = pool.len();
+            let t0 = Instant::now();
+            match run_tdaub(pool, &train, &TDaubConfig::default()) {
+                Ok(result) => {
+                    let secs = t0.elapsed().as_secs_f64();
+                    let evals: usize = result.reports.iter().map(|r| r.scores.len()).sum();
+                    let score = result
+                        .best
+                        .score(&holdout.slice(0, 12.min(holdout.len())), Metric::Smape)
+                        .unwrap_or(f64::INFINITY);
+                    println!(
+                        "{:<26} {:>3}={:<2} {:>12} {:>10.1} {:>12.2} {:>28}",
+                        entry.name,
+                        label,
+                        size,
+                        evals,
+                        secs,
+                        score,
+                        result.best.name()
+                    );
+                }
+                Err(e) => println!("{:<26} {label:>6} FAILED: {e}", entry.name),
+            }
+        }
+        println!();
+    }
+    println!(
+        "shape check: holdout SMAPE must not degrade as the pool grows; \
+         evaluations-per-pipeline stay flat (the fixed-allocation phase is \
+         linear in pool size) while full-data fits remain restricted to the \
+         projected leaders."
+    );
+}

@@ -1,0 +1,38 @@
+//! Table 1 + §4.1 demonstration: print the frequency→seasonal-period
+//! mapping and run look-back discovery on representative catalog datasets.
+
+use autoai_datasets::univariate_catalog;
+use autoai_lookback::{discover_univariate, seasonal_periods, LookbackConfig};
+use autoai_tsdata::Frequency;
+
+fn main() {
+    println!("Table 1: mapping of data frequency to seasonal periods\n");
+    println!("{:<10} {:>40}", "frequency", "candidate seasonal periods");
+    for f in [
+        Frequency::Years,
+        Frequency::Months,
+        Frequency::Weeks,
+        Frequency::Days,
+        Frequency::Hours,
+        Frequency::Minutes,
+        Frequency::Seconds,
+    ] {
+        let periods = seasonal_periods(f);
+        println!("{:<10} {:>40}", f.code(), format!("{periods:?}"));
+    }
+
+    println!("\n§4.1 discovery on catalog datasets (ordered candidates, best first):\n");
+    for name in ["AirPassengers", "elecdaily", "Sunspots", "Twitter-volume-AAPL", "PJME-MW"] {
+        let entry = univariate_catalog()
+            .into_iter()
+            .find(|e| e.name == name)
+            .expect("catalog name");
+        let frame = entry.generate(31);
+        let lbs = discover_univariate(
+            frame.series(0),
+            frame.timestamps(),
+            &LookbackConfig::default(),
+        );
+        println!("{:<24} len {:>5}  look-backs {:?}", entry.name, frame.len(), lbs);
+    }
+}

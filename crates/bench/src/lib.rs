@@ -1,0 +1,285 @@
+//! Shared benchmark harness: the Rust counterpart of the paper's container
+//! benchmarking framework (Figure 4).
+//!
+//! "The benchmarking mechanism system also implements or imports existing
+//! implementations of the state-of-the-art (SOTA) time series toolkits which
+//! enables us to run experiments both on our system … as well as on the 10
+//! SOTA frameworks with the same train-test split to get comparative
+//! performance results."
+//!
+//! The harness evaluates any [`Forecaster`] (AutoAI-TS included) on any
+//! dataset with one protocol: 80/20 temporal split, fit on the training
+//! part, forecast `horizon` steps, SMAPE against the first `horizon` holdout
+//! values. Helpers render the paper's figures as ASCII charts and its tables
+//! as aligned text + CSV.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use autoai_pipelines::Forecaster;
+use autoai_tsdata::{holdout_split, RankSummary, TimeSeriesFrame};
+use autoai_ts::{AutoAITS, AutoAITSConfig};
+
+/// Outcome of one (system, dataset) evaluation.
+#[derive(Debug, Clone)]
+pub struct EvalOutcome {
+    /// SMAPE over the first `horizon` holdout values (`None` = failed, the
+    /// paper's `0 (0)` did-not-finish marker).
+    pub smape: Option<f64>,
+    /// Wall-clock seconds of fit + forecast.
+    pub seconds: f64,
+}
+
+impl EvalOutcome {
+    /// Format like the paper's tables: `smape (secs)` or `0 (0)` for DNF.
+    pub fn cell(&self) -> String {
+        match self.smape {
+            Some(s) => format!("{:.2} ({:.2})", s, self.seconds),
+            None => "0 (0)".to_string(),
+        }
+    }
+}
+
+/// The shared evaluation protocol: 80/20 split, forecast `horizon`, SMAPE
+/// on the first `horizon` holdout rows (averaged across series).
+pub fn evaluate_forecaster(
+    mut system: Box<dyn Forecaster>,
+    frame: &TimeSeriesFrame,
+    horizon: usize,
+) -> EvalOutcome {
+    let holdout_len = (frame.len() / 5).max(1);
+    let (train, holdout) = holdout_split(frame, holdout_len);
+    let target = holdout.slice(0, horizon.min(holdout.len()));
+    let start = Instant::now();
+    let smape = (|| -> Option<f64> {
+        system.fit(&train).ok()?;
+        let pred = system.predict(target.len()).ok()?;
+        if pred.n_series() != target.n_series() {
+            return None;
+        }
+        let mut total = 0.0;
+        for c in 0..target.n_series() {
+            total += autoai_tsdata::smape(target.series(c), pred.series(c));
+        }
+        let s = total / target.n_series().max(1) as f64;
+        s.is_finite().then_some(s)
+    })();
+    EvalOutcome { smape, seconds: start.elapsed().as_secs_f64() }
+}
+
+/// Evaluate the full AutoAI-TS system (quality check → look-back discovery
+/// → T-Daub → retrain), with the paper's timing convention: "the total time
+/// that T-Daub took until it discovered the best out of 10 pipelines … and
+/// retrained it on full data".
+pub fn evaluate_autoai(frame: &TimeSeriesFrame, horizon: usize) -> EvalOutcome {
+    let holdout_len = (frame.len() / 5).max(1);
+    let (train, holdout) = holdout_split(frame, holdout_len);
+    let target = holdout.slice(0, horizon.min(holdout.len()));
+    let start = Instant::now();
+    let smape = (|| -> Option<f64> {
+        let mut system = AutoAITS::with_config(AutoAITSConfig {
+            horizon,
+            ..Default::default()
+        });
+        system.fit(&train).ok()?;
+        let pred = system.predict(target.len()).ok()?;
+        let mut total = 0.0;
+        for c in 0..target.n_series() {
+            total += autoai_tsdata::smape(target.series(c), pred.series(c));
+        }
+        let s = total / target.n_series().max(1) as f64;
+        s.is_finite().then_some(s)
+    })();
+    EvalOutcome { smape, seconds: start.elapsed().as_secs_f64() }
+}
+
+/// Render an average-rank bar chart (Figures 6/8/10/12 analogue).
+pub fn ascii_rank_chart(title: &str, summaries: &[RankSummary]) -> String {
+    let mut out = format!("\n== {title} ==\n");
+    let max_rank = summaries
+        .iter()
+        .map(|s| s.average_rank)
+        .filter(|r| r.is_finite())
+        .fold(1.0f64, f64::max);
+    for s in summaries {
+        let label = format!("{:<22}", s.name);
+        if s.average_rank.is_finite() {
+            let width = ((s.average_rank / max_rank) * 40.0).round() as usize;
+            out.push_str(&format!(
+                "{label} {:>5.2} |{}\n",
+                s.average_rank,
+                "#".repeat(width.max(1))
+            ));
+        } else {
+            out.push_str(&format!("{label}   DNF |\n"));
+        }
+    }
+    out
+}
+
+/// Render a datasets-per-rank histogram (Figures 7/9/11/13 analogue).
+pub fn ascii_rank_histogram(title: &str, summaries: &[RankSummary]) -> String {
+    let mut out = format!("\n== {title} ==\n");
+    let k = summaries.first().map_or(0, |s| s.histogram.len());
+    out.push_str(&format!("{:<22}", "system \\ rank"));
+    for r in 1..=k {
+        out.push_str(&format!("{r:>4}"));
+    }
+    out.push('\n');
+    for s in summaries {
+        out.push_str(&format!("{:<22}", s.name));
+        for &c in &s.histogram {
+            out.push_str(&format!("{c:>4}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a paper-style results table (Tables 4/5/6 analogue).
+pub fn results_table(
+    title: &str,
+    datasets: &[String],
+    systems: &[&str],
+    cells: &[Vec<EvalOutcome>],
+) -> String {
+    let mut out = format!("\n== {title} ==\n");
+    out.push_str(&format!("{:<28}", "dataset"));
+    for s in systems {
+        out.push_str(&format!("{s:>22}"));
+    }
+    out.push('\n');
+    for (d, row) in datasets.iter().zip(cells) {
+        out.push_str(&format!("{d:<28}"));
+        for c in row {
+            out.push_str(&format!("{:>22}", c.cell()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Emit results as CSV (`dataset,system,smape,seconds`) for downstream
+/// plotting; written under `results/`.
+pub fn write_results_csv(
+    path: &str,
+    datasets: &[String],
+    systems: &[&str],
+    cells: &[Vec<EvalOutcome>],
+) -> std::io::Result<()> {
+    std::fs::create_dir_all("results")?;
+    let mut out = String::from("dataset,system,smape,seconds\n");
+    for (d, row) in datasets.iter().zip(cells) {
+        for (s, c) in systems.iter().zip(row) {
+            match c.smape {
+                Some(v) => out.push_str(&format!("{d},{s},{v:.4},{:.3}\n", c.seconds)),
+                None => out.push_str(&format!("{d},{s},,\n")),
+            }
+        }
+    }
+    std::fs::write(format!("results/{path}"), out)
+}
+
+/// Emit results as a JSON document (`[{dataset, system, smape, seconds}]`)
+/// for downstream tooling; written under `results/`.
+pub fn write_results_json(
+    path: &str,
+    datasets: &[String],
+    systems: &[&str],
+    cells: &[Vec<EvalOutcome>],
+) -> std::io::Result<()> {
+    #[derive(serde::Serialize)]
+    struct Row<'a> {
+        dataset: &'a str,
+        system: &'a str,
+        smape: Option<f64>,
+        seconds: f64,
+    }
+    std::fs::create_dir_all("results")?;
+    let mut rows = Vec::new();
+    for (d, row) in datasets.iter().zip(cells) {
+        for (s, c) in systems.iter().zip(row) {
+            rows.push(Row { dataset: d, system: s, smape: c.smape, seconds: c.seconds });
+        }
+    }
+    let json = serde_json::to_string_pretty(&rows).expect("serializable rows");
+    std::fs::write(format!("results/{path}"), json)
+}
+
+/// Convert an outcome matrix into the `Option<f64>` score rows the ranking
+/// helpers consume. `by_time` ranks on seconds instead of SMAPE.
+pub fn score_matrix(cells: &[Vec<EvalOutcome>], by_time: bool) -> Vec<Vec<Option<f64>>> {
+    cells
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|c| {
+                    if by_time {
+                        c.smape.is_some().then_some(c.seconds)
+                    } else {
+                        c.smape
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoai_pipelines::ZeroModelPipeline;
+    use autoai_tsdata::average_ranks;
+
+    fn frame() -> TimeSeriesFrame {
+        TimeSeriesFrame::univariate((0..200).map(|i| (i as f64 * 0.3).sin() + 5.0).collect())
+    }
+
+    #[test]
+    fn evaluate_forecaster_produces_finite_smape() {
+        let out = evaluate_forecaster(Box::new(ZeroModelPipeline::new()), &frame(), 12);
+        assert!(out.smape.is_some());
+        assert!(out.seconds >= 0.0);
+        assert!(out.cell().contains('('));
+    }
+
+    #[test]
+    fn dnf_renders_paper_style() {
+        let out = EvalOutcome { smape: None, seconds: 3.0 };
+        assert_eq!(out.cell(), "0 (0)");
+    }
+
+    #[test]
+    fn score_matrix_time_mode() {
+        let cells = vec![vec![
+            EvalOutcome { smape: Some(1.0), seconds: 9.0 },
+            EvalOutcome { smape: None, seconds: 5.0 },
+        ]];
+        let by_smape = score_matrix(&cells, false);
+        assert_eq!(by_smape[0], vec![Some(1.0), None]);
+        let by_time = score_matrix(&cells, true);
+        assert_eq!(by_time[0], vec![Some(9.0), None]);
+    }
+
+    #[test]
+    fn chart_rendering_smoke() {
+        let cells = vec![vec![
+            EvalOutcome { smape: Some(1.0), seconds: 1.0 },
+            EvalOutcome { smape: Some(2.0), seconds: 0.5 },
+        ]];
+        let m = score_matrix(&cells, false);
+        let summaries = average_ranks(&["a", "b"], &m);
+        let chart = ascii_rank_chart("test", &summaries);
+        assert!(chart.contains("a"));
+        let hist = ascii_rank_histogram("test", &summaries);
+        assert!(hist.contains("rank"));
+        let table = results_table(
+            "t",
+            &["d1".to_string()],
+            &["a", "b"],
+            &cells,
+        );
+        assert!(table.contains("d1"));
+    }
+}

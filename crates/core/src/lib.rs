@@ -1,0 +1,36 @@
+//! AutoAI-TS: zero-configuration automated time series forecasting.
+//!
+//! This crate is the paper's primary contribution — the orchestrator that
+//! turns a raw 2-D array of time series into a trained, ready-to-predict
+//! forecasting pipeline with **no configuration from the user**:
+//!
+//! 1. initial data **quality check** and basic cleaning (§4),
+//! 2. an immediately-available **Zero Model** baseline,
+//! 3. automatic **look-back window discovery** (§4.1),
+//! 4. instantiation of the 10 heterogeneous **pipelines** (Table 6),
+//! 5. **T-Daub** pipeline ranking with reverse progressive data allocation
+//!    (§4.2, Algorithm 1),
+//! 6. holdout evaluation and final **full-data retraining** of the winner.
+//!
+//! ```no_run
+//! use autoai_ts::AutoAITS;
+//!
+//! // columns = series, rows = samples — drop the data in, call fit
+//! let data: Vec<Vec<f64>> = (0..200).map(|i| vec![(i as f64 * 0.3).sin()]).collect();
+//! let mut system = AutoAITS::new();
+//! system.fit_rows(&data).unwrap();
+//! let forecast = system.predict_rows(12).unwrap(); // 12 x n_series
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod orchestrator;
+pub mod progress;
+
+pub use orchestrator::{AutoAITS, AutoAITSConfig, FitSummary};
+pub use progress::{LogProgress, NoProgress, Progress, ProgressEvent};
+
+// Re-export the vocabulary types users need at the API boundary.
+pub use autoai_pipelines::{Forecaster, PipelineContext, PipelineError, PIPELINE_NAMES};
+pub use autoai_tdaub::{PipelineReport, TDaubConfig};
+pub use autoai_tsdata::{Metric, TimeSeriesFrame};

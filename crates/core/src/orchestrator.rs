@@ -1,0 +1,489 @@
+//! The zero-conf orchestrator.
+
+use std::sync::Arc;
+
+use autoai_lookback::{discover_multivariate, discover_univariate, LookbackConfig, MultivariateMode};
+use autoai_pipelines::{
+    default_pipelines, pipeline_by_name, Forecaster, PipelineContext, PipelineError,
+    ZeroModelPipeline,
+};
+use autoai_tdaub::{run_tdaub, PipelineReport, TDaubConfig};
+use autoai_tsdata::{clean, holdout_split, quality_check, Metric, QualityReport, TimeSeriesFrame};
+
+use crate::progress::{NoProgress, Progress, ProgressEvent};
+
+/// Configuration of the zero-conf system. Every field has a sensible
+/// default — constructing with [`AutoAITS::new`] and calling `fit` is the
+/// intended zero-configuration path.
+#[derive(Clone)]
+pub struct AutoAITSConfig {
+    /// Prediction horizon the pipelines are trained for (paper default 12).
+    pub horizon: usize,
+    /// User-specified look-back window; `None` enables automatic discovery
+    /// ("If the user specifies look-back window size then the look-back
+    /// window generation is skipped", §4).
+    pub lookback: Option<usize>,
+    /// Upper bound for discovered look-backs.
+    pub max_look_back: usize,
+    /// Fraction of the input held out for final reported evaluation
+    /// (paper: 20%).
+    pub holdout_fraction: f64,
+    /// T-Daub settings.
+    pub tdaub: TDaubConfig,
+    /// Pipeline names to instantiate; `None` = the 10 defaults.
+    pub pipeline_names: Option<Vec<String>>,
+    /// Deterministic seed for discovery sampling.
+    pub seed: u64,
+}
+
+impl Default for AutoAITSConfig {
+    fn default() -> Self {
+        Self {
+            horizon: 12,
+            lookback: None,
+            max_look_back: 256,
+            holdout_fraction: 0.2,
+            tdaub: TDaubConfig::default(),
+            pipeline_names: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Summary of a completed `fit`, for inspection and benchmarking.
+pub struct FitSummary {
+    /// Result of the initial data quality check.
+    pub quality: QualityReport,
+    /// Look-back window the ML pipelines used.
+    pub lookback: usize,
+    /// Discovered candidate seasonal periods.
+    pub seasonal_periods: Vec<usize>,
+    /// T-Daub per-pipeline reports, ranked best first.
+    pub reports: Vec<PipelineReport>,
+    /// Name of the winning pipeline.
+    pub best_pipeline: String,
+    /// SMAPE of the winner on the 20% holdout.
+    pub holdout_smape: f64,
+    /// Total wall-clock seconds of the whole fit.
+    pub fit_seconds: f64,
+}
+
+struct FittedState {
+    best: Box<dyn Forecaster>,
+    zero_model: ZeroModelPipeline,
+    summary: FitSummary,
+    n_series: usize,
+    /// Per-series holdout residual standard deviation (interval width).
+    residual_std: Vec<f64>,
+}
+
+/// The AutoAI-TS system: drop in data, get a trained forecaster.
+pub struct AutoAITS {
+    config: AutoAITSConfig,
+    progress: Arc<dyn Progress>,
+    state: Option<FittedState>,
+}
+
+impl Default for AutoAITS {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AutoAITS {
+    /// Zero-conf constructor (horizon 12, everything automatic).
+    pub fn new() -> Self {
+        Self::with_config(AutoAITSConfig::default())
+    }
+
+    /// Construct with explicit configuration.
+    pub fn with_config(config: AutoAITSConfig) -> Self {
+        Self { config, progress: Arc::new(NoProgress), state: None }
+    }
+
+    /// Attach a progress sink (CLI/web-UI surface of §4).
+    pub fn with_progress(mut self, progress: Arc<dyn Progress>) -> Self {
+        self.progress = progress;
+        self
+    }
+
+    /// Convenience: set the forecast horizon.
+    pub fn horizon(mut self, horizon: usize) -> Self {
+        self.config.horizon = horizon.max(1);
+        self
+    }
+
+    /// Fit on a row-major 2-D array (rows = samples, columns = series) —
+    /// the exact user-facing schema of §3.
+    pub fn fit_rows(&mut self, rows: &[Vec<f64>]) -> Result<&mut Self, PipelineError> {
+        let frame = TimeSeriesFrame::from_rows(rows);
+        self.fit(&frame)
+    }
+
+    /// Fit on a [`TimeSeriesFrame`].
+    pub fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<&mut Self, PipelineError> {
+        let started = std::time::Instant::now();
+        if frame.is_empty() || frame.n_series() == 0 {
+            return Err(PipelineError::InvalidInput("empty input data".into()));
+        }
+        let min_len = 2 * self.config.horizon + 8;
+        if frame.len() < min_len {
+            return Err(PipelineError::InvalidInput(format!(
+                "need at least {min_len} samples for horizon {}, got {}",
+                self.config.horizon,
+                frame.len()
+            )));
+        }
+
+        // ---- 1. quality check + cleaning ----
+        let quality = quality_check(frame);
+        self.progress.report(&ProgressEvent::QualityChecked { issues: quality.issues.len() });
+        let data = if quality.missing_count > 0 { clean(frame) } else { frame.clone() };
+
+        // ---- 2. Zero Model baseline, available immediately ----
+        let mut zero_model = ZeroModelPipeline::new();
+        zero_model.fit(&data)?;
+        self.progress.report(&ProgressEvent::ZeroModelReady);
+
+        // ---- 80/20 split: holdout only for reported evaluation ----
+        let holdout_len =
+            ((data.len() as f64 * self.config.holdout_fraction).round() as usize).max(1);
+        let (train, holdout) = holdout_split(&data, holdout_len);
+
+        // ---- 3. look-back discovery (skipped when user specifies) ----
+        let lb_config = LookbackConfig {
+            max_look_back: Some(self.config.max_look_back),
+            seed: self.config.seed,
+            ..Default::default()
+        };
+        let (lookback, seasonal_periods) = match self.config.lookback {
+            Some(lb) => (lb, discovered_periods(&train, &lb_config)),
+            None => {
+                let lbs = if train.n_series() > 1 {
+                    discover_multivariate(&train, &lb_config, MultivariateMode::Cap)
+                } else {
+                    discover_univariate(train.series(0), train.timestamps(), &lb_config)
+                };
+                (lbs[0], lbs)
+            }
+        };
+        self.progress.report(&ProgressEvent::LookbackDiscovered {
+            lookback,
+            seasonal_periods: seasonal_periods.clone(),
+        });
+
+        // ---- 4. pipeline generation ----
+        let ctx = PipelineContext::new(lookback, self.config.horizon, seasonal_periods.clone());
+        let pipelines: Vec<Box<dyn Forecaster>> = match &self.config.pipeline_names {
+            Some(names) => names
+                .iter()
+                .filter_map(|n| pipeline_by_name(n, &ctx))
+                .collect(),
+            None => default_pipelines(&ctx),
+        };
+        if pipelines.is_empty() {
+            return Err(PipelineError::InvalidInput("no pipelines to evaluate".into()));
+        }
+        self.progress.report(&ProgressEvent::PipelinesGenerated { count: pipelines.len() });
+
+        // ---- 5. T-Daub ranking over the training split ----
+        // scale the allocation unit to the training length so the smallest
+        // allocation can accommodate seasonal look-backs (a 50-sample chunk
+        // cannot exercise a weekly-of-hours pipeline); the user may still
+        // pin the sizes explicitly through `config.tdaub`
+        let mut tdaub_cfg = self.config.tdaub.clone();
+        let default = TDaubConfig::default();
+        if tdaub_cfg.min_allocation_size == default.min_allocation_size
+            && tdaub_cfg.allocation_size == default.allocation_size
+        {
+            let unit = (train.len() / 8)
+                .max(default.min_allocation_size)
+                .max(2 * lookback + self.config.horizon + 4);
+            tdaub_cfg.min_allocation_size = unit;
+            tdaub_cfg.allocation_size = unit;
+        }
+        let result = run_tdaub(pipelines, &train, &tdaub_cfg)?;
+        let evaluations: usize = result.reports.iter().map(|r| r.scores.len()).sum();
+        self.progress.report(&ProgressEvent::TDaubFinished {
+            best: result.best.name(),
+            evaluations,
+        });
+
+        // ---- 6. holdout evaluation, then full-data retraining ----
+        let holdout_smape = result.best.score(&holdout, Metric::Smape).unwrap_or(f64::INFINITY);
+        self.progress.report(&ProgressEvent::HoldoutScored { smape: holdout_smape });
+
+        // per-series holdout residual spread → prediction intervals
+        let residual_std: Vec<f64> = match result.best.predict(holdout.len()) {
+            Ok(pred) if pred.n_series() == holdout.n_series() => (0..holdout.n_series())
+                .map(|c| {
+                    let resid: Vec<f64> = holdout
+                        .series(c)
+                        .iter()
+                        .zip(pred.series(c))
+                        .map(|(a, p)| a - p)
+                        .collect();
+                    autoai_linalg::std_dev(&resid).max(1e-12)
+                })
+                .collect(),
+            _ => vec![f64::NAN; holdout.n_series()],
+        };
+
+        let mut best = result.best.clone_unfitted();
+        best.fit(&data)?;
+        self.progress.report(&ProgressEvent::Ready);
+
+        let summary = FitSummary {
+            quality,
+            lookback,
+            seasonal_periods,
+            best_pipeline: best.name(),
+            reports: result.reports,
+            holdout_smape,
+            fit_seconds: started.elapsed().as_secs_f64(),
+        };
+        self.state = Some(FittedState {
+            best,
+            zero_model,
+            summary,
+            n_series: data.n_series(),
+            residual_std,
+        });
+        Ok(self)
+    }
+
+    /// Forecast the next `horizon` rows (2-D frame out, §3 schema).
+    pub fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
+        let state = self.state.as_ref().ok_or(PipelineError::NotFitted)?;
+        state.best.predict(horizon.max(1))
+    }
+
+    /// Forecast as a row-major 2-D array (`horizon x n_series`).
+    pub fn predict_rows(&self, horizon: usize) -> Result<Vec<Vec<f64>>, PipelineError> {
+        Ok(self.predict(horizon)?.to_rows())
+    }
+
+    /// Forecast with per-series `±z`-sigma prediction intervals derived from
+    /// the holdout residual spread. Returns, per series, a vector of
+    /// `(point, lower, upper)` triples. Interval width grows with the step
+    /// index by `sqrt(h)` (random-walk style error accumulation).
+    pub fn predict_with_interval(
+        &self,
+        horizon: usize,
+        z: f64,
+    ) -> Result<Vec<Vec<(f64, f64, f64)>>, PipelineError> {
+        let state = self.state.as_ref().ok_or(PipelineError::NotFitted)?;
+        let point = state.best.predict(horizon.max(1))?;
+        let out = (0..point.n_series())
+            .map(|c| {
+                let sd = state.residual_std.get(c).copied().unwrap_or(f64::NAN);
+                point
+                    .series(c)
+                    .iter()
+                    .enumerate()
+                    .map(|(h, &p)| {
+                        let w = z * sd * ((h + 1) as f64).sqrt();
+                        (p, p - w, p + w)
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(out)
+    }
+
+    /// The Zero Model baseline forecast (available as soon as `fit` starts
+    /// doing real work; exposed for comparison and fallbacks).
+    pub fn predict_zero_model(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
+        let state = self.state.as_ref().ok_or(PipelineError::NotFitted)?;
+        state.zero_model.predict(horizon.max(1))
+    }
+
+    /// Summary of the completed fit (quality report, ranking, scores).
+    pub fn summary(&self) -> Option<&FitSummary> {
+        self.state.as_ref().map(|s| &s.summary)
+    }
+
+    /// Name of the selected pipeline.
+    pub fn best_pipeline_name(&self) -> Option<String> {
+        self.state.as_ref().map(|s| s.best.name())
+    }
+
+    /// Number of series the system was fitted on.
+    pub fn n_series(&self) -> Option<usize> {
+        self.state.as_ref().map(|s| s.n_series)
+    }
+}
+
+/// Seasonal-period candidates when the user supplied the look-back: run the
+/// discovery machinery anyway, purely for the statistical pipelines.
+fn discovered_periods(train: &TimeSeriesFrame, cfg: &LookbackConfig) -> Vec<usize> {
+    if train.n_series() > 1 {
+        discover_multivariate(train, cfg, MultivariateMode::Cap)
+    } else {
+        discover_univariate(train.series(0), train.timestamps(), cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seasonal_rows(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| vec![20.0 + 5.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin()])
+            .collect()
+    }
+
+    fn fast_config() -> AutoAITSConfig {
+        // restrict to fast pipelines so orchestrator tests stay quick
+        AutoAITSConfig {
+            pipeline_names: Some(vec![
+                "MT2RForecaster".into(),
+                "HW-Additive".into(),
+                "ZeroModel".into(),
+            ]),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn zero_conf_end_to_end() {
+        let mut sys = AutoAITS::with_config(fast_config());
+        sys.fit_rows(&seasonal_rows(400)).unwrap();
+        let f = sys.predict_rows(12).unwrap();
+        assert_eq!(f.len(), 12);
+        assert_eq!(f[0].len(), 1);
+        let summary = sys.summary().unwrap();
+        assert!(summary.holdout_smape < 20.0, "holdout smape {}", summary.holdout_smape);
+        assert!(!summary.best_pipeline.is_empty());
+        assert!(summary.reports.len() == 3);
+    }
+
+    #[test]
+    fn multivariate_input_multivariate_output() {
+        let rows: Vec<Vec<f64>> = (0..300)
+            .map(|i| {
+                vec![
+                    10.0 + (i as f64 * 0.5).sin(),
+                    100.0 + 0.3 * i as f64,
+                ]
+            })
+            .collect();
+        let mut sys = AutoAITS::with_config(fast_config());
+        sys.fit_rows(&rows).unwrap();
+        assert_eq!(sys.n_series(), Some(2));
+        let f = sys.predict_rows(6).unwrap();
+        assert_eq!(f.len(), 6);
+        assert_eq!(f[0].len(), 2);
+    }
+
+    #[test]
+    fn nan_input_is_cleaned_automatically() {
+        let mut rows = seasonal_rows(300);
+        rows[100][0] = f64::NAN;
+        rows[200][0] = f64::NAN;
+        let mut sys = AutoAITS::with_config(fast_config());
+        sys.fit_rows(&rows).unwrap();
+        let summary = sys.summary().unwrap();
+        assert_eq!(summary.quality.missing_count, 2);
+        assert!(sys.predict(3).unwrap().series(0).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn zero_model_available_after_fit() {
+        let mut sys = AutoAITS::with_config(fast_config());
+        sys.fit_rows(&seasonal_rows(300)).unwrap();
+        let z = sys.predict_zero_model(4).unwrap();
+        // zero model repeats the very last observed value
+        let last = 20.0 + 5.0 * (2.0 * std::f64::consts::PI * 299.0 / 12.0).sin();
+        for &v in z.series(0) {
+            assert!((v - last).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn user_lookback_skips_discovery() {
+        let mut cfg = fast_config();
+        cfg.lookback = Some(24);
+        let mut sys = AutoAITS::with_config(cfg);
+        sys.fit_rows(&seasonal_rows(300)).unwrap();
+        assert_eq!(sys.summary().unwrap().lookback, 24);
+    }
+
+    #[test]
+    fn too_short_input_rejected() {
+        let mut sys = AutoAITS::new();
+        assert!(sys.fit_rows(&seasonal_rows(10)).is_err());
+        assert!(matches!(sys.predict(3), Err(PipelineError::NotFitted)));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let mut sys = AutoAITS::new();
+        assert!(sys.fit_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn progress_events_fire_in_order() {
+        use parking_lot::Mutex;
+        struct Collect(Mutex<Vec<String>>);
+        impl Progress for Collect {
+            fn report(&self, e: &ProgressEvent) {
+                self.0.lock().push(format!("{e:?}"));
+            }
+        }
+        let sink = Arc::new(Collect(Mutex::new(Vec::new())));
+        let mut sys = AutoAITS::with_config(fast_config()).with_progress(sink.clone());
+        sys.fit_rows(&seasonal_rows(300)).unwrap();
+        let events = sink.0.lock();
+        assert!(events[0].starts_with("QualityChecked"));
+        assert!(events.last().unwrap().starts_with("Ready"));
+        assert!(events.iter().any(|e| e.starts_with("TDaubFinished")));
+    }
+
+    #[test]
+    fn horizon_sweep_6_to_30() {
+        // the paper's experimental grid: horizon 6..30 step 6
+        let rows = seasonal_rows(400);
+        for h in [6usize, 12, 18, 24, 30] {
+            let mut cfg = fast_config();
+            cfg.horizon = h;
+            let mut sys = AutoAITS::with_config(cfg);
+            sys.fit_rows(&rows).unwrap();
+            assert_eq!(sys.predict_rows(h).unwrap().len(), h, "horizon {h}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod interval_tests {
+    use super::*;
+
+    #[test]
+    fn intervals_bracket_the_point_and_widen() {
+        let rows: Vec<Vec<f64>> = (0..300)
+            .map(|i| vec![20.0 + 5.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin()])
+            .collect();
+        let mut sys = AutoAITS::with_config(AutoAITSConfig {
+            pipeline_names: Some(vec!["MT2RForecaster".into(), "ZeroModel".into()]),
+            ..Default::default()
+        });
+        sys.fit_rows(&rows).unwrap();
+        let iv = sys.predict_with_interval(6, 1.96).unwrap();
+        assert_eq!(iv.len(), 1);
+        assert_eq!(iv[0].len(), 6);
+        for (p, lo, hi) in &iv[0] {
+            assert!(lo <= p && p <= hi);
+        }
+        // width grows with the step index
+        let w0 = iv[0][0].2 - iv[0][0].1;
+        let w5 = iv[0][5].2 - iv[0][5].1;
+        assert!(w5 > w0, "w0={w0} w5={w5}");
+    }
+
+    #[test]
+    fn interval_before_fit_errors() {
+        let sys = AutoAITS::new();
+        assert!(sys.predict_with_interval(3, 2.0).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Progress reporting.
+//!
+//! §4: "During T-Daub evaluation of pipelines, user is provided with the
+//! overall progress and performance of the evaluated pipelines, such
+//! progress is displayed on command line as well as on the web-UI." The
+//! CLI/web surfaces are replaced by a [`Progress`] sink trait; the bench
+//! harness and examples plug in [`LogProgress`] for stderr output.
+
+/// One step of the zero-conf process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgressEvent {
+    /// Data quality check finished (number of issues found).
+    QualityChecked {
+        /// Number of quality issues detected.
+        issues: usize,
+    },
+    /// The Zero Model baseline is trained and available.
+    ZeroModelReady,
+    /// Look-back discovery finished.
+    LookbackDiscovered {
+        /// The selected look-back window.
+        lookback: usize,
+        /// All discovered candidate periods, best first.
+        seasonal_periods: Vec<usize>,
+    },
+    /// Pipeline pool instantiated.
+    PipelinesGenerated {
+        /// Number of pipelines in the pool.
+        count: usize,
+    },
+    /// T-Daub finished ranking.
+    TDaubFinished {
+        /// Name of the winning pipeline.
+        best: String,
+        /// Total number of (pipeline, allocation) evaluations performed.
+        evaluations: usize,
+    },
+    /// Holdout evaluation of the winner.
+    HoldoutScored {
+        /// SMAPE on the held-out 20%.
+        smape: f64,
+    },
+    /// Final full-data retraining done; the system is ready to predict.
+    Ready,
+}
+
+/// A sink for progress events.
+pub trait Progress: Send + Sync {
+    /// Receive one event.
+    fn report(&self, event: &ProgressEvent);
+}
+
+/// Discards all events (the default).
+pub struct NoProgress;
+
+impl Progress for NoProgress {
+    fn report(&self, _event: &ProgressEvent) {}
+}
+
+/// Writes events to stderr, one line each.
+pub struct LogProgress;
+
+impl Progress for LogProgress {
+    fn report(&self, event: &ProgressEvent) {
+        eprintln!("[autoai-ts] {event:?}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Counter(AtomicUsize);
+
+    impl Progress for Counter {
+        fn report(&self, _: &ProgressEvent) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn sinks_receive_events() {
+        let c = Counter(AtomicUsize::new(0));
+        c.report(&ProgressEvent::ZeroModelReady);
+        c.report(&ProgressEvent::Ready);
+        assert_eq!(c.0.load(Ordering::Relaxed), 2);
+        // the no-op sink must not panic
+        NoProgress.report(&ProgressEvent::QualityChecked { issues: 0 });
+    }
+}

@@ -1,0 +1,143 @@
+//! Minimal CSV persistence for time series frames.
+//!
+//! Format: header row `timestamp,<name>,<name>,...` (timestamp column
+//! omitted when the frame has no timestamps), one row per sample. Parsing
+//! is NaN-tolerant: unparseable numeric cells — the paper's "unexpected
+//! characters or values such as strings in the time series" — become NaN
+//! and are handled downstream by the quality check.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+use autoai_tsdata::TimeSeriesFrame;
+
+/// Save a frame as CSV.
+pub fn save_csv(frame: &TimeSeriesFrame, path: &Path) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let has_ts = frame.timestamps().is_some();
+    let mut header = Vec::new();
+    if has_ts {
+        header.push("timestamp".to_string());
+    }
+    header.extend(frame.names().iter().cloned());
+    writeln!(f, "{}", header.join(","))?;
+    for r in 0..frame.len() {
+        let mut row = Vec::new();
+        if let Some(ts) = frame.timestamps() {
+            row.push(ts[r].to_string());
+        }
+        for c in 0..frame.n_series() {
+            row.push(format!("{}", frame.series(c)[r]));
+        }
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Load a frame from CSV written by [`save_csv`] (or any compatible file).
+///
+/// A first column named `timestamp` (case-insensitive) is parsed as epoch
+/// seconds; every other column becomes a series. Cells that fail to parse
+/// as numbers are stored as NaN.
+pub fn load_csv(path: &Path) -> std::io::Result<TimeSeriesFrame> {
+    let f = BufReader::new(std::fs::File::open(path)?);
+    let mut lines = f.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "empty csv"))??;
+    let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    let has_ts = names
+        .first()
+        .is_some_and(|n| n.eq_ignore_ascii_case("timestamp"));
+    let series_names: Vec<String> =
+        if has_ts { names[1..].to_vec() } else { names.clone() };
+    let n_series = series_names.len();
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); n_series];
+    let mut timestamps: Vec<i64> = Vec::new();
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        let offset = usize::from(has_ts);
+        if has_ts {
+            timestamps.push(cells[0].trim().parse::<i64>().unwrap_or(0));
+        }
+        for (c, col) in cols.iter_mut().enumerate() {
+            let v = cells
+                .get(c + offset)
+                .and_then(|s| s.trim().parse::<f64>().ok())
+                .unwrap_or(f64::NAN);
+            col.push(v);
+        }
+    }
+    let mut frame = TimeSeriesFrame::from_columns(cols);
+    if n_series > 0 {
+        frame = frame.with_names(series_names);
+    }
+    if has_ts {
+        frame = frame.with_timestamps(timestamps);
+    }
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("autoai_ts_csv_test_{name}_{}.csv", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_with_timestamps() {
+        let frame = TimeSeriesFrame::from_columns(vec![vec![1.0, 2.5], vec![3.0, -4.0]])
+            .with_names(vec!["a".into(), "b".into()])
+            .with_regular_timestamps(1000, 60);
+        let p = tmp("roundtrip");
+        save_csv(&frame, &p).unwrap();
+        let back = load_csv(&p).unwrap();
+        std::fs::remove_file(&p).ok();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn roundtrip_without_timestamps() {
+        let frame = TimeSeriesFrame::univariate(vec![1.0, 2.0, 3.0]);
+        let p = tmp("no_ts");
+        save_csv(&frame, &p).unwrap();
+        let back = load_csv(&p).unwrap();
+        std::fs::remove_file(&p).ok();
+        assert_eq!(back.series(0), frame.series(0));
+        assert!(back.timestamps().is_none());
+    }
+
+    #[test]
+    fn garbage_cells_become_nan() {
+        let p = tmp("garbage");
+        std::fs::write(&p, "timestamp,x\n0,1.5\n60,oops\n120,3.5\n").unwrap();
+        let frame = load_csv(&p).unwrap();
+        std::fs::remove_file(&p).ok();
+        assert_eq!(frame.len(), 3);
+        assert!(frame.series(0)[1].is_nan());
+        assert_eq!(frame.series(0)[2], 3.5);
+    }
+
+    #[test]
+    fn missing_trailing_cells_become_nan() {
+        let p = tmp("short_row");
+        std::fs::write(&p, "a,b\n1,2\n3\n").unwrap();
+        let frame = load_csv(&p).unwrap();
+        std::fs::remove_file(&p).ok();
+        assert!(frame.series(1)[1].is_nan());
+    }
+
+    #[test]
+    fn empty_file_is_an_error() {
+        let p = tmp("empty");
+        std::fs::write(&p, "").unwrap();
+        assert!(load_csv(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+}

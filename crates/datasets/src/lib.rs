@@ -1,0 +1,32 @@
+//! Datasets for the AutoAI-TS reproduction.
+//!
+//! Three layers:
+//!
+//! * [`synthetic`] — the §5.1.1 controlled-experiment signals ("linearly
+//!   increasing values, constants, linear increase with noise, exponential
+//!   increase, inverse exponential, sine wave, cosine wave, sine and cosine
+//!   wave with outliers, square wave function, sine and cosine signals with
+//!   trend, log, exponential, wave form with dual seasonality etc."), 21
+//!   series × 2000 points.
+//! * [`catalog`] — deterministic synthetic stand-ins for the 62 univariate
+//!   and 9 multivariate real-world benchmark datasets (Tables 2/4). The
+//!   real sources (Kaggle, NAB, PeMS, proprietary IBM data) are not
+//!   redistributable or available offline, so each entry regenerates a
+//!   series with the same name, (scaled) length, dimensionality, and a
+//!   domain-matched generating process — see DESIGN.md §2 for the
+//!   substitution argument.
+//! * [`csv`] — plain CSV persistence with NaN-tolerant parsing (the paper's
+//!   "unexpected characters or values such as strings" become NaN cells and
+//!   flow into the quality check).
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod csv;
+pub mod synthetic;
+
+pub use catalog::{
+    multivariate_catalog, univariate_catalog, CatalogEntry, Domain,
+};
+pub use csv::{load_csv, save_csv};
+pub use synthetic::{synthetic_suite, SyntheticSignal};

@@ -1,0 +1,292 @@
+//! The §5.1.1 synthetic signal library: 21 known-signal series used for the
+//! controlled experiments of Figure 5.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One of the 21 synthetic signal shapes of §5.1.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyntheticSignal {
+    /// Linearly increasing values.
+    Linear,
+    /// Constant value.
+    Constant,
+    /// Linear increase with additive noise.
+    LinearNoise,
+    /// Exponential increase.
+    Exponential,
+    /// Inverse exponential (decay toward an asymptote).
+    InverseExponential,
+    /// Pure sine wave.
+    Sine,
+    /// Pure cosine wave.
+    Cosine,
+    /// Sine wave with injected outliers.
+    SineOutliers,
+    /// Cosine wave with injected outliers (Figure 5b).
+    CosineOutliers,
+    /// Square wave.
+    SquareWave,
+    /// Sine with linear trend.
+    SineTrend,
+    /// Cosine with linear trend.
+    CosineTrend,
+    /// Logarithmic increase.
+    Log,
+    /// Logarithmic increase with large variance (Figure 5c).
+    LogVariance,
+    /// Cosine with linearly increasing amplitude (Figure 5a).
+    CosineGrowingAmplitude,
+    /// Waveform with dual seasonality (Figure 5d).
+    DualSeasonality,
+    /// Sine + cosine superposition.
+    SineCosine,
+    /// Sawtooth wave.
+    Sawtooth,
+    /// Damped oscillation.
+    DampedOscillation,
+    /// Random walk with drift.
+    RandomWalkDrift,
+    /// Level shifts (piecewise constant regimes).
+    LevelShifts,
+}
+
+impl SyntheticSignal {
+    /// All 21 signals, in a fixed order.
+    pub fn all() -> [SyntheticSignal; 21] {
+        use SyntheticSignal::*;
+        [
+            Linear,
+            Constant,
+            LinearNoise,
+            Exponential,
+            InverseExponential,
+            Sine,
+            Cosine,
+            SineOutliers,
+            CosineOutliers,
+            SquareWave,
+            SineTrend,
+            CosineTrend,
+            Log,
+            LogVariance,
+            CosineGrowingAmplitude,
+            DualSeasonality,
+            SineCosine,
+            Sawtooth,
+            DampedOscillation,
+            RandomWalkDrift,
+            LevelShifts,
+        ]
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        use SyntheticSignal::*;
+        match self {
+            Linear => "linear",
+            Constant => "constant",
+            LinearNoise => "linear_noise",
+            Exponential => "exponential",
+            InverseExponential => "inverse_exponential",
+            Sine => "sine",
+            Cosine => "cosine",
+            SineOutliers => "sine_outliers",
+            CosineOutliers => "cosine_outliers",
+            SquareWave => "square_wave",
+            SineTrend => "sine_trend",
+            CosineTrend => "cosine_trend",
+            Log => "log",
+            LogVariance => "log_variance",
+            CosineGrowingAmplitude => "cosine_growing_amplitude",
+            DualSeasonality => "dual_seasonality",
+            SineCosine => "sine_cosine",
+            Sawtooth => "sawtooth",
+            DampedOscillation => "damped_oscillation",
+            RandomWalkDrift => "random_walk_drift",
+            LevelShifts => "level_shifts",
+        }
+    }
+
+    /// Generate `n` samples deterministically from `seed`.
+    pub fn generate(self, n: usize, seed: u64) -> Vec<f64> {
+        use std::f64::consts::PI;
+        use SyntheticSignal::*;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (self as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let noise = |scale: f64, rng: &mut ChaCha8Rng| (rng.gen::<f64>() * 2.0 - 1.0) * scale;
+        match self {
+            Linear => (0..n).map(|i| 10.0 + 0.5 * i as f64).collect(),
+            Constant => vec![42.0; n],
+            LinearNoise => (0..n).map(|i| 10.0 + 0.5 * i as f64 + noise(5.0, &mut rng)).collect(),
+            Exponential => (0..n).map(|i| (i as f64 * 4.0 / n as f64).exp() * 10.0).collect(),
+            InverseExponential => {
+                (0..n).map(|i| 100.0 - 90.0 * (-(i as f64) * 5.0 / n as f64).exp()).collect()
+            }
+            Sine => (0..n).map(|i| 50.0 + 20.0 * (2.0 * PI * i as f64 / 24.0).sin()).collect(),
+            Cosine => (0..n).map(|i| 50.0 + 20.0 * (2.0 * PI * i as f64 / 24.0).cos()).collect(),
+            SineOutliers => {
+                let mut v: Vec<f64> =
+                    (0..n).map(|i| 50.0 + 20.0 * (2.0 * PI * i as f64 / 24.0).sin()).collect();
+                inject_outliers(&mut v, 0.02, 120.0, &mut rng);
+                v
+            }
+            CosineOutliers => {
+                let mut v: Vec<f64> =
+                    (0..n).map(|i| 50.0 + 20.0 * (2.0 * PI * i as f64 / 24.0).cos()).collect();
+                inject_outliers(&mut v, 0.02, 120.0, &mut rng);
+                v
+            }
+            SquareWave => (0..n)
+                .map(|i| if (i / 12) % 2 == 0 { 30.0 } else { 70.0 })
+                .collect(),
+            SineTrend => (0..n)
+                .map(|i| 20.0 + 0.1 * i as f64 + 15.0 * (2.0 * PI * i as f64 / 24.0).sin())
+                .collect(),
+            CosineTrend => (0..n)
+                .map(|i| 20.0 + 0.1 * i as f64 + 15.0 * (2.0 * PI * i as f64 / 24.0).cos())
+                .collect(),
+            Log => (0..n).map(|i| 10.0 * ((i + 1) as f64).ln()).collect(),
+            LogVariance => (0..n)
+                .map(|i| 10.0 * ((i + 1) as f64).ln() + noise(8.0, &mut rng))
+                .collect(),
+            CosineGrowingAmplitude => (0..n)
+                .map(|i| {
+                    let amp = 5.0 + 30.0 * i as f64 / n as f64;
+                    100.0 + amp * (2.0 * PI * i as f64 / 24.0).cos()
+                })
+                .collect(),
+            DualSeasonality => (0..n)
+                .map(|i| {
+                    let t = i as f64;
+                    50.0 + 12.0 * (2.0 * PI * t / 24.0).sin() + 20.0 * (2.0 * PI * t / 168.0).sin()
+                })
+                .collect(),
+            SineCosine => (0..n)
+                .map(|i| {
+                    let t = i as f64;
+                    40.0 + 10.0 * (2.0 * PI * t / 12.0).sin() + 10.0 * (2.0 * PI * t / 30.0).cos()
+                })
+                .collect(),
+            Sawtooth => (0..n).map(|i| (i % 20) as f64 * 3.0 + 10.0).collect(),
+            DampedOscillation => (0..n)
+                .map(|i| {
+                    let t = i as f64;
+                    50.0 + 40.0 * (-t / (n as f64 / 3.0)).exp() * (2.0 * PI * t / 24.0).sin()
+                })
+                .collect(),
+            RandomWalkDrift => {
+                let mut v = Vec::with_capacity(n);
+                let mut cur = 100.0;
+                for _ in 0..n {
+                    cur += 0.1 + noise(1.0, &mut rng);
+                    v.push(cur);
+                }
+                v
+            }
+            LevelShifts => {
+                let levels = [30.0, 70.0, 45.0, 90.0, 60.0];
+                (0..n)
+                    .map(|i| levels[(i / (n / 5).max(1)).min(4)] + noise(1.0, &mut rng))
+                    .collect()
+            }
+        }
+    }
+}
+
+fn inject_outliers(v: &mut [f64], fraction: f64, magnitude: f64, rng: &mut ChaCha8Rng) {
+    let count = ((v.len() as f64) * fraction).round() as usize;
+    for _ in 0..count {
+        let idx = rng.gen_range(0..v.len());
+        v[idx] += magnitude * if rng.gen::<bool>() { 1.0 } else { -1.0 };
+    }
+}
+
+/// The paper's synthetic dataset: 21 series × 2000 points (42,000 samples).
+/// Returns `(name, values)` pairs.
+pub fn synthetic_suite(seed: u64) -> Vec<(&'static str, Vec<f64>)> {
+    SyntheticSignal::all()
+        .into_iter()
+        .map(|s| (s.name(), s.generate(2000, seed)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_paper_scale() {
+        let suite = synthetic_suite(0);
+        assert_eq!(suite.len(), 21);
+        let total: usize = suite.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, 42_000); // "total of 42,000 samples"
+        // names unique
+        let mut names: Vec<&str> = suite.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 21);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticSignal::RandomWalkDrift.generate(500, 7);
+        let b = SyntheticSignal::RandomWalkDrift.generate(500, 7);
+        assert_eq!(a, b);
+        let c = SyntheticSignal::RandomWalkDrift.generate(500, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn outlier_signals_contain_outliers() {
+        let v = SyntheticSignal::CosineOutliers.generate(2000, 1);
+        let base_max = 70.0; // 50 + 20
+        let n_out = v.iter().filter(|&&x| x > base_max + 50.0 || x < 30.0 - 50.0).count();
+        assert!(n_out > 10, "found {n_out} outliers");
+    }
+
+    #[test]
+    fn growing_amplitude_actually_grows() {
+        let v = SyntheticSignal::CosineGrowingAmplitude.generate(2000, 0);
+        let early: f64 = v[..200].iter().map(|x| (x - 100.0).abs()).fold(0.0, f64::max);
+        let late: f64 = v[1800..].iter().map(|x| (x - 100.0).abs()).fold(0.0, f64::max);
+        assert!(late > 2.0 * early, "early {early}, late {late}");
+    }
+
+    #[test]
+    fn dual_seasonality_has_both_periods() {
+        let v = SyntheticSignal::DualSeasonality.generate(2000, 0);
+        let p24 = autoai_tsdata_period_power(&v, 24.0);
+        let p168 = autoai_tsdata_period_power(&v, 168.0);
+        let p50 = autoai_tsdata_period_power(&v, 50.0);
+        assert!(p24 > 10.0 * p50, "24-period power {p24} vs off-period {p50}");
+        assert!(p168 > 10.0 * p50, "168-period power {p168} vs off-period {p50}");
+    }
+
+    /// Goertzel-style single-frequency power probe.
+    fn autoai_tsdata_period_power(x: &[f64], period: f64) -> f64 {
+        let n = x.len() as f64;
+        let mean = x.iter().sum::<f64>() / n;
+        let w = 2.0 * std::f64::consts::PI / period;
+        let (mut re, mut im) = (0.0, 0.0);
+        for (i, &v) in x.iter().enumerate() {
+            re += (v - mean) * (w * i as f64).cos();
+            im += (v - mean) * (w * i as f64).sin();
+        }
+        (re * re + im * im) / n
+    }
+
+    #[test]
+    fn constant_signal_is_constant() {
+        let v = SyntheticSignal::Constant.generate(100, 3);
+        assert!(v.iter().all(|&x| x == 42.0));
+    }
+
+    #[test]
+    fn level_shifts_have_distinct_regimes() {
+        let v = SyntheticSignal::LevelShifts.generate(1000, 0);
+        let r1 = autoai_linalg::mean(&v[..200]);
+        let r2 = autoai_linalg::mean(&v[200..400]);
+        assert!((r1 - r2).abs() > 20.0, "regimes {r1} vs {r2}");
+    }
+}

@@ -1,0 +1,253 @@
+//! Radix-2 FFT and periodogram for spectral look-back discovery.
+//!
+//! Section 4.1 of the paper infers one look-back window per seasonal period
+//! using spectral analysis: "the spectral analysis method infers power for
+//! various frequency values. We select the frequency with the highest power".
+//! The periodogram here supports that: signals are mean-adjusted, zero-padded
+//! to a power of two, transformed with an iterative Cooley–Tukey FFT, and the
+//! one-sided power spectrum is returned.
+
+/// Minimal complex number used only by the FFT.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct from real and imaginary parts.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Squared magnitude `re² + im²`.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    #[inline]
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+
+    #[inline]
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+
+    #[inline]
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// Panics if `buf.len()` is not a power of two (callers zero-pad).
+pub fn fft_complex(buf: &mut [Complex]) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "fft_complex requires a power-of-two length, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // bit-reversal permutation
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = buf[i + k];
+                let v = buf[i + k + len / 2].mul(w);
+                buf[i + k] = u.add(v);
+                buf[i + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// One-sided periodogram of a real signal.
+///
+/// The signal is mean-adjusted and zero-padded to the next power of two.
+/// Returns `(frequencies, power)` where frequencies are in cycles per sample
+/// over the *original* length `n` (so `1/f` is a period in samples) and
+/// `power[k]` is the squared magnitude at `frequencies[k]`, excluding the DC
+/// bin. Empty input yields empty output.
+pub fn periodogram(signal: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let n = signal.len();
+    if n < 2 {
+        return (Vec::new(), Vec::new());
+    }
+    let mean = signal.iter().sum::<f64>() / n as f64;
+    let padded = n.next_power_of_two();
+    let mut buf: Vec<Complex> = signal
+        .iter()
+        .map(|&x| Complex::new(x - mean, 0.0))
+        .chain(std::iter::repeat(Complex::new(0.0, 0.0)))
+        .take(padded)
+        .collect();
+    fft_complex(&mut buf);
+    let half = padded / 2;
+    let mut freqs = Vec::with_capacity(half.saturating_sub(1));
+    let mut power = Vec::with_capacity(half.saturating_sub(1));
+    // skip the DC bin (k = 0): the paper explicitly requires nonzero frequency
+    for (k, c) in buf.iter().enumerate().take(half).skip(1) {
+        freqs.push(k as f64 / padded as f64);
+        power.push(c.norm_sq() / n as f64);
+    }
+    (freqs, power)
+}
+
+/// Return the dominant period (1/frequency in samples) of a signal, or
+/// `None` when the spectrum is degenerate (constant or too-short signal).
+///
+/// Follows the paper's rule: take the nonzero frequency with the highest
+/// power; if the best frequency is (numerically) zero, fall back to the
+/// second-largest power.
+pub fn dominant_period(signal: &[f64]) -> Option<f64> {
+    let (freqs, power) = periodogram(signal);
+    if freqs.is_empty() {
+        return None;
+    }
+    let total: f64 = power.iter().sum();
+    if total <= 1e-12 {
+        return None; // flat spectrum: constant signal
+    }
+    let mut order: Vec<usize> = (0..power.len()).collect();
+    order.sort_by(|&a, &b| power[b].partial_cmp(&power[a]).unwrap());
+    for &k in order.iter().take(2) {
+        if freqs[k] > 1e-12 {
+            return Some(1.0 / freqs[k]);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut buf = vec![Complex::new(0.0, 0.0); 8];
+        buf[0] = Complex::new(1.0, 0.0);
+        fft_complex(&mut buf);
+        for c in buf {
+            assert!((c.re - 1.0).abs() < 1e-12);
+            assert!(c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_concentrates_at_dc() {
+        let mut buf = vec![Complex::new(1.0, 0.0); 8];
+        fft_complex(&mut buf);
+        assert!((buf[0].re - 8.0).abs() < 1e-12);
+        for c in &buf[1..] {
+            assert!(c.norm_sq() < 1e-20);
+        }
+    }
+
+    #[test]
+    fn periodogram_finds_sine_period() {
+        // 256 samples of a sine with period 16
+        let n = 256;
+        let sig: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 16.0).sin())
+            .collect();
+        let p = dominant_period(&sig).unwrap();
+        assert!((p - 16.0).abs() < 1.0, "detected period {p}");
+    }
+
+    #[test]
+    fn periodogram_non_power_of_two_length() {
+        let n = 300;
+        let sig: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 25.0).sin())
+            .collect();
+        let p = dominant_period(&sig).unwrap();
+        assert!((p - 25.0).abs() < 2.5, "detected period {p}");
+    }
+
+    #[test]
+    fn constant_signal_has_no_dominant_period() {
+        let sig = vec![3.0; 128];
+        assert_eq!(dominant_period(&sig), None);
+    }
+
+    #[test]
+    fn short_signal_is_handled() {
+        assert_eq!(dominant_period(&[1.0]), None);
+        let (f, p) = periodogram(&[]);
+        assert!(f.is_empty() && p.is_empty());
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        // sum |x|^2 == (1/N) sum |X_k|^2 for the DFT
+        let n = 64usize;
+        let x: Vec<f64> = (0..n).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        fft_complex(&mut buf);
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let freq_energy: f64 = buf.iter().map(|c| c.norm_sq()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy);
+    }
+
+    #[test]
+    fn linearity_of_fft() {
+        let n = 32usize;
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let run = |x: &[f64]| -> Vec<Complex> {
+            let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+            fft_complex(&mut buf);
+            buf
+        };
+        let fa = run(&a);
+        let fb = run(&b);
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| 2.0 * x + 3.0 * y).collect();
+        let fs = run(&sum);
+        for k in 0..n {
+            let expect_re = 2.0 * fa[k].re + 3.0 * fb[k].re;
+            let expect_im = 2.0 * fa[k].im + 3.0 * fb[k].im;
+            assert!((fs[k].re - expect_re).abs() < 1e-9, "k={k}");
+            assert!((fs[k].im - expect_im).abs() < 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn mixed_seasonality_detects_stronger_component() {
+        let n = 512;
+        let sig: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64;
+                3.0 * (2.0 * std::f64::consts::PI * t / 32.0).sin()
+                    + 0.5 * (2.0 * std::f64::consts::PI * t / 7.0).sin()
+            })
+            .collect();
+        let p = dominant_period(&sig).unwrap();
+        assert!((p - 32.0).abs() < 2.0, "detected period {p}");
+    }
+}

@@ -1,0 +1,231 @@
+//! Descriptive statistics and (partial) autocorrelation estimators.
+//!
+//! The autocovariance/ACF/PACF routines back both the ARIMA initializers
+//! (Yule–Walker, Hannan–Rissanen) and data-characteristic detectors.
+
+/// Arithmetic mean; 0.0 for empty input.
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    x.iter().sum::<f64>() / x.len() as f64
+}
+
+/// Population variance (divides by n); 0.0 for inputs shorter than 2.
+pub fn variance(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(x: &[f64]) -> f64 {
+    variance(x).sqrt()
+}
+
+/// Median by partial sorting a copy; 0.0 for empty input. NaNs sort last.
+pub fn median(x: &[f64]) -> f64 {
+    quantile(x, 0.5)
+}
+
+/// Linear-interpolated quantile `q ∈ [0, 1]`; 0.0 for empty input.
+pub fn quantile(x: &[f64], q: f64) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let mut v = x.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q.clamp(0.0, 1.0) * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let w = pos - lo as f64;
+        v[lo] * (1.0 - w) + v[hi] * w
+    }
+}
+
+/// Sample autocovariance at `lag` (biased, divides by n).
+pub fn autocovariance(x: &[f64], lag: usize) -> f64 {
+    let n = x.len();
+    if lag >= n {
+        return 0.0;
+    }
+    let m = mean(x);
+    let mut s = 0.0;
+    for i in 0..(n - lag) {
+        s += (x[i] - m) * (x[i + lag] - m);
+    }
+    s / n as f64
+}
+
+/// Sample autocorrelation at `lag`, in `[-1, 1]`. Returns 0 for degenerate
+/// (constant) series.
+pub fn autocorrelation(x: &[f64], lag: usize) -> f64 {
+    let c0 = autocovariance(x, 0);
+    if c0 <= 1e-14 {
+        return 0.0;
+    }
+    autocovariance(x, lag) / c0
+}
+
+/// Partial autocorrelation function up to `max_lag`, computed with the
+/// Durbin–Levinson recursion. `pacf[0]` is defined as 1.
+pub fn partial_autocorrelation(x: &[f64], max_lag: usize) -> Vec<f64> {
+    let max_lag = max_lag.min(x.len().saturating_sub(1));
+    let mut pacf = vec![1.0];
+    if max_lag == 0 {
+        return pacf;
+    }
+    let rho: Vec<f64> = (0..=max_lag).map(|k| autocorrelation(x, k)).collect();
+    // Durbin–Levinson
+    let mut phi_prev = vec![0.0; max_lag + 1]; // phi_{k-1, j}
+    let mut phi = vec![0.0; max_lag + 1];
+    phi[1] = rho[1];
+    pacf.push(rho[1]);
+    for k in 2..=max_lag {
+        std::mem::swap(&mut phi_prev, &mut phi);
+        let mut num = rho[k];
+        let mut den = 1.0;
+        for j in 1..k {
+            num -= phi_prev[j] * rho[k - j];
+            den -= phi_prev[j] * rho[j];
+        }
+        let a = if den.abs() < 1e-14 { 0.0 } else { num / den };
+        phi[k] = a;
+        for j in 1..k {
+            phi[j] = phi_prev[j] - a * phi_prev[k - j];
+        }
+        pacf.push(a);
+    }
+    pacf
+}
+
+/// Indices where the mean-adjusted signal crosses zero (sign changes between
+/// adjacent samples). Used by the zero-crossing look-back estimator (§4.1).
+pub fn zero_crossings(x: &[f64]) -> Vec<usize> {
+    if x.len() < 2 {
+        return Vec::new();
+    }
+    let m = mean(x);
+    let mut idx = Vec::new();
+    let mut prev_sign = 0i8;
+    for (i, &v) in x.iter().enumerate() {
+        let d = v - m;
+        let s: i8 = if d > 0.0 {
+            1
+        } else if d < 0.0 {
+            -1
+        } else {
+            0
+        };
+        if s != 0 {
+            if prev_sign != 0 && s != prev_sign {
+                idx.push(i);
+            }
+            prev_sign = s;
+        }
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basics() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&x), 2.5);
+        assert!((variance(&x) - 1.25).abs() < 1e-12);
+        assert!((std_dev(&x) - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let x = [0.0, 10.0];
+        assert!((quantile(&x, 0.25) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acf_of_white_noise_is_small() {
+        // deterministic pseudo-noise
+        let x: Vec<f64> = (0..500).map(|i| ((i * 2654435761u64 as usize) % 1000) as f64 / 1000.0 - 0.5).collect();
+        assert!(autocorrelation(&x, 0) > 0.999);
+        assert!(autocorrelation(&x, 5).abs() < 0.15);
+    }
+
+    #[test]
+    fn acf_of_ar1_decays_geometrically() {
+        // x_t = 0.8 x_{t-1} + e_t with tiny noise
+        let mut x = vec![0.0f64; 2000];
+        let mut seed = 42u64;
+        for t in 1..2000 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let e = ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+            x[t] = 0.8 * x[t - 1] + 0.1 * e;
+        }
+        let r1 = autocorrelation(&x, 1);
+        let r2 = autocorrelation(&x, 2);
+        assert!((r1 - 0.8).abs() < 0.1, "r1 = {r1}");
+        assert!((r2 - r1 * r1).abs() < 0.15, "r2 = {r2}");
+    }
+
+    #[test]
+    fn pacf_of_ar1_cuts_off_after_lag1() {
+        let mut x = vec![0.0f64; 3000];
+        let mut seed = 7u64;
+        for t in 1..3000 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let e = ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+            x[t] = 0.7 * x[t - 1] + 0.1 * e;
+        }
+        let p = partial_autocorrelation(&x, 5);
+        assert!((p[1] - 0.7).abs() < 0.1, "pacf1 = {}", p[1]);
+        for (k, &v) in p.iter().enumerate().skip(2) {
+            assert!(v.abs() < 0.12, "pacf[{k}] = {v}");
+        }
+    }
+
+    #[test]
+    fn constant_series_has_zero_acf() {
+        let x = vec![4.0; 100];
+        assert_eq!(autocorrelation(&x, 1), 0.0);
+    }
+
+    #[test]
+    fn zero_crossings_of_sine() {
+        let n = 100usize;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 20.0).sin())
+            .collect();
+        let zc = zero_crossings(&x);
+        // sine of period 20 crosses zero every 10 samples
+        assert!(zc.len() >= 8, "got {} crossings", zc.len());
+        let gaps: Vec<usize> = zc.windows(2).map(|w| w[1] - w[0]).collect();
+        let avg = gaps.iter().sum::<usize>() as f64 / gaps.len() as f64;
+        assert!((avg - 10.0).abs() < 1.5, "avg gap {avg}");
+    }
+
+    #[test]
+    fn zero_crossings_of_constant_is_empty() {
+        assert!(zero_crossings(&[2.0; 50]).is_empty());
+        assert!(zero_crossings(&[1.0]).is_empty());
+    }
+}

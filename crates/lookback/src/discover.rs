@@ -1,0 +1,243 @@
+//! End-to-end look-back discovery for univariate and multivariate data.
+
+use autoai_tsdata::{infer_frequency, TimeSeriesFrame};
+
+use crate::estimators::{spectral_lookback, zero_crossing_lookback};
+use crate::influence::influence_order;
+use crate::seasonal::seasonal_periods;
+
+/// Configuration of the look-back discovery process.
+#[derive(Debug, Clone)]
+pub struct LookbackConfig {
+    /// User cap on the look-back length (`None` = uncapped).
+    pub max_look_back: Option<usize>,
+    /// Default value returned when nothing is discovered (paper: 8).
+    pub default: usize,
+    /// Number of windows sampled for influence ranking (paper: ~800).
+    pub influence_samples: usize,
+    /// RNG seed for influence sampling.
+    pub seed: u64,
+}
+
+impl Default for LookbackConfig {
+    fn default() -> Self {
+        Self { max_look_back: Some(256), default: 8, influence_samples: 800, seed: 0 }
+    }
+}
+
+/// How to combine per-series look-backs in the multivariate case (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultivariateMode {
+    /// Option 1: cap violating values by `max(1, max_look_back / n_series)`.
+    Cap,
+    /// Option 2: drop violating values entirely.
+    Drop,
+}
+
+/// Winsorize a copy of the series at `quartiles ± 4 × IQR` — outlier spikes
+/// otherwise shred the zero-crossing estimator (a single spike near the
+/// mean level creates extra crossings and drags the average gap toward 1).
+fn winsorize(series: &[f64]) -> Vec<f64> {
+    if series.len() < 8 {
+        return series.to_vec();
+    }
+    let q1 = autoai_linalg::quantile(series, 0.25);
+    let q3 = autoai_linalg::quantile(series, 0.75);
+    let iqr = (q3 - q1).max(1e-12);
+    let (lo, hi) = (q1 - 4.0 * iqr, q3 + 4.0 * iqr);
+    series.iter().map(|&v| v.clamp(lo, hi)).collect()
+}
+
+/// Discover candidate look-back windows for one univariate series,
+/// ordered by preference (best first). Always returns at least one value.
+pub fn discover_univariate(
+    series: &[f64],
+    timestamps: Option<&[i64]>,
+    config: &LookbackConfig,
+) -> Vec<usize> {
+    let series = &winsorize(series)[..];
+    let mut candidates: Vec<usize> = Vec::new();
+
+    // 1. timestamp-index assessment → seasonal periods
+    let mut periods: Vec<usize> = Vec::new();
+    if let Some(ts) = timestamps {
+        if let Some(freq) = infer_frequency(ts) {
+            periods = seasonal_periods(freq);
+            candidates.extend(periods.iter().copied());
+        }
+    }
+    if periods.is_empty() {
+        // no usable timestamps: fall back to generic period guesses so the
+        // spectral stage still runs at multiple granularities
+        periods = vec![16, 64, 256];
+    }
+
+    // 2a. zero-crossing estimate
+    if let Some(zc) = zero_crossing_lookback(series) {
+        candidates.push(zc);
+    }
+    // 2b. one spectral estimate per seasonal period
+    for &p in &periods {
+        if let Some(sp) = spectral_lookback(series, p) {
+            candidates.push(sp);
+        }
+    }
+
+    // 3. sanity rules (§4.1 post-processing)
+    let n = series.len();
+    candidates.retain(|&lw| lw > 1 && lw < n);
+    if let Some(cap) = config.max_look_back {
+        candidates.retain(|&lw| lw <= cap);
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+    if candidates.is_empty() {
+        // the paper returns the default (8) when nothing is discovered; we
+        // additionally clamp it to the user cap so the contract `lw <=
+        // max_look_back` always holds
+        let fallback = config
+            .max_look_back
+            .map_or(config.default, |cap| config.default.min(cap))
+            .max(2);
+        return vec![fallback];
+    }
+
+    // 4. influence-rank ordering
+    influence_order(series, &candidates, config.influence_samples, config.seed)
+}
+
+/// Multivariate discovery (§4.1): run univariate discovery per series, take
+/// the preferred value of each, then cap or drop values whose flattened
+/// feature width (`lw * n_series`) would exceed `max_look_back`.
+///
+/// The printed condition in the paper is garbled; we reconstruct it as
+/// `lw * num_timeseries > max_look_back`, which matches the stated cap
+/// `max(1, max_look_back / num_timeseries)`.
+pub fn discover_multivariate(
+    frame: &TimeSeriesFrame,
+    config: &LookbackConfig,
+    mode: MultivariateMode,
+) -> Vec<usize> {
+    let n_series = frame.n_series().max(1);
+    let mut lwset: Vec<usize> = (0..frame.n_series())
+        .map(|c| {
+            let mut cfg = config.clone();
+            cfg.seed = config.seed.wrapping_add(c as u64);
+            discover_univariate(frame.series(c), frame.timestamps(), &cfg)[0]
+        })
+        .collect();
+    lwset.sort_unstable();
+    lwset.dedup();
+    // process in descending order, as the paper specifies
+    lwset.reverse();
+
+    let max_lb = config.max_look_back.unwrap_or(usize::MAX);
+    let mut selected: Vec<usize> = Vec::new();
+    for &lw in &lwset {
+        if lw.saturating_mul(n_series) > max_lb {
+            match mode {
+                MultivariateMode::Cap => {
+                    selected.push((max_lb / n_series).max(1));
+                }
+                MultivariateMode::Drop => {}
+            }
+        } else {
+            selected.push(lw);
+        }
+    }
+    selected.sort_unstable();
+    selected.dedup();
+    selected.reverse();
+    if selected.is_empty() {
+        selected.push(config.default.min(max_lb / n_series).max(1));
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seasonal(period: usize, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / period as f64).sin() * 5.0 + 10.0)
+            .collect()
+    }
+
+    #[test]
+    fn discovers_seasonal_period_without_timestamps() {
+        let x = seasonal(24, 600);
+        let lbs = discover_univariate(&x, None, &LookbackConfig::default());
+        // the half-period (zero crossings) or full period should be found
+        assert!(
+            lbs.iter().any(|&l| (l as i64 - 24).abs() <= 2 || (l as i64 - 12).abs() <= 2),
+            "lbs = {lbs:?}"
+        );
+    }
+
+    #[test]
+    fn daily_timestamps_surface_weekly_period() {
+        // weekly pattern on daily data
+        let n = 400;
+        let x: Vec<f64> = (0..n).map(|i| [5., 3., 2., 2., 4., 9., 11.][i % 7]).collect();
+        let ts: Vec<i64> = (0..n as i64).map(|i| i * 86_400).collect();
+        let lbs = discover_univariate(&x, Some(&ts), &LookbackConfig::default());
+        assert!(lbs.contains(&7), "expected 7 in {lbs:?}");
+        // the influence ranking should put 7 at or near the front
+        assert!(lbs.iter().position(|&l| l == 7).unwrap() <= 1, "lbs = {lbs:?}");
+    }
+
+    #[test]
+    fn default_returned_for_degenerate_series() {
+        let x = vec![5.0; 50];
+        let lbs = discover_univariate(&x, None, &LookbackConfig::default());
+        assert_eq!(lbs, vec![8]);
+    }
+
+    #[test]
+    fn sanity_rules_drop_oversized_candidates() {
+        let x = seasonal(6, 40); // short series
+        let cfg = LookbackConfig { max_look_back: Some(10), ..Default::default() };
+        let lbs = discover_univariate(&x, None, &cfg);
+        assert!(lbs.iter().all(|&l| l <= 10 && l > 1), "lbs = {lbs:?}");
+    }
+
+    #[test]
+    fn user_cap_respected() {
+        let x = seasonal(30, 500);
+        let cfg = LookbackConfig { max_look_back: Some(5), ..Default::default() };
+        let lbs = discover_univariate(&x, None, &cfg);
+        assert!(lbs.iter().all(|&l| l <= 5), "lbs = {lbs:?}");
+    }
+
+    #[test]
+    fn multivariate_cap_mode_caps_wide_frames() {
+        // 10 series, each preferring a long look-back
+        let cols: Vec<Vec<f64>> = (0..10).map(|_| seasonal(50, 400)).collect();
+        let frame = TimeSeriesFrame::from_columns(cols);
+        let cfg = LookbackConfig { max_look_back: Some(60), ..Default::default() };
+        let lbs = discover_multivariate(&frame, &cfg, MultivariateMode::Cap);
+        // 50 * 10 = 500 > 60 → capped to max(1, 60/10) = 6
+        assert!(lbs.iter().all(|&l| l * 10 <= 60 || l == 6), "lbs = {lbs:?}");
+        assert!(!lbs.is_empty());
+    }
+
+    #[test]
+    fn multivariate_drop_mode_falls_back_to_default() {
+        let cols: Vec<Vec<f64>> = (0..10).map(|_| seasonal(50, 400)).collect();
+        let frame = TimeSeriesFrame::from_columns(cols);
+        let cfg = LookbackConfig { max_look_back: Some(60), ..Default::default() };
+        let lbs = discover_multivariate(&frame, &cfg, MultivariateMode::Drop);
+        assert!(!lbs.is_empty());
+        assert!(lbs.iter().all(|&l| l * 10 <= 60), "lbs = {lbs:?}");
+    }
+
+    #[test]
+    fn multivariate_small_frames_pass_through() {
+        let cols = vec![seasonal(12, 400), seasonal(12, 400)];
+        let frame = TimeSeriesFrame::from_columns(cols);
+        let lbs = discover_multivariate(&frame, &LookbackConfig::default(), MultivariateMode::Cap);
+        assert!(!lbs.is_empty());
+        assert!(lbs.iter().all(|&l| l > 1));
+    }
+}

@@ -1,0 +1,123 @@
+//! Value-index look-back estimators: zero crossings and spectral analysis.
+
+use autoai_linalg::{periodogram, zero_crossings};
+
+/// Zero-crossing look-back estimate (§4.1): mean-adjust the series, find
+/// sign changes, and return the average distance between adjacent crossing
+/// points. `None` when fewer than two crossings exist (constant or
+/// monotonic data).
+pub fn zero_crossing_lookback(series: &[f64]) -> Option<usize> {
+    let zc = zero_crossings(series);
+    if zc.len() < 2 {
+        return None;
+    }
+    let gaps: f64 = zc.windows(2).map(|w| (w[1] - w[0]) as f64).sum();
+    let avg = gaps / (zc.len() - 1) as f64;
+    let lb = avg.round() as usize;
+    if lb == 0 {
+        None
+    } else {
+        Some(lb)
+    }
+}
+
+/// Spectral look-back estimate for one seasonal period (§4.1): from the
+/// periodogram, select the highest-power frequency among candidates whose
+/// implied period does not exceed `seasonal_period` (we look for structure
+/// *within* one season); the paper's rule of skipping a zero frequency and
+/// using the second-largest power is preserved. Returns the inverse of the
+/// selected frequency rounded to samples.
+pub fn spectral_lookback(series: &[f64], seasonal_period: usize) -> Option<usize> {
+    if series.len() < 4 || seasonal_period < 2 {
+        return None;
+    }
+    let (freqs, power) = periodogram(series);
+    if freqs.is_empty() {
+        return None;
+    }
+    let total: f64 = power.iter().sum();
+    if total <= 1e-12 {
+        return None;
+    }
+    // candidates: period in [2, seasonal_period]
+    let mut order: Vec<usize> = (0..freqs.len())
+        .filter(|&k| {
+            let p = 1.0 / freqs[k];
+            p >= 2.0 && p <= seasonal_period as f64 * 1.05
+        })
+        .collect();
+    if order.is_empty() {
+        return None;
+    }
+    order.sort_by(|&a, &b| power[b].partial_cmp(&power[a]).unwrap());
+    for &k in order.iter().take(2) {
+        if freqs[k] > 1e-12 {
+            let p = (1.0 / freqs[k]).round() as usize;
+            if p >= 2 {
+                return Some(p);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(period: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / period).sin())
+            .collect()
+    }
+
+    #[test]
+    fn zero_crossing_of_sine_is_half_period() {
+        // sine of period 24 crosses the mean every 12 samples
+        let lb = zero_crossing_lookback(&sine(24.0, 480)).unwrap();
+        assert!((lb as i64 - 12).abs() <= 1, "lb = {lb}");
+    }
+
+    #[test]
+    fn zero_crossing_none_for_constant() {
+        assert_eq!(zero_crossing_lookback(&[3.0; 100]), None);
+    }
+
+    #[test]
+    fn zero_crossing_none_for_monotonic() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        // a monotonic ramp crosses its mean exactly once
+        assert_eq!(zero_crossing_lookback(&x), None);
+    }
+
+    #[test]
+    fn spectral_finds_sine_period() {
+        let lb = spectral_lookback(&sine(16.0, 512), 100).unwrap();
+        assert!((lb as i64 - 16).abs() <= 1, "lb = {lb}");
+    }
+
+    #[test]
+    fn spectral_respects_seasonal_cap() {
+        // dominant period 64 but cap at 20 → must pick the secondary at 8
+        let n = 1024;
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64;
+                5.0 * (2.0 * std::f64::consts::PI * t / 64.0).sin()
+                    + 1.0 * (2.0 * std::f64::consts::PI * t / 8.0).sin()
+            })
+            .collect();
+        let lb = spectral_lookback(&x, 20).unwrap();
+        assert!((lb as i64 - 8).abs() <= 1, "lb = {lb}");
+    }
+
+    #[test]
+    fn spectral_none_for_flat_series() {
+        assert_eq!(spectral_lookback(&[1.0; 256], 50), None);
+    }
+
+    #[test]
+    fn spectral_none_for_tiny_input() {
+        assert_eq!(spectral_lookback(&[1.0, 2.0, 3.0], 10), None);
+    }
+}

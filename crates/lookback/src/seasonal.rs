@@ -1,0 +1,69 @@
+//! Table 1: mapping from data frequency to candidate seasonal periods.
+//!
+//! "if discovered data frequency is 1D, the possible seasonal periods are 7
+//! (1W), 30 (1M), 365.25 (1Y), and so on."
+
+use autoai_tsdata::Frequency;
+
+/// Candidate seasonal periods (in number of observations) for a sampling
+/// frequency, reproducing Table 1 of the paper. Fractional periods (365.25
+/// for daily/yearly) are rounded to the nearest integer; the trivial period
+/// 1 is excluded (the paper's sanity rules drop it anyway).
+pub fn seasonal_periods(freq: Frequency) -> Vec<usize> {
+    let raw: &[f64] = match freq {
+        Frequency::Years => &[],
+        Frequency::Months => &[12.0],
+        Frequency::Weeks => &[4.0, 52.0],
+        Frequency::Days => &[7.0, 30.0, 365.25],
+        Frequency::Hours => &[24.0, 168.0, 720.0, 8766.0],
+        Frequency::Minutes => &[60.0, 1440.0, 10080.0, 43200.0, 525960.0],
+        Frequency::Seconds => &[60.0, 3600.0, 86400.0, 604800.0, 2592000.0, 31557600.0],
+    };
+    raw.iter().map(|&p| p.round() as usize).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daily_maps_to_week_month_year() {
+        assert_eq!(seasonal_periods(Frequency::Days), vec![7, 30, 365]);
+    }
+
+    #[test]
+    fn hourly_maps_to_table1_row() {
+        assert_eq!(seasonal_periods(Frequency::Hours), vec![24, 168, 720, 8766]);
+    }
+
+    #[test]
+    fn minutes_row_matches_table1() {
+        assert_eq!(
+            seasonal_periods(Frequency::Minutes),
+            vec![60, 1440, 10080, 43200, 525960]
+        );
+    }
+
+    #[test]
+    fn seconds_row_matches_table1() {
+        assert_eq!(
+            seasonal_periods(Frequency::Seconds),
+            vec![60, 3600, 86400, 604800, 2592000, 31557600]
+        );
+    }
+
+    #[test]
+    fn monthly_maps_to_year() {
+        assert_eq!(seasonal_periods(Frequency::Months), vec![12]);
+    }
+
+    #[test]
+    fn weekly_maps_to_month_and_year() {
+        assert_eq!(seasonal_periods(Frequency::Weeks), vec![4, 52]);
+    }
+
+    #[test]
+    fn yearly_has_no_super_period() {
+        assert!(seasonal_periods(Frequency::Years).is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! k-nearest-neighbour regression (Euclidean), the engine behind the Motif
+//! baseline simulator: forecast by finding historical windows most similar
+//! to the current one.
+
+use autoai_linalg::Matrix;
+
+use crate::api::{MlError, Regressor};
+
+/// Distance-weighted k-NN regressor.
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    /// Number of neighbours.
+    pub k: usize,
+    /// Inverse-distance weighting (uniform when false).
+    pub weighted: bool,
+    train_x: Matrix,
+    train_y: Vec<f64>,
+}
+
+impl KnnRegressor {
+    /// New k-NN regressor with `k` neighbours.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be >= 1");
+        Self { k, weighted: true, train_x: Matrix::zeros(0, 0), train_y: Vec::new() }
+    }
+}
+
+impl Regressor for KnnRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
+        if x.nrows() == 0 {
+            return Err(MlError::new("knn: no samples"));
+        }
+        if x.nrows() != y.len() {
+            return Err(MlError::new("knn: X/y row mismatch"));
+        }
+        self.train_x = x.clone();
+        self.train_y = y.to_vec();
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        assert!(!self.train_y.is_empty(), "KnnRegressor::predict before fit");
+        let n = self.train_x.nrows();
+        let k = self.k.min(n);
+        // partial selection of the k smallest distances
+        let mut dists: Vec<(f64, usize)> = (0..n)
+            .map(|i| {
+                let d: f64 = self
+                    .train_x
+                    .row(i)
+                    .iter()
+                    .zip(row)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                (d, i)
+            })
+            .collect();
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let neighbours = &dists[..k];
+        if self.weighted {
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for &(d, i) in neighbours {
+                let w = 1.0 / (d.sqrt() + 1e-9);
+                num += w * self.train_y[i];
+                den += w;
+            }
+            num / den
+        } else {
+            neighbours.iter().map(|&(_, i)| self.train_y[i]).sum::<f64>() / k as f64
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "knn"
+    }
+
+    fn clone_unfitted(&self) -> Box<dyn Regressor> {
+        let mut c = Self::new(self.k);
+        c.weighted = self.weighted;
+        Box::new(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_neighbour_match() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![10.0], vec![20.0]]);
+        let mut m = KnnRegressor::new(1);
+        m.fit(&x, &[1.0, 2.0, 3.0]).unwrap();
+        assert!((m.predict_row(&[10.0]) - 2.0).abs() < 1e-9);
+        assert!((m.predict_row(&[19.0]) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_clamps() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let mut m = KnnRegressor::new(10);
+        m.weighted = false;
+        m.fit(&x, &[2.0, 4.0]).unwrap();
+        assert!((m.predict_row(&[0.5]) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_prediction_favours_closer() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![10.0]]);
+        let mut m = KnnRegressor::new(2);
+        m.fit(&x, &[0.0, 100.0]).unwrap();
+        let p = m.predict_row(&[1.0]);
+        assert!(p < 50.0, "closer neighbour should dominate: {p}");
+    }
+
+    #[test]
+    fn smooth_function_regression() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0].cos()).collect();
+        let x = Matrix::from_rows(&rows);
+        let mut m = KnnRegressor::new(3);
+        m.fit(&x, &y).unwrap();
+        let p = m.predict_row(&[5.05]);
+        assert!((p - 5.05f64.cos()).abs() < 0.05, "{p}");
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(KnnRegressor::new(3).fit(&Matrix::zeros(0, 1), &[]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be >= 1")]
+    fn zero_k_rejected() {
+        let _ = KnnRegressor::new(0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Machine-learning regressors implemented from scratch.
+//!
+//! §3 of the paper: "We also include Machine Learning models (ML) such as
+//! Random-Forest, XGBoost, Linear Regression, SGD Regression" — plus the
+//! Support Vector Regression behind the WindowSVR pipeline. None of these
+//! exist as mature Rust crates, so this crate builds them all: CART trees,
+//! bootstrap-aggregated random forests (rayon-parallel), second-order
+//! gradient-boosted trees in the XGBoost style, OLS/ridge linear models, an
+//! SGD regressor, ε-insensitive linear SVR, RBF kernel ridge (the nonlinear
+//! SVR stand-in, see DESIGN.md), and a k-NN regressor used by the Motif
+//! baseline.
+//!
+//! Everything implements the [`Regressor`] trait and can be lifted to
+//! multi-output problems (forecast horizons) with [`MultiOutputRegressor`].
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod forest;
+pub mod gbm;
+pub mod knn;
+pub mod linear;
+pub mod svr;
+pub mod tree;
+
+pub use api::{MlError, MultiOutputRegressor, Regressor};
+pub use forest::{RandomForestConfig, RandomForestRegressor};
+pub use gbm::{GradientBoostingConfig, GradientBoostingRegressor};
+pub use knn::KnnRegressor;
+pub use linear::{LinearRegression, RidgeRegression, SgdConfig, SgdRegressor};
+pub use svr::{KernelRidgeSvr, LinearSvr, SvrConfig};
+pub use tree::{DecisionTreeConfig, DecisionTreeRegressor};

@@ -1,0 +1,324 @@
+//! CART regression tree with variance-reduction splits.
+//!
+//! The building block of both the random forest and the gradient-boosted
+//! ensemble. Splits minimize the weighted sum of child variances; candidate
+//! thresholds come from sorting the node's samples per feature, and features
+//! can be subsampled per split (`max_features`) for forest decorrelation.
+
+use autoai_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::api::{MlError, Regressor};
+
+/// Hyperparameters of a regression tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTreeConfig {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+    /// Minimum samples in each leaf.
+    pub min_samples_leaf: usize,
+    /// Features considered per split (`None` = all).
+    pub max_features: Option<usize>,
+    /// RNG seed for feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for DecisionTreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 12, min_samples_split: 2, min_samples_leaf: 1, max_features: None, seed: 0 }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted CART regression tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTreeRegressor {
+    config: DecisionTreeConfig,
+    nodes: Vec<Node>,
+}
+
+impl DecisionTreeRegressor {
+    /// New tree with default hyperparameters.
+    pub fn new() -> Self {
+        Self::with_config(DecisionTreeConfig::default())
+    }
+
+    /// New tree with explicit hyperparameters.
+    pub fn with_config(config: DecisionTreeConfig) -> Self {
+        Self { config, nodes: Vec::new() }
+    }
+
+    /// Fit on the samples selected by `indices` (bootstrap support).
+    pub fn fit_indices(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        indices: &[usize],
+    ) -> Result<(), MlError> {
+        if indices.is_empty() {
+            return Err(MlError::new("decision tree: no training samples"));
+        }
+        if x.nrows() != y.len() {
+            return Err(MlError::new("decision tree: X/y row mismatch"));
+        }
+        self.nodes.clear();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut idx = indices.to_vec();
+        self.build(x, y, &mut idx, 0, &mut rng);
+        Ok(())
+    }
+
+    /// Recursively grow the tree over `idx`; returns the new node's index.
+    fn build(&mut self, x: &Matrix, y: &[f64], idx: &mut [usize], depth: usize, rng: &mut StdRng) -> usize {
+        let n = idx.len();
+        let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / n as f64;
+        let node_var: f64 = idx.iter().map(|&i| (y[i] - mean) * (y[i] - mean)).sum();
+
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            nodes.push(Node::Leaf { value: mean });
+            nodes.len() - 1
+        };
+
+        if depth >= self.config.max_depth
+            || n < self.config.min_samples_split
+            || n < 2 * self.config.min_samples_leaf
+            || node_var < 1e-12
+        {
+            return make_leaf(&mut self.nodes);
+        }
+
+        // choose candidate features
+        let d = x.ncols();
+        let mut features: Vec<usize> = (0..d).collect();
+        if let Some(mf) = self.config.max_features {
+            if mf < d {
+                features.shuffle(rng);
+                features.truncate(mf.max(1));
+            }
+        }
+
+        // best split: minimize sum of child SSEs via sorted prefix scan
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+        let min_leaf = self.config.min_samples_leaf;
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        for &f in &features {
+            order.clear();
+            order.extend_from_slice(idx);
+            order.sort_by(|&a, &b| {
+                x[(a, f)].partial_cmp(&x[(b, f)]).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            // prefix sums of y and y²
+            let mut sum_l = 0.0;
+            let mut sq_l = 0.0;
+            let total_sum: f64 = order.iter().map(|&i| y[i]).sum();
+            let total_sq: f64 = order.iter().map(|&i| y[i] * y[i]).sum();
+            for k in 0..n - 1 {
+                let yi = y[order[k]];
+                sum_l += yi;
+                sq_l += yi * yi;
+                let n_l = (k + 1) as f64;
+                let n_r = (n - k - 1) as f64;
+                // no split between equal feature values
+                let v_cur = x[(order[k], f)];
+                let v_next = x[(order[k + 1], f)];
+                if v_next - v_cur < 1e-12 {
+                    continue;
+                }
+                if (k + 1) < min_leaf || (n - k - 1) < min_leaf {
+                    continue;
+                }
+                let sse_l = sq_l - sum_l * sum_l / n_l;
+                let sum_r = total_sum - sum_l;
+                let sse_r = (total_sq - sq_l) - sum_r * sum_r / n_r;
+                let score = sse_l + sse_r;
+                if best.as_ref().is_none_or(|&(_, _, s)| score < s - 1e-12) {
+                    best = Some((f, (v_cur + v_next) / 2.0, score));
+                }
+            }
+        }
+
+        let Some((feature, threshold, score)) = best else {
+            return make_leaf(&mut self.nodes);
+        };
+        if score >= node_var - 1e-12 {
+            // no variance reduction
+            return make_leaf(&mut self.nodes);
+        }
+
+        // partition in place
+        let mid = itertools_partition(idx, |&i| x[(i, feature)] <= threshold);
+        if mid == 0 || mid == n {
+            return make_leaf(&mut self.nodes);
+        }
+        // reserve our slot before recursing
+        let slot = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: mean });
+        let (left_idx, right_idx) = idx.split_at_mut(mid);
+        let left = self.build(x, y, left_idx, depth + 1, rng);
+        let right = self.build(x, y, right_idx, depth + 1, rng);
+        self.nodes[slot] = Node::Split { feature, threshold, left, right };
+        slot
+    }
+
+    /// Number of nodes in the fitted tree.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Stable partition returning the split point (true-block length).
+fn itertools_partition(idx: &mut [usize], pred: impl Fn(&usize) -> bool) -> usize {
+    let mut tmp: Vec<usize> = Vec::with_capacity(idx.len());
+    let mut mid = 0;
+    for &i in idx.iter() {
+        if pred(&i) {
+            mid += 1;
+        }
+    }
+    tmp.extend(idx.iter().copied().filter(|i| pred(i)));
+    tmp.extend(idx.iter().copied().filter(|i| !pred(i)));
+    idx.copy_from_slice(&tmp);
+    mid
+}
+
+impl Default for DecisionTreeRegressor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Regressor for DecisionTreeRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
+        let indices: Vec<usize> = (0..x.nrows()).collect();
+        self.fit_indices(x, y, &indices)
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        assert!(!self.nodes.is_empty(), "DecisionTree::predict before fit");
+        let mut cur = 0usize;
+        loop {
+            match &self.nodes[cur] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    cur = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "decision_tree"
+    }
+
+    fn clone_unfitted(&self) -> Box<dyn Regressor> {
+        Box::new(Self::with_config(self.config.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> (Matrix, Vec<f64>) {
+        // y = 1 for x < 5, y = 10 for x >= 5
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i < 5 { 1.0 } else { 10.0 }).collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn splits_step_function_exactly() {
+        let (x, y) = step_data();
+        let mut t = DecisionTreeRegressor::new();
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.predict_row(&[2.0]), 1.0);
+        assert_eq!(t.predict_row(&[7.0]), 10.0);
+        assert_eq!(t.predict_row(&[4.4]), 1.0);
+        assert_eq!(t.predict_row(&[4.6]), 10.0);
+    }
+
+    #[test]
+    fn depth_zero_gives_mean_leaf() {
+        let (x, y) = step_data();
+        let cfg = DecisionTreeConfig { max_depth: 0, ..Default::default() };
+        let mut t = DecisionTreeRegressor::with_config(cfg);
+        t.fit(&x, &y).unwrap();
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        assert!((t.predict_row(&[0.0]) - mean).abs() < 1e-12);
+        assert_eq!(t.n_nodes(), 1);
+    }
+
+    #[test]
+    fn constant_target_single_leaf() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let mut t = DecisionTreeRegressor::new();
+        t.fit(&x, &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(t.n_nodes(), 1);
+        assert_eq!(t.predict_row(&[99.0]), 5.0);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let (x, y) = step_data();
+        let cfg = DecisionTreeConfig { min_samples_leaf: 8, ..Default::default() };
+        let mut t = DecisionTreeRegressor::with_config(cfg);
+        t.fit(&x, &y).unwrap();
+        // the only pure split (at 5) would create a 5-sample leaf; with
+        // min_samples_leaf=8 any split must keep >= 8 on each side
+        // → tree can still split but both leaves have >= 8 samples.
+        // verify indirectly: prediction at x=0 mixes some high values
+        let p = t.predict_row(&[0.0]);
+        assert!(p > 1.0, "leaf constrained to >= 8 samples must mix classes, got {p}");
+    }
+
+    #[test]
+    fn two_feature_selection() {
+        // only feature 1 matters: y = 100 * x1
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 3) as f64, if i < 15 { 0.0 } else { 1.0 }])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 100.0 * r[1]).collect();
+        let x = Matrix::from_rows(&rows);
+        let mut t = DecisionTreeRegressor::new();
+        t.fit(&x, &y).unwrap();
+        assert_eq!(t.predict_row(&[2.0, 0.0]), 0.0);
+        assert_eq!(t.predict_row(&[0.0, 1.0]), 100.0);
+    }
+
+    #[test]
+    fn nonlinear_function_approximation() {
+        let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 20.0]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| (r[0]).sin()).collect();
+        let x = Matrix::from_rows(&rows);
+        let mut t = DecisionTreeRegressor::new();
+        t.fit(&x, &y).unwrap();
+        let mut max_err = 0.0f64;
+        for (r, truth) in rows.iter().zip(&y) {
+            max_err = max_err.max((t.predict_row(r) - truth).abs());
+        }
+        assert!(max_err < 0.05, "max in-sample error {max_err}");
+    }
+
+    #[test]
+    fn empty_fit_rejected() {
+        let x = Matrix::zeros(0, 1);
+        let mut t = DecisionTreeRegressor::new();
+        assert!(t.fit(&x, &[]).is_err());
+    }
+}

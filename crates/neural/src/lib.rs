@@ -1,0 +1,14 @@
+//! Minimal dense neural networks with manual backpropagation.
+//!
+//! The deep-learning members of the AutoAI-TS model zoo (and the DeepAR /
+//! N-BEATS baseline simulators) need a small, dependable feed-forward
+//! substrate rather than a full autograd framework. This crate provides a
+//! multilayer perceptron with ReLU/tanh activations, mini-batch Adam, MSE
+//! and Gaussian negative-log-likelihood heads (the latter for DeepAR-style
+//! probabilistic forecasts), and internal input/output standardization.
+
+#![warn(missing_docs)]
+
+pub mod mlp;
+
+pub use mlp::{Activation, Loss, Mlp, MlpConfig, NnError};

@@ -1,0 +1,499 @@
+//! Multilayer perceptron with manual backprop and Adam.
+
+use autoai_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Error raised by network construction or training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NnError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl NnError {
+    fn new(msg: impl Into<String>) -> Self {
+        Self { message: msg.into() }
+    }
+}
+
+impl std::fmt::Display for NnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "nn error: {}", self.message)
+    }
+}
+
+impl std::error::Error for NnError {}
+
+/// Hidden-layer activation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    #[inline]
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    #[inline]
+    fn grad(self, activated: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if activated > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - activated * activated,
+        }
+    }
+}
+
+/// Training objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loss {
+    /// Mean squared error; output layer has `n_outputs` units.
+    Mse,
+    /// Gaussian negative log-likelihood (DeepAR-style); the output layer has
+    /// `2 * n_outputs` units interpreted as `(μ_i, log σ²_i)` pairs.
+    GaussianNll,
+}
+
+/// Hyperparameters of the MLP.
+#[derive(Debug, Clone)]
+pub struct MlpConfig {
+    /// Hidden layer widths (e.g. `[40, 40]` for the DeepAR default).
+    pub hidden: Vec<usize>,
+    /// Hidden activation.
+    pub activation: Activation,
+    /// Training loss / output head.
+    pub loss: Loss,
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// L2 weight decay.
+    pub weight_decay: f64,
+    /// RNG seed (init + shuffling).
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![40, 40],
+            activation: Activation::Relu,
+            loss: Loss::Mse,
+            epochs: 60,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            weight_decay: 1e-5,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-tensor Adam state.
+#[derive(Debug, Clone)]
+struct Adam {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    fn new(len: usize) -> Self {
+        Self { m: vec![0.0; len], v: vec![0.0; len], t: 0 }
+    }
+
+    fn step(&mut self, params: &mut [f64], grads: &[f64], lr: f64, wd: f64) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        self.t += 1;
+        let t = self.t as f64;
+        let bc1 = 1.0 - B1.powf(t);
+        let bc2 = 1.0 - B2.powf(t);
+        for i in 0..params.len() {
+            let g = grads[i] + wd * params[i];
+            self.m[i] = B1 * self.m[i] + (1.0 - B1) * g;
+            self.v[i] = B2 * self.v[i] + (1.0 - B2) * g * g;
+            let mhat = self.m[i] / bc1;
+            let vhat = self.v[i] / bc2;
+            params[i] -= lr * mhat / (vhat.sqrt() + EPS);
+        }
+    }
+}
+
+/// A dense feed-forward network.
+pub struct Mlp {
+    config: MlpConfig,
+    /// Layer weight matrices, `weights[l]` is `fan_out x fan_in` (row-major flat).
+    weights: Vec<Vec<f64>>,
+    biases: Vec<Vec<f64>>,
+    /// `(fan_in, fan_out)` per layer.
+    dims: Vec<(usize, usize)>,
+    w_adam: Vec<Adam>,
+    b_adam: Vec<Adam>,
+    n_outputs: usize,
+    feature_stats: Vec<(f64, f64)>,
+    target_stats: Vec<(f64, f64)>,
+}
+
+impl Mlp {
+    /// New unfitted network.
+    pub fn new(config: MlpConfig) -> Self {
+        Self {
+            config,
+            weights: Vec::new(),
+            biases: Vec::new(),
+            dims: Vec::new(),
+            w_adam: Vec::new(),
+            b_adam: Vec::new(),
+            n_outputs: 0,
+            feature_stats: Vec::new(),
+            target_stats: Vec::new(),
+        }
+    }
+
+    fn init(&mut self, n_in: usize, n_out_units: usize, rng: &mut StdRng) {
+        let mut sizes = vec![n_in];
+        sizes.extend(&self.config.hidden);
+        sizes.push(n_out_units);
+        self.weights.clear();
+        self.biases.clear();
+        self.dims.clear();
+        self.w_adam.clear();
+        self.b_adam.clear();
+        for w in sizes.windows(2) {
+            let (fan_in, fan_out) = (w[0], w[1]);
+            // He/Xavier-ish init
+            let scale = (2.0 / fan_in as f64).sqrt();
+            let weights: Vec<f64> =
+                (0..fan_in * fan_out).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale).collect();
+            self.w_adam.push(Adam::new(weights.len()));
+            self.b_adam.push(Adam::new(fan_out));
+            self.weights.push(weights);
+            self.biases.push(vec![0.0; fan_out]);
+            self.dims.push((fan_in, fan_out));
+        }
+    }
+
+    /// Forward pass storing activations per layer (index 0 = input).
+    fn forward(&self, input: &[f64]) -> Vec<Vec<f64>> {
+        let n_layers = self.weights.len();
+        let mut acts = Vec::with_capacity(n_layers + 1);
+        acts.push(input.to_vec());
+        for l in 0..n_layers {
+            let (fan_in, fan_out) = self.dims[l];
+            let prev = &acts[l];
+            let mut out = vec![0.0; fan_out];
+            for (o, outv) in out.iter_mut().enumerate() {
+                let row = &self.weights[l][o * fan_in..(o + 1) * fan_in];
+                let mut s = self.biases[l][o];
+                for (w, p) in row.iter().zip(prev) {
+                    s += w * p;
+                }
+                *outv = if l + 1 == n_layers { s } else { self.config.activation.apply(s) };
+            }
+            acts.push(out);
+        }
+        acts
+    }
+
+    /// Train on `x` (`n x d`) and targets `y` (`n x k`).
+    pub fn fit(&mut self, x: &Matrix, y: &Matrix) -> Result<(), NnError> {
+        let n = x.nrows();
+        if n == 0 {
+            return Err(NnError::new("no training samples"));
+        }
+        if y.nrows() != n {
+            return Err(NnError::new("X/y row mismatch"));
+        }
+        self.n_outputs = y.ncols();
+        let out_units = match self.config.loss {
+            Loss::Mse => self.n_outputs,
+            Loss::GaussianNll => 2 * self.n_outputs,
+        };
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        self.init(x.ncols(), out_units, &mut rng);
+
+        // standardization
+        self.feature_stats = (0..x.ncols())
+            .map(|c| {
+                let col = x.col(c);
+                (autoai_linalg::mean(&col), autoai_linalg::std_dev(&col).max(1e-9))
+            })
+            .collect();
+        self.target_stats = (0..y.ncols())
+            .map(|c| {
+                let col = y.col(c);
+                (autoai_linalg::mean(&col), autoai_linalg::std_dev(&col).max(1e-9))
+            })
+            .collect();
+
+        let mut order: Vec<usize> = (0..n).collect();
+        let n_layers = self.weights.len();
+        let bs = self.config.batch_size.max(1);
+        // gradient accumulators
+        let mut gw: Vec<Vec<f64>> = self.weights.iter().map(|w| vec![0.0; w.len()]).collect();
+        let mut gb: Vec<Vec<f64>> = self.biases.iter().map(|b| vec![0.0; b.len()]).collect();
+
+        for _epoch in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(bs) {
+                for g in gw.iter_mut() {
+                    g.iter_mut().for_each(|v| *v = 0.0);
+                }
+                for g in gb.iter_mut() {
+                    g.iter_mut().for_each(|v| *v = 0.0);
+                }
+                for &i in chunk {
+                    let input: Vec<f64> = x
+                        .row(i)
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &v)| (v - self.feature_stats[j].0) / self.feature_stats[j].1)
+                        .collect();
+                    let target: Vec<f64> = y
+                        .row(i)
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &v)| (v - self.target_stats[j].0) / self.target_stats[j].1)
+                        .collect();
+                    let acts = self.forward(&input);
+                    // output-layer delta
+                    let out = &acts[n_layers];
+                    let mut delta: Vec<f64> = match self.config.loss {
+                        Loss::Mse => out.iter().zip(&target).map(|(p, t)| p - t).collect(),
+                        Loss::GaussianNll => {
+                            // out = [μ_0..μ_{k-1}, logv_0..logv_{k-1}]
+                            let k = self.n_outputs;
+                            let mut d = vec![0.0; 2 * k];
+                            for j in 0..k {
+                                let mu = out[j];
+                                let logv = out[k + j].clamp(-10.0, 10.0);
+                                let var = logv.exp();
+                                let diff = mu - target[j];
+                                d[j] = diff / var;
+                                d[k + j] = 0.5 * (1.0 - diff * diff / var);
+                            }
+                            d
+                        }
+                    };
+                    // backprop
+                    for l in (0..n_layers).rev() {
+                        let (fan_in, fan_out) = self.dims[l];
+                        let prev = &acts[l];
+                        for (o, &d) in delta.iter().enumerate().take(fan_out) {
+                            gb[l][o] += d;
+                            let grow = &mut gw[l][o * fan_in..(o + 1) * fan_in];
+                            for (g, p) in grow.iter_mut().zip(prev) {
+                                *g += d * p;
+                            }
+                        }
+                        if l > 0 {
+                            let mut new_delta = vec![0.0; fan_in];
+                            for (o, &d) in delta.iter().enumerate().take(fan_out) {
+                                let row = &self.weights[l][o * fan_in..(o + 1) * fan_in];
+                                for (nd, w) in new_delta.iter_mut().zip(row) {
+                                    *nd += d * w;
+                                }
+                            }
+                            // activation gradient of layer l's output
+                            for (nd, &a) in new_delta.iter_mut().zip(&acts[l]) {
+                                *nd *= self.config.activation.grad(a);
+                            }
+                            delta = new_delta;
+                        }
+                    }
+                }
+                // Adam step with batch-mean gradients
+                let inv = 1.0 / chunk.len() as f64;
+                for l in 0..n_layers {
+                    gw[l].iter_mut().for_each(|g| *g *= inv);
+                    gb[l].iter_mut().for_each(|g| *g *= inv);
+                    self.w_adam[l].step(
+                        &mut self.weights[l],
+                        &gw[l],
+                        self.config.learning_rate,
+                        self.config.weight_decay,
+                    );
+                    self.b_adam[l].step(&mut self.biases[l], &gb[l], self.config.learning_rate, 0.0);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Predict the mean output for one feature row (denormalized).
+    pub fn predict_row(&self, row: &[f64]) -> Vec<f64> {
+        assert!(!self.weights.is_empty(), "Mlp::predict before fit");
+        let input: Vec<f64> = row
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| (v - self.feature_stats[j].0) / self.feature_stats[j].1)
+            .collect();
+        let acts = self.forward(&input);
+        let out = &acts[acts.len() - 1];
+        (0..self.n_outputs)
+            .map(|j| out[j] * self.target_stats[j].1 + self.target_stats[j].0)
+            .collect()
+    }
+
+    /// Predict `(mean, std)` per output (std meaningful only for
+    /// [`Loss::GaussianNll`]; it is 0 for MSE heads).
+    pub fn predict_distribution(&self, row: &[f64]) -> Vec<(f64, f64)> {
+        assert!(!self.weights.is_empty(), "Mlp::predict before fit");
+        let input: Vec<f64> = row
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| (v - self.feature_stats[j].0) / self.feature_stats[j].1)
+            .collect();
+        let acts = self.forward(&input);
+        let out = &acts[acts.len() - 1];
+        (0..self.n_outputs)
+            .map(|j| {
+                let mu = out[j] * self.target_stats[j].1 + self.target_stats[j].0;
+                let sd = match self.config.loss {
+                    Loss::Mse => 0.0,
+                    Loss::GaussianNll => {
+                        let logv = out[self.n_outputs + j].clamp(-10.0, 10.0);
+                        (logv.exp()).sqrt() * self.target_stats[j].1
+                    }
+                };
+                (mu, sd)
+            })
+            .collect()
+    }
+
+    /// Batch prediction of means (`n x k`).
+    pub fn predict(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.nrows(), self.n_outputs);
+        for r in 0..x.nrows() {
+            let p = self.predict_row(x.row(r));
+            out.row_mut(r).copy_from_slice(&p);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_like() -> (Matrix, Matrix) {
+        // smooth XOR-ish: y = x0 * (1 - x1) + x1 * (1 - x0)
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..200 {
+            let a = (i % 20) as f64 / 20.0;
+            let b = (i / 20) as f64 / 10.0;
+            rows.push(vec![a, b]);
+            ys.push(vec![a * (1.0 - b) + b * (1.0 - a)]);
+        }
+        (Matrix::from_rows(&rows), Matrix::from_rows(&ys))
+    }
+
+    #[test]
+    fn learns_linear_function_fast() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let ys: Vec<Vec<f64>> = rows.iter().map(|r| vec![3.0 * r[0] + 2.0]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y = Matrix::from_rows(&ys);
+        let cfg = MlpConfig { hidden: vec![16], epochs: 200, ..Default::default() };
+        let mut net = Mlp::new(cfg);
+        net.fit(&x, &y).unwrap();
+        let p = net.predict_row(&[50.0]);
+        assert!((p[0] - 152.0).abs() < 8.0, "pred {p:?}");
+    }
+
+    #[test]
+    fn learns_nonlinear_function() {
+        let (x, y) = xor_like();
+        let cfg = MlpConfig { hidden: vec![32, 32], epochs: 300, learning_rate: 3e-3, ..Default::default() };
+        let mut net = Mlp::new(cfg);
+        net.fit(&x, &y).unwrap();
+        let preds = net.predict(&x);
+        let mut mae = 0.0;
+        for r in 0..x.nrows() {
+            mae += (preds[(r, 0)] - y[(r, 0)]).abs();
+        }
+        mae /= x.nrows() as f64;
+        assert!(mae < 0.08, "nonlinear MAE {mae}");
+    }
+
+    #[test]
+    fn multi_output_regression() {
+        let rows: Vec<Vec<f64>> = (0..120).map(|i| vec![i as f64 / 12.0]).collect();
+        let ys: Vec<Vec<f64>> = rows.iter().map(|r| vec![r[0].sin(), r[0].cos()]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y = Matrix::from_rows(&ys);
+        let cfg = MlpConfig { hidden: vec![32, 32], epochs: 400, learning_rate: 3e-3, ..Default::default() };
+        let mut net = Mlp::new(cfg);
+        net.fit(&x, &y).unwrap();
+        let p = net.predict_row(&[5.0]);
+        assert!((p[0] - 5.0f64.sin()).abs() < 0.2, "{p:?}");
+        assert!((p[1] - 5.0f64.cos()).abs() < 0.2, "{p:?}");
+    }
+
+    #[test]
+    fn gaussian_head_estimates_uncertainty() {
+        // heteroscedastic data: noise grows with x
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        let mut s = 31u64;
+        for i in 0..600 {
+            let xv = (i % 100) as f64 / 100.0;
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let e = ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+            rows.push(vec![xv]);
+            ys.push(vec![2.0 * xv + e * (0.05 + 0.5 * xv)]);
+        }
+        let x = Matrix::from_rows(&rows);
+        let y = Matrix::from_rows(&ys);
+        let cfg = MlpConfig {
+            hidden: vec![24, 24],
+            loss: Loss::GaussianNll,
+            epochs: 250,
+            learning_rate: 3e-3,
+            ..Default::default()
+        };
+        let mut net = Mlp::new(cfg);
+        net.fit(&x, &y).unwrap();
+        let lo = net.predict_distribution(&[0.05]);
+        let hi = net.predict_distribution(&[0.95]);
+        assert!(hi[0].1 > lo[0].1, "std should grow with x: {} vs {}", hi[0].1, lo[0].1);
+        assert!((hi[0].0 - 1.9).abs() < 0.5, "mean at 0.95: {}", hi[0].0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = xor_like();
+        let cfg = MlpConfig { hidden: vec![8], epochs: 20, seed: 5, ..Default::default() };
+        let mut a = Mlp::new(cfg.clone());
+        let mut b = Mlp::new(cfg);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.predict_row(&[0.3, 0.7]), b.predict_row(&[0.3, 0.7]));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let mut net = Mlp::new(MlpConfig::default());
+        assert!(net.fit(&Matrix::zeros(0, 2), &Matrix::zeros(0, 1)).is_err());
+    }
+}

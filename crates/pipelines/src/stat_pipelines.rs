@@ -1,0 +1,567 @@
+//! Pipelines wrapping the statistical models (one model per series) plus
+//! the fast linear MT2RForecaster and the neural pipeline.
+
+use autoai_ml_models::{LinearRegression, MultiOutputRegressor};
+use autoai_neural::{Mlp, MlpConfig};
+use autoai_stat_models::{
+    auto_arima, Arima, Bats, BatsConfig, HoltWinters, Seasonality, ThetaModel, ZeroModel,
+};
+use autoai_transforms::{flatten_windows, latest_window};
+use autoai_tsdata::TimeSeriesFrame;
+
+use crate::traits::{Forecaster, PipelineError};
+
+fn forecast_frame(
+    names: &[String],
+    forecasts: Vec<Vec<f64>>,
+) -> TimeSeriesFrame {
+    let mut f = TimeSeriesFrame::from_columns(forecasts);
+    if f.n_series() == names.len() {
+        f = f.with_names(names.to_vec());
+    }
+    f
+}
+
+/// The Zero Model as a pipeline: repeat each series' last value (§4).
+#[derive(Default)]
+pub struct ZeroModelPipeline {
+    models: Vec<ZeroModel>,
+    names: Vec<String>,
+}
+
+impl ZeroModelPipeline {
+    /// New unfitted pipeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Forecaster for ZeroModelPipeline {
+    fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
+        self.models.clear();
+        self.names = frame.names().to_vec();
+        for c in 0..frame.n_series() {
+            let mut m = ZeroModel::new();
+            m.fit(frame.series(c)).map_err(|e| PipelineError::Fit(e.message))?;
+            self.models.push(m);
+        }
+        if self.models.is_empty() {
+            return Err(PipelineError::InvalidInput("empty frame".into()));
+        }
+        Ok(())
+    }
+
+    fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
+        if self.models.is_empty() {
+            return Err(PipelineError::NotFitted);
+        }
+        Ok(forecast_frame(
+            &self.names,
+            self.models.iter().map(|m| m.forecast(horizon)).collect(),
+        ))
+    }
+
+    fn name(&self) -> String {
+        "ZeroModel".into()
+    }
+
+    fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+        Box::new(Self::new())
+    }
+}
+
+/// Automatic ARIMA per series (the `Arima` pipeline of Table 6).
+pub struct ArimaPipeline {
+    /// Maximum non-seasonal AR order.
+    pub max_p: usize,
+    /// Maximum non-seasonal MA order.
+    pub max_q: usize,
+    /// Seasonal period hint (0 = non-seasonal).
+    pub m: usize,
+    models: Vec<Arima>,
+    names: Vec<String>,
+}
+
+impl ArimaPipeline {
+    /// Auto-ARIMA with the paper's pmdarima-style defaults (max 3/3).
+    pub fn new(m: usize) -> Self {
+        Self { max_p: 3, max_q: 3, m, models: Vec::new(), names: Vec::new() }
+    }
+}
+
+impl Forecaster for ArimaPipeline {
+    fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
+        self.models.clear();
+        self.names = frame.names().to_vec();
+        for c in 0..frame.n_series() {
+            let m = auto_arima(frame.series(c), self.max_p, self.max_q, self.m)
+                .map_err(|e| PipelineError::Fit(e.message))?;
+            self.models.push(m);
+        }
+        if self.models.is_empty() {
+            return Err(PipelineError::InvalidInput("empty frame".into()));
+        }
+        Ok(())
+    }
+
+    fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
+        if self.models.is_empty() {
+            return Err(PipelineError::NotFitted);
+        }
+        Ok(forecast_frame(
+            &self.names,
+            self.models.iter().map(|m| m.forecast(horizon)).collect(),
+        ))
+    }
+
+    fn name(&self) -> String {
+        "Arima".into()
+    }
+
+    fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+        Box::new(Self { max_p: self.max_p, max_q: self.max_q, m: self.m, models: Vec::new(), names: Vec::new() })
+    }
+}
+
+/// Holt-Winters per series (HW-Additive / HW-Multiplicative in Table 6).
+pub struct HoltWintersPipeline {
+    seasonality: Seasonality,
+    models: Vec<HoltWinters>,
+    names: Vec<String>,
+}
+
+impl HoltWintersPipeline {
+    /// Additive triple exponential smoothing with period `m` (0 → trend only).
+    pub fn additive(m: usize) -> Self {
+        let s = if m >= 2 { Seasonality::Additive(m) } else { Seasonality::None };
+        Self { seasonality: s, models: Vec::new(), names: Vec::new() }
+    }
+
+    /// Multiplicative triple exponential smoothing with period `m`.
+    pub fn multiplicative(m: usize) -> Self {
+        let s = if m >= 2 { Seasonality::Multiplicative(m) } else { Seasonality::None };
+        Self { seasonality: s, models: Vec::new(), names: Vec::new() }
+    }
+}
+
+impl Forecaster for HoltWintersPipeline {
+    fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
+        self.models.clear();
+        self.names = frame.names().to_vec();
+        for c in 0..frame.n_series() {
+            // degrade gracefully to non-seasonal when the series is too
+            // short for the configured period
+            let m = HoltWinters::fit(frame.series(c), self.seasonality)
+                .or_else(|_| HoltWinters::fit(frame.series(c), Seasonality::None))
+                .map_err(|e| PipelineError::Fit(e.message))?;
+            self.models.push(m);
+        }
+        if self.models.is_empty() {
+            return Err(PipelineError::InvalidInput("empty frame".into()));
+        }
+        Ok(())
+    }
+
+    fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
+        if self.models.is_empty() {
+            return Err(PipelineError::NotFitted);
+        }
+        Ok(forecast_frame(
+            &self.names,
+            self.models.iter().map(|m| m.forecast(horizon)).collect(),
+        ))
+    }
+
+    fn name(&self) -> String {
+        match self.seasonality {
+            Seasonality::Multiplicative(_) => "HW-Multiplicative".into(),
+            _ => "HW-Additive".into(),
+        }
+    }
+
+    fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+        Box::new(Self { seasonality: self.seasonality, models: Vec::new(), names: Vec::new() })
+    }
+}
+
+/// BATS per series (the `bats` pipeline of Table 6).
+pub struct BatsPipeline {
+    /// Candidate seasonal periods handed to the component search.
+    pub periods: Vec<usize>,
+    models: Vec<Bats>,
+    names: Vec<String>,
+}
+
+impl BatsPipeline {
+    /// BATS with the given candidate seasonal periods.
+    pub fn new(periods: Vec<usize>) -> Self {
+        Self { periods, models: Vec::new(), names: Vec::new() }
+    }
+}
+
+impl Forecaster for BatsPipeline {
+    fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
+        self.models.clear();
+        self.names = frame.names().to_vec();
+        let config = BatsConfig::with_periods(self.periods.clone());
+        for c in 0..frame.n_series() {
+            let m = Bats::fit(frame.series(c), &config)
+                .map_err(|e| PipelineError::Fit(e.message))?;
+            self.models.push(m);
+        }
+        if self.models.is_empty() {
+            return Err(PipelineError::InvalidInput("empty frame".into()));
+        }
+        Ok(())
+    }
+
+    fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
+        if self.models.is_empty() {
+            return Err(PipelineError::NotFitted);
+        }
+        Ok(forecast_frame(
+            &self.names,
+            self.models.iter().map(|m| m.forecast(horizon)).collect(),
+        ))
+    }
+
+    fn name(&self) -> String {
+        "bats".into()
+    }
+
+    fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+        Box::new(Self::new(self.periods.clone()))
+    }
+}
+
+/// Theta method per series (extension pipeline, M3 benchmark favorite).
+#[derive(Default)]
+pub struct ThetaPipeline {
+    models: Vec<ThetaModel>,
+    names: Vec<String>,
+}
+
+impl ThetaPipeline {
+    /// New unfitted pipeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Forecaster for ThetaPipeline {
+    fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
+        self.models.clear();
+        self.names = frame.names().to_vec();
+        for c in 0..frame.n_series() {
+            let mut m = ThetaModel::new();
+            m.fit(frame.series(c)).map_err(|e| PipelineError::Fit(e.message))?;
+            self.models.push(m);
+        }
+        if self.models.is_empty() {
+            return Err(PipelineError::InvalidInput("empty frame".into()));
+        }
+        Ok(())
+    }
+
+    fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
+        if self.models.is_empty() {
+            return Err(PipelineError::NotFitted);
+        }
+        Ok(forecast_frame(
+            &self.names,
+            self.models.iter().map(|m| m.forecast(horizon)).collect(),
+        ))
+    }
+
+    fn name(&self) -> String {
+        "Theta".into()
+    }
+
+    fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+        Box::new(Self::new())
+    }
+}
+
+/// MT2RForecaster: multi-target regression — a single direct multi-output
+/// linear regression over flattened look-back windows. The fastest ML
+/// pipeline in Table 6 (sub-second on every dataset) and a strong baseline
+/// on near-linear series.
+pub struct Mt2rForecaster {
+    /// Look-back window length.
+    pub lookback: usize,
+    /// Direct forecast horizon trained for.
+    pub horizon: usize,
+    model: Option<MultiOutputRegressor>,
+    train_tail: Option<TimeSeriesFrame>,
+    names: Vec<String>,
+}
+
+impl Mt2rForecaster {
+    /// New MT2R with the given look-back and direct horizon.
+    pub fn new(lookback: usize, horizon: usize) -> Self {
+        Self { lookback: lookback.max(1), horizon: horizon.max(1), model: None, train_tail: None, names: Vec::new() }
+    }
+}
+
+impl Forecaster for Mt2rForecaster {
+    fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
+        self.names = frame.names().to_vec();
+        // shrink look-back for short series so at least 4 windows exist
+        let max_lb = frame.len().saturating_sub(self.horizon + 4).max(1);
+        self.lookback = self.lookback.min(max_lb);
+        let ds = flatten_windows(frame, self.lookback, self.horizon);
+        if ds.is_empty() {
+            return Err(PipelineError::InvalidInput(format!(
+                "series of length {} too short for lookback {} + horizon {}",
+                frame.len(),
+                self.lookback,
+                self.horizon
+            )));
+        }
+        let mut model = MultiOutputRegressor::new(Box::new(LinearRegression::new()));
+        model.fit(&ds.x, &ds.y).map_err(|e| PipelineError::Fit(e.message))?;
+        self.model = Some(model);
+        self.train_tail = Some(frame.tail(self.lookback + self.horizon));
+        Ok(())
+    }
+
+    fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
+        let model = self.model.as_ref().ok_or(PipelineError::NotFitted)?;
+        let tail = self.train_tail.as_ref().ok_or(PipelineError::NotFitted)?;
+        let n_series = tail.n_series();
+        let mut work = tail.clone();
+        let mut out: Vec<Vec<f64>> = vec![Vec::with_capacity(horizon); n_series];
+        let mut produced = 0usize;
+        while produced < horizon {
+            let features = latest_window(&work, self.lookback)
+                .ok_or_else(|| PipelineError::InvalidInput("window unavailable".into()))?;
+            let pred = model.predict_row(&features); // horizon * n_series, series-major
+            let take = self.horizon.min(horizon - produced);
+            let mut cols: Vec<Vec<f64>> = Vec::with_capacity(n_series);
+            for c in 0..n_series {
+                let seg = &pred[c * self.horizon..(c + 1) * self.horizon];
+                out[c].extend_from_slice(&seg[..take]);
+                cols.push(seg.to_vec());
+            }
+            work.append(&TimeSeriesFrame::from_columns(cols));
+            produced += take;
+        }
+        Ok(forecast_frame(&self.names, out))
+    }
+
+    fn name(&self) -> String {
+        "MT2RForecaster".into()
+    }
+
+    fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+        Box::new(Self::new(self.lookback, self.horizon))
+    }
+}
+
+/// Deep-learning pipeline: a direct multi-step MLP over flattened windows.
+pub struct NeuralPipeline {
+    /// Look-back window length.
+    pub lookback: usize,
+    /// Direct forecast horizon trained for.
+    pub horizon: usize,
+    config: MlpConfig,
+    model: Option<Mlp>,
+    train_tail: Option<TimeSeriesFrame>,
+    names: Vec<String>,
+}
+
+impl NeuralPipeline {
+    /// New neural pipeline with default MLP hyperparameters.
+    pub fn new(lookback: usize, horizon: usize) -> Self {
+        Self {
+            lookback: lookback.max(1),
+            horizon: horizon.max(1),
+            config: MlpConfig { epochs: 40, ..Default::default() },
+            model: None,
+            train_tail: None,
+            names: Vec::new(),
+        }
+    }
+}
+
+impl Forecaster for NeuralPipeline {
+    fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
+        self.names = frame.names().to_vec();
+        let max_lb = frame.len().saturating_sub(self.horizon + 4).max(1);
+        self.lookback = self.lookback.min(max_lb);
+        let ds = flatten_windows(frame, self.lookback, self.horizon);
+        if ds.is_empty() {
+            return Err(PipelineError::InvalidInput("series too short for neural windows".into()));
+        }
+        let mut mlp = Mlp::new(self.config.clone());
+        mlp.fit(&ds.x, &ds.y).map_err(|e| PipelineError::Fit(e.message))?;
+        self.model = Some(mlp);
+        self.train_tail = Some(frame.tail(self.lookback + self.horizon));
+        Ok(())
+    }
+
+    fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
+        let model = self.model.as_ref().ok_or(PipelineError::NotFitted)?;
+        let tail = self.train_tail.as_ref().ok_or(PipelineError::NotFitted)?;
+        let n_series = tail.n_series();
+        let mut work = tail.clone();
+        let mut out: Vec<Vec<f64>> = vec![Vec::with_capacity(horizon); n_series];
+        let mut produced = 0usize;
+        while produced < horizon {
+            let features = latest_window(&work, self.lookback)
+                .ok_or_else(|| PipelineError::InvalidInput("window unavailable".into()))?;
+            let pred = model.predict_row(&features);
+            let take = self.horizon.min(horizon - produced);
+            let mut cols: Vec<Vec<f64>> = Vec::with_capacity(n_series);
+            for c in 0..n_series {
+                let seg = &pred[c * self.horizon..(c + 1) * self.horizon];
+                out[c].extend_from_slice(&seg[..take]);
+                cols.push(seg.to_vec());
+            }
+            work.append(&TimeSeriesFrame::from_columns(cols));
+            produced += take;
+        }
+        Ok(forecast_frame(&self.names, out))
+    }
+
+    fn name(&self) -> String {
+        "NeuralWindow".into()
+    }
+
+    fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+        Box::new(Self::new(self.lookback, self.horizon))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoai_tsdata::Metric;
+
+    fn seasonal_frame(n: usize) -> TimeSeriesFrame {
+        TimeSeriesFrame::univariate(
+            (0..n)
+                .map(|i| 20.0 + 5.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn zero_model_pipeline_repeats_last() {
+        let mut p = ZeroModelPipeline::new();
+        p.fit(&TimeSeriesFrame::from_columns(vec![vec![1.0, 2.0], vec![5.0, 9.0]])).unwrap();
+        let f = p.predict(3).unwrap();
+        assert_eq!(f.series(0), &[2.0, 2.0, 2.0]);
+        assert_eq!(f.series(1), &[9.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn arima_pipeline_multivariate() {
+        let cols: Vec<Vec<f64>> = (0..2)
+            .map(|c| (0..150).map(|i| (c as f64 + 1.0) * i as f64).collect())
+            .collect();
+        let mut p = ArimaPipeline::new(0);
+        p.fit(&TimeSeriesFrame::from_columns(cols)).unwrap();
+        let f = p.predict(4).unwrap();
+        assert_eq!(f.n_series(), 2);
+        // linear series keep climbing
+        assert!(f.series(0)[3] > 149.0);
+        assert!(f.series(1)[3] > 299.0);
+    }
+
+    #[test]
+    fn hw_pipeline_seasonal_forecast() {
+        let mut p = HoltWintersPipeline::additive(12);
+        p.fit(&seasonal_frame(120)).unwrap();
+        let f = p.predict(12).unwrap();
+        let truth: Vec<f64> = (120..132)
+            .map(|i| 20.0 + 5.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin())
+            .collect();
+        let smape = autoai_tsdata::smape(&truth, f.series(0));
+        assert!(smape < 5.0, "HW smape {smape}");
+    }
+
+    #[test]
+    fn hw_multiplicative_degrades_on_short_series() {
+        let mut p = HoltWintersPipeline::multiplicative(50);
+        // 20 points, too short for period 50 → falls back to non-seasonal
+        p.fit(&TimeSeriesFrame::univariate((1..=20).map(|i| i as f64).collect())).unwrap();
+        let f = p.predict(2).unwrap();
+        assert!(f.series(0)[0] > 18.0);
+    }
+
+    #[test]
+    fn bats_pipeline_runs() {
+        let mut p = BatsPipeline::new(vec![12]);
+        p.fit(&seasonal_frame(120)).unwrap();
+        let s = p
+            .score(
+                &seasonal_frame(132).slice(120, 132),
+                Metric::Smape,
+            )
+            .unwrap();
+        assert!(s < 10.0, "bats smape {s}");
+    }
+
+    #[test]
+    fn mt2r_learns_seasonal_linear_structure() {
+        let mut p = Mt2rForecaster::new(12, 6);
+        let frame = seasonal_frame(200);
+        p.fit(&frame).unwrap();
+        let f = p.predict(6).unwrap();
+        let truth: Vec<f64> = (200..206)
+            .map(|i| 20.0 + 5.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin())
+            .collect();
+        let smape = autoai_tsdata::smape(&truth, f.series(0));
+        assert!(smape < 3.0, "mt2r smape {smape}");
+    }
+
+    #[test]
+    fn mt2r_extends_beyond_trained_horizon_recursively() {
+        let mut p = Mt2rForecaster::new(12, 4);
+        p.fit(&seasonal_frame(200)).unwrap();
+        let f = p.predict(10).unwrap();
+        assert_eq!(f.len(), 10);
+        assert!(f.series(0).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn mt2r_shrinks_lookback_for_short_series() {
+        let mut p = Mt2rForecaster::new(50, 2);
+        p.fit(&TimeSeriesFrame::univariate((0..30).map(|i| i as f64).collect())).unwrap();
+        assert!(p.lookback < 50);
+        let f = p.predict(2).unwrap();
+        assert!(f.series(0)[0] > 25.0);
+    }
+
+    #[test]
+    fn theta_pipeline_runs() {
+        let mut p = ThetaPipeline::new();
+        p.fit(&seasonal_frame(100)).unwrap();
+        assert_eq!(p.predict(5).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn neural_pipeline_fits_seasonal() {
+        let mut p = NeuralPipeline::new(12, 4);
+        p.fit(&seasonal_frame(300)).unwrap();
+        let f = p.predict(4).unwrap();
+        let truth: Vec<f64> = (300..304)
+            .map(|i| 20.0 + 5.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin())
+            .collect();
+        let smape = autoai_tsdata::smape(&truth, f.series(0));
+        assert!(smape < 15.0, "neural smape {smape}");
+    }
+
+    #[test]
+    fn predict_before_fit_errors() {
+        assert!(matches!(ZeroModelPipeline::new().predict(3), Err(PipelineError::NotFitted)));
+        assert!(matches!(Mt2rForecaster::new(4, 2).predict(3), Err(PipelineError::NotFitted)));
+    }
+
+    #[test]
+    fn clone_unfitted_produces_same_name() {
+        let p = HoltWintersPipeline::multiplicative(12);
+        assert_eq!(p.clone_unfitted().name(), "HW-Multiplicative");
+    }
+}

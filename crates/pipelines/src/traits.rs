@@ -1,0 +1,127 @@
+//! The pipeline-level forecaster contract.
+
+use autoai_tsdata::{Metric, TimeSeriesFrame};
+
+/// Errors surfaced by pipeline fitting and prediction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// Fitting failed (message explains why).
+    Fit(String),
+    /// `predict`/`score` called before a successful `fit`.
+    NotFitted,
+    /// Input data violates the pipeline's requirements.
+    InvalidInput(String),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Fit(m) => write!(f, "pipeline fit failed: {m}"),
+            PipelineError::NotFitted => write!(f, "pipeline not fitted"),
+            PipelineError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// A complete forecasting pipeline: transforms + model + parameter search.
+///
+/// Implements the paper's unified estimator API (Figure 1): `fit` consumes a
+/// 2-D frame (columns = series, rows = samples), `predict` produces a 2-D
+/// frame whose rows are the next `horizon` values for every input series,
+/// and `score` evaluates a fitted pipeline against a held-out continuation
+/// of the training data.
+pub trait Forecaster: Send + Sync {
+    /// Train the pipeline on `frame`.
+    fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError>;
+
+    /// Forecast the next `horizon` rows after the training data.
+    fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError>;
+
+    /// Pipeline display name (e.g. `"FlattenAutoEnsembler-log"`).
+    fn name(&self) -> String;
+
+    /// Fresh unfitted copy with identical hyperparameters (T-Daub refits
+    /// pipelines on many data allocations).
+    fn clone_unfitted(&self) -> Box<dyn Forecaster>;
+
+    /// Score against a holdout frame that immediately follows the training
+    /// data. Default: forecast `test.len()` rows and average the metric
+    /// across series. Lower-is-better metrics return their value directly;
+    /// R² is negated so that **smaller is always better** for ranking.
+    fn score(&self, test: &TimeSeriesFrame, metric: Metric) -> Result<f64, PipelineError> {
+        let pred = self.predict(test.len())?;
+        if pred.n_series() != test.n_series() {
+            return Err(PipelineError::InvalidInput(format!(
+                "prediction has {} series, test has {}",
+                pred.n_series(),
+                test.n_series()
+            )));
+        }
+        let mut total = 0.0;
+        for c in 0..test.n_series() {
+            let v = metric.eval(test.series(c), pred.series(c));
+            total += if metric.higher_is_better() { -v } else { v };
+        }
+        Ok(total / test.n_series().max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial forecaster for exercising trait defaults.
+    struct Constant {
+        value: Option<f64>,
+        n_series: usize,
+    }
+
+    impl Forecaster for Constant {
+        fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
+            self.n_series = frame.n_series();
+            self.value = frame.series(0).last().copied();
+            Ok(())
+        }
+
+        fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
+            let v = self.value.ok_or(PipelineError::NotFitted)?;
+            Ok(TimeSeriesFrame::from_columns(vec![vec![v; horizon]; self.n_series]))
+        }
+
+        fn name(&self) -> String {
+            "constant".into()
+        }
+
+        fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+            Box::new(Constant { value: None, n_series: 0 })
+        }
+    }
+
+    #[test]
+    fn default_score_averages_series() {
+        let mut m = Constant { value: None, n_series: 0 };
+        m.fit(&TimeSeriesFrame::from_columns(vec![vec![1.0, 2.0], vec![5.0, 2.0]])).unwrap();
+        let test = TimeSeriesFrame::from_columns(vec![vec![2.0], vec![2.0]]);
+        // perfect forecast of both series' value 2.0
+        let s = m.score(&test, Metric::Smape).unwrap();
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn score_before_fit_errors() {
+        let m = Constant { value: None, n_series: 1 };
+        let test = TimeSeriesFrame::univariate(vec![1.0]);
+        assert!(m.score(&test, Metric::Mae).is_err());
+    }
+
+    #[test]
+    fn r2_is_negated_for_ranking() {
+        let mut m = Constant { value: None, n_series: 0 };
+        m.fit(&TimeSeriesFrame::univariate(vec![1.0, 3.0])).unwrap();
+        let test = TimeSeriesFrame::univariate(vec![3.0, 3.0]);
+        let s = m.score(&test, Metric::R2).unwrap();
+        assert_eq!(s, -1.0); // perfect fit → R² = 1, negated
+    }
+}

@@ -1,0 +1,611 @@
+//! AutoTS model-list simulators: GLS, WindowRegressor, RollingRegressor,
+//! Motif (MotifSimulation) and Component (ComponentAnalysis).
+//!
+//! The paper benchmarks AutoTS (Catlin's "Automated Time Series") five
+//! times, each pinned to a single `model_list` (Table 3). Each simulator
+//! reproduces that one model's strategy.
+
+use autoai_linalg::{autocorrelation, lstsq, Matrix};
+use autoai_ml_models::{
+    KnnRegressor, LinearRegression, MultiOutputRegressor, RandomForestConfig,
+    RandomForestRegressor, Regressor,
+};
+use autoai_pipelines::{Forecaster, PipelineError};
+use autoai_transforms::{flatten_windows, latest_window};
+use autoai_tsdata::TimeSeriesFrame;
+
+fn named_frame(cols: Vec<Vec<f64>>, names: &[String]) -> TimeSeriesFrame {
+    let mut f = TimeSeriesFrame::from_columns(cols);
+    if f.n_series() == names.len() {
+        f = f.with_names(names.to_vec());
+    }
+    f
+}
+
+// ---------------------------------------------------------------- GLS ----
+
+/// GLS: linear regression of each series on the time index with feasible
+/// generalized least squares — AR(1) residual whitening, then a refit.
+pub struct GlsSim {
+    /// Per-series `(intercept, slope, rho, last_residual, n)`.
+    models: Vec<(f64, f64, f64, f64, usize)>,
+    names: Vec<String>,
+}
+
+impl GlsSim {
+    /// New unfitted simulator.
+    pub fn new() -> Self {
+        Self { models: Vec::new(), names: Vec::new() }
+    }
+}
+
+impl Default for GlsSim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Forecaster for GlsSim {
+    fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
+        if frame.len() < 8 {
+            return Err(PipelineError::InvalidInput("gls-sim needs >= 8 samples".into()));
+        }
+        self.models.clear();
+        self.names = frame.names().to_vec();
+        for c in 0..frame.n_series() {
+            let y = frame.series(c);
+            let t: Vec<f64> = (0..y.len()).map(|i| i as f64).collect();
+            // OLS pass
+            let (a0, b0) = autoai_linalg::simple_linreg(&t, y);
+            let resid: Vec<f64> =
+                y.iter().enumerate().map(|(i, &v)| v - a0 - b0 * i as f64).collect();
+            let rho = autocorrelation(&resid, 1).clamp(-0.98, 0.98);
+            // FGLS: whiten with (x_t - rho x_{t-1}) and refit the line
+            let tw: Vec<f64> = (1..y.len()).map(|i| i as f64 - rho * (i - 1) as f64).collect();
+            let yw: Vec<f64> = (1..y.len()).map(|i| y[i] - rho * y[i - 1]).collect();
+            // intercept column also whitened: (1 - rho)
+            let rows: Vec<Vec<f64>> = tw.iter().map(|&x| vec![1.0 - rho, x]).collect();
+            let beta = lstsq(&Matrix::from_rows(&rows), &yw).unwrap_or(vec![a0, b0]);
+            let (a, b) = (beta[0], beta[1]);
+            let last_resid = y[y.len() - 1] - a - b * (y.len() - 1) as f64;
+            self.models.push((a, b, rho, last_resid, y.len()));
+        }
+        Ok(())
+    }
+
+    fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
+        if self.models.is_empty() {
+            return Err(PipelineError::NotFitted);
+        }
+        let cols: Vec<Vec<f64>> = self
+            .models
+            .iter()
+            .map(|&(a, b, rho, last_resid, n)| {
+                (0..horizon)
+                    .map(|h| {
+                        let t = (n + h) as f64;
+                        a + b * t + last_resid * rho.powi(h as i32 + 1)
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(named_frame(cols, &self.names))
+    }
+
+    fn name(&self) -> String {
+        "GLS".into()
+    }
+
+    fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+        Box::new(Self::new())
+    }
+}
+
+// --------------------------------------------------- WindowRegressor ----
+
+/// WindowRegressor: fixed-window features into a random forest, direct
+/// multi-step output (AutoTS trains one regressor over windowed data).
+pub struct WindowRegressorSim {
+    /// Window length.
+    pub window: usize,
+    /// Direct output horizon (recursive beyond).
+    pub horizon: usize,
+    model: Option<MultiOutputRegressor>,
+    tail: Option<TimeSeriesFrame>,
+    names: Vec<String>,
+}
+
+impl WindowRegressorSim {
+    /// New simulator with AutoTS-like defaults.
+    pub fn new() -> Self {
+        Self { window: 10, horizon: 12, model: None, tail: None, names: Vec::new() }
+    }
+}
+
+impl Default for WindowRegressorSim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Forecaster for WindowRegressorSim {
+    fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
+        self.names = frame.names().to_vec();
+        let max_w = frame.len().saturating_sub(self.horizon + 4).max(1);
+        self.window = self.window.min(max_w);
+        let ds = flatten_windows(frame, self.window, self.horizon);
+        if ds.is_empty() {
+            return Err(PipelineError::InvalidInput("window-regressor-sim: series too short".into()));
+        }
+        let rf = RandomForestRegressor::with_config(RandomForestConfig {
+            n_trees: 40,
+            max_depth: 10,
+            ..Default::default()
+        });
+        let mut model = MultiOutputRegressor::new(Box::new(rf));
+        model.fit(&ds.x, &ds.y).map_err(|e| PipelineError::Fit(e.message))?;
+        self.model = Some(model);
+        self.tail = Some(frame.tail(self.window));
+        Ok(())
+    }
+
+    fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
+        let model = self.model.as_ref().ok_or(PipelineError::NotFitted)?;
+        let tail = self.tail.as_ref().ok_or(PipelineError::NotFitted)?;
+        let n_series = tail.n_series();
+        let mut work = tail.clone();
+        let mut out: Vec<Vec<f64>> = vec![Vec::with_capacity(horizon); n_series];
+        let mut produced = 0;
+        while produced < horizon {
+            let features = latest_window(&work, self.window)
+                .ok_or_else(|| PipelineError::InvalidInput("window unavailable".into()))?;
+            let pred = model.predict_row(&features);
+            let take = self.horizon.min(horizon - produced);
+            let mut cols = Vec::with_capacity(n_series);
+            for c in 0..n_series {
+                let seg = &pred[c * self.horizon..(c + 1) * self.horizon];
+                out[c].extend_from_slice(&seg[..take]);
+                cols.push(seg.to_vec());
+            }
+            work.append(&TimeSeriesFrame::from_columns(cols));
+            produced += take;
+        }
+        Ok(named_frame(out, &self.names))
+    }
+
+    fn name(&self) -> String {
+        "WindowRegressor".into()
+    }
+
+    fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+        Box::new(Self { window: self.window, horizon: self.horizon, ..Self::new() })
+    }
+}
+
+// -------------------------------------------------- RollingRegressor ----
+
+/// RollingRegressor: rolling statistics (mean/std/min/max over several
+/// window sizes) + recent lags, fed into a linear regressor; recursive
+/// one-step forecasting.
+pub struct RollingRegressorSim {
+    window_sizes: Vec<usize>,
+    n_lags: usize,
+    models: Vec<LinearRegression>,
+    tails: Vec<Vec<f64>>,
+    names: Vec<String>,
+}
+
+impl RollingRegressorSim {
+    /// New simulator with AutoTS-like defaults.
+    pub fn new() -> Self {
+        Self {
+            window_sizes: vec![5, 10, 20],
+            n_lags: 4,
+            models: Vec::new(),
+            tails: Vec::new(),
+            names: Vec::new(),
+        }
+    }
+
+    fn features(history: &[f64], t: usize, windows: &[usize], n_lags: usize) -> Vec<f64> {
+        let mut row = Vec::with_capacity(windows.len() * 4 + n_lags);
+        for &w in windows {
+            let lo = t.saturating_sub(w);
+            let seg = &history[lo..t];
+            let mean = autoai_linalg::mean(seg);
+            row.push(mean);
+            row.push(autoai_linalg::std_dev(seg));
+            row.push(seg.iter().cloned().fold(f64::INFINITY, f64::min));
+            row.push(seg.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+        }
+        for k in 1..=n_lags {
+            row.push(history[t - k]);
+        }
+        row
+    }
+}
+
+impl Default for RollingRegressorSim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Forecaster for RollingRegressorSim {
+    fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
+        let warmup = self.window_sizes.iter().copied().max().unwrap_or(5).max(self.n_lags);
+        if frame.len() < warmup + 8 {
+            return Err(PipelineError::InvalidInput("rolling-regressor-sim: series too short".into()));
+        }
+        self.models.clear();
+        self.tails.clear();
+        self.names = frame.names().to_vec();
+        for c in 0..frame.n_series() {
+            let s = frame.series(c);
+            let rows: Vec<Vec<f64>> = (warmup..s.len())
+                .map(|t| Self::features(s, t, &self.window_sizes, self.n_lags))
+                .collect();
+            let y: Vec<f64> = s[warmup..].to_vec();
+            let mut lr = LinearRegression::new();
+            lr.fit(&Matrix::from_rows(&rows), &y).map_err(|e| PipelineError::Fit(e.message))?;
+            self.models.push(lr);
+            self.tails.push(s[s.len().saturating_sub(2 * warmup)..].to_vec());
+        }
+        Ok(())
+    }
+
+    fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
+        if self.models.is_empty() {
+            return Err(PipelineError::NotFitted);
+        }
+        let cols: Vec<Vec<f64>> = self
+            .models
+            .iter()
+            .zip(&self.tails)
+            .map(|(lr, tail)| {
+                let mut history = tail.clone();
+                (0..horizon)
+                    .map(|_| {
+                        let t = history.len();
+                        let row =
+                            Self::features(&history, t, &self.window_sizes, self.n_lags);
+                        let v = lr.predict_row(&row);
+                        history.push(v);
+                        v
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(named_frame(cols, &self.names))
+    }
+
+    fn name(&self) -> String {
+        "RollingRegressor".into()
+    }
+
+    fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+        Box::new(Self::new())
+    }
+}
+
+// -------------------------------------------------------------- Motif ----
+
+/// Motif (MotifSimulation): find the k historical windows most similar to
+/// the trailing window and forecast the average of their successor
+/// segments.
+pub struct MotifSim {
+    /// Motif window length.
+    pub window: usize,
+    /// Number of nearest motifs averaged.
+    pub k: usize,
+    knn_per_step: Vec<Vec<KnnRegressor>>,
+    tails: Vec<Vec<f64>>,
+    names: Vec<String>,
+    fitted_horizon: usize,
+}
+
+impl MotifSim {
+    /// New simulator with AutoTS-like defaults.
+    pub fn new() -> Self {
+        Self {
+            window: 10,
+            k: 5,
+            knn_per_step: Vec::new(),
+            tails: Vec::new(),
+            names: Vec::new(),
+            fitted_horizon: 12,
+        }
+    }
+}
+
+impl Default for MotifSim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Forecaster for MotifSim {
+    fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
+        let h = self.fitted_horizon;
+        let max_w = frame.len().saturating_sub(h + 2).max(1);
+        self.window = self.window.min(max_w);
+        if frame.len() < self.window + h + 2 {
+            return Err(PipelineError::InvalidInput("motif-sim: series too short".into()));
+        }
+        self.knn_per_step.clear();
+        self.tails.clear();
+        self.names = frame.names().to_vec();
+        for c in 0..frame.n_series() {
+            let single = frame.select(c);
+            let ds = flatten_windows(&single, self.window, h);
+            let mut per_step = Vec::with_capacity(h);
+            for step in 0..h {
+                let y = ds.y.col(step);
+                let mut knn = KnnRegressor::new(self.k);
+                knn.fit(&ds.x, &y).map_err(|e| PipelineError::Fit(e.message))?;
+                per_step.push(knn);
+            }
+            self.knn_per_step.push(per_step);
+            let s = frame.series(c);
+            self.tails.push(s[s.len() - self.window..].to_vec());
+        }
+        Ok(())
+    }
+
+    fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
+        if self.knn_per_step.is_empty() {
+            return Err(PipelineError::NotFitted);
+        }
+        let cols: Vec<Vec<f64>> = self
+            .knn_per_step
+            .iter()
+            .zip(&self.tails)
+            .map(|(steps, tail)| {
+                let mut window = tail.clone();
+                let mut out = Vec::with_capacity(horizon);
+                while out.len() < horizon {
+                    for knn in steps {
+                        if out.len() >= horizon {
+                            break;
+                        }
+                        let v = knn.predict_row(&window[window.len() - self.window..]);
+                        out.push(v);
+                    }
+                    // recursive continuation: slide the motif window forward
+                    let new_tail_start = out.len().saturating_sub(self.window);
+                    if out.len() >= self.window {
+                        window = out[new_tail_start..].to_vec();
+                    } else {
+                        let mut w = tail[out.len()..].to_vec();
+                        w.extend_from_slice(&out);
+                        window = w;
+                    }
+                }
+                out
+            })
+            .collect();
+        Ok(named_frame(cols, &self.names))
+    }
+
+    fn name(&self) -> String {
+        "Motif".into()
+    }
+
+    fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+        Box::new(Self { window: self.window, k: self.k, ..Self::new() })
+    }
+}
+
+// ---------------------------------------------------------- Component ----
+
+/// Component (ComponentAnalysis): moving-average trend + seasonal means by
+/// best-ACF period + linear trend extrapolation.
+pub struct ComponentSim {
+    /// Per-series `(trend intercept, trend slope, seasonal table, n)`.
+    models: Vec<(f64, f64, Vec<f64>, usize)>,
+    names: Vec<String>,
+}
+
+impl ComponentSim {
+    /// New unfitted simulator.
+    pub fn new() -> Self {
+        Self { models: Vec::new(), names: Vec::new() }
+    }
+}
+
+impl Default for ComponentSim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Forecaster for ComponentSim {
+    fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
+        if frame.len() < 12 {
+            return Err(PipelineError::InvalidInput("component-sim needs >= 12 samples".into()));
+        }
+        self.models.clear();
+        self.names = frame.names().to_vec();
+        for c in 0..frame.n_series() {
+            let y = frame.series(c);
+            let n = y.len();
+            // moving-average trend (window = n/10 clamped)
+            let w = (n / 10).clamp(3, 50);
+            let ma: Vec<f64> = (0..n)
+                .map(|t| {
+                    let lo = t.saturating_sub(w / 2);
+                    let hi = (t + w / 2 + 1).min(n);
+                    autoai_linalg::mean(&y[lo..hi])
+                })
+                .collect();
+            let t_idx: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let (a, b) = autoai_linalg::simple_linreg(&t_idx, &ma);
+            let detrended: Vec<f64> = y.iter().zip(&ma).map(|(v, m)| v - m).collect();
+            // seasonal component at the strongest ACF period
+            let max_lag = (n / 3).min(400);
+            let mut best = (0usize, 0.25f64);
+            for lag in 2..=max_lag.max(2) {
+                if lag >= n {
+                    break;
+                }
+                let r = autocorrelation(&detrended, lag);
+                if r > best.1 {
+                    best = (lag, r);
+                }
+            }
+            let seasonal = if best.0 >= 2 {
+                let period = best.0;
+                let mut sums = vec![0.0; period];
+                let mut counts = vec![0usize; period];
+                for (t, &v) in detrended.iter().enumerate() {
+                    sums[t % period] += v;
+                    counts[t % period] += 1;
+                }
+                sums.iter()
+                    .zip(&counts)
+                    .map(|(s, &cc)| if cc > 0 { s / cc as f64 } else { 0.0 })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            self.models.push((a, b, seasonal, n));
+        }
+        Ok(())
+    }
+
+    fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
+        if self.models.is_empty() {
+            return Err(PipelineError::NotFitted);
+        }
+        let cols: Vec<Vec<f64>> = self
+            .models
+            .iter()
+            .map(|(a, b, seasonal, n)| {
+                (0..horizon)
+                    .map(|h| {
+                        let t = n + h;
+                        let mut v = a + b * t as f64;
+                        if !seasonal.is_empty() {
+                            v += seasonal[t % seasonal.len()];
+                        }
+                        v
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(named_frame(cols, &self.names))
+    }
+
+    fn name(&self) -> String {
+        "Component".into()
+    }
+
+    fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+        Box::new(Self::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trend_season(n: usize) -> TimeSeriesFrame {
+        TimeSeriesFrame::univariate(
+            (0..n)
+                .map(|i| {
+                    30.0 + 0.4 * i as f64
+                        + 10.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin()
+                })
+                .collect(),
+        )
+    }
+
+    fn truth(range: std::ops::Range<usize>) -> Vec<f64> {
+        range
+            .map(|i| {
+                30.0 + 0.4 * i as f64
+                    + 10.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gls_extrapolates_trend_with_ar1_correction() {
+        let mut sim = GlsSim::new();
+        sim.fit(&trend_season(300)).unwrap();
+        let f = sim.predict(12).unwrap();
+        // GLS models only the line; it should track the trend level
+        let smape = autoai_tsdata::smape(&truth(300..312), f.series(0));
+        assert!(smape < 15.0, "gls-sim smape {smape}");
+    }
+
+    #[test]
+    fn window_regressor_captures_seasonality() {
+        let mut sim = WindowRegressorSim::new();
+        sim.fit(&trend_season(300)).unwrap();
+        let f = sim.predict(12).unwrap();
+        assert_eq!(f.len(), 12);
+        assert!(f.series(0).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn rolling_regressor_runs_recursively() {
+        let mut sim = RollingRegressorSim::new();
+        sim.fit(&trend_season(300)).unwrap();
+        let f = sim.predict(24).unwrap();
+        assert_eq!(f.len(), 24);
+        // trend must continue upward overall
+        assert!(f.series(0)[23] > f.series(0)[0] - 10.0);
+    }
+
+    #[test]
+    fn motif_repeats_periodic_pattern() {
+        let pattern = [5.0, 9.0, 2.0, 7.0, 1.0, 8.0];
+        let series: Vec<f64> = (0..240).map(|i| pattern[i % 6]).collect();
+        let mut sim = MotifSim::new();
+        sim.fit(&TimeSeriesFrame::univariate(series)).unwrap();
+        let f = sim.predict(12).unwrap();
+        let truth: Vec<f64> = (240..252).map(|i| pattern[i % 6]).collect();
+        let smape = autoai_tsdata::smape(&truth, f.series(0));
+        assert!(smape < 5.0, "motif-sim smape {smape}");
+    }
+
+    #[test]
+    fn component_decomposition_accuracy() {
+        let mut sim = ComponentSim::new();
+        sim.fit(&trend_season(360)).unwrap();
+        let f = sim.predict(12).unwrap();
+        let smape = autoai_tsdata::smape(&truth(360..372), f.series(0));
+        assert!(smape < 10.0, "component-sim smape {smape}");
+    }
+
+    #[test]
+    fn all_simulators_handle_multivariate() {
+        let cols = vec![
+            (0..200).map(|i| 10.0 + (i as f64 * 0.4).sin()).collect::<Vec<f64>>(),
+            (0..200).map(|i| 50.0 + 0.2 * i as f64).collect::<Vec<f64>>(),
+        ];
+        let frame = TimeSeriesFrame::from_columns(cols);
+        let sims: Vec<Box<dyn Forecaster>> = vec![
+            Box::new(GlsSim::new()),
+            Box::new(WindowRegressorSim::new()),
+            Box::new(RollingRegressorSim::new()),
+            Box::new(MotifSim::new()),
+            Box::new(ComponentSim::new()),
+        ];
+        for mut sim in sims {
+            sim.fit(&frame).unwrap_or_else(|e| panic!("{} fit: {e}", sim.name()));
+            let f = sim.predict(6).unwrap();
+            assert_eq!(f.n_series(), 2, "{}", sim.name());
+            assert_eq!(f.len(), 6, "{}", sim.name());
+        }
+    }
+
+    #[test]
+    fn short_series_rejections() {
+        let tiny = TimeSeriesFrame::univariate(vec![1.0; 5]);
+        assert!(GlsSim::new().fit(&tiny).is_err());
+        assert!(RollingRegressorSim::new().fit(&tiny).is_err());
+        assert!(ComponentSim::new().fit(&tiny).is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Default configurations matching Table 3 of the paper.
+//!
+//! The paper evaluates every toolkit "out-of-the-box without manual
+//! intervention or optimization"; these structs pin the defaults that the
+//! simulators honor, and the tests assert the Table 3 values verbatim.
+
+/// pmdarima defaults (Table 3 row "Pmdarima").
+#[derive(Debug, Clone, PartialEq)]
+pub struct PmdArimaConfig {
+    /// `start_p=1`.
+    pub start_p: usize,
+    /// `start_q=1`.
+    pub start_q: usize,
+    /// `max_p=3`.
+    pub max_p: usize,
+    /// `max_q=3`.
+    pub max_q: usize,
+    /// `m=12`.
+    pub m: usize,
+    /// `seasonal=True`.
+    pub seasonal: bool,
+    /// `d=1`.
+    pub d: usize,
+    /// `D=1`.
+    pub seasonal_d: usize,
+}
+
+impl Default for PmdArimaConfig {
+    fn default() -> Self {
+        Self { start_p: 1, start_q: 1, max_p: 3, max_q: 3, m: 12, seasonal: true, d: 1, seasonal_d: 1 }
+    }
+}
+
+/// DeepAR defaults (Table 3 row "DeepAR").
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeepArConfig {
+    /// `num_layers: 2`.
+    pub num_layers: usize,
+    /// `num_cells: 40`.
+    pub num_cells: usize,
+    /// `dropout_rate: 0.1` (approximated by weight decay in the MLP).
+    pub dropout_rate: f64,
+    /// `scaling: True` — per-series mean scaling.
+    pub scaling: bool,
+    /// `num_parallel_samples: 100` (the simulator forecasts the mean, so
+    /// this only documents the original).
+    pub num_parallel_samples: usize,
+    /// Context (look-back) length; GluonTS defaults to the horizon.
+    pub context_length: usize,
+    /// Training epochs for the neural substrate.
+    pub epochs: usize,
+}
+
+impl Default for DeepArConfig {
+    fn default() -> Self {
+        Self {
+            num_layers: 2,
+            num_cells: 40,
+            dropout_rate: 0.1,
+            scaling: true,
+            num_parallel_samples: 100,
+            context_length: 24,
+            epochs: 30,
+        }
+    }
+}
+
+/// Prophet defaults (Table 3 row "Prophet").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProphetConfig {
+    /// `n_changepoints=25`.
+    pub n_changepoints: usize,
+    /// `changepoint_range=0.8` — changepoints live in the first 80%.
+    pub changepoint_range: f64,
+    /// `changepoint_prior_scale=0.05` → ridge penalty on slope deltas.
+    pub changepoint_prior_scale: f64,
+    /// `seasonality_prior_scale=10.0` → (weak) ridge on Fourier terms.
+    pub seasonality_prior_scale: f64,
+    /// `seasonality_mode='additive'`.
+    pub additive_seasonality: bool,
+    /// Yearly Fourier order (Prophet default 10).
+    pub yearly_order: usize,
+    /// Weekly Fourier order (Prophet default 3).
+    pub weekly_order: usize,
+}
+
+impl Default for ProphetConfig {
+    fn default() -> Self {
+        Self {
+            n_changepoints: 25,
+            changepoint_range: 0.8,
+            changepoint_prior_scale: 0.05,
+            seasonality_prior_scale: 10.0,
+            additive_seasonality: true,
+            yearly_order: 10,
+            weekly_order: 3,
+        }
+    }
+}
+
+/// N-BEATS defaults (Table 3 row "Nbeats").
+#[derive(Debug, Clone, PartialEq)]
+pub struct NBeatsConfig {
+    /// `thetas_dims=[7, 8]` — trend/seasonality basis widths.
+    pub thetas_dims: [usize; 2],
+    /// `nb_blocks_per_stack=3`.
+    pub blocks_per_stack: usize,
+    /// `share_weights_in_stack=False` (documented; blocks are independent).
+    pub share_weights: bool,
+    /// `train_percent=0.8`.
+    pub train_percent: f64,
+    /// `hidden_layer_units=128`.
+    pub hidden_units: usize,
+    /// Backcast window as a multiple of the forecast length.
+    pub backcast_multiple: usize,
+    /// Training epochs for the generic blocks.
+    pub epochs: usize,
+}
+
+impl Default for NBeatsConfig {
+    fn default() -> Self {
+        Self {
+            thetas_dims: [7, 8],
+            blocks_per_stack: 3,
+            share_weights: false,
+            train_percent: 0.8,
+            hidden_units: 128,
+            backcast_multiple: 3,
+            epochs: 25,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmdarima_defaults_match_table3() {
+        let c = PmdArimaConfig::default();
+        assert_eq!((c.start_p, c.start_q), (1, 1));
+        assert_eq!((c.max_p, c.max_q), (3, 3));
+        assert_eq!(c.m, 12);
+        assert!(c.seasonal);
+        assert_eq!((c.d, c.seasonal_d), (1, 1));
+    }
+
+    #[test]
+    fn deepar_defaults_match_table3() {
+        let c = DeepArConfig::default();
+        assert_eq!(c.num_layers, 2);
+        assert_eq!(c.num_cells, 40);
+        assert!((c.dropout_rate - 0.1).abs() < 1e-12);
+        assert!(c.scaling);
+        assert_eq!(c.num_parallel_samples, 100);
+    }
+
+    #[test]
+    fn prophet_defaults_match_table3() {
+        let c = ProphetConfig::default();
+        assert_eq!(c.n_changepoints, 25);
+        assert!((c.changepoint_range - 0.8).abs() < 1e-12);
+        assert!((c.changepoint_prior_scale - 0.05).abs() < 1e-12);
+        assert!((c.seasonality_prior_scale - 10.0).abs() < 1e-12);
+        assert!(c.additive_seasonality);
+    }
+
+    #[test]
+    fn nbeats_defaults_match_table3() {
+        let c = NBeatsConfig::default();
+        assert_eq!(c.thetas_dims, [7, 8]);
+        assert_eq!(c.blocks_per_stack, 3);
+        assert!(!c.share_weights);
+        assert!((c.train_percent - 0.8).abs() < 1e-12);
+        assert_eq!(c.hidden_units, 128);
+    }
+}

@@ -1,0 +1,87 @@
+//! Rust simulators of the 10 state-of-the-art forecasting toolkits the
+//! paper benchmarks against (§5, Table 3).
+//!
+//! The originals are Python/R systems (GluonTS DeepAR, fbprophet, pmdarima,
+//! PyAF, N-BEATS, and the AutoTS model lists GLS / WindowRegressor /
+//! RollingRegressor / Motif / Component). None can run in this offline Rust
+//! environment, so each simulator reimplements the *same model class and
+//! automation strategy* as the original's default configuration — the
+//! configuration the paper explicitly evaluated ("their hyper-parameters
+//! are kept as default and shown in table 3", §5.3). DESIGN.md §3 maps each
+//! toolkit to its simulator and argues why the substitution preserves the
+//! comparison's shape.
+//!
+//! Every simulator implements the same [`Forecaster`] trait as the AutoAI-TS
+//! pipelines, so the benchmark harness can sweep all 11 systems uniformly.
+
+#![warn(missing_docs)]
+
+pub mod autots;
+pub mod config;
+pub mod deepar;
+pub mod nbeats;
+pub mod pmdarima;
+pub mod prophet;
+pub mod pyaf;
+
+pub use autots::{ComponentSim, GlsSim, MotifSim, RollingRegressorSim, WindowRegressorSim};
+pub use config::{DeepArConfig, NBeatsConfig, PmdArimaConfig, ProphetConfig};
+pub use deepar::DeepArSim;
+pub use nbeats::NBeatsSim;
+pub use pmdarima::PmdArimaSim;
+pub use prophet::ProphetSim;
+pub use pyaf::PyAfSim;
+
+use autoai_pipelines::Forecaster;
+
+/// Display names of the 10 SOTA toolkits, ordered as in Table 4's columns.
+pub const SOTA_NAMES: [&str; 10] = [
+    "PMDArima",
+    "DeepAR",
+    "WindowRegressor",
+    "PyAF",
+    "GLS",
+    "RollingRegressor",
+    "NBeats",
+    "Motif",
+    "Component",
+    "Prophet",
+];
+
+/// Instantiate one SOTA simulator by name (`None` for unknown names).
+pub fn sota_by_name(name: &str) -> Option<Box<dyn Forecaster>> {
+    let f: Box<dyn Forecaster> = match name {
+        "PMDArima" => Box::new(PmdArimaSim::new()),
+        "DeepAR" => Box::new(DeepArSim::new()),
+        "WindowRegressor" => Box::new(WindowRegressorSim::new()),
+        "PyAF" => Box::new(PyAfSim::new()),
+        "GLS" => Box::new(GlsSim::new()),
+        "RollingRegressor" => Box::new(RollingRegressorSim::new()),
+        "NBeats" => Box::new(NBeatsSim::new()),
+        "Motif" => Box::new(MotifSim::new()),
+        "Component" => Box::new(ComponentSim::new()),
+        "Prophet" => Box::new(ProphetSim::new()),
+        _ => return None,
+    };
+    Some(f)
+}
+
+/// All 10 simulators, fresh and unfitted.
+pub fn all_sota() -> Vec<Box<dyn Forecaster>> {
+    SOTA_NAMES.iter().map(|n| sota_by_name(n).expect("registered")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ten_toolkits_registered() {
+        let all = all_sota();
+        assert_eq!(all.len(), 10);
+        for (sim, expected) in all.iter().zip(SOTA_NAMES) {
+            assert_eq!(sim.name(), expected);
+        }
+        assert!(sota_by_name("NotAToolkit").is_none());
+    }
+}

@@ -1,0 +1,276 @@
+//! PyAF simulator: signal decomposition AutoML.
+//!
+//! PyAF's core idea (its `cSignalDecomposition`) is an exhaustive search
+//! over decompositions `signal = trend + cycle + AR(residual)`: several
+//! trend candidates × several cycle candidates × an optional autoregression
+//! on what remains, selected on a validation split. This simulator searches
+//! the same space: {constant, linear, quadratic} trends × {no cycle, best
+//! ACF cycle} × {no AR, AR(4)}.
+
+use autoai_linalg::{autocorrelation, lstsq, Matrix};
+use autoai_pipelines::{Forecaster, PipelineError};
+use autoai_tsdata::TimeSeriesFrame;
+
+/// One fitted decomposition for one series.
+struct Decomposition {
+    /// Polynomial trend coefficients (degree = len - 1).
+    trend: Vec<f64>,
+    /// Cycle table by phase (empty = no cycle).
+    cycle: Vec<f64>,
+    /// AR coefficients on the residual (empty = no AR).
+    ar: Vec<f64>,
+    /// Residual tail for AR forecasting.
+    residual_tail: Vec<f64>,
+    n: usize,
+}
+
+impl Decomposition {
+    fn trend_at(&self, t: f64) -> f64 {
+        self.trend.iter().enumerate().map(|(k, &c)| c * t.powi(k as i32)).sum()
+    }
+
+    fn cycle_at(&self, t: usize) -> f64 {
+        if self.cycle.is_empty() {
+            0.0
+        } else {
+            self.cycle[t % self.cycle.len()]
+        }
+    }
+
+    fn forecast(&self, horizon: usize) -> Vec<f64> {
+        let mut resid = self.residual_tail.clone();
+        (0..horizon)
+            .map(|h| {
+                let t = self.n + h;
+                let mut v = self.trend_at(t as f64) + self.cycle_at(t);
+                if !self.ar.is_empty() {
+                    let mut r = 0.0;
+                    for (k, &c) in self.ar.iter().enumerate() {
+                        if resid.len() > k {
+                            r += c * resid[resid.len() - 1 - k];
+                        }
+                    }
+                    resid.push(r);
+                    v += r;
+                }
+                v
+            })
+            .collect()
+    }
+}
+
+/// PyAF-style decomposition search, one model per series.
+pub struct PyAfSim {
+    models: Vec<Decomposition>,
+    names: Vec<String>,
+}
+
+impl PyAfSim {
+    /// New unfitted simulator.
+    pub fn new() -> Self {
+        Self { models: Vec::new(), names: Vec::new() }
+    }
+
+    /// Fit a polynomial trend of the given degree.
+    fn fit_trend(y: &[f64], degree: usize) -> Vec<f64> {
+        let rows: Vec<Vec<f64>> = (0..y.len())
+            .map(|t| (0..=degree).map(|k| (t as f64).powi(k as i32)).collect())
+            .collect();
+        lstsq(&Matrix::from_rows(&rows), y).unwrap_or_else(|_| vec![autoai_linalg::mean(y)])
+    }
+
+    /// Best cycle period by autocorrelation peak in [2, n/3].
+    fn best_cycle_period(detrended: &[f64]) -> Option<usize> {
+        let max_lag = (detrended.len() / 3).min(400);
+        if max_lag < 2 {
+            return None;
+        }
+        let mut best = (0usize, 0.3f64); // require meaningful correlation
+        for lag in 2..=max_lag {
+            let r = autocorrelation(detrended, lag);
+            if r > best.1 {
+                best = (lag, r);
+            }
+        }
+        if best.0 >= 2 {
+            Some(best.0)
+        } else {
+            None
+        }
+    }
+
+    /// Cycle table: mean of detrended values by phase.
+    fn fit_cycle(detrended: &[f64], period: usize) -> Vec<f64> {
+        let mut sums = vec![0.0; period];
+        let mut counts = vec![0usize; period];
+        for (t, &v) in detrended.iter().enumerate() {
+            sums[t % period] += v;
+            counts[t % period] += 1;
+        }
+        sums.iter().zip(&counts).map(|(s, &c)| if c > 0 { s / c as f64 } else { 0.0 }).collect()
+    }
+
+    /// AR(p) on the residual by OLS.
+    fn fit_ar(residual: &[f64], p: usize) -> Vec<f64> {
+        if residual.len() < p + 8 {
+            return Vec::new();
+        }
+        let rows: Vec<Vec<f64>> = (p..residual.len())
+            .map(|t| (1..=p).map(|k| residual[t - k]).collect())
+            .collect();
+        let y: Vec<f64> = residual[p..].to_vec();
+        lstsq(&Matrix::from_rows(&rows), &y).unwrap_or_default()
+    }
+
+    /// Search decompositions on a validation split; return the best.
+    fn fit_one(series: &[f64]) -> Result<Decomposition, PipelineError> {
+        let n = series.len();
+        if n < 20 {
+            return Err(PipelineError::InvalidInput("pyaf-sim needs >= 20 samples".into()));
+        }
+        let cut = n - (n / 5).max(4);
+        let (train, valid) = series.split_at(cut);
+
+        let mut best: Option<(f64, Decomposition)> = None;
+        for degree in [0usize, 1, 2] {
+            let trend = Self::fit_trend(train, degree);
+            let trend_at = |t: f64| -> f64 {
+                trend.iter().enumerate().map(|(k, &c)| c * t.powi(k as i32)).sum()
+            };
+            let detrended: Vec<f64> =
+                train.iter().enumerate().map(|(t, &v)| v - trend_at(t as f64)).collect();
+            let cycles: Vec<Vec<f64>> = {
+                let mut c = vec![Vec::new()];
+                if let Some(p) = Self::best_cycle_period(&detrended) {
+                    c.push(Self::fit_cycle(&detrended, p));
+                }
+                c
+            };
+            for cycle in cycles {
+                let residual: Vec<f64> = detrended
+                    .iter()
+                    .enumerate()
+                    .map(|(t, &v)| {
+                        v - if cycle.is_empty() { 0.0 } else { cycle[t % cycle.len()] }
+                    })
+                    .collect();
+                for use_ar in [false, true] {
+                    let ar = if use_ar { Self::fit_ar(&residual, 4) } else { Vec::new() };
+                    let d = Decomposition {
+                        trend: trend.clone(),
+                        cycle: cycle.clone(),
+                        ar,
+                        residual_tail: residual[residual.len().saturating_sub(8)..].to_vec(),
+                        n: train.len(),
+                    };
+                    let fc = d.forecast(valid.len());
+                    let err = autoai_tsdata::smape(valid, &fc);
+                    if best.as_ref().is_none_or(|(b, _)| err < *b) {
+                        best = Some((err, d));
+                    }
+                }
+            }
+        }
+        let (_, mut chosen) = best.ok_or_else(|| PipelineError::Fit("pyaf-sim: no decomposition".into()))?;
+        // refit the chosen shape on the full series
+        let degree = chosen.trend.len() - 1;
+        chosen.trend = Self::fit_trend(series, degree);
+        let trend = chosen.trend.clone();
+        let trend_at =
+            |t: f64| -> f64 { trend.iter().enumerate().map(|(k, &c)| c * t.powi(k as i32)).sum() };
+        let detrended: Vec<f64> =
+            series.iter().enumerate().map(|(t, &v)| v - trend_at(t as f64)).collect();
+        if !chosen.cycle.is_empty() {
+            let period = chosen.cycle.len();
+            chosen.cycle = Self::fit_cycle(&detrended, period);
+        }
+        let residual: Vec<f64> = detrended
+            .iter()
+            .enumerate()
+            .map(|(t, &v)| v - chosen.cycle_at(t))
+            .collect();
+        if !chosen.ar.is_empty() {
+            chosen.ar = Self::fit_ar(&residual, 4);
+        }
+        chosen.residual_tail = residual[residual.len().saturating_sub(8)..].to_vec();
+        chosen.n = n;
+        Ok(chosen)
+    }
+}
+
+impl Default for PyAfSim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Forecaster for PyAfSim {
+    fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
+        self.models.clear();
+        self.names = frame.names().to_vec();
+        for c in 0..frame.n_series() {
+            self.models.push(Self::fit_one(frame.series(c))?);
+        }
+        if self.models.is_empty() {
+            return Err(PipelineError::InvalidInput("empty frame".into()));
+        }
+        Ok(())
+    }
+
+    fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
+        if self.models.is_empty() {
+            return Err(PipelineError::NotFitted);
+        }
+        let cols: Vec<Vec<f64>> = self.models.iter().map(|m| m.forecast(horizon)).collect();
+        let mut f = TimeSeriesFrame::from_columns(cols);
+        if f.n_series() == self.names.len() {
+            f = f.with_names(self.names.clone());
+        }
+        Ok(f)
+    }
+
+    fn name(&self) -> String {
+        "PyAF".into()
+    }
+
+    fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+        Box::new(Self::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decomposes_trend_plus_cycle() {
+        let pattern = [10.0, -5.0, -8.0, 3.0, 7.0, -7.0];
+        let series: Vec<f64> =
+            (0..300).map(|i| 50.0 + 0.3 * i as f64 + pattern[i % 6]).collect();
+        let mut sim = PyAfSim::new();
+        sim.fit(&TimeSeriesFrame::univariate(series)).unwrap();
+        let f = sim.predict(12).unwrap();
+        let truth: Vec<f64> =
+            (300..312).map(|i| 50.0 + 0.3 * i as f64 + pattern[i % 6]).collect();
+        let smape = autoai_tsdata::smape(&truth, f.series(0));
+        assert!(smape < 4.0, "pyaf-sim smape {smape}");
+    }
+
+    #[test]
+    fn pure_trend_without_cycle() {
+        let series: Vec<f64> = (0..120).map(|i| 3.0 + 1.5 * i as f64).collect();
+        let mut sim = PyAfSim::new();
+        sim.fit(&TimeSeriesFrame::univariate(series)).unwrap();
+        let f = sim.predict(4).unwrap();
+        for (h, &v) in f.series(0).iter().enumerate() {
+            let truth = 3.0 + 1.5 * (120 + h) as f64;
+            assert!((v - truth).abs() < 2.0, "h={h}: {v} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        let mut sim = PyAfSim::new();
+        assert!(sim.fit(&TimeSeriesFrame::univariate(vec![1.0; 10])).is_err());
+    }
+}

@@ -1,0 +1,276 @@
+//! Holt-Winters exponential smoothing (simple, linear-trend, and triple /
+//! seasonal in additive and multiplicative flavors).
+//!
+//! The paper lists "Additive and Multiplicative Triple Exponential
+//! Smoothing also known as Holt-winters" among its core statistical
+//! pipelines (HW-Additive / HW-Multiplicative in Table 6). Smoothing
+//! constants `(α, β, γ)` are chosen automatically by Nelder–Mead on the
+//! one-step-ahead sum of squared errors, with a sigmoid reparameterization
+//! keeping them in (0, 1).
+
+use autoai_linalg::{nelder_mead, NelderMeadOptions};
+
+use crate::FitError;
+
+/// Seasonal structure of a Holt-Winters model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Seasonality {
+    /// No seasonal component (Holt's linear trend method).
+    None,
+    /// Additive seasonality with the given period.
+    Additive(usize),
+    /// Multiplicative seasonality with the given period.
+    Multiplicative(usize),
+}
+
+impl Seasonality {
+    fn period(self) -> usize {
+        match self {
+            Seasonality::None => 0,
+            Seasonality::Additive(m) | Seasonality::Multiplicative(m) => m,
+        }
+    }
+}
+
+/// A fitted Holt-Winters model.
+#[derive(Debug, Clone)]
+pub struct HoltWinters {
+    /// Seasonal structure.
+    pub seasonality: Seasonality,
+    /// Level smoothing constant.
+    pub alpha: f64,
+    /// Trend smoothing constant.
+    pub beta: f64,
+    /// Seasonal smoothing constant.
+    pub gamma: f64,
+    /// Final level state.
+    level: f64,
+    /// Final trend state.
+    trend: f64,
+    /// Final seasonal indices (empty when non-seasonal).
+    seasonals: Vec<f64>,
+    /// One-step SSE of the optimized fit.
+    pub sse: f64,
+    n: usize,
+}
+
+fn sigmoid(x: f64) -> f64 {
+    // clamped to the open interval so optimized constants never saturate to
+    // exactly 0 or 1 in floating point
+    (1.0 / (1.0 + (-x).exp())).clamp(1e-4, 1.0 - 1e-4)
+}
+
+impl HoltWinters {
+    /// Fit a Holt-Winters model, optimizing `(α, β, γ)` on one-step SSE.
+    pub fn fit(series: &[f64], seasonality: Seasonality) -> Result<Self, FitError> {
+        let m = seasonality.period();
+        let min_len = if m > 0 { 2 * m + 2 } else { 4 };
+        if series.len() < min_len {
+            return Err(FitError::new(format!(
+                "series too short for Holt-Winters: {} < {}",
+                series.len(),
+                min_len
+            )));
+        }
+        if series.iter().any(|v| !v.is_finite()) {
+            return Err(FitError::new("series contains non-finite values"));
+        }
+        if matches!(seasonality, Seasonality::Multiplicative(_))
+            && series.iter().any(|&v| v <= 0.0)
+        {
+            return Err(FitError::new(
+                "multiplicative Holt-Winters requires strictly positive data",
+            ));
+        }
+
+        // optimize in unconstrained space via sigmoid
+        let objective = |raw: &[f64]| -> f64 {
+            let (a, b, g) = (sigmoid(raw[0]), sigmoid(raw[1]), sigmoid(raw[2]));
+            match Self::run(series, seasonality, a, b, g) {
+                Some((_, _, _, sse)) => sse,
+                None => f64::INFINITY,
+            }
+        };
+        let opts = NelderMeadOptions { max_evals: 1500, ..Default::default() };
+        // raw 0 → 0.5; start from moderate smoothing
+        let (raw, _) = nelder_mead(objective, &[-1.0, -2.0, -1.0], &opts);
+        let (alpha, beta, gamma) = (sigmoid(raw[0]), sigmoid(raw[1]), sigmoid(raw[2]));
+        let (level, trend, seasonals, sse) = Self::run(series, seasonality, alpha, beta, gamma)
+            .ok_or_else(|| FitError::new("Holt-Winters recursion diverged"))?;
+
+        Ok(Self {
+            seasonality,
+            alpha,
+            beta,
+            gamma,
+            level,
+            trend,
+            seasonals,
+            sse,
+            n: series.len(),
+        })
+    }
+
+    /// Run the smoothing recursion; returns `(level, trend, seasonals, sse)`
+    /// or `None` if the state diverges (multiplicative models on bad data).
+    fn run(
+        series: &[f64],
+        seasonality: Seasonality,
+        alpha: f64,
+        beta: f64,
+        gamma: f64,
+    ) -> Option<(f64, f64, Vec<f64>, f64)> {
+        let m = seasonality.period();
+        // initial states
+        let (mut level, mut trend, mut seasonals) = if m > 0 {
+            let s1 = &series[..m];
+            let s2 = &series[m..2 * m];
+            let m1 = autoai_linalg::mean(s1);
+            let m2 = autoai_linalg::mean(s2);
+            let level = m1;
+            let trend = (m2 - m1) / m as f64;
+            let seasonals: Vec<f64> = match seasonality {
+                Seasonality::Additive(_) => s1.iter().map(|&v| v - m1).collect(),
+                Seasonality::Multiplicative(_) => {
+                    if m1.abs() < 1e-12 {
+                        return None;
+                    }
+                    s1.iter().map(|&v| v / m1).collect()
+                }
+                Seasonality::None => unreachable!(),
+            };
+            (level, trend, seasonals)
+        } else {
+            (series[0], series[1] - series[0], Vec::new())
+        };
+
+        let mut sse = 0.0;
+        let start = if m > 0 { m } else { 1 };
+        for (t, &x) in series.iter().enumerate().skip(start) {
+            let season = if m > 0 { seasonals[t % m] } else { 0.0 };
+            let (fitted, deseason) = match seasonality {
+                Seasonality::None => (level + trend, x),
+                Seasonality::Additive(_) => (level + trend + season, x - season),
+                Seasonality::Multiplicative(_) => {
+                    if season.abs() < 1e-9 {
+                        return None;
+                    }
+                    ((level + trend) * season, x / season)
+                }
+            };
+            let err = x - fitted;
+            sse += err * err;
+            if !sse.is_finite() {
+                return None;
+            }
+            let prev_level = level;
+            level = alpha * deseason + (1.0 - alpha) * (level + trend);
+            trend = beta * (level - prev_level) + (1.0 - beta) * trend;
+            if m > 0 {
+                seasonals[t % m] = match seasonality {
+                    Seasonality::Additive(_) => gamma * (x - level) + (1.0 - gamma) * season,
+                    Seasonality::Multiplicative(_) => {
+                        if level.abs() < 1e-12 {
+                            return None;
+                        }
+                        gamma * (x / level) + (1.0 - gamma) * season
+                    }
+                    Seasonality::None => 0.0,
+                };
+            }
+        }
+        Some((level, trend, seasonals, sse))
+    }
+
+    /// Forecast `horizon` values ahead of the training data.
+    pub fn forecast(&self, horizon: usize) -> Vec<f64> {
+        let m = self.seasonality.period();
+        (1..=horizon)
+            .map(|h| {
+                let base = self.level + self.trend * h as f64;
+                if m == 0 {
+                    base
+                } else {
+                    let season = self.seasonals[(self.n + h - 1) % m];
+                    match self.seasonality {
+                        Seasonality::Additive(_) => base + season,
+                        Seasonality::Multiplicative(_) => base * season,
+                        Seasonality::None => base,
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holt_linear_tracks_trend() {
+        let series: Vec<f64> = (0..60).map(|i| 10.0 + 1.5 * i as f64).collect();
+        let m = HoltWinters::fit(&series, Seasonality::None).unwrap();
+        let f = m.forecast(4);
+        for (h, &v) in f.iter().enumerate() {
+            let truth = 10.0 + 1.5 * (60 + h) as f64;
+            assert!((v - truth).abs() < 1.0, "h={h}: {v} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn additive_seasonal_signal_recovered() {
+        let pattern = [5.0, -2.0, -8.0, 5.0];
+        let series: Vec<f64> = (0..80).map(|i| 20.0 + pattern[i % 4]).collect();
+        let m = HoltWinters::fit(&series, Seasonality::Additive(4)).unwrap();
+        let f = m.forecast(8);
+        for (h, &v) in f.iter().enumerate() {
+            let truth = 20.0 + pattern[(80 + h) % 4];
+            assert!((v - truth).abs() < 0.5, "h={h}: {v} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn multiplicative_seasonal_with_growth() {
+        let pattern = [1.2, 0.8, 1.0, 1.0];
+        let series: Vec<f64> = (0..120)
+            .map(|i| (50.0 + 0.5 * i as f64) * pattern[i % 4])
+            .collect();
+        let m = HoltWinters::fit(&series, Seasonality::Multiplicative(4)).unwrap();
+        let f = m.forecast(8);
+        for (h, &v) in f.iter().enumerate() {
+            let truth = (50.0 + 0.5 * (120 + h) as f64) * pattern[(120 + h) % 4];
+            assert!((v - truth).abs() / truth < 0.1, "h={h}: {v} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn multiplicative_rejects_nonpositive() {
+        let series = vec![1.0, -1.0, 2.0, 3.0, 1.0, -1.0, 2.0, 3.0, 1.0, -1.0];
+        assert!(HoltWinters::fit(&series, Seasonality::Multiplicative(4)).is_err());
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        assert!(HoltWinters::fit(&[1.0, 2.0, 3.0], Seasonality::Additive(4)).is_err());
+        assert!(HoltWinters::fit(&[1.0, 2.0], Seasonality::None).is_err());
+    }
+
+    #[test]
+    fn smoothing_constants_in_unit_interval() {
+        let series: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin() * 5.0 + 10.0).collect();
+        let m = HoltWinters::fit(&series, Seasonality::None).unwrap();
+        assert!(m.alpha > 0.0 && m.alpha < 1.0);
+        assert!(m.beta > 0.0 && m.beta < 1.0);
+    }
+
+    #[test]
+    fn constant_series_forecasts_constant() {
+        let series = vec![7.0; 30];
+        let m = HoltWinters::fit(&series, Seasonality::None).unwrap();
+        let f = m.forecast(5);
+        for v in f {
+            assert!((v - 7.0).abs() < 1e-6, "{v}");
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Baseline forecasters: Zero Model, seasonal naive, drift, and Theta.
+//!
+//! §4: "the system trains a basic model; the *Zero Model* … almost
+//! immediately provides us with a baseline model that is available for use.
+//! The Zero Model simply outputs the most recent value of a time series as
+//! the next prediction. For prediction horizons greater than 1 the most
+//! recent value is repeated."
+
+use crate::FitError;
+
+/// The paper's Zero Model: repeat the last observed value.
+#[derive(Debug, Clone, Default)]
+pub struct ZeroModel {
+    last: f64,
+    fitted: bool,
+}
+
+impl ZeroModel {
+    /// New unfitted model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the most recent value of the series.
+    pub fn fit(&mut self, series: &[f64]) -> Result<(), FitError> {
+        let last = series.last().copied().ok_or_else(|| FitError::new("empty series"))?;
+        self.last = last;
+        self.fitted = true;
+        Ok(())
+    }
+
+    /// Repeat the last value `horizon` times.
+    pub fn forecast(&self, horizon: usize) -> Vec<f64> {
+        assert!(self.fitted, "ZeroModel::forecast before fit");
+        vec![self.last; horizon]
+    }
+}
+
+/// Seasonal naive: repeat the value from one season ago; falls back to the
+/// Zero Model when the series is shorter than the period.
+#[derive(Debug, Clone)]
+pub struct SeasonalNaive {
+    period: usize,
+    tail: Vec<f64>,
+}
+
+impl SeasonalNaive {
+    /// New model with the given seasonal period (>= 1).
+    pub fn new(period: usize) -> Self {
+        assert!(period >= 1, "seasonal period must be >= 1");
+        Self { period, tail: Vec::new() }
+    }
+
+    /// Store the trailing season of the series.
+    pub fn fit(&mut self, series: &[f64]) -> Result<(), FitError> {
+        if series.is_empty() {
+            return Err(FitError::new("empty series"));
+        }
+        let take = self.period.min(series.len());
+        self.tail = series[series.len() - take..].to_vec();
+        Ok(())
+    }
+
+    /// Cycle through the stored season.
+    pub fn forecast(&self, horizon: usize) -> Vec<f64> {
+        assert!(!self.tail.is_empty(), "SeasonalNaive::forecast before fit");
+        (0..horizon).map(|h| self.tail[h % self.tail.len()]).collect()
+    }
+}
+
+/// Naive-with-drift: extrapolate the average slope between first and last
+/// observation.
+#[derive(Debug, Clone, Default)]
+pub struct DriftModel {
+    last: f64,
+    slope: f64,
+    fitted: bool,
+}
+
+impl DriftModel {
+    /// New unfitted model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Estimate the drift slope `(x_n - x_1) / (n - 1)`.
+    pub fn fit(&mut self, series: &[f64]) -> Result<(), FitError> {
+        if series.is_empty() {
+            return Err(FitError::new("empty series"));
+        }
+        self.last = *series.last().unwrap();
+        self.slope = if series.len() >= 2 {
+            (series[series.len() - 1] - series[0]) / (series.len() - 1) as f64
+        } else {
+            0.0
+        };
+        self.fitted = true;
+        Ok(())
+    }
+
+    /// Linear extrapolation from the last observation.
+    pub fn forecast(&self, horizon: usize) -> Vec<f64> {
+        assert!(self.fitted, "DriftModel::forecast before fit");
+        (1..=horizon).map(|h| self.last + self.slope * h as f64).collect()
+    }
+}
+
+/// Theta method (Assimakopoulos & Nikolopoulos), the M3 competition winner:
+/// average of a linear-trend extrapolation (theta = 0 line) and simple
+/// exponential smoothing of the theta = 2 line.
+#[derive(Debug, Clone, Default)]
+pub struct ThetaModel {
+    /// Trend line coefficients (intercept, slope) in time index units.
+    trend: (f64, f64),
+    /// SES level of the theta=2 line at the end of training.
+    ses_level: f64,
+    /// SES smoothing constant chosen by grid search.
+    alpha: f64,
+    n: usize,
+    fitted: bool,
+}
+
+impl ThetaModel {
+    /// New unfitted model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fit trend + SES components.
+    pub fn fit(&mut self, series: &[f64]) -> Result<(), FitError> {
+        if series.len() < 3 {
+            return Err(FitError::new("theta method needs at least 3 points"));
+        }
+        let t: Vec<f64> = (0..series.len()).map(|i| i as f64).collect();
+        let (a, b) = autoai_linalg::simple_linreg(&t, series);
+        self.trend = (a, b);
+        // theta = 2 line: 2*x - trend
+        let theta2: Vec<f64> = series
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 2.0 * x - (a + b * i as f64))
+            .collect();
+        // SES with alpha grid search on one-step SSE
+        let mut best = (0.3, f64::INFINITY, theta2[0]);
+        for k in 1..=19 {
+            let alpha = k as f64 * 0.05;
+            let mut level = theta2[0];
+            let mut sse = 0.0;
+            for &x in &theta2[1..] {
+                let e = x - level;
+                sse += e * e;
+                level += alpha * e;
+            }
+            if sse < best.1 {
+                best = (alpha, sse, level);
+            }
+        }
+        self.alpha = best.0;
+        self.ses_level = best.2;
+        self.n = series.len();
+        self.fitted = true;
+        Ok(())
+    }
+
+    /// Average the extrapolated trend line and the flat SES forecast.
+    pub fn forecast(&self, horizon: usize) -> Vec<f64> {
+        assert!(self.fitted, "ThetaModel::forecast before fit");
+        let (a, b) = self.trend;
+        (0..horizon)
+            .map(|h| {
+                let t = (self.n + h) as f64;
+                let theta0 = a + b * t;
+                0.5 * (theta0 + self.ses_level)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_model_repeats_last() {
+        let mut m = ZeroModel::new();
+        m.fit(&[1.0, 2.0, 7.0]).unwrap();
+        assert_eq!(m.forecast(3), vec![7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn zero_model_rejects_empty() {
+        assert!(ZeroModel::new().fit(&[]).is_err());
+    }
+
+    #[test]
+    fn seasonal_naive_cycles() {
+        let mut m = SeasonalNaive::new(3);
+        m.fit(&[9.0, 9.0, 9.0, 1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(m.forecast(5), vec![1.0, 2.0, 3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn seasonal_naive_short_series_fallback() {
+        let mut m = SeasonalNaive::new(10);
+        m.fit(&[4.0, 5.0]).unwrap();
+        assert_eq!(m.forecast(3), vec![4.0, 5.0, 4.0]);
+    }
+
+    #[test]
+    fn drift_extrapolates_line() {
+        let mut m = DriftModel::new();
+        m.fit(&[0.0, 1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(m.forecast(2), vec![4.0, 5.0]);
+    }
+
+    #[test]
+    fn drift_single_point_is_flat() {
+        let mut m = DriftModel::new();
+        m.fit(&[5.0]).unwrap();
+        assert_eq!(m.forecast(2), vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn theta_tracks_linear_trend() {
+        let series: Vec<f64> = (0..50).map(|i| 3.0 + 2.0 * i as f64).collect();
+        let mut m = ThetaModel::new();
+        m.fit(&series).unwrap();
+        let f = m.forecast(5);
+        // on a pure line, theta forecast ~ halfway between flat SES and trend,
+        // still increasing and close to the trend continuation
+        for (h, &v) in f.iter().enumerate() {
+            let truth = 3.0 + 2.0 * (50 + h) as f64;
+            assert!((v - truth).abs() < 0.55 * truth, "h={h} v={v} truth={truth}");
+        }
+        assert!(f[4] > f[0]);
+    }
+
+    #[test]
+    fn theta_needs_three_points() {
+        assert!(ThetaModel::new().fit(&[1.0, 2.0]).is_err());
+    }
+}

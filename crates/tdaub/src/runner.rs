@@ -1,0 +1,520 @@
+//! The T-Daub algorithm (Algorithm 1 of the paper).
+
+use std::time::{Duration, Instant};
+
+use autoai_linalg::simple_linreg;
+use autoai_pipelines::{Forecaster, PipelineError};
+use autoai_tsdata::{Metric, TimeSeriesFrame};
+use rayon::prelude::*;
+
+/// T-Daub configuration; field names follow the paper's §4.2 definitions.
+#[derive(Debug, Clone)]
+pub struct TDaubConfig {
+    /// The smallest data chunk provided to pipelines.
+    pub min_allocation_size: usize,
+    /// The increment to the allocation size (post-cutoff allocations are
+    /// rounded to multiples of this).
+    pub allocation_size: usize,
+    /// Limit for fixed-size allocation; `None` = 5 × `allocation_size`
+    /// (the paper's default).
+    pub fixed_allocation_cutoff: Option<usize>,
+    /// Geometric multiplier applied after the cutoff.
+    pub geo_increment_size: f64,
+    /// How many top pipelines run on all data in the scoring step.
+    pub run_to_completion: usize,
+    /// Scoring metric (paper: SMAPE).
+    pub metric: Metric,
+    /// Fraction of T reserved as the internal test split T2.
+    pub test_fraction: f64,
+    /// Evaluate pipelines in parallel within each fixed-allocation round.
+    pub parallel: bool,
+    /// Allocate most-recent-data-first (the T-Daub contribution). `false`
+    /// reproduces the original DAUB's oldest-first allocation (ablation A3).
+    pub reverse_allocation: bool,
+    /// Rank by projected full-data score (`true`) or by the last observed
+    /// allocation score (`false`, ablation).
+    pub use_projection: bool,
+}
+
+impl Default for TDaubConfig {
+    fn default() -> Self {
+        Self {
+            min_allocation_size: 50,
+            allocation_size: 50,
+            fixed_allocation_cutoff: None,
+            geo_increment_size: 2.0,
+            run_to_completion: 1,
+            metric: Metric::Smape,
+            test_fraction: 0.2,
+            parallel: true,
+            reverse_allocation: true,
+            use_projection: true,
+        }
+    }
+}
+
+/// Evaluation record for one pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Pipeline display name.
+    pub name: String,
+    /// `(allocation length, score)` pairs observed during allocation.
+    pub scores: Vec<(usize, f64)>,
+    /// Score projected to the full training length.
+    pub projected_score: f64,
+    /// Holdout score after full-data training (only for pipelines that ran
+    /// to completion).
+    pub final_score: Option<f64>,
+    /// Wall-clock time spent fitting/scoring this pipeline.
+    pub train_time: Duration,
+    /// Final rank (1 = best).
+    pub rank: usize,
+}
+
+/// Outcome of a T-Daub run.
+pub struct TDaubResult {
+    /// Per-pipeline evaluation reports, ranked best first.
+    pub reports: Vec<PipelineReport>,
+    /// The winning pipeline, retrained on the **entire** training input
+    /// (the paper's final step: "the best pipelines(s) are trained on entire
+    /// training dataset").
+    pub best: Box<dyn Forecaster>,
+    /// Total wall-clock time of the selection process.
+    pub total_time: Duration,
+}
+
+/// Internal per-pipeline state during the run.
+struct Candidate {
+    pipeline: Box<dyn Forecaster>,
+    name: String,
+    scores: Vec<(usize, f64)>,
+    projected: f64,
+    final_score: Option<f64>,
+    train_time: Duration,
+    failed: bool,
+}
+
+impl Candidate {
+    fn project(&mut self, full_len: usize, use_projection: bool, metric: Metric) {
+        let ok: Vec<&(usize, f64)> = self.scores.iter().filter(|(_, s)| s.is_finite()).collect();
+        if ok.is_empty() {
+            self.projected = f64::INFINITY;
+            self.failed = true;
+            return;
+        }
+        // a full-length observation is ground truth; no projection needed
+        if let Some(&&(alloc, s)) = ok.iter().rev().find(|&&&(alloc, _)| alloc >= full_len) {
+            let _ = alloc;
+            self.projected = s;
+            return;
+        }
+        if !use_projection || ok.len() == 1 {
+            self.projected = ok.last().unwrap().1;
+            return;
+        }
+        let t: Vec<f64> = ok.iter().map(|(l, _)| *l as f64).collect();
+        let y: Vec<f64> = ok.iter().map(|(_, s)| *s).collect();
+        let (a, b) = simple_linreg(&t, &y);
+        let mut projected = a + b * full_len as f64;
+        // SMAPE/MAE/RMSE/MAPE are bounded below by 0 — an extrapolated
+        // learning curve must not cross that floor, or a mediocre pipeline
+        // with a steep partial-score slope outranks a near-perfect one
+        if !metric.higher_is_better() {
+            projected = projected.max(0.0);
+        }
+        self.projected = projected;
+    }
+}
+
+/// Train a pipeline on an allocation of `t1` and score it on `t2`.
+/// Returns `(score, elapsed)`; failures yield `+inf`.
+fn evaluate(
+    pipeline: &mut Box<dyn Forecaster>,
+    t1: &TimeSeriesFrame,
+    t2: &TimeSeriesFrame,
+    alloc_len: usize,
+    metric: Metric,
+    reverse: bool,
+) -> (f64, Duration) {
+    let l = t1.len();
+    let alloc_len = alloc_len.min(l);
+    let slice = if reverse {
+        // most recent data: T1[L - alloc + 1 : L] in the paper's notation
+        t1.slice(l - alloc_len, l)
+    } else {
+        // original DAUB: oldest data first — note the pipeline then
+        // forecasts across a gap, which is why reverse wins on time series
+        t1.slice(0, alloc_len)
+    };
+    let start = Instant::now();
+    let result: Result<f64, PipelineError> = (|| {
+        pipeline.fit(&slice)?;
+        pipeline.score(t2, metric)
+    })();
+    let elapsed = start.elapsed();
+    let score = match result {
+        Ok(s) if s.is_finite() => s,
+        _ => f64::INFINITY,
+    };
+    (score, elapsed)
+}
+
+/// Run T-Daub over a pipeline pool (Algorithm 1).
+///
+/// `train` is the 80% training split of the user's data (the holdout for
+/// final reporting is handled by the caller). Returns the ranked reports
+/// and the winner refitted on all of `train`.
+pub fn run_tdaub(
+    pipelines: Vec<Box<dyn Forecaster>>,
+    train: &TimeSeriesFrame,
+    config: &TDaubConfig,
+) -> Result<TDaubResult, PipelineError> {
+    assert!(!pipelines.is_empty(), "run_tdaub requires at least one pipeline");
+    let t_start = Instant::now();
+    let n = train.len();
+
+    let mut cands: Vec<Candidate> = pipelines
+        .into_iter()
+        .map(|p| Candidate {
+            name: p.name(),
+            pipeline: p,
+            scores: Vec::new(),
+            projected: f64::INFINITY,
+            final_score: None,
+            train_time: Duration::ZERO,
+            failed: false,
+        })
+        .collect();
+
+    // T-Daub executes only if the dataset is larger than min_allocation_size;
+    // otherwise every pipeline is ranked on the full data directly (§4.2).
+    let small_data = n <= config.min_allocation_size + 4;
+
+    // split T into {T1, T2}
+    let t2_len = ((n as f64 * config.test_fraction).round() as usize).clamp(1, n.saturating_sub(2).max(1));
+    let t1 = train.slice(0, n - t2_len);
+    let t2 = train.slice(n - t2_len, n);
+    let l = t1.len();
+
+    let metric = config.metric;
+    let reverse = config.reverse_allocation;
+
+    if small_data {
+        let runs: Vec<(f64, Duration)> = if config.parallel {
+            cands
+                .par_iter_mut()
+                .map(|c| evaluate(&mut c.pipeline, &t1, &t2, l, metric, reverse))
+                .collect()
+        } else {
+            cands
+                .iter_mut()
+                .map(|c| evaluate(&mut c.pipeline, &t1, &t2, l, metric, reverse))
+                .collect()
+        };
+        for (c, (score, dt)) in cands.iter_mut().zip(runs) {
+            c.scores.push((l, score));
+            c.train_time += dt;
+            c.projected = score;
+            c.final_score = Some(score);
+        }
+    } else {
+        // ---- 1. fixed allocation ----
+        let cutoff = config
+            .fixed_allocation_cutoff
+            .unwrap_or(5 * config.allocation_size)
+            .min(l);
+        let num_fix_runs = (cutoff / config.min_allocation_size).max(1);
+        for i in 1..=num_fix_runs {
+            let alloc = (config.min_allocation_size * i).min(l);
+            let runs: Vec<(f64, Duration)> = if config.parallel {
+                cands
+                    .par_iter_mut()
+                    .map(|c| evaluate(&mut c.pipeline, &t1, &t2, alloc, metric, reverse))
+                    .collect()
+            } else {
+                cands
+                    .iter_mut()
+                    .map(|c| evaluate(&mut c.pipeline, &t1, &t2, alloc, metric, reverse))
+                    .collect()
+            };
+            for (c, (score, dt)) in cands.iter_mut().zip(runs) {
+                c.scores.push((alloc, score));
+                c.train_time += dt;
+            }
+            if alloc == l {
+                break;
+            }
+        }
+        for c in cands.iter_mut() {
+            c.project(l, config.use_projection, metric);
+        }
+
+        // ---- 2. allocation acceleration ----
+        // Only the (current) top pipeline gets more data; its allocation
+        // grows geometrically from its own largest allocation so far,
+        // rounded to allocation_size multiples (lines 9–17). The priority
+        // queue keeps re-ranking after every evaluation: the loop ends when
+        // the projected-best pipeline has a *confirmed* full-data score —
+        // stopping after the first full-length fit would crown a pipeline
+        // whose optimistic projection the data then contradicts.
+        let base_alloc = config.min_allocation_size * num_fix_runs;
+        // generous budget: every pipeline could in principle climb the
+        // geometric ladder to full length
+        let max_accel_steps = cands.len() * (2 + (l / config.allocation_size.max(1)).max(1).ilog2() as usize + 1);
+        for _ in 0..max_accel_steps {
+            let top = cands
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !c.failed)
+                .min_by(|a, b| {
+                    a.1.projected
+                        .partial_cmp(&b.1.projected)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(i, _)| i);
+            let Some(top) = top else { break };
+            let top_last = cands[top]
+                .scores
+                .iter()
+                .filter(|(_, s)| s.is_finite())
+                .map(|&(a, _)| a)
+                .max()
+                .unwrap_or(base_alloc);
+            if top_last >= l {
+                // the current leader has proven itself on all the data
+                break;
+            }
+            let next = (((top_last.max(base_alloc) as f64 * config.geo_increment_size)
+                / config.allocation_size as f64) as usize)
+                .max(1)
+                * config.allocation_size;
+            let alloc = next.min(l);
+            let (score, dt) = evaluate(&mut cands[top].pipeline, &t1, &t2, alloc, metric, reverse);
+            cands[top].scores.push((alloc, score));
+            cands[top].train_time += dt;
+            if !score.is_finite() && alloc >= l {
+                // cannot even fit on the full data: out of the running
+                cands[top].failed = true;
+                cands[top].projected = f64::INFINITY;
+            } else {
+                cands[top].project(l, config.use_projection, metric);
+            }
+        }
+
+        // ---- 3. T-Daub scoring ----
+        // the top run_to_completion pipelines train on all of T1 and are
+        // ranked by their true T2 score.
+        let mut order: Vec<usize> = (0..cands.len()).collect();
+        order.sort_by(|&a, &b| {
+            cands[a]
+                .projected
+                .partial_cmp(&cands[b].projected)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for &i in order.iter().take(config.run_to_completion.max(1)) {
+            if cands[i].failed {
+                continue;
+            }
+            let full_score = cands[i]
+                .scores
+                .iter()
+                .rev()
+                .find(|&&(a, s)| a >= l && s.is_finite())
+                .map(|&(_, s)| s);
+            let (score, dt) = match full_score {
+                Some(s) => (s, Duration::ZERO),
+                None => evaluate(&mut cands[i].pipeline, &t1, &t2, l, metric, reverse),
+            };
+            cands[i].scores.push((l, score));
+            cands[i].train_time += dt;
+            cands[i].final_score = Some(score);
+        }
+    }
+
+    // final ranking: completed pipelines by final score, then the rest by
+    // projected score
+    let mut order: Vec<usize> = (0..cands.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ka = (cands[a].final_score.is_none(), cands[a].final_score.unwrap_or(cands[a].projected));
+        let kb = (cands[b].final_score.is_none(), cands[b].final_score.unwrap_or(cands[b].projected));
+        ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    // retrain the winner on the entire training input
+    let best_idx = order[0];
+    if cands[best_idx].projected.is_infinite() && cands[best_idx].final_score.is_none() {
+        return Err(PipelineError::Fit("every pipeline failed during T-Daub".into()));
+    }
+    let mut best = cands[best_idx].pipeline.clone_unfitted();
+    let fit_start = Instant::now();
+    best.fit(train)?;
+    cands[best_idx].train_time += fit_start.elapsed();
+
+    let reports: Vec<PipelineReport> = order
+        .iter()
+        .enumerate()
+        .map(|(rank, &i)| PipelineReport {
+            name: cands[i].name.clone(),
+            scores: cands[i].scores.clone(),
+            projected_score: cands[i].projected,
+            final_score: cands[i].final_score,
+            train_time: cands[i].train_time,
+            rank: rank + 1,
+        })
+        .collect();
+
+    Ok(TDaubResult { reports, best, total_time: t_start.elapsed() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoai_pipelines::{Mt2rForecaster, ThetaPipeline, ZeroModelPipeline};
+
+    fn seasonal_frame(n: usize) -> TimeSeriesFrame {
+        TimeSeriesFrame::univariate(
+            (0..n)
+                .map(|i| 20.0 + 5.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin())
+                .collect(),
+        )
+    }
+
+    fn pool() -> Vec<Box<dyn Forecaster>> {
+        vec![
+            Box::new(ZeroModelPipeline::new()),
+            Box::new(Mt2rForecaster::new(12, 6)),
+            Box::new(ThetaPipeline::new()),
+        ]
+    }
+
+    #[test]
+    fn tdaub_picks_the_seasonal_model() {
+        let frame = seasonal_frame(500);
+        let cfg = TDaubConfig { parallel: false, ..Default::default() };
+        let result = run_tdaub(pool(), &frame, &cfg).unwrap();
+        // MT2R can model the seasonality; ZeroModel and Theta cannot
+        assert_eq!(result.best.name(), "MT2RForecaster", "ranking: {:?}",
+            result.reports.iter().map(|r| (&r.name, r.final_score)).collect::<Vec<_>>());
+        assert_eq!(result.reports[0].rank, 1);
+    }
+
+    #[test]
+    fn best_pipeline_is_refitted_and_predicts() {
+        let frame = seasonal_frame(400);
+        let result = run_tdaub(pool(), &frame, &TDaubConfig::default()).unwrap();
+        let f = result.best.predict(12).unwrap();
+        assert_eq!(f.len(), 12);
+        assert!(f.series(0).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn small_dataset_bypasses_allocation() {
+        // shorter than min_allocation_size → everything runs on full data
+        let frame = seasonal_frame(40);
+        let cfg = TDaubConfig { min_allocation_size: 50, parallel: false, ..Default::default() };
+        let result = run_tdaub(pool(), &frame, &cfg).unwrap();
+        for r in &result.reports {
+            assert_eq!(r.scores.len(), 1, "{}: {:?}", r.name, r.scores);
+            assert!(r.final_score.is_some());
+        }
+    }
+
+    #[test]
+    fn allocations_grow_and_stay_reverse() {
+        let frame = seasonal_frame(600);
+        let cfg = TDaubConfig {
+            min_allocation_size: 50,
+            allocation_size: 50,
+            parallel: false,
+            ..Default::default()
+        };
+        let result = run_tdaub(pool(), &frame, &cfg).unwrap();
+        // fixed allocations 50, 100, ..., 250 present for every pipeline
+        for r in &result.reports {
+            let allocs: Vec<usize> = r.scores.iter().map(|(a, _)| *a).collect();
+            assert!(allocs.windows(2).all(|w| w[1] >= w[0]), "{}: {allocs:?}", r.name);
+            assert!(allocs[0] == 50, "{allocs:?}");
+        }
+    }
+
+    #[test]
+    fn failing_pipeline_is_ranked_last_not_fatal() {
+        /// A pipeline that always fails to fit.
+        struct Broken;
+        impl Forecaster for Broken {
+            fn fit(&mut self, _: &TimeSeriesFrame) -> Result<(), PipelineError> {
+                Err(PipelineError::Fit("always broken".into()))
+            }
+            fn predict(&self, _: usize) -> Result<TimeSeriesFrame, PipelineError> {
+                Err(PipelineError::NotFitted)
+            }
+            fn name(&self) -> String {
+                "Broken".into()
+            }
+            fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+                Box::new(Broken)
+            }
+        }
+        let mut pipelines = pool();
+        pipelines.push(Box::new(Broken));
+        let frame = seasonal_frame(400);
+        let result = run_tdaub(pipelines, &frame, &TDaubConfig::default()).unwrap();
+        assert_eq!(result.reports.last().unwrap().name, "Broken");
+        assert_ne!(result.best.name(), "Broken");
+    }
+
+    #[test]
+    fn all_failing_is_an_error() {
+        struct Broken;
+        impl Forecaster for Broken {
+            fn fit(&mut self, _: &TimeSeriesFrame) -> Result<(), PipelineError> {
+                Err(PipelineError::Fit("nope".into()))
+            }
+            fn predict(&self, _: usize) -> Result<TimeSeriesFrame, PipelineError> {
+                Err(PipelineError::NotFitted)
+            }
+            fn name(&self) -> String {
+                "Broken".into()
+            }
+            fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+                Box::new(Broken)
+            }
+        }
+        let frame = seasonal_frame(300);
+        let r = run_tdaub(vec![Box::new(Broken)], &frame, &TDaubConfig::default());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn forward_allocation_ablation_runs() {
+        let frame = seasonal_frame(400);
+        let cfg = TDaubConfig { reverse_allocation: false, parallel: false, ..Default::default() };
+        let result = run_tdaub(pool(), &frame, &cfg).unwrap();
+        assert!(!result.reports.is_empty());
+    }
+
+    #[test]
+    fn last_score_ranking_ablation_runs() {
+        let frame = seasonal_frame(400);
+        let cfg = TDaubConfig { use_projection: false, parallel: false, ..Default::default() };
+        let result = run_tdaub(pool(), &frame, &cfg).unwrap();
+        assert!(result.reports[0].final_score.is_some());
+    }
+
+    #[test]
+    fn parallel_and_serial_agree_on_winner() {
+        let frame = seasonal_frame(500);
+        let serial = run_tdaub(pool(), &frame, &TDaubConfig { parallel: false, ..Default::default() }).unwrap();
+        let par = run_tdaub(pool(), &frame, &TDaubConfig { parallel: true, ..Default::default() }).unwrap();
+        assert_eq!(serial.best.name(), par.best.name());
+    }
+
+    #[test]
+    fn run_to_completion_runs_multiple_finalists() {
+        let frame = seasonal_frame(500);
+        let cfg = TDaubConfig { run_to_completion: 3, parallel: false, ..Default::default() };
+        let result = run_tdaub(pool(), &frame, &cfg).unwrap();
+        let finals = result.reports.iter().filter(|r| r.final_score.is_some()).count();
+        assert!(finals >= 3, "{finals} finalists");
+    }
+}

@@ -1,0 +1,211 @@
+//! Detectors: transformers that inspect rather than modify data.
+//!
+//! §4: "Our architecture also enables to implement transformers called
+//! *Detectors* that can capture various characteristics of data such as,
+//! presence of negative or missing values, irregularly spaced data etc., so
+//! appropriate transformations can be applied." Each detector inspects a
+//! frame and emits zero or more [`Detection`]s which pipeline assembly uses
+//! to enable/disable transforms (e.g. disable `log` when negatives exist).
+
+use autoai_tsdata::timestamps::irregularity;
+use autoai_tsdata::TimeSeriesFrame;
+
+/// A data characteristic discovered by a detector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Detection {
+    /// Frame contains negative values → disable log/Box-Cox-without-offset.
+    NegativeValues {
+        /// Number of negative cells.
+        count: usize,
+    },
+    /// Frame contains NaN/infinite values → insert an interpolator.
+    MissingValues {
+        /// Number of non-finite cells.
+        count: usize,
+    },
+    /// Timestamps are irregular → insert a resampler.
+    IrregularSpacing {
+        /// Fraction of inter-arrival gaps deviating from the median.
+        fraction: f64,
+    },
+    /// A series is constant → trivial forecast, skip heavy models.
+    ConstantSeries {
+        /// Index of the constant series.
+        series: usize,
+    },
+    /// Strong trend detected (|corr(t, x)| above threshold) → differencing helps.
+    Trend {
+        /// Index of the trending series.
+        series: usize,
+        /// Pearson correlation with the time index.
+        correlation: f64,
+    },
+}
+
+/// A detector inspects a frame and reports characteristics.
+pub trait Detector: Send + Sync {
+    /// Run the detection.
+    fn detect(&self, frame: &TimeSeriesFrame) -> Vec<Detection>;
+    /// Detector name for logs.
+    fn name(&self) -> &'static str;
+}
+
+/// Detects negative values.
+pub struct NegativeDetector;
+
+impl Detector for NegativeDetector {
+    fn detect(&self, frame: &TimeSeriesFrame) -> Vec<Detection> {
+        let count = (0..frame.n_series())
+            .map(|c| frame.series(c).iter().filter(|&&v| v < 0.0).count())
+            .sum();
+        if count > 0 {
+            vec![Detection::NegativeValues { count }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "negative_detector"
+    }
+}
+
+/// Detects NaN / infinite values.
+pub struct MissingDetector;
+
+impl Detector for MissingDetector {
+    fn detect(&self, frame: &TimeSeriesFrame) -> Vec<Detection> {
+        let count = (0..frame.n_series())
+            .map(|c| frame.series(c).iter().filter(|v| !v.is_finite()).count())
+            .sum();
+        if count > 0 {
+            vec![Detection::MissingValues { count }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "missing_detector"
+    }
+}
+
+/// Detects irregular timestamp spacing (more than 5% of gaps deviating).
+pub struct IrregularityDetector;
+
+impl Detector for IrregularityDetector {
+    fn detect(&self, frame: &TimeSeriesFrame) -> Vec<Detection> {
+        if let Some(ts) = frame.timestamps() {
+            let frac = irregularity(ts);
+            if frac > 0.05 {
+                return vec![Detection::IrregularSpacing { fraction: frac }];
+            }
+        }
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "irregularity_detector"
+    }
+}
+
+/// Detects constant series and strong linear trends.
+pub struct CharacteristicDetector;
+
+impl Detector for CharacteristicDetector {
+    fn detect(&self, frame: &TimeSeriesFrame) -> Vec<Detection> {
+        let mut out = Vec::new();
+        for c in 0..frame.n_series() {
+            let s = frame.series(c);
+            if s.len() < 3 {
+                continue;
+            }
+            let mn = s.iter().cloned().fold(f64::INFINITY, f64::min);
+            let mx = s.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            if (mx - mn).abs() < 1e-12 {
+                out.push(Detection::ConstantSeries { series: c });
+                continue;
+            }
+            // Pearson correlation with the time index
+            let t: Vec<f64> = (0..s.len()).map(|i| i as f64).collect();
+            let (mt, ms) = (autoai_linalg::mean(&t), autoai_linalg::mean(s));
+            let mut num = 0.0;
+            let mut dt = 0.0;
+            let mut ds = 0.0;
+            for (&ti, &si) in t.iter().zip(s) {
+                num += (ti - mt) * (si - ms);
+                dt += (ti - mt) * (ti - mt);
+                ds += (si - ms) * (si - ms);
+            }
+            let corr = num / (dt.sqrt() * ds.sqrt()).max(1e-12);
+            if corr.abs() > 0.8 {
+                out.push(Detection::Trend { series: c, correlation: corr });
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "characteristic_detector"
+    }
+}
+
+/// Run the full default detector battery on a frame.
+pub fn detect_all(frame: &TimeSeriesFrame) -> Vec<Detection> {
+    let detectors: [&dyn Detector; 4] = [
+        &NegativeDetector,
+        &MissingDetector,
+        &IrregularityDetector,
+        &CharacteristicDetector,
+    ];
+    detectors.iter().flat_map(|d| d.detect(frame)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negative_detector_counts() {
+        let f = TimeSeriesFrame::univariate(vec![1.0, -2.0, -3.0]);
+        let d = NegativeDetector.detect(&f);
+        assert_eq!(d, vec![Detection::NegativeValues { count: 2 }]);
+        assert!(NegativeDetector.detect(&TimeSeriesFrame::univariate(vec![1.0])).is_empty());
+    }
+
+    #[test]
+    fn missing_detector_counts_nan_and_inf() {
+        let f = TimeSeriesFrame::univariate(vec![1.0, f64::NAN, f64::INFINITY]);
+        assert_eq!(MissingDetector.detect(&f), vec![Detection::MissingValues { count: 2 }]);
+    }
+
+    #[test]
+    fn irregularity_detector_fires_on_jitter() {
+        let ts: Vec<i64> = (0..60).map(|i| i * 60 + if i % 2 == 0 { 20 } else { 0 }).collect();
+        let f = TimeSeriesFrame::univariate(vec![0.0; 60]).with_timestamps(ts);
+        let d = IrregularityDetector.detect(&f);
+        assert!(matches!(d.as_slice(), [Detection::IrregularSpacing { .. }]));
+    }
+
+    #[test]
+    fn trend_detected_on_linear_series() {
+        let f = TimeSeriesFrame::univariate((0..50).map(|i| 2.0 * i as f64).collect());
+        let d = CharacteristicDetector.detect(&f);
+        assert!(d.iter().any(|x| matches!(x, Detection::Trend { correlation, .. } if *correlation > 0.99)));
+    }
+
+    #[test]
+    fn constant_series_detected() {
+        let f = TimeSeriesFrame::univariate(vec![7.0; 30]);
+        let d = CharacteristicDetector.detect(&f);
+        assert_eq!(d, vec![Detection::ConstantSeries { series: 0 }]);
+    }
+
+    #[test]
+    fn detect_all_aggregates() {
+        let f = TimeSeriesFrame::univariate(vec![-1.0, f64::NAN, 3.0]);
+        let d = detect_all(&f);
+        assert!(d.iter().any(|x| matches!(x, Detection::NegativeValues { .. })));
+        assert!(d.iter().any(|x| matches!(x, Detection::MissingValues { .. })));
+    }
+}

@@ -1,0 +1,175 @@
+//! Up/down resampling for irregular or mismatched-frequency data.
+//!
+//! §4: "for models that require regular data, we can use up/down sampling as
+//! transformation in pipeline before feeding data to models that require
+//! regular data". These functions convert a timestamped frame onto a
+//! regular grid (linear interpolation) or reduce it by bucket aggregation.
+
+use autoai_tsdata::TimeSeriesFrame;
+
+/// Resample a timestamped frame onto a regular grid with `step_secs`
+/// spacing, starting at the first timestamp, using linear interpolation.
+///
+/// Panics if the frame has no timestamps; returns the frame unchanged when
+/// it has fewer than 2 rows.
+pub fn resample_to_regular(frame: &TimeSeriesFrame, step_secs: i64) -> TimeSeriesFrame {
+    assert!(step_secs > 0, "step_secs must be positive");
+    let ts = frame.timestamps().expect("resample_to_regular requires timestamps");
+    if frame.len() < 2 {
+        return frame.clone();
+    }
+    let start = ts[0];
+    let end = ts[ts.len() - 1];
+    let n_out = ((end - start) / step_secs) as usize + 1;
+    let grid: Vec<i64> = (0..n_out as i64).map(|i| start + i * step_secs).collect();
+
+    let cols: Vec<Vec<f64>> = (0..frame.n_series())
+        .map(|c| {
+            let vals = frame.series(c);
+            let mut out = Vec::with_capacity(n_out);
+            let mut j = 0usize; // index of the segment [ts[j], ts[j+1]]
+            for &g in &grid {
+                while j + 1 < ts.len() - 1 && ts[j + 1] < g {
+                    j += 1;
+                }
+                let (t0, t1) = (ts[j], ts[j + 1]);
+                let (v0, v1) = (vals[j], vals[j + 1]);
+                let v = if t1 == t0 || g <= t0 {
+                    v0
+                } else if g >= t1 {
+                    v1
+                } else {
+                    let w = (g - t0) as f64 / (t1 - t0) as f64;
+                    v0 + w * (v1 - v0)
+                };
+                out.push(v);
+            }
+            out
+        })
+        .collect();
+    TimeSeriesFrame::from_columns(cols)
+        .with_names(frame.names().to_vec())
+        .with_timestamps(grid)
+}
+
+/// Downsample by averaging consecutive buckets of `factor` rows.
+///
+/// The final partial bucket (if any) is averaged as well. Timestamps take
+/// the first timestamp of each bucket.
+pub fn downsample(frame: &TimeSeriesFrame, factor: usize) -> TimeSeriesFrame {
+    assert!(factor >= 1, "downsample factor must be >= 1");
+    if factor == 1 || frame.is_empty() {
+        return frame.clone();
+    }
+    let n = frame.len();
+    let n_out = n.div_ceil(factor);
+    let cols: Vec<Vec<f64>> = (0..frame.n_series())
+        .map(|c| {
+            let vals = frame.series(c);
+            (0..n_out)
+                .map(|b| {
+                    let lo = b * factor;
+                    let hi = ((b + 1) * factor).min(n);
+                    vals[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+                })
+                .collect()
+        })
+        .collect();
+    let mut out = TimeSeriesFrame::from_columns(cols).with_names(frame.names().to_vec());
+    if let Some(ts) = frame.timestamps() {
+        out = out.with_timestamps((0..n_out).map(|b| ts[b * factor]).collect());
+    }
+    out
+}
+
+/// Upsample by inserting `factor - 1` linearly interpolated points between
+/// consecutive samples.
+pub fn upsample_linear(frame: &TimeSeriesFrame, factor: usize) -> TimeSeriesFrame {
+    assert!(factor >= 1, "upsample factor must be >= 1");
+    if factor == 1 || frame.len() < 2 {
+        return frame.clone();
+    }
+    let n = frame.len();
+    let n_out = (n - 1) * factor + 1;
+    let cols: Vec<Vec<f64>> = (0..frame.n_series())
+        .map(|c| {
+            let vals = frame.series(c);
+            let mut out = Vec::with_capacity(n_out);
+            for i in 0..n - 1 {
+                for k in 0..factor {
+                    let w = k as f64 / factor as f64;
+                    out.push(vals[i] * (1.0 - w) + vals[i + 1] * w);
+                }
+            }
+            out.push(vals[n - 1]);
+            out
+        })
+        .collect();
+    let mut out = TimeSeriesFrame::from_columns(cols).with_names(frame.names().to_vec());
+    if let Some(ts) = frame.timestamps() {
+        let mut new_ts = Vec::with_capacity(n_out);
+        for i in 0..n - 1 {
+            let span = ts[i + 1] - ts[i];
+            for k in 0..factor {
+                new_ts.push(ts[i] + span * k as i64 / factor as i64);
+            }
+        }
+        new_ts.push(ts[n - 1]);
+        out = out.with_timestamps(new_ts);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn irregular_data_becomes_regular() {
+        let f = TimeSeriesFrame::univariate(vec![0.0, 10.0, 20.0, 40.0])
+            .with_timestamps(vec![0, 100, 200, 400]);
+        let r = resample_to_regular(&f, 100);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.timestamps().unwrap(), &[0, 100, 200, 300, 400]);
+        // the 300s point is interpolated halfway between 20 and 40
+        assert!((r.series(0)[3] - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regular_input_is_preserved() {
+        let f = TimeSeriesFrame::univariate(vec![1.0, 2.0, 3.0]).with_regular_timestamps(0, 60);
+        let r = resample_to_regular(&f, 60);
+        assert_eq!(r.series(0), f.series(0));
+    }
+
+    #[test]
+    fn downsample_averages_buckets() {
+        let f = TimeSeriesFrame::univariate(vec![1.0, 3.0, 5.0, 7.0, 9.0]).with_regular_timestamps(0, 10);
+        let d = downsample(&f, 2);
+        assert_eq!(d.series(0), &[2.0, 6.0, 9.0]); // last partial bucket
+        assert_eq!(d.timestamps().unwrap(), &[0, 20, 40]);
+    }
+
+    #[test]
+    fn upsample_interpolates() {
+        let f = TimeSeriesFrame::univariate(vec![0.0, 2.0]).with_timestamps(vec![0, 100]);
+        let u = upsample_linear(&f, 2);
+        assert_eq!(u.series(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(u.timestamps().unwrap(), &[0, 50, 100]);
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let f = TimeSeriesFrame::univariate(vec![1.0, 2.0, 3.0]);
+        assert_eq!(downsample(&f, 1), f);
+        assert_eq!(upsample_linear(&f, 1), f);
+    }
+
+    #[test]
+    fn down_then_up_preserves_length_scale() {
+        let f = TimeSeriesFrame::univariate((0..20).map(|i| i as f64).collect());
+        let d = downsample(&f, 2);
+        let u = upsample_linear(&d, 2);
+        assert_eq!(u.len(), (d.len() - 1) * 2 + 1);
+    }
+}

@@ -1,0 +1,282 @@
+//! The 2-D time series container shared by every pipeline component.
+
+use crate::timestamps::{infer_frequency, Frequency};
+
+/// A 2-D time series frame: columns are individual series, rows are samples.
+///
+/// This mirrors the paper's sklearn-compatible input/output schema (§3):
+/// `fit` and `predict` "expect a 2D array in which columns represent
+/// different time series and rows represent samples". Timestamps are
+/// optional; when absent, indices `0..n` are used (the paper regenerates
+/// timestamps for dirty datasets the same way).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeriesFrame {
+    /// Per-series column names (defaults to `series_0`, `series_1`, …).
+    names: Vec<String>,
+    /// Column-major values: `values[c][r]` is sample `r` of series `c`.
+    values: Vec<Vec<f64>>,
+    /// Optional timestamps in epoch seconds, one per row.
+    timestamps: Option<Vec<i64>>,
+}
+
+impl TimeSeriesFrame {
+    /// Build a univariate frame from a single series.
+    pub fn univariate(values: Vec<f64>) -> Self {
+        Self { names: vec!["series_0".to_string()], values: vec![values], timestamps: None }
+    }
+
+    /// Build a multivariate frame from column vectors. Panics on ragged input.
+    pub fn from_columns(columns: Vec<Vec<f64>>) -> Self {
+        if let Some(first) = columns.first() {
+            let n = first.len();
+            assert!(
+                columns.iter().all(|c| c.len() == n),
+                "TimeSeriesFrame::from_columns: ragged columns"
+            );
+        }
+        let names = (0..columns.len()).map(|i| format!("series_{i}")).collect();
+        Self { names, values: columns, timestamps: None }
+    }
+
+    /// Build from row-major data (`rows x cols`), the layout users provide.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        if rows.is_empty() {
+            return Self::from_columns(Vec::new());
+        }
+        let ncols = rows[0].len();
+        let mut columns = vec![Vec::with_capacity(rows.len()); ncols];
+        for row in rows {
+            assert_eq!(row.len(), ncols, "TimeSeriesFrame::from_rows: ragged rows");
+            for (c, &v) in row.iter().enumerate() {
+                columns[c].push(v);
+            }
+        }
+        Self::from_columns(columns)
+    }
+
+    /// Attach timestamps (epoch seconds, one per row). Panics on length mismatch.
+    pub fn with_timestamps(mut self, ts: Vec<i64>) -> Self {
+        assert_eq!(ts.len(), self.len(), "timestamp length must equal number of rows");
+        self.timestamps = Some(ts);
+        self
+    }
+
+    /// Attach column names. Panics on length mismatch.
+    pub fn with_names(mut self, names: Vec<String>) -> Self {
+        assert_eq!(names.len(), self.n_series(), "name count must equal number of series");
+        self.names = names;
+        self
+    }
+
+    /// Generate regular timestamps starting at `start` with `step_secs` spacing.
+    pub fn with_regular_timestamps(self, start: i64, step_secs: i64) -> Self {
+        let n = self.len();
+        self.with_timestamps((0..n as i64).map(|i| start + i * step_secs).collect())
+    }
+
+    /// Number of samples (rows).
+    pub fn len(&self) -> usize {
+        self.values.first().map_or(0, Vec::len)
+    }
+
+    /// True when the frame holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of series (columns).
+    pub fn n_series(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Borrow series `c` as a slice.
+    pub fn series(&self, c: usize) -> &[f64] {
+        &self.values[c]
+    }
+
+    /// Mutable borrow of series `c`.
+    pub fn series_mut(&mut self, c: usize) -> &mut Vec<f64> {
+        &mut self.values[c]
+    }
+
+    /// Column names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Timestamps, if attached.
+    pub fn timestamps(&self) -> Option<&[i64]> {
+        self.timestamps.as_deref()
+    }
+
+    /// Infer the sampling frequency from timestamps (median inter-arrival).
+    pub fn frequency(&self) -> Option<Frequency> {
+        self.timestamps.as_deref().and_then(infer_frequency)
+    }
+
+    /// Row `r` across all series, in column order.
+    pub fn row(&self, r: usize) -> Vec<f64> {
+        self.values.iter().map(|c| c[r]).collect()
+    }
+
+    /// Slice rows `[start, end)` into a new frame (timestamps preserved).
+    pub fn slice(&self, start: usize, end: usize) -> Self {
+        let end = end.min(self.len());
+        let start = start.min(end);
+        Self {
+            names: self.names.clone(),
+            values: self.values.iter().map(|c| c[start..end].to_vec()).collect(),
+            timestamps: self.timestamps.as_ref().map(|t| t[start..end].to_vec()),
+        }
+    }
+
+    /// The last `n` rows (fewer when the frame is shorter).
+    pub fn tail(&self, n: usize) -> Self {
+        let len = self.len();
+        self.slice(len.saturating_sub(n), len)
+    }
+
+    /// Select a single series into a new univariate frame.
+    pub fn select(&self, c: usize) -> Self {
+        Self {
+            names: vec![self.names[c].clone()],
+            values: vec![self.values[c].clone()],
+            timestamps: self.timestamps.clone(),
+        }
+    }
+
+    /// Append the rows of `other` (must have same number of series).
+    pub fn append(&mut self, other: &TimeSeriesFrame) {
+        assert_eq!(self.n_series(), other.n_series(), "append: series count mismatch");
+        for (c, col) in other.values.iter().enumerate() {
+            self.values[c].extend_from_slice(col);
+        }
+        match (&mut self.timestamps, other.timestamps()) {
+            (Some(ts), Some(ots)) => ts.extend_from_slice(ots),
+            (Some(_), None) => self.timestamps = None,
+            _ => {}
+        }
+    }
+
+    /// Convert to row-major nested vectors (user-facing output shape).
+    pub fn to_rows(&self) -> Vec<Vec<f64>> {
+        (0..self.len()).map(|r| self.row(r)).collect()
+    }
+
+    /// True if any value is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.values.iter().any(|c| c.iter().any(|v| !v.is_finite()))
+    }
+
+    /// True if any value is strictly negative (gates log/Box-Cox transforms).
+    pub fn has_negative(&self) -> bool {
+        self.values.iter().any(|c| c.iter().any(|&v| v < 0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TimeSeriesFrame {
+        TimeSeriesFrame::from_columns(vec![vec![1., 2., 3., 4.], vec![10., 20., 30., 40.]])
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let f = sample();
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.n_series(), 2);
+        assert_eq!(f.series(1), &[10., 20., 30., 40.]);
+        assert_eq!(f.row(2), vec![3., 30.]);
+    }
+
+    #[test]
+    fn from_rows_matches_from_columns() {
+        let f = TimeSeriesFrame::from_rows(&[vec![1., 10.], vec![2., 20.]]);
+        assert_eq!(f.series(0), &[1., 2.]);
+        assert_eq!(f.series(1), &[10., 20.]);
+        assert_eq!(f.to_rows(), vec![vec![1., 10.], vec![2., 20.]]);
+    }
+
+    #[test]
+    fn slicing_and_tail() {
+        let f = sample();
+        let s = f.slice(1, 3);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.series(0), &[2., 3.]);
+        let t = f.tail(2);
+        assert_eq!(t.series(1), &[30., 40.]);
+        // out-of-range slicing clamps
+        assert_eq!(f.slice(2, 99).len(), 2);
+        assert_eq!(f.tail(99).len(), 4);
+    }
+
+    #[test]
+    fn timestamps_roundtrip_through_slice() {
+        let f = sample().with_regular_timestamps(1000, 60);
+        assert_eq!(f.timestamps().unwrap(), &[1000, 1060, 1120, 1180]);
+        let s = f.slice(1, 3);
+        assert_eq!(s.timestamps().unwrap(), &[1060, 1120]);
+    }
+
+    #[test]
+    fn append_extends_rows() {
+        let mut a = sample();
+        let b = sample();
+        a.append(&b);
+        assert_eq!(a.len(), 8);
+        assert_eq!(a.series(0)[4], 1.0);
+    }
+
+    #[test]
+    fn append_without_timestamps_drops_them() {
+        // appending untimestamped rows invalidates the timestamp column
+        let mut a = sample().with_regular_timestamps(0, 60);
+        let b = sample();
+        a.append(&b);
+        assert!(a.timestamps().is_none());
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn append_with_timestamps_extends_them() {
+        let mut a = sample().with_regular_timestamps(0, 60);
+        let b = sample().with_regular_timestamps(240, 60);
+        a.append(&b);
+        assert_eq!(a.timestamps().unwrap().len(), 8);
+        assert_eq!(a.timestamps().unwrap()[4], 240);
+    }
+
+    #[test]
+    fn select_isolates_one_series() {
+        let f = sample();
+        let u = f.select(1);
+        assert_eq!(u.n_series(), 1);
+        assert_eq!(u.series(0), &[10., 20., 30., 40.]);
+    }
+
+    #[test]
+    fn negative_and_non_finite_detection() {
+        let mut f = sample();
+        assert!(!f.has_negative());
+        assert!(!f.has_non_finite());
+        f.series_mut(0)[1] = -1.0;
+        assert!(f.has_negative());
+        f.series_mut(1)[0] = f64::NAN;
+        assert!(f.has_non_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_columns_rejected() {
+        let _ = TimeSeriesFrame::from_columns(vec![vec![1.], vec![1., 2.]]);
+    }
+
+    #[test]
+    fn empty_frame() {
+        let f = TimeSeriesFrame::from_columns(Vec::new());
+        assert!(f.is_empty());
+        assert_eq!(f.n_series(), 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Forecast accuracy metrics.
+//!
+//! The paper's evaluation uses **Symmetric Mean Absolute Percentage Error
+//! (SMAPE)** throughout (§5.3), on the 0–200 scale (Table 4 reports values
+//! like `200` for complete misses). The remaining metrics back internal
+//! pipeline scoring and the influence vectors of look-back discovery.
+
+/// Metric identifiers used when configuring pipeline scoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Symmetric mean absolute percentage error, 0–200 (lower is better).
+    Smape,
+    /// Mean absolute error.
+    Mae,
+    /// Root mean squared error.
+    Rmse,
+    /// Mean absolute percentage error.
+    Mape,
+    /// Coefficient of determination (higher is better).
+    R2,
+}
+
+impl Metric {
+    /// Evaluate this metric on `(actual, predicted)`.
+    pub fn eval(self, actual: &[f64], predicted: &[f64]) -> f64 {
+        match self {
+            Metric::Smape => smape(actual, predicted),
+            Metric::Mae => mae(actual, predicted),
+            Metric::Rmse => rmse(actual, predicted),
+            Metric::Mape => mape(actual, predicted),
+            Metric::R2 => r2_score(actual, predicted),
+        }
+    }
+
+    /// True when larger values are better (only R²).
+    pub fn higher_is_better(self) -> bool {
+        matches!(self, Metric::R2)
+    }
+}
+
+fn check(actual: &[f64], predicted: &[f64]) {
+    assert_eq!(
+        actual.len(),
+        predicted.len(),
+        "metric inputs must have equal length ({} vs {})",
+        actual.len(),
+        predicted.len()
+    );
+}
+
+/// Symmetric mean absolute percentage error on the 0–200 scale:
+/// `mean(200 * |F - A| / (|A| + |F|))`, with a 0 contribution when both
+/// actual and forecast are 0. Returns 0 for empty input.
+pub fn smape(actual: &[f64], predicted: &[f64]) -> f64 {
+    check(actual, predicted);
+    if actual.is_empty() {
+        return 0.0;
+    }
+    let mut s = 0.0;
+    for (&a, &f) in actual.iter().zip(predicted) {
+        let denom = a.abs() + f.abs();
+        if denom > 1e-12 {
+            s += 200.0 * (f - a).abs() / denom;
+        }
+    }
+    s / actual.len() as f64
+}
+
+/// Mean absolute error. 0 for empty input.
+pub fn mae(actual: &[f64], predicted: &[f64]) -> f64 {
+    check(actual, predicted);
+    if actual.is_empty() {
+        return 0.0;
+    }
+    actual.iter().zip(predicted).map(|(a, f)| (a - f).abs()).sum::<f64>() / actual.len() as f64
+}
+
+/// Mean squared error. 0 for empty input.
+pub fn mse(actual: &[f64], predicted: &[f64]) -> f64 {
+    check(actual, predicted);
+    if actual.is_empty() {
+        return 0.0;
+    }
+    actual.iter().zip(predicted).map(|(a, f)| (a - f) * (a - f)).sum::<f64>()
+        / actual.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(actual: &[f64], predicted: &[f64]) -> f64 {
+    mse(actual, predicted).sqrt()
+}
+
+/// Mean absolute percentage error (%). Zero-actual samples are skipped.
+pub fn mape(actual: &[f64], predicted: &[f64]) -> f64 {
+    check(actual, predicted);
+    let mut s = 0.0;
+    let mut n = 0usize;
+    for (&a, &f) in actual.iter().zip(predicted) {
+        if a.abs() > 1e-12 {
+            s += 100.0 * (f - a).abs() / a.abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        s / n as f64
+    }
+}
+
+/// Coefficient of determination R². 0 for degenerate (constant) actuals
+/// unless predictions match exactly, in which case 1.
+pub fn r2_score(actual: &[f64], predicted: &[f64]) -> f64 {
+    check(actual, predicted);
+    if actual.is_empty() {
+        return 0.0;
+    }
+    let mean = actual.iter().sum::<f64>() / actual.len() as f64;
+    let ss_tot: f64 = actual.iter().map(|&a| (a - mean) * (a - mean)).sum();
+    let ss_res: f64 = actual.iter().zip(predicted).map(|(a, f)| (a - f) * (a - f)).sum();
+    if ss_tot < 1e-14 {
+        return if ss_res < 1e-14 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_forecast_scores() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(smape(&a, &a), 0.0);
+        assert_eq!(mae(&a, &a), 0.0);
+        assert_eq!(rmse(&a, &a), 0.0);
+        assert_eq!(mape(&a, &a), 0.0);
+        assert_eq!(r2_score(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn smape_is_bounded_by_200() {
+        // opposite-sign forecast maximizes smape at exactly 200
+        assert!((smape(&[1.0], &[-1.0]) - 200.0).abs() < 1e-12);
+        assert!((smape(&[5.0], &[0.0]) - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smape_symmetry() {
+        let a = [3.0, 7.0];
+        let f = [4.0, 5.0];
+        assert!((smape(&a, &f) - smape(&f, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smape_zero_pairs_contribute_zero() {
+        assert_eq!(smape(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn mae_rmse_hand_values() {
+        let a = [1.0, 2.0, 3.0];
+        let f = [2.0, 2.0, 5.0];
+        assert!((mae(&a, &f) - 1.0).abs() < 1e-12);
+        assert!((rmse(&a, &f) - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        let a = [0.0, 10.0];
+        let f = [5.0, 11.0];
+        assert!((mape(&a, &f) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_of_mean_prediction_is_zero() {
+        let a = [1.0, 2.0, 3.0];
+        let f = [2.0, 2.0, 2.0];
+        assert!(r2_score(&a, &f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_constant_actuals() {
+        assert_eq!(r2_score(&[2.0, 2.0], &[2.0, 2.0]), 1.0);
+        assert_eq!(r2_score(&[2.0, 2.0], &[3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn metric_enum_dispatch() {
+        let a = [1.0, 2.0];
+        let f = [1.5, 2.0];
+        assert_eq!(Metric::Mae.eval(&a, &f), mae(&a, &f));
+        assert!(Metric::R2.higher_is_better());
+        assert!(!Metric::Smape.higher_is_better());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_panics() {
+        let _ = smape(&[1.0], &[1.0, 2.0]);
+    }
+}

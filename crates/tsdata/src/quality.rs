@@ -1,0 +1,240 @@
+//! Input data quality checking and basic cleaning.
+//!
+//! §4: "Once the data is provided to the system, it performs an initial
+//! quality check of the input data which includes looking for missing or NaN
+//! values, unexpected characters or values such as strings in the time
+//! series, it also checks if there are negative values so that system can
+//! disable certain transformations such as log transform".
+//!
+//! In this Rust port the "strings in the series" case is caught at CSV parse
+//! time (the datasets crate maps unparseable cells to NaN), so the quality
+//! check sees every problem as a numeric issue.
+
+use crate::frame::TimeSeriesFrame;
+use crate::timestamps::irregularity;
+
+/// One category of problem found in the input data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QualityIssue {
+    /// NaN or infinite values present (count).
+    Missing(usize),
+    /// Negative values present (count); disables log/Box-Cox transforms.
+    Negative(usize),
+    /// A series is constant (index of the series).
+    ConstantSeries(usize),
+    /// Timestamps are irregular (fraction of irregular gaps).
+    IrregularTimestamps(f64),
+    /// Timestamps are not strictly increasing.
+    NonMonotonicTimestamps,
+    /// The frame holds no samples at all.
+    Empty,
+}
+
+/// Summary of the initial input inspection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityReport {
+    /// All issues found, in detection order.
+    pub issues: Vec<QualityIssue>,
+    /// Count of NaN/infinite cells.
+    pub missing_count: usize,
+    /// Count of negative cells.
+    pub negative_count: usize,
+    /// Whether log-family transforms are safe (no negatives, no zeros issue handled by offset).
+    pub log_transform_safe: bool,
+}
+
+impl QualityReport {
+    /// True when no issues were detected.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// Inspect a frame and report data quality issues (non-destructive).
+pub fn quality_check(frame: &TimeSeriesFrame) -> QualityReport {
+    let mut issues = Vec::new();
+    if frame.is_empty() {
+        issues.push(QualityIssue::Empty);
+        return QualityReport {
+            issues,
+            missing_count: 0,
+            negative_count: 0,
+            log_transform_safe: false,
+        };
+    }
+    let mut missing = 0usize;
+    let mut negative = 0usize;
+    for c in 0..frame.n_series() {
+        let s = frame.series(c);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in s {
+            if !v.is_finite() {
+                missing += 1;
+            } else {
+                if v < 0.0 {
+                    negative += 1;
+                }
+                min = min.min(v);
+                max = max.max(v);
+            }
+        }
+        if min.is_finite() && (max - min).abs() < 1e-12 {
+            issues.push(QualityIssue::ConstantSeries(c));
+        }
+    }
+    if missing > 0 {
+        issues.push(QualityIssue::Missing(missing));
+    }
+    if negative > 0 {
+        issues.push(QualityIssue::Negative(negative));
+    }
+    if let Some(ts) = frame.timestamps() {
+        if ts.windows(2).any(|w| w[1] <= w[0]) {
+            issues.push(QualityIssue::NonMonotonicTimestamps);
+        } else {
+            let irr = irregularity(ts);
+            if irr > 0.05 {
+                issues.push(QualityIssue::IrregularTimestamps(irr));
+            }
+        }
+    }
+    QualityReport {
+        issues,
+        missing_count: missing,
+        negative_count: negative,
+        log_transform_safe: negative == 0,
+    }
+}
+
+/// Basic cleaning: linearly interpolate NaN/infinite cells per series
+/// (edge gaps are filled with the nearest finite value). A frame whose
+/// series is entirely non-finite is filled with zeros.
+pub fn clean(frame: &TimeSeriesFrame) -> TimeSeriesFrame {
+    let mut columns = Vec::with_capacity(frame.n_series());
+    for c in 0..frame.n_series() {
+        columns.push(interpolate_gaps(frame.series(c)));
+    }
+    let mut out = TimeSeriesFrame::from_columns(columns);
+    if frame.n_series() > 0 {
+        out = out.with_names(frame.names().to_vec());
+    }
+    if let Some(ts) = frame.timestamps() {
+        out = out.with_timestamps(ts.to_vec());
+    }
+    out
+}
+
+/// Linear interpolation of non-finite gaps in a single series.
+pub fn interpolate_gaps(series: &[f64]) -> Vec<f64> {
+    let n = series.len();
+    let mut out = series.to_vec();
+    // locate finite anchors
+    let finite: Vec<usize> = (0..n).filter(|&i| series[i].is_finite()).collect();
+    if finite.is_empty() {
+        return vec![0.0; n];
+    }
+    // leading edge
+    out[..finite[0]].fill(series[finite[0]]);
+    // trailing edge
+    let last = finite[finite.len() - 1];
+    out[last + 1..].fill(series[last]);
+    // interior gaps
+    for w in finite.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if b > a + 1 {
+            let va = series[a];
+            let vb = series[b];
+            for (i, o) in out.iter_mut().enumerate().take(b).skip(a + 1) {
+                let t = (i - a) as f64 / (b - a) as f64;
+                *o = va + t * (vb - va);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_frame_passes() {
+        let f = TimeSeriesFrame::univariate(vec![1.0, 2.0, 3.0]);
+        let r = quality_check(&f);
+        assert!(r.is_clean());
+        assert!(r.log_transform_safe);
+    }
+
+    #[test]
+    fn missing_values_detected_and_cleaned() {
+        let f = TimeSeriesFrame::univariate(vec![1.0, f64::NAN, 3.0]);
+        let r = quality_check(&f);
+        assert_eq!(r.missing_count, 1);
+        assert!(r.issues.contains(&QualityIssue::Missing(1)));
+        let c = clean(&f);
+        assert_eq!(c.series(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn negatives_disable_log() {
+        let f = TimeSeriesFrame::univariate(vec![1.0, -2.0, 3.0]);
+        let r = quality_check(&f);
+        assert!(!r.log_transform_safe);
+        assert_eq!(r.negative_count, 1);
+    }
+
+    #[test]
+    fn constant_series_flagged() {
+        let f = TimeSeriesFrame::from_columns(vec![vec![5.0; 10], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]]);
+        let r = quality_check(&f);
+        assert!(r.issues.contains(&QualityIssue::ConstantSeries(0)));
+        assert!(!r.issues.contains(&QualityIssue::ConstantSeries(1)));
+    }
+
+    #[test]
+    fn irregular_timestamps_flagged() {
+        // alternate ±15s jitter so nearly every gap deviates from the median
+        let ts: Vec<i64> = (0..100).map(|i| i * 60 + if i % 2 == 0 { 15 } else { -15 }).collect();
+        let f = TimeSeriesFrame::univariate((0..100).map(|i| i as f64).collect()).with_timestamps(ts);
+        let r = quality_check(&f);
+        assert!(r.issues.iter().any(|i| matches!(i, QualityIssue::IrregularTimestamps(_))));
+    }
+
+    #[test]
+    fn non_monotonic_timestamps_flagged() {
+        let f = TimeSeriesFrame::univariate(vec![1.0, 2.0, 3.0]).with_timestamps(vec![10, 5, 20]);
+        let r = quality_check(&f);
+        assert!(r.issues.contains(&QualityIssue::NonMonotonicTimestamps));
+    }
+
+    #[test]
+    fn empty_frame_flagged() {
+        let f = TimeSeriesFrame::from_columns(Vec::new());
+        let r = quality_check(&f);
+        assert!(r.issues.contains(&QualityIssue::Empty));
+    }
+
+    #[test]
+    fn interpolation_handles_edges() {
+        let s = [f64::NAN, f64::NAN, 2.0, f64::NAN, 4.0, f64::NAN];
+        let out = interpolate_gaps(&s);
+        assert_eq!(out, vec![2.0, 2.0, 2.0, 3.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn interpolation_all_nan_gives_zeros() {
+        let out = interpolate_gaps(&[f64::NAN, f64::NAN]);
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn clean_preserves_timestamps_and_names() {
+        let f = TimeSeriesFrame::univariate(vec![1.0, f64::NAN, 3.0])
+            .with_regular_timestamps(0, 60)
+            .with_names(vec!["cpu".into()]);
+        let c = clean(&f);
+        assert_eq!(c.timestamps().unwrap().len(), 3);
+        assert_eq!(c.names()[0], "cpu");
+    }
+}

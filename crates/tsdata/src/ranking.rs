@@ -1,0 +1,157 @@
+//! Rank aggregation over benchmark results.
+//!
+//! Figures 6–15 of the paper compare toolkits by ranking them 1..K per
+//! dataset on SMAPE (or training time), then reporting (a) the average rank
+//! per toolkit and (b) a histogram of how many datasets each toolkit placed
+//! at each rank. These helpers implement that aggregation, skipping
+//! did-not-finish entries (reported as `0 (0)` in the paper's tables and
+//! represented as `None` here).
+
+/// Aggregated ranking for one competitor across many datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankSummary {
+    /// Competitor name.
+    pub name: String,
+    /// Mean rank over datasets where the competitor finished (lower = better).
+    pub average_rank: f64,
+    /// `histogram[r]` = number of datasets ranked at `r + 1`.
+    pub histogram: Vec<usize>,
+    /// Number of datasets the competitor finished on.
+    pub completed: usize,
+}
+
+/// Rank one row of scores (one dataset): smallest score gets rank 1.
+///
+/// `None` means the competitor did not finish and receives no rank. Ties get
+/// the average of the tied rank positions (competition style "1224" is NOT
+/// used; fractional ties keep average-rank plots stable).
+pub fn rank_rows(scores: &[Option<f64>]) -> Vec<Option<f64>> {
+    let mut idx: Vec<usize> = (0..scores.len()).filter(|&i| scores[i].is_some()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[a].unwrap().partial_cmp(&scores[b].unwrap()).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut ranks = vec![None; scores.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        // find tie group [i, j)
+        let mut j = i + 1;
+        while j < idx.len()
+            && (scores[idx[j]].unwrap() - scores[idx[i]].unwrap()).abs() < 1e-12
+        {
+            j += 1;
+        }
+        let avg_rank = ((i + 1 + j) as f64) / 2.0; // mean of ranks i+1 ..= j
+        for &k in &idx[i..j] {
+            ranks[k] = Some(avg_rank);
+        }
+        i = j;
+    }
+    ranks
+}
+
+/// Aggregate a score matrix (`rows` = datasets, `cols` = competitors) into
+/// per-competitor rank summaries, ordered best (lowest average rank) first.
+pub fn average_ranks(names: &[&str], score_matrix: &[Vec<Option<f64>>]) -> Vec<RankSummary> {
+    let k = names.len();
+    let mut sums = vec![0.0f64; k];
+    let mut counts = vec![0usize; k];
+    let mut hist = vec![vec![0usize; k]; k];
+    for row in score_matrix {
+        assert_eq!(row.len(), k, "score row width must equal competitor count");
+        let ranks = rank_rows(row);
+        for (c, r) in ranks.iter().enumerate() {
+            if let Some(r) = r {
+                sums[c] += r;
+                counts[c] += 1;
+                let bucket = (r.round() as usize).clamp(1, k) - 1;
+                hist[c][bucket] += 1;
+            }
+        }
+    }
+    let mut out: Vec<RankSummary> = (0..k)
+        .map(|c| RankSummary {
+            name: names[c].to_string(),
+            average_rank: if counts[c] == 0 { f64::INFINITY } else { sums[c] / counts[c] as f64 },
+            histogram: hist[c].clone(),
+            completed: counts[c],
+        })
+        .collect();
+    out.sort_by(|a, b| a.average_rank.partial_cmp(&b.average_rank).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+/// Histogram of datasets-per-rank for one competitor column.
+pub fn rank_histogram(summaries: &[RankSummary], name: &str) -> Option<Vec<usize>> {
+    summaries.iter().find(|s| s.name == name).map(|s| s.histogram.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ranking() {
+        let ranks = rank_rows(&[Some(3.0), Some(1.0), Some(2.0)]);
+        assert_eq!(ranks, vec![Some(3.0), Some(1.0), Some(2.0)]);
+    }
+
+    #[test]
+    fn dnf_gets_no_rank() {
+        let ranks = rank_rows(&[Some(3.0), None, Some(1.0)]);
+        assert_eq!(ranks, vec![Some(2.0), None, Some(1.0)]);
+    }
+
+    #[test]
+    fn ties_are_averaged() {
+        let ranks = rank_rows(&[Some(1.0), Some(1.0), Some(2.0)]);
+        assert_eq!(ranks, vec![Some(1.5), Some(1.5), Some(3.0)]);
+    }
+
+    #[test]
+    fn average_ranks_orders_best_first() {
+        let names = ["a", "b", "c"];
+        // b always best, a always worst
+        let m = vec![
+            vec![Some(10.0), Some(1.0), Some(5.0)],
+            vec![Some(9.0), Some(2.0), Some(4.0)],
+        ];
+        let s = average_ranks(&names, &m);
+        assert_eq!(s[0].name, "b");
+        assert_eq!(s[0].average_rank, 1.0);
+        assert_eq!(s[2].name, "a");
+        assert_eq!(s[2].average_rank, 3.0);
+    }
+
+    #[test]
+    fn histogram_counts_placements() {
+        let names = ["a", "b"];
+        let m = vec![
+            vec![Some(1.0), Some(2.0)],
+            vec![Some(2.0), Some(1.0)],
+            vec![Some(1.0), Some(2.0)],
+        ];
+        let s = average_ranks(&names, &m);
+        let a = s.iter().find(|x| x.name == "a").unwrap();
+        assert_eq!(a.histogram, vec![2, 1]); // 2 firsts, 1 second
+        assert_eq!(a.completed, 3);
+    }
+
+    #[test]
+    fn competitor_never_finishing_ranks_last() {
+        let names = ["a", "b"];
+        let m = vec![vec![Some(1.0), None], vec![Some(2.0), None]];
+        let s = average_ranks(&names, &m);
+        assert_eq!(s[1].name, "b");
+        assert!(s[1].average_rank.is_infinite());
+        assert_eq!(s[1].completed, 0);
+    }
+
+    #[test]
+    fn rank_histogram_lookup() {
+        let names = ["a"];
+        let m = vec![vec![Some(1.0)]];
+        let s = average_ranks(&names, &m);
+        assert_eq!(rank_histogram(&s, "a"), Some(vec![1]));
+        assert_eq!(rank_histogram(&s, "zzz"), None);
+    }
+}

@@ -1,0 +1,175 @@
+//! Timestamp frequency inference.
+//!
+//! §4.1: "This assessment identifies the temporal frequency of the
+//! observations using timestamp column e.g., observations on daily basis
+//! (1D) or weekly basis (1W)". Frequency is inferred from the median
+//! inter-arrival time, snapped to the nearest calendar unit.
+
+/// Calendar sampling frequency of a time series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Frequency {
+    /// One observation per second.
+    Seconds,
+    /// One observation per minute.
+    Minutes,
+    /// One observation per hour.
+    Hours,
+    /// One observation per day.
+    Days,
+    /// One observation per week.
+    Weeks,
+    /// One observation per month (30.44 days nominal).
+    Months,
+    /// One observation per year (365.25 days nominal).
+    Years,
+}
+
+impl Frequency {
+    /// Nominal period of one observation, in seconds.
+    pub fn seconds(self) -> f64 {
+        match self {
+            Frequency::Seconds => 1.0,
+            Frequency::Minutes => 60.0,
+            Frequency::Hours => 3_600.0,
+            Frequency::Days => 86_400.0,
+            Frequency::Weeks => 604_800.0,
+            Frequency::Months => 2_629_800.0, // 365.25/12 days
+            Frequency::Years => 31_557_600.0, // 365.25 days
+        }
+    }
+
+    /// All frequencies, coarse to fine.
+    pub fn all() -> [Frequency; 7] {
+        [
+            Frequency::Years,
+            Frequency::Months,
+            Frequency::Weeks,
+            Frequency::Days,
+            Frequency::Hours,
+            Frequency::Minutes,
+            Frequency::Seconds,
+        ]
+    }
+
+    /// Short code used in logs (pandas-style: 1D, 1W, ...).
+    pub fn code(self) -> &'static str {
+        match self {
+            Frequency::Seconds => "1S",
+            Frequency::Minutes => "1T",
+            Frequency::Hours => "1H",
+            Frequency::Days => "1D",
+            Frequency::Weeks => "1W",
+            Frequency::Months => "1M",
+            Frequency::Years => "1Y",
+        }
+    }
+}
+
+/// Infer frequency from epoch-second timestamps by snapping the **median**
+/// inter-arrival to the nearest calendar unit (log-scale distance).
+///
+/// Returns `None` for fewer than 2 timestamps or non-increasing data.
+pub fn infer_frequency(ts: &[i64]) -> Option<Frequency> {
+    if ts.len() < 2 {
+        return None;
+    }
+    let mut deltas: Vec<i64> = ts.windows(2).map(|w| w[1] - w[0]).filter(|&d| d > 0).collect();
+    if deltas.is_empty() {
+        return None;
+    }
+    deltas.sort_unstable();
+    let median = deltas[deltas.len() / 2] as f64;
+    let mut best = Frequency::Seconds;
+    let mut best_dist = f64::INFINITY;
+    for f in Frequency::all() {
+        let d = (median.ln() - f.seconds().ln()).abs();
+        if d < best_dist {
+            best_dist = d;
+            best = f;
+        }
+    }
+    Some(best)
+}
+
+/// Fraction of inter-arrival gaps that deviate from the median by more than
+/// 1% — a measure of sampling irregularity used by the detectors.
+pub fn irregularity(ts: &[i64]) -> f64 {
+    if ts.len() < 3 {
+        return 0.0;
+    }
+    let mut deltas: Vec<i64> = ts.windows(2).map(|w| w[1] - w[0]).collect();
+    let mut sorted = deltas.clone();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2] as f64;
+    if median <= 0.0 {
+        return 1.0;
+    }
+    let irregular = deltas
+        .drain(..)
+        .filter(|&d| ((d as f64 - median) / median).abs() > 0.01)
+        .count();
+    irregular as f64 / (ts.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daily_data_detected() {
+        let ts: Vec<i64> = (0..100).map(|i| i * 86_400).collect();
+        assert_eq!(infer_frequency(&ts), Some(Frequency::Days));
+    }
+
+    #[test]
+    fn minutely_data_detected() {
+        let ts: Vec<i64> = (0..100).map(|i| 1_600_000_000 + i * 60).collect();
+        assert_eq!(infer_frequency(&ts), Some(Frequency::Minutes));
+    }
+
+    #[test]
+    fn monthly_data_snaps_despite_varying_month_lengths() {
+        // 28..31-day months
+        let lens = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+        let mut ts = vec![0i64];
+        for _ in 0..4 {
+            for &l in &lens {
+                ts.push(ts.last().unwrap() + l * 86_400);
+            }
+        }
+        assert_eq!(infer_frequency(&ts), Some(Frequency::Months));
+    }
+
+    #[test]
+    fn hourly_detected() {
+        let ts: Vec<i64> = (0..50).map(|i| i * 3_600).collect();
+        assert_eq!(infer_frequency(&ts), Some(Frequency::Hours));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(infer_frequency(&[]), None);
+        assert_eq!(infer_frequency(&[5]), None);
+        assert_eq!(infer_frequency(&[5, 5, 5]), None); // non-increasing
+    }
+
+    #[test]
+    fn irregularity_of_regular_series_is_zero() {
+        let ts: Vec<i64> = (0..100).map(|i| i * 60).collect();
+        assert_eq!(irregularity(&ts), 0.0);
+    }
+
+    #[test]
+    fn irregularity_flags_jitter() {
+        let mut ts: Vec<i64> = (0..100).map(|i| i * 60).collect();
+        ts[50] += 30; // one displaced sample disturbs two gaps
+        let irr = irregularity(&ts);
+        assert!(irr > 0.0 && irr < 0.1, "irr = {irr}");
+    }
+
+    #[test]
+    fn frequency_codes() {
+        assert_eq!(Frequency::Days.code(), "1D");
+        assert_eq!(Frequency::Minutes.code(), "1T");
+    }
+}

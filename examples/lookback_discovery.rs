@@ -1,0 +1,54 @@
+//! Look-back window discovery (§4.1) walkthrough: timestamp assessment,
+//! zero crossings, spectral analysis, influence ranking, and the
+//! multivariate cap rule.
+//!
+//! Run with: `cargo run --release --example lookback_discovery`
+
+use autoai_ts_repro::lookback::{
+    discover_multivariate, discover_univariate, seasonal_periods, spectral_lookback,
+    zero_crossing_lookback, LookbackConfig, MultivariateMode,
+};
+use autoai_ts_repro::tsdata::{infer_frequency, TimeSeriesFrame};
+
+fn main() {
+    // weekly retail pattern on daily timestamps
+    let weekly = [100.0, 80.0, 75.0, 82.0, 110.0, 160.0, 140.0];
+    let values: Vec<f64> = (0..365).map(|i| weekly[i % 7]).collect();
+    let timestamps: Vec<i64> = (0..365i64).map(|i| 1_577_836_800 + i * 86_400).collect();
+
+    // 1. timestamp-index assessment
+    let freq = infer_frequency(&timestamps).expect("regular timestamps");
+    println!("inferred frequency      : {}", freq.code());
+    println!("Table 1 seasonal periods: {:?}", seasonal_periods(freq));
+
+    // 2. value-index assessment
+    println!("zero-crossing estimate  : {:?}", zero_crossing_lookback(&values));
+    for period in seasonal_periods(freq) {
+        if period < values.len() {
+            println!(
+                "spectral estimate (≤{period:>3}): {:?}",
+                spectral_lookback(&values, period)
+            );
+        }
+    }
+
+    // 3. full discovery with influence ranking
+    let config = LookbackConfig::default();
+    let discovered = discover_univariate(&values, Some(&timestamps), &config);
+    println!("ranked look-backs       : {discovered:?} (expect 7 near the front)");
+
+    // 4. multivariate: ten series → the cap rule limits flattened width
+    let cols: Vec<Vec<f64>> = (0..10)
+        .map(|c| (0..365).map(|i| weekly[(i + c) % 7] * (1.0 + c as f64 * 0.1)).collect())
+        .collect();
+    let frame = TimeSeriesFrame::from_columns(cols).with_timestamps(timestamps);
+    let capped = discover_multivariate(
+        &frame,
+        &LookbackConfig { max_look_back: Some(40), ..Default::default() },
+        MultivariateMode::Cap,
+    );
+    println!(
+        "multivariate (10 series, max_look_back 40): {capped:?} \
+         (values capped so lw x 10 <= 40)"
+    );
+}

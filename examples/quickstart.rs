@@ -1,0 +1,49 @@
+//! Quickstart: the zero-configuration path.
+//!
+//! Drop a 2-D array in (rows = samples, columns = series), call `fit`,
+//! get forecasts — the paper's §1 promise: "the user simply drops-in their
+//! data set and the system transparently performs all the complex tasks".
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use autoai_ts_repro::core_ts::{AutoAITS, LogProgress};
+use std::sync::Arc;
+
+fn main() {
+    // monthly airline-style data: trend + multiplicative seasonality
+    let data: Vec<Vec<f64>> = (0..240)
+        .map(|i| {
+            let t = i as f64;
+            let trend = 100.0 + 2.0 * t;
+            let season = 1.0 + 0.3 * (2.0 * std::f64::consts::PI * t / 12.0).sin();
+            vec![trend * season]
+        })
+        .collect();
+
+    // zero-conf: no look-back, no model choice, no parameters
+    let mut system = AutoAITS::new().with_progress(Arc::new(LogProgress));
+    system.fit_rows(&data).expect("fit");
+
+    let summary = system.summary().expect("fitted");
+    println!("\nselected pipeline : {}", summary.best_pipeline);
+    println!("look-back window  : {}", summary.lookback);
+    println!("holdout SMAPE     : {:.2}", summary.holdout_smape);
+    println!("fit wall-clock    : {:.1}s", summary.fit_seconds);
+
+    println!("\npipeline ranking (T-Daub):");
+    for r in &summary.reports {
+        println!(
+            "  #{:<2} {:<36} projected {:>8.2}  final {}",
+            r.rank,
+            r.name,
+            r.projected_score,
+            r.final_score.map_or("-".to_string(), |s| format!("{s:.2}"))
+        );
+    }
+
+    let forecast = system.predict_rows(12).expect("predict");
+    println!("\nnext 12 months:");
+    for (h, row) in forecast.iter().enumerate() {
+        println!("  t+{:<2} {:>10.1}", h + 1, row[0]);
+    }
+}

@@ -1,0 +1,115 @@
+//! API-contract tests: the §3 data semantics every component must honor —
+//! 2-D array in, 2-D array out, uniform behavior across model families.
+
+use autoai_ts_repro::core_ts::{AutoAITS, AutoAITSConfig};
+use autoai_ts_repro::pipelines::{
+    default_pipelines, pipeline_by_name, PipelineContext, PipelineError, PIPELINE_NAMES,
+};
+use autoai_ts_repro::sota::all_sota;
+use autoai_ts_repro::tsdata::{Metric, TimeSeriesFrame};
+
+fn seasonal_frame(n_series: usize, n: usize) -> TimeSeriesFrame {
+    let cols: Vec<Vec<f64>> = (0..n_series)
+        .map(|c| {
+            (0..n)
+                .map(|i| {
+                    30.0 + 5.0 * c as f64
+                        + 8.0 * (2.0 * std::f64::consts::PI * (i + c) as f64 / 12.0).sin()
+                })
+                .collect()
+        })
+        .collect();
+    TimeSeriesFrame::from_columns(cols)
+}
+
+#[test]
+fn every_default_pipeline_honors_2d_in_2d_out() {
+    // §3: "fit and predict expect a 2D array in which columns represent
+    // different time series and rows represent samples. The predict
+    // function produces output in form of a 2D array in which columns
+    // correspond to input time series and rows are number of future values"
+    let frame = seasonal_frame(3, 240);
+    let ctx = PipelineContext::new(12, 6, vec![12]);
+    for mut p in default_pipelines(&ctx) {
+        let name = p.name();
+        p.fit(&frame).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let out = p.predict(6).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(out.n_series(), 3, "{name}: output series mismatch");
+        assert_eq!(out.len(), 6, "{name}: horizon mismatch");
+        assert!(!out.has_non_finite(), "{name}: non-finite output");
+    }
+}
+
+#[test]
+fn every_sota_simulator_honors_2d_in_2d_out() {
+    let frame = seasonal_frame(2, 240);
+    for mut sim in all_sota() {
+        let name = sim.name();
+        sim.fit(&frame).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let out = sim.predict(6).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(out.n_series(), 2, "{name}");
+        assert_eq!(out.len(), 6, "{name}");
+    }
+}
+
+#[test]
+fn every_pipeline_predicts_before_fit_as_error() {
+    let ctx = PipelineContext::new(8, 4, vec![]);
+    for name in PIPELINE_NAMES {
+        let p = pipeline_by_name(name, &ctx).unwrap();
+        assert!(
+            matches!(p.predict(4), Err(PipelineError::NotFitted)),
+            "{name} must return NotFitted before fit"
+        );
+    }
+}
+
+#[test]
+fn every_pipeline_clone_unfitted_preserves_name() {
+    let ctx = PipelineContext::new(8, 4, vec![12]);
+    for name in PIPELINE_NAMES {
+        let p = pipeline_by_name(name, &ctx).unwrap();
+        assert_eq!(p.clone_unfitted().name(), p.name(), "{name}");
+    }
+}
+
+#[test]
+fn score_is_uniform_across_model_families() {
+    // T-Daub relies on a single score contract across heterogeneous models
+    let frame = seasonal_frame(1, 300);
+    let train = frame.slice(0, 280);
+    let test = frame.slice(280, 300);
+    let ctx = PipelineContext::new(12, 12, vec![12]);
+    for name in ["Arima", "HW-Additive", "WindowRandomForest", "MT2RForecaster"] {
+        let mut p = pipeline_by_name(name, &ctx).unwrap();
+        p.fit(&train).unwrap();
+        let s = p.score(&test, Metric::Smape).unwrap();
+        assert!(s.is_finite() && s >= 0.0, "{name}: score {s}");
+    }
+}
+
+#[test]
+fn orchestrator_row_api_shapes() {
+    let rows: Vec<Vec<f64>> = (0..200)
+        .map(|i| vec![(i as f64 * 0.2).sin(), (i as f64 * 0.1).cos() * 10.0])
+        .collect();
+    let mut system = AutoAITS::with_config(AutoAITSConfig {
+        pipeline_names: Some(vec!["MT2RForecaster".into(), "ZeroModel".into()]),
+        ..Default::default()
+    });
+    system.fit_rows(&rows).unwrap();
+    let out = system.predict_rows(5).unwrap();
+    assert_eq!(out.len(), 5);
+    assert!(out.iter().all(|r| r.len() == 2), "every output row spans all input series");
+}
+
+#[test]
+fn predictions_respect_series_names() {
+    let frame = seasonal_frame(2, 240)
+        .with_names(vec!["cpu".to_string(), "memory".to_string()]);
+    let ctx = PipelineContext::new(8, 4, vec![12]);
+    let mut p = pipeline_by_name("MT2RForecaster", &ctx).unwrap();
+    p.fit(&frame).unwrap();
+    let out = p.predict(4).unwrap();
+    assert_eq!(out.names(), &["cpu".to_string(), "memory".to_string()]);
+}

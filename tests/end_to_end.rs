@@ -1,0 +1,118 @@
+//! End-to-end integration tests: the zero-conf system against every
+//! synthetic signal class and the benchmark catalog.
+
+use autoai_ts_repro::core_ts::{AutoAITS, AutoAITSConfig};
+use autoai_ts_repro::datasets::{multivariate_catalog, univariate_catalog, SyntheticSignal};
+use autoai_ts_repro::tsdata::{holdout_split, smape, TimeSeriesFrame};
+
+/// Fast configuration so the full-matrix tests stay in CI budgets.
+fn fast_config(horizon: usize) -> AutoAITSConfig {
+    AutoAITSConfig {
+        horizon,
+        pipeline_names: Some(vec![
+            "MT2RForecaster".into(),
+            "HW-Additive".into(),
+            "WindowRandomForest".into(),
+            "ZeroModel".into(),
+        ]),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn zero_conf_handles_every_synthetic_signal_class() {
+    // every §5.1.1 signal shape must fit and produce finite forecasts
+    for signal in SyntheticSignal::all() {
+        let values = signal.generate(600, 1);
+        let mut system = AutoAITS::with_config(fast_config(12));
+        system
+            .fit(&TimeSeriesFrame::univariate(values))
+            .unwrap_or_else(|e| panic!("{}: {e}", signal.name()));
+        let f = system.predict(12).unwrap();
+        assert_eq!(f.len(), 12, "{}", signal.name());
+        assert!(
+            f.series(0).iter().all(|v| v.is_finite()),
+            "{} produced non-finite forecasts",
+            signal.name()
+        );
+    }
+}
+
+#[test]
+fn clean_periodic_signals_forecast_accurately() {
+    for signal in [SyntheticSignal::Sine, SyntheticSignal::Cosine, SyntheticSignal::SquareWave] {
+        let values = signal.generate(600, 2);
+        let frame = TimeSeriesFrame::univariate(values.clone());
+        let (train, holdout) = holdout_split(&frame, 60);
+        let mut system = AutoAITS::with_config(fast_config(12));
+        system.fit(&train).unwrap();
+        let pred = system.predict(12).unwrap();
+        let s = smape(holdout.slice(0, 12).series(0), pred.series(0));
+        assert!(s < 10.0, "{}: smape {s}", signal.name());
+    }
+}
+
+#[test]
+fn catalog_smallest_uts_datasets_run_end_to_end() {
+    for entry in univariate_catalog().into_iter().take(4) {
+        let frame = entry.generate(7);
+        let mut system = AutoAITS::with_config(fast_config(12));
+        system.fit(&frame).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        let summary = system.summary().unwrap();
+        assert!(summary.holdout_smape.is_finite(), "{}", entry.name);
+        assert!(!summary.best_pipeline.is_empty());
+    }
+}
+
+#[test]
+fn catalog_multivariate_walmart_runs_end_to_end() {
+    let entry = multivariate_catalog().into_iter().next().unwrap(); // walmart-sale
+    let frame = entry.generate(7);
+    assert_eq!(frame.n_series(), 10);
+    let mut system = AutoAITS::with_config(fast_config(6));
+    system.fit(&frame).unwrap();
+    let f = system.predict(6).unwrap();
+    assert_eq!(f.n_series(), 10);
+    assert_eq!(f.len(), 6);
+}
+
+#[test]
+fn horizon_sweep_matches_paper_grid() {
+    // §5.3: "we vary the forecasting horizon between 6 and 30 in steps of 6"
+    let values = SyntheticSignal::SineTrend.generate(800, 3);
+    let frame = TimeSeriesFrame::univariate(values);
+    for horizon in [6usize, 12, 18, 24, 30] {
+        let mut system = AutoAITS::with_config(fast_config(horizon));
+        system.fit(&frame).unwrap();
+        let f = system.predict(horizon).unwrap();
+        assert_eq!(f.len(), horizon);
+    }
+}
+
+#[test]
+fn full_ten_pipeline_pool_runs_on_one_dataset() {
+    // the real default pool (all 10 pipelines) on one medium dataset
+    let entry = univariate_catalog().into_iter().find(|e| e.name == "elecdaily").unwrap();
+    let frame = entry.generate(7);
+    let mut system = AutoAITS::new();
+    system.fit(&frame).unwrap();
+    let summary = system.summary().unwrap();
+    assert_eq!(summary.reports.len(), 10, "all ten pipelines must be ranked");
+    assert!(summary.holdout_smape.is_finite());
+}
+
+#[test]
+fn selected_pipeline_beats_zero_model_on_seasonal_data() {
+    let values = SyntheticSignal::Sine.generate(600, 5);
+    let frame = TimeSeriesFrame::univariate(values);
+    let (train, holdout) = holdout_split(&frame, 60);
+    let mut system = AutoAITS::with_config(fast_config(12));
+    system.fit(&train).unwrap();
+    let truth = holdout.slice(0, 12);
+    let auto_s = smape(truth.series(0), system.predict(12).unwrap().series(0));
+    let zero_s = smape(truth.series(0), system.predict_zero_model(12).unwrap().series(0));
+    assert!(
+        auto_s < zero_s,
+        "selected pipeline ({auto_s}) should beat zero model ({zero_s}) on a sine"
+    );
+}

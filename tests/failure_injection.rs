@@ -1,0 +1,132 @@
+//! Failure-injection tests: dirty inputs the quality-check layer (§4) must
+//! absorb, and degenerate inputs every layer must reject gracefully.
+
+use autoai_ts_repro::core_ts::{AutoAITS, AutoAITSConfig, PipelineError};
+use autoai_ts_repro::pipelines::{pipeline_by_name, PipelineContext};
+use autoai_ts_repro::tdaub::{run_tdaub, TDaubConfig};
+use autoai_ts_repro::tsdata::{quality_check, QualityIssue, TimeSeriesFrame};
+
+fn fast_config() -> AutoAITSConfig {
+    AutoAITSConfig {
+        pipeline_names: Some(vec![
+            "MT2RForecaster".into(),
+            "HW-Additive".into(),
+            "ZeroModel".into(),
+        ]),
+        ..Default::default()
+    }
+}
+
+fn seasonal(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 20.0 + 5.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin())
+        .collect()
+}
+
+#[test]
+fn nan_blocks_are_interpolated_not_fatal() {
+    let mut values = seasonal(300);
+    for v in values.iter_mut().take(40).skip(20) {
+        *v = f64::NAN; // a 20-sample gap
+    }
+    let mut system = AutoAITS::with_config(fast_config());
+    system.fit(&TimeSeriesFrame::univariate(values)).unwrap();
+    assert_eq!(system.summary().unwrap().quality.missing_count, 20);
+    assert!(system.predict(6).unwrap().series(0).iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn negative_values_disable_log_but_log_pipelines_still_work() {
+    // log transforms fit an offset, so negative data must not break the
+    // FlattenAutoEnsembler-log pipeline
+    let values: Vec<f64> = seasonal(300).iter().map(|v| v - 22.0).collect(); // dips negative
+    let frame = TimeSeriesFrame::univariate(values);
+    let report = quality_check(&frame);
+    assert!(!report.log_transform_safe);
+    let ctx = PipelineContext::new(12, 6, vec![12]);
+    let mut p = pipeline_by_name("FlattenAutoEnsembler-log", &ctx).unwrap();
+    p.fit(&frame).unwrap();
+    assert!(p.predict(6).unwrap().series(0).iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn constant_series_is_flagged_and_forecast_constant() {
+    let frame = TimeSeriesFrame::univariate(vec![5.0; 200]);
+    let report = quality_check(&frame);
+    assert!(report.issues.contains(&QualityIssue::ConstantSeries(0)));
+    let mut system = AutoAITS::with_config(fast_config());
+    system.fit(&frame).unwrap();
+    for &v in system.predict(6).unwrap().series(0) {
+        assert!((v - 5.0).abs() < 0.5, "constant forecast drifted: {v}");
+    }
+}
+
+#[test]
+fn series_shorter_than_min_allocation_takes_bypass_path() {
+    // T-Daub's §4.2 rule: when len(T) <= min_allocation_size, all
+    // pipelines are ranked on the full data
+    let frame = TimeSeriesFrame::univariate(seasonal(60));
+    let ctx = PipelineContext::new(8, 6, vec![12]);
+    let pipelines = vec![
+        pipeline_by_name("MT2RForecaster", &ctx).unwrap(),
+        pipeline_by_name("ZeroModel", &ctx).unwrap(),
+    ];
+    let cfg = TDaubConfig { min_allocation_size: 100, parallel: false, ..Default::default() };
+    let result = run_tdaub(pipelines, &frame, &cfg).unwrap();
+    for r in &result.reports {
+        assert_eq!(r.scores.len(), 1, "{} should be evaluated exactly once", r.name);
+        assert!(r.final_score.is_some());
+    }
+}
+
+#[test]
+fn irregular_timestamps_are_reported() {
+    let ts: Vec<i64> = (0..200).map(|i| i * 60 + if i % 3 == 0 { 25 } else { 0 }).collect();
+    let frame = TimeSeriesFrame::univariate(seasonal(200)).with_timestamps(ts);
+    let report = quality_check(&frame);
+    assert!(report
+        .issues
+        .iter()
+        .any(|i| matches!(i, QualityIssue::IrregularTimestamps(_))));
+    // the system still fits (ML pipelines ignore timestamps)
+    let mut system = AutoAITS::with_config(fast_config());
+    system.fit(&frame).unwrap();
+}
+
+#[test]
+fn empty_and_tiny_inputs_are_clean_errors() {
+    let mut system = AutoAITS::with_config(fast_config());
+    assert!(matches!(system.fit_rows(&[]), Err(PipelineError::InvalidInput(_))));
+    let tiny: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+    assert!(matches!(system.fit_rows(&tiny), Err(PipelineError::InvalidInput(_))));
+    assert!(matches!(system.predict(3), Err(PipelineError::NotFitted)));
+}
+
+#[test]
+fn all_nan_series_degrades_to_zero_fill() {
+    let mut cols = vec![seasonal(200), vec![f64::NAN; 200]];
+    cols[1][0] = f64::NAN; // entire second column NaN
+    let frame = TimeSeriesFrame::from_columns(cols);
+    let mut system = AutoAITS::with_config(fast_config());
+    // the cleaner fills the dead series with zeros; the fit must survive
+    system.fit(&frame).unwrap();
+    let f = system.predict(4).unwrap();
+    assert_eq!(f.n_series(), 2);
+    assert!(f.series(1).iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn outlier_spikes_do_not_destroy_seasonal_forecasts() {
+    let mut values = seasonal(400);
+    for i in (30..390).step_by(57) {
+        values[i] += 400.0; // massive spikes
+    }
+    let frame = TimeSeriesFrame::univariate(values);
+    let mut system = AutoAITS::with_config(fast_config());
+    system.fit(&frame).unwrap();
+    let f = system.predict(12).unwrap();
+    // forecasts should stay near the base signal scale, not the spike scale
+    for &v in f.series(0) {
+        assert!(v.abs() < 120.0, "forecast blew up to {v}");
+    }
+}
