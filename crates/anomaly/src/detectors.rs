@@ -100,7 +100,11 @@ impl IqrDetector {
                 index: i,
                 value: v,
                 expected: median,
-                score: if v > hi { (v - q3) / iqr } else { (q1 - v) / iqr },
+                score: if v > hi {
+                    (v - q3) / iqr
+                } else {
+                    (q1 - v) / iqr
+                },
                 kind: AnomalyKind::Point,
             })
             .collect()
@@ -127,7 +131,14 @@ impl EwmaDetector {
     /// New streaming detector.
     pub fn new(lambda: f64, limit: f64) -> Self {
         assert!(lambda > 0.0 && lambda <= 1.0, "lambda in (0, 1]");
-        Self { lambda, limit, level: 0.0, variance: 0.0, baseline: 0.0, n_seen: 0 }
+        Self {
+            lambda,
+            limit,
+            level: 0.0,
+            variance: 0.0,
+            baseline: 0.0,
+            n_seen: 0,
+        }
     }
 
     /// Feed one observation; returns an anomaly when the point (or the
@@ -159,7 +170,11 @@ impl EwmaDetector {
         }
         // anomalous points update the fast level with reduced weight and do
         // NOT touch the slow baseline — a single spike must poison neither
-        let w = if hit.is_some() { self.lambda * 0.1 } else { self.lambda };
+        let w = if hit.is_some() {
+            self.lambda * 0.1
+        } else {
+            self.lambda
+        };
         self.level += w * err;
         self.variance = (1.0 - w) * (self.variance + w * err * err);
         if hit.is_none() {
@@ -250,16 +265,28 @@ mod tests {
 
     #[test]
     fn ewma_catches_point_anomaly() {
-        let mut x: Vec<f64> = (0..150).map(|i| 20.0 + 0.5 * ((i % 5) as f64 - 2.0)).collect();
+        let mut x: Vec<f64> = (0..150)
+            .map(|i| 20.0 + 0.5 * ((i % 5) as f64 - 2.0))
+            .collect();
         x[100] = 45.0;
         let hits = EwmaDetector::new(0.2, 4.0).detect(&x);
-        assert!(hits.iter().any(|a| a.index == 100 && a.kind == AnomalyKind::Point), "{hits:?}");
+        assert!(
+            hits.iter()
+                .any(|a| a.index == 100 && a.kind == AnomalyKind::Point),
+            "{hits:?}"
+        );
     }
 
     #[test]
     fn ewma_catches_level_shift() {
         let x: Vec<f64> = (0..300)
-            .map(|i| if i < 150 { 10.0 + 0.3 * ((i % 4) as f64) } else { 25.0 + 0.3 * ((i % 4) as f64) })
+            .map(|i| {
+                if i < 150 {
+                    10.0 + 0.3 * ((i % 4) as f64)
+                } else {
+                    25.0 + 0.3 * ((i % 4) as f64)
+                }
+            })
             .collect();
         let hits = EwmaDetector::new(0.3, 3.0).detect(&x);
         assert!(

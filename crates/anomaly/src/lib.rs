@@ -17,6 +17,7 @@
 //!   streaming use (drift + spike detection with O(1) state).
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod detectors;
 pub mod residual;

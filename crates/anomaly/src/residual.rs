@@ -27,7 +27,12 @@ pub struct ResidualDetector {
 impl ResidualDetector {
     /// New detector around any pipeline (e.g. the winner of a zero-conf run).
     pub fn new(prototype: Box<dyn Forecaster>, threshold: f64) -> Self {
-        Self { prototype, threshold, block: 12, warmup: 60 }
+        Self {
+            prototype,
+            threshold,
+            block: 12,
+            warmup: 60,
+        }
     }
 
     /// Scan a univariate series. Returns anomalies ordered by index.
@@ -64,8 +69,7 @@ impl ResidualDetector {
                         // window: rolling so the detector re-calibrates
                         // after a corruption, centered so a systematic
                         // model bias is absorbed instead of flagged forever
-                        let recent =
-                            &residuals[residuals.len().saturating_sub(48)..];
+                        let recent = &residuals[residuals.len().saturating_sub(48)..];
                         let (center, spread) = robust_center_spread(recent);
                         let sd = spread.max(sd_floor);
                         let z = (resid - center) / sd;

@@ -1,11 +1,16 @@
-//! Criterion benchmark: cost of the §4.1 look-back discovery pieces —
-//! periodogram, zero-crossing estimate, influence ranking, full discovery.
+//! Benchmark: cost of the §4.1 look-back discovery pieces — periodogram,
+//! zero-crossing estimate, influence ranking, full discovery.
+//!
+//! Plain `std::time` harness (`harness = false`); run with
+//! `cargo bench -p autoai-bench --bench lookback`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use autoai_linalg::periodogram;
-use autoai_lookback::{discover_univariate, influence_order, zero_crossing_lookback, LookbackConfig};
+use autoai_lookback::{
+    discover_univariate, influence_order, zero_crossing_lookback, LookbackConfig,
+};
 
 fn seasonal(n: usize) -> Vec<f64> {
     (0..n)
@@ -13,32 +18,36 @@ fn seasonal(n: usize) -> Vec<f64> {
         .collect()
 }
 
-fn bench_estimators(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lookback_estimators");
+fn time<F: FnMut()>(name: &str, iters: usize, mut f: F) {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per_iter = start.elapsed().as_secs_f64() / iters as f64;
+    println!(
+        "{name:<36} {:>12.3} ms/iter  ({iters} iters)",
+        per_iter * 1e3
+    );
+}
+
+fn main() {
+    println!("== lookback_estimators ==");
     for n in [500usize, 2000, 8000] {
         let x = seasonal(n);
-        g.bench_with_input(BenchmarkId::new("periodogram", n), &x, |b, x| {
-            b.iter(|| periodogram(black_box(x)))
+        time(&format!("periodogram/{n}"), 20, || {
+            let _ = periodogram(black_box(&x));
         });
-        g.bench_with_input(BenchmarkId::new("zero_crossing", n), &x, |b, x| {
-            b.iter(|| zero_crossing_lookback(black_box(x)))
+        time(&format!("zero_crossing/{n}"), 50, || {
+            let _ = zero_crossing_lookback(black_box(&x));
         });
     }
-    g.finish();
-}
-
-fn bench_influence_and_discovery(c: &mut Criterion) {
+    println!("== lookback_discovery ==");
     let x = seasonal(2000);
-    let mut g = c.benchmark_group("lookback_discovery");
-    g.sample_size(10);
-    g.bench_function("influence_order_3_candidates", |b| {
-        b.iter(|| influence_order(black_box(&x), &[12, 24, 48], 400, 0))
+    time("influence_order_3_candidates", 3, || {
+        let _ = influence_order(black_box(&x), &[12, 24, 48], 400, 0);
     });
-    g.bench_function("discover_univariate_full", |b| {
-        b.iter(|| discover_univariate(black_box(&x), None, &LookbackConfig::default()))
+    time("discover_univariate_full", 3, || {
+        let _ = discover_univariate(black_box(&x), None, &LookbackConfig::default());
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_estimators, bench_influence_and_discovery);
-criterion_main!(benches);

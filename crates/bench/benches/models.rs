@@ -1,9 +1,11 @@
-//! Criterion microbenchmarks: fit cost of every model family on a
-//! representative seasonal series — the per-pipeline training times behind
-//! Tables 4–6.
+//! Microbenchmarks: fit cost of every model family on a representative
+//! seasonal series — the per-pipeline training times behind Tables 4–6.
+//!
+//! Plain `std::time` harness (`harness = false`); run with
+//! `cargo bench -p autoai-bench --bench models`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use autoai_ml_models::{
     GradientBoostingRegressor, LinearRegression, RandomForestConfig, RandomForestRegressor,
@@ -17,71 +19,81 @@ use autoai_tsdata::TimeSeriesFrame;
 fn seasonal_series(n: usize) -> Vec<f64> {
     (0..n)
         .map(|i| {
-            50.0 + 0.05 * i as f64
-                + 10.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin()
+            50.0 + 0.05 * i as f64 + 10.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin()
         })
         .collect()
 }
 
-fn bench_stat_models(c: &mut Criterion) {
-    let series = seasonal_series(500);
-    let mut g = c.benchmark_group("stat_models_fit");
-    g.bench_function("arima_2_1_1", |b| {
-        b.iter(|| Arima::fit(black_box(&series), ArimaSpec::new(2, 1, 1)).unwrap())
-    });
-    g.bench_function("holtwinters_additive_12", |b| {
-        b.iter(|| HoltWinters::fit(black_box(&series), Seasonality::Additive(12)).unwrap())
-    });
-    g.bench_function("bats_period_12", |b| {
-        b.iter(|| Bats::fit(black_box(&series), &BatsConfig::with_periods(vec![12])).unwrap())
-    });
-    g.finish();
+fn time<F: FnMut()>(name: &str, iters: usize, mut f: F) {
+    // one warm-up iteration, then the timed loop
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per_iter = start.elapsed().as_secs_f64() / iters as f64;
+    println!(
+        "{name:<32} {:>12.3} ms/iter  ({iters} iters)",
+        per_iter * 1e3
+    );
 }
 
-fn bench_ml_models(c: &mut Criterion) {
+fn bench_stat_models() {
+    let series = seasonal_series(500);
+    time("arima_2_1_1", 20, || {
+        let _ = Arima::fit(black_box(&series), ArimaSpec::new(2, 1, 1));
+    });
+    time("holtwinters_additive_12", 20, || {
+        let _ = HoltWinters::fit(black_box(&series), Seasonality::Additive(12));
+    });
+    time("bats_period_12", 20, || {
+        let _ = Bats::fit(black_box(&series), &BatsConfig::with_periods(vec![12]));
+    });
+}
+
+fn bench_ml_models() {
     let frame = TimeSeriesFrame::univariate(seasonal_series(500));
     let ds = flatten_windows(&frame, 12, 1);
     let y = ds.y.col(0);
-    let mut g = c.benchmark_group("ml_models_fit");
-    g.bench_function("linear_regression", |b| {
-        b.iter(|| {
-            let mut m = LinearRegression::new();
-            m.fit(black_box(&ds.x), black_box(&y)).unwrap();
-        })
+    time("linear_regression", 20, || {
+        let mut m = LinearRegression::new();
+        let _ = m.fit(black_box(&ds.x), black_box(&y));
     });
-    g.bench_function("random_forest_30", |b| {
-        b.iter(|| {
-            let mut m = RandomForestRegressor::with_config(RandomForestConfig {
-                n_trees: 30,
-                ..Default::default()
-            });
-            m.fit(black_box(&ds.x), black_box(&y)).unwrap();
-        })
+    time("random_forest_30", 5, || {
+        let mut m = RandomForestRegressor::with_config(RandomForestConfig {
+            n_trees: 30,
+            ..Default::default()
+        });
+        let _ = m.fit(black_box(&ds.x), black_box(&y));
     });
-    g.bench_function("gbm_60", |b| {
-        b.iter(|| {
-            let mut m = GradientBoostingRegressor::new();
-            m.fit(black_box(&ds.x), black_box(&y)).unwrap();
-        })
+    time("gbm_60", 5, || {
+        let mut m = GradientBoostingRegressor::new();
+        let _ = m.fit(black_box(&ds.x), black_box(&y));
     });
-    g.finish();
 }
 
-fn bench_pipelines(c: &mut Criterion) {
+fn bench_pipelines() {
     let frame = TimeSeriesFrame::univariate(seasonal_series(400));
     let ctx = PipelineContext::new(12, 12, vec![12]);
-    let mut g = c.benchmark_group("pipeline_fit");
-    g.sample_size(10);
-    for name in ["MT2RForecaster", "WindowRandomForest", "HW-Additive", "Arima"] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), name, |b, name| {
-            b.iter(|| {
-                let mut p = pipeline_by_name(name, &ctx).unwrap();
-                p.fit(black_box(&frame)).unwrap();
-            })
+    for name in [
+        "MT2RForecaster",
+        "WindowRandomForest",
+        "HW-Additive",
+        "Arima",
+    ] {
+        time(&format!("pipeline/{name}"), 5, || {
+            if let Some(mut p) = pipeline_by_name(name, &ctx) {
+                let _ = p.fit(black_box(&frame));
+            }
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_stat_models, bench_ml_models, bench_pipelines);
-criterion_main!(benches);
+fn main() {
+    println!("== stat_models_fit ==");
+    bench_stat_models();
+    println!("== ml_models_fit ==");
+    bench_ml_models();
+    println!("== pipeline_fit ==");
+    bench_pipelines();
+}

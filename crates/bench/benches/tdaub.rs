@@ -1,8 +1,11 @@
-//! Criterion benchmark: T-Daub selection cost vs exhaustive full-data
-//! evaluation (ablation A1) and the cost of reverse vs forward allocation.
+//! Benchmark: T-Daub selection cost vs exhaustive full-data evaluation
+//! (ablation A1) and the cost of reverse vs forward allocation.
+//!
+//! Plain `std::time` harness (`harness = false`); run with
+//! `cargo bench -p autoai-bench --bench tdaub`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use autoai_pipelines::{Forecaster, Mt2rForecaster, ThetaPipeline, ZeroModelPipeline};
 use autoai_tdaub::{run_tdaub, TDaubConfig};
@@ -24,42 +27,50 @@ fn pool() -> Vec<Box<dyn Forecaster>> {
     ]
 }
 
-fn bench_tdaub_vs_full(c: &mut Criterion) {
-    let data = frame(1000);
-    let mut g = c.benchmark_group("selection");
-    g.sample_size(10);
-    g.bench_function("tdaub_reverse", |b| {
-        b.iter(|| {
-            let cfg = TDaubConfig { parallel: false, ..Default::default() };
-            run_tdaub(pool(), black_box(&data), &cfg).unwrap()
-        })
-    });
-    g.bench_function("tdaub_forward", |b| {
-        b.iter(|| {
-            let cfg = TDaubConfig {
-                parallel: false,
-                reverse_allocation: false,
-                ..Default::default()
-            };
-            run_tdaub(pool(), black_box(&data), &cfg).unwrap()
-        })
-    });
-    g.bench_function("exhaustive_full_data", |b| {
-        b.iter(|| {
-            let n = data.len();
-            let cut = n - n / 5;
-            let (t1, t2) = (data.slice(0, cut), data.slice(cut, n));
-            let mut best = f64::INFINITY;
-            for mut p in pool() {
-                p.fit(black_box(&t1)).unwrap();
-                let s = p.score(&t2, Metric::Smape).unwrap();
-                best = best.min(s);
-            }
-            best
-        })
-    });
-    g.finish();
+fn time<F: FnMut()>(name: &str, iters: usize, mut f: F) {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per_iter = start.elapsed().as_secs_f64() / iters as f64;
+    println!(
+        "{name:<32} {:>12.3} ms/iter  ({iters} iters)",
+        per_iter * 1e3
+    );
 }
 
-criterion_group!(benches, bench_tdaub_vs_full);
-criterion_main!(benches);
+fn main() {
+    let data = frame(1000);
+    println!("== selection ==");
+    time("tdaub_reverse", 5, || {
+        let cfg = TDaubConfig {
+            parallel: false,
+            ..Default::default()
+        };
+        let _ = run_tdaub(pool(), black_box(&data), &cfg);
+    });
+    time("tdaub_forward", 5, || {
+        let cfg = TDaubConfig {
+            parallel: false,
+            reverse_allocation: false,
+            ..Default::default()
+        };
+        let _ = run_tdaub(pool(), black_box(&data), &cfg);
+    });
+    time("exhaustive_full_data", 5, || {
+        let n = data.len();
+        let cut = n - n / 5;
+        let (t1, t2) = (data.slice(0, cut), data.slice(cut, n));
+        let mut best = f64::INFINITY;
+        for mut p in pool() {
+            if p.fit(black_box(&t1)).is_err() {
+                continue;
+            }
+            if let Ok(s) = p.score(&t2, Metric::Smape) {
+                best = best.min(s);
+            }
+        }
+        black_box(best);
+    });
+}

@@ -19,8 +19,13 @@ const TEST: usize = 300;
 fn forecast_signal(values: &[f64]) -> (Vec<f64>, f64) {
     let train = TimeSeriesFrame::univariate(values[..TRAIN].to_vec());
     let truth = &values[TRAIN..TRAIN + TEST];
-    let mut system = AutoAITS::with_config(AutoAITSConfig { horizon: 12, ..Default::default() });
-    system.fit(&train).expect("synthetic signals are well-formed");
+    let mut system = AutoAITS::with_config(AutoAITSConfig {
+        horizon: 12,
+        ..Default::default()
+    });
+    system
+        .fit(&train)
+        .expect("synthetic signals are well-formed");
     let pred = system.predict(TEST).expect("fitted");
     let smape = autoai_tsdata::smape(truth, pred.series(0));
     (pred.series(0).to_vec(), smape)
@@ -61,7 +66,10 @@ fn ascii_overlay(name: &str, actual: &[f64], predicted: &[f64]) -> String {
 }
 
 fn main() {
-    println!("Experiment 1: synthetic dataset ({} signals, {TRAIN} train / {TEST} test)", 21);
+    println!(
+        "Experiment 1: synthetic dataset ({} signals, {TRAIN} train / {TEST} test)",
+        21
+    );
     let suite = synthetic_suite(7);
     let showcase = [
         SyntheticSignal::CosineGrowingAmplitude.name(), // Fig 5a
@@ -92,7 +100,13 @@ fn main() {
         }
         println!(
             "{name:<26} {smape:>10.3} {:>8}",
-            if is_noisy { "(noisy)" } else if ok { "yes" } else { "NO" }
+            if is_noisy {
+                "(noisy)"
+            } else if ok {
+                "yes"
+            } else {
+                "NO"
+            }
         );
         if showcase.contains(name) {
             let truth = &values[TRAIN..TRAIN + TEST];

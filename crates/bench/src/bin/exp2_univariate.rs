@@ -10,9 +10,9 @@ use autoai_bench::{
     score_matrix, write_results_csv, EvalOutcome,
 };
 use autoai_datasets::univariate_catalog;
+use autoai_linalg::parallel_map_range;
 use autoai_sota::{sota_by_name, SOTA_NAMES};
 use autoai_tsdata::average_ranks;
-use rayon::prelude::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -36,27 +36,28 @@ fn main() {
         systems.len()
     );
 
-    let cells: Vec<Vec<EvalOutcome>> = catalog
-        .par_iter()
-        .map(|entry| {
-            let frame = entry.generate(11);
-            let mut row = Vec::with_capacity(systems.len());
-            row.push(evaluate_autoai(&frame, horizon));
-            for name in SOTA_NAMES {
-                let sim = sota_by_name(name).expect("registered");
-                row.push(evaluate_forecaster(sim, &frame, horizon));
-            }
-            eprintln!("  done {}", entry.name);
-            row
-        })
-        .collect();
+    let cells: Vec<Vec<EvalOutcome>> = parallel_map_range(catalog.len(), |di| {
+        let entry = &catalog[di];
+        let frame = entry.generate(11);
+        let mut row = Vec::with_capacity(systems.len());
+        row.push(evaluate_autoai(&frame, horizon));
+        for name in SOTA_NAMES {
+            let sim = sota_by_name(name).expect("registered");
+            row.push(evaluate_forecaster(sim, &frame, horizon));
+        }
+        eprintln!("  done {}", entry.name);
+        row
+    });
 
     let dataset_names: Vec<String> = catalog.iter().map(|e| e.name.to_string()).collect();
 
     // Figure 6: average SMAPE rank
     let smape_scores = score_matrix(&cells, false);
     let smape_ranks = average_ranks(&systems, &smape_scores);
-    println!("{}", ascii_rank_chart("Figure 6: average SMAPE rank (univariate)", &smape_ranks));
+    println!(
+        "{}",
+        ascii_rank_chart("Figure 6: average SMAPE rank (univariate)", &smape_ranks)
+    );
 
     // Figure 7: datasets per rank
     println!(
@@ -69,17 +70,28 @@ fn main() {
     let time_ranks = average_ranks(&systems, &time_scores);
     println!(
         "{}",
-        ascii_rank_chart("Figure 8: average training-time rank (univariate)", &time_ranks)
+        ascii_rank_chart(
+            "Figure 8: average training-time rank (univariate)",
+            &time_ranks
+        )
     );
     println!(
         "{}",
-        ascii_rank_histogram("Figure 9: training-time rank histogram (univariate)", &time_ranks)
+        ascii_rank_histogram(
+            "Figure 9: training-time rank histogram (univariate)",
+            &time_ranks
+        )
     );
 
     if show_table {
         println!(
             "{}",
-            results_table("Table 4: smape (seconds) per dataset", &dataset_names, &systems, &cells)
+            results_table(
+                "Table 4: smape (seconds) per dataset",
+                &dataset_names,
+                &systems,
+                &cells
+            )
         );
     }
 

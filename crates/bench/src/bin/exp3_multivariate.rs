@@ -9,9 +9,9 @@ use autoai_bench::{
     score_matrix, write_results_csv, EvalOutcome,
 };
 use autoai_datasets::multivariate_catalog;
+use autoai_linalg::parallel_map_range;
 use autoai_sota::{sota_by_name, SOTA_NAMES};
 use autoai_tsdata::average_ranks;
-use rayon::prelude::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -31,20 +31,18 @@ fn main() {
         systems.len()
     );
 
-    let cells: Vec<Vec<EvalOutcome>> = catalog
-        .par_iter()
-        .map(|entry| {
-            let frame = entry.generate(13);
-            let mut row = Vec::with_capacity(systems.len());
-            row.push(evaluate_autoai(&frame, horizon));
-            for name in SOTA_NAMES {
-                let sim = sota_by_name(name).expect("registered");
-                row.push(evaluate_forecaster(sim, &frame, horizon));
-            }
-            eprintln!("  done {}", entry.name);
-            row
-        })
-        .collect();
+    let cells: Vec<Vec<EvalOutcome>> = parallel_map_range(catalog.len(), |di| {
+        let entry = &catalog[di];
+        let frame = entry.generate(13);
+        let mut row = Vec::with_capacity(systems.len());
+        row.push(evaluate_autoai(&frame, horizon));
+        for name in SOTA_NAMES {
+            let sim = sota_by_name(name).expect("registered");
+            row.push(evaluate_forecaster(sim, &frame, horizon));
+        }
+        eprintln!("  done {}", entry.name);
+        row
+    });
 
     let dataset_names: Vec<String> = catalog.iter().map(|e| e.name.to_string()).collect();
 
@@ -56,24 +54,38 @@ fn main() {
     );
     println!(
         "{}",
-        ascii_rank_histogram("Figure 11: SMAPE rank histogram (multivariate)", &smape_ranks)
+        ascii_rank_histogram(
+            "Figure 11: SMAPE rank histogram (multivariate)",
+            &smape_ranks
+        )
     );
 
     let time_scores = score_matrix(&cells, true);
     let time_ranks = average_ranks(&systems, &time_scores);
     println!(
         "{}",
-        ascii_rank_chart("Figure 12: average training-time rank (multivariate)", &time_ranks)
+        ascii_rank_chart(
+            "Figure 12: average training-time rank (multivariate)",
+            &time_ranks
+        )
     );
     println!(
         "{}",
-        ascii_rank_histogram("Figure 13: training-time rank histogram (multivariate)", &time_ranks)
+        ascii_rank_histogram(
+            "Figure 13: training-time rank histogram (multivariate)",
+            &time_ranks
+        )
     );
 
     if show_table {
         println!(
             "{}",
-            results_table("Table 5: smape (seconds) per dataset", &dataset_names, &systems, &cells)
+            results_table(
+                "Table 5: smape (seconds) per dataset",
+                &dataset_names,
+                &systems,
+                &cells
+            )
         );
     }
 

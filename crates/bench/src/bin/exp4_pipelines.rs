@@ -11,33 +11,31 @@ use autoai_bench::{
     write_results_csv, EvalOutcome,
 };
 use autoai_datasets::{multivariate_catalog, univariate_catalog, CatalogEntry};
+use autoai_linalg::parallel_map_range;
 use autoai_pipelines::{pipeline_by_name, PipelineContext, PIPELINE_NAMES};
 use autoai_tsdata::average_ranks;
-use rayon::prelude::*;
 
 fn run(
     catalog: &[CatalogEntry],
     horizon: usize,
     seed: u64,
 ) -> (Vec<String>, Vec<Vec<EvalOutcome>>) {
-    let cells: Vec<Vec<EvalOutcome>> = catalog
-        .par_iter()
-        .map(|entry| {
-            let frame = entry.generate(seed);
-            // pipelines need a context; use the discovery default the
-            // orchestrator would pick, with seasonal hints from the domain
-            let ctx = PipelineContext::new(12, horizon, vec![12, 7, 24]);
-            let row: Vec<EvalOutcome> = PIPELINE_NAMES
-                .iter()
-                .map(|name| {
-                    let p = pipeline_by_name(name, &ctx).expect("registered");
-                    evaluate_forecaster(p, &frame, horizon)
-                })
-                .collect();
-            eprintln!("  done {}", entry.name);
-            row
-        })
-        .collect();
+    let cells: Vec<Vec<EvalOutcome>> = parallel_map_range(catalog.len(), |di| {
+        let entry = &catalog[di];
+        let frame = entry.generate(seed);
+        // pipelines need a context; use the discovery default the
+        // orchestrator would pick, with seasonal hints from the domain
+        let ctx = PipelineContext::new(12, horizon, vec![12, 7, 24]);
+        let row: Vec<EvalOutcome> = PIPELINE_NAMES
+            .iter()
+            .map(|name| {
+                let p = pipeline_by_name(name, &ctx).expect("registered");
+                evaluate_forecaster(p, &frame, horizon)
+            })
+            .collect();
+        eprintln!("  done {}", entry.name);
+        row
+    });
     (catalog.iter().map(|e| e.name.to_string()).collect(), cells)
 }
 
@@ -59,37 +57,59 @@ fn main() {
     if quick {
         uts.truncate(20);
     }
-    println!("Experiment 4a: {} UTS x {} pipelines, horizon {horizon}", uts.len(), names.len());
+    println!(
+        "Experiment 4a: {} UTS x {} pipelines, horizon {horizon}",
+        uts.len(),
+        names.len()
+    );
     let (uts_names, uts_cells) = run(&uts, horizon, 17);
     let uts_ranks = average_ranks(&names, &score_matrix(&uts_cells, false));
     println!(
         "{}",
-        ascii_rank_chart("Figure 14: internal pipeline SMAPE ranks (univariate)", &uts_ranks)
+        ascii_rank_chart(
+            "Figure 14: internal pipeline SMAPE ranks (univariate)",
+            &uts_ranks
+        )
     );
     println!(
         "{}",
-        ascii_rank_histogram("Figure 14 detail: pipelines per rank (univariate)", &uts_ranks)
+        ascii_rank_histogram(
+            "Figure 14 detail: pipelines per rank (univariate)",
+            &uts_ranks
+        )
     );
-    write_results_csv("exp4_pipelines_uts.csv", &uts_names, &names, &uts_cells)
-        .expect("write csv");
+    write_results_csv("exp4_pipelines_uts.csv", &uts_names, &names, &uts_cells).expect("write csv");
 
     // the paper's core hypothesis: several different pipelines occupy the
     // top-3 ranks across datasets
-    let distinct_winners = uts_ranks.iter().filter(|s| s.histogram.first().copied().unwrap_or(0) > 0).count();
+    let distinct_winners = uts_ranks
+        .iter()
+        .filter(|s| s.histogram.first().copied().unwrap_or(0) > 0)
+        .count();
     println!("pipelines winning at least one UTS dataset: {distinct_winners} (paper: top-3 spread across model classes)");
 
     // ---- multivariate (Figure 15 / Table 6) ----
     let mts = multivariate_catalog();
-    println!("\nExperiment 4b: {} MTS x {} pipelines, horizon {horizon}", mts.len(), names.len());
+    println!(
+        "\nExperiment 4b: {} MTS x {} pipelines, horizon {horizon}",
+        mts.len(),
+        names.len()
+    );
     let (mts_names, mts_cells) = run(&mts, horizon, 19);
     let mts_ranks = average_ranks(&names, &score_matrix(&mts_cells, false));
     println!(
         "{}",
-        ascii_rank_chart("Figure 15: internal pipeline SMAPE ranks (multivariate)", &mts_ranks)
+        ascii_rank_chart(
+            "Figure 15: internal pipeline SMAPE ranks (multivariate)",
+            &mts_ranks
+        )
     );
     println!(
         "{}",
-        ascii_rank_histogram("Figure 15 detail: pipelines per rank (multivariate)", &mts_ranks)
+        ascii_rank_histogram(
+            "Figure 15 detail: pipelines per rank (multivariate)",
+            &mts_ranks
+        )
     );
     if show_table {
         println!(
@@ -102,7 +122,6 @@ fn main() {
             )
         );
     }
-    write_results_csv("exp4_pipelines_mts.csv", &mts_names, &names, &mts_cells)
-        .expect("write csv");
+    write_results_csv("exp4_pipelines_mts.csv", &mts_names, &names, &mts_cells).expect("write csv");
     println!("\nwrote results/exp4_pipelines_uts.csv and results/exp4_pipelines_mts.csv");
 }

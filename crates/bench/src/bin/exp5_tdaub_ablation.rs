@@ -73,12 +73,18 @@ fn main() {
         let ex_smape = holdout_smape(ex_best.as_ref(), &holdout);
 
         // 3. forward allocation (original DAUB)
-        let fwd_cfg = TDaubConfig { reverse_allocation: false, ..Default::default() };
+        let fwd_cfg = TDaubConfig {
+            reverse_allocation: false,
+            ..Default::default()
+        };
         let fwd = run_tdaub(default_pipelines(&ctx), &train, &fwd_cfg).expect("tdaub fwd");
         let fwd_smape = holdout_smape(fwd.best.as_ref(), &holdout);
 
         // 4. last-score ranking (no learning-curve projection)
-        let ls_cfg = TDaubConfig { use_projection: false, ..Default::default() };
+        let ls_cfg = TDaubConfig {
+            use_projection: false,
+            ..Default::default()
+        };
         let ls = run_tdaub(default_pipelines(&ctx), &train, &ls_cfg).expect("tdaub last-score");
         let ls_smape = holdout_smape(ls.best.as_ref(), &holdout);
 
@@ -93,19 +99,33 @@ fn main() {
             fwd_smape,
             ls_smape
         );
-        rows.push((tdaub_smape, tdaub_time, ex_smape, ex_time, fwd_smape, ls_smape));
+        rows.push((
+            tdaub_smape,
+            tdaub_time,
+            ex_smape,
+            ex_time,
+            fwd_smape,
+            ls_smape,
+        ));
     }
 
     /// One ablation row: (tdaub smape, tdaub secs, exhaustive smape,
     /// exhaustive secs, forward-alloc smape, last-score smape).
     type Row = (f64, f64, f64, f64, f64, f64);
     let n = rows.len() as f64;
-    let mean = |f: &dyn Fn(&Row) -> f64| {
-        rows.iter().map(f).filter(|v| v.is_finite()).sum::<f64>() / n
-    };
+    let mean =
+        |f: &dyn Fn(&Row) -> f64| rows.iter().map(f).filter(|v| v.is_finite()).sum::<f64>() / n;
     println!("\n== summary (means over {} datasets) ==", rows.len());
-    println!("T-Daub      : smape {:>7.2}  time {:>7.1}s", mean(&|r| r.0), mean(&|r| r.1));
-    println!("Exhaustive  : smape {:>7.2}  time {:>7.1}s", mean(&|r| r.2), mean(&|r| r.3));
+    println!(
+        "T-Daub      : smape {:>7.2}  time {:>7.1}s",
+        mean(&|r| r.0),
+        mean(&|r| r.1)
+    );
+    println!(
+        "Exhaustive  : smape {:>7.2}  time {:>7.1}s",
+        mean(&|r| r.2),
+        mean(&|r| r.3)
+    );
     println!("Fwd-alloc   : smape {:>7.2}", mean(&|r| r.4));
     println!("Last-score  : smape {:>7.2}", mean(&|r| r.5));
     println!(

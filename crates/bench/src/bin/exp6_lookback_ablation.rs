@@ -20,7 +20,10 @@ fn main() {
     let horizon = 12;
     let sweep = [4usize, 8, 12, 24, 48, 96];
 
-    println!("Look-back ablation over {} datasets (horizon {horizon})", catalog.len());
+    println!(
+        "Look-back ablation over {} datasets (horizon {horizon})",
+        catalog.len()
+    );
     println!(
         "\n{:<28} {:>10} {:>12} {:>10} {:>12} {:>10}",
         "dataset", "discovered", "smape(disc)", "smape(8)", "oracle-lb", "smape(orc)"
@@ -65,8 +68,14 @@ fn main() {
 
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     println!("\n== summary ==");
-    println!("mean SMAPE regret vs oracle — discovered: {:.2}", mean(&regret_disc));
-    println!("mean SMAPE regret vs oracle — fixed 8   : {:.2}", mean(&regret_fixed));
+    println!(
+        "mean SMAPE regret vs oracle — discovered: {:.2}",
+        mean(&regret_disc)
+    );
+    println!(
+        "mean SMAPE regret vs oracle — fixed 8   : {:.2}",
+        mean(&regret_fixed)
+    );
     println!(
         "shape check: discovered look-backs should have no more regret than the fixed default."
     );

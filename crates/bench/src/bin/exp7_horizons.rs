@@ -9,9 +9,9 @@
 
 use autoai_bench::{evaluate_autoai, evaluate_forecaster, score_matrix, EvalOutcome};
 use autoai_datasets::univariate_catalog;
+use autoai_linalg::parallel_map_range;
 use autoai_sota::sota_by_name;
 use autoai_tsdata::average_ranks;
-use rayon::prelude::*;
 
 const SYSTEMS: [&str; 4] = ["AutoAI-TS", "PMDArima", "GLS", "Component"];
 
@@ -30,23 +30,27 @@ fn main() {
 
     let mut per_horizon_ranks: Vec<Vec<f64>> = Vec::new(); // [horizon][system]
     for &h in &horizons {
-        let cells: Vec<Vec<EvalOutcome>> = catalog
-            .par_iter()
-            .map(|entry| {
-                let frame = entry.generate(37);
-                let mut row = Vec::with_capacity(SYSTEMS.len());
-                row.push(evaluate_autoai(&frame, h));
-                for name in &SYSTEMS[1..] {
-                    row.push(evaluate_forecaster(sota_by_name(name).unwrap(), &frame, h));
-                }
-                row
-            })
-            .collect();
+        let cells: Vec<Vec<EvalOutcome>> = parallel_map_range(catalog.len(), |di| {
+            let entry = &catalog[di];
+            let frame = entry.generate(37);
+            let mut row = Vec::with_capacity(SYSTEMS.len());
+            row.push(evaluate_autoai(&frame, h));
+            for name in &SYSTEMS[1..] {
+                row.push(evaluate_forecaster(sota_by_name(name).unwrap(), &frame, h));
+            }
+            row
+        });
         let summaries = average_ranks(&SYSTEMS, &score_matrix(&cells, false));
         // reorder back to SYSTEMS order
         let ranks: Vec<f64> = SYSTEMS
             .iter()
-            .map(|s| summaries.iter().find(|x| &x.name == s).unwrap().average_rank)
+            .map(|s| {
+                summaries
+                    .iter()
+                    .find(|x| &x.name == s)
+                    .unwrap()
+                    .average_rank
+            })
             .collect();
         println!("\nhorizon {h:>2}:");
         for (s, r) in SYSTEMS.iter().zip(&ranks) {

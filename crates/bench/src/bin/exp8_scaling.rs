@@ -13,16 +13,18 @@
 use std::time::Instant;
 
 use autoai_datasets::univariate_catalog;
-use autoai_pipelines::{
-    default_pipelines, extended_pipelines, Forecaster, PipelineContext,
-};
+use autoai_pipelines::{default_pipelines, extended_pipelines, Forecaster, PipelineContext};
 use autoai_tdaub::{run_tdaub, TDaubConfig};
 use autoai_tsdata::{holdout_split, Metric};
 
 fn big_pool(ctx: &PipelineContext) -> Vec<Box<dyn Forecaster>> {
     // ~80 pipelines: the extended registry at two base look-backs
     let mut pool = extended_pipelines(ctx);
-    let alt = PipelineContext::new(ctx.lookback * 3 / 2 + 2, ctx.horizon, ctx.seasonal_periods.clone());
+    let alt = PipelineContext::new(
+        ctx.lookback * 3 / 2 + 2,
+        ctx.horizon,
+        ctx.seasonal_periods.clone(),
+    );
     pool.extend(extended_pipelines(&alt));
     pool
 }

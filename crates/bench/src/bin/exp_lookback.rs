@@ -22,7 +22,13 @@ fn main() {
     }
 
     println!("\n§4.1 discovery on catalog datasets (ordered candidates, best first):\n");
-    for name in ["AirPassengers", "elecdaily", "Sunspots", "Twitter-volume-AAPL", "PJME-MW"] {
+    for name in [
+        "AirPassengers",
+        "elecdaily",
+        "Sunspots",
+        "Twitter-volume-AAPL",
+        "PJME-MW",
+    ] {
         let entry = univariate_catalog()
             .into_iter()
             .find(|e| e.name == name)
@@ -33,6 +39,11 @@ fn main() {
             frame.timestamps(),
             &LookbackConfig::default(),
         );
-        println!("{:<24} len {:>5}  look-backs {:?}", entry.name, frame.len(), lbs);
+        println!(
+            "{:<24} len {:>5}  look-backs {:?}",
+            entry.name,
+            frame.len(),
+            lbs
+        );
     }
 }

@@ -14,12 +14,13 @@
 //! as aligned text + CSV.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 use std::time::Instant;
 
 use autoai_pipelines::Forecaster;
-use autoai_tsdata::{holdout_split, RankSummary, TimeSeriesFrame};
 use autoai_ts::{AutoAITS, AutoAITSConfig};
+use autoai_tsdata::{holdout_split, RankSummary, TimeSeriesFrame};
 
 /// Outcome of one (system, dataset) evaluation.
 #[derive(Debug, Clone)]
@@ -65,7 +66,10 @@ pub fn evaluate_forecaster(
         let s = total / target.n_series().max(1) as f64;
         s.is_finite().then_some(s)
     })();
-    EvalOutcome { smape, seconds: start.elapsed().as_secs_f64() }
+    EvalOutcome {
+        smape,
+        seconds: start.elapsed().as_secs_f64(),
+    }
 }
 
 /// Evaluate the full AutoAI-TS system (quality check → look-back discovery
@@ -91,7 +95,10 @@ pub fn evaluate_autoai(frame: &TimeSeriesFrame, horizon: usize) -> EvalOutcome {
         let s = total / target.n_series().max(1) as f64;
         s.is_finite().then_some(s)
     })();
-    EvalOutcome { smape, seconds: start.elapsed().as_secs_f64() }
+    EvalOutcome {
+        smape,
+        seconds: start.elapsed().as_secs_f64(),
+    }
 }
 
 /// Render an average-rank bar chart (Figures 6/8/10/12 analogue).
@@ -181,29 +188,53 @@ pub fn write_results_csv(
     std::fs::write(format!("results/{path}"), out)
 }
 
+/// Minimal JSON string escaping (quotes, backslashes, control characters) —
+/// dataset and system names are ASCII identifiers, so this covers the full
+/// range of values this harness emits without an external serializer.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Emit results as a JSON document (`[{dataset, system, smape, seconds}]`)
-/// for downstream tooling; written under `results/`.
+/// for downstream tooling; written under `results/`. The document is built
+/// by hand — the schema is four flat fields, which does not justify a
+/// serialization dependency in the hermetic build.
 pub fn write_results_json(
     path: &str,
     datasets: &[String],
     systems: &[&str],
     cells: &[Vec<EvalOutcome>],
 ) -> std::io::Result<()> {
-    #[derive(serde::Serialize)]
-    struct Row<'a> {
-        dataset: &'a str,
-        system: &'a str,
-        smape: Option<f64>,
-        seconds: f64,
-    }
     std::fs::create_dir_all("results")?;
     let mut rows = Vec::new();
     for (d, row) in datasets.iter().zip(cells) {
         for (s, c) in systems.iter().zip(row) {
-            rows.push(Row { dataset: d, system: s, smape: c.smape, seconds: c.seconds });
+            let smape = match c.smape {
+                Some(v) if v.is_finite() => format!("{v}"),
+                _ => "null".to_string(),
+            };
+            rows.push(format!(
+                "  {{\n    \"dataset\": \"{}\",\n    \"system\": \"{}\",\n    \"smape\": {},\n    \"seconds\": {}\n  }}",
+                json_escape(d),
+                json_escape(s),
+                smape,
+                c.seconds
+            ));
         }
     }
-    let json = serde_json::to_string_pretty(&rows).expect("serializable rows");
+    let json = format!("[\n{}\n]", rows.join(",\n"));
     std::fs::write(format!("results/{path}"), json)
 }
 
@@ -246,15 +277,24 @@ mod tests {
 
     #[test]
     fn dnf_renders_paper_style() {
-        let out = EvalOutcome { smape: None, seconds: 3.0 };
+        let out = EvalOutcome {
+            smape: None,
+            seconds: 3.0,
+        };
         assert_eq!(out.cell(), "0 (0)");
     }
 
     #[test]
     fn score_matrix_time_mode() {
         let cells = vec![vec![
-            EvalOutcome { smape: Some(1.0), seconds: 9.0 },
-            EvalOutcome { smape: None, seconds: 5.0 },
+            EvalOutcome {
+                smape: Some(1.0),
+                seconds: 9.0,
+            },
+            EvalOutcome {
+                smape: None,
+                seconds: 5.0,
+            },
         ]];
         let by_smape = score_matrix(&cells, false);
         assert_eq!(by_smape[0], vec![Some(1.0), None]);
@@ -265,8 +305,14 @@ mod tests {
     #[test]
     fn chart_rendering_smoke() {
         let cells = vec![vec![
-            EvalOutcome { smape: Some(1.0), seconds: 1.0 },
-            EvalOutcome { smape: Some(2.0), seconds: 0.5 },
+            EvalOutcome {
+                smape: Some(1.0),
+                seconds: 1.0,
+            },
+            EvalOutcome {
+                smape: Some(2.0),
+                seconds: 0.5,
+            },
         ]];
         let m = score_matrix(&cells, false);
         let summaries = average_ranks(&["a", "b"], &m);
@@ -274,12 +320,7 @@ mod tests {
         assert!(chart.contains("a"));
         let hist = ascii_rank_histogram("test", &summaries);
         assert!(hist.contains("rank"));
-        let table = results_table(
-            "t",
-            &["d1".to_string()],
-            &["a", "b"],
-            &cells,
-        );
+        let table = results_table("t", &["d1".to_string()], &["a", "b"], &cells);
         assert!(table.contains("d1"));
     }
 }

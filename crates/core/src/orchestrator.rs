@@ -2,7 +2,9 @@
 
 use std::sync::Arc;
 
-use autoai_lookback::{discover_multivariate, discover_univariate, LookbackConfig, MultivariateMode};
+use autoai_lookback::{
+    discover_multivariate, discover_univariate, LookbackConfig, MultivariateMode,
+};
 use autoai_pipelines::{
     default_pipelines, pipeline_by_name, Forecaster, PipelineContext, PipelineError,
     ZeroModelPipeline,
@@ -98,7 +100,11 @@ impl AutoAITS {
 
     /// Construct with explicit configuration.
     pub fn with_config(config: AutoAITSConfig) -> Self {
-        Self { config, progress: Arc::new(NoProgress), state: None }
+        Self {
+            config,
+            progress: Arc::new(NoProgress),
+            state: None,
+        }
     }
 
     /// Attach a progress sink (CLI/web-UI surface of §4).
@@ -137,8 +143,14 @@ impl AutoAITS {
 
         // ---- 1. quality check + cleaning ----
         let quality = quality_check(frame);
-        self.progress.report(&ProgressEvent::QualityChecked { issues: quality.issues.len() });
-        let data = if quality.missing_count > 0 { clean(frame) } else { frame.clone() };
+        self.progress.report(&ProgressEvent::QualityChecked {
+            issues: quality.issues.len(),
+        });
+        let data = if quality.missing_count > 0 {
+            clean(frame)
+        } else {
+            frame.clone()
+        };
 
         // ---- 2. Zero Model baseline, available immediately ----
         let mut zero_model = ZeroModelPipeline::new();
@@ -182,9 +194,13 @@ impl AutoAITS {
             None => default_pipelines(&ctx),
         };
         if pipelines.is_empty() {
-            return Err(PipelineError::InvalidInput("no pipelines to evaluate".into()));
+            return Err(PipelineError::InvalidInput(
+                "no pipelines to evaluate".into(),
+            ));
         }
-        self.progress.report(&ProgressEvent::PipelinesGenerated { count: pipelines.len() });
+        self.progress.report(&ProgressEvent::PipelinesGenerated {
+            count: pipelines.len(),
+        });
 
         // ---- 5. T-Daub ranking over the training split ----
         // scale the allocation unit to the training length so the smallest
@@ -210,8 +226,13 @@ impl AutoAITS {
         });
 
         // ---- 6. holdout evaluation, then full-data retraining ----
-        let holdout_smape = result.best.score(&holdout, Metric::Smape).unwrap_or(f64::INFINITY);
-        self.progress.report(&ProgressEvent::HoldoutScored { smape: holdout_smape });
+        let holdout_smape = result
+            .best
+            .score(&holdout, Metric::Smape)
+            .unwrap_or(f64::INFINITY);
+        self.progress.report(&ProgressEvent::HoldoutScored {
+            smape: holdout_smape,
+        });
 
         // per-series holdout residual spread → prediction intervals
         let residual_std: Vec<f64> = match result.best.predict(holdout.len()) {
@@ -354,7 +375,11 @@ mod tests {
         assert_eq!(f.len(), 12);
         assert_eq!(f[0].len(), 1);
         let summary = sys.summary().unwrap();
-        assert!(summary.holdout_smape < 20.0, "holdout smape {}", summary.holdout_smape);
+        assert!(
+            summary.holdout_smape < 20.0,
+            "holdout smape {}",
+            summary.holdout_smape
+        );
         assert!(!summary.best_pipeline.is_empty());
         assert!(summary.reports.len() == 3);
     }
@@ -362,12 +387,7 @@ mod tests {
     #[test]
     fn multivariate_input_multivariate_output() {
         let rows: Vec<Vec<f64>> = (0..300)
-            .map(|i| {
-                vec![
-                    10.0 + (i as f64 * 0.5).sin(),
-                    100.0 + 0.3 * i as f64,
-                ]
-            })
+            .map(|i| vec![10.0 + (i as f64 * 0.5).sin(), 100.0 + 0.3 * i as f64])
             .collect();
         let mut sys = AutoAITS::with_config(fast_config());
         sys.fit_rows(&rows).unwrap();
@@ -386,7 +406,12 @@ mod tests {
         sys.fit_rows(&rows).unwrap();
         let summary = sys.summary().unwrap();
         assert_eq!(summary.quality.missing_count, 2);
-        assert!(sys.predict(3).unwrap().series(0).iter().all(|v| v.is_finite()));
+        assert!(sys
+            .predict(3)
+            .unwrap()
+            .series(0)
+            .iter()
+            .all(|v| v.is_finite()));
     }
 
     #[test]
@@ -425,17 +450,19 @@ mod tests {
 
     #[test]
     fn progress_events_fire_in_order() {
-        use parking_lot::Mutex;
+        use std::sync::Mutex;
         struct Collect(Mutex<Vec<String>>);
         impl Progress for Collect {
             fn report(&self, e: &ProgressEvent) {
-                self.0.lock().push(format!("{e:?}"));
+                if let Ok(mut events) = self.0.lock() {
+                    events.push(format!("{e:?}"));
+                }
             }
         }
         let sink = Arc::new(Collect(Mutex::new(Vec::new())));
         let mut sys = AutoAITS::with_config(fast_config()).with_progress(sink.clone());
         sys.fit_rows(&seasonal_rows(300)).unwrap();
-        let events = sink.0.lock();
+        let events = sink.0.lock().unwrap();
         assert!(events[0].starts_with("QualityChecked"));
         assert!(events.last().unwrap().starts_with("Ready"));
         assert!(events.iter().any(|e| e.starts_with("TDaubFinished")));

@@ -10,10 +10,8 @@
 //! regeneration rule follows §5.1.2: day frequency below 1 000 samples,
 //! minute frequency above.
 
+use autoai_linalg::Rng64;
 use autoai_tsdata::TimeSeriesFrame;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 /// Qualitative generating process of a dataset's domain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,11 +49,11 @@ pub enum Domain {
 impl Domain {
     /// Generate one series of length `n`. `col` perturbs phase/scale so
     /// multivariate columns are related but not identical.
-    pub fn generate(self, n: usize, rng: &mut ChaCha8Rng, col: usize) -> Vec<f64> {
+    pub fn generate(self, n: usize, rng: &mut Rng64, col: usize) -> Vec<f64> {
         use std::f64::consts::PI;
         let phase = col as f64 * 0.7;
         let scale = 1.0 + 0.25 * col as f64;
-        let noise = |s: f64, rng: &mut ChaCha8Rng| (rng.gen::<f64>() * 2.0 - 1.0) * s;
+        let noise = |s: f64, rng: &mut Rng64| (rng.next_f64() * 2.0 - 1.0) * s;
         match self {
             Domain::AirTravel => (0..n)
                 .map(|i| {
@@ -74,8 +72,7 @@ impl Domain {
             Domain::Quarterly => (0..n)
                 .map(|i| {
                     let t = i as f64;
-                    (200.0 + 0.5 * t
-                        + 40.0 * (2.0 * PI * t / 4.0 + phase).sin()) * scale
+                    (200.0 + 0.5 * t + 40.0 * (2.0 * PI * t / 4.0 + phase).sin()) * scale
                 })
                 .collect(),
             Domain::Environment => {
@@ -95,9 +92,7 @@ impl Domain {
                 let weekly = [1.0, 0.95, 0.9, 0.92, 1.05, 1.25, 1.2];
                 let mut rng2 = rng.clone();
                 (0..n)
-                    .map(|i| {
-                        (200.0 * weekly[(i + col) % 7] + noise(15.0, &mut rng2)) * scale
-                    })
+                    .map(|i| (200.0 * weekly[(i + col) % 7] + noise(15.0, &mut rng2)) * scale)
                     .collect()
             }
             Domain::Finance => {
@@ -113,7 +108,11 @@ impl Domain {
             Domain::AdMetrics => (0..n)
                 .map(|i| {
                     let base = 2.0 + (2.0 * PI * i as f64 / 24.0 + phase).sin().abs();
-                    let burst = if rng.gen::<f64>() < 0.01 { rng.gen::<f64>() * 15.0 } else { 0.0 };
+                    let burst = if rng.next_f64() < 0.01 {
+                        rng.next_f64() * 15.0
+                    } else {
+                        0.0
+                    };
                     (base + burst + noise(0.4, rng).abs()) * scale
                 })
                 .collect(),
@@ -121,7 +120,7 @@ impl Domain {
                 .map(|i| {
                     let t = i as f64;
                     let daily = 60.0 + 25.0 * (2.0 * PI * t / 288.0 + phase).sin();
-                    let dropout = if rng.gen::<f64>() < 0.005 { -40.0 } else { 0.0 };
+                    let dropout = if rng.next_f64() < 0.005 { -40.0 } else { 0.0 };
                     (daily + dropout + noise(3.0, rng)) * scale
                 })
                 .collect(),
@@ -129,10 +128,14 @@ impl Domain {
                 let mut level = 40.0;
                 (0..n)
                     .map(|_| {
-                        if rng.gen::<f64>() < 0.002 {
-                            level = 20.0 + rng.gen::<f64>() * 50.0; // regime shift
+                        if rng.next_f64() < 0.002 {
+                            level = 20.0 + rng.next_f64() * 50.0; // regime shift
                         }
-                        let spike = if rng.gen::<f64>() < 0.008 { rng.gen::<f64>() * 45.0 } else { 0.0 };
+                        let spike = if rng.next_f64() < 0.008 {
+                            rng.next_f64() * 45.0
+                        } else {
+                            0.0
+                        };
                         ((level + spike + noise(1.5, rng)).clamp(0.0, 100.0)) * scale
                     })
                     .collect()
@@ -140,7 +143,11 @@ impl Domain {
             Domain::SocialMedia => (0..n)
                 .map(|i| {
                     let daily = 8.0 + 5.0 * (2.0 * PI * i as f64 / 288.0 + phase).sin();
-                    let burst = if rng.gen::<f64>() < 0.004 { rng.gen::<f64>() * 120.0 } else { 0.0 };
+                    let burst = if rng.next_f64() < 0.004 {
+                        rng.next_f64() * 120.0
+                    } else {
+                        0.0
+                    };
                     (daily.max(0.5) + burst + noise(2.0, rng).abs()) * scale
                 })
                 .collect(),
@@ -159,7 +166,7 @@ impl Domain {
                 let weekly = [0.8, 0.7, 0.75, 0.85, 1.1, 1.5, 1.3];
                 (0..n)
                     .map(|i| {
-                        let promo = if rng.gen::<f64>() < 0.02 { 1.8 } else { 1.0 };
+                        let promo = if rng.next_f64() < 0.02 { 1.8 } else { 1.0 };
                         (1000.0 * weekly[(i + col) % 7] * promo + noise(60.0, rng)) * scale
                     })
                     .collect()
@@ -167,8 +174,7 @@ impl Domain {
             Domain::Household => (0..n)
                 .map(|i| {
                     let t = i as f64;
-                    (1.5
-                        + 1.2 * (2.0 * PI * t / 24.0 + phase).sin().max(-0.4)
+                    (1.5 + 1.2 * (2.0 * PI * t / 24.0 + phase).sin().max(-0.4)
                         + noise(0.5, rng).abs())
                         * scale
                 })
@@ -178,7 +184,7 @@ impl Domain {
                 let mut drift = 0.002;
                 (0..n)
                     .map(|_| {
-                        if rng.gen::<f64>() < 0.001 {
+                        if rng.next_f64() < 0.001 {
                             drift = -drift;
                         }
                         level += drift + noise(0.15, rng);
@@ -213,7 +219,13 @@ impl CatalogEntry {
         domain: Domain,
         source: &'static str,
     ) -> Self {
-        Self { name, original_len, n_series, domain, source }
+        Self {
+            name,
+            original_len,
+            n_series,
+            domain,
+            source,
+        }
     }
 
     /// Sub-linear length compression: identity below 1 200 samples,
@@ -234,9 +246,10 @@ impl CatalogEntry {
         for b in self.name.bytes() {
             hash = (hash ^ b as u64).wrapping_mul(0x100000001b3);
         }
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ hash);
-        let cols: Vec<Vec<f64>> =
-            (0..self.n_series).map(|c| self.domain.generate(n, &mut rng, c)).collect();
+        let mut rng = Rng64::seed_from_u64(seed ^ hash);
+        let cols: Vec<Vec<f64>> = (0..self.n_series)
+            .map(|c| self.domain.generate(n, &mut rng, c))
+            .collect();
         let names: Vec<String> = (0..self.n_series)
             .map(|c| {
                 if self.n_series == 1 {
@@ -310,17 +323,83 @@ pub fn univariate_catalog() -> Vec<CatalogEntry> {
         CatalogEntry::new("Twitter-volume-AAPL", 15902, 1, SocialMedia, "NAB"),
         CatalogEntry::new("elecdemand", 17520, 1, EnergyLoad, "TimeSeriesData"),
         CatalogEntry::new("calls", 27716, 1, DailyCount, "TimeSeriesData"),
-        CatalogEntry::new("PJM-Load-MW", 32896, 1, EnergyLoad, "kaggle hourly-energy-consumption"),
-        CatalogEntry::new("EKPC-MW", 45334, 1, EnergyLoad, "kaggle hourly-energy-consumption"),
-        CatalogEntry::new("DEOK-MW", 57739, 1, EnergyLoad, "kaggle hourly-energy-consumption"),
-        CatalogEntry::new("NI-MW", 58450, 1, EnergyLoad, "kaggle hourly-energy-consumption"),
-        CatalogEntry::new("FE-MW", 62874, 1, EnergyLoad, "kaggle hourly-energy-consumption"),
-        CatalogEntry::new("DOM-MW", 116189, 1, EnergyLoad, "kaggle hourly-energy-consumption"),
-        CatalogEntry::new("DUQ-MW", 119068, 1, EnergyLoad, "kaggle hourly-energy-consumption"),
-        CatalogEntry::new("AEP-MW", 121273, 1, EnergyLoad, "kaggle hourly-energy-consumption"),
-        CatalogEntry::new("DAYTON-MW", 121275, 1, EnergyLoad, "kaggle hourly-energy-consumption"),
-        CatalogEntry::new("PJMW-MW", 143206, 1, EnergyLoad, "kaggle hourly-energy-consumption"),
-        CatalogEntry::new("PJME-MW", 145366, 1, EnergyLoad, "kaggle hourly-energy-consumption"),
+        CatalogEntry::new(
+            "PJM-Load-MW",
+            32896,
+            1,
+            EnergyLoad,
+            "kaggle hourly-energy-consumption",
+        ),
+        CatalogEntry::new(
+            "EKPC-MW",
+            45334,
+            1,
+            EnergyLoad,
+            "kaggle hourly-energy-consumption",
+        ),
+        CatalogEntry::new(
+            "DEOK-MW",
+            57739,
+            1,
+            EnergyLoad,
+            "kaggle hourly-energy-consumption",
+        ),
+        CatalogEntry::new(
+            "NI-MW",
+            58450,
+            1,
+            EnergyLoad,
+            "kaggle hourly-energy-consumption",
+        ),
+        CatalogEntry::new(
+            "FE-MW",
+            62874,
+            1,
+            EnergyLoad,
+            "kaggle hourly-energy-consumption",
+        ),
+        CatalogEntry::new(
+            "DOM-MW",
+            116189,
+            1,
+            EnergyLoad,
+            "kaggle hourly-energy-consumption",
+        ),
+        CatalogEntry::new(
+            "DUQ-MW",
+            119068,
+            1,
+            EnergyLoad,
+            "kaggle hourly-energy-consumption",
+        ),
+        CatalogEntry::new(
+            "AEP-MW",
+            121273,
+            1,
+            EnergyLoad,
+            "kaggle hourly-energy-consumption",
+        ),
+        CatalogEntry::new(
+            "DAYTON-MW",
+            121275,
+            1,
+            EnergyLoad,
+            "kaggle hourly-energy-consumption",
+        ),
+        CatalogEntry::new(
+            "PJMW-MW",
+            143206,
+            1,
+            EnergyLoad,
+            "kaggle hourly-energy-consumption",
+        ),
+        CatalogEntry::new(
+            "PJME-MW",
+            145366,
+            1,
+            EnergyLoad,
+            "kaggle hourly-energy-consumption",
+        ),
     ]
 }
 
@@ -329,14 +408,32 @@ pub fn multivariate_catalog() -> Vec<CatalogEntry> {
     use Domain::*;
     vec![
         CatalogEntry::new("walmart-sale", 143, 10, Retail, "kaggle walmart-recruiting"),
-        CatalogEntry::new("nn5tn10dim", 713, 10, DailyCount, "neural-forecasting-competition"),
+        CatalogEntry::new(
+            "nn5tn10dim",
+            713,
+            10,
+            DailyCount,
+            "neural-forecasting-competition",
+        ),
         CatalogEntry::new("rossmann", 942, 10, Retail, "kaggle rossmann-store-sales"),
-        CatalogEntry::new("household", 1442, 9, Household, "data.world household-power"),
+        CatalogEntry::new(
+            "household",
+            1442,
+            9,
+            Household,
+            "data.world household-power",
+        ),
         CatalogEntry::new("cloud", 2637, 4, CloudTelemetry, "proprietary (simulated)"),
         CatalogEntry::new("exchange", 7588, 8, Finance, "Lai et al. [22]"),
         CatalogEntry::new("traffic", 17544, 10, TrafficSensor, "pems.dot.ca.gov"),
         CatalogEntry::new("electricity", 26304, 10, EnergyLoad, "UCI"),
-        CatalogEntry::new("manufacturing", 303302, 5, Manufacturing, "proprietary (simulated)"),
+        CatalogEntry::new(
+            "manufacturing",
+            303302,
+            5,
+            Manufacturing,
+            "proprietary (simulated)",
+        ),
     ]
 }
 
@@ -362,7 +459,12 @@ mod tests {
     fn ordering_by_size_is_preserved_after_scaling() {
         let uts = univariate_catalog();
         for w in uts.windows(2) {
-            assert!(w[0].original_len <= w[1].original_len, "{} > {}", w[0].name, w[1].name);
+            assert!(
+                w[0].original_len <= w[1].original_len,
+                "{} > {}",
+                w[0].name,
+                w[1].name
+            );
             assert!(w[0].scaled_len() <= w[1].scaled_len());
         }
     }

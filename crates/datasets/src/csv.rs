@@ -49,8 +49,11 @@ pub fn load_csv(path: &Path) -> std::io::Result<TimeSeriesFrame> {
     let has_ts = names
         .first()
         .is_some_and(|n| n.eq_ignore_ascii_case("timestamp"));
-    let series_names: Vec<String> =
-        if has_ts { names[1..].to_vec() } else { names.clone() };
+    let series_names: Vec<String> = if has_ts {
+        names[1..].to_vec()
+    } else {
+        names.clone()
+    };
     let n_series = series_names.len();
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); n_series];
     let mut timestamps: Vec<i64> = Vec::new();
@@ -87,7 +90,10 @@ mod tests {
     use super::*;
 
     fn tmp(name: &str) -> std::path::PathBuf {
-        std::env::temp_dir().join(format!("autoai_ts_csv_test_{name}_{}.csv", std::process::id()))
+        std::env::temp_dir().join(format!(
+            "autoai_ts_csv_test_{name}_{}.csv",
+            std::process::id()
+        ))
     }
 
     #[test]

@@ -20,13 +20,12 @@
 //!   flow into the quality check).
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod catalog;
 pub mod csv;
 pub mod synthetic;
 
-pub use catalog::{
-    multivariate_catalog, univariate_catalog, CatalogEntry, Domain,
-};
+pub use catalog::{multivariate_catalog, univariate_catalog, CatalogEntry, Domain};
 pub use csv::{load_csv, save_csv};
 pub use synthetic::{synthetic_suite, SyntheticSignal};

@@ -1,9 +1,7 @@
 //! The §5.1.1 synthetic signal library: 21 known-signal series used for the
 //! controlled experiments of Figure 5.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use autoai_linalg::Rng64;
 
 /// One of the 21 synthetic signal shapes of §5.1.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -113,27 +111,37 @@ impl SyntheticSignal {
     pub fn generate(self, n: usize, seed: u64) -> Vec<f64> {
         use std::f64::consts::PI;
         use SyntheticSignal::*;
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (self as u64).wrapping_mul(0x9E3779B97F4A7C15));
-        let noise = |scale: f64, rng: &mut ChaCha8Rng| (rng.gen::<f64>() * 2.0 - 1.0) * scale;
+        let mut rng = Rng64::seed_from_u64(seed ^ (self as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let noise = |scale: f64, rng: &mut Rng64| (rng.next_f64() * 2.0 - 1.0) * scale;
         match self {
             Linear => (0..n).map(|i| 10.0 + 0.5 * i as f64).collect(),
             Constant => vec![42.0; n],
-            LinearNoise => (0..n).map(|i| 10.0 + 0.5 * i as f64 + noise(5.0, &mut rng)).collect(),
-            Exponential => (0..n).map(|i| (i as f64 * 4.0 / n as f64).exp() * 10.0).collect(),
-            InverseExponential => {
-                (0..n).map(|i| 100.0 - 90.0 * (-(i as f64) * 5.0 / n as f64).exp()).collect()
-            }
-            Sine => (0..n).map(|i| 50.0 + 20.0 * (2.0 * PI * i as f64 / 24.0).sin()).collect(),
-            Cosine => (0..n).map(|i| 50.0 + 20.0 * (2.0 * PI * i as f64 / 24.0).cos()).collect(),
+            LinearNoise => (0..n)
+                .map(|i| 10.0 + 0.5 * i as f64 + noise(5.0, &mut rng))
+                .collect(),
+            Exponential => (0..n)
+                .map(|i| (i as f64 * 4.0 / n as f64).exp() * 10.0)
+                .collect(),
+            InverseExponential => (0..n)
+                .map(|i| 100.0 - 90.0 * (-(i as f64) * 5.0 / n as f64).exp())
+                .collect(),
+            Sine => (0..n)
+                .map(|i| 50.0 + 20.0 * (2.0 * PI * i as f64 / 24.0).sin())
+                .collect(),
+            Cosine => (0..n)
+                .map(|i| 50.0 + 20.0 * (2.0 * PI * i as f64 / 24.0).cos())
+                .collect(),
             SineOutliers => {
-                let mut v: Vec<f64> =
-                    (0..n).map(|i| 50.0 + 20.0 * (2.0 * PI * i as f64 / 24.0).sin()).collect();
+                let mut v: Vec<f64> = (0..n)
+                    .map(|i| 50.0 + 20.0 * (2.0 * PI * i as f64 / 24.0).sin())
+                    .collect();
                 inject_outliers(&mut v, 0.02, 120.0, &mut rng);
                 v
             }
             CosineOutliers => {
-                let mut v: Vec<f64> =
-                    (0..n).map(|i| 50.0 + 20.0 * (2.0 * PI * i as f64 / 24.0).cos()).collect();
+                let mut v: Vec<f64> = (0..n)
+                    .map(|i| 50.0 + 20.0 * (2.0 * PI * i as f64 / 24.0).cos())
+                    .collect();
                 inject_outliers(&mut v, 0.02, 120.0, &mut rng);
                 v
             }
@@ -194,11 +202,11 @@ impl SyntheticSignal {
     }
 }
 
-fn inject_outliers(v: &mut [f64], fraction: f64, magnitude: f64, rng: &mut ChaCha8Rng) {
+fn inject_outliers(v: &mut [f64], fraction: f64, magnitude: f64, rng: &mut Rng64) {
     let count = ((v.len() as f64) * fraction).round() as usize;
     for _ in 0..count {
         let idx = rng.gen_range(0..v.len());
-        v[idx] += magnitude * if rng.gen::<bool>() { 1.0 } else { -1.0 };
+        v[idx] += magnitude * if rng.next_bool() { 1.0 } else { -1.0 };
     }
 }
 
@@ -221,7 +229,7 @@ mod tests {
         assert_eq!(suite.len(), 21);
         let total: usize = suite.iter().map(|(_, v)| v.len()).sum();
         assert_eq!(total, 42_000); // "total of 42,000 samples"
-        // names unique
+                                   // names unique
         let mut names: Vec<&str> = suite.iter().map(|(n, _)| *n).collect();
         names.sort_unstable();
         names.dedup();
@@ -241,15 +249,24 @@ mod tests {
     fn outlier_signals_contain_outliers() {
         let v = SyntheticSignal::CosineOutliers.generate(2000, 1);
         let base_max = 70.0; // 50 + 20
-        let n_out = v.iter().filter(|&&x| x > base_max + 50.0 || x < 30.0 - 50.0).count();
+        let n_out = v
+            .iter()
+            .filter(|&&x| x > base_max + 50.0 || x < 30.0 - 50.0)
+            .count();
         assert!(n_out > 10, "found {n_out} outliers");
     }
 
     #[test]
     fn growing_amplitude_actually_grows() {
         let v = SyntheticSignal::CosineGrowingAmplitude.generate(2000, 0);
-        let early: f64 = v[..200].iter().map(|x| (x - 100.0).abs()).fold(0.0, f64::max);
-        let late: f64 = v[1800..].iter().map(|x| (x - 100.0).abs()).fold(0.0, f64::max);
+        let early: f64 = v[..200]
+            .iter()
+            .map(|x| (x - 100.0).abs())
+            .fold(0.0, f64::max);
+        let late: f64 = v[1800..]
+            .iter()
+            .map(|x| (x - 100.0).abs())
+            .fold(0.0, f64::max);
         assert!(late > 2.0 * early, "early {early}, late {late}");
     }
 
@@ -259,8 +276,14 @@ mod tests {
         let p24 = autoai_tsdata_period_power(&v, 24.0);
         let p168 = autoai_tsdata_period_power(&v, 168.0);
         let p50 = autoai_tsdata_period_power(&v, 50.0);
-        assert!(p24 > 10.0 * p50, "24-period power {p24} vs off-period {p50}");
-        assert!(p168 > 10.0 * p50, "168-period power {p168} vs off-period {p50}");
+        assert!(
+            p24 > 10.0 * p50,
+            "24-period power {p24} vs off-period {p50}"
+        );
+        assert!(
+            p168 > 10.0 * p50,
+            "168-period power {p168} vs off-period {p50}"
+        );
     }
 
     /// Goertzel-style single-frequency power probe.

@@ -31,7 +31,10 @@ impl Complex {
 
     #[inline]
     fn mul(self, o: Complex) -> Complex {
-        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
     }
 
     #[inline]
@@ -50,7 +53,10 @@ impl Complex {
 /// Panics if `buf.len()` is not a power of two (callers zero-pad).
 pub fn fft_complex(buf: &mut [Complex]) {
     let n = buf.len();
-    assert!(n.is_power_of_two(), "fft_complex requires a power-of-two length, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "fft_complex requires a power-of-two length, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -135,7 +141,7 @@ pub fn dominant_period(signal: &[f64]) -> Option<f64> {
         return None; // flat spectrum: constant signal
     }
     let mut order: Vec<usize> = (0..power.len()).collect();
-    order.sort_by(|&a, &b| power[b].partial_cmp(&power[a]).unwrap());
+    order.sort_by(|&a, &b| power[b].total_cmp(&power[a]));
     for &k in order.iter().take(2) {
         if freqs[k] > 1e-12 {
             return Some(1.0 / freqs[k]);

@@ -8,17 +8,24 @@
 //! optimizer used to fit exponential-smoothing and ARMA parameters.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod fft;
 pub mod matrix;
 pub mod optimize;
+pub mod par;
+pub mod rng;
 pub mod solve;
 pub mod stats;
 
 pub use fft::{dominant_period, fft_complex, periodogram, Complex};
 pub use matrix::Matrix;
 pub use optimize::{golden_section_min, nelder_mead, NelderMeadOptions};
-pub use solve::{cholesky, cholesky_solve, lstsq, lstsq_ridge, simple_linreg, solve_linear, SolveError};
+pub use par::{parallel_map_mut, parallel_map_range};
+pub use rng::Rng64;
+pub use solve::{
+    cholesky, cholesky_solve, lstsq, lstsq_ridge, simple_linreg, solve_linear, SolveError,
+};
 pub use stats::{
     autocorrelation, autocovariance, mean, median, partial_autocorrelation, quantile, std_dev,
     variance, zero_crossings,

@@ -19,7 +19,11 @@ pub struct Matrix {
 impl Matrix {
     /// Create a matrix of `rows x cols` filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create an identity matrix of size `n`.
@@ -55,12 +59,20 @@ impl Matrix {
             assert_eq!(r.len(), cols, "Matrix::from_rows: ragged rows");
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Build a single-column matrix from a vector.
     pub fn column(v: &[f64]) -> Self {
-        Self { rows: v.len(), cols: 1, data: v.to_vec() }
+        Self {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
     }
 
     /// Number of rows.
@@ -119,7 +131,11 @@ impl Matrix {
 
     /// Matrix product `self * rhs`. Panics on dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.rows, "matmul: {}x{} * {}x{}", self.rows, self.cols, rhs.rows, rhs.cols);
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         // ikj loop order keeps the inner loop streaming over contiguous rows.
         for i in 0..self.rows {
@@ -140,7 +156,14 @@ impl Matrix {
 
     /// Matrix-vector product `self * v`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
-        assert_eq!(self.cols, v.len(), "matvec: {}x{} * {}", self.rows, self.cols, v.len());
+        assert_eq!(
+            self.cols,
+            v.len(),
+            "matvec: {}x{} * {}",
+            self.rows,
+            self.cols,
+            v.len()
+        );
         (0..self.rows)
             .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
             .collect()
@@ -173,7 +196,14 @@ impl Matrix {
 
     /// `selfᵀ * v` without materializing the transpose.
     pub fn t_matvec(&self, v: &[f64]) -> Vec<f64> {
-        assert_eq!(self.rows, v.len(), "t_matvec: {}x{}ᵀ * {}", self.rows, self.cols, v.len());
+        assert_eq!(
+            self.rows,
+            v.len(),
+            "t_matvec: {}x{}ᵀ * {}",
+            self.rows,
+            self.cols,
+            v.len()
+        );
         let mut out = vec![0.0; self.cols];
         for (r, &w) in v.iter().enumerate() {
             if w == 0.0 {

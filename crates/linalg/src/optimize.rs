@@ -19,7 +19,11 @@ pub struct NelderMeadOptions {
 
 impl Default for NelderMeadOptions {
     fn default() -> Self {
-        Self { max_evals: 2000, f_tol: 1e-9, initial_step: 0.1 }
+        Self {
+            max_evals: 2000,
+            f_tol: 1e-9,
+            initial_step: 0.1,
+        }
     }
 }
 
@@ -51,7 +55,11 @@ pub fn nelder_mead(
     simplex.push(x0.to_vec());
     for i in 0..n {
         let mut p = x0.to_vec();
-        let step = if p[i].abs() > 1e-8 { p[i].abs() * opts.initial_step } else { opts.initial_step };
+        let step = if p[i].abs() > 1e-8 {
+            p[i].abs() * opts.initial_step
+        } else {
+            opts.initial_step
+        };
         p[i] += step;
         simplex.push(p);
     }
@@ -61,7 +69,7 @@ pub fn nelder_mead(
     while evals < opts.max_evals {
         // order simplex by objective
         let mut idx: Vec<usize> = (0..=n).collect();
-        idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal));
+        idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
         let simplex_sorted: Vec<Vec<f64>> = idx.iter().map(|&i| simplex[i].clone()).collect();
         let values_sorted: Vec<f64> = idx.iter().map(|&i| values[i]).collect();
         simplex = simplex_sorted;
@@ -199,7 +207,10 @@ mod tests {
             let b = x[1] - x[0] * x[0];
             a * a + 100.0 * b * b
         };
-        let opts = NelderMeadOptions { max_evals: 10_000, ..Default::default() };
+        let opts = NelderMeadOptions {
+            max_evals: 10_000,
+            ..Default::default()
+        };
         let (x, _) = nelder_mead(f, &[-1.2, 1.0], &opts);
         assert!((x[0] - 1.0).abs() < 0.05, "{x:?}");
         assert!((x[1] - 1.0).abs() < 0.05, "{x:?}");

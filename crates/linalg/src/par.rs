@@ -1,0 +1,91 @@
+//! Minimal std-only data parallelism.
+//!
+//! A contiguous-chunk fork/join map over slices built on `std::thread::scope`,
+//! replacing the `rayon` dependency so the default build stays hermetic.
+//! Work items in this workspace (pipeline evaluations, tree fits, dataset
+//! sweeps) are coarse — tens of milliseconds to seconds each — so static
+//! chunking loses little to rayon's work stealing while costing zero
+//! dependencies and no global thread pool.
+
+/// Map `f` over `items` in place, in parallel, returning the results in
+/// input order. Falls back to a sequential loop for short inputs or on
+/// single-core machines.
+///
+/// Worker panics are propagated to the caller (as `std::thread::scope`
+/// would), never swallowed.
+pub fn parallel_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 || n <= 1 {
+        return items.iter_mut().map(|t| f(t)).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .map(|c| s.spawn(|| c.iter_mut().map(|t| f(t)).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(mut part) => out.append(&mut part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
+}
+
+/// Parallel map over the index range `0..n`, preserving order.
+pub fn parallel_map_range<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut idx: Vec<usize> = (0..n).collect();
+    parallel_map_mut(&mut idx, |i| f(*i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let mut items: Vec<usize> = (0..1000).collect();
+        let out = parallel_map_mut(&mut items, |&mut i| i * 2);
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mutates_in_place() {
+        let mut items = vec![1, 2, 3, 4, 5];
+        let _ = parallel_map_mut(&mut items, |i| {
+            *i += 10;
+            *i
+        });
+        assert_eq!(items, vec![11, 12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut empty: Vec<i32> = vec![];
+        assert!(parallel_map_mut(&mut empty, |&mut i| i).is_empty());
+        let mut one = vec![7];
+        assert_eq!(parallel_map_mut(&mut one, |&mut i| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn range_map_matches_sequential() {
+        let out = parallel_map_range(257, |i| i * i);
+        assert_eq!(out, (0..257).map(|i| i * i).collect::<Vec<_>>());
+    }
+}

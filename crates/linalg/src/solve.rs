@@ -261,7 +261,9 @@ mod tests {
         let x = Matrix::from_rows(&[vec![1., 1.], vec![2., 2.], vec![3., 3.]]);
         let y = [2., 4., 6.];
         let beta = lstsq(&x, &y).unwrap();
-        let pred: Vec<f64> = (0..3).map(|r| x.row(r).iter().zip(&beta).map(|(a, b)| a * b).sum()).collect();
+        let pred: Vec<f64> = (0..3)
+            .map(|r| x.row(r).iter().zip(&beta).map(|(a, b)| a * b).sum())
+            .collect();
         assert_close(&pred, &y, 1e-4);
     }
 

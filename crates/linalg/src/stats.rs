@@ -36,7 +36,7 @@ pub fn quantile(x: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut v = x.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    v.sort_by(|a, b| a.total_cmp(b));
     let pos = q.clamp(0.0, 1.0) * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -166,7 +166,9 @@ mod tests {
     #[test]
     fn acf_of_white_noise_is_small() {
         // deterministic pseudo-noise
-        let x: Vec<f64> = (0..500).map(|i| ((i * 2654435761u64 as usize) % 1000) as f64 / 1000.0 - 0.5).collect();
+        let x: Vec<f64> = (0..500)
+            .map(|i| ((i * 2654435761u64 as usize) % 1000) as f64 / 1000.0 - 0.5)
+            .collect();
         assert!(autocorrelation(&x, 0) > 0.999);
         assert!(autocorrelation(&x, 5).abs() < 0.15);
     }
@@ -177,7 +179,9 @@ mod tests {
         let mut x = vec![0.0f64; 2000];
         let mut seed = 42u64;
         for t in 1..2000 {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let e = ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
             x[t] = 0.8 * x[t - 1] + 0.1 * e;
         }
@@ -192,7 +196,9 @@ mod tests {
         let mut x = vec![0.0f64; 3000];
         let mut seed = 7u64;
         for t in 1..3000 {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let e = ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
             x[t] = 0.7 * x[t - 1] + 0.1 * e;
         }

@@ -21,7 +21,12 @@ pub struct LookbackConfig {
 
 impl Default for LookbackConfig {
     fn default() -> Self {
-        Self { max_look_back: Some(256), default: 8, influence_samples: 800, seed: 0 }
+        Self {
+            max_look_back: Some(256),
+            default: 8,
+            influence_samples: 800,
+            seed: 0,
+        }
     }
 }
 
@@ -170,7 +175,8 @@ mod tests {
         let lbs = discover_univariate(&x, None, &LookbackConfig::default());
         // the half-period (zero crossings) or full period should be found
         assert!(
-            lbs.iter().any(|&l| (l as i64 - 24).abs() <= 2 || (l as i64 - 12).abs() <= 2),
+            lbs.iter()
+                .any(|&l| (l as i64 - 24).abs() <= 2 || (l as i64 - 12).abs() <= 2),
             "lbs = {lbs:?}"
         );
     }
@@ -179,12 +185,17 @@ mod tests {
     fn daily_timestamps_surface_weekly_period() {
         // weekly pattern on daily data
         let n = 400;
-        let x: Vec<f64> = (0..n).map(|i| [5., 3., 2., 2., 4., 9., 11.][i % 7]).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| [5., 3., 2., 2., 4., 9., 11.][i % 7])
+            .collect();
         let ts: Vec<i64> = (0..n as i64).map(|i| i * 86_400).collect();
         let lbs = discover_univariate(&x, Some(&ts), &LookbackConfig::default());
         assert!(lbs.contains(&7), "expected 7 in {lbs:?}");
         // the influence ranking should put 7 at or near the front
-        assert!(lbs.iter().position(|&l| l == 7).unwrap() <= 1, "lbs = {lbs:?}");
+        assert!(
+            lbs.iter().position(|&l| l == 7).unwrap() <= 1,
+            "lbs = {lbs:?}"
+        );
     }
 
     #[test]
@@ -197,7 +208,10 @@ mod tests {
     #[test]
     fn sanity_rules_drop_oversized_candidates() {
         let x = seasonal(6, 40); // short series
-        let cfg = LookbackConfig { max_look_back: Some(10), ..Default::default() };
+        let cfg = LookbackConfig {
+            max_look_back: Some(10),
+            ..Default::default()
+        };
         let lbs = discover_univariate(&x, None, &cfg);
         assert!(lbs.iter().all(|&l| l <= 10 && l > 1), "lbs = {lbs:?}");
     }
@@ -205,7 +219,10 @@ mod tests {
     #[test]
     fn user_cap_respected() {
         let x = seasonal(30, 500);
-        let cfg = LookbackConfig { max_look_back: Some(5), ..Default::default() };
+        let cfg = LookbackConfig {
+            max_look_back: Some(5),
+            ..Default::default()
+        };
         let lbs = discover_univariate(&x, None, &cfg);
         assert!(lbs.iter().all(|&l| l <= 5), "lbs = {lbs:?}");
     }
@@ -215,7 +232,10 @@ mod tests {
         // 10 series, each preferring a long look-back
         let cols: Vec<Vec<f64>> = (0..10).map(|_| seasonal(50, 400)).collect();
         let frame = TimeSeriesFrame::from_columns(cols);
-        let cfg = LookbackConfig { max_look_back: Some(60), ..Default::default() };
+        let cfg = LookbackConfig {
+            max_look_back: Some(60),
+            ..Default::default()
+        };
         let lbs = discover_multivariate(&frame, &cfg, MultivariateMode::Cap);
         // 50 * 10 = 500 > 60 → capped to max(1, 60/10) = 6
         assert!(lbs.iter().all(|&l| l * 10 <= 60 || l == 6), "lbs = {lbs:?}");
@@ -226,7 +246,10 @@ mod tests {
     fn multivariate_drop_mode_falls_back_to_default() {
         let cols: Vec<Vec<f64>> = (0..10).map(|_| seasonal(50, 400)).collect();
         let frame = TimeSeriesFrame::from_columns(cols);
-        let cfg = LookbackConfig { max_look_back: Some(60), ..Default::default() };
+        let cfg = LookbackConfig {
+            max_look_back: Some(60),
+            ..Default::default()
+        };
         let lbs = discover_multivariate(&frame, &cfg, MultivariateMode::Drop);
         assert!(!lbs.is_empty());
         assert!(lbs.iter().all(|&l| l * 10 <= 60), "lbs = {lbs:?}");

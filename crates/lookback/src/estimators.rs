@@ -49,7 +49,7 @@ pub fn spectral_lookback(series: &[f64], seasonal_period: usize) -> Option<usize
     if order.is_empty() {
         return None;
     }
-    order.sort_by(|&a, &b| power[b].partial_cmp(&power[a]).unwrap());
+    order.sort_by(|&a, &b| power[b].total_cmp(&power[a]));
     for &k in order.iter().take(2) {
         if freqs[k] > 1e-12 {
             let p = (1.0 / freqs[k]).round() as usize;

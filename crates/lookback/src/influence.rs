@@ -10,11 +10,8 @@
 //! vector, and the average value of influence rank is used to sort the
 //! look-back index."
 
-use autoai_linalg::{lstsq, Matrix};
+use autoai_linalg::{lstsq, Matrix, Rng64};
 use autoai_ml_models::{RandomForestConfig, RandomForestRegressor, Regressor};
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
 
 /// The three per-candidate quality measures of the influence vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,7 +29,7 @@ fn sample_windows(
     series: &[f64],
     lw: usize,
     max_windows: usize,
-    rng: &mut StdRng,
+    rng: &mut Rng64,
 ) -> Option<(Matrix, Vec<f64>)> {
     let n = series.len();
     if n <= lw + 1 {
@@ -101,8 +98,16 @@ fn mutual_information(x: &Matrix, y: &[f64], bins: usize) -> f64 {
             (((v - lo) / (hi - lo) * bins as f64) as usize).min(bins - 1)
         }
     };
-    let (flo, fhi) = feat.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| (a.min(v), b.max(v)));
-    let (ylo, yhi) = y.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| (a.min(v), b.max(v)));
+    let (flo, fhi) = feat
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+            (a.min(v), b.max(v))
+        });
+    let (ylo, yhi) = y
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+            (a.min(v), b.max(v))
+        });
     let mut joint = vec![0.0f64; bins * bins];
     let mut px = vec![0.0f64; bins];
     let mut py = vec![0.0f64; bins];
@@ -135,7 +140,12 @@ fn forest_mae(x: &Matrix, y: &[f64], seed: u64) -> f64 {
     let cut = n - n / 4;
     let train_rows: Vec<Vec<f64>> = (0..cut).map(|r| x.row(r).to_vec()).collect();
     let xt = Matrix::from_rows(&train_rows);
-    let cfg = RandomForestConfig { n_trees: 12, max_depth: 8, seed, ..Default::default() };
+    let cfg = RandomForestConfig {
+        n_trees: 12,
+        max_depth: 8,
+        seed,
+        ..Default::default()
+    };
     let mut rf = RandomForestRegressor::with_config(cfg);
     if rf.fit(&xt, &y[..cut]).is_err() {
         return f64::INFINITY;
@@ -152,12 +162,17 @@ fn forest_mae(x: &Matrix, y: &[f64], seed: u64) -> f64 {
 /// Each candidate gets one rank per measure (1 = best); candidates are
 /// returned sorted by the mean of their ranks. Candidates too long to
 /// sample even one window sort last.
-pub fn influence_order(series: &[f64], candidates: &[usize], max_windows: usize, seed: u64) -> Vec<usize> {
+pub fn influence_order(
+    series: &[f64],
+    candidates: &[usize],
+    max_windows: usize,
+    seed: u64,
+) -> Vec<usize> {
     let k = candidates.len();
     if k <= 1 {
         return candidates.to_vec();
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     // per-candidate measure values (None = not computable)
     let mut f_vals = vec![None; k];
     let mut mi_vals = vec![None; k];
@@ -173,11 +188,14 @@ pub fn influence_order(series: &[f64], candidates: &[usize], max_windows: usize,
     let rank_of = |vals: &[Option<f64>], higher_better: bool| -> Vec<f64> {
         let mut idx: Vec<usize> = (0..k).filter(|&i| vals[i].is_some()).collect();
         idx.sort_by(|&a, &b| {
-            let (va, vb) = (vals[a].unwrap(), vals[b].unwrap());
+            // idx only holds positions where vals is Some; NaN measure
+            // values sort as total_cmp places them (after +inf), which is
+            // "worst" for the higher-better measures
+            let (va, vb) = (vals[a].unwrap_or(f64::NAN), vals[b].unwrap_or(f64::NAN));
             if higher_better {
-                vb.partial_cmp(&va).unwrap_or(std::cmp::Ordering::Equal)
+                vb.total_cmp(&va)
             } else {
-                va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal)
+                va.total_cmp(&vb)
             }
         });
         let mut ranks = vec![k as f64 + 1.0; k]; // missing → worst
@@ -193,7 +211,7 @@ pub fn influence_order(series: &[f64], candidates: &[usize], max_windows: usize,
     order.sort_by(|&a, &b| {
         let sa = rf_[a] + rmi[a] + rmae[a];
         let sb = rf_[b] + rmi[b] + rmae[b];
-        sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+        sa.total_cmp(&sb)
     });
     order.into_iter().map(|i| candidates[i]).collect()
 }
@@ -215,7 +233,9 @@ mod tests {
         // 12-long window always contains the spike and pins the phase.
         // (A pure sinusoid would NOT discriminate — it satisfies a 2-lag
         // linear recurrence, so every window length predicts it perfectly.)
-        let x: Vec<f64> = (0..600).map(|i| if i % 12 == 0 { 10.0 } else { 0.0 }).collect();
+        let x: Vec<f64> = (0..600)
+            .map(|i| if i % 12 == 0 { 10.0 } else { 0.0 })
+            .collect();
         let order = influence_order(&x, &[5, 12], 400, 0);
         assert_eq!(order[0], 12, "order = {order:?}");
     }
@@ -239,19 +259,22 @@ mod tests {
     fn f_statistic_detects_predictability() {
         // AR-like predictable data vs shuffled noise
         let x = seasonal_series(10, 400);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::seed_from_u64(1);
         let (xm, y) = sample_windows(&x, 10, 300, &mut rng).unwrap();
         let f_good = f_statistic(&xm, &y);
-        let noise: Vec<f64> = (0..400).map(|_| rng.gen::<f64>()).collect();
+        let noise: Vec<f64> = (0..400).map(|_| rng.next_f64()).collect();
         let (xn, yn) = sample_windows(&noise, 10, 300, &mut rng).unwrap();
         let f_bad = f_statistic(&xn, &yn);
-        assert!(f_good > 10.0 * f_bad.max(1.0), "good {f_good} vs bad {f_bad}");
+        assert!(
+            f_good > 10.0 * f_bad.max(1.0),
+            "good {f_good} vs bad {f_bad}"
+        );
     }
 
     #[test]
     fn mutual_information_nonnegative_and_informative() {
         let x = seasonal_series(6, 300);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng64::seed_from_u64(2);
         let (xm, y) = sample_windows(&x, 6, 250, &mut rng).unwrap();
         let mi = mutual_information(&xm, &y, 8);
         assert!(mi >= 0.0);
@@ -260,7 +283,7 @@ mod tests {
     #[test]
     fn sample_windows_bounds() {
         let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng64::seed_from_u64(3);
         assert!(sample_windows(&x, 19, 100, &mut rng).is_none());
         let (xm, y) = sample_windows(&x, 5, 100, &mut rng).unwrap();
         assert_eq!(xm.nrows(), 15);

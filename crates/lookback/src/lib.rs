@@ -23,15 +23,14 @@
 //! and cap/drop values that would blow up the flattened feature width.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod discover;
 pub mod estimators;
 pub mod influence;
 pub mod seasonal;
 
-pub use discover::{
-    discover_multivariate, discover_univariate, LookbackConfig, MultivariateMode,
-};
+pub use discover::{discover_multivariate, discover_univariate, LookbackConfig, MultivariateMode};
 pub use estimators::{spectral_lookback, zero_crossing_lookback};
 pub use influence::{influence_order, InfluenceMeasure};
 pub use seasonal::seasonal_periods;

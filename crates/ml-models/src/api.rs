@@ -12,7 +12,9 @@ pub struct MlError {
 impl MlError {
     /// Build from anything printable.
     pub fn new(msg: impl Into<String>) -> Self {
-        Self { message: msg.into() }
+        Self {
+            message: msg.into(),
+        }
     }
 }
 
@@ -60,7 +62,10 @@ pub struct MultiOutputRegressor {
 impl MultiOutputRegressor {
     /// Wrap a prototype regressor.
     pub fn new(prototype: Box<dyn Regressor>) -> Self {
-        Self { prototype, fitted: Vec::new() }
+        Self {
+            prototype,
+            fitted: Vec::new(),
+        }
     }
 
     /// Fit one clone of the prototype per column of `y` (`n x k`).

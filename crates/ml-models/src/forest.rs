@@ -1,11 +1,8 @@
 //! Random forest regression: bootstrap-aggregated CART trees, fitted in
-//! parallel with rayon (the paper stresses "efficient, parallel" search).
+//! parallel with scoped threads (the paper stresses "efficient, parallel"
+//! search).
 
-use autoai_linalg::Matrix;
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
-use rayon::prelude::*;
+use autoai_linalg::{parallel_map_range, Matrix, Rng64};
 
 use crate::api::{MlError, Regressor};
 use crate::tree::{DecisionTreeConfig, DecisionTreeRegressor};
@@ -54,7 +51,10 @@ impl RandomForestRegressor {
 
     /// New forest with explicit hyperparameters.
     pub fn with_config(config: RandomForestConfig) -> Self {
-        Self { config, trees: Vec::new() }
+        Self {
+            config,
+            trees: Vec::new(),
+        }
     }
 
     /// Number of fitted trees.
@@ -83,10 +83,9 @@ impl Regressor for RandomForestRegressor {
         let n_boot = ((n as f64) * self.config.sample_fraction).round().max(1.0) as usize;
 
         let cfg = &self.config;
-        self.trees = (0..cfg.n_trees)
-            .into_par_iter()
-            .map(|t| {
-                let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(t as u64 * 7919));
+        let fits: Vec<Result<DecisionTreeRegressor, MlError>> =
+            parallel_map_range(cfg.n_trees, |t| {
+                let mut rng = Rng64::seed_from_u64(cfg.seed.wrapping_add(t as u64 * 7919));
                 let indices: Vec<usize> = (0..n_boot).map(|_| rng.gen_range(0..n)).collect();
                 let tree_cfg = DecisionTreeConfig {
                     max_depth: cfg.max_depth,
@@ -96,10 +95,10 @@ impl Regressor for RandomForestRegressor {
                     seed: cfg.seed.wrapping_add(t as u64 * 104729 + 1),
                 };
                 let mut tree = DecisionTreeRegressor::with_config(tree_cfg);
-                tree.fit_indices(x, y, &indices).expect("bootstrap sample is non-empty");
-                tree
-            })
-            .collect();
+                tree.fit_indices(x, y, &indices)?;
+                Ok(tree)
+            });
+        self.trees = fits.into_iter().collect::<Result<Vec<_>, _>>()?;
         Ok(())
     }
 
@@ -130,20 +129,31 @@ mod tests {
     #[test]
     fn forest_fits_sine() {
         let (x, y) = sine_data(300);
-        let cfg = RandomForestConfig { n_trees: 30, ..Default::default() };
+        let cfg = RandomForestConfig {
+            n_trees: 30,
+            ..Default::default()
+        };
         let mut f = RandomForestRegressor::with_config(cfg);
         f.fit(&x, &y).unwrap();
         assert_eq!(f.n_trees(), 30);
         let preds = f.predict(&x);
-        let mae: f64 =
-            preds.iter().zip(&y).map(|(p, t)| (p - t).abs()).sum::<f64>() / y.len() as f64;
+        let mae: f64 = preds
+            .iter()
+            .zip(&y)
+            .map(|(p, t)| (p - t).abs())
+            .sum::<f64>()
+            / y.len() as f64;
         assert!(mae < 0.08, "forest MAE {mae}");
     }
 
     #[test]
     fn forest_is_deterministic_given_seed() {
         let (x, y) = sine_data(100);
-        let cfg = RandomForestConfig { n_trees: 10, seed: 7, ..Default::default() };
+        let cfg = RandomForestConfig {
+            n_trees: 10,
+            seed: 7,
+            ..Default::default()
+        };
         let mut f1 = RandomForestRegressor::with_config(cfg.clone());
         let mut f2 = RandomForestRegressor::with_config(cfg);
         f1.fit(&x, &y).unwrap();
@@ -157,8 +167,16 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let (x, y) = sine_data(100);
-        let mut f1 = RandomForestRegressor::with_config(RandomForestConfig { n_trees: 5, seed: 1, ..Default::default() });
-        let mut f2 = RandomForestRegressor::with_config(RandomForestConfig { n_trees: 5, seed: 2, ..Default::default() });
+        let mut f1 = RandomForestRegressor::with_config(RandomForestConfig {
+            n_trees: 5,
+            seed: 1,
+            ..Default::default()
+        });
+        let mut f2 = RandomForestRegressor::with_config(RandomForestConfig {
+            n_trees: 5,
+            seed: 2,
+            ..Default::default()
+        });
         f1.fit(&x, &y).unwrap();
         f2.fit(&x, &y).unwrap();
         let any_diff = (0..50).any(|i| {
@@ -180,7 +198,11 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = rows.iter().map(|r| r[0] * 0.5 + 10.0 * noise()).collect();
         let x = Matrix::from_rows(&rows);
-        let mut forest = RandomForestRegressor::with_config(RandomForestConfig { n_trees: 50, max_depth: 6, ..Default::default() });
+        let mut forest = RandomForestRegressor::with_config(RandomForestConfig {
+            n_trees: 50,
+            max_depth: 6,
+            ..Default::default()
+        });
         forest.fit(&x, &y).unwrap();
         // smooth response: prediction at midpoints close to the line
         let p = forest.predict_row(&[100.0]);

@@ -8,10 +8,7 @@
 //! weight formula), and rows can be subsampled per round (stochastic
 //! gradient boosting).
 
-use autoai_linalg::Matrix;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use autoai_linalg::{Matrix, Rng64};
 
 use crate::api::{MlError, Regressor};
 use crate::tree::{DecisionTreeConfig, DecisionTreeRegressor};
@@ -67,7 +64,12 @@ impl GradientBoostingRegressor {
 
     /// New booster with explicit hyperparameters.
     pub fn with_config(config: GradientBoostingConfig) -> Self {
-        Self { config, base: 0.0, stored_lr: 0.0, trees: Vec::new() }
+        Self {
+            config,
+            base: 0.0,
+            stored_lr: 0.0,
+            trees: Vec::new(),
+        }
     }
 
     /// Number of fitted boosting rounds.
@@ -96,7 +98,7 @@ impl Regressor for GradientBoostingRegressor {
         self.trees.clear();
 
         let mut pred: Vec<f64> = vec![self.base; n];
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut rng = Rng64::seed_from_u64(self.config.seed);
         let shrink_factor = {
             // leaf shrinkage from the XGBoost weight formula with h = 1:
             // w = Σ residual / (count + λ); a plain CART leaf outputs
@@ -114,7 +116,7 @@ impl Regressor for GradientBoostingRegressor {
             let residuals: Vec<f64> = y.iter().zip(&pred).map(|(t, p)| t - p).collect();
             let indices: Vec<usize> = if n_sub < n {
                 let mut idx = all_indices.clone();
-                idx.shuffle(&mut rng);
+                rng.shuffle(&mut idx);
                 idx.truncate(n_sub);
                 idx
             } else {
@@ -167,23 +169,41 @@ mod tests {
                 vec![a, b]
             })
             .collect();
-        let y: Vec<f64> = rows.iter().map(|r| 10.0 * (r[0] * 3.0).sin() + 5.0 * r[1]).collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| 10.0 * (r[0] * 3.0).sin() + 5.0 * r[1])
+            .collect();
         (Matrix::from_rows(&rows), y)
     }
 
     #[test]
     fn boosting_reduces_training_error_monotonically() {
         let (x, y) = friedman_like(300);
-        let few = GradientBoostingConfig { n_rounds: 5, ..Default::default() };
-        let many = GradientBoostingConfig { n_rounds: 80, ..Default::default() };
+        let few = GradientBoostingConfig {
+            n_rounds: 5,
+            ..Default::default()
+        };
+        let many = GradientBoostingConfig {
+            n_rounds: 80,
+            ..Default::default()
+        };
         let mut m_few = GradientBoostingRegressor::with_config(few);
         let mut m_many = GradientBoostingRegressor::with_config(many);
         m_few.fit(&x, &y).unwrap();
         m_many.fit(&x, &y).unwrap();
         let err = |m: &GradientBoostingRegressor| -> f64 {
-            m.predict(&x).iter().zip(&y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>()
+            m.predict(&x)
+                .iter()
+                .zip(&y)
+                .map(|(p, t)| (p - t) * (p - t))
+                .sum::<f64>()
         };
-        assert!(err(&m_many) < err(&m_few) * 0.5, "{} vs {}", err(&m_many), err(&m_few));
+        assert!(
+            err(&m_many) < err(&m_few) * 0.5,
+            "{} vs {}",
+            err(&m_many),
+            err(&m_few)
+        );
     }
 
     #[test]
@@ -196,7 +216,12 @@ mod tests {
         });
         m.fit(&x, &y).unwrap();
         let preds = m.predict(&x);
-        let mae: f64 = preds.iter().zip(&y).map(|(p, t)| (p - t).abs()).sum::<f64>() / y.len() as f64;
+        let mae: f64 = preds
+            .iter()
+            .zip(&y)
+            .map(|(p, t)| (p - t).abs())
+            .sum::<f64>()
+            / y.len() as f64;
         assert!(mae < 0.4, "gbm MAE {mae}");
     }
 
@@ -218,7 +243,12 @@ mod tests {
         });
         m.fit(&x, &y).unwrap();
         let preds = m.predict(&x);
-        let mae: f64 = preds.iter().zip(&y).map(|(p, t)| (p - t).abs()).sum::<f64>() / y.len() as f64;
+        let mae: f64 = preds
+            .iter()
+            .zip(&y)
+            .map(|(p, t)| (p - t).abs())
+            .sum::<f64>()
+            / y.len() as f64;
         assert!(mae < 1.0, "stochastic gbm MAE {mae}");
     }
 

@@ -21,7 +21,12 @@ impl KnnRegressor {
     /// New k-NN regressor with `k` neighbours.
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "k must be >= 1");
-        Self { k, weighted: true, train_x: Matrix::zeros(0, 0), train_y: Vec::new() }
+        Self {
+            k,
+            weighted: true,
+            train_x: Matrix::zeros(0, 0),
+            train_y: Vec::new(),
+        }
     }
 }
 
@@ -55,7 +60,7 @@ impl Regressor for KnnRegressor {
                 (d, i)
             })
             .collect();
-        dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
         let neighbours = &dists[..k];
         if self.weighted {
             let mut num = 0.0;
@@ -67,7 +72,11 @@ impl Regressor for KnnRegressor {
             }
             num / den
         } else {
-            neighbours.iter().map(|&(_, i)| self.train_y[i]).sum::<f64>() / k as f64
+            neighbours
+                .iter()
+                .map(|&(_, i)| self.train_y[i])
+                .sum::<f64>()
+                / k as f64
         }
     }
 

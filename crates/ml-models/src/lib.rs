@@ -4,7 +4,7 @@
 //! Random-Forest, XGBoost, Linear Regression, SGD Regression" — plus the
 //! Support Vector Regression behind the WindowSVR pipeline. None of these
 //! exist as mature Rust crates, so this crate builds them all: CART trees,
-//! bootstrap-aggregated random forests (rayon-parallel), second-order
+//! bootstrap-aggregated random forests (thread-parallel), second-order
 //! gradient-boosted trees in the XGBoost style, OLS/ridge linear models, an
 //! SGD regressor, ε-insensitive linear SVR, RBF kernel ridge (the nonlinear
 //! SVR stand-in, see DESIGN.md), and a k-NN regressor used by the Motif
@@ -14,6 +14,7 @@
 //! multi-output problems (forecast horizons) with [`MultiOutputRegressor`].
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod api;
 pub mod forest;

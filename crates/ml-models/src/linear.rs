@@ -5,10 +5,7 @@
 //! ones column; features are standardized internally for SGD so the default
 //! learning rate is scale-free.
 
-use autoai_linalg::{lstsq, lstsq_ridge, Matrix};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use autoai_linalg::{lstsq, lstsq_ridge, Matrix, Rng64};
 
 use crate::api::{MlError, Regressor};
 
@@ -48,9 +45,16 @@ impl Regressor for LinearRegression {
     }
 
     fn predict_row(&self, row: &[f64]) -> f64 {
-        assert!(!self.coefficients.is_empty(), "LinearRegression::predict before fit");
+        assert!(
+            !self.coefficients.is_empty(),
+            "LinearRegression::predict before fit"
+        );
         self.coefficients[0]
-            + row.iter().zip(&self.coefficients[1..]).map(|(a, b)| a * b).sum::<f64>()
+            + row
+                .iter()
+                .zip(&self.coefficients[1..])
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
     }
 
     fn name(&self) -> &'static str {
@@ -75,7 +79,10 @@ pub struct RidgeRegression {
 impl RidgeRegression {
     /// New ridge model with penalty `lambda`.
     pub fn new(lambda: f64) -> Self {
-        Self { lambda, coefficients: Vec::new() }
+        Self {
+            lambda,
+            coefficients: Vec::new(),
+        }
     }
 }
 
@@ -91,9 +98,16 @@ impl Regressor for RidgeRegression {
     }
 
     fn predict_row(&self, row: &[f64]) -> f64 {
-        assert!(!self.coefficients.is_empty(), "RidgeRegression::predict before fit");
+        assert!(
+            !self.coefficients.is_empty(),
+            "RidgeRegression::predict before fit"
+        );
         self.coefficients[0]
-            + row.iter().zip(&self.coefficients[1..]).map(|(a, b)| a * b).sum::<f64>()
+            + row
+                .iter()
+                .zip(&self.coefficients[1..])
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
     }
 
     fn name(&self) -> &'static str {
@@ -122,7 +136,13 @@ pub struct SgdConfig {
 
 impl Default for SgdConfig {
     fn default() -> Self {
-        Self { epochs: 50, learning_rate: 0.05, decay: 1e-3, l2: 1e-4, seed: 0 }
+        Self {
+            epochs: 50,
+            learning_rate: 0.05,
+            decay: 1e-3,
+            l2: 1e-4,
+            seed: 0,
+        }
     }
 }
 
@@ -147,7 +167,13 @@ impl SgdRegressor {
 
     /// New SGD regressor with explicit hyperparameters.
     pub fn with_config(config: SgdConfig) -> Self {
-        Self { config, weights: Vec::new(), bias: 0.0, feature_stats: Vec::new(), target_stats: (0.0, 1.0) }
+        Self {
+            config,
+            weights: Vec::new(),
+            bias: 0.0,
+            feature_stats: Vec::new(),
+            target_stats: (0.0, 1.0),
+        }
     }
 }
 
@@ -168,7 +194,10 @@ impl Regressor for SgdRegressor {
         self.feature_stats = (0..d)
             .map(|c| {
                 let col = x.col(c);
-                (autoai_linalg::mean(&col), autoai_linalg::std_dev(&col).max(1e-9))
+                (
+                    autoai_linalg::mean(&col),
+                    autoai_linalg::std_dev(&col).max(1e-9),
+                )
             })
             .collect();
         self.target_stats = (autoai_linalg::mean(y), autoai_linalg::std_dev(y).max(1e-9));
@@ -177,11 +206,11 @@ impl Regressor for SgdRegressor {
         self.weights = vec![0.0; d];
         self.bias = 0.0;
         let mut order: Vec<usize> = (0..n).collect();
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut rng = Rng64::seed_from_u64(self.config.seed);
         let mut t = 0u64;
         let mut zrow = vec![0.0; d];
         for _ in 0..self.config.epochs {
-            order.shuffle(&mut rng);
+            rng.shuffle(&mut order);
             for &i in &order {
                 let row = x.row(i);
                 for (j, z) in zrow.iter_mut().enumerate() {
@@ -189,8 +218,13 @@ impl Regressor for SgdRegressor {
                     *z = (row[j] - m) / s;
                 }
                 let target = (y[i] - ym) / ys;
-                let pred =
-                    self.bias + self.weights.iter().zip(&zrow).map(|(w, z)| w * z).sum::<f64>();
+                let pred = self.bias
+                    + self
+                        .weights
+                        .iter()
+                        .zip(&zrow)
+                        .map(|(w, z)| w * z)
+                        .sum::<f64>();
                 let err = pred - target;
                 let lr = self.config.learning_rate / (1.0 + t as f64 * self.config.decay);
                 for (w, &z) in self.weights.iter_mut().zip(&zrow) {
@@ -204,7 +238,10 @@ impl Regressor for SgdRegressor {
     }
 
     fn predict_row(&self, row: &[f64]) -> f64 {
-        assert!(!self.weights.is_empty() || row.is_empty(), "SgdRegressor::predict before fit");
+        assert!(
+            !self.weights.is_empty() || row.is_empty(),
+            "SgdRegressor::predict before fit"
+        );
         let z: f64 = row
             .iter()
             .enumerate()
@@ -263,10 +300,18 @@ mod tests {
     #[test]
     fn sgd_approximates_ols() {
         let (x, y) = linear_data();
-        let mut m = SgdRegressor::with_config(SgdConfig { epochs: 200, ..Default::default() });
+        let mut m = SgdRegressor::with_config(SgdConfig {
+            epochs: 200,
+            ..Default::default()
+        });
         m.fit(&x, &y).unwrap();
         let preds = m.predict(&x);
-        let mae: f64 = preds.iter().zip(&y).map(|(p, t)| (p - t).abs()).sum::<f64>() / y.len() as f64;
+        let mae: f64 = preds
+            .iter()
+            .zip(&y)
+            .map(|(p, t)| (p - t).abs())
+            .sum::<f64>()
+            / y.len() as f64;
         assert!(mae < 0.5, "sgd MAE {mae}");
     }
 
@@ -274,12 +319,22 @@ mod tests {
     fn sgd_scale_invariance_via_standardization() {
         // same data with feature 0 scaled by 1e6 must still converge
         let (x, y) = linear_data();
-        let rows: Vec<Vec<f64>> = (0..x.nrows()).map(|r| vec![x[(r, 0)] * 1e6, x[(r, 1)]]).collect();
+        let rows: Vec<Vec<f64>> = (0..x.nrows())
+            .map(|r| vec![x[(r, 0)] * 1e6, x[(r, 1)]])
+            .collect();
         let xs = Matrix::from_rows(&rows);
-        let mut m = SgdRegressor::with_config(SgdConfig { epochs: 200, ..Default::default() });
+        let mut m = SgdRegressor::with_config(SgdConfig {
+            epochs: 200,
+            ..Default::default()
+        });
         m.fit(&xs, &y).unwrap();
         let preds = m.predict(&xs);
-        let mae: f64 = preds.iter().zip(&y).map(|(p, t)| (p - t).abs()).sum::<f64>() / y.len() as f64;
+        let mae: f64 = preds
+            .iter()
+            .zip(&y)
+            .map(|(p, t)| (p - t).abs())
+            .sum::<f64>()
+            / y.len() as f64;
         assert!(mae < 0.6, "scaled sgd MAE {mae}");
     }
 

@@ -13,10 +13,7 @@
 //!
 //! Both standardize features and target internally.
 
-use autoai_linalg::{cholesky_solve, Matrix};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use autoai_linalg::{cholesky_solve, Matrix, Rng64};
 
 use crate::api::{MlError, Regressor};
 
@@ -37,7 +34,13 @@ pub struct SvrConfig {
 
 impl Default for SvrConfig {
     fn default() -> Self {
-        Self { epsilon: 0.1, lambda: 1e-4, epochs: 60, gamma: None, seed: 0 }
+        Self {
+            epsilon: 0.1,
+            lambda: 1e-4,
+            epochs: 60,
+            gamma: None,
+            seed: 0,
+        }
     }
 }
 
@@ -45,7 +48,10 @@ fn standardize_stats(x: &Matrix) -> Vec<(f64, f64)> {
     (0..x.ncols())
         .map(|c| {
             let col = x.col(c);
-            (autoai_linalg::mean(&col), autoai_linalg::std_dev(&col).max(1e-9))
+            (
+                autoai_linalg::mean(&col),
+                autoai_linalg::std_dev(&col).max(1e-9),
+            )
         })
         .collect()
 }
@@ -68,7 +74,13 @@ impl LinearSvr {
 
     /// New linear SVR with explicit hyperparameters.
     pub fn with_config(config: SvrConfig) -> Self {
-        Self { config, weights: Vec::new(), bias: 0.0, feature_stats: Vec::new(), target_stats: (0.0, 1.0) }
+        Self {
+            config,
+            weights: Vec::new(),
+            bias: 0.0,
+            feature_stats: Vec::new(),
+            target_stats: (0.0, 1.0),
+        }
     }
 }
 
@@ -96,11 +108,11 @@ impl Regressor for LinearSvr {
         let mut b_avg = 0.0;
         let mut count = 0u64;
         let mut order: Vec<usize> = (0..n).collect();
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut rng = Rng64::seed_from_u64(self.config.seed);
         let mut z = vec![0.0; d];
         let mut t = 1u64;
         for _ in 0..self.config.epochs {
-            order.shuffle(&mut rng);
+            rng.shuffle(&mut order);
             for &i in &order {
                 let row = x.row(i);
                 for (j, zj) in z.iter_mut().enumerate() {
@@ -139,7 +151,10 @@ impl Regressor for LinearSvr {
     }
 
     fn predict_row(&self, row: &[f64]) -> f64 {
-        assert!(!self.feature_stats.is_empty(), "LinearSvr::predict before fit");
+        assert!(
+            !self.feature_stats.is_empty(),
+            "LinearSvr::predict before fit"
+        );
         let z: f64 = row
             .iter()
             .enumerate()
@@ -179,7 +194,10 @@ pub struct KernelRidgeSvr {
 impl KernelRidgeSvr {
     /// New RBF model with default hyperparameters.
     pub fn new() -> Self {
-        Self::with_config(SvrConfig { lambda: 1e-2, ..Default::default() })
+        Self::with_config(SvrConfig {
+            lambda: 1e-2,
+            ..Default::default()
+        })
     }
 
     /// New RBF model with explicit hyperparameters.
@@ -228,7 +246,9 @@ impl Regressor for KernelRidgeSvr {
         // subsample evenly when too large (keeps temporal spread)
         let idx: Vec<usize> = if n_all > self.max_train {
             let step = n_all as f64 / self.max_train as f64;
-            (0..self.max_train).map(|i| ((i as f64 * step) as usize).min(n_all - 1)).collect()
+            (0..self.max_train)
+                .map(|i| ((i as f64 * step) as usize).min(n_all - 1))
+                .collect()
         } else {
             (0..n_all).collect()
         };
@@ -294,7 +314,10 @@ impl Regressor for KernelRidgeSvr {
     }
 
     fn predict_row(&self, row: &[f64]) -> f64 {
-        assert!(!self.alphas.is_empty(), "KernelRidgeSvr::predict before fit");
+        assert!(
+            !self.alphas.is_empty(),
+            "KernelRidgeSvr::predict before fit"
+        );
         let mut z = Vec::with_capacity(row.len());
         self.standardize_row(row, &mut z);
         let s: f64 = (0..self.support.nrows())
@@ -328,10 +351,18 @@ mod tests {
     #[test]
     fn linear_svr_fits_line() {
         let (x, y) = linear_data();
-        let mut m = LinearSvr::with_config(SvrConfig { epochs: 300, ..Default::default() });
+        let mut m = LinearSvr::with_config(SvrConfig {
+            epochs: 300,
+            ..Default::default()
+        });
         m.fit(&x, &y).unwrap();
         let preds = m.predict(&x);
-        let mae: f64 = preds.iter().zip(&y).map(|(p, t)| (p - t).abs()).sum::<f64>() / y.len() as f64;
+        let mae: f64 = preds
+            .iter()
+            .zip(&y)
+            .map(|(p, t)| (p - t).abs())
+            .sum::<f64>()
+            / y.len() as f64;
         assert!(mae < 1.2, "linear svr MAE {mae}");
     }
 
@@ -343,7 +374,12 @@ mod tests {
         let mut m = KernelRidgeSvr::new();
         m.fit(&x, &y).unwrap();
         let preds = m.predict(&x);
-        let mae: f64 = preds.iter().zip(&y).map(|(p, t)| (p - t).abs()).sum::<f64>() / y.len() as f64;
+        let mae: f64 = preds
+            .iter()
+            .zip(&y)
+            .map(|(p, t)| (p - t).abs())
+            .sum::<f64>()
+            / y.len() as f64;
         assert!(mae < 0.5, "kernel svr MAE {mae}");
     }
 
@@ -363,9 +399,15 @@ mod tests {
     fn epsilon_tube_ignores_small_noise() {
         // constant target with small jitter within the tube: weights ~ 0
         let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
-        let y: Vec<f64> = (0..100).map(|i| 5.0 + 0.01 * ((i % 3) as f64 - 1.0)).collect();
+        let y: Vec<f64> = (0..100)
+            .map(|i| 5.0 + 0.01 * ((i % 3) as f64 - 1.0))
+            .collect();
         let x = Matrix::from_rows(&rows);
-        let mut m = LinearSvr::with_config(SvrConfig { epsilon: 0.5, epochs: 100, ..Default::default() });
+        let mut m = LinearSvr::with_config(SvrConfig {
+            epsilon: 0.5,
+            epochs: 100,
+            ..Default::default()
+        });
         m.fit(&x, &y).unwrap();
         let p = m.predict_row(&[50.0]);
         assert!((p - 5.0).abs() < 0.5, "tube prediction {p}");
@@ -374,6 +416,8 @@ mod tests {
     #[test]
     fn empty_input_rejected() {
         assert!(LinearSvr::new().fit(&Matrix::zeros(0, 1), &[]).is_err());
-        assert!(KernelRidgeSvr::new().fit(&Matrix::zeros(0, 1), &[]).is_err());
+        assert!(KernelRidgeSvr::new()
+            .fit(&Matrix::zeros(0, 1), &[])
+            .is_err());
     }
 }

@@ -8,6 +8,7 @@
 //! probabilistic forecasts), and internal input/output standardization.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod mlp;
 

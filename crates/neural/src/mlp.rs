@@ -1,10 +1,6 @@
 //! Multilayer perceptron with manual backprop and Adam.
 
-use autoai_linalg::Matrix;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::Rng;
-use rand::SeedableRng;
+use autoai_linalg::{Matrix, Rng64};
 
 /// Error raised by network construction or training.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -15,7 +11,9 @@ pub struct NnError {
 
 impl NnError {
     fn new(msg: impl Into<String>) -> Self {
-        Self { message: msg.into() }
+        Self {
+            message: msg.into(),
+        }
     }
 }
 
@@ -116,7 +114,11 @@ struct Adam {
 
 impl Adam {
     fn new(len: usize) -> Self {
-        Self { m: vec![0.0; len], v: vec![0.0; len], t: 0 }
+        Self {
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+            t: 0,
+        }
     }
 
     fn step(&mut self, params: &mut [f64], grads: &[f64], lr: f64, wd: f64) {
@@ -169,7 +171,7 @@ impl Mlp {
         }
     }
 
-    fn init(&mut self, n_in: usize, n_out_units: usize, rng: &mut StdRng) {
+    fn init(&mut self, n_in: usize, n_out_units: usize, rng: &mut Rng64) {
         let mut sizes = vec![n_in];
         sizes.extend(&self.config.hidden);
         sizes.push(n_out_units);
@@ -182,8 +184,9 @@ impl Mlp {
             let (fan_in, fan_out) = (w[0], w[1]);
             // He/Xavier-ish init
             let scale = (2.0 / fan_in as f64).sqrt();
-            let weights: Vec<f64> =
-                (0..fan_in * fan_out).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale).collect();
+            let weights: Vec<f64> = (0..fan_in * fan_out)
+                .map(|_| (rng.next_f64() * 2.0 - 1.0) * scale)
+                .collect();
             self.w_adam.push(Adam::new(weights.len()));
             self.b_adam.push(Adam::new(fan_out));
             self.weights.push(weights);
@@ -207,7 +210,11 @@ impl Mlp {
                 for (w, p) in row.iter().zip(prev) {
                     s += w * p;
                 }
-                *outv = if l + 1 == n_layers { s } else { self.config.activation.apply(s) };
+                *outv = if l + 1 == n_layers {
+                    s
+                } else {
+                    self.config.activation.apply(s)
+                };
             }
             acts.push(out);
         }
@@ -228,20 +235,26 @@ impl Mlp {
             Loss::Mse => self.n_outputs,
             Loss::GaussianNll => 2 * self.n_outputs,
         };
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut rng = Rng64::seed_from_u64(self.config.seed);
         self.init(x.ncols(), out_units, &mut rng);
 
         // standardization
         self.feature_stats = (0..x.ncols())
             .map(|c| {
                 let col = x.col(c);
-                (autoai_linalg::mean(&col), autoai_linalg::std_dev(&col).max(1e-9))
+                (
+                    autoai_linalg::mean(&col),
+                    autoai_linalg::std_dev(&col).max(1e-9),
+                )
             })
             .collect();
         self.target_stats = (0..y.ncols())
             .map(|c| {
                 let col = y.col(c);
-                (autoai_linalg::mean(&col), autoai_linalg::std_dev(&col).max(1e-9))
+                (
+                    autoai_linalg::mean(&col),
+                    autoai_linalg::std_dev(&col).max(1e-9),
+                )
             })
             .collect();
 
@@ -253,7 +266,7 @@ impl Mlp {
         let mut gb: Vec<Vec<f64>> = self.biases.iter().map(|b| vec![0.0; b.len()]).collect();
 
         for _epoch in 0..self.config.epochs {
-            order.shuffle(&mut rng);
+            rng.shuffle(&mut order);
             for chunk in order.chunks(bs) {
                 for g in gw.iter_mut() {
                     g.iter_mut().for_each(|v| *v = 0.0);
@@ -332,7 +345,12 @@ impl Mlp {
                         self.config.learning_rate,
                         self.config.weight_decay,
                     );
-                    self.b_adam[l].step(&mut self.biases[l], &gb[l], self.config.learning_rate, 0.0);
+                    self.b_adam[l].step(
+                        &mut self.biases[l],
+                        &gb[l],
+                        self.config.learning_rate,
+                        0.0,
+                    );
                 }
             }
         }
@@ -414,7 +432,11 @@ mod tests {
         let ys: Vec<Vec<f64>> = rows.iter().map(|r| vec![3.0 * r[0] + 2.0]).collect();
         let x = Matrix::from_rows(&rows);
         let y = Matrix::from_rows(&ys);
-        let cfg = MlpConfig { hidden: vec![16], epochs: 200, ..Default::default() };
+        let cfg = MlpConfig {
+            hidden: vec![16],
+            epochs: 200,
+            ..Default::default()
+        };
         let mut net = Mlp::new(cfg);
         net.fit(&x, &y).unwrap();
         let p = net.predict_row(&[50.0]);
@@ -424,7 +446,12 @@ mod tests {
     #[test]
     fn learns_nonlinear_function() {
         let (x, y) = xor_like();
-        let cfg = MlpConfig { hidden: vec![32, 32], epochs: 300, learning_rate: 3e-3, ..Default::default() };
+        let cfg = MlpConfig {
+            hidden: vec![32, 32],
+            epochs: 300,
+            learning_rate: 3e-3,
+            ..Default::default()
+        };
         let mut net = Mlp::new(cfg);
         net.fit(&x, &y).unwrap();
         let preds = net.predict(&x);
@@ -442,7 +469,12 @@ mod tests {
         let ys: Vec<Vec<f64>> = rows.iter().map(|r| vec![r[0].sin(), r[0].cos()]).collect();
         let x = Matrix::from_rows(&rows);
         let y = Matrix::from_rows(&ys);
-        let cfg = MlpConfig { hidden: vec![32, 32], epochs: 400, learning_rate: 3e-3, ..Default::default() };
+        let cfg = MlpConfig {
+            hidden: vec![32, 32],
+            epochs: 400,
+            learning_rate: 3e-3,
+            ..Default::default()
+        };
         let mut net = Mlp::new(cfg);
         net.fit(&x, &y).unwrap();
         let p = net.predict_row(&[5.0]);
@@ -458,7 +490,9 @@ mod tests {
         let mut s = 31u64;
         for i in 0..600 {
             let xv = (i % 100) as f64 / 100.0;
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let e = ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
             rows.push(vec![xv]);
             ys.push(vec![2.0 * xv + e * (0.05 + 0.5 * xv)]);
@@ -476,14 +510,24 @@ mod tests {
         net.fit(&x, &y).unwrap();
         let lo = net.predict_distribution(&[0.05]);
         let hi = net.predict_distribution(&[0.95]);
-        assert!(hi[0].1 > lo[0].1, "std should grow with x: {} vs {}", hi[0].1, lo[0].1);
+        assert!(
+            hi[0].1 > lo[0].1,
+            "std should grow with x: {} vs {}",
+            hi[0].1,
+            lo[0].1
+        );
         assert!((hi[0].0 - 1.9).abs() < 0.5, "mean at 0.95: {}", hi[0].0);
     }
 
     #[test]
     fn deterministic_given_seed() {
         let (x, y) = xor_like();
-        let cfg = MlpConfig { hidden: vec![8], epochs: 20, seed: 5, ..Default::default() };
+        let cfg = MlpConfig {
+            hidden: vec![8],
+            epochs: 20,
+            seed: 5,
+            ..Default::default()
+        };
         let mut a = Mlp::new(cfg.clone());
         let mut b = Mlp::new(cfg);
         a.fit(&x, &y).unwrap();

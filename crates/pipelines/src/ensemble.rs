@@ -11,7 +11,9 @@ use autoai_ml_models::{
     GradientBoostingConfig, GradientBoostingRegressor, LinearRegression, MultiOutputRegressor,
     RandomForestConfig, RandomForestRegressor, Regressor,
 };
-use autoai_transforms::{flatten_windows, latest_window, DifferenceTransform, LogTransform, Transform};
+use autoai_transforms::{
+    flatten_windows, latest_window, DifferenceTransform, LogTransform, Transform,
+};
 use autoai_tsdata::TimeSeriesFrame;
 
 use crate::traits::{Forecaster, PipelineError};
@@ -85,7 +87,10 @@ impl AutoEnsembler {
     /// The candidate regressors auto-selection chooses from.
     fn candidates() -> Vec<(&'static str, Box<dyn Regressor>)> {
         vec![
-            ("linear", Box::new(LinearRegression::new()) as Box<dyn Regressor>),
+            (
+                "linear",
+                Box::new(LinearRegression::new()) as Box<dyn Regressor>,
+            ),
             (
                 "random_forest",
                 Box::new(RandomForestRegressor::with_config(RandomForestConfig {
@@ -96,10 +101,12 @@ impl AutoEnsembler {
             ),
             (
                 "gbm",
-                Box::new(GradientBoostingRegressor::with_config(GradientBoostingConfig {
-                    n_rounds: 60,
-                    ..Default::default()
-                })),
+                Box::new(GradientBoostingRegressor::with_config(
+                    GradientBoostingConfig {
+                        n_rounds: 60,
+                        ..Default::default()
+                    },
+                )),
             ),
         ]
     }
@@ -140,11 +147,15 @@ impl AutoEnsembler {
             }
         }
         let chosen = best.map_or("linear", |(_, n)| n);
-        let proto = Self::candidates()
+        let Some(proto) = Self::candidates()
             .into_iter()
             .find(|(n, _)| *n == chosen)
             .map(|(_, p)| p)
-            .expect("chosen candidate exists");
+        else {
+            return Err(PipelineError::Fit(format!(
+                "ensemble candidate `{chosen}` is not registered"
+            )));
+        };
         let mut model = MultiOutputRegressor::new(proto);
         model.fit(x, y).map_err(|e| PipelineError::Fit(e.message))?;
         Ok((model, chosen.to_string()))
@@ -294,7 +305,12 @@ impl Forecaster for AutoEnsembler {
     }
 
     fn clone_unfitted(&self) -> Box<dyn Forecaster> {
-        Box::new(Self::new(self.mode, self.lookback, self.horizon, self.use_log))
+        Box::new(Self::new(
+            self.mode,
+            self.lookback,
+            self.horizon,
+            self.use_log,
+        ))
     }
 }
 
@@ -330,15 +346,18 @@ mod tests {
     fn difference_flatten_handles_trend() {
         // trending series: differencing is essential for window regressors
         let frame = TimeSeriesFrame::univariate(
-            (0..300).map(|i| 100.0 + 2.0 * i as f64 + (i as f64 * 0.5).sin()).collect(),
+            (0..300)
+                .map(|i| 100.0 + 2.0 * i as f64 + (i as f64 * 0.5).sin())
+                .collect(),
         );
         let mut p = AutoEnsembler::difference_flatten(8, 6, false);
         p.fit(&frame).unwrap();
         let f = p.predict(6).unwrap();
         // forecasts must continue climbing past the last train value (698)
         assert!(f.series(0)[5] > 700.0, "{:?}", f.series(0));
-        let target: Vec<f64> =
-            (300..306).map(|i| 100.0 + 2.0 * i as f64 + (i as f64 * 0.5).sin()).collect();
+        let target: Vec<f64> = (300..306)
+            .map(|i| 100.0 + 2.0 * i as f64 + (i as f64 * 0.5).sin())
+            .collect();
         let smape = autoai_tsdata::smape(&target, f.series(0));
         assert!(smape < 2.0, "DifferenceFlatten smape {smape}");
     }
@@ -346,8 +365,12 @@ mod tests {
     #[test]
     fn localized_fits_each_series_separately() {
         let cols = vec![
-            (0..240).map(|i| 10.0 + (2.0 * std::f64::consts::PI * i as f64 / 8.0).sin()).collect::<Vec<f64>>(),
-            (0..240).map(|i| 50.0 + 0.5 * i as f64).collect::<Vec<f64>>(),
+            (0..240)
+                .map(|i| 10.0 + (2.0 * std::f64::consts::PI * i as f64 / 8.0).sin())
+                .collect::<Vec<f64>>(),
+            (0..240)
+                .map(|i| 50.0 + 0.5 * i as f64)
+                .collect::<Vec<f64>>(),
         ];
         let mut p = AutoEnsembler::localized_flatten(10, 4);
         p.fit(&TimeSeriesFrame::from_columns(cols)).unwrap();
@@ -359,7 +382,10 @@ mod tests {
 
     #[test]
     fn names_follow_table6() {
-        assert_eq!(AutoEnsembler::flatten(8, 2, true).name(), "FlattenAutoEnsembler-log");
+        assert_eq!(
+            AutoEnsembler::flatten(8, 2, true).name(),
+            "FlattenAutoEnsembler-log"
+        );
         assert_eq!(
             AutoEnsembler::difference_flatten(8, 2, true).name(),
             "DifferenceFlattenAutoEnsembler-log"
@@ -384,7 +410,9 @@ mod tests {
     fn log_roundtrip_preserves_scale() {
         // large-scale data through the log path must come back on scale
         let frame = TimeSeriesFrame::univariate(
-            (0..200).map(|i| 1e6 + 1e5 * (i as f64 * 0.7).sin()).collect(),
+            (0..200)
+                .map(|i| 1e6 + 1e5 * (i as f64 * 0.7).sin())
+                .collect(),
         );
         let mut p = AutoEnsembler::flatten(8, 4, true);
         p.fit(&frame).unwrap();
@@ -397,7 +425,9 @@ mod tests {
     #[test]
     fn too_short_series_rejected() {
         let mut p = AutoEnsembler::flatten(8, 4, false);
-        assert!(p.fit(&TimeSeriesFrame::univariate(vec![1.0, 2.0, 3.0])).is_err());
+        assert!(p
+            .fit(&TimeSeriesFrame::univariate(vec![1.0, 2.0, 3.0]))
+            .is_err());
     }
 
     #[test]

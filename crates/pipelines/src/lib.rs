@@ -15,6 +15,7 @@
 //! `HW-Multiplicative`.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod ensemble;
 pub mod registry;

@@ -26,7 +26,11 @@ pub struct PipelineContext {
 impl PipelineContext {
     /// Context with the paper's defaults (look-back 8).
     pub fn new(lookback: usize, horizon: usize, seasonal_periods: Vec<usize>) -> Self {
-        Self { lookback: lookback.max(2), horizon: horizon.max(1), seasonal_periods }
+        Self {
+            lookback: lookback.max(2),
+            horizon: horizon.max(1),
+            seasonal_periods,
+        }
     }
 
     /// The preferred seasonal period (0 when none was discovered).
@@ -54,7 +58,7 @@ pub const PIPELINE_NAMES: [&str; 10] = [
 pub fn default_pipelines(ctx: &PipelineContext) -> Vec<Box<dyn Forecaster>> {
     PIPELINE_NAMES
         .iter()
-        .map(|name| pipeline_by_name(name, ctx).expect("default pipeline names are registered"))
+        .filter_map(|name| pipeline_by_name(name, ctx))
         .collect()
 }
 
@@ -105,13 +109,25 @@ pub fn extended_pipelines(ctx: &PipelineContext) -> Vec<Box<dyn Forecaster>> {
         out.push(Box::new(WindowRegressorPipeline::svr(lb)));
         out.push(Box::new(AutoEnsembler::flatten(lb, ctx.horizon, true)));
         out.push(Box::new(AutoEnsembler::flatten(lb, ctx.horizon, false)));
-        out.push(Box::new(AutoEnsembler::difference_flatten(lb, ctx.horizon, false)));
+        out.push(Box::new(AutoEnsembler::difference_flatten(
+            lb,
+            ctx.horizon,
+            false,
+        )));
         out.push(Box::new(AutoEnsembler::localized_flatten(lb, ctx.horizon)));
         out.push(Box::new(Mt2rForecaster::new(lb, ctx.horizon)));
     }
     // no-log variants at the base look-back
-    out.push(Box::new(AutoEnsembler::flatten(ctx.lookback, ctx.horizon, false)));
-    out.push(Box::new(AutoEnsembler::difference_flatten(ctx.lookback, ctx.horizon, false)));
+    out.push(Box::new(AutoEnsembler::flatten(
+        ctx.lookback,
+        ctx.horizon,
+        false,
+    )));
+    out.push(Box::new(AutoEnsembler::difference_flatten(
+        ctx.lookback,
+        ctx.horizon,
+        false,
+    )));
     // seasonal-period variations for the statistical family
     for &p in ctx.seasonal_periods.iter().skip(1).take(2) {
         out.push(Box::new(HoltWintersPipeline::additive(p)));
@@ -154,7 +170,11 @@ mod tests {
     fn extended_registry_scales_out() {
         let ctx = PipelineContext::new(8, 12, vec![12, 7, 30]);
         let ps = extended_pipelines(&ctx);
-        assert!(ps.len() >= 30, "extended registry has {} pipelines", ps.len());
+        assert!(
+            ps.len() >= 30,
+            "extended registry has {} pipelines",
+            ps.len()
+        );
     }
 
     #[test]

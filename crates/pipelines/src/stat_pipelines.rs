@@ -11,10 +11,7 @@ use autoai_tsdata::TimeSeriesFrame;
 
 use crate::traits::{Forecaster, PipelineError};
 
-fn forecast_frame(
-    names: &[String],
-    forecasts: Vec<Vec<f64>>,
-) -> TimeSeriesFrame {
+fn forecast_frame(names: &[String], forecasts: Vec<Vec<f64>>) -> TimeSeriesFrame {
     let mut f = TimeSeriesFrame::from_columns(forecasts);
     if f.n_series() == names.len() {
         f = f.with_names(names.to_vec());
@@ -42,7 +39,8 @@ impl Forecaster for ZeroModelPipeline {
         self.names = frame.names().to_vec();
         for c in 0..frame.n_series() {
             let mut m = ZeroModel::new();
-            m.fit(frame.series(c)).map_err(|e| PipelineError::Fit(e.message))?;
+            m.fit(frame.series(c))
+                .map_err(|e| PipelineError::Fit(e.message))?;
             self.models.push(m);
         }
         if self.models.is_empty() {
@@ -85,7 +83,13 @@ pub struct ArimaPipeline {
 impl ArimaPipeline {
     /// Auto-ARIMA with the paper's pmdarima-style defaults (max 3/3).
     pub fn new(m: usize) -> Self {
-        Self { max_p: 3, max_q: 3, m, models: Vec::new(), names: Vec::new() }
+        Self {
+            max_p: 3,
+            max_q: 3,
+            m,
+            models: Vec::new(),
+            names: Vec::new(),
+        }
     }
 }
 
@@ -119,7 +123,13 @@ impl Forecaster for ArimaPipeline {
     }
 
     fn clone_unfitted(&self) -> Box<dyn Forecaster> {
-        Box::new(Self { max_p: self.max_p, max_q: self.max_q, m: self.m, models: Vec::new(), names: Vec::new() })
+        Box::new(Self {
+            max_p: self.max_p,
+            max_q: self.max_q,
+            m: self.m,
+            models: Vec::new(),
+            names: Vec::new(),
+        })
     }
 }
 
@@ -133,14 +143,30 @@ pub struct HoltWintersPipeline {
 impl HoltWintersPipeline {
     /// Additive triple exponential smoothing with period `m` (0 → trend only).
     pub fn additive(m: usize) -> Self {
-        let s = if m >= 2 { Seasonality::Additive(m) } else { Seasonality::None };
-        Self { seasonality: s, models: Vec::new(), names: Vec::new() }
+        let s = if m >= 2 {
+            Seasonality::Additive(m)
+        } else {
+            Seasonality::None
+        };
+        Self {
+            seasonality: s,
+            models: Vec::new(),
+            names: Vec::new(),
+        }
     }
 
     /// Multiplicative triple exponential smoothing with period `m`.
     pub fn multiplicative(m: usize) -> Self {
-        let s = if m >= 2 { Seasonality::Multiplicative(m) } else { Seasonality::None };
-        Self { seasonality: s, models: Vec::new(), names: Vec::new() }
+        let s = if m >= 2 {
+            Seasonality::Multiplicative(m)
+        } else {
+            Seasonality::None
+        };
+        Self {
+            seasonality: s,
+            models: Vec::new(),
+            names: Vec::new(),
+        }
     }
 }
 
@@ -180,7 +206,11 @@ impl Forecaster for HoltWintersPipeline {
     }
 
     fn clone_unfitted(&self) -> Box<dyn Forecaster> {
-        Box::new(Self { seasonality: self.seasonality, models: Vec::new(), names: Vec::new() })
+        Box::new(Self {
+            seasonality: self.seasonality,
+            models: Vec::new(),
+            names: Vec::new(),
+        })
     }
 }
 
@@ -195,7 +225,11 @@ pub struct BatsPipeline {
 impl BatsPipeline {
     /// BATS with the given candidate seasonal periods.
     pub fn new(periods: Vec<usize>) -> Self {
-        Self { periods, models: Vec::new(), names: Vec::new() }
+        Self {
+            periods,
+            models: Vec::new(),
+            names: Vec::new(),
+        }
     }
 }
 
@@ -205,8 +239,8 @@ impl Forecaster for BatsPipeline {
         self.names = frame.names().to_vec();
         let config = BatsConfig::with_periods(self.periods.clone());
         for c in 0..frame.n_series() {
-            let m = Bats::fit(frame.series(c), &config)
-                .map_err(|e| PipelineError::Fit(e.message))?;
+            let m =
+                Bats::fit(frame.series(c), &config).map_err(|e| PipelineError::Fit(e.message))?;
             self.models.push(m);
         }
         if self.models.is_empty() {
@@ -254,7 +288,8 @@ impl Forecaster for ThetaPipeline {
         self.names = frame.names().to_vec();
         for c in 0..frame.n_series() {
             let mut m = ThetaModel::new();
-            m.fit(frame.series(c)).map_err(|e| PipelineError::Fit(e.message))?;
+            m.fit(frame.series(c))
+                .map_err(|e| PipelineError::Fit(e.message))?;
             self.models.push(m);
         }
         if self.models.is_empty() {
@@ -299,7 +334,13 @@ pub struct Mt2rForecaster {
 impl Mt2rForecaster {
     /// New MT2R with the given look-back and direct horizon.
     pub fn new(lookback: usize, horizon: usize) -> Self {
-        Self { lookback: lookback.max(1), horizon: horizon.max(1), model: None, train_tail: None, names: Vec::new() }
+        Self {
+            lookback: lookback.max(1),
+            horizon: horizon.max(1),
+            model: None,
+            train_tail: None,
+            names: Vec::new(),
+        }
     }
 }
 
@@ -319,7 +360,9 @@ impl Forecaster for Mt2rForecaster {
             )));
         }
         let mut model = MultiOutputRegressor::new(Box::new(LinearRegression::new()));
-        model.fit(&ds.x, &ds.y).map_err(|e| PipelineError::Fit(e.message))?;
+        model
+            .fit(&ds.x, &ds.y)
+            .map_err(|e| PipelineError::Fit(e.message))?;
         self.model = Some(model);
         self.train_tail = Some(frame.tail(self.lookback + self.horizon));
         Ok(())
@@ -376,7 +419,10 @@ impl NeuralPipeline {
         Self {
             lookback: lookback.max(1),
             horizon: horizon.max(1),
-            config: MlpConfig { epochs: 40, ..Default::default() },
+            config: MlpConfig {
+                epochs: 40,
+                ..Default::default()
+            },
             model: None,
             train_tail: None,
             names: Vec::new(),
@@ -391,10 +437,13 @@ impl Forecaster for NeuralPipeline {
         self.lookback = self.lookback.min(max_lb);
         let ds = flatten_windows(frame, self.lookback, self.horizon);
         if ds.is_empty() {
-            return Err(PipelineError::InvalidInput("series too short for neural windows".into()));
+            return Err(PipelineError::InvalidInput(
+                "series too short for neural windows".into(),
+            ));
         }
         let mut mlp = Mlp::new(self.config.clone());
-        mlp.fit(&ds.x, &ds.y).map_err(|e| PipelineError::Fit(e.message))?;
+        mlp.fit(&ds.x, &ds.y)
+            .map_err(|e| PipelineError::Fit(e.message))?;
         self.model = Some(mlp);
         self.train_tail = Some(frame.tail(self.lookback + self.horizon));
         Ok(())
@@ -449,7 +498,11 @@ mod tests {
     #[test]
     fn zero_model_pipeline_repeats_last() {
         let mut p = ZeroModelPipeline::new();
-        p.fit(&TimeSeriesFrame::from_columns(vec![vec![1.0, 2.0], vec![5.0, 9.0]])).unwrap();
+        p.fit(&TimeSeriesFrame::from_columns(vec![
+            vec![1.0, 2.0],
+            vec![5.0, 9.0],
+        ]))
+        .unwrap();
         let f = p.predict(3).unwrap();
         assert_eq!(f.series(0), &[2.0, 2.0, 2.0]);
         assert_eq!(f.series(1), &[9.0, 9.0, 9.0]);
@@ -485,7 +538,10 @@ mod tests {
     fn hw_multiplicative_degrades_on_short_series() {
         let mut p = HoltWintersPipeline::multiplicative(50);
         // 20 points, too short for period 50 → falls back to non-seasonal
-        p.fit(&TimeSeriesFrame::univariate((1..=20).map(|i| i as f64).collect())).unwrap();
+        p.fit(&TimeSeriesFrame::univariate(
+            (1..=20).map(|i| i as f64).collect(),
+        ))
+        .unwrap();
         let f = p.predict(2).unwrap();
         assert!(f.series(0)[0] > 18.0);
     }
@@ -495,10 +551,7 @@ mod tests {
         let mut p = BatsPipeline::new(vec![12]);
         p.fit(&seasonal_frame(120)).unwrap();
         let s = p
-            .score(
-                &seasonal_frame(132).slice(120, 132),
-                Metric::Smape,
-            )
+            .score(&seasonal_frame(132).slice(120, 132), Metric::Smape)
             .unwrap();
         assert!(s < 10.0, "bats smape {s}");
     }
@@ -528,7 +581,10 @@ mod tests {
     #[test]
     fn mt2r_shrinks_lookback_for_short_series() {
         let mut p = Mt2rForecaster::new(50, 2);
-        p.fit(&TimeSeriesFrame::univariate((0..30).map(|i| i as f64).collect())).unwrap();
+        p.fit(&TimeSeriesFrame::univariate(
+            (0..30).map(|i| i as f64).collect(),
+        ))
+        .unwrap();
         assert!(p.lookback < 50);
         let f = p.predict(2).unwrap();
         assert!(f.series(0)[0] > 25.0);
@@ -555,8 +611,14 @@ mod tests {
 
     #[test]
     fn predict_before_fit_errors() {
-        assert!(matches!(ZeroModelPipeline::new().predict(3), Err(PipelineError::NotFitted)));
-        assert!(matches!(Mt2rForecaster::new(4, 2).predict(3), Err(PipelineError::NotFitted)));
+        assert!(matches!(
+            ZeroModelPipeline::new().predict(3),
+            Err(PipelineError::NotFitted)
+        ));
+        assert!(matches!(
+            Mt2rForecaster::new(4, 2).predict(3),
+            Err(PipelineError::NotFitted)
+        ));
     }
 
     #[test]

@@ -87,7 +87,10 @@ mod tests {
 
         fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
             let v = self.value.ok_or(PipelineError::NotFitted)?;
-            Ok(TimeSeriesFrame::from_columns(vec![vec![v; horizon]; self.n_series]))
+            Ok(TimeSeriesFrame::from_columns(vec![
+                vec![v; horizon];
+                self.n_series
+            ]))
         }
 
         fn name(&self) -> String {
@@ -95,14 +98,24 @@ mod tests {
         }
 
         fn clone_unfitted(&self) -> Box<dyn Forecaster> {
-            Box::new(Constant { value: None, n_series: 0 })
+            Box::new(Constant {
+                value: None,
+                n_series: 0,
+            })
         }
     }
 
     #[test]
     fn default_score_averages_series() {
-        let mut m = Constant { value: None, n_series: 0 };
-        m.fit(&TimeSeriesFrame::from_columns(vec![vec![1.0, 2.0], vec![5.0, 2.0]])).unwrap();
+        let mut m = Constant {
+            value: None,
+            n_series: 0,
+        };
+        m.fit(&TimeSeriesFrame::from_columns(vec![
+            vec![1.0, 2.0],
+            vec![5.0, 2.0],
+        ]))
+        .unwrap();
         let test = TimeSeriesFrame::from_columns(vec![vec![2.0], vec![2.0]]);
         // perfect forecast of both series' value 2.0
         let s = m.score(&test, Metric::Smape).unwrap();
@@ -111,14 +124,20 @@ mod tests {
 
     #[test]
     fn score_before_fit_errors() {
-        let m = Constant { value: None, n_series: 1 };
+        let m = Constant {
+            value: None,
+            n_series: 1,
+        };
         let test = TimeSeriesFrame::univariate(vec![1.0]);
         assert!(m.score(&test, Metric::Mae).is_err());
     }
 
     #[test]
     fn r2_is_negated_for_ranking() {
-        let mut m = Constant { value: None, n_series: 0 };
+        let mut m = Constant {
+            value: None,
+            n_series: 0,
+        };
         m.fit(&TimeSeriesFrame::univariate(vec![1.0, 3.0])).unwrap();
         let test = TimeSeriesFrame::univariate(vec![3.0, 3.0]);
         let s = m.score(&test, Metric::R2).unwrap();

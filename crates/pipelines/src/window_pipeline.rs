@@ -36,7 +36,11 @@ pub struct WindowRegressorPipeline {
 impl WindowRegressorPipeline {
     /// WindowRandomForest: the Table 6 pipeline backed by a random forest.
     pub fn random_forest(lookback: usize) -> Self {
-        let cfg = RandomForestConfig { n_trees: 30, max_depth: 10, ..Default::default() };
+        let cfg = RandomForestConfig {
+            n_trees: 30,
+            max_depth: 10,
+            ..Default::default()
+        };
         Self {
             lookback: lookback.max(1),
             prototype: Box::new(RandomForestRegressor::with_config(cfg)),
@@ -89,7 +93,9 @@ impl Forecaster for WindowRegressorPipeline {
             )));
         }
         let mut model = MultiOutputRegressor::new(self.prototype.clone_unfitted());
-        model.fit(&ds.x, &ds.y).map_err(|e| PipelineError::Fit(e.message))?;
+        model
+            .fit(&ds.x, &ds.y)
+            .map_err(|e| PipelineError::Fit(e.message))?;
         self.model = Some(model);
         self.train_tail = Some(frame.tail(self.lookback));
         Ok(())
@@ -185,7 +191,9 @@ mod tests {
     fn multivariate_window_pipeline() {
         let cols = vec![
             (0..200).map(|i| (i % 10) as f64).collect::<Vec<f64>>(),
-            (0..200).map(|i| ((i + 5) % 10) as f64).collect::<Vec<f64>>(),
+            (0..200)
+                .map(|i| ((i + 5) % 10) as f64)
+                .collect::<Vec<f64>>(),
         ];
         let mut p = WindowRegressorPipeline::random_forest(10);
         p.fit(&TimeSeriesFrame::from_columns(cols)).unwrap();
@@ -197,7 +205,10 @@ mod tests {
     #[test]
     fn lookback_shrinks_on_short_series() {
         let mut p = WindowRegressorPipeline::random_forest(100);
-        p.fit(&TimeSeriesFrame::univariate((0..30).map(|i| i as f64).collect())).unwrap();
+        p.fit(&TimeSeriesFrame::univariate(
+            (0..30).map(|i| i as f64).collect(),
+        ))
+        .unwrap();
         assert!(p.lookback <= 25);
         assert_eq!(p.predict(3).unwrap().len(), 3);
     }
@@ -215,7 +226,10 @@ mod tests {
 
     #[test]
     fn names_and_clone() {
-        assert_eq!(WindowRegressorPipeline::random_forest(8).name(), "WindowRandomForest");
+        assert_eq!(
+            WindowRegressorPipeline::random_forest(8).name(),
+            "WindowRandomForest"
+        );
         assert_eq!(WindowRegressorPipeline::svr(8).name(), "WindowSVR");
         let c = WindowRegressorPipeline::svr(8).clone_unfitted();
         assert_eq!(c.name(), "WindowSVR");

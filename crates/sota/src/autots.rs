@@ -35,7 +35,10 @@ pub struct GlsSim {
 impl GlsSim {
     /// New unfitted simulator.
     pub fn new() -> Self {
-        Self { models: Vec::new(), names: Vec::new() }
+        Self {
+            models: Vec::new(),
+            names: Vec::new(),
+        }
     }
 }
 
@@ -48,7 +51,9 @@ impl Default for GlsSim {
 impl Forecaster for GlsSim {
     fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
         if frame.len() < 8 {
-            return Err(PipelineError::InvalidInput("gls-sim needs >= 8 samples".into()));
+            return Err(PipelineError::InvalidInput(
+                "gls-sim needs >= 8 samples".into(),
+            ));
         }
         self.models.clear();
         self.names = frame.names().to_vec();
@@ -57,11 +62,16 @@ impl Forecaster for GlsSim {
             let t: Vec<f64> = (0..y.len()).map(|i| i as f64).collect();
             // OLS pass
             let (a0, b0) = autoai_linalg::simple_linreg(&t, y);
-            let resid: Vec<f64> =
-                y.iter().enumerate().map(|(i, &v)| v - a0 - b0 * i as f64).collect();
+            let resid: Vec<f64> = y
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v - a0 - b0 * i as f64)
+                .collect();
             let rho = autocorrelation(&resid, 1).clamp(-0.98, 0.98);
             // FGLS: whiten with (x_t - rho x_{t-1}) and refit the line
-            let tw: Vec<f64> = (1..y.len()).map(|i| i as f64 - rho * (i - 1) as f64).collect();
+            let tw: Vec<f64> = (1..y.len())
+                .map(|i| i as f64 - rho * (i - 1) as f64)
+                .collect();
             let yw: Vec<f64> = (1..y.len()).map(|i| y[i] - rho * y[i - 1]).collect();
             // intercept column also whitened: (1 - rho)
             let rows: Vec<Vec<f64>> = tw.iter().map(|&x| vec![1.0 - rho, x]).collect();
@@ -118,7 +128,13 @@ pub struct WindowRegressorSim {
 impl WindowRegressorSim {
     /// New simulator with AutoTS-like defaults.
     pub fn new() -> Self {
-        Self { window: 10, horizon: 12, model: None, tail: None, names: Vec::new() }
+        Self {
+            window: 10,
+            horizon: 12,
+            model: None,
+            tail: None,
+            names: Vec::new(),
+        }
     }
 }
 
@@ -135,7 +151,9 @@ impl Forecaster for WindowRegressorSim {
         self.window = self.window.min(max_w);
         let ds = flatten_windows(frame, self.window, self.horizon);
         if ds.is_empty() {
-            return Err(PipelineError::InvalidInput("window-regressor-sim: series too short".into()));
+            return Err(PipelineError::InvalidInput(
+                "window-regressor-sim: series too short".into(),
+            ));
         }
         let rf = RandomForestRegressor::with_config(RandomForestConfig {
             n_trees: 40,
@@ -143,7 +161,9 @@ impl Forecaster for WindowRegressorSim {
             ..Default::default()
         });
         let mut model = MultiOutputRegressor::new(Box::new(rf));
-        model.fit(&ds.x, &ds.y).map_err(|e| PipelineError::Fit(e.message))?;
+        model
+            .fit(&ds.x, &ds.y)
+            .map_err(|e| PipelineError::Fit(e.message))?;
         self.model = Some(model);
         self.tail = Some(frame.tail(self.window));
         Ok(())
@@ -178,7 +198,11 @@ impl Forecaster for WindowRegressorSim {
     }
 
     fn clone_unfitted(&self) -> Box<dyn Forecaster> {
-        Box::new(Self { window: self.window, horizon: self.horizon, ..Self::new() })
+        Box::new(Self {
+            window: self.window,
+            horizon: self.horizon,
+            ..Self::new()
+        })
     }
 }
 
@@ -233,9 +257,17 @@ impl Default for RollingRegressorSim {
 
 impl Forecaster for RollingRegressorSim {
     fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
-        let warmup = self.window_sizes.iter().copied().max().unwrap_or(5).max(self.n_lags);
+        let warmup = self
+            .window_sizes
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(5)
+            .max(self.n_lags);
         if frame.len() < warmup + 8 {
-            return Err(PipelineError::InvalidInput("rolling-regressor-sim: series too short".into()));
+            return Err(PipelineError::InvalidInput(
+                "rolling-regressor-sim: series too short".into(),
+            ));
         }
         self.models.clear();
         self.tails.clear();
@@ -247,9 +279,11 @@ impl Forecaster for RollingRegressorSim {
                 .collect();
             let y: Vec<f64> = s[warmup..].to_vec();
             let mut lr = LinearRegression::new();
-            lr.fit(&Matrix::from_rows(&rows), &y).map_err(|e| PipelineError::Fit(e.message))?;
+            lr.fit(&Matrix::from_rows(&rows), &y)
+                .map_err(|e| PipelineError::Fit(e.message))?;
             self.models.push(lr);
-            self.tails.push(s[s.len().saturating_sub(2 * warmup)..].to_vec());
+            self.tails
+                .push(s[s.len().saturating_sub(2 * warmup)..].to_vec());
         }
         Ok(())
     }
@@ -267,8 +301,7 @@ impl Forecaster for RollingRegressorSim {
                 (0..horizon)
                     .map(|_| {
                         let t = history.len();
-                        let row =
-                            Self::features(&history, t, &self.window_sizes, self.n_lags);
+                        let row = Self::features(&history, t, &self.window_sizes, self.n_lags);
                         let v = lr.predict_row(&row);
                         history.push(v);
                         v
@@ -330,7 +363,9 @@ impl Forecaster for MotifSim {
         let max_w = frame.len().saturating_sub(h + 2).max(1);
         self.window = self.window.min(max_w);
         if frame.len() < self.window + h + 2 {
-            return Err(PipelineError::InvalidInput("motif-sim: series too short".into()));
+            return Err(PipelineError::InvalidInput(
+                "motif-sim: series too short".into(),
+            ));
         }
         self.knn_per_step.clear();
         self.tails.clear();
@@ -342,7 +377,8 @@ impl Forecaster for MotifSim {
             for step in 0..h {
                 let y = ds.y.col(step);
                 let mut knn = KnnRegressor::new(self.k);
-                knn.fit(&ds.x, &y).map_err(|e| PipelineError::Fit(e.message))?;
+                knn.fit(&ds.x, &y)
+                    .map_err(|e| PipelineError::Fit(e.message))?;
                 per_step.push(knn);
             }
             self.knn_per_step.push(per_step);
@@ -392,7 +428,11 @@ impl Forecaster for MotifSim {
     }
 
     fn clone_unfitted(&self) -> Box<dyn Forecaster> {
-        Box::new(Self { window: self.window, k: self.k, ..Self::new() })
+        Box::new(Self {
+            window: self.window,
+            k: self.k,
+            ..Self::new()
+        })
     }
 }
 
@@ -409,7 +449,10 @@ pub struct ComponentSim {
 impl ComponentSim {
     /// New unfitted simulator.
     pub fn new() -> Self {
-        Self { models: Vec::new(), names: Vec::new() }
+        Self {
+            models: Vec::new(),
+            names: Vec::new(),
+        }
     }
 }
 
@@ -422,7 +465,9 @@ impl Default for ComponentSim {
 impl Forecaster for ComponentSim {
     fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
         if frame.len() < 12 {
-            return Err(PipelineError::InvalidInput("component-sim needs >= 12 samples".into()));
+            return Err(PipelineError::InvalidInput(
+                "component-sim needs >= 12 samples".into(),
+            ));
         }
         self.models.clear();
         self.names = frame.names().to_vec();
@@ -523,8 +568,7 @@ mod tests {
     fn truth(range: std::ops::Range<usize>) -> Vec<f64> {
         range
             .map(|i| {
-                30.0 + 0.4 * i as f64
-                    + 10.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin()
+                30.0 + 0.4 * i as f64 + 10.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin()
             })
             .collect()
     }
@@ -582,8 +626,12 @@ mod tests {
     #[test]
     fn all_simulators_handle_multivariate() {
         let cols = vec![
-            (0..200).map(|i| 10.0 + (i as f64 * 0.4).sin()).collect::<Vec<f64>>(),
-            (0..200).map(|i| 50.0 + 0.2 * i as f64).collect::<Vec<f64>>(),
+            (0..200)
+                .map(|i| 10.0 + (i as f64 * 0.4).sin())
+                .collect::<Vec<f64>>(),
+            (0..200)
+                .map(|i| 50.0 + 0.2 * i as f64)
+                .collect::<Vec<f64>>(),
         ];
         let frame = TimeSeriesFrame::from_columns(cols);
         let sims: Vec<Box<dyn Forecaster>> = vec![
@@ -594,7 +642,8 @@ mod tests {
             Box::new(ComponentSim::new()),
         ];
         for mut sim in sims {
-            sim.fit(&frame).unwrap_or_else(|e| panic!("{} fit: {e}", sim.name()));
+            sim.fit(&frame)
+                .unwrap_or_else(|e| panic!("{} fit: {e}", sim.name()));
             let f = sim.predict(6).unwrap();
             assert_eq!(f.n_series(), 2, "{}", sim.name());
             assert_eq!(f.len(), 6, "{}", sim.name());

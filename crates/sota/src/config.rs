@@ -27,7 +27,16 @@ pub struct PmdArimaConfig {
 
 impl Default for PmdArimaConfig {
     fn default() -> Self {
-        Self { start_p: 1, start_q: 1, max_p: 3, max_q: 3, m: 12, seasonal: true, d: 1, seasonal_d: 1 }
+        Self {
+            start_p: 1,
+            start_q: 1,
+            max_p: 3,
+            max_q: 3,
+            m: 12,
+            seasonal: true,
+            d: 1,
+            seasonal_d: 1,
+        }
     }
 }
 

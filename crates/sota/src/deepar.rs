@@ -79,8 +79,7 @@ impl Forecaster for DeepArSim {
             let s = frame.series(c);
             let scale = self.scales[c];
             for w in 0..(n - context) {
-                let mut row: Vec<f64> =
-                    s[w..w + context].iter().map(|&v| v / scale).collect();
+                let mut row: Vec<f64> = s[w..w + context].iter().map(|&v| v / scale).collect();
                 // relative position feature (stand-in for DeepAR's time covariates)
                 row.push((w + context) as f64 / n as f64);
                 rows.push(row);
@@ -144,7 +143,10 @@ impl Forecaster for DeepArSim {
     }
 
     fn clone_unfitted(&self) -> Box<dyn Forecaster> {
-        Box::new(Self { config: self.config.clone(), ..Self::new() })
+        Box::new(Self {
+            config: self.config.clone(),
+            ..Self::new()
+        })
     }
 }
 
@@ -171,20 +173,34 @@ mod tests {
     fn scaling_handles_mixed_magnitude_series() {
         // two series with a 1000x scale difference, trained jointly
         let cols = vec![
-            (0..300).map(|i| 1.0 + 0.5 * (i as f64 * 0.3).sin()).collect::<Vec<f64>>(),
-            (0..300).map(|i| 1000.0 + 500.0 * (i as f64 * 0.3).sin()).collect::<Vec<f64>>(),
+            (0..300)
+                .map(|i| 1.0 + 0.5 * (i as f64 * 0.3).sin())
+                .collect::<Vec<f64>>(),
+            (0..300)
+                .map(|i| 1000.0 + 500.0 * (i as f64 * 0.3).sin())
+                .collect::<Vec<f64>>(),
         ];
         let mut sim = DeepArSim::new();
         sim.fit(&TimeSeriesFrame::from_columns(cols)).unwrap();
         let f = sim.predict(5).unwrap();
         // each series' forecast must stay on its own scale
-        assert!(f.series(0).iter().all(|&v| v > -2.0 && v < 4.0), "{:?}", f.series(0));
-        assert!(f.series(1).iter().all(|&v| v > 200.0 && v < 2000.0), "{:?}", f.series(1));
+        assert!(
+            f.series(0).iter().all(|&v| v > -2.0 && v < 4.0),
+            "{:?}",
+            f.series(0)
+        );
+        assert!(
+            f.series(1).iter().all(|&v| v > 200.0 && v < 2000.0),
+            "{:?}",
+            f.series(1)
+        );
     }
 
     #[test]
     fn too_short_rejected() {
         let mut sim = DeepArSim::new();
-        assert!(sim.fit(&TimeSeriesFrame::univariate(vec![1.0; 10])).is_err());
+        assert!(sim
+            .fit(&TimeSeriesFrame::univariate(vec![1.0; 10]))
+            .is_err());
     }
 }

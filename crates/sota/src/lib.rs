@@ -15,6 +15,7 @@
 //! pipelines, so the benchmark harness can sweep all 11 systems uniformly.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod autots;
 pub mod config;
@@ -68,7 +69,10 @@ pub fn sota_by_name(name: &str) -> Option<Box<dyn Forecaster>> {
 
 /// All 10 simulators, fresh and unfitted.
 pub fn all_sota() -> Vec<Box<dyn Forecaster>> {
-    SOTA_NAMES.iter().map(|n| sota_by_name(n).expect("registered")).collect()
+    SOTA_NAMES
+        .iter()
+        .map(|n| sota_by_name(n).expect("registered"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -83,9 +83,7 @@ impl NBeatsSim {
         let rows: Vec<Vec<f64>> = (0..b).map(|t| basis_row(t as f64)).collect();
         let design = Matrix::from_rows(&rows);
         let theta = lstsq_ridge(&design, window, 1e-6).unwrap_or_else(|_| vec![0.0; n_terms]);
-        let eval = |t: f64| -> f64 {
-            basis_row(t).iter().zip(&theta).map(|(a, b)| a * b).sum()
-        };
+        let eval = |t: f64| -> f64 { basis_row(t).iter().zip(&theta).map(|(a, b)| a * b).sum() };
         let backcast: Vec<f64> = (0..b).map(|t| eval(t as f64)).collect();
         let forecast: Vec<f64> = (0..f).map(|h| eval((b + h) as f64)).collect();
         (backcast, forecast)
@@ -152,8 +150,7 @@ impl Forecaster for NBeatsSim {
                 let window = &s[w..w + b_len];
                 let future = &s[w + b_len..w + b_len + f_len];
                 let (residual, forecast) = self.run_basis_stacks(window, f_len);
-                let target: Vec<f64> =
-                    future.iter().zip(&forecast).map(|(t, f)| t - f).collect();
+                let target: Vec<f64> = future.iter().zip(&forecast).map(|(t, f)| t - f).collect();
                 rows.push(residual);
                 targets.push(target);
             }
@@ -253,8 +250,12 @@ mod tests {
             .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 24.0).sin())
             .collect();
         let (bc, fc) = NBeatsSim::seasonality_block(&window, 3, 24);
-        let err: f64 =
-            bc.iter().zip(&window).map(|(a, b)| (a - b).abs()).sum::<f64>() / 24.0;
+        let err: f64 = bc
+            .iter()
+            .zip(&window)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / 24.0;
         assert!(err < 1e-6, "reconstruction error {err}");
         // a full-period forecast repeats the window
         for (f, w) in fc.iter().zip(&window) {
@@ -265,13 +266,17 @@ mod tests {
     #[test]
     fn forecasts_trend_plus_season() {
         let series: Vec<f64> = (0..400)
-            .map(|i| 10.0 + 0.2 * i as f64 + 8.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin())
+            .map(|i| {
+                10.0 + 0.2 * i as f64 + 8.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin()
+            })
             .collect();
         let mut sim = NBeatsSim::new();
         sim.fit(&TimeSeriesFrame::univariate(series)).unwrap();
         let f = sim.predict(12).unwrap();
         let truth: Vec<f64> = (400..412)
-            .map(|i| 10.0 + 0.2 * i as f64 + 8.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin())
+            .map(|i| {
+                10.0 + 0.2 * i as f64 + 8.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin()
+            })
             .collect();
         let smape = autoai_tsdata::smape(&truth, f.series(0));
         assert!(smape < 12.0, "nbeats-sim smape {smape}");
@@ -290,6 +295,8 @@ mod tests {
     #[test]
     fn too_short_rejected() {
         let mut sim = NBeatsSim::new();
-        assert!(sim.fit(&TimeSeriesFrame::univariate(vec![1.0; 12])).is_err());
+        assert!(sim
+            .fit(&TimeSeriesFrame::univariate(vec![1.0; 12]))
+            .is_err());
     }
 }

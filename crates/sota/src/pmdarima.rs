@@ -19,7 +19,11 @@ pub struct PmdArimaSim {
 impl PmdArimaSim {
     /// Simulator with Table 3 defaults.
     pub fn new() -> Self {
-        Self { config: PmdArimaConfig::default(), models: Vec::new(), names: Vec::new() }
+        Self {
+            config: PmdArimaConfig::default(),
+            models: Vec::new(),
+            names: Vec::new(),
+        }
     }
 
     /// Stepwise search over (p, q) at fixed d/D/m, ranked by AICc.
@@ -112,7 +116,11 @@ impl Forecaster for PmdArimaSim {
     }
 
     fn clone_unfitted(&self) -> Box<dyn Forecaster> {
-        Box::new(Self { config: self.config.clone(), models: Vec::new(), names: Vec::new() })
+        Box::new(Self {
+            config: self.config.clone(),
+            models: Vec::new(),
+            names: Vec::new(),
+        })
     }
 }
 
@@ -125,8 +133,7 @@ mod tests {
         // monthly-style data: trend + period-12 seasonality
         let series: Vec<f64> = (0..240)
             .map(|i| {
-                100.0 + 0.8 * i as f64
-                    + 15.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin()
+                100.0 + 0.8 * i as f64 + 15.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin()
             })
             .collect();
         let mut sim = PmdArimaSim::new();
@@ -134,8 +141,7 @@ mod tests {
         let f = sim.predict(12).unwrap();
         let truth: Vec<f64> = (240..252)
             .map(|i| {
-                100.0 + 0.8 * i as f64
-                    + 15.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin()
+                100.0 + 0.8 * i as f64 + 15.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin()
             })
             .collect();
         let smape = autoai_tsdata::smape(&truth, f.series(0));

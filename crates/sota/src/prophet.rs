@@ -31,7 +31,11 @@ struct SeriesModel {
 impl ProphetSim {
     /// Simulator with Table 3 defaults.
     pub fn new() -> Self {
-        Self { config: ProphetConfig::default(), models: Vec::new(), names: Vec::new() }
+        Self {
+            config: ProphetConfig::default(),
+            models: Vec::new(),
+            names: Vec::new(),
+        }
     }
 
     /// Prophet's `auto` seasonality rule, adapted to sample counts: weekly
@@ -115,7 +119,9 @@ impl Default for ProphetSim {
 impl Forecaster for ProphetSim {
     fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
         if frame.len() < 10 {
-            return Err(PipelineError::InvalidInput("prophet-sim needs >= 10 samples".into()));
+            return Err(PipelineError::InvalidInput(
+                "prophet-sim needs >= 10 samples".into(),
+            ));
         }
         self.models.clear();
         self.names = frame.names().to_vec();
@@ -124,8 +130,9 @@ impl Forecaster for ProphetSim {
         // changepoints uniformly over the first changepoint_range of history
         let cp_span = (n as f64) * cfg.changepoint_range;
         let n_cp = cfg.n_changepoints.min(n / 4);
-        let changepoints: Vec<f64> =
-            (1..=n_cp).map(|k| cp_span * k as f64 / (n_cp + 1) as f64).collect();
+        let changepoints: Vec<f64> = (1..=n_cp)
+            .map(|k| cp_span * k as f64 / (n_cp + 1) as f64)
+            .collect();
         let seasonalities = Self::pick_seasonalities(frame, cfg);
 
         for c in 0..frame.n_series() {
@@ -182,7 +189,11 @@ impl Forecaster for ProphetSim {
     }
 
     fn clone_unfitted(&self) -> Box<dyn Forecaster> {
-        Box::new(Self { config: self.config.clone(), models: Vec::new(), names: Vec::new() })
+        Box::new(Self {
+            config: self.config.clone(),
+            models: Vec::new(),
+            names: Vec::new(),
+        })
     }
 }
 
@@ -194,15 +205,17 @@ mod tests {
     fn fits_weekly_business_pattern() {
         // daily data with weekly seasonality — Prophet's home turf
         let weekly = [1.0, 0.9, 0.85, 0.9, 1.1, 1.4, 1.3];
-        let series: Vec<f64> =
-            (0..280).map(|i| 100.0 * weekly[i % 7] + 0.2 * i as f64).collect();
+        let series: Vec<f64> = (0..280)
+            .map(|i| 100.0 * weekly[i % 7] + 0.2 * i as f64)
+            .collect();
         let frame =
             TimeSeriesFrame::univariate(series).with_regular_timestamps(1_577_836_800, 86_400);
         let mut sim = ProphetSim::new();
         sim.fit(&frame).unwrap();
         let f = sim.predict(14).unwrap();
-        let truth: Vec<f64> =
-            (280..294).map(|i| 100.0 * weekly[i % 7] + 0.2 * i as f64).collect();
+        let truth: Vec<f64> = (280..294)
+            .map(|i| 100.0 * weekly[i % 7] + 0.2 * i as f64)
+            .collect();
         let smape = autoai_tsdata::smape(&truth, f.series(0));
         assert!(smape < 5.0, "prophet-sim smape {smape}");
     }
@@ -211,7 +224,13 @@ mod tests {
     fn trend_changepoints_follow_slope_change() {
         // slope changes mid-series; the piecewise trend must adapt
         let series: Vec<f64> = (0..300)
-            .map(|i| if i < 150 { i as f64 } else { 150.0 + 3.0 * (i - 150) as f64 })
+            .map(|i| {
+                if i < 150 {
+                    i as f64
+                } else {
+                    150.0 + 3.0 * (i - 150) as f64
+                }
+            })
             .collect();
         let frame =
             TimeSeriesFrame::univariate(series).with_regular_timestamps(1_577_836_800, 86_400);

@@ -26,7 +26,11 @@ struct Decomposition {
 
 impl Decomposition {
     fn trend_at(&self, t: f64) -> f64 {
-        self.trend.iter().enumerate().map(|(k, &c)| c * t.powi(k as i32)).sum()
+        self.trend
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| c * t.powi(k as i32))
+            .sum()
     }
 
     fn cycle_at(&self, t: usize) -> f64 {
@@ -68,7 +72,10 @@ pub struct PyAfSim {
 impl PyAfSim {
     /// New unfitted simulator.
     pub fn new() -> Self {
-        Self { models: Vec::new(), names: Vec::new() }
+        Self {
+            models: Vec::new(),
+            names: Vec::new(),
+        }
     }
 
     /// Fit a polynomial trend of the given degree.
@@ -107,7 +114,10 @@ impl PyAfSim {
             sums[t % period] += v;
             counts[t % period] += 1;
         }
-        sums.iter().zip(&counts).map(|(s, &c)| if c > 0 { s / c as f64 } else { 0.0 }).collect()
+        sums.iter()
+            .zip(&counts)
+            .map(|(s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+            .collect()
     }
 
     /// AR(p) on the residual by OLS.
@@ -126,7 +136,9 @@ impl PyAfSim {
     fn fit_one(series: &[f64]) -> Result<Decomposition, PipelineError> {
         let n = series.len();
         if n < 20 {
-            return Err(PipelineError::InvalidInput("pyaf-sim needs >= 20 samples".into()));
+            return Err(PipelineError::InvalidInput(
+                "pyaf-sim needs >= 20 samples".into(),
+            ));
         }
         let cut = n - (n / 5).max(4);
         let (train, valid) = series.split_at(cut);
@@ -135,10 +147,17 @@ impl PyAfSim {
         for degree in [0usize, 1, 2] {
             let trend = Self::fit_trend(train, degree);
             let trend_at = |t: f64| -> f64 {
-                trend.iter().enumerate().map(|(k, &c)| c * t.powi(k as i32)).sum()
+                trend
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &c)| c * t.powi(k as i32))
+                    .sum()
             };
-            let detrended: Vec<f64> =
-                train.iter().enumerate().map(|(t, &v)| v - trend_at(t as f64)).collect();
+            let detrended: Vec<f64> = train
+                .iter()
+                .enumerate()
+                .map(|(t, &v)| v - trend_at(t as f64))
+                .collect();
             let cycles: Vec<Vec<f64>> = {
                 let mut c = vec![Vec::new()];
                 if let Some(p) = Self::best_cycle_period(&detrended) {
@@ -151,11 +170,19 @@ impl PyAfSim {
                     .iter()
                     .enumerate()
                     .map(|(t, &v)| {
-                        v - if cycle.is_empty() { 0.0 } else { cycle[t % cycle.len()] }
+                        v - if cycle.is_empty() {
+                            0.0
+                        } else {
+                            cycle[t % cycle.len()]
+                        }
                     })
                     .collect();
                 for use_ar in [false, true] {
-                    let ar = if use_ar { Self::fit_ar(&residual, 4) } else { Vec::new() };
+                    let ar = if use_ar {
+                        Self::fit_ar(&residual, 4)
+                    } else {
+                        Vec::new()
+                    };
                     let d = Decomposition {
                         trend: trend.clone(),
                         cycle: cycle.clone(),
@@ -171,15 +198,24 @@ impl PyAfSim {
                 }
             }
         }
-        let (_, mut chosen) = best.ok_or_else(|| PipelineError::Fit("pyaf-sim: no decomposition".into()))?;
+        let (_, mut chosen) =
+            best.ok_or_else(|| PipelineError::Fit("pyaf-sim: no decomposition".into()))?;
         // refit the chosen shape on the full series
         let degree = chosen.trend.len() - 1;
         chosen.trend = Self::fit_trend(series, degree);
         let trend = chosen.trend.clone();
-        let trend_at =
-            |t: f64| -> f64 { trend.iter().enumerate().map(|(k, &c)| c * t.powi(k as i32)).sum() };
-        let detrended: Vec<f64> =
-            series.iter().enumerate().map(|(t, &v)| v - trend_at(t as f64)).collect();
+        let trend_at = |t: f64| -> f64 {
+            trend
+                .iter()
+                .enumerate()
+                .map(|(k, &c)| c * t.powi(k as i32))
+                .sum()
+        };
+        let detrended: Vec<f64> = series
+            .iter()
+            .enumerate()
+            .map(|(t, &v)| v - trend_at(t as f64))
+            .collect();
         if !chosen.cycle.is_empty() {
             let period = chosen.cycle.len();
             chosen.cycle = Self::fit_cycle(&detrended, period);
@@ -245,13 +281,15 @@ mod tests {
     #[test]
     fn decomposes_trend_plus_cycle() {
         let pattern = [10.0, -5.0, -8.0, 3.0, 7.0, -7.0];
-        let series: Vec<f64> =
-            (0..300).map(|i| 50.0 + 0.3 * i as f64 + pattern[i % 6]).collect();
+        let series: Vec<f64> = (0..300)
+            .map(|i| 50.0 + 0.3 * i as f64 + pattern[i % 6])
+            .collect();
         let mut sim = PyAfSim::new();
         sim.fit(&TimeSeriesFrame::univariate(series)).unwrap();
         let f = sim.predict(12).unwrap();
-        let truth: Vec<f64> =
-            (300..312).map(|i| 50.0 + 0.3 * i as f64 + pattern[i % 6]).collect();
+        let truth: Vec<f64> = (300..312)
+            .map(|i| 50.0 + 0.3 * i as f64 + pattern[i % 6])
+            .collect();
         let smape = autoai_tsdata::smape(&truth, f.series(0));
         assert!(smape < 4.0, "pyaf-sim smape {smape}");
     }
@@ -271,6 +309,8 @@ mod tests {
     #[test]
     fn too_short_rejected() {
         let mut sim = PyAfSim::new();
-        assert!(sim.fit(&TimeSeriesFrame::univariate(vec![1.0; 10])).is_err());
+        assert!(sim
+            .fit(&TimeSeriesFrame::univariate(vec![1.0; 10]))
+            .is_err());
     }
 }

@@ -44,12 +44,35 @@ pub struct ArimaSpec {
 impl ArimaSpec {
     /// Plain `ARIMA(p, d, q)`.
     pub fn new(p: usize, d: usize, q: usize) -> Self {
-        Self { p, d, q, seasonal: None }
+        Self {
+            p,
+            d,
+            q,
+            seasonal: None,
+        }
     }
 
     /// `ARIMA(p,d,q)(P,D,Q)_m`.
-    pub fn seasonal(p: usize, d: usize, q: usize, sp: usize, sd: usize, sq: usize, m: usize) -> Self {
-        Self { p, d, q, seasonal: Some(SeasonalSpec { p: sp, d: sd, q: sq, m }) }
+    pub fn seasonal(
+        p: usize,
+        d: usize,
+        q: usize,
+        sp: usize,
+        sd: usize,
+        sq: usize,
+        m: usize,
+    ) -> Self {
+        Self {
+            p,
+            d,
+            q,
+            seasonal: Some(SeasonalSpec {
+                p: sp,
+                d: sd,
+                q: sq,
+                m,
+            }),
+        }
     }
 
     fn ar_lags(&self) -> Vec<usize> {
@@ -118,9 +141,7 @@ pub struct Arima {
 impl Arima {
     /// Fit an ARIMA with the given specification.
     pub fn fit(series: &[f64], spec: ArimaSpec) -> Result<Self, FitError> {
-        let min_len = spec.k_params() + spec.d
-            + spec.seasonal.map_or(0, |s| s.d * s.m + s.m)
-            + 8;
+        let min_len = spec.k_params() + spec.d + spec.seasonal.map_or(0, |s| s.d * s.m + s.m) + 8;
         if series.len() < min_len {
             return Err(FitError::new(format!(
                 "series too short for ARIMA: {} < {}",
@@ -151,7 +172,7 @@ impl Arima {
         // 2. initialize AR by OLS lag regression, MA at 0
         let mut init = vec![0.0; n_ar + n_ma];
         if n_ar > 0 {
-            let max_lag = *ar_lags.last().unwrap();
+            let max_lag = ar_lags.last().copied().unwrap_or(0);
             if wc.len() > max_lag + 2 {
                 let rows: Vec<Vec<f64>> = (max_lag..wc.len())
                     .map(|t| ar_lags.iter().map(|&l| wc[t - l]).collect())
@@ -172,7 +193,8 @@ impl Arima {
             if params.iter().any(|c| c.abs() > 5.0) {
                 return f64::INFINITY;
             }
-            let (e, sse) = Self::css_residuals(&wc, &ar_lags, &params[..n_ar], &ma_lags, &params[n_ar..]);
+            let (e, sse) =
+                Self::css_residuals(&wc, &ar_lags, &params[..n_ar], &ma_lags, &params[n_ar..]);
             if e.is_empty() {
                 f64::INFINITY
             } else {
@@ -180,7 +202,10 @@ impl Arima {
             }
         };
         let params = if n_ar + n_ma > 0 {
-            let opts = NelderMeadOptions { max_evals: 800 * (n_ar + n_ma), ..Default::default() };
+            let opts = NelderMeadOptions {
+                max_evals: 800 * (n_ar + n_ma),
+                ..Default::default()
+            };
             nelder_mead(css, &init, &opts).0
         } else {
             Vec::new()
@@ -314,7 +339,12 @@ impl Arima {
                 let mut extended = base.clone();
                 for f in fore.iter_mut() {
                     let idx = extended.len();
-                    let v = *f + if idx >= s.m { extended[idx - s.m] } else { *base.last().unwrap_or(&0.0) };
+                    let v = *f
+                        + if idx >= s.m {
+                            extended[idx - s.m]
+                        } else {
+                            *base.last().unwrap_or(&0.0)
+                        };
                     extended.push(v);
                     *f = v;
                 }
@@ -364,7 +394,12 @@ pub fn auto_arima(series: &[f64], max_p: usize, max_q: usize, m: usize) -> Resul
         let diffed = difference(series, 1, d);
         let sac = autoai_linalg::autocorrelation(&diffed, m);
         if sac > 0.3 {
-            Some(SeasonalSpec { p: 1, d: 1, q: 1, m })
+            Some(SeasonalSpec {
+                p: 1,
+                d: 1,
+                q: 1,
+                m,
+            })
         } else {
             None
         }
@@ -423,7 +458,9 @@ mod tests {
         let mut x = vec![0.0; n];
         let mut s = seed;
         for t in 1..n {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let e = ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
             x[t] = phi * x[t - 1] + noise * e;
         }
@@ -434,7 +471,11 @@ mod tests {
     fn ar1_coefficient_recovery() {
         let x = ar1_series(0.7, 1500, 11, 0.5);
         let m = Arima::fit(&x, ArimaSpec::new(1, 0, 0)).unwrap();
-        assert!((m.ar_coefs[0] - 0.7).abs() < 0.08, "phi = {}", m.ar_coefs[0]);
+        assert!(
+            (m.ar_coefs[0] - 0.7).abs() < 0.08,
+            "phi = {}",
+            m.ar_coefs[0]
+        );
     }
 
     #[test]
@@ -442,7 +483,9 @@ mod tests {
         let mut x = vec![0.0; 2000];
         let mut s = 3u64;
         for t in 2..2000 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let e = ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
             x[t] = 0.5 * x[t - 1] + 0.3 * x[t - 2] + 0.4 * e;
         }
@@ -458,14 +501,27 @@ mod tests {
         let mut e = vec![0.0; n];
         let mut s = 17u64;
         for ei in e.iter_mut() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *ei = ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
         }
-        let x: Vec<f64> = (0..n).map(|t| e[t] + 0.8 * if t > 0 { e[t - 1] } else { 0.0 }).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|t| e[t] + 0.8 * if t > 0 { e[t - 1] } else { 0.0 })
+            .collect();
         let ma = Arima::fit(&x, ArimaSpec::new(0, 0, 1)).unwrap();
         let white = Arima::fit(&x, ArimaSpec::new(0, 0, 0)).unwrap();
-        assert!(ma.sigma2 < white.sigma2 * 0.75, "ma {} vs white {}", ma.sigma2, white.sigma2);
-        assert!((ma.ma_coefs[0] - 0.8).abs() < 0.15, "theta = {}", ma.ma_coefs[0]);
+        assert!(
+            ma.sigma2 < white.sigma2 * 0.75,
+            "ma {} vs white {}",
+            ma.sigma2,
+            white.sigma2
+        );
+        assert!(
+            (ma.ma_coefs[0] - 0.8).abs() < 0.15,
+            "theta = {}",
+            ma.ma_coefs[0]
+        );
     }
 
     #[test]
@@ -492,13 +548,17 @@ mod tests {
     fn seasonal_differencing_reproduces_seasonal_pattern() {
         // strict period-12 pattern plus trend
         let x: Vec<f64> = (0..240)
-            .map(|i| (i / 12) as f64 * 10.0 + [0., 3., 8., 2., -4., -9., -3., 1., 6., 4., -2., -6.][i % 12])
+            .map(|i| {
+                (i / 12) as f64 * 10.0
+                    + [0., 3., 8., 2., -4., -9., -3., 1., 6., 4., -2., -6.][i % 12]
+            })
             .collect();
         let m = Arima::fit(&x, ArimaSpec::seasonal(0, 0, 0, 0, 1, 0, 12)).unwrap();
         let f = m.forecast(12);
         for (h, &v) in f.iter().enumerate() {
             let i = 240 + h;
-            let truth = (i / 12) as f64 * 10.0 + [0., 3., 8., 2., -4., -9., -3., 1., 6., 4., -2., -6.][i % 12];
+            let truth = (i / 12) as f64 * 10.0
+                + [0., 3., 8., 2., -4., -9., -3., 1., 6., 4., -2., -6.][i % 12];
             assert!((v - truth).abs() < 1.5, "h={h} v={v} truth={truth}");
         }
     }
@@ -511,8 +571,18 @@ mod tests {
         let m3 = Arima::fit(&x, ArimaSpec::new(3, 0, 3)).unwrap();
         // the true AR(1) must beat white noise decisively, and the over-
         // parameterized (3,0,3) can only eke out a marginal CSS advantage
-        assert!(m1.aic < white.aic - 100.0, "AR(1)={} white={}", m1.aic, white.aic);
-        assert!(m1.aic < m3.aic + 25.0, "AIC(1,0,0)={} AIC(3,0,3)={}", m1.aic, m3.aic);
+        assert!(
+            m1.aic < white.aic - 100.0,
+            "AR(1)={} white={}",
+            m1.aic,
+            white.aic
+        );
+        assert!(
+            m1.aic < m3.aic + 25.0,
+            "AIC(1,0,0)={} AIC(3,0,3)={}",
+            m1.aic,
+            m3.aic
+        );
     }
 
     #[test]
@@ -526,7 +596,9 @@ mod tests {
 
     #[test]
     fn auto_arima_detects_trend_differencing() {
-        let x: Vec<f64> = (0..300).map(|i| i as f64 + ar1_series(0.3, 300, 2, 1.0)[i]).collect();
+        let x: Vec<f64> = (0..300)
+            .map(|i| i as f64 + ar1_series(0.3, 300, 2, 1.0)[i])
+            .collect();
         let m = auto_arima(&x, 3, 3, 0).unwrap();
         assert!(m.spec.d >= 1, "expected differencing, got d = {}", m.spec.d);
         let f = m.forecast(10);

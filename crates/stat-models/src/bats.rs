@@ -36,7 +36,10 @@ impl BatsConfig {
 
     /// Automatic BATS with the given seasonal periods.
     pub fn with_periods(periods: Vec<usize>) -> Self {
-        Self { seasonal_periods: periods, ..Self::default() }
+        Self {
+            seasonal_periods: periods,
+            ..Self::default()
+        }
     }
 }
 
@@ -157,7 +160,14 @@ impl Bats {
                     2.0,
                     1e-3,
                 );
-                (shifted.iter().map(|&v| box_cox(v, lambda)).collect::<Vec<f64>>(), Some(lambda), offset)
+                (
+                    shifted
+                        .iter()
+                        .map(|&v| box_cox(v, lambda))
+                        .collect::<Vec<f64>>(),
+                    Some(lambda),
+                    offset,
+                )
             } else {
                 (series.to_vec(), None, 0.0)
             };
@@ -220,7 +230,10 @@ impl Bats {
             }
         };
         let init = vec![-1.0; dim];
-        let opts = NelderMeadOptions { max_evals: 600 * dim, ..Default::default() };
+        let opts = NelderMeadOptions {
+            max_evals: 600 * dim,
+            ..Default::default()
+        };
         let (raw, _) = nelder_mead(objective, &init, &opts);
         let alpha = sigmoid(raw[0]);
         let beta = if use_trend { sigmoid(raw[1]) } else { 0.0 };
@@ -395,15 +408,28 @@ mod tests {
                     + 9.0 * (2.0 * std::f64::consts::PI * t / 14.0).sin()
             })
             .collect();
-        let mae: f64 =
-            f.iter().zip(&truth).map(|(a, b)| (a - b).abs()).sum::<f64>() / truth.len() as f64;
+        let mae: f64 = f
+            .iter()
+            .zip(&truth)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / truth.len() as f64;
         assert!(mae < 3.5, "dual-seasonality MAE {mae}");
     }
 
     #[test]
     fn box_cox_helps_exponential_growth() {
         let y: Vec<f64> = (0..90).map(|i| (0.05 * i as f64).exp() * 10.0).collect();
-        let with_bc = Bats::fit(&y, &BatsConfig { use_box_cox: Some(true), use_trend: Some(true), use_arma: Some(false), seasonal_periods: vec![] }).unwrap();
+        let with_bc = Bats::fit(
+            &y,
+            &BatsConfig {
+                use_box_cox: Some(true),
+                use_trend: Some(true),
+                use_arma: Some(false),
+                seasonal_periods: vec![],
+            },
+        )
+        .unwrap();
         let f = with_bc.forecast(5);
         for (h, &v) in f.iter().enumerate() {
             let truth = (0.05 * (90 + h) as f64).exp() * 10.0;
@@ -414,7 +440,16 @@ mod tests {
     #[test]
     fn component_flags_respected() {
         let y: Vec<f64> = (0..60).map(|i| 5.0 + (i as f64 * 0.4).sin()).collect();
-        let m = Bats::fit(&y, &BatsConfig { use_box_cox: Some(false), use_trend: Some(false), use_arma: Some(false), seasonal_periods: vec![] }).unwrap();
+        let m = Bats::fit(
+            &y,
+            &BatsConfig {
+                use_box_cox: Some(false),
+                use_trend: Some(false),
+                use_arma: Some(false),
+                seasonal_periods: vec![],
+            },
+        )
+        .unwrap();
         assert!(m.lambda.is_none());
         assert!(!m.has_trend);
         assert!(!m.has_arma);

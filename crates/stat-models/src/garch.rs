@@ -77,7 +77,10 @@ impl Garch {
             }
             nll_acc
         };
-        let opts = NelderMeadOptions { max_evals: 3000, ..Default::default() };
+        let opts = NelderMeadOptions {
+            max_evals: 3000,
+            ..Default::default()
+        };
         let (raw, _) = nelder_mead(nll, &[0.0, 0.0, 2.0], &opts);
         let persistence = sigmoid(raw[2]) * 0.998;
         let alpha = persistence * sigmoid(raw[1]);
@@ -98,7 +101,7 @@ impl Garch {
             omega,
             alpha,
             beta,
-            last_var: *variance_path.last().unwrap(),
+            last_var: variance_path.last().copied().unwrap_or(var),
             last_e2: prev_e2,
             variance_path,
         })
@@ -149,7 +152,9 @@ mod tests {
             // sum of 12 uniforms - 6 ≈ N(0,1)
             let mut acc = 0.0;
             for _ in 0..12 {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 acc += (s >> 33) as f64 / (1u64 << 31) as f64;
             }
             acc - 6.0
@@ -218,7 +223,12 @@ mod tests {
         let m = Garch::fit(&x).unwrap();
         assert!(m.omega > 0.0);
         assert!(m.alpha >= 0.0 && m.beta >= 0.0);
-        assert!(m.alpha + m.beta < 1.0, "stationarity: {} + {}", m.alpha, m.beta);
+        assert!(
+            m.alpha + m.beta < 1.0,
+            "stationarity: {} + {}",
+            m.alpha,
+            m.beta
+        );
     }
 
     #[test]

@@ -75,8 +75,7 @@ impl HoltWinters {
         if series.iter().any(|v| !v.is_finite()) {
             return Err(FitError::new("series contains non-finite values"));
         }
-        if matches!(seasonality, Seasonality::Multiplicative(_))
-            && series.iter().any(|&v| v <= 0.0)
+        if matches!(seasonality, Seasonality::Multiplicative(_)) && series.iter().any(|&v| v <= 0.0)
         {
             return Err(FitError::new(
                 "multiplicative Holt-Winters requires strictly positive data",
@@ -91,7 +90,10 @@ impl HoltWinters {
                 None => f64::INFINITY,
             }
         };
-        let opts = NelderMeadOptions { max_evals: 1500, ..Default::default() };
+        let opts = NelderMeadOptions {
+            max_evals: 1500,
+            ..Default::default()
+        };
         // raw 0 → 0.5; start from moderate smoothing
         let (raw, _) = nelder_mead(objective, &[-1.0, -2.0, -1.0], &opts);
         let (alpha, beta, gamma) = (sigmoid(raw[0]), sigmoid(raw[1]), sigmoid(raw[2]));
@@ -137,7 +139,7 @@ impl HoltWinters {
                     }
                     s1.iter().map(|&v| v / m1).collect()
                 }
-                Seasonality::None => unreachable!(),
+                Seasonality::None => return None, // m == 0 for Seasonality::None
             };
             (level, trend, seasonals)
         } else {
@@ -258,7 +260,9 @@ mod tests {
 
     #[test]
     fn smoothing_constants_in_unit_interval() {
-        let series: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin() * 5.0 + 10.0).collect();
+        let series: Vec<f64> = (0..50)
+            .map(|i| (i as f64 * 0.3).sin() * 5.0 + 10.0)
+            .collect();
         let m = HoltWinters::fit(&series, Seasonality::None).unwrap();
         assert!(m.alpha > 0.0 && m.alpha < 1.0);
         assert!(m.beta > 0.0 && m.beta < 1.0);

@@ -16,6 +16,7 @@
 //! and BATS optimize their smoothing constants with Nelder–Mead.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod arima;
 pub mod bats;
@@ -39,7 +40,9 @@ pub struct FitError {
 impl FitError {
     /// Build an error from anything printable.
     pub fn new(msg: impl Into<String>) -> Self {
-        Self { message: msg.into() }
+        Self {
+            message: msg.into(),
+        }
     }
 }
 

@@ -23,7 +23,10 @@ impl ZeroModel {
 
     /// Record the most recent value of the series.
     pub fn fit(&mut self, series: &[f64]) -> Result<(), FitError> {
-        let last = series.last().copied().ok_or_else(|| FitError::new("empty series"))?;
+        let last = series
+            .last()
+            .copied()
+            .ok_or_else(|| FitError::new("empty series"))?;
         self.last = last;
         self.fitted = true;
         Ok(())
@@ -48,7 +51,10 @@ impl SeasonalNaive {
     /// New model with the given seasonal period (>= 1).
     pub fn new(period: usize) -> Self {
         assert!(period >= 1, "seasonal period must be >= 1");
-        Self { period, tail: Vec::new() }
+        Self {
+            period,
+            tail: Vec::new(),
+        }
     }
 
     /// Store the trailing season of the series.
@@ -64,7 +70,9 @@ impl SeasonalNaive {
     /// Cycle through the stored season.
     pub fn forecast(&self, horizon: usize) -> Vec<f64> {
         assert!(!self.tail.is_empty(), "SeasonalNaive::forecast before fit");
-        (0..horizon).map(|h| self.tail[h % self.tail.len()]).collect()
+        (0..horizon)
+            .map(|h| self.tail[h % self.tail.len()])
+            .collect()
     }
 }
 
@@ -85,10 +93,10 @@ impl DriftModel {
 
     /// Estimate the drift slope `(x_n - x_1) / (n - 1)`.
     pub fn fit(&mut self, series: &[f64]) -> Result<(), FitError> {
-        if series.is_empty() {
+        let Some(&last) = series.last() else {
             return Err(FitError::new("empty series"));
-        }
-        self.last = *series.last().unwrap();
+        };
+        self.last = last;
         self.slope = if series.len() >= 2 {
             (series[series.len() - 1] - series[0]) / (series.len() - 1) as f64
         } else {
@@ -101,7 +109,9 @@ impl DriftModel {
     /// Linear extrapolation from the last observation.
     pub fn forecast(&self, horizon: usize) -> Vec<f64> {
         assert!(self.fitted, "DriftModel::forecast before fit");
-        (1..=horizon).map(|h| self.last + self.slope * h as f64).collect()
+        (1..=horizon)
+            .map(|h| self.last + self.slope * h as f64)
+            .collect()
     }
 }
 
@@ -230,7 +240,10 @@ mod tests {
         // still increasing and close to the trend continuation
         for (h, &v) in f.iter().enumerate() {
             let truth = 3.0 + 2.0 * (50 + h) as f64;
-            assert!((v - truth).abs() < 0.55 * truth, "h={h} v={v} truth={truth}");
+            assert!(
+                (v - truth).abs() < 0.55 * truth,
+                "h={h} v={v} truth={truth}"
+            );
         }
         assert!(f[4] > f[0]);
     }

@@ -17,6 +17,7 @@
 //! by the last observed score).
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod runner;
 

@@ -2,10 +2,9 @@
 
 use std::time::{Duration, Instant};
 
-use autoai_linalg::simple_linreg;
+use autoai_linalg::{parallel_map_mut, simple_linreg};
 use autoai_pipelines::{Forecaster, PipelineError};
 use autoai_tsdata::{Metric, TimeSeriesFrame};
-use rayon::prelude::*;
 
 /// T-Daub configuration; field names follow the paper's §4.2 definitions.
 #[derive(Debug, Clone)]
@@ -109,7 +108,8 @@ impl Candidate {
             return;
         }
         if !use_projection || ok.len() == 1 {
-            self.projected = ok.last().unwrap().1;
+            // `ok` is non-empty: the is_empty branch above already returned
+            self.projected = ok.last().map_or(f64::INFINITY, |&&(_, s)| s);
             return;
         }
         let t: Vec<f64> = ok.iter().map(|(l, _)| *l as f64).collect();
@@ -169,7 +169,11 @@ pub fn run_tdaub(
     train: &TimeSeriesFrame,
     config: &TDaubConfig,
 ) -> Result<TDaubResult, PipelineError> {
-    assert!(!pipelines.is_empty(), "run_tdaub requires at least one pipeline");
+    if pipelines.is_empty() {
+        return Err(PipelineError::InvalidInput(
+            "run_tdaub requires at least one pipeline".into(),
+        ));
+    }
     let t_start = Instant::now();
     let n = train.len();
 
@@ -191,7 +195,8 @@ pub fn run_tdaub(
     let small_data = n <= config.min_allocation_size + 4;
 
     // split T into {T1, T2}
-    let t2_len = ((n as f64 * config.test_fraction).round() as usize).clamp(1, n.saturating_sub(2).max(1));
+    let t2_len =
+        ((n as f64 * config.test_fraction).round() as usize).clamp(1, n.saturating_sub(2).max(1));
     let t1 = train.slice(0, n - t2_len);
     let t2 = train.slice(n - t2_len, n);
     let l = t1.len();
@@ -201,10 +206,9 @@ pub fn run_tdaub(
 
     if small_data {
         let runs: Vec<(f64, Duration)> = if config.parallel {
-            cands
-                .par_iter_mut()
-                .map(|c| evaluate(&mut c.pipeline, &t1, &t2, l, metric, reverse))
-                .collect()
+            parallel_map_mut(&mut cands, |c| {
+                evaluate(&mut c.pipeline, &t1, &t2, l, metric, reverse)
+            })
         } else {
             cands
                 .iter_mut()
@@ -227,10 +231,9 @@ pub fn run_tdaub(
         for i in 1..=num_fix_runs {
             let alloc = (config.min_allocation_size * i).min(l);
             let runs: Vec<(f64, Duration)> = if config.parallel {
-                cands
-                    .par_iter_mut()
-                    .map(|c| evaluate(&mut c.pipeline, &t1, &t2, alloc, metric, reverse))
-                    .collect()
+                parallel_map_mut(&mut cands, |c| {
+                    evaluate(&mut c.pipeline, &t1, &t2, alloc, metric, reverse)
+                })
             } else {
                 cands
                     .iter_mut()
@@ -260,17 +263,14 @@ pub fn run_tdaub(
         let base_alloc = config.min_allocation_size * num_fix_runs;
         // generous budget: every pipeline could in principle climb the
         // geometric ladder to full length
-        let max_accel_steps = cands.len() * (2 + (l / config.allocation_size.max(1)).max(1).ilog2() as usize + 1);
+        let max_accel_steps =
+            cands.len() * (2 + (l / config.allocation_size.max(1)).max(1).ilog2() as usize + 1);
         for _ in 0..max_accel_steps {
             let top = cands
                 .iter()
                 .enumerate()
                 .filter(|(_, c)| !c.failed)
-                .min_by(|a, b| {
-                    a.1.projected
-                        .partial_cmp(&b.1.projected)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
+                .min_by(|a, b| a.1.projected.total_cmp(&b.1.projected))
                 .map(|(i, _)| i);
             let Some(top) = top else { break };
             let top_last = cands[top]
@@ -305,12 +305,7 @@ pub fn run_tdaub(
         // the top run_to_completion pipelines train on all of T1 and are
         // ranked by their true T2 score.
         let mut order: Vec<usize> = (0..cands.len()).collect();
-        order.sort_by(|&a, &b| {
-            cands[a]
-                .projected
-                .partial_cmp(&cands[b].projected)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        order.sort_by(|&a, &b| cands[a].projected.total_cmp(&cands[b].projected));
         for &i in order.iter().take(config.run_to_completion.max(1)) {
             if cands[i].failed {
                 continue;
@@ -335,15 +330,23 @@ pub fn run_tdaub(
     // projected score
     let mut order: Vec<usize> = (0..cands.len()).collect();
     order.sort_by(|&a, &b| {
-        let ka = (cands[a].final_score.is_none(), cands[a].final_score.unwrap_or(cands[a].projected));
-        let kb = (cands[b].final_score.is_none(), cands[b].final_score.unwrap_or(cands[b].projected));
-        ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+        let ka = (
+            cands[a].final_score.is_none(),
+            cands[a].final_score.unwrap_or(cands[a].projected),
+        );
+        let kb = (
+            cands[b].final_score.is_none(),
+            cands[b].final_score.unwrap_or(cands[b].projected),
+        );
+        ka.0.cmp(&kb.0).then_with(|| ka.1.total_cmp(&kb.1))
     });
 
     // retrain the winner on the entire training input
     let best_idx = order[0];
     if cands[best_idx].projected.is_infinite() && cands[best_idx].final_score.is_none() {
-        return Err(PipelineError::Fit("every pipeline failed during T-Daub".into()));
+        return Err(PipelineError::Fit(
+            "every pipeline failed during T-Daub".into(),
+        ));
     }
     let mut best = cands[best_idx].pipeline.clone_unfitted();
     let fit_start = Instant::now();
@@ -363,7 +366,11 @@ pub fn run_tdaub(
         })
         .collect();
 
-    Ok(TDaubResult { reports, best, total_time: t_start.elapsed() })
+    Ok(TDaubResult {
+        reports,
+        best,
+        total_time: t_start.elapsed(),
+    })
 }
 
 #[cfg(test)]
@@ -390,11 +397,22 @@ mod tests {
     #[test]
     fn tdaub_picks_the_seasonal_model() {
         let frame = seasonal_frame(500);
-        let cfg = TDaubConfig { parallel: false, ..Default::default() };
+        let cfg = TDaubConfig {
+            parallel: false,
+            ..Default::default()
+        };
         let result = run_tdaub(pool(), &frame, &cfg).unwrap();
         // MT2R can model the seasonality; ZeroModel and Theta cannot
-        assert_eq!(result.best.name(), "MT2RForecaster", "ranking: {:?}",
-            result.reports.iter().map(|r| (&r.name, r.final_score)).collect::<Vec<_>>());
+        assert_eq!(
+            result.best.name(),
+            "MT2RForecaster",
+            "ranking: {:?}",
+            result
+                .reports
+                .iter()
+                .map(|r| (&r.name, r.final_score))
+                .collect::<Vec<_>>()
+        );
         assert_eq!(result.reports[0].rank, 1);
     }
 
@@ -411,7 +429,11 @@ mod tests {
     fn small_dataset_bypasses_allocation() {
         // shorter than min_allocation_size → everything runs on full data
         let frame = seasonal_frame(40);
-        let cfg = TDaubConfig { min_allocation_size: 50, parallel: false, ..Default::default() };
+        let cfg = TDaubConfig {
+            min_allocation_size: 50,
+            parallel: false,
+            ..Default::default()
+        };
         let result = run_tdaub(pool(), &frame, &cfg).unwrap();
         for r in &result.reports {
             assert_eq!(r.scores.len(), 1, "{}: {:?}", r.name, r.scores);
@@ -432,7 +454,11 @@ mod tests {
         // fixed allocations 50, 100, ..., 250 present for every pipeline
         for r in &result.reports {
             let allocs: Vec<usize> = r.scores.iter().map(|(a, _)| *a).collect();
-            assert!(allocs.windows(2).all(|w| w[1] >= w[0]), "{}: {allocs:?}", r.name);
+            assert!(
+                allocs.windows(2).all(|w| w[1] >= w[0]),
+                "{}: {allocs:?}",
+                r.name
+            );
             assert!(allocs[0] == 50, "{allocs:?}");
         }
     }
@@ -488,7 +514,11 @@ mod tests {
     #[test]
     fn forward_allocation_ablation_runs() {
         let frame = seasonal_frame(400);
-        let cfg = TDaubConfig { reverse_allocation: false, parallel: false, ..Default::default() };
+        let cfg = TDaubConfig {
+            reverse_allocation: false,
+            parallel: false,
+            ..Default::default()
+        };
         let result = run_tdaub(pool(), &frame, &cfg).unwrap();
         assert!(!result.reports.is_empty());
     }
@@ -496,7 +526,11 @@ mod tests {
     #[test]
     fn last_score_ranking_ablation_runs() {
         let frame = seasonal_frame(400);
-        let cfg = TDaubConfig { use_projection: false, parallel: false, ..Default::default() };
+        let cfg = TDaubConfig {
+            use_projection: false,
+            parallel: false,
+            ..Default::default()
+        };
         let result = run_tdaub(pool(), &frame, &cfg).unwrap();
         assert!(result.reports[0].final_score.is_some());
     }
@@ -504,17 +538,41 @@ mod tests {
     #[test]
     fn parallel_and_serial_agree_on_winner() {
         let frame = seasonal_frame(500);
-        let serial = run_tdaub(pool(), &frame, &TDaubConfig { parallel: false, ..Default::default() }).unwrap();
-        let par = run_tdaub(pool(), &frame, &TDaubConfig { parallel: true, ..Default::default() }).unwrap();
+        let serial = run_tdaub(
+            pool(),
+            &frame,
+            &TDaubConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let par = run_tdaub(
+            pool(),
+            &frame,
+            &TDaubConfig {
+                parallel: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(serial.best.name(), par.best.name());
     }
 
     #[test]
     fn run_to_completion_runs_multiple_finalists() {
         let frame = seasonal_frame(500);
-        let cfg = TDaubConfig { run_to_completion: 3, parallel: false, ..Default::default() };
+        let cfg = TDaubConfig {
+            run_to_completion: 3,
+            parallel: false,
+            ..Default::default()
+        };
         let result = run_tdaub(pool(), &frame, &cfg).unwrap();
-        let finals = result.reports.iter().filter(|r| r.final_score.is_some()).count();
+        let finals = result
+            .reports
+            .iter()
+            .filter(|r| r.final_score.is_some())
+            .count();
         assert!(finals >= 3, "{finals} finalists");
     }
 }

@@ -139,7 +139,10 @@ impl Detector for CharacteristicDetector {
             }
             let corr = num / (dt.sqrt() * ds.sqrt()).max(1e-12);
             if corr.abs() > 0.8 {
-                out.push(Detection::Trend { series: c, correlation: corr });
+                out.push(Detection::Trend {
+                    series: c,
+                    correlation: corr,
+                });
             }
         }
         out
@@ -170,18 +173,25 @@ mod tests {
         let f = TimeSeriesFrame::univariate(vec![1.0, -2.0, -3.0]);
         let d = NegativeDetector.detect(&f);
         assert_eq!(d, vec![Detection::NegativeValues { count: 2 }]);
-        assert!(NegativeDetector.detect(&TimeSeriesFrame::univariate(vec![1.0])).is_empty());
+        assert!(NegativeDetector
+            .detect(&TimeSeriesFrame::univariate(vec![1.0]))
+            .is_empty());
     }
 
     #[test]
     fn missing_detector_counts_nan_and_inf() {
         let f = TimeSeriesFrame::univariate(vec![1.0, f64::NAN, f64::INFINITY]);
-        assert_eq!(MissingDetector.detect(&f), vec![Detection::MissingValues { count: 2 }]);
+        assert_eq!(
+            MissingDetector.detect(&f),
+            vec![Detection::MissingValues { count: 2 }]
+        );
     }
 
     #[test]
     fn irregularity_detector_fires_on_jitter() {
-        let ts: Vec<i64> = (0..60).map(|i| i * 60 + if i % 2 == 0 { 20 } else { 0 }).collect();
+        let ts: Vec<i64> = (0..60)
+            .map(|i| i * 60 + if i % 2 == 0 { 20 } else { 0 })
+            .collect();
         let f = TimeSeriesFrame::univariate(vec![0.0; 60]).with_timestamps(ts);
         let d = IrregularityDetector.detect(&f);
         assert!(matches!(d.as_slice(), [Detection::IrregularSpacing { .. }]));
@@ -191,7 +201,9 @@ mod tests {
     fn trend_detected_on_linear_series() {
         let f = TimeSeriesFrame::univariate((0..50).map(|i| 2.0 * i as f64).collect());
         let d = CharacteristicDetector.detect(&f);
-        assert!(d.iter().any(|x| matches!(x, Detection::Trend { correlation, .. } if *correlation > 0.99)));
+        assert!(d
+            .iter()
+            .any(|x| matches!(x, Detection::Trend { correlation, .. } if *correlation > 0.99)));
     }
 
     #[test]
@@ -205,7 +217,11 @@ mod tests {
     fn detect_all_aggregates() {
         let f = TimeSeriesFrame::univariate(vec![-1.0, f64::NAN, 3.0]);
         let d = detect_all(&f);
-        assert!(d.iter().any(|x| matches!(x, Detection::NegativeValues { .. })));
-        assert!(d.iter().any(|x| matches!(x, Detection::MissingValues { .. })));
+        assert!(d
+            .iter()
+            .any(|x| matches!(x, Detection::NegativeValues { .. })));
+        assert!(d
+            .iter()
+            .any(|x| matches!(x, Detection::MissingValues { .. })));
     }
 }

@@ -16,6 +16,7 @@
 //! presence of negative or missing values, irregularly spaced data".
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod detect;
 pub mod resample;

@@ -10,11 +10,13 @@ use autoai_tsdata::TimeSeriesFrame;
 /// Resample a timestamped frame onto a regular grid with `step_secs`
 /// spacing, starting at the first timestamp, using linear interpolation.
 ///
-/// Panics if the frame has no timestamps; returns the frame unchanged when
-/// it has fewer than 2 rows.
+/// A frame without timestamps is treated as already regular and returned
+/// unchanged, as is a frame with fewer than 2 rows.
 pub fn resample_to_regular(frame: &TimeSeriesFrame, step_secs: i64) -> TimeSeriesFrame {
     assert!(step_secs > 0, "step_secs must be positive");
-    let ts = frame.timestamps().expect("resample_to_regular requires timestamps");
+    let Some(ts) = frame.timestamps() else {
+        return frame.clone();
+    };
     if frame.len() < 2 {
         return frame.clone();
     }
@@ -144,7 +146,8 @@ mod tests {
 
     #[test]
     fn downsample_averages_buckets() {
-        let f = TimeSeriesFrame::univariate(vec![1.0, 3.0, 5.0, 7.0, 9.0]).with_regular_timestamps(0, 10);
+        let f = TimeSeriesFrame::univariate(vec![1.0, 3.0, 5.0, 7.0, 9.0])
+            .with_regular_timestamps(0, 10);
         let d = downsample(&f, 2);
         assert_eq!(d.series(0), &[2.0, 6.0, 9.0]); // last partial bucket
         assert_eq!(d.timestamps().unwrap(), &[0, 20, 40]);

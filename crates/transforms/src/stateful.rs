@@ -32,7 +32,10 @@ impl DifferenceTransform {
     /// Differencing of the given order (`order >= 1`).
     pub fn with_order(order: usize) -> Self {
         assert!(order >= 1, "difference order must be >= 1");
-        Self { order, anchors: Vec::new() }
+        Self {
+            order,
+            anchors: Vec::new(),
+        }
     }
 
     /// The differencing order.
@@ -165,7 +168,8 @@ mod tests {
         let d = t.transform(&f);
         assert_eq!(d.series(0), &[1.0, 2.0]);
         assert_eq!(d.series(1), &[20.0, 30.0]);
-        let restored = t.inverse_transform(&TimeSeriesFrame::from_columns(vec![vec![3.0], vec![40.0]]));
+        let restored =
+            t.inverse_transform(&TimeSeriesFrame::from_columns(vec![vec![3.0], vec![40.0]]));
         assert_eq!(restored.series(0), &[7.0]);
         assert_eq!(restored.series(1), &[100.0]);
     }

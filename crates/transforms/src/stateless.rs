@@ -42,7 +42,11 @@ impl Transform for LogTransform {
     fn fit(&mut self, frame: &TimeSeriesFrame) {
         self.offsets = (0..frame.n_series())
             .map(|c| {
-                let min = frame.series(c).iter().cloned().fold(f64::INFINITY, f64::min);
+                let min = frame
+                    .series(c)
+                    .iter()
+                    .cloned()
+                    .fold(f64::INFINITY, f64::min);
                 if min.is_finite() && min <= 0.0 {
                     1.0 - min
                 } else {
@@ -53,11 +57,17 @@ impl Transform for LogTransform {
     }
 
     fn transform(&self, frame: &TimeSeriesFrame) -> TimeSeriesFrame {
-        map_frame(frame, |c, v| (v + self.offsets.get(c).copied().unwrap_or(0.0)).max(1e-12).ln())
+        map_frame(frame, |c, v| {
+            (v + self.offsets.get(c).copied().unwrap_or(0.0))
+                .max(1e-12)
+                .ln()
+        })
     }
 
     fn inverse_transform(&self, frame: &TimeSeriesFrame) -> TimeSeriesFrame {
-        map_frame(frame, |c, v| v.exp() - self.offsets.get(c).copied().unwrap_or(0.0))
+        map_frame(frame, |c, v| {
+            v.exp() - self.offsets.get(c).copied().unwrap_or(0.0)
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -82,7 +92,11 @@ impl Transform for SqrtTransform {
     fn fit(&mut self, frame: &TimeSeriesFrame) {
         self.offsets = (0..frame.n_series())
             .map(|c| {
-                let min = frame.series(c).iter().cloned().fold(f64::INFINITY, f64::min);
+                let min = frame
+                    .series(c)
+                    .iter()
+                    .cloned()
+                    .fold(f64::INFINITY, f64::min);
                 if min.is_finite() && min < 0.0 {
                     -min
                 } else {
@@ -93,11 +107,17 @@ impl Transform for SqrtTransform {
     }
 
     fn transform(&self, frame: &TimeSeriesFrame) -> TimeSeriesFrame {
-        map_frame(frame, |c, v| (v + self.offsets.get(c).copied().unwrap_or(0.0)).max(0.0).sqrt())
+        map_frame(frame, |c, v| {
+            (v + self.offsets.get(c).copied().unwrap_or(0.0))
+                .max(0.0)
+                .sqrt()
+        })
     }
 
     fn inverse_transform(&self, frame: &TimeSeriesFrame) -> TimeSeriesFrame {
-        map_frame(frame, |c, v| v * v - self.offsets.get(c).copied().unwrap_or(0.0))
+        map_frame(frame, |c, v| {
+            v * v - self.offsets.get(c).copied().unwrap_or(0.0)
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -164,14 +184,13 @@ impl Transform for BoxCoxTransform {
             .map(|c| {
                 let s = frame.series(c);
                 let min = s.iter().cloned().fold(f64::INFINITY, f64::min);
-                let offset = if min.is_finite() && min <= 0.0 { 1.0 - min } else { 0.0 };
+                let offset = if min.is_finite() && min <= 0.0 {
+                    1.0 - min
+                } else {
+                    0.0
+                };
                 let shifted: Vec<f64> = s.iter().map(|&v| v + offset).collect();
-                let lambda = golden_section_min(
-                    |l| Self::neg_loglik(&shifted, l),
-                    -1.0,
-                    2.0,
-                    1e-4,
-                );
+                let lambda = golden_section_min(|l| Self::neg_loglik(&shifted, l), -1.0, 2.0, 1e-4);
                 (offset, lambda)
             })
             .collect();
@@ -379,7 +398,11 @@ mod tests {
 
     #[test]
     fn boxcox_roundtrip() {
-        roundtrip(&mut BoxCoxTransform::new(), vec![1.0, 5.0, 10.0, 50.0, 100.0], 1e-6);
+        roundtrip(
+            &mut BoxCoxTransform::new(),
+            vec![1.0, 5.0, 10.0, 50.0, 100.0],
+            1e-6,
+        );
     }
 
     #[test]
@@ -403,7 +426,11 @@ mod tests {
 
     #[test]
     fn fisher_roundtrip() {
-        roundtrip(&mut FisherTransform::new(), vec![1.0, 2.0, 3.0, 4.0, 5.0], 1e-6);
+        roundtrip(
+            &mut FisherTransform::new(),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+            1e-6,
+        );
     }
 
     #[test]

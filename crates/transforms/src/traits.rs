@@ -145,8 +145,7 @@ mod tests {
         let cont_diffs: Vec<f64> = (data.len()..all.len())
             .map(|i| logs[i] - logs[i - 1])
             .collect();
-        let restored =
-            chain.inverse_transform(&TimeSeriesFrame::univariate(cont_diffs));
+        let restored = chain.inverse_transform(&TimeSeriesFrame::univariate(cont_diffs));
         for (r, t) in restored.series(0).iter().zip(&future) {
             assert!((r - t).abs() < 1e-6 * t, "{r} vs {t}");
         }

@@ -53,7 +53,10 @@ fn n_windows(len: usize, lookback: usize, horizon: usize) -> usize {
 /// layout matches: `[s0[t..t+h], s1[t..t+h], …]`. Returns an empty dataset
 /// when the frame is too short for a single window.
 pub fn flatten_windows(frame: &TimeSeriesFrame, lookback: usize, horizon: usize) -> WindowDataset {
-    assert!(lookback >= 1 && horizon >= 1, "lookback and horizon must be >= 1");
+    assert!(
+        lookback >= 1 && horizon >= 1,
+        "lookback and horizon must be >= 1"
+    );
     let n = frame.len();
     let s = frame.n_series();
     let count = n_windows(n, lookback, horizon);
@@ -72,7 +75,11 @@ pub fn flatten_windows(frame: &TimeSeriesFrame, lookback: usize, horizon: usize)
                 .copy_from_slice(&col[w + lookback..w + lookback + horizon]);
         }
     }
-    WindowDataset { x, y, anchors: None }
+    WindowDataset {
+        x,
+        y,
+        anchors: None,
+    }
 }
 
 /// Localized Flatten: one per-series dataset, each predicting a series from

@@ -22,7 +22,11 @@ pub struct TimeSeriesFrame {
 impl TimeSeriesFrame {
     /// Build a univariate frame from a single series.
     pub fn univariate(values: Vec<f64>) -> Self {
-        Self { names: vec!["series_0".to_string()], values: vec![values], timestamps: None }
+        Self {
+            names: vec!["series_0".to_string()],
+            values: vec![values],
+            timestamps: None,
+        }
     }
 
     /// Build a multivariate frame from column vectors. Panics on ragged input.
@@ -35,7 +39,11 @@ impl TimeSeriesFrame {
             );
         }
         let names = (0..columns.len()).map(|i| format!("series_{i}")).collect();
-        Self { names, values: columns, timestamps: None }
+        Self {
+            names,
+            values: columns,
+            timestamps: None,
+        }
     }
 
     /// Build from row-major data (`rows x cols`), the layout users provide.
@@ -56,14 +64,22 @@ impl TimeSeriesFrame {
 
     /// Attach timestamps (epoch seconds, one per row). Panics on length mismatch.
     pub fn with_timestamps(mut self, ts: Vec<i64>) -> Self {
-        assert_eq!(ts.len(), self.len(), "timestamp length must equal number of rows");
+        assert_eq!(
+            ts.len(),
+            self.len(),
+            "timestamp length must equal number of rows"
+        );
         self.timestamps = Some(ts);
         self
     }
 
     /// Attach column names. Panics on length mismatch.
     pub fn with_names(mut self, names: Vec<String>) -> Self {
-        assert_eq!(names.len(), self.n_series(), "name count must equal number of series");
+        assert_eq!(
+            names.len(),
+            self.n_series(),
+            "name count must equal number of series"
+        );
         self.names = names;
         self
     }
@@ -147,7 +163,11 @@ impl TimeSeriesFrame {
 
     /// Append the rows of `other` (must have same number of series).
     pub fn append(&mut self, other: &TimeSeriesFrame) {
-        assert_eq!(self.n_series(), other.n_series(), "append: series count mismatch");
+        assert_eq!(
+            self.n_series(),
+            other.n_series(),
+            "append: series count mismatch"
+        );
         for (c, col) in other.values.iter().enumerate() {
             self.values[c].extend_from_slice(col);
         }

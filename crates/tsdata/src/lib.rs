@@ -10,6 +10,7 @@
 //! and the rank-aggregation helpers behind Figures 6–15.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod frame;
 pub mod metrics;

@@ -72,7 +72,12 @@ pub fn mae(actual: &[f64], predicted: &[f64]) -> f64 {
     if actual.is_empty() {
         return 0.0;
     }
-    actual.iter().zip(predicted).map(|(a, f)| (a - f).abs()).sum::<f64>() / actual.len() as f64
+    actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, f)| (a - f).abs())
+        .sum::<f64>()
+        / actual.len() as f64
 }
 
 /// Mean squared error. 0 for empty input.
@@ -81,7 +86,11 @@ pub fn mse(actual: &[f64], predicted: &[f64]) -> f64 {
     if actual.is_empty() {
         return 0.0;
     }
-    actual.iter().zip(predicted).map(|(a, f)| (a - f) * (a - f)).sum::<f64>()
+    actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, f)| (a - f) * (a - f))
+        .sum::<f64>()
         / actual.len() as f64
 }
 
@@ -117,7 +126,11 @@ pub fn r2_score(actual: &[f64], predicted: &[f64]) -> f64 {
     }
     let mean = actual.iter().sum::<f64>() / actual.len() as f64;
     let ss_tot: f64 = actual.iter().map(|&a| (a - mean) * (a - mean)).sum();
-    let ss_res: f64 = actual.iter().zip(predicted).map(|(a, f)| (a - f) * (a - f)).sum();
+    let ss_res: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, f)| (a - f) * (a - f))
+        .sum();
     if ss_tot < 1e-14 {
         return if ss_res < 1e-14 { 1.0 } else { 0.0 };
     }

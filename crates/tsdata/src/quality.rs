@@ -186,7 +186,10 @@ mod tests {
 
     #[test]
     fn constant_series_flagged() {
-        let f = TimeSeriesFrame::from_columns(vec![vec![5.0; 10], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]]);
+        let f = TimeSeriesFrame::from_columns(vec![
+            vec![5.0; 10],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0],
+        ]);
         let r = quality_check(&f);
         assert!(r.issues.contains(&QualityIssue::ConstantSeries(0)));
         assert!(!r.issues.contains(&QualityIssue::ConstantSeries(1)));
@@ -195,10 +198,16 @@ mod tests {
     #[test]
     fn irregular_timestamps_flagged() {
         // alternate ±15s jitter so nearly every gap deviates from the median
-        let ts: Vec<i64> = (0..100).map(|i| i * 60 + if i % 2 == 0 { 15 } else { -15 }).collect();
-        let f = TimeSeriesFrame::univariate((0..100).map(|i| i as f64).collect()).with_timestamps(ts);
+        let ts: Vec<i64> = (0..100)
+            .map(|i| i * 60 + if i % 2 == 0 { 15 } else { -15 })
+            .collect();
+        let f =
+            TimeSeriesFrame::univariate((0..100).map(|i| i as f64).collect()).with_timestamps(ts);
         let r = quality_check(&f);
-        assert!(r.issues.iter().any(|i| matches!(i, QualityIssue::IrregularTimestamps(_))));
+        assert!(r
+            .issues
+            .iter()
+            .any(|i| matches!(i, QualityIssue::IrregularTimestamps(_))));
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub struct RankSummary {
 pub fn rank_rows(scores: &[Option<f64>]) -> Vec<Option<f64>> {
     let mut idx: Vec<usize> = (0..scores.len()).filter(|&i| scores[i].is_some()).collect();
     idx.sort_by(|&a, &b| {
-        scores[a].unwrap().partial_cmp(&scores[b].unwrap()).unwrap_or(std::cmp::Ordering::Equal)
+        // idx holds only positions where scores is Some; a NaN score sorts
+        // last under total_cmp instead of corrupting the order silently
+        let (va, vb) = (scores[a].unwrap_or(f64::NAN), scores[b].unwrap_or(f64::NAN));
+        va.total_cmp(&vb)
     });
     let mut ranks = vec![None; scores.len()];
     let mut i = 0;
@@ -36,7 +39,8 @@ pub fn rank_rows(scores: &[Option<f64>]) -> Vec<Option<f64>> {
         // find tie group [i, j)
         let mut j = i + 1;
         while j < idx.len()
-            && (scores[idx[j]].unwrap() - scores[idx[i]].unwrap()).abs() < 1e-12
+            && (scores[idx[j]].unwrap_or(f64::NAN) - scores[idx[i]].unwrap_or(f64::NAN)).abs()
+                < 1e-12
         {
             j += 1;
         }
@@ -71,18 +75,25 @@ pub fn average_ranks(names: &[&str], score_matrix: &[Vec<Option<f64>>]) -> Vec<R
     let mut out: Vec<RankSummary> = (0..k)
         .map(|c| RankSummary {
             name: names[c].to_string(),
-            average_rank: if counts[c] == 0 { f64::INFINITY } else { sums[c] / counts[c] as f64 },
+            average_rank: if counts[c] == 0 {
+                f64::INFINITY
+            } else {
+                sums[c] / counts[c] as f64
+            },
             histogram: hist[c].clone(),
             completed: counts[c],
         })
         .collect();
-    out.sort_by(|a, b| a.average_rank.partial_cmp(&b.average_rank).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|a, b| a.average_rank.total_cmp(&b.average_rank));
     out
 }
 
 /// Histogram of datasets-per-rank for one competitor column.
 pub fn rank_histogram(summaries: &[RankSummary], name: &str) -> Option<Vec<usize>> {
-    summaries.iter().find(|s| s.name == name).map(|s| s.histogram.clone())
+    summaries
+        .iter()
+        .find(|s| s.name == name)
+        .map(|s| s.histogram.clone())
 }
 
 #[cfg(test)]

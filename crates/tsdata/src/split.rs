@@ -9,7 +9,10 @@ use crate::frame::TimeSeriesFrame;
 
 /// Split a frame into `(train, test)` where train holds `train_fraction`
 /// of the rows (at least 1 row each when possible).
-pub fn train_test_split(frame: &TimeSeriesFrame, train_fraction: f64) -> (TimeSeriesFrame, TimeSeriesFrame) {
+pub fn train_test_split(
+    frame: &TimeSeriesFrame,
+    train_fraction: f64,
+) -> (TimeSeriesFrame, TimeSeriesFrame) {
     let n = frame.len();
     let cut = ((n as f64) * train_fraction.clamp(0.0, 1.0)).round() as usize;
     let cut = cut.clamp(usize::from(n > 1), n.saturating_sub(usize::from(n > 1)));
@@ -17,7 +20,10 @@ pub fn train_test_split(frame: &TimeSeriesFrame, train_fraction: f64) -> (TimeSe
 }
 
 /// Split off the last `horizon` rows as a holdout: `(train, holdout)`.
-pub fn holdout_split(frame: &TimeSeriesFrame, horizon: usize) -> (TimeSeriesFrame, TimeSeriesFrame) {
+pub fn holdout_split(
+    frame: &TimeSeriesFrame,
+    horizon: usize,
+) -> (TimeSeriesFrame, TimeSeriesFrame) {
     let n = frame.len();
     let cut = n.saturating_sub(horizon);
     (frame.slice(0, cut), frame.slice(cut, n))
@@ -31,7 +37,11 @@ pub fn holdout_split(frame: &TimeSeriesFrame, horizon: usize) -> (TimeSeriesFram
 /// starting from the end of the training set and always contains the most
 /// recent data" (§4.2). Generation stops once an allocation covers the whole
 /// training set.
-pub fn reverse_allocation(len: usize, allocation_size: usize, max_allocations: usize) -> Vec<(usize, usize)> {
+pub fn reverse_allocation(
+    len: usize,
+    allocation_size: usize,
+    max_allocations: usize,
+) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     if allocation_size == 0 || len == 0 {
         return out;
@@ -92,7 +102,10 @@ mod tests {
     #[test]
     fn reverse_allocation_contains_most_recent_data() {
         let allocs = reverse_allocation(100, 10, 5);
-        assert_eq!(allocs, vec![(90, 100), (80, 100), (70, 100), (60, 100), (50, 100)]);
+        assert_eq!(
+            allocs,
+            vec![(90, 100), (80, 100), (70, 100), (60, 100), (50, 100)]
+        );
         // every allocation ends at the end of the training data
         assert!(allocs.iter().all(|&(_, e)| e == 100));
     }

@@ -73,7 +73,11 @@ pub fn infer_frequency(ts: &[i64]) -> Option<Frequency> {
     if ts.len() < 2 {
         return None;
     }
-    let mut deltas: Vec<i64> = ts.windows(2).map(|w| w[1] - w[0]).filter(|&d| d > 0).collect();
+    let mut deltas: Vec<i64> = ts
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .filter(|&d| d > 0)
+        .collect();
     if deltas.is_empty() {
         return None;
     }

@@ -1,0 +1,675 @@
+//! `tscheck` — the in-repo static-analysis pass run as `cargo run -p xtask -- check`.
+//!
+//! Four rule families, all implemented with zero external dependencies:
+//!
+//! 1. **Panic-freedom** (`panic`): forbids `unwrap()`, `expect(`, `panic!`,
+//!    `unreachable!`, `todo!`, `unimplemented!` and slice indexing through an
+//!    unchecked `as usize` cast in the non-test code of the library crates
+//!    (see [`Config::default`]). Library code must surface failures as typed
+//!    `Result` errors so a malformed series can never abort a long AutoML
+//!    run from deep inside a model fit.
+//! 2. **NaN-safe ordering** (`nan`): forbids `partial_cmp` (which invites
+//!    `unwrap`/`unwrap_or(Equal)` on float comparisons) and raw `f64::max`/
+//!    `f64::min` on SMAPE/MAPE metric values, where a silent NaN would
+//!    corrupt T-Daub's ranking instead of failing loudly. Use `total_cmp`.
+//! 3. **Lint hygiene** (`docs`): every crate root must carry
+//!    `#![warn(missing_docs)]` and `#![deny(unsafe_code)]`.
+//! 4. **Hermeticity** (`deps`): every `Cargo.toml` dependency must be an
+//!    in-workspace `path` dependency (or appear in [`ALLOWED_EXTERNAL`]),
+//!    so the default build works with an empty cargo registry.
+//!
+//! A violation can be waived in place with an escape hatch comment on the
+//! same line or the line above, **with a justification**:
+//!
+//! ```text
+//! // tscheck:allow(panic): index bounded by the loop above
+//! ```
+//!
+//! An allow without a justification is itself a violation (`allow`).
+//!
+//! The scanner is line-based: it strips `//` comments, string/char literals
+//! and `/* … */` block comments before matching, and skips `#[cfg(test)]`
+//! regions by brace tracking, so doc examples and unit tests stay free to
+//! use `unwrap()`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::fmt;
+
+/// External crates a manifest may depend on. Empty: the build is fully
+/// hermetic today. Extend this list (with a PR-reviewed justification) if a
+/// dependency ever becomes unavoidable.
+pub const ALLOWED_EXTERNAL: &[&str] = &[];
+
+/// Which rule family a violation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Panic-freedom: `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`.
+    Panic,
+    /// NaN-safe ordering: `partial_cmp`, raw metric `max`/`min`.
+    NanOrdering,
+    /// Slice indexing through an unchecked `as usize` cast.
+    Indexing,
+    /// Crate-root lint hygiene (`missing_docs` + `deny(unsafe_code)`).
+    Hygiene,
+    /// Non-path dependency outside the allowlist.
+    Hermeticity,
+    /// `tscheck:allow` escape hatch without a justification.
+    BadAllow,
+}
+
+impl Rule {
+    /// Short id used in output and in `tscheck:allow(<id>)` comments.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Panic => "panic",
+            Rule::NanOrdering => "nan",
+            Rule::Indexing => "index",
+            Rule::Hygiene => "docs",
+            Rule::Hermeticity => "deps",
+            Rule::BadAllow => "allow",
+        }
+    }
+}
+
+/// One finding: file, 1-based line, rule family, human message.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// Rule family that fired.
+    pub rule: Rule,
+    /// What was found and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} [{}] {}",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// Scanner configuration: which crates the panic/NaN/index rules apply to.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crate directory names under `crates/` whose `src/` trees are held to
+    /// the panic-freedom and NaN-ordering rules.
+    pub scoped_crates: Vec<String>,
+}
+
+impl Default for Config {
+    /// The library crates of the reproduction. Binaries and simulators
+    /// (`bench`, `sota`, `datasets`, `anomaly`, `xtask`) are exempt from the
+    /// panic rules — they are leaves, not infrastructure — but still get the
+    /// hygiene and hermeticity checks.
+    fn default() -> Self {
+        Config {
+            scoped_crates: [
+                "linalg",
+                "tsdata",
+                "transforms",
+                "stat-models",
+                "ml-models",
+                "neural",
+                "lookback",
+                "pipelines",
+                "tdaub",
+                "core",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        }
+    }
+}
+
+impl Config {
+    /// Does `path` (repo-relative, `/`-separated) fall under the panic-rule
+    /// scope? Test trees, benches and examples are never in scope.
+    pub fn is_scoped(&self, path: &str) -> bool {
+        if path.contains("/tests/") || path.contains("/benches/") || path.contains("/examples/") {
+            return false;
+        }
+        self.scoped_crates
+            .iter()
+            .any(|c| path.starts_with(&format!("crates/{c}/src/")))
+    }
+}
+
+/// Strip `//` comments and blank out string/char literal contents so rule
+/// matching never fires on prose. Returns the code-only residue of `line`.
+fn strip_code(line: &str) -> String {
+    let b: Vec<char> = line.chars().collect();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        // line comment: drop the rest
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            break;
+        }
+        // raw string literal r"…" / r#"…"#
+        if c == 'r' && i + 1 < b.len() && (b[i + 1] == '"' || b[i + 1] == '#') {
+            let mut j = i + 1;
+            let mut hashes = 0usize;
+            while j < b.len() && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < b.len() && b[j] == '"' {
+                j += 1;
+                while j < b.len() {
+                    if b[j] == '"' {
+                        let mut k = 0;
+                        while k < hashes && j + 1 + k < b.len() && b[j + 1 + k] == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            j += 1 + hashes;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                out.push_str("\"\"");
+                i = j;
+                continue;
+            }
+        }
+        // ordinary string literal
+        if c == '"' {
+            i += 1;
+            while i < b.len() {
+                if b[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '"' {
+                    break;
+                }
+                i += 1;
+            }
+            out.push_str("\"\"");
+            i += 1;
+            continue;
+        }
+        // char literal (but not a lifetime)
+        if c == '\'' {
+            if i + 1 < b.len() && b[i + 1] == '\\' {
+                let mut j = i + 2;
+                while j < b.len() && b[j] != '\'' {
+                    j += 1;
+                }
+                out.push_str("' '");
+                i = j + 1;
+                continue;
+            }
+            if i + 2 < b.len() && b[i + 2] == '\'' {
+                out.push_str("' '");
+                i += 3;
+                continue;
+            }
+            // lifetime — keep the tick, drop nothing
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+/// True when `needle` occurs in `code` *not* preceded by an identifier
+/// character (so `not_todo!` does not match `todo!`).
+fn word_hit(code: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(needle) {
+        let abs = from + pos;
+        let boundary = abs == 0
+            || !code[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|p| p.is_alphanumeric() || p == '_');
+        if boundary {
+            return true;
+        }
+        from = abs + needle.len();
+    }
+    false
+}
+
+/// Rule hits on one (already stripped) line of scoped code.
+fn line_hits(code: &str) -> Vec<(Rule, String)> {
+    let mut hits = Vec::new();
+    for pat in [".unwrap()", ".expect("] {
+        if code.contains(pat) {
+            hits.push((
+                Rule::Panic,
+                format!("`{pat}` in library code; return a typed error instead"),
+            ));
+        }
+    }
+    for mac in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
+        if word_hit(code, mac) {
+            hits.push((
+                Rule::Panic,
+                format!("`{mac}` in library code; return a typed error instead"),
+            ));
+        }
+    }
+    if code.contains("partial_cmp") {
+        hits.push((
+            Rule::NanOrdering,
+            "`partial_cmp` on floats; use `total_cmp` for a NaN-safe total order".into(),
+        ));
+    }
+    let lower = code.to_ascii_lowercase();
+    if (code.contains(".max(") || code.contains(".min("))
+        && (lower.contains("smape") || lower.contains("mape"))
+    {
+        hits.push((
+            Rule::NanOrdering,
+            "raw `max`/`min` on a metric value silently drops NaN; compare explicitly".into(),
+        ));
+    }
+    if code.contains("as usize]") {
+        hits.push((
+            Rule::Indexing,
+            "slice index through unchecked `as usize` cast; bound-check or use `.get`".into(),
+        ));
+    }
+    hits
+}
+
+/// Look for `tscheck:allow(<id>)` on `raw` (the unstripped line) or the
+/// line above. Returns:
+/// * `None` — no escape hatch, the violation stands;
+/// * `Some(true)` — waived with a justification;
+/// * `Some(false)` — escape hatch present but no justification.
+fn allow_state(rule: Rule, raw: &str, prev_raw: Option<&str>) -> Option<bool> {
+    let tag = format!("tscheck:allow({})", rule.id());
+    for cand in [Some(raw), prev_raw].into_iter().flatten() {
+        if let Some(pos) = cand.find(&tag) {
+            let rest = cand[pos + tag.len()..]
+                .trim_start_matches([':', '-', '—', ' '])
+                .trim();
+            return Some(rest.len() >= 8);
+        }
+    }
+    None
+}
+
+/// Scan one source file. `path` is the repo-relative path (forward slashes)
+/// used both for scoping and in reported violations; `src` is the file
+/// contents. Pure function of its inputs so tests can seed violations
+/// without touching the filesystem.
+pub fn check_source(path: &str, src: &str, cfg: &Config) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    // Rule 3: crate-root lint hygiene applies to every crate root.
+    if path.ends_with("src/lib.rs") {
+        for attr in ["#![warn(missing_docs)]", "#![deny(unsafe_code)]"] {
+            if !src.contains(attr) {
+                out.push(Violation {
+                    file: path.to_string(),
+                    line: 1,
+                    rule: Rule::Hygiene,
+                    message: format!("crate root is missing `{attr}`"),
+                });
+            }
+        }
+    }
+
+    if !cfg.is_scoped(path) {
+        return out;
+    }
+
+    let lines: Vec<&str> = src.lines().collect();
+    let mut depth: i64 = 0;
+    let mut pending_cfg_test = false;
+    let mut test_region_depth: Option<i64> = None;
+    let mut in_block_comment = false;
+
+    for (idx, raw) in lines.iter().enumerate() {
+        let mut code = strip_code(raw);
+        // minimal block-comment tracking across lines
+        if in_block_comment {
+            match code.find("*/") {
+                Some(p) => {
+                    code = code[p + 2..].to_string();
+                    in_block_comment = false;
+                }
+                None => continue,
+            }
+        }
+        while let Some(p) = code.find("/*") {
+            match code[p..].find("*/") {
+                Some(q) => {
+                    code = format!("{}{}", &code[..p], &code[p + q + 2..]);
+                }
+                None => {
+                    code = code[..p].to_string();
+                    in_block_comment = true;
+                    break;
+                }
+            }
+        }
+
+        if code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test") {
+            pending_cfg_test = true;
+        }
+
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+
+        if pending_cfg_test && opens > 0 {
+            test_region_depth = Some(depth);
+            pending_cfg_test = false;
+        }
+
+        let in_test = test_region_depth.is_some();
+        if !in_test && !pending_cfg_test {
+            let prev = if idx > 0 { Some(lines[idx - 1]) } else { None };
+            for (rule, message) in line_hits(&code) {
+                match allow_state(rule, raw, prev) {
+                    Some(true) => {}
+                    Some(false) => out.push(Violation {
+                        file: path.to_string(),
+                        line: idx + 1,
+                        rule: Rule::BadAllow,
+                        message: format!(
+                            "`tscheck:allow({})` needs a justification after the tag",
+                            rule.id()
+                        ),
+                    }),
+                    None => out.push(Violation {
+                        file: path.to_string(),
+                        line: idx + 1,
+                        rule,
+                        message,
+                    }),
+                }
+            }
+        }
+
+        depth += opens - closes;
+        if let Some(d) = test_region_depth {
+            if depth <= d {
+                test_region_depth = None;
+            }
+        }
+    }
+    out
+}
+
+/// Scan one `Cargo.toml`. Every dependency in any `*dependencies*` table
+/// must be a `path` dependency, a `workspace = true` reference, or appear
+/// in `allowlist`.
+pub fn check_manifest(path: &str, src: &str, allowlist: &[&str]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    // state: (a) inside a dependency *list* section; (b) inside a single
+    // dependency *table* section like `[dependencies.foo]`
+    let mut in_dep_list = false;
+    let mut dep_table: Option<(String, usize, bool)> = None; // (name, line, saw path/workspace)
+
+    let is_dep_list = |s: &str| {
+        s == "dependencies"
+            || s == "dev-dependencies"
+            || s == "build-dependencies"
+            || s == "workspace.dependencies"
+            || s.ends_with(".dependencies")
+            || s.ends_with(".dev-dependencies")
+            || s.ends_with(".build-dependencies")
+    };
+
+    let flush_table = |out: &mut Vec<Violation>, tbl: &mut Option<(String, usize, bool)>| {
+        if let Some((name, line, ok)) = tbl.take() {
+            if !ok && !allowlist.contains(&name.as_str()) {
+                out.push(Violation {
+                    file: path.to_string(),
+                    line,
+                    rule: Rule::Hermeticity,
+                    message: format!("dependency `{name}` is not an in-workspace path dependency"),
+                });
+            }
+        }
+    };
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            flush_table(&mut out, &mut dep_table);
+            let section = line.trim_matches(['[', ']']).trim();
+            in_dep_list = false;
+            if let Some((list, name)) = section.rsplit_once('.') {
+                if is_dep_list(list) {
+                    dep_table = Some((name.to_string(), idx + 1, false));
+                    continue;
+                }
+            }
+            in_dep_list = is_dep_list(section);
+            continue;
+        }
+        if let Some((_, _, ok)) = dep_table.as_mut() {
+            let key = line.split('=').next().map(str::trim).unwrap_or("");
+            if key == "path" || key == "workspace" {
+                *ok = true;
+            }
+            continue;
+        }
+        if in_dep_list {
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            let key = key.trim();
+            let value = value.trim();
+            let base = key.split('.').next().unwrap_or(key).to_string();
+            let ok = key.ends_with(".workspace")
+                || value.contains("path =")
+                || value.contains("path=")
+                || value.contains("workspace = true")
+                || value.contains("workspace=true");
+            if !ok && !allowlist.contains(&base.as_str()) {
+                out.push(Violation {
+                    file: path.to_string(),
+                    line: idx + 1,
+                    rule: Rule::Hermeticity,
+                    message: format!(
+                        "dependency `{base}` is not an in-workspace path dependency \
+                         (hermetic builds allow only `path` deps; see xtask::ALLOWED_EXTERNAL)"
+                    ),
+                });
+            }
+        }
+    }
+    flush_table(&mut out, &mut dep_table);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config::default()
+    }
+
+    fn scoped(src: &str) -> Vec<Violation> {
+        check_source("crates/linalg/src/fake.rs", src, &cfg())
+    }
+
+    #[test]
+    fn unwrap_in_scoped_code_is_flagged() {
+        let v = scoped("fn f() {\n    let x = y.unwrap();\n}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::Panic);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn expect_and_panic_macros_are_flagged() {
+        let v = scoped("fn f() {\n    a.expect(\"boom\");\n    panic!(\"no\");\n    unreachable!();\n    todo!();\n}\n");
+        assert_eq!(v.len(), 4);
+        assert!(v.iter().all(|x| x.rule == Rule::Panic));
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        let v = scoped("fn f() {\n    let x = y.unwrap_or(0);\n    let z = y.unwrap_or_else(|| 1);\n    let w = y.unwrap_or_default();\n}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cfg_test_region_is_skipped() {
+        let src = "fn f() -> i32 { 1 }\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        x.unwrap();\n        panic!(\"fine in tests\");\n    }\n}\n";
+        assert!(scoped(src).is_empty());
+    }
+
+    #[test]
+    fn code_after_cfg_test_region_is_scanned_again() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n\nfn g() { y.unwrap(); }\n";
+        let v = scoped(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 6);
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_fire() {
+        let src = "fn f() {\n    // calling unwrap() here would panic!\n    /* block: .unwrap() */\n    let s = \"don't .unwrap() or panic! me\";\n}\n";
+        assert!(scoped(src).is_empty());
+    }
+
+    #[test]
+    fn doc_comment_examples_do_not_fire() {
+        let src = "/// ```\n/// let v = f().unwrap();\n/// ```\nfn f() -> Option<i32> { None }\n";
+        assert!(scoped(src).is_empty());
+    }
+
+    #[test]
+    fn allow_with_justification_waives() {
+        let src = "fn f() {\n    // tscheck:allow(panic): index bounded by the check above\n    let x = v.unwrap();\n}\n";
+        assert!(scoped(src).is_empty());
+        let same_line =
+            "fn f() {\n    let x = v.unwrap(); // tscheck:allow(panic): bounded above\n}\n";
+        assert!(scoped(same_line).is_empty());
+    }
+
+    #[test]
+    fn allow_without_justification_is_a_violation() {
+        let src = "fn f() {\n    let x = v.unwrap(); // tscheck:allow(panic)\n}\n";
+        let v = scoped(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::BadAllow);
+    }
+
+    #[test]
+    fn partial_cmp_is_flagged_total_cmp_is_not() {
+        let bad = scoped("fn f() {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n");
+        assert!(bad.iter().any(|x| x.rule == Rule::NanOrdering));
+        assert!(bad.iter().any(|x| x.rule == Rule::Panic));
+        let good = scoped("fn f() {\n    v.sort_by(|a, b| a.total_cmp(b));\n}\n");
+        assert!(good.is_empty());
+    }
+
+    #[test]
+    fn metric_max_min_is_flagged() {
+        let v = scoped("fn f() {\n    best_smape = best_smape.min(smape);\n}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::NanOrdering);
+        // max/min on non-metric values is fine
+        assert!(scoped("fn f() {\n    let n = a.max(b);\n}\n").is_empty());
+    }
+
+    #[test]
+    fn cast_indexing_is_flagged() {
+        let v = scoped("fn f() {\n    let x = data[i as usize];\n}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::Indexing);
+    }
+
+    #[test]
+    fn unscoped_crates_are_exempt_from_panic_rules() {
+        let v = check_source(
+            "crates/bench/src/fake.rs",
+            "fn f() { x.unwrap(); }\n",
+            &cfg(),
+        );
+        assert!(v.is_empty());
+        let t = check_source(
+            "crates/linalg/tests/itest.rs",
+            "fn f() { x.unwrap(); }\n",
+            &cfg(),
+        );
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn crate_root_hygiene() {
+        let v = check_source("crates/bench/src/lib.rs", "//! docs\n", &cfg());
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| x.rule == Rule::Hygiene));
+        let ok = check_source(
+            "crates/bench/src/lib.rs",
+            "//! docs\n#![warn(missing_docs)]\n#![deny(unsafe_code)]\n",
+            &cfg(),
+        );
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn manifest_path_and_workspace_deps_pass() {
+        let src = "[package]\nname = \"x\"\n\n[dependencies]\nfoo = { path = \"../foo\" }\nbar.workspace = true\nbaz = { workspace = true }\n";
+        assert!(check_manifest("crates/x/Cargo.toml", src, &[]).is_empty());
+    }
+
+    #[test]
+    fn manifest_version_dep_fails() {
+        let src = "[dependencies]\nserde = { version = \"1\", features = [\"derive\"] }\nrand = \"0.8\"\n";
+        let v = check_manifest("Cargo.toml", src, &[]);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| x.rule == Rule::Hermeticity));
+        // allowlist waives
+        let waived = check_manifest("Cargo.toml", src, &["serde", "rand"]);
+        assert!(waived.is_empty());
+    }
+
+    #[test]
+    fn manifest_dep_table_sections() {
+        let bad = "[dependencies.foo]\nversion = \"1\"\n\n[package.metadata]\nx = 1\n";
+        let v = check_manifest("Cargo.toml", bad, &[]);
+        assert_eq!(v.len(), 1);
+        let good = "[dependencies.foo]\npath = \"../foo\"\n";
+        assert!(check_manifest("Cargo.toml", good, &[]).is_empty());
+    }
+
+    #[test]
+    fn workspace_dependency_section_is_checked() {
+        let src = "[workspace.dependencies]\nautoai-linalg = { path = \"crates/linalg\" }\nrayon = \"1\"\n";
+        let v = check_manifest("Cargo.toml", src, &[]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("rayon"));
+    }
+
+    #[test]
+    fn strip_code_handles_literals() {
+        assert_eq!(strip_code("let x = 1; // unwrap()"), "let x = 1; ");
+        assert_eq!(strip_code("let s = \"panic!\";"), "let s = \"\";");
+        assert_eq!(
+            strip_code("let c = '\\n'; let l: &'a str = s;"),
+            "let c = ' '; let l: &'a str = s;"
+        );
+        assert_eq!(strip_code("let r = r\"todo!\";"), "let r = \"\";");
+    }
+}

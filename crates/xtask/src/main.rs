@@ -1,0 +1,132 @@
+//! CLI driver for the `tscheck` static-analysis pass.
+//!
+//! Usage: `cargo run -p xtask -- check`
+//!
+//! Walks the workspace (rooted two levels above this crate's manifest, so
+//! the command works from any cwd), runs [`xtask::check_source`] on every
+//! `.rs` file and [`xtask::check_manifest`] on every `Cargo.toml`, prints
+//! each violation as `path:line [rule] message`, and exits non-zero when
+//! anything fired.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use xtask::{check_manifest, check_source, Config, Violation, ALLOWED_EXTERNAL};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => run_check(),
+        _ => {
+            eprintln!("tscheck: usage: cargo run -p xtask -- check");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Repo root: two levels above `crates/xtask`.
+fn repo_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Collect every file under `dir` (recursively) whose name passes `keep`,
+/// skipping `target` and hidden directories.
+fn walk(dir: &Path, keep: &dyn Fn(&Path) -> bool, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, keep, out);
+        } else if keep(&path) {
+            out.push(path);
+        }
+    }
+}
+
+fn run_check() -> ExitCode {
+    let root = repo_root();
+    let cfg = Config::default();
+    let mut violations: Vec<Violation> = Vec::new();
+
+    let mut sources: Vec<PathBuf> = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        walk(
+            &root.join(top),
+            &|p| p.extension().is_some_and(|e| e == "rs"),
+            &mut sources,
+        );
+    }
+    sources.sort();
+
+    let mut manifests: Vec<PathBuf> = vec![root.join("Cargo.toml")];
+    walk(
+        &root.join("crates"),
+        &|p| p.file_name().is_some_and(|n| n == "Cargo.toml"),
+        &mut manifests,
+    );
+    manifests.sort();
+
+    let rel = |p: &Path| -> String {
+        p.strip_prefix(&root)
+            .unwrap_or(p)
+            .to_string_lossy()
+            .replace('\\', "/")
+    };
+
+    let mut unreadable = 0usize;
+    for path in &sources {
+        match std::fs::read_to_string(path) {
+            Ok(src) => violations.extend(check_source(&rel(path), &src, &cfg)),
+            Err(e) => {
+                eprintln!("tscheck: cannot read {}: {e}", rel(path));
+                unreadable += 1;
+            }
+        }
+    }
+    for path in &manifests {
+        match std::fs::read_to_string(path) {
+            Ok(src) => violations.extend(check_manifest(&rel(path), &src, ALLOWED_EXTERNAL)),
+            Err(e) => {
+                eprintln!("tscheck: cannot read {}: {e}", rel(path));
+                unreadable += 1;
+            }
+        }
+    }
+
+    violations.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    for v in &violations {
+        println!("{v}");
+    }
+
+    if violations.is_empty() && unreadable == 0 {
+        println!(
+            "tscheck: ok ({} source files, {} manifests)",
+            sources.len(),
+            manifests.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "tscheck: {} violation(s) across {} source files and {} manifests",
+            violations.len(),
+            sources.len(),
+            manifests.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -25,7 +25,9 @@ fn main() {
         ..Default::default()
     });
     system
-        .fit(&autoai_ts_repro::tsdata::TimeSeriesFrame::univariate(values.clone()))
+        .fit(&autoai_ts_repro::tsdata::TimeSeriesFrame::univariate(
+            values.clone(),
+        ))
         .expect("fit");
     let chosen = system.best_pipeline_name().unwrap();
     println!("zero-conf selected pipeline: {chosen}");

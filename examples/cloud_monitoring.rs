@@ -13,9 +13,17 @@ use autoai_ts_repro::datasets::{load_csv, multivariate_catalog, save_csv};
 
 fn main() {
     // the "cloud" stand-in from Table 2 (proprietary source → simulated)
-    let entry = multivariate_catalog().into_iter().find(|e| e.name == "cloud").expect("catalog");
+    let entry = multivariate_catalog()
+        .into_iter()
+        .find(|e| e.name == "cloud")
+        .expect("catalog");
     let mut frame = entry.generate(5);
-    println!("dataset {}: {} samples x {} series", entry.name, frame.len(), frame.n_series());
+    println!(
+        "dataset {}: {} samples x {} series",
+        entry.name,
+        frame.len(),
+        frame.n_series()
+    );
 
     // telemetry pipelines drop points: punch NaN holes into two series
     for &idx in &[100usize, 101, 102, 500, 900] {
@@ -28,7 +36,11 @@ fn main() {
     save_csv(&frame, &path).expect("save csv");
     let loaded = load_csv(&path).expect("load csv");
     std::fs::remove_file(&path).ok();
-    println!("csv round-trip: {} rows, {} series", loaded.len(), loaded.n_series());
+    println!(
+        "csv round-trip: {} rows, {} series",
+        loaded.len(),
+        loaded.n_series()
+    );
 
     let mut system = AutoAITS::new();
     system.fit(&loaded).expect("fit despite NaN gaps");
@@ -42,9 +54,16 @@ fn main() {
     println!("holdout SMAPE    : {:.2}", summary.holdout_smape);
 
     let forecast = system.predict(12).expect("predict");
-    println!("\nnext 12 steps (all {} telemetry series):", forecast.n_series());
+    println!(
+        "\nnext 12 steps (all {} telemetry series):",
+        forecast.n_series()
+    );
     for h in 0..forecast.len() {
-        let row: Vec<String> = forecast.row(h).iter().map(|v| format!("{v:>8.2}")).collect();
+        let row: Vec<String> = forecast
+            .row(h)
+            .iter()
+            .map(|v| format!("{v:>8.2}"))
+            .collect();
         println!("  t+{:<2} {}", h + 1, row.join(" "));
     }
 }

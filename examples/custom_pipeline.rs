@@ -9,9 +9,7 @@
 //!
 //! Run with: `cargo run --release --example custom_pipeline`
 
-use autoai_ts_repro::pipelines::{
-    default_pipelines, Forecaster, PipelineContext, PipelineError,
-};
+use autoai_ts_repro::pipelines::{default_pipelines, Forecaster, PipelineContext, PipelineError};
 use autoai_ts_repro::tdaub::{run_tdaub, TDaubConfig};
 use autoai_ts_repro::tsdata::TimeSeriesFrame;
 
@@ -25,7 +23,11 @@ struct SeasonalMedian {
 
 impl SeasonalMedian {
     fn new(period: usize) -> Self {
-        Self { period, tables: Vec::new(), n: 0 }
+        Self {
+            period,
+            tables: Vec::new(),
+            n: 0,
+        }
     }
 }
 
@@ -57,7 +59,11 @@ impl Forecaster for SeasonalMedian {
         let cols: Vec<Vec<f64>> = self
             .tables
             .iter()
-            .map(|table| (0..horizon).map(|h| table[(self.n + h) % self.period]).collect())
+            .map(|table| {
+                (0..horizon)
+                    .map(|h| table[(self.n + h) % self.period])
+                    .collect()
+            })
             .collect();
         Ok(TimeSeriesFrame::from_columns(cols))
     }
@@ -102,5 +108,11 @@ fn main() {
     }
     println!("\nwinner: {}", result.best.name());
     let f = result.best.predict(8).expect("predict");
-    println!("one season ahead: {:?}", f.series(0).iter().map(|v| (v * 10.0).round() / 10.0).collect::<Vec<_>>());
+    println!(
+        "one season ahead: {:?}",
+        f.series(0)
+            .iter()
+            .map(|v| (v * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
 }

@@ -26,9 +26,15 @@ fn main() {
 
     let (train, holdout) = holdout_split(&frame, frame.len() / 5);
 
-    println!("\n{:>8} {:>14} {:>14} {:>20}", "horizon", "autoai smape", "zero smape", "selected pipeline");
+    println!(
+        "\n{:>8} {:>14} {:>14} {:>20}",
+        "horizon", "autoai smape", "zero smape", "selected pipeline"
+    );
     for horizon in [6usize, 12, 18, 24, 30] {
-        let mut system = AutoAITS::with_config(AutoAITSConfig { horizon, ..Default::default() });
+        let mut system = AutoAITS::with_config(AutoAITSConfig {
+            horizon,
+            ..Default::default()
+        });
         system.fit(&train).expect("fit");
         let truth = holdout.slice(0, horizon);
 

@@ -22,7 +22,10 @@ fn main() {
     println!("Table 1 seasonal periods: {:?}", seasonal_periods(freq));
 
     // 2. value-index assessment
-    println!("zero-crossing estimate  : {:?}", zero_crossing_lookback(&values));
+    println!(
+        "zero-crossing estimate  : {:?}",
+        zero_crossing_lookback(&values)
+    );
     for period in seasonal_periods(freq) {
         if period < values.len() {
             println!(
@@ -39,12 +42,19 @@ fn main() {
 
     // 4. multivariate: ten series → the cap rule limits flattened width
     let cols: Vec<Vec<f64>> = (0..10)
-        .map(|c| (0..365).map(|i| weekly[(i + c) % 7] * (1.0 + c as f64 * 0.1)).collect())
+        .map(|c| {
+            (0..365)
+                .map(|i| weekly[(i + c) % 7] * (1.0 + c as f64 * 0.1))
+                .collect()
+        })
         .collect();
     let frame = TimeSeriesFrame::from_columns(cols).with_timestamps(timestamps);
     let capped = discover_multivariate(
         &frame,
-        &LookbackConfig { max_look_back: Some(40), ..Default::default() },
+        &LookbackConfig {
+            max_look_back: Some(40),
+            ..Default::default()
+        },
         MultivariateMode::Cap,
     );
     println!(

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, static analysis, hermetic build, tests.
+# Mirrors what CI should run; every step works with an empty cargo registry.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> tscheck static analysis"
+cargo run -q --offline -p xtask -- check
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "check.sh: all gates passed"

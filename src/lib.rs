@@ -2,6 +2,7 @@
 //! sub-crate so examples and integration tests have a single import root.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub use autoai_anomaly as anomaly;
 pub use autoai_datasets as datasets;

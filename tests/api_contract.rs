@@ -80,7 +80,12 @@ fn score_is_uniform_across_model_families() {
     let train = frame.slice(0, 280);
     let test = frame.slice(280, 300);
     let ctx = PipelineContext::new(12, 12, vec![12]);
-    for name in ["Arima", "HW-Additive", "WindowRandomForest", "MT2RForecaster"] {
+    for name in [
+        "Arima",
+        "HW-Additive",
+        "WindowRandomForest",
+        "MT2RForecaster",
+    ] {
         let mut p = pipeline_by_name(name, &ctx).unwrap();
         p.fit(&train).unwrap();
         let s = p.score(&test, Metric::Smape).unwrap();
@@ -100,13 +105,15 @@ fn orchestrator_row_api_shapes() {
     system.fit_rows(&rows).unwrap();
     let out = system.predict_rows(5).unwrap();
     assert_eq!(out.len(), 5);
-    assert!(out.iter().all(|r| r.len() == 2), "every output row spans all input series");
+    assert!(
+        out.iter().all(|r| r.len() == 2),
+        "every output row spans all input series"
+    );
 }
 
 #[test]
 fn predictions_respect_series_names() {
-    let frame = seasonal_frame(2, 240)
-        .with_names(vec!["cpu".to_string(), "memory".to_string()]);
+    let frame = seasonal_frame(2, 240).with_names(vec!["cpu".to_string(), "memory".to_string()]);
     let ctx = PipelineContext::new(8, 4, vec![12]);
     let mut p = pipeline_by_name("MT2RForecaster", &ctx).unwrap();
     p.fit(&frame).unwrap();

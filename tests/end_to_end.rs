@@ -40,7 +40,11 @@ fn zero_conf_handles_every_synthetic_signal_class() {
 
 #[test]
 fn clean_periodic_signals_forecast_accurately() {
-    for signal in [SyntheticSignal::Sine, SyntheticSignal::Cosine, SyntheticSignal::SquareWave] {
+    for signal in [
+        SyntheticSignal::Sine,
+        SyntheticSignal::Cosine,
+        SyntheticSignal::SquareWave,
+    ] {
         let values = signal.generate(600, 2);
         let frame = TimeSeriesFrame::univariate(values.clone());
         let (train, holdout) = holdout_split(&frame, 60);
@@ -57,7 +61,9 @@ fn catalog_smallest_uts_datasets_run_end_to_end() {
     for entry in univariate_catalog().into_iter().take(4) {
         let frame = entry.generate(7);
         let mut system = AutoAITS::with_config(fast_config(12));
-        system.fit(&frame).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+        system
+            .fit(&frame)
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
         let summary = system.summary().unwrap();
         assert!(summary.holdout_smape.is_finite(), "{}", entry.name);
         assert!(!summary.best_pipeline.is_empty());
@@ -92,12 +98,19 @@ fn horizon_sweep_matches_paper_grid() {
 #[test]
 fn full_ten_pipeline_pool_runs_on_one_dataset() {
     // the real default pool (all 10 pipelines) on one medium dataset
-    let entry = univariate_catalog().into_iter().find(|e| e.name == "elecdaily").unwrap();
+    let entry = univariate_catalog()
+        .into_iter()
+        .find(|e| e.name == "elecdaily")
+        .unwrap();
     let frame = entry.generate(7);
     let mut system = AutoAITS::new();
     system.fit(&frame).unwrap();
     let summary = system.summary().unwrap();
-    assert_eq!(summary.reports.len(), 10, "all ten pipelines must be ranked");
+    assert_eq!(
+        summary.reports.len(),
+        10,
+        "all ten pipelines must be ranked"
+    );
     assert!(summary.holdout_smape.is_finite());
 }
 
@@ -110,7 +123,10 @@ fn selected_pipeline_beats_zero_model_on_seasonal_data() {
     system.fit(&train).unwrap();
     let truth = holdout.slice(0, 12);
     let auto_s = smape(truth.series(0), system.predict(12).unwrap().series(0));
-    let zero_s = smape(truth.series(0), system.predict_zero_model(12).unwrap().series(0));
+    let zero_s = smape(
+        truth.series(0),
+        system.predict_zero_model(12).unwrap().series(0),
+    );
     assert!(
         auto_s < zero_s,
         "selected pipeline ({auto_s}) should beat zero model ({zero_s}) on a sine"

@@ -23,7 +23,10 @@ fn extended_pool_selection_still_converges() {
     let pool = extended_pipelines(&ctx);
     assert!(pool.len() >= 30, "pool has {}", pool.len());
     let frame = TimeSeriesFrame::univariate(seasonal(500));
-    let cfg = TDaubConfig { parallel: true, ..Default::default() };
+    let cfg = TDaubConfig {
+        parallel: true,
+        ..Default::default()
+    };
     let result = run_tdaub(pool, &frame, &cfg).unwrap();
     // winner forecasts the seasonal signal accurately
     let truth: Vec<f64> = (500..506)
@@ -39,7 +42,9 @@ fn prediction_intervals_cover_a_noisy_truth() {
     // noisy seasonal data: the 95% interval should cover most of the truth
     let mut s = 99u64;
     let mut noise = || {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
     };
     let values: Vec<f64> = (0..400)
@@ -58,7 +63,10 @@ fn prediction_intervals_cover_a_noisy_truth() {
         .zip(truth)
         .filter(|&(&(_, lo, hi), &t)| lo <= t && t <= hi)
         .count();
-    assert!(covered >= 9, "interval covered only {covered}/12 truth points");
+    assert!(
+        covered >= 9,
+        "interval covered only {covered}/12 truth points"
+    );
 }
 
 #[test]
@@ -75,14 +83,23 @@ fn anomaly_detectors_compose_with_catalog_data() {
     values[n / 2] += 15.0 * scale;
 
     let z_hits = RollingZScoreDetector::new(30, 5.0).detect(&values);
-    assert!(z_hits.iter().any(|a| a.index == n / 2), "rolling z missed the spike");
+    assert!(
+        z_hits.iter().any(|a| a.index == n / 2),
+        "rolling z missed the spike"
+    );
 
     let iqr_hits = IqrDetector::new(4.0).detect(&values);
-    assert!(iqr_hits.iter().any(|a| a.index == n / 2), "IQR missed the spike");
+    assert!(
+        iqr_hits.iter().any(|a| a.index == n / 2),
+        "IQR missed the spike"
+    );
 
     let det = ResidualDetector::new(Box::new(Mt2rForecaster::new(12, 12)), 6.0);
     let model_hits = det.detect(&values);
-    assert!(model_hits.iter().any(|a| a.index == n / 2), "residual detector missed the spike");
+    assert!(
+        model_hits.iter().any(|a| a.index == n / 2),
+        "residual detector missed the spike"
+    );
 }
 
 #[test]

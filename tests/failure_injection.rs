@@ -32,7 +32,12 @@ fn nan_blocks_are_interpolated_not_fatal() {
     let mut system = AutoAITS::with_config(fast_config());
     system.fit(&TimeSeriesFrame::univariate(values)).unwrap();
     assert_eq!(system.summary().unwrap().quality.missing_count, 20);
-    assert!(system.predict(6).unwrap().series(0).iter().all(|v| v.is_finite()));
+    assert!(system
+        .predict(6)
+        .unwrap()
+        .series(0)
+        .iter()
+        .all(|v| v.is_finite()));
 }
 
 #[test]
@@ -46,7 +51,12 @@ fn negative_values_disable_log_but_log_pipelines_still_work() {
     let ctx = PipelineContext::new(12, 6, vec![12]);
     let mut p = pipeline_by_name("FlattenAutoEnsembler-log", &ctx).unwrap();
     p.fit(&frame).unwrap();
-    assert!(p.predict(6).unwrap().series(0).iter().all(|v| v.is_finite()));
+    assert!(p
+        .predict(6)
+        .unwrap()
+        .series(0)
+        .iter()
+        .all(|v| v.is_finite()));
 }
 
 #[test]
@@ -71,17 +81,28 @@ fn series_shorter_than_min_allocation_takes_bypass_path() {
         pipeline_by_name("MT2RForecaster", &ctx).unwrap(),
         pipeline_by_name("ZeroModel", &ctx).unwrap(),
     ];
-    let cfg = TDaubConfig { min_allocation_size: 100, parallel: false, ..Default::default() };
+    let cfg = TDaubConfig {
+        min_allocation_size: 100,
+        parallel: false,
+        ..Default::default()
+    };
     let result = run_tdaub(pipelines, &frame, &cfg).unwrap();
     for r in &result.reports {
-        assert_eq!(r.scores.len(), 1, "{} should be evaluated exactly once", r.name);
+        assert_eq!(
+            r.scores.len(),
+            1,
+            "{} should be evaluated exactly once",
+            r.name
+        );
         assert!(r.final_score.is_some());
     }
 }
 
 #[test]
 fn irregular_timestamps_are_reported() {
-    let ts: Vec<i64> = (0..200).map(|i| i * 60 + if i % 3 == 0 { 25 } else { 0 }).collect();
+    let ts: Vec<i64> = (0..200)
+        .map(|i| i * 60 + if i % 3 == 0 { 25 } else { 0 })
+        .collect();
     let frame = TimeSeriesFrame::univariate(seasonal(200)).with_timestamps(ts);
     let report = quality_check(&frame);
     assert!(report
@@ -96,9 +117,15 @@ fn irregular_timestamps_are_reported() {
 #[test]
 fn empty_and_tiny_inputs_are_clean_errors() {
     let mut system = AutoAITS::with_config(fast_config());
-    assert!(matches!(system.fit_rows(&[]), Err(PipelineError::InvalidInput(_))));
+    assert!(matches!(
+        system.fit_rows(&[]),
+        Err(PipelineError::InvalidInput(_))
+    ));
     let tiny: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
-    assert!(matches!(system.fit_rows(&tiny), Err(PipelineError::InvalidInput(_))));
+    assert!(matches!(
+        system.fit_rows(&tiny),
+        Err(PipelineError::InvalidInput(_))
+    ));
     assert!(matches!(system.predict(3), Err(PipelineError::NotFitted)));
 }
 

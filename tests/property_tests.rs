@@ -1,6 +1,12 @@
-//! Property-based tests (proptest) on cross-crate invariants.
+//! Property-style tests on cross-crate invariants.
+//!
+//! Each test draws many random cases from the in-repo deterministic
+//! [`Rng64`] (SplitMix64) instead of an external property-testing
+//! framework, so the suite is hermetic and every failure is reproducible
+//! from the fixed seeds below.
 
 use autoai_ts_repro::linalg;
+use autoai_ts_repro::linalg::Rng64;
 use autoai_ts_repro::transforms::{
     flatten_windows, normalized_flatten_windows, DifferenceTransform, LogTransform, MinMaxScaler,
     StandardScaler, Transform,
@@ -8,157 +14,210 @@ use autoai_ts_repro::transforms::{
 use autoai_ts_repro::tsdata::{
     rank_rows, reverse_allocation, smape, train_test_split, TimeSeriesFrame,
 };
-use proptest::prelude::*;
 
-fn finite_series(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1e6f64..1e6f64, 4..max_len)
+/// Cases per property — comparable coverage to the previous proptest setup.
+const CASES: usize = 64;
+
+fn finite_series(rng: &mut Rng64, max_len: usize) -> Vec<f64> {
+    let len = rng.gen_range(4..max_len);
+    (0..len).map(|_| rng.range_f64(-1e6, 1e6)).collect()
 }
 
-proptest! {
-    #[test]
-    fn smape_bounded_0_200(a in finite_series(64), shift in -100.0f64..100.0) {
+#[test]
+fn smape_bounded_0_200() {
+    let mut rng = Rng64::seed_from_u64(0x51AE);
+    for _ in 0..CASES {
+        let a = finite_series(&mut rng, 64);
+        let shift = rng.range_f64(-100.0, 100.0);
         let b: Vec<f64> = a.iter().map(|v| v + shift).collect();
         let s = smape(&a, &b);
-        prop_assert!((0.0..=200.0 + 1e-9).contains(&s), "smape {s}");
+        assert!((0.0..=200.0 + 1e-9).contains(&s), "smape {s}");
     }
+}
 
-    #[test]
-    fn smape_identity_is_zero(a in finite_series(64)) {
-        prop_assert_eq!(smape(&a, &a), 0.0);
+#[test]
+fn smape_identity_is_zero() {
+    let mut rng = Rng64::seed_from_u64(0x51AF);
+    for _ in 0..CASES {
+        let a = finite_series(&mut rng, 64);
+        assert_eq!(smape(&a, &a), 0.0);
     }
+}
 
-    #[test]
-    fn log_transform_roundtrip(a in finite_series(64)) {
+#[test]
+fn log_transform_roundtrip() {
+    let mut rng = Rng64::seed_from_u64(0x10C);
+    for _ in 0..CASES {
+        let a = finite_series(&mut rng, 64);
         let frame = TimeSeriesFrame::univariate(a.clone());
         let mut t = LogTransform::new();
         let tr = t.fit_transform(&frame);
         let back = t.inverse_transform(&tr);
         for (x, y) in back.series(0).iter().zip(&a) {
-            prop_assert!((x - y).abs() < 1e-4 * (1.0 + y.abs()), "{x} vs {y}");
+            assert!((x - y).abs() < 1e-4 * (1.0 + y.abs()), "{x} vs {y}");
         }
     }
+}
 
-    #[test]
-    fn scaler_roundtrips(a in finite_series(64)) {
-        for t in [&mut StandardScaler::new() as &mut dyn Transform, &mut MinMaxScaler::new()] {
+#[test]
+fn scaler_roundtrips() {
+    let mut rng = Rng64::seed_from_u64(0x5CA1E);
+    for _ in 0..CASES {
+        let a = finite_series(&mut rng, 64);
+        for t in [
+            &mut StandardScaler::new() as &mut dyn Transform,
+            &mut MinMaxScaler::new(),
+        ] {
             let frame = TimeSeriesFrame::univariate(a.clone());
             let tr = t.fit_transform(&frame);
             let back = t.inverse_transform(&tr);
             for (x, y) in back.series(0).iter().zip(&a) {
-                prop_assert!((x - y).abs() < 1e-6 * (1.0 + y.abs()), "{x} vs {y}");
+                assert!((x - y).abs() < 1e-6 * (1.0 + y.abs()), "{x} vs {y}");
             }
         }
     }
+}
 
-    #[test]
-    fn difference_forecast_integration_inverts(a in finite_series(64)) {
+#[test]
+fn difference_forecast_integration_inverts() {
+    let mut rng = Rng64::seed_from_u64(0xD1FF);
+    for _ in 0..CASES {
         // differencing the tail of a continued series and re-integrating
         // must reproduce the continuation exactly
+        let a = finite_series(&mut rng, 64);
         let frame = TimeSeriesFrame::univariate(a.clone());
         let mut t = DifferenceTransform::new();
         t.fit(&frame);
         // pretend the model perfectly predicted the next 3 differences
         let future = [1.5f64, -2.0, 0.25];
         let mut continued = a.clone();
-        let mut last = *a.last().unwrap();
+        let mut last = continued[continued.len() - 1];
         for d in future {
             last += d;
             continued.push(last);
         }
         let restored = t.inverse_transform(&TimeSeriesFrame::univariate(future.to_vec()));
         for (r, c) in restored.series(0).iter().zip(&continued[a.len()..]) {
-            prop_assert!((r - c).abs() < 1e-9);
+            assert!((r - c).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn window_shapes_are_consistent(
-        a in finite_series(128),
-        lookback in 1usize..12,
-        horizon in 1usize..6,
-    ) {
+#[test]
+fn window_shapes_are_consistent() {
+    let mut rng = Rng64::seed_from_u64(0x717);
+    for _ in 0..CASES {
+        let a = finite_series(&mut rng, 128);
+        let lookback = rng.gen_range(1..12);
+        let horizon = rng.gen_range(1..6);
         let frame = TimeSeriesFrame::univariate(a.clone());
         let ds = flatten_windows(&frame, lookback, horizon);
         let expected = (a.len() + 1).saturating_sub(lookback + horizon);
-        prop_assert_eq!(ds.len(), expected);
+        assert_eq!(ds.len(), expected);
         if !ds.is_empty() {
-            prop_assert_eq!(ds.x.ncols(), lookback);
-            prop_assert_eq!(ds.y.ncols(), horizon);
+            assert_eq!(ds.x.ncols(), lookback);
+            assert_eq!(ds.y.ncols(), horizon);
             // the first window is the series prefix
             for (k, &ak) in a.iter().enumerate().take(lookback) {
-                prop_assert_eq!(ds.x[(0, k)], ak);
+                assert_eq!(ds.x[(0, k)], ak);
             }
         }
     }
+}
 
-    #[test]
-    fn normalized_windows_have_unit_anchor(
-        a in prop::collection::vec(1.0f64..1e4, 16..64),
-        lookback in 2usize..8,
-    ) {
+#[test]
+fn normalized_windows_have_unit_anchor() {
+    let mut rng = Rng64::seed_from_u64(0xA17C);
+    for _ in 0..CASES {
+        let len = rng.gen_range(16..64);
+        let a: Vec<f64> = (0..len).map(|_| rng.range_f64(1.0, 1e4)).collect();
+        let lookback = rng.gen_range(2..8);
         let frame = TimeSeriesFrame::univariate(a);
         let ds = normalized_flatten_windows(&frame, lookback, 1);
         for w in 0..ds.len() {
             // last value of every normalized window is 1 by construction
-            prop_assert!((ds.x[(w, lookback - 1)] - 1.0).abs() < 1e-9);
+            assert!((ds.x[(w, lookback - 1)] - 1.0).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn reverse_allocations_end_at_series_end(
-        len in 1usize..500,
-        alloc in 1usize..100,
-        max in 1usize..10,
-    ) {
+#[test]
+fn reverse_allocations_end_at_series_end() {
+    let mut rng = Rng64::seed_from_u64(0x4E5E);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1..500);
+        let alloc = rng.gen_range(1..100);
+        let max = rng.gen_range(1..10);
         let allocs = reverse_allocation(len, alloc, max);
         for (start, end) in &allocs {
-            prop_assert_eq!(*end, len, "every reverse allocation contains the most recent data");
-            prop_assert!(start < end);
+            assert_eq!(
+                *end, len,
+                "every reverse allocation contains the most recent data"
+            );
+            assert!(start < end);
         }
         // sizes strictly increase until full coverage
         for w in allocs.windows(2) {
-            prop_assert!(w[1].1 - w[1].0 > w[0].1 - w[0].0);
+            assert!(w[1].1 - w[1].0 > w[0].1 - w[0].0);
         }
     }
+}
 
-    #[test]
-    fn train_test_split_preserves_order_and_length(
-        a in finite_series(128),
-        frac in 0.0f64..1.0,
-    ) {
+#[test]
+fn train_test_split_preserves_order_and_length() {
+    let mut rng = Rng64::seed_from_u64(0x5917);
+    for _ in 0..CASES {
+        let a = finite_series(&mut rng, 128);
+        let frac = rng.next_f64();
         let frame = TimeSeriesFrame::univariate(a.clone());
         let (tr, te) = train_test_split(&frame, frac);
-        prop_assert_eq!(tr.len() + te.len(), a.len());
+        assert_eq!(tr.len() + te.len(), a.len());
         let rejoined: Vec<f64> = tr.series(0).iter().chain(te.series(0)).copied().collect();
-        prop_assert_eq!(rejoined, a);
+        assert_eq!(rejoined, a);
     }
+}
 
-    #[test]
-    fn rank_rows_is_a_permutation_average(scores in prop::collection::vec(0.0f64..100.0, 2..10)) {
+#[test]
+fn rank_rows_is_a_permutation_average() {
+    let mut rng = Rng64::seed_from_u64(0x4A4C);
+    for _ in 0..CASES {
+        let len = rng.gen_range(2..10);
+        let scores: Vec<f64> = (0..len).map(|_| rng.range_f64(0.0, 100.0)).collect();
         let wrapped: Vec<Option<f64>> = scores.iter().map(|&s| Some(s)).collect();
         let ranks = rank_rows(&wrapped);
-        let sum: f64 = ranks.iter().map(|r| r.unwrap()).sum();
+        let sum: f64 = ranks.iter().filter_map(|r| *r).sum();
         let n = scores.len() as f64;
         // ranks always sum to n(n+1)/2 whether or not there are ties
-        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+        assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn pacf_bounded(a in finite_series(128)) {
+#[test]
+fn pacf_bounded() {
+    let mut rng = Rng64::seed_from_u64(0xFACF);
+    for _ in 0..CASES {
+        let a = finite_series(&mut rng, 128);
         let pacf = linalg::partial_autocorrelation(&a, 8);
         for (k, v) in pacf.iter().enumerate().skip(1) {
-            prop_assert!(v.abs() <= 1.0 + 1e-6, "pacf[{k}] = {v}");
+            assert!(v.abs() <= 1.0 + 1e-6, "pacf[{k}] = {v}");
         }
     }
+}
 
-    #[test]
-    fn matrix_gram_is_symmetric_psd_diag(rows in prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 3), 3..10)) {
+#[test]
+fn matrix_gram_is_symmetric_psd_diag() {
+    let mut rng = Rng64::seed_from_u64(0x96A6);
+    for _ in 0..CASES {
+        let nrows = rng.gen_range(3..10);
+        let rows: Vec<Vec<f64>> = (0..nrows)
+            .map(|_| (0..3).map(|_| rng.range_f64(-100.0, 100.0)).collect())
+            .collect();
         let m = linalg::Matrix::from_rows(&rows);
         let g = m.gram();
         for i in 0..3 {
-            prop_assert!(g[(i, i)] >= -1e-9, "diagonal must be nonnegative");
+            assert!(g[(i, i)] >= -1e-9, "diagonal must be nonnegative");
             for j in 0..3 {
-                prop_assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-9);
+                assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-9);
             }
         }
     }
