@@ -1,13 +1,17 @@
 //! Benchmark: T-Daub selection cost vs exhaustive full-data evaluation
-//! (ablation A1) and the cost of reverse vs forward allocation.
+//! (ablation A1), the cost of reverse vs forward allocation, and the
+//! wall-clock effect of the per-pipeline soft time budget when a slow
+//! pipeline pollutes the pool.
 //!
 //! Plain `std::time` harness (`harness = false`); run with
 //! `cargo bench -p autoai-bench --bench tdaub`.
 
 use std::hint::black_box;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use autoai_pipelines::{Forecaster, Mt2rForecaster, ThetaPipeline, ZeroModelPipeline};
+use autoai_pipelines::{
+    Forecaster, Mt2rForecaster, PipelineError, ThetaPipeline, ZeroModelPipeline,
+};
 use autoai_tdaub::{run_tdaub, TDaubConfig};
 use autoai_tsdata::{Metric, TimeSeriesFrame};
 
@@ -25,6 +29,38 @@ fn pool() -> Vec<Box<dyn Forecaster>> {
         Box::new(Mt2rForecaster::new(12, 12)),
         Box::new(ThetaPipeline::new()),
     ]
+}
+
+/// A pipeline whose every fit stalls for a fixed delay — the pool-polluter
+/// the soft budget exists to contain.
+struct SlowPipeline {
+    delay: Duration,
+    inner: ZeroModelPipeline,
+}
+
+impl SlowPipeline {
+    fn new(delay: Duration) -> Self {
+        Self {
+            delay,
+            inner: ZeroModelPipeline::new(),
+        }
+    }
+}
+
+impl Forecaster for SlowPipeline {
+    fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
+        std::thread::sleep(self.delay);
+        self.inner.fit(frame)
+    }
+    fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
+        self.inner.predict(horizon)
+    }
+    fn name(&self) -> String {
+        "SlowPipeline".into()
+    }
+    fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+        Box::new(Self::new(self.delay))
+    }
 }
 
 fn time<F: FnMut()>(name: &str, iters: usize, mut f: F) {
@@ -72,5 +108,32 @@ fn main() {
             }
         }
         black_box(best);
+    });
+
+    println!("== budgeted execution (pool polluted by a 60 ms/fit pipeline) ==");
+    let slow_pool = || -> Vec<Box<dyn Forecaster>> {
+        let mut p = pool();
+        p.push(Box::new(SlowPipeline::new(Duration::from_millis(60))));
+        p
+    };
+    time("polluted_unbudgeted", 3, || {
+        let cfg = TDaubConfig {
+            parallel: false,
+            ..Default::default()
+        };
+        let _ = run_tdaub(slow_pool(), black_box(&data), &cfg);
+    });
+    time("polluted_budget_100ms", 3, || {
+        let cfg = TDaubConfig {
+            parallel: false,
+            pipeline_time_budget: Some(Duration::from_millis(100)),
+            ..Default::default()
+        };
+        let r = run_tdaub(slow_pool(), black_box(&data), &cfg);
+        if let Ok(r) = r {
+            // the slow pipeline must have been cut off, not ranked
+            assert!(r.reports.iter().all(|rep| rep.name != "SlowPipeline"));
+            black_box(r.execution.total_allocations());
+        }
     });
 }

@@ -10,7 +10,7 @@ use autoai_bench::{
     score_matrix, write_results_csv, EvalOutcome,
 };
 use autoai_datasets::univariate_catalog;
-use autoai_linalg::parallel_map_range;
+use autoai_linalg::parallel_try_map_range;
 use autoai_sota::{sota_by_name, SOTA_NAMES};
 use autoai_tsdata::average_ranks;
 
@@ -36,7 +36,7 @@ fn main() {
         systems.len()
     );
 
-    let cells: Vec<Vec<EvalOutcome>> = parallel_map_range(catalog.len(), |di| {
+    let cells: Vec<Vec<EvalOutcome>> = parallel_try_map_range(catalog.len(), |di| {
         let entry = &catalog[di];
         let frame = entry.generate(11);
         let mut row = Vec::with_capacity(systems.len());
@@ -47,7 +47,10 @@ fn main() {
         }
         eprintln!("  done {}", entry.name);
         row
-    });
+    })
+    .into_iter()
+    .map(|r| r.expect("dataset evaluation panicked"))
+    .collect();
 
     let dataset_names: Vec<String> = catalog.iter().map(|e| e.name.to_string()).collect();
 

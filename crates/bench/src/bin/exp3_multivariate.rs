@@ -9,7 +9,7 @@ use autoai_bench::{
     score_matrix, write_results_csv, EvalOutcome,
 };
 use autoai_datasets::multivariate_catalog;
-use autoai_linalg::parallel_map_range;
+use autoai_linalg::parallel_try_map_range;
 use autoai_sota::{sota_by_name, SOTA_NAMES};
 use autoai_tsdata::average_ranks;
 
@@ -31,7 +31,7 @@ fn main() {
         systems.len()
     );
 
-    let cells: Vec<Vec<EvalOutcome>> = parallel_map_range(catalog.len(), |di| {
+    let cells: Vec<Vec<EvalOutcome>> = parallel_try_map_range(catalog.len(), |di| {
         let entry = &catalog[di];
         let frame = entry.generate(13);
         let mut row = Vec::with_capacity(systems.len());
@@ -42,7 +42,10 @@ fn main() {
         }
         eprintln!("  done {}", entry.name);
         row
-    });
+    })
+    .into_iter()
+    .map(|r| r.expect("dataset evaluation panicked"))
+    .collect();
 
     let dataset_names: Vec<String> = catalog.iter().map(|e| e.name.to_string()).collect();
 

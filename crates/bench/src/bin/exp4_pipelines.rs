@@ -11,7 +11,7 @@ use autoai_bench::{
     write_results_csv, EvalOutcome,
 };
 use autoai_datasets::{multivariate_catalog, univariate_catalog, CatalogEntry};
-use autoai_linalg::parallel_map_range;
+use autoai_linalg::parallel_try_map_range;
 use autoai_pipelines::{pipeline_by_name, PipelineContext, PIPELINE_NAMES};
 use autoai_tsdata::average_ranks;
 
@@ -20,7 +20,7 @@ fn run(
     horizon: usize,
     seed: u64,
 ) -> (Vec<String>, Vec<Vec<EvalOutcome>>) {
-    let cells: Vec<Vec<EvalOutcome>> = parallel_map_range(catalog.len(), |di| {
+    let cells: Vec<Vec<EvalOutcome>> = parallel_try_map_range(catalog.len(), |di| {
         let entry = &catalog[di];
         let frame = entry.generate(seed);
         // pipelines need a context; use the discovery default the
@@ -35,7 +35,10 @@ fn run(
             .collect();
         eprintln!("  done {}", entry.name);
         row
-    });
+    })
+    .into_iter()
+    .map(|r| r.expect("dataset evaluation panicked"))
+    .collect();
     (catalog.iter().map(|e| e.name.to_string()).collect(), cells)
 }
 

@@ -9,7 +9,7 @@
 
 use autoai_bench::{evaluate_autoai, evaluate_forecaster, score_matrix, EvalOutcome};
 use autoai_datasets::univariate_catalog;
-use autoai_linalg::parallel_map_range;
+use autoai_linalg::parallel_try_map_range;
 use autoai_sota::sota_by_name;
 use autoai_tsdata::average_ranks;
 
@@ -30,7 +30,7 @@ fn main() {
 
     let mut per_horizon_ranks: Vec<Vec<f64>> = Vec::new(); // [horizon][system]
     for &h in &horizons {
-        let cells: Vec<Vec<EvalOutcome>> = parallel_map_range(catalog.len(), |di| {
+        let cells: Vec<Vec<EvalOutcome>> = parallel_try_map_range(catalog.len(), |di| {
             let entry = &catalog[di];
             let frame = entry.generate(37);
             let mut row = Vec::with_capacity(SYSTEMS.len());
@@ -39,7 +39,10 @@ fn main() {
                 row.push(evaluate_forecaster(sota_by_name(name).unwrap(), &frame, h));
             }
             row
-        });
+        })
+        .into_iter()
+        .map(|r| r.expect("dataset evaluation panicked"))
+        .collect();
         let summaries = average_ranks(&SYSTEMS, &score_matrix(&cells, false));
         // reorder back to SYSTEMS order
         let ranks: Vec<f64> = SYSTEMS

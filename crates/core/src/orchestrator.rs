@@ -9,7 +9,7 @@ use autoai_pipelines::{
     default_pipelines, pipeline_by_name, Forecaster, PipelineContext, PipelineError,
     ZeroModelPipeline,
 };
-use autoai_tdaub::{run_tdaub, PipelineReport, TDaubConfig};
+use autoai_tdaub::{run_tdaub, ExecutionReport, PipelineReport, TDaubConfig};
 use autoai_tsdata::{clean, holdout_split, quality_check, Metric, QualityReport, TimeSeriesFrame};
 
 use crate::progress::{NoProgress, Progress, ProgressEvent};
@@ -60,8 +60,12 @@ pub struct FitSummary {
     pub lookback: usize,
     /// Discovered candidate seasonal periods.
     pub seasonal_periods: Vec<usize>,
-    /// T-Daub per-pipeline reports, ranked best first.
+    /// T-Daub per-pipeline reports for the surviving pipelines, ranked best
+    /// first.
     pub reports: Vec<PipelineReport>,
+    /// Execution accounting for the whole pool — wall time, allocations
+    /// attempted, and the failure kind for every excluded pipeline.
+    pub execution: ExecutionReport,
     /// Name of the winning pipeline.
     pub best_pipeline: String,
     /// SMAPE of the winner on the 20% holdout.
@@ -219,10 +223,20 @@ impl AutoAITS {
             tdaub_cfg.allocation_size = unit;
         }
         let result = run_tdaub(pipelines, &train, &tdaub_cfg)?;
-        let evaluations: usize = result.reports.iter().map(|r| r.scores.len()).sum();
+        for failed in result.execution.failures() {
+            self.progress.report(&ProgressEvent::PipelineExcluded {
+                name: failed.name.clone(),
+                reason: failed
+                    .failure
+                    .as_ref()
+                    .map(|k| k.to_string())
+                    .unwrap_or_default(),
+            });
+        }
         self.progress.report(&ProgressEvent::TDaubFinished {
             best: result.best.name(),
-            evaluations,
+            evaluations: result.execution.total_allocations(),
+            failures: result.execution.failures().count(),
         });
 
         // ---- 6. holdout evaluation, then full-data retraining ----
@@ -260,6 +274,7 @@ impl AutoAITS {
             seasonal_periods,
             best_pipeline: best.name(),
             reports: result.reports,
+            execution: result.execution,
             holdout_smape,
             fit_seconds: started.elapsed().as_secs_f64(),
         };

@@ -28,12 +28,22 @@ pub enum ProgressEvent {
         /// Number of pipelines in the pool.
         count: usize,
     },
+    /// A pipeline was excluded from the pool by the execution engine
+    /// (crash, persistent errors, time budget, or non-finite scores).
+    PipelineExcluded {
+        /// Name of the excluded pipeline.
+        name: String,
+        /// Human-readable failure description (the `FailureKind`).
+        reason: String,
+    },
     /// T-Daub finished ranking.
     TDaubFinished {
         /// Name of the winning pipeline.
         best: String,
         /// Total number of (pipeline, allocation) evaluations performed.
         evaluations: usize,
+        /// Number of pipelines excluded by the execution engine.
+        failures: usize,
     },
     /// Holdout evaluation of the winner.
     HoldoutScored {

@@ -21,12 +21,12 @@ pub mod stats;
 pub use fft::{dominant_period, fft_complex, periodogram, Complex};
 pub use matrix::Matrix;
 pub use optimize::{golden_section_min, nelder_mead, NelderMeadOptions};
-pub use par::{parallel_map_mut, parallel_map_range};
+pub use par::{parallel_try_map_mut, parallel_try_map_range, WorkerPanic};
 pub use rng::Rng64;
 pub use solve::{
     cholesky, cholesky_solve, lstsq, lstsq_ridge, simple_linreg, solve_linear, SolveError,
 };
 pub use stats::{
     autocorrelation, autocovariance, mean, median, partial_autocorrelation, quantile, std_dev,
-    variance, zero_crossings,
+    variance, yule_walker, zero_crossings,
 };

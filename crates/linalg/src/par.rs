@@ -1,19 +1,78 @@
-//! Minimal std-only data parallelism.
+//! Minimal std-only data parallelism with fault isolation.
 //!
-//! A contiguous-chunk fork/join map over slices built on `std::thread::scope`,
+//! A shared-queue fork/join map over slices built on `std::thread::scope`,
 //! replacing the `rayon` dependency so the default build stays hermetic.
 //! Work items in this workspace (pipeline evaluations, tree fits, dataset
-//! sweeps) are coarse — tens of milliseconds to seconds each — so static
-//! chunking loses little to rayon's work stealing while costing zero
-//! dependencies and no global thread pool.
+//! sweeps) are coarse — tens of milliseconds to seconds each — but their
+//! costs are *skewed*: one BATS fit can take 100× longer than a Zero Model
+//! evaluation. Workers therefore pull item indices from a shared atomic
+//! counter (work-queue scheduling) instead of being handed fixed contiguous
+//! chunks, so a thread that drew cheap items keeps helping instead of idling
+//! behind the slowest chunk.
+//!
+//! Panic policy: a panic inside the mapped closure is **caught per item**
+//! and surfaced as a typed [`WorkerPanic`] in that item's result slot. It is
+//! never propagated to the caller, so one crashing work item (a misbehaving
+//! forecasting pipeline, a degenerate tree fit) cannot abort a long AutoML
+//! run. Callers that require panic-free closures can still treat an `Err`
+//! as a bug — but they decide, not the primitive.
 
-/// Map `f` over `items` in place, in parallel, returning the results in
-/// input order. Falls back to a sequential loop for short inputs or on
-/// single-core machines.
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A captured panic from a mapped closure: the typed error path for worker
+/// crashes. Carries the stringified panic payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// The panic payload rendered as text (`&str`/`String` payloads are
+    /// preserved verbatim; anything else becomes a placeholder).
+    pub message: String,
+}
+
+impl WorkerPanic {
+    fn from_payload(payload: &(dyn std::any::Any + Send)) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "opaque panic payload".to_string()
+        };
+        WorkerPanic { message }
+    }
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Invoke `f` on one item with panic isolation.
 ///
-/// Worker panics are propagated to the caller (as `std::thread::scope`
-/// would), never swallowed.
-pub fn parallel_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+/// `AssertUnwindSafe` is sound here because on `Err` the caller only ever
+/// observes the item through the returned error — every caller in this
+/// workspace discards or quarantines an item whose closure panicked, so a
+/// partially-mutated `T` is never used as a value again.
+fn run_caught<T, R, F>(f: &F, item: &mut T) -> Result<R, WorkerPanic>
+where
+    F: Fn(&mut T) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|p| WorkerPanic::from_payload(p.as_ref()))
+}
+
+/// Map `f` over `items` in place, in parallel, returning per-item results in
+/// input order. A panic inside `f` yields `Err(WorkerPanic)` for that item
+/// only; all other items still complete. Falls back to a sequential loop for
+/// short inputs or on single-core machines (with identical panic isolation).
+///
+/// Scheduling is a shared work queue: each worker repeatedly claims the next
+/// unclaimed index, so skewed per-item costs do not serialize behind the
+/// slowest contiguous chunk.
+pub fn parallel_try_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<Result<R, WorkerPanic>>
 where
     T: Send,
     R: Send,
@@ -25,33 +84,74 @@ where
         .unwrap_or(1)
         .min(n);
     if threads <= 1 || n <= 1 {
-        return items.iter_mut().map(|t| f(t)).collect();
+        return items.iter_mut().map(|t| run_caught(&f, t)).collect();
     }
-    let chunk = n.div_ceil(threads);
-    let mut out: Vec<R> = Vec::with_capacity(n);
+
+    // Each item sits behind its own Mutex; since every index is claimed by
+    // exactly one worker the locks are uncontended — they exist only to give
+    // the borrow checker disjoint &mut access without unsafe code.
+    let cells: Vec<Mutex<&mut T>> = items.iter_mut().map(Mutex::new).collect();
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<Result<R, WorkerPanic>>> = Vec::new();
+    out.resize_with(n, || None);
+
     std::thread::scope(|s| {
-        let handles: Vec<_> = items
-            .chunks_mut(chunk)
-            .map(|c| s.spawn(|| c.iter_mut().map(|t| f(t)).collect::<Vec<R>>()))
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, Result<R, WorkerPanic>)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let Some(cell) = cells.get(i) else { break };
+                        let result = match cell.lock() {
+                            Ok(mut guard) => run_caught(&f, &mut *guard),
+                            Err(_) => Err(WorkerPanic {
+                                message: "work item mutex poisoned".into(),
+                            }),
+                        };
+                        local.push((i, result));
+                    }
+                    local
+                })
+            })
             .collect();
         for h in handles {
-            match h.join() {
-                Ok(mut part) => out.append(&mut part),
-                Err(payload) => std::panic::resume_unwind(payload),
+            // Workers cannot panic (every closure call is caught), so the
+            // Err arm is defensive: a lost worker leaves its slots as None,
+            // which are reported as WorkerPanic below — never unwound.
+            if let Ok(part) = h.join() {
+                for (i, r) in part {
+                    if let Some(slot) = out.get_mut(i) {
+                        *slot = Some(r);
+                    }
+                }
             }
         }
     });
-    out
+
+    out.into_iter()
+        .map(|slot| {
+            slot.unwrap_or_else(|| {
+                Err(WorkerPanic {
+                    message: "worker thread died before returning a result".into(),
+                })
+            })
+        })
+        .collect()
 }
 
-/// Parallel map over the index range `0..n`, preserving order.
-pub fn parallel_map_range<R, F>(n: usize, f: F) -> Vec<R>
+/// Parallel map over the index range `0..n`, preserving order, with the same
+/// per-item panic isolation as [`parallel_try_map_mut`].
+pub fn parallel_try_map_range<R, F>(n: usize, f: F) -> Vec<Result<R, WorkerPanic>>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
     let mut idx: Vec<usize> = (0..n).collect();
-    parallel_map_mut(&mut idx, |i| f(*i))
+    parallel_try_map_mut(&mut idx, |i| f(*i))
 }
 
 #[cfg(test)]
@@ -61,14 +161,15 @@ mod tests {
     #[test]
     fn preserves_order() {
         let mut items: Vec<usize> = (0..1000).collect();
-        let out = parallel_map_mut(&mut items, |&mut i| i * 2);
-        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+        let out = parallel_try_map_mut(&mut items, |&mut i| i * 2);
+        let vals: Vec<usize> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(vals, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
     }
 
     #[test]
     fn mutates_in_place() {
         let mut items = vec![1, 2, 3, 4, 5];
-        let _ = parallel_map_mut(&mut items, |i| {
+        let _ = parallel_try_map_mut(&mut items, |i| {
             *i += 10;
             *i
         });
@@ -78,14 +179,73 @@ mod tests {
     #[test]
     fn empty_and_single() {
         let mut empty: Vec<i32> = vec![];
-        assert!(parallel_map_mut(&mut empty, |&mut i| i).is_empty());
+        assert!(parallel_try_map_mut(&mut empty, |&mut i| i).is_empty());
         let mut one = vec![7];
-        assert_eq!(parallel_map_mut(&mut one, |&mut i| i + 1), vec![8]);
+        let out = parallel_try_map_mut(&mut one, |&mut i| i + 1);
+        assert_eq!(out.into_iter().map(|r| r.unwrap()).collect::<Vec<_>>(), [8]);
     }
 
     #[test]
     fn range_map_matches_sequential() {
-        let out = parallel_map_range(257, |i| i * i);
-        assert_eq!(out, (0..257).map(|i| i * i).collect::<Vec<_>>());
+        let out = parallel_try_map_range(257, |i| i * i);
+        let vals: Vec<usize> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(vals, (0..257).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panics_are_isolated_per_item() {
+        let mut items: Vec<usize> = (0..64).collect();
+        let out = parallel_try_map_mut(&mut items, |&mut i| {
+            if i % 7 == 3 {
+                panic!("injected failure on {i}");
+            }
+            i + 1
+        });
+        assert_eq!(out.len(), 64);
+        for (i, r) in out.iter().enumerate() {
+            if i % 7 == 3 {
+                let err = r.as_ref().unwrap_err();
+                assert!(err.message.contains("injected failure"), "{err}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn panic_in_sequential_fallback_is_isolated_too() {
+        let mut one = vec![0usize];
+        let out = parallel_try_map_mut(&mut one, |_| -> usize { panic!("single item boom") });
+        assert!(out[0].is_err());
+    }
+
+    #[test]
+    fn string_and_str_payloads_are_preserved() {
+        let out = parallel_try_map_range(2, |i| {
+            if i == 0 {
+                panic!("static str payload");
+            } else {
+                panic!("{}", format!("owned payload {i}"));
+            }
+        });
+        let msgs: Vec<String> = out
+            .into_iter()
+            .map(|r: Result<(), WorkerPanic>| r.unwrap_err().message)
+            .collect();
+        assert!(msgs[0].contains("static str payload"));
+        assert!(msgs[1].contains("owned payload 1"));
+    }
+
+    #[test]
+    fn skewed_costs_still_complete() {
+        // one expensive item among many cheap ones: the queue must not wedge
+        let mut items: Vec<u64> = (0..32).collect();
+        let out = parallel_try_map_mut(&mut items, |&mut i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i
+        });
+        assert_eq!(out.into_iter().filter_map(|r| r.ok()).count(), 32);
     }
 }

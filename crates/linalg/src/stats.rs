@@ -104,6 +104,38 @@ pub fn partial_autocorrelation(x: &[f64], max_lag: usize) -> Vec<f64> {
     pacf
 }
 
+/// Yule–Walker estimate of AR(`order`) coefficients, solved with the
+/// Levinson–Durbin recursion on the sample autocorrelations. Returns the
+/// coefficients `phi_1..phi_order` of
+/// `x[t] = phi_1 x[t-1] + … + phi_order x[t-order] + e[t]`
+/// (empty for `order == 0` or a series too short to estimate).
+pub fn yule_walker(x: &[f64], order: usize) -> Vec<f64> {
+    let order = order.min(x.len().saturating_sub(1));
+    if order == 0 {
+        return Vec::new();
+    }
+    let rho: Vec<f64> = (0..=order).map(|k| autocorrelation(x, k)).collect();
+    let mut phi_prev = vec![0.0; order + 1];
+    let mut phi = vec![0.0; order + 1];
+    phi[1] = rho[1];
+    for k in 2..=order {
+        std::mem::swap(&mut phi_prev, &mut phi);
+        let mut num = rho[k];
+        let mut den = 1.0;
+        for j in 1..k {
+            num -= phi_prev[j] * rho[k - j];
+            den -= phi_prev[j] * rho[j];
+        }
+        let a = if den.abs() < 1e-14 { 0.0 } else { num / den };
+        phi[k] = a;
+        for j in 1..k {
+            phi[j] = phi_prev[j] - a * phi_prev[k - j];
+        }
+    }
+    phi.drain(..1);
+    phi
+}
+
 /// Indices where the mean-adjusted signal crosses zero (sign changes between
 /// adjacent samples). Used by the zero-crossing look-back estimator (§4.1).
 pub fn zero_crossings(x: &[f64]) -> Vec<usize> {
@@ -233,5 +265,35 @@ mod tests {
     fn zero_crossings_of_constant_is_empty() {
         assert!(zero_crossings(&[2.0; 50]).is_empty());
         assert!(zero_crossings(&[1.0]).is_empty());
+    }
+
+    #[test]
+    fn yule_walker_last_coefficient_is_the_pacf() {
+        // Levinson–Durbin invariant: the final AR(p) coefficient equals the
+        // partial autocorrelation at lag p
+        let x: Vec<f64> = (0..200)
+            .map(|i| (i as f64 * 0.31).sin() + 0.2 * (i as f64 * 1.7).cos())
+            .collect();
+        let pacf = partial_autocorrelation(&x, 5);
+        for p in 1..=5usize {
+            let phi = yule_walker(&x, p);
+            assert_eq!(phi.len(), p);
+            assert!(
+                (phi[p - 1] - pacf[p]).abs() < 1e-12,
+                "order {p}: {} vs {}",
+                phi[p - 1],
+                pacf[p]
+            );
+        }
+    }
+
+    #[test]
+    fn yule_walker_degenerate_inputs() {
+        assert!(yule_walker(&[], 2).is_empty());
+        assert!(yule_walker(&[1.0], 2).is_empty());
+        assert!(yule_walker(&[1.0, 2.0, 3.0], 0).is_empty());
+        // constant series: autocorrelation degenerates to 0 → zero coefs
+        let phi = yule_walker(&[5.0; 50], 2);
+        assert!(phi.iter().all(|&c| c == 0.0), "{phi:?}");
     }
 }

@@ -2,7 +2,7 @@
 //! parallel with scoped threads (the paper stresses "efficient, parallel"
 //! search).
 
-use autoai_linalg::{parallel_map_range, Matrix, Rng64};
+use autoai_linalg::{parallel_try_map_range, Matrix, Rng64};
 
 use crate::api::{MlError, Regressor};
 use crate::tree::{DecisionTreeConfig, DecisionTreeRegressor};
@@ -84,7 +84,7 @@ impl Regressor for RandomForestRegressor {
 
         let cfg = &self.config;
         let fits: Vec<Result<DecisionTreeRegressor, MlError>> =
-            parallel_map_range(cfg.n_trees, |t| {
+            parallel_try_map_range(cfg.n_trees, |t| {
                 let mut rng = Rng64::seed_from_u64(cfg.seed.wrapping_add(t as u64 * 7919));
                 let indices: Vec<usize> = (0..n_boot).map(|_| rng.gen_range(0..n)).collect();
                 let tree_cfg = DecisionTreeConfig {
@@ -97,7 +97,15 @@ impl Regressor for RandomForestRegressor {
                 let mut tree = DecisionTreeRegressor::with_config(tree_cfg);
                 tree.fit_indices(x, y, &indices)?;
                 Ok(tree)
-            });
+            })
+            .into_iter()
+            // a panicking tree fit is a bug, but it must surface as a typed
+            // error instead of aborting the whole AutoML run
+            .map(|r| match r {
+                Ok(inner) => inner,
+                Err(p) => Err(MlError::new(format!("tree fit panicked: {p}"))),
+            })
+            .collect();
         self.trees = fits.into_iter().collect::<Result<Vec<_>, _>>()?;
         Ok(())
     }

@@ -11,6 +11,14 @@ pub enum PipelineError {
     NotFitted,
     /// Input data violates the pipeline's requirements.
     InvalidInput(String),
+    /// The pipeline panicked during fit/score; the executor caught the
+    /// panic, quarantined the pipeline, and recorded the payload here. A
+    /// crashed pipeline is removed from the pool — its internal state may
+    /// be corrupt.
+    Crashed(String),
+    /// The pipeline exceeded its per-pipeline soft time budget and was
+    /// excluded from further data allocations.
+    BudgetExceeded,
 }
 
 impl std::fmt::Display for PipelineError {
@@ -19,6 +27,8 @@ impl std::fmt::Display for PipelineError {
             PipelineError::Fit(m) => write!(f, "pipeline fit failed: {m}"),
             PipelineError::NotFitted => write!(f, "pipeline not fitted"),
             PipelineError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+            PipelineError::Crashed(m) => write!(f, "pipeline crashed: {m}"),
+            PipelineError::BudgetExceeded => write!(f, "pipeline exceeded its time budget"),
         }
     }
 }
@@ -46,6 +56,15 @@ pub trait Forecaster: Send + Sync {
     /// pipelines on many data allocations).
     fn clone_unfitted(&self) -> Box<dyn Forecaster>;
 
+    /// Cooperative time-budget hint from the execution engine: the wall
+    /// clock this pipeline should aim to stay under for its next `fit` +
+    /// `score`. Pipelines running internal iterative searches (Nelder–Mead,
+    /// order selection, ensembles) may consult the hint to trim their own
+    /// search; the default implementation ignores it. The budget is *soft*:
+    /// the executor enforces the deadline cooperatively between allocations
+    /// regardless of whether the pipeline honors the hint.
+    fn set_time_budget(&mut self, _budget: Option<std::time::Duration>) {}
+
     /// Score against a holdout frame that immediately follows the training
     /// data. Default: forecast `test.len()` rows and average the metric
     /// across series. Lower-is-better metrics return their value directly;
@@ -61,7 +80,13 @@ pub trait Forecaster: Send + Sync {
         }
         let mut total = 0.0;
         for c in 0..test.n_series() {
-            let v = metric.eval(test.series(c), pred.series(c));
+            let p = pred.series(c);
+            // guard before the metric: SMAPE/MAPE skip degenerate pairs, so
+            // a NaN forecast could otherwise masquerade as a perfect score
+            if p.iter().any(|v| !v.is_finite()) {
+                return Ok(f64::NAN);
+            }
+            let v = metric.eval(test.series(c), p);
             total += if metric.higher_is_better() { -v } else { v };
         }
         Ok(total / test.n_series().max(1) as f64)

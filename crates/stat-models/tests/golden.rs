@@ -1,0 +1,145 @@
+//! Golden-value regression tests for the statistical models.
+//!
+//! Each test fits a model on a fully deterministic seeded series and pins
+//! the resulting parameters to hard-coded values captured from the current
+//! implementation. Any numerical drift in the estimators — Yule–Walker,
+//! the CSS Nelder–Mead refinement, the Holt–Winters optimizer, or the
+//! AIC-based order search — shows up as an exact, diffable failure here
+//! rather than as a silent ranking change inside T-Daub.
+
+use autoai_linalg::{yule_walker, Rng64};
+use autoai_stat_models::{auto_arima, Arima, ArimaSpec, HoltWinters, Seasonality};
+
+/// Deterministic AR(2) series: x[t] = 0.6 x[t-1] - 0.3 x[t-2] + e[t].
+fn ar2_series(n: usize) -> Vec<f64> {
+    let mut rng = Rng64::seed_from_u64(42);
+    let mut x = vec![0.0f64; n];
+    for t in 2..n {
+        x[t] = 0.6 * x[t - 1] - 0.3 * x[t - 2] + 0.5 * rng.normal();
+    }
+    x
+}
+
+/// Deterministic monthly-style seasonal series with trend and mild noise.
+fn seasonal_series(n: usize) -> Vec<f64> {
+    let mut rng = Rng64::seed_from_u64(7);
+    (0..n)
+        .map(|t| {
+            10.0 + 0.05 * t as f64
+                + 3.0 * (2.0 * std::f64::consts::PI * t as f64 / 12.0).sin()
+                + 0.1 * rng.normal()
+        })
+        .collect()
+}
+
+/// Deterministic AR(1) series for the order search.
+fn ar1_series(n: usize) -> Vec<f64> {
+    let mut rng = Rng64::seed_from_u64(2024);
+    let mut x = vec![0.0f64; n];
+    for t in 1..n {
+        x[t] = 0.7 * x[t - 1] + rng.normal();
+    }
+    x
+}
+
+const TOL: f64 = 1e-6;
+
+#[test]
+#[ignore = "prints current actuals for regenerating the golden constants"]
+fn print_actuals() {
+    let x = ar2_series(400);
+    println!("yule_walker(ar2, 2) = {:?}", yule_walker(&x, 2));
+    let arima = Arima::fit(&x, ArimaSpec::new(2, 0, 0)).unwrap();
+    println!("arima ar_coefs = {:?}", arima.ar_coefs);
+    println!("arima intercept = {:?}", arima.intercept);
+    println!("arima aic = {:?}", arima.aic);
+
+    let s = seasonal_series(120);
+    let hw = HoltWinters::fit(&s, Seasonality::Additive(12)).unwrap();
+    println!(
+        "hw alpha={:?} beta={:?} gamma={:?} sse={:?}",
+        hw.alpha, hw.beta, hw.gamma, hw.sse
+    );
+    println!("hw forecast(4) = {:?}", hw.forecast(4));
+
+    let y = ar1_series(300);
+    let auto = auto_arima(&y, 3, 2, 0).unwrap();
+    println!(
+        "auto_arima spec = ({}, {}, {}) aic = {:?}",
+        auto.spec.p, auto.spec.d, auto.spec.q, auto.aic
+    );
+    println!("auto ar_coefs = {:?}", auto.ar_coefs);
+}
+
+#[test]
+fn yule_walker_ar2_coefficients_are_stable() {
+    let x = ar2_series(400);
+    let phi = yule_walker(&x, 2);
+    assert_eq!(phi.len(), 2);
+    // golden values captured from the seeded series; the estimator should
+    // also land near the true (0.6, -0.3) generating process
+    let golden = [0.6113679765064866, -0.23278560387824634];
+    assert!((phi[0] - golden[0]).abs() < TOL, "phi1 {}", phi[0]);
+    assert!((phi[1] - golden[1]).abs() < TOL, "phi2 {}", phi[1]);
+    assert!(
+        (phi[0] - 0.6).abs() < 0.1,
+        "phi1 far from truth: {}",
+        phi[0]
+    );
+    assert!(
+        (phi[1] - (-0.3)).abs() < 0.1,
+        "phi2 far from truth: {}",
+        phi[1]
+    );
+}
+
+#[test]
+fn arima_200_fit_matches_golden() {
+    let x = ar2_series(400);
+    let m = Arima::fit(&x, ArimaSpec::new(2, 0, 0)).unwrap();
+    let golden_ar = [0.6122212216296217, -0.23302846344764386];
+    let golden_aic = 573.1086271565559;
+    assert_eq!(m.ar_coefs.len(), 2);
+    for (got, want) in m.ar_coefs.iter().zip(&golden_ar) {
+        assert!((got - want).abs() < TOL, "{got} vs {want}");
+    }
+    assert!((m.aic - golden_aic).abs() < TOL, "aic {}", m.aic);
+}
+
+#[test]
+fn holt_winters_additive_matches_golden() {
+    let s = seasonal_series(120);
+    let hw = HoltWinters::fit(&s, Seasonality::Additive(12)).unwrap();
+    let golden_sse = 2.631556514861813;
+    let golden_forecast = [
+        15.90269766566993,
+        17.453704766914914,
+        18.75535996777358,
+        19.178828300126014,
+    ];
+    assert!((hw.sse - golden_sse).abs() < TOL, "sse {}", hw.sse);
+    let f = hw.forecast(4);
+    assert_eq!(f.len(), 4);
+    for (got, want) in f.iter().zip(&golden_forecast) {
+        assert!((got - want).abs() < TOL, "{got} vs {want}");
+    }
+    // the forecast must continue the seasonal pattern near the truth
+    for (h, v) in f.iter().enumerate() {
+        let t = 120 + h;
+        let truth =
+            10.0 + 0.05 * t as f64 + 3.0 * (2.0 * std::f64::consts::PI * t as f64 / 12.0).sin();
+        assert!((v - truth).abs() < 1.0, "h={h}: {v} vs truth {truth}");
+    }
+}
+
+#[test]
+fn auto_arima_order_selection_matches_golden() {
+    let y = ar1_series(300);
+    let m = auto_arima(&y, 3, 2, 0).unwrap();
+    // on this near-unit-root AR(1) the search differences once and keeps
+    // one AR and one MA term
+    let golden_spec = (1usize, 1usize, 1usize);
+    let golden_aic = 907.0941937394392;
+    assert_eq!((m.spec.p, m.spec.d, m.spec.q), golden_spec);
+    assert!((m.aic - golden_aic).abs() < TOL, "aic {}", m.aic);
+}

@@ -1,0 +1,538 @@
+//! Fault-isolated, budgeted execution engine for T-Daub.
+//!
+//! T-Daub's promise (§4.2) is that many heterogeneous pipelines can be
+//! ranked cheaply **and safely**. The executor provides the safety half:
+//! every pipeline `fit` + `score` on a data allocation runs as an isolated
+//! unit of work with
+//!
+//! * **panic isolation** — a panic deep inside a model is caught
+//!   (`catch_unwind`, plus a second net inside the parallel work queue),
+//!   converted into the typed [`PipelineError::Crashed`], and the pipeline
+//!   is quarantined instead of the whole run aborting;
+//! * **a per-pipeline soft time budget** — a cooperative deadline over the
+//!   pipeline's cumulative wall time, checked between allocations; a
+//!   pipeline that blows its budget stops receiving data and is recorded as
+//!   [`FailureKind::TimedOut`];
+//! * **typed failure accounting** — every pipeline's wall time, allocation
+//!   count, and failure (if any) land in an [`ExecutionReport`] that the
+//!   orchestrator surfaces through `core::Progress` and `FitSummary`.
+//!
+//! Parallel rounds run on `autoai_linalg::parallel_try_map_mut`, a shared
+//! work queue: workers pull pipelines dynamically, so one slow BATS fit no
+//! longer serializes a whole contiguous chunk of cheap evaluations behind
+//! it. Serial and parallel modes execute the identical per-pipeline
+//! evaluation sequence, so rankings are order-independent and reproducible.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use autoai_linalg::{parallel_try_map_mut, simple_linreg, WorkerPanic};
+use autoai_pipelines::{Forecaster, PipelineError};
+use autoai_tsdata::{Metric, TimeSeriesFrame};
+
+/// Why a pipeline was removed from the candidate pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The pipeline panicked; the payload message is preserved.
+    Crashed(String),
+    /// Every allocation ended in a typed error (last message preserved).
+    Errored(String),
+    /// The pipeline exceeded its per-pipeline soft time budget.
+    TimedOut,
+    /// The pipeline ran but never produced a finite score (NaN/∞).
+    NonFinite,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Crashed(m) => write!(f, "crashed: {m}"),
+            FailureKind::Errored(m) => write!(f, "errored: {m}"),
+            FailureKind::TimedOut => write!(f, "timed out"),
+            FailureKind::NonFinite => write!(f, "produced no finite score"),
+        }
+    }
+}
+
+/// Execution accounting for one pipeline across the whole T-Daub run.
+#[derive(Debug, Clone)]
+pub struct PipelineExecution {
+    /// Pipeline display name.
+    pub name: String,
+    /// Cumulative wall time spent in this pipeline's fit/score calls.
+    pub wall_time: Duration,
+    /// Number of allocations attempted (including failed ones).
+    pub allocations: usize,
+    /// Why the pipeline left the pool; `None` for survivors.
+    pub failure: Option<FailureKind>,
+}
+
+/// Per-run execution report: one entry per pipeline in the original pool.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionReport {
+    /// Accounting entries, in original pool order.
+    pub pipelines: Vec<PipelineExecution>,
+}
+
+impl ExecutionReport {
+    /// Entries for pipelines that failed (crashed/errored/timed out/NaN).
+    pub fn failures(&self) -> impl Iterator<Item = &PipelineExecution> {
+        self.pipelines.iter().filter(|p| p.failure.is_some())
+    }
+
+    /// Number of pipelines that survived to the final ranking.
+    pub fn survivors(&self) -> usize {
+        self.pipelines
+            .iter()
+            .filter(|p| p.failure.is_none())
+            .count()
+    }
+
+    /// Total allocations attempted across the pool.
+    pub fn total_allocations(&self) -> usize {
+        self.pipelines.iter().map(|p| p.allocations).sum()
+    }
+
+    /// Entry for a pipeline by display name.
+    pub fn find(&self, name: &str) -> Option<&PipelineExecution> {
+        self.pipelines.iter().find(|p| p.name == name)
+    }
+}
+
+/// Internal per-pipeline state during a T-Daub run.
+pub(crate) struct Candidate {
+    pub pipeline: Box<dyn Forecaster>,
+    pub name: String,
+    /// `(allocation length, score)` pairs; failed units record `+inf`.
+    pub scores: Vec<(usize, f64)>,
+    pub projected: f64,
+    pub final_score: Option<f64>,
+    pub train_time: Duration,
+    pub allocations: usize,
+    /// Why the executor removed this candidate; `None` while in the pool.
+    pub failure: Option<FailureKind>,
+    /// Most recent non-crash failure signal, for end-of-run classification.
+    pub last_error: Option<FailureKind>,
+}
+
+impl Candidate {
+    pub fn new(pipeline: Box<dyn Forecaster>) -> Self {
+        Candidate {
+            name: pipeline.name(),
+            pipeline,
+            scores: Vec::new(),
+            projected: f64::INFINITY,
+            final_score: None,
+            train_time: Duration::ZERO,
+            allocations: 0,
+            failure: None,
+            last_error: None,
+        }
+    }
+
+    /// Still in the pool (not crashed / timed out / classified failed).
+    pub fn alive(&self) -> bool {
+        self.failure.is_none()
+    }
+
+    /// Has at least one finite observed score.
+    pub fn has_signal(&self) -> bool {
+        self.scores.iter().any(|(_, s)| s.is_finite())
+    }
+
+    /// Largest allocation with a finite score, if any.
+    pub fn best_finite_alloc(&self) -> Option<usize> {
+        self.scores
+            .iter()
+            .filter(|(_, s)| s.is_finite())
+            .map(|&(a, _)| a)
+            .max()
+    }
+
+    /// Project the learning curve to `full_len` (linear regression on the
+    /// finite partial scores, clamped at the metric's lower bound).
+    pub fn project(&mut self, full_len: usize, use_projection: bool, metric: Metric) {
+        let ok: Vec<(usize, f64)> = self
+            .scores
+            .iter()
+            .filter(|(_, s)| s.is_finite())
+            .copied()
+            .collect();
+        if ok.is_empty() {
+            self.projected = f64::INFINITY;
+            return;
+        }
+        // a full-length observation is ground truth; no projection needed
+        if let Some(&(_, s)) = ok.iter().rev().find(|&&(alloc, _)| alloc >= full_len) {
+            self.projected = s;
+            return;
+        }
+        if !use_projection || ok.len() == 1 {
+            // `ok` is non-empty: the is_empty branch above already returned
+            self.projected = ok.last().map_or(f64::INFINITY, |&(_, s)| s);
+            return;
+        }
+        let t: Vec<f64> = ok.iter().map(|(l, _)| *l as f64).collect();
+        let y: Vec<f64> = ok.iter().map(|(_, s)| *s).collect();
+        let (a, b) = simple_linreg(&t, &y);
+        let mut projected = a + b * full_len as f64;
+        // SMAPE/MAE/RMSE/MAPE are bounded below by 0 — an extrapolated
+        // learning curve must not cross that floor, or a mediocre pipeline
+        // with a steep partial-score slope outranks a near-perfect one
+        if !metric.higher_is_better() {
+            projected = projected.max(0.0);
+        }
+        self.projected = projected;
+    }
+
+    /// End-of-run classification: a candidate that is still nominally alive
+    /// but never produced a finite score becomes a typed failure.
+    pub fn finalize_failure(&mut self) {
+        if self.failure.is_none() && !self.has_signal() {
+            self.failure = Some(match self.last_error.take() {
+                Some(kind) => kind,
+                None => FailureKind::Errored("produced no score on any allocation".into()),
+            });
+        }
+    }
+
+    fn execution_entry(&self) -> PipelineExecution {
+        PipelineExecution {
+            name: self.name.clone(),
+            wall_time: self.train_time,
+            allocations: self.allocations,
+            failure: self.failure.clone(),
+        }
+    }
+}
+
+/// Build the per-run execution report from the final candidate states.
+pub(crate) fn execution_report(cands: &[Candidate]) -> ExecutionReport {
+    ExecutionReport {
+        pipelines: cands.iter().map(Candidate::execution_entry).collect(),
+    }
+}
+
+/// Outcome of one isolated fit+score unit.
+struct EvalUnit {
+    /// Finite score on success, `+inf` otherwise.
+    score: f64,
+    /// Wall time of the unit.
+    elapsed: Duration,
+    /// Failure signal, if the unit did not produce a finite score.
+    error: Option<FailureKind>,
+}
+
+/// Render a caught panic payload as text (mirrors `WorkerPanic`).
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Train a pipeline on an allocation of `t1` and score it on `t2`, with
+/// panic isolation and a cooperative budget hint.
+///
+/// `AssertUnwindSafe` is sound because a crashed pipeline is quarantined by
+/// the caller: its (possibly corrupt) state is never fitted or queried
+/// again.
+fn evaluate_unit(
+    pipeline: &mut Box<dyn Forecaster>,
+    t1: &TimeSeriesFrame,
+    t2: &TimeSeriesFrame,
+    alloc_len: usize,
+    metric: Metric,
+    reverse: bool,
+    remaining: Option<Duration>,
+) -> EvalUnit {
+    let l = t1.len();
+    let alloc_len = alloc_len.min(l);
+    let slice = if reverse {
+        // most recent data: T1[L - alloc + 1 : L] in the paper's notation
+        t1.slice(l - alloc_len, l)
+    } else {
+        // original DAUB: oldest data first — note the pipeline then
+        // forecasts across a gap, which is why reverse wins on time series
+        t1.slice(0, alloc_len)
+    };
+    let start = Instant::now();
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        pipeline.set_time_budget(remaining);
+        pipeline
+            .fit(&slice)
+            .and_then(|()| pipeline.score(t2, metric))
+    }));
+    let elapsed = start.elapsed();
+    match caught {
+        Ok(Ok(s)) if s.is_finite() => EvalUnit {
+            score: s,
+            elapsed,
+            error: None,
+        },
+        Ok(Ok(_)) => EvalUnit {
+            score: f64::INFINITY,
+            elapsed,
+            error: Some(FailureKind::NonFinite),
+        },
+        Ok(Err(e)) => EvalUnit {
+            score: f64::INFINITY,
+            elapsed,
+            error: Some(FailureKind::Errored(e.to_string())),
+        },
+        Err(payload) => EvalUnit {
+            score: f64::INFINITY,
+            elapsed,
+            error: Some(FailureKind::Crashed(payload_message(payload.as_ref()))),
+        },
+    }
+}
+
+/// The execution engine: shared evaluation context plus the isolation and
+/// budget policy. One instance drives a whole `run_tdaub` call.
+pub(crate) struct Executor<'a> {
+    pub t1: &'a TimeSeriesFrame,
+    pub t2: &'a TimeSeriesFrame,
+    pub metric: Metric,
+    pub reverse: bool,
+    pub parallel: bool,
+    /// Per-pipeline cumulative soft budget; `None` = unlimited.
+    pub budget: Option<Duration>,
+}
+
+impl Executor<'_> {
+    fn remaining(&self, spent: Duration) -> Option<Duration> {
+        self.budget.map(|b| b.saturating_sub(spent))
+    }
+
+    /// Record one unit outcome on a candidate and apply the isolation and
+    /// budget policy. Identical in serial and parallel modes.
+    fn apply(&self, c: &mut Candidate, alloc_len: usize, unit: EvalUnit) {
+        c.scores.push((alloc_len, unit.score));
+        c.train_time += unit.elapsed;
+        c.allocations += 1;
+        match unit.error {
+            Some(FailureKind::Crashed(m)) => {
+                // corrupt state: quarantine immediately
+                c.failure = Some(FailureKind::Crashed(m));
+                return;
+            }
+            Some(kind) => c.last_error = Some(kind),
+            None => {}
+        }
+        if let Some(budget) = self.budget {
+            if c.train_time > budget {
+                c.failure = Some(FailureKind::TimedOut);
+            }
+        }
+    }
+
+    /// Evaluate one live candidate on one allocation.
+    pub fn run_single(&self, c: &mut Candidate, alloc_len: usize) {
+        if !c.alive() {
+            return;
+        }
+        let remaining = self.remaining(c.train_time);
+        let unit = evaluate_unit(
+            &mut c.pipeline,
+            self.t1,
+            self.t2,
+            alloc_len,
+            self.metric,
+            self.reverse,
+            remaining,
+        );
+        self.apply(c, alloc_len, unit);
+    }
+
+    /// Evaluate every live candidate on the same allocation — one T-Daub
+    /// fixed-allocation round. In parallel mode the candidates go through
+    /// the shared work queue; the recorded outcome sequence is identical to
+    /// serial mode.
+    pub fn run_round(&self, cands: &mut [Candidate], alloc_len: usize) {
+        if !self.parallel {
+            for c in cands.iter_mut().filter(|c| c.alive()) {
+                self.run_single(c, alloc_len);
+            }
+            return;
+        }
+        let mut live: Vec<&mut Candidate> = cands.iter_mut().filter(|c| c.alive()).collect();
+        let outcomes: Vec<Result<EvalUnit, WorkerPanic>> = parallel_try_map_mut(&mut live, |c| {
+            let remaining = self.remaining(c.train_time);
+            evaluate_unit(
+                &mut c.pipeline,
+                self.t1,
+                self.t2,
+                alloc_len,
+                self.metric,
+                self.reverse,
+                remaining,
+            )
+        });
+        for (c, outcome) in live.iter_mut().zip(outcomes) {
+            // the inner catch_unwind already absorbs pipeline panics; the
+            // queue-level WorkerPanic arm is a second net (e.g. a panicking
+            // set_time_budget ripping through a poisoned invariant)
+            let unit = match outcome {
+                Ok(unit) => unit,
+                Err(p) => EvalUnit {
+                    score: f64::INFINITY,
+                    elapsed: Duration::ZERO,
+                    error: Some(FailureKind::Crashed(p.message)),
+                },
+            };
+            self.apply(c, alloc_len, unit);
+        }
+    }
+
+    /// Refit a winner on the full training input, with the same panic
+    /// isolation as every other unit of work.
+    pub fn fit_full(
+        &self,
+        pipeline: &mut Box<dyn Forecaster>,
+        train: &TimeSeriesFrame,
+    ) -> Result<(), PipelineError> {
+        match catch_unwind(AssertUnwindSafe(|| pipeline.fit(train))) {
+            Ok(result) => result,
+            Err(payload) => Err(PipelineError::Crashed(payload_message(payload.as_ref()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Always(f64);
+    impl Forecaster for Always {
+        fn fit(&mut self, _: &TimeSeriesFrame) -> Result<(), PipelineError> {
+            Ok(())
+        }
+        fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
+            Ok(TimeSeriesFrame::univariate(vec![self.0; horizon]))
+        }
+        fn name(&self) -> String {
+            format!("Always({})", self.0)
+        }
+        fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+            Box::new(Always(self.0))
+        }
+    }
+
+    struct Panicky;
+    impl Forecaster for Panicky {
+        fn fit(&mut self, _: &TimeSeriesFrame) -> Result<(), PipelineError> {
+            panic!("executor test crash")
+        }
+        fn predict(&self, _: usize) -> Result<TimeSeriesFrame, PipelineError> {
+            Err(PipelineError::NotFitted)
+        }
+        fn name(&self) -> String {
+            "Panicky".into()
+        }
+        fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+            Box::new(Panicky)
+        }
+    }
+
+    fn frames() -> (TimeSeriesFrame, TimeSeriesFrame) {
+        let t1 = TimeSeriesFrame::univariate((0..80).map(|i| i as f64).collect());
+        let t2 = TimeSeriesFrame::univariate((80..90).map(|i| i as f64).collect());
+        (t1, t2)
+    }
+
+    #[test]
+    fn crash_is_captured_as_typed_failure() {
+        let (t1, t2) = frames();
+        let exec = Executor {
+            t1: &t1,
+            t2: &t2,
+            metric: Metric::Smape,
+            reverse: true,
+            parallel: false,
+            budget: None,
+        };
+        let mut c = Candidate::new(Box::new(Panicky));
+        exec.run_single(&mut c, 40);
+        assert!(!c.alive());
+        match &c.failure {
+            Some(FailureKind::Crashed(m)) => assert!(m.contains("executor test crash")),
+            other => panic!("expected crash, got {other:?}"),
+        }
+        assert_eq!(c.allocations, 1);
+    }
+
+    #[test]
+    fn budget_marks_timeout_between_allocations() {
+        let (t1, t2) = frames();
+        let exec = Executor {
+            t1: &t1,
+            t2: &t2,
+            metric: Metric::Smape,
+            reverse: true,
+            parallel: false,
+            budget: Some(Duration::ZERO),
+        };
+        let mut c = Candidate::new(Box::new(Always(1.0)));
+        exec.run_single(&mut c, 40);
+        // the unit itself completes (soft budget), then the deadline fires
+        assert_eq!(c.scores.len(), 1);
+        assert_eq!(c.failure, Some(FailureKind::TimedOut));
+        // a dead candidate receives no further allocations
+        exec.run_single(&mut c, 80);
+        assert_eq!(c.scores.len(), 1);
+    }
+
+    #[test]
+    fn round_skips_dead_candidates_and_matches_serial() {
+        let (t1, t2) = frames();
+        let mk = |parallel| Executor {
+            t1: &t1,
+            t2: &t2,
+            metric: Metric::Smape,
+            reverse: true,
+            parallel,
+            budget: None,
+        };
+        let build = || {
+            vec![
+                Candidate::new(Box::new(Always(85.0))),
+                Candidate::new(Box::new(Panicky)),
+                Candidate::new(Box::new(Always(84.0))),
+            ]
+        };
+        let mut serial = build();
+        let mut parallel = build();
+        for alloc in [20, 40, 80] {
+            mk(false).run_round(&mut serial, alloc);
+            mk(true).run_round(&mut parallel, alloc);
+        }
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.scores, p.scores, "{}", s.name);
+            assert_eq!(s.failure.is_some(), p.failure.is_some());
+        }
+        // the panicking candidate stopped after its first allocation
+        assert_eq!(serial.get(1).map(|c| c.allocations), Some(1));
+    }
+
+    #[test]
+    fn non_finite_scores_classify_as_nonfinite() {
+        let (t1, t2) = frames();
+        let exec = Executor {
+            t1: &t1,
+            t2: &t2,
+            metric: Metric::Smape,
+            reverse: true,
+            parallel: false,
+            budget: None,
+        };
+        let mut c = Candidate::new(Box::new(Always(f64::NAN)));
+        exec.run_single(&mut c, 40);
+        assert!(c.alive()); // not yet classified — might recover
+        c.finalize_failure();
+        assert_eq!(c.failure, Some(FailureKind::NonFinite));
+    }
+}

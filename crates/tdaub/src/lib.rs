@@ -19,6 +19,8 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod executor;
 pub mod runner;
 
+pub use executor::{ExecutionReport, FailureKind, PipelineExecution};
 pub use runner::{run_tdaub, PipelineReport, TDaubConfig, TDaubResult};

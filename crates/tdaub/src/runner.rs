@@ -1,10 +1,12 @@
-//! The T-Daub algorithm (Algorithm 1 of the paper).
+//! The T-Daub algorithm (Algorithm 1 of the paper), driven by the
+//! fault-isolated, budgeted [`executor`](crate::executor).
 
 use std::time::{Duration, Instant};
 
-use autoai_linalg::{parallel_map_mut, simple_linreg};
 use autoai_pipelines::{Forecaster, PipelineError};
 use autoai_tsdata::{Metric, TimeSeriesFrame};
+
+use crate::executor::{execution_report, Candidate, ExecutionReport, Executor};
 
 /// T-Daub configuration; field names follow the paper's §4.2 definitions.
 #[derive(Debug, Clone)]
@@ -33,6 +35,13 @@ pub struct TDaubConfig {
     /// Rank by projected full-data score (`true`) or by the last observed
     /// allocation score (`false`, ablation).
     pub use_projection: bool,
+    /// Per-pipeline soft wall-clock budget, cumulative across that
+    /// pipeline's allocations. The deadline is cooperative — checked between
+    /// allocations, never mid-fit — so a pipeline overshoots by at most one
+    /// unit of work. A pipeline over budget stops receiving data, is
+    /// excluded from the final ranking, and is reported as
+    /// [`crate::FailureKind::TimedOut`]. `None` (default) = unlimited.
+    pub pipeline_time_budget: Option<Duration>,
 }
 
 impl Default for TDaubConfig {
@@ -48,11 +57,12 @@ impl Default for TDaubConfig {
             parallel: true,
             reverse_allocation: true,
             use_projection: true,
+            pipeline_time_budget: None,
         }
     }
 }
 
-/// Evaluation record for one pipeline.
+/// Evaluation record for one pipeline that survived to the final ranking.
 #[derive(Debug, Clone)]
 pub struct PipelineReport {
     /// Pipeline display name.
@@ -72,7 +82,10 @@ pub struct PipelineReport {
 
 /// Outcome of a T-Daub run.
 pub struct TDaubResult {
-    /// Per-pipeline evaluation reports, ranked best first.
+    /// Per-pipeline evaluation reports for the **survivors**, ranked best
+    /// first. Pipelines that crashed, errored out, timed out, or never
+    /// produced a finite score are excluded — see [`TDaubResult::execution`]
+    /// for their accounting.
     pub reports: Vec<PipelineReport>,
     /// The winning pipeline, retrained on the **entire** training input
     /// (the paper's final step: "the best pipelines(s) are trained on entire
@@ -80,83 +93,9 @@ pub struct TDaubResult {
     pub best: Box<dyn Forecaster>,
     /// Total wall-clock time of the selection process.
     pub total_time: Duration,
-}
-
-/// Internal per-pipeline state during the run.
-struct Candidate {
-    pipeline: Box<dyn Forecaster>,
-    name: String,
-    scores: Vec<(usize, f64)>,
-    projected: f64,
-    final_score: Option<f64>,
-    train_time: Duration,
-    failed: bool,
-}
-
-impl Candidate {
-    fn project(&mut self, full_len: usize, use_projection: bool, metric: Metric) {
-        let ok: Vec<&(usize, f64)> = self.scores.iter().filter(|(_, s)| s.is_finite()).collect();
-        if ok.is_empty() {
-            self.projected = f64::INFINITY;
-            self.failed = true;
-            return;
-        }
-        // a full-length observation is ground truth; no projection needed
-        if let Some(&&(alloc, s)) = ok.iter().rev().find(|&&&(alloc, _)| alloc >= full_len) {
-            let _ = alloc;
-            self.projected = s;
-            return;
-        }
-        if !use_projection || ok.len() == 1 {
-            // `ok` is non-empty: the is_empty branch above already returned
-            self.projected = ok.last().map_or(f64::INFINITY, |&&(_, s)| s);
-            return;
-        }
-        let t: Vec<f64> = ok.iter().map(|(l, _)| *l as f64).collect();
-        let y: Vec<f64> = ok.iter().map(|(_, s)| *s).collect();
-        let (a, b) = simple_linreg(&t, &y);
-        let mut projected = a + b * full_len as f64;
-        // SMAPE/MAE/RMSE/MAPE are bounded below by 0 — an extrapolated
-        // learning curve must not cross that floor, or a mediocre pipeline
-        // with a steep partial-score slope outranks a near-perfect one
-        if !metric.higher_is_better() {
-            projected = projected.max(0.0);
-        }
-        self.projected = projected;
-    }
-}
-
-/// Train a pipeline on an allocation of `t1` and score it on `t2`.
-/// Returns `(score, elapsed)`; failures yield `+inf`.
-fn evaluate(
-    pipeline: &mut Box<dyn Forecaster>,
-    t1: &TimeSeriesFrame,
-    t2: &TimeSeriesFrame,
-    alloc_len: usize,
-    metric: Metric,
-    reverse: bool,
-) -> (f64, Duration) {
-    let l = t1.len();
-    let alloc_len = alloc_len.min(l);
-    let slice = if reverse {
-        // most recent data: T1[L - alloc + 1 : L] in the paper's notation
-        t1.slice(l - alloc_len, l)
-    } else {
-        // original DAUB: oldest data first — note the pipeline then
-        // forecasts across a gap, which is why reverse wins on time series
-        t1.slice(0, alloc_len)
-    };
-    let start = Instant::now();
-    let result: Result<f64, PipelineError> = (|| {
-        pipeline.fit(&slice)?;
-        pipeline.score(t2, metric)
-    })();
-    let elapsed = start.elapsed();
-    let score = match result {
-        Ok(s) if s.is_finite() => s,
-        _ => f64::INFINITY,
-    };
-    (score, elapsed)
+    /// Per-pipeline execution accounting (wall time, allocations attempted,
+    /// failure kind) for the whole pool, including excluded pipelines.
+    pub execution: ExecutionReport,
 }
 
 /// Run T-Daub over a pipeline pool (Algorithm 1).
@@ -164,6 +103,12 @@ fn evaluate(
 /// `train` is the 80% training split of the user's data (the holdout for
 /// final reporting is handled by the caller). Returns the ranked reports
 /// and the winner refitted on all of `train`.
+///
+/// Execution is fault-isolated: a pipeline that panics, errors on every
+/// allocation, exceeds `config.pipeline_time_budget`, or only ever yields
+/// non-finite scores is removed from the pool and recorded in the returned
+/// [`ExecutionReport`]; the survivors are still ranked. Only when *every*
+/// pipeline fails does `run_tdaub` return an error.
 pub fn run_tdaub(
     pipelines: Vec<Box<dyn Forecaster>>,
     train: &TimeSeriesFrame,
@@ -177,18 +122,7 @@ pub fn run_tdaub(
     let t_start = Instant::now();
     let n = train.len();
 
-    let mut cands: Vec<Candidate> = pipelines
-        .into_iter()
-        .map(|p| Candidate {
-            name: p.name(),
-            pipeline: p,
-            scores: Vec::new(),
-            projected: f64::INFINITY,
-            final_score: None,
-            train_time: Duration::ZERO,
-            failed: false,
-        })
-        .collect();
+    let mut cands: Vec<Candidate> = pipelines.into_iter().map(Candidate::new).collect();
 
     // T-Daub executes only if the dataset is larger than min_allocation_size;
     // otherwise every pipeline is ranked on the full data directly (§4.2).
@@ -201,25 +135,22 @@ pub fn run_tdaub(
     let t2 = train.slice(n - t2_len, n);
     let l = t1.len();
 
-    let metric = config.metric;
-    let reverse = config.reverse_allocation;
+    let exec = Executor {
+        t1: &t1,
+        t2: &t2,
+        metric: config.metric,
+        reverse: config.reverse_allocation,
+        parallel: config.parallel,
+        budget: config.pipeline_time_budget,
+    };
 
     if small_data {
-        let runs: Vec<(f64, Duration)> = if config.parallel {
-            parallel_map_mut(&mut cands, |c| {
-                evaluate(&mut c.pipeline, &t1, &t2, l, metric, reverse)
-            })
-        } else {
-            cands
-                .iter_mut()
-                .map(|c| evaluate(&mut c.pipeline, &t1, &t2, l, metric, reverse))
-                .collect()
-        };
-        for (c, (score, dt)) in cands.iter_mut().zip(runs) {
-            c.scores.push((l, score));
-            c.train_time += dt;
-            c.projected = score;
-            c.final_score = Some(score);
+        exec.run_round(&mut cands, l);
+        for c in cands.iter_mut().filter(|c| c.alive()) {
+            if let Some(&(_, score)) = c.scores.last() {
+                c.projected = score;
+                c.final_score = Some(score);
+            }
         }
     } else {
         // ---- 1. fixed allocation ----
@@ -230,26 +161,13 @@ pub fn run_tdaub(
         let num_fix_runs = (cutoff / config.min_allocation_size).max(1);
         for i in 1..=num_fix_runs {
             let alloc = (config.min_allocation_size * i).min(l);
-            let runs: Vec<(f64, Duration)> = if config.parallel {
-                parallel_map_mut(&mut cands, |c| {
-                    evaluate(&mut c.pipeline, &t1, &t2, alloc, metric, reverse)
-                })
-            } else {
-                cands
-                    .iter_mut()
-                    .map(|c| evaluate(&mut c.pipeline, &t1, &t2, alloc, metric, reverse))
-                    .collect()
-            };
-            for (c, (score, dt)) in cands.iter_mut().zip(runs) {
-                c.scores.push((alloc, score));
-                c.train_time += dt;
-            }
+            exec.run_round(&mut cands, alloc);
             if alloc == l {
                 break;
             }
         }
-        for c in cands.iter_mut() {
-            c.project(l, config.use_projection, metric);
+        for c in cands.iter_mut().filter(|c| c.alive()) {
+            c.project(l, config.use_projection, config.metric);
         }
 
         // ---- 2. allocation acceleration ----
@@ -269,17 +187,12 @@ pub fn run_tdaub(
             let top = cands
                 .iter()
                 .enumerate()
-                .filter(|(_, c)| !c.failed)
+                .filter(|(_, c)| c.alive() && c.projected.is_finite())
                 .min_by(|a, b| a.1.projected.total_cmp(&b.1.projected))
                 .map(|(i, _)| i);
             let Some(top) = top else { break };
-            let top_last = cands[top]
-                .scores
-                .iter()
-                .filter(|(_, s)| s.is_finite())
-                .map(|&(a, _)| a)
-                .max()
-                .unwrap_or(base_alloc);
+            let Some(c) = cands.get_mut(top) else { break };
+            let top_last = c.best_finite_alloc().unwrap_or(base_alloc);
             if top_last >= l {
                 // the current leader has proven itself on all the data
                 break;
@@ -289,80 +202,109 @@ pub fn run_tdaub(
                 .max(1)
                 * config.allocation_size;
             let alloc = next.min(l);
-            let (score, dt) = evaluate(&mut cands[top].pipeline, &t1, &t2, alloc, metric, reverse);
-            cands[top].scores.push((alloc, score));
-            cands[top].train_time += dt;
-            if !score.is_finite() && alloc >= l {
+            exec.run_single(c, alloc);
+            if !c.alive() {
+                continue;
+            }
+            let last_finite = c.scores.last().is_some_and(|(_, s)| s.is_finite());
+            if !last_finite && alloc >= l {
                 // cannot even fit on the full data: out of the running
-                cands[top].failed = true;
-                cands[top].projected = f64::INFINITY;
+                c.projected = f64::INFINITY;
             } else {
-                cands[top].project(l, config.use_projection, metric);
+                c.project(l, config.use_projection, config.metric);
             }
         }
 
         // ---- 3. T-Daub scoring ----
         // the top run_to_completion pipelines train on all of T1 and are
         // ranked by their true T2 score.
-        let mut order: Vec<usize> = (0..cands.len()).collect();
-        order.sort_by(|&a, &b| cands[a].projected.total_cmp(&cands[b].projected));
-        for &i in order.iter().take(config.run_to_completion.max(1)) {
-            if cands[i].failed {
-                continue;
-            }
-            let full_score = cands[i]
+        let mut order: Vec<(f64, usize)> = cands
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.alive() && c.projected.is_finite())
+            .map(|(i, c)| (c.projected, i))
+            .collect();
+        order.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for &(_, i) in order.iter().take(config.run_to_completion.max(1)) {
+            let Some(c) = cands.get_mut(i) else { continue };
+            let full_score = c
                 .scores
                 .iter()
                 .rev()
                 .find(|&&(a, s)| a >= l && s.is_finite())
                 .map(|&(_, s)| s);
-            let (score, dt) = match full_score {
-                Some(s) => (s, Duration::ZERO),
-                None => evaluate(&mut cands[i].pipeline, &t1, &t2, l, metric, reverse),
+            let score = match full_score {
+                Some(s) => Some(s),
+                None => {
+                    exec.run_single(c, l);
+                    c.alive()
+                        .then(|| c.scores.last().map_or(f64::INFINITY, |&(_, s)| s))
+                }
             };
-            cands[i].scores.push((l, score));
-            cands[i].train_time += dt;
-            cands[i].final_score = Some(score);
+            c.final_score = score;
         }
     }
 
-    // final ranking: completed pipelines by final score, then the rest by
-    // projected score
-    let mut order: Vec<usize> = (0..cands.len()).collect();
-    order.sort_by(|&a, &b| {
-        let ka = (
-            cands[a].final_score.is_none(),
-            cands[a].final_score.unwrap_or(cands[a].projected),
-        );
-        let kb = (
-            cands[b].final_score.is_none(),
-            cands[b].final_score.unwrap_or(cands[b].projected),
-        );
-        ka.0.cmp(&kb.0).then_with(|| ka.1.total_cmp(&kb.1))
-    });
+    // ---- 4. failure classification + final ranking ----
+    // candidates still alive but without a single finite score become typed
+    // failures; survivors are ranked — completed pipelines by final score,
+    // then the rest by projected score.
+    for c in cands.iter_mut() {
+        c.finalize_failure();
+    }
+    let execution = execution_report(&cands);
 
-    // retrain the winner on the entire training input
-    let best_idx = order[0];
-    if cands[best_idx].projected.is_infinite() && cands[best_idx].final_score.is_none() {
+    let mut order: Vec<(bool, f64, usize)> = cands
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.alive())
+        .map(|(i, c)| {
+            (
+                c.final_score.is_none(),
+                c.final_score.unwrap_or(c.projected),
+                i,
+            )
+        })
+        .collect();
+    order.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.total_cmp(&b.1)));
+
+    let viable = order.first().is_some_and(|&(no_final, key, _)| {
+        // the best survivor must carry a usable signal: either a confirmed
+        // final score or a finite projection
+        !no_final || key.is_finite()
+    });
+    if !viable {
         return Err(PipelineError::Fit(
             "every pipeline failed during T-Daub".into(),
         ));
     }
-    let mut best = cands[best_idx].pipeline.clone_unfitted();
+
+    // retrain the winner on the entire training input (isolated like every
+    // other unit of work: a panic here is a typed Crashed error, not an
+    // abort)
+    let best_idx = order.first().map_or(0, |&(_, _, i)| i);
+    let mut best = cands
+        .get(best_idx)
+        .map(|c| c.pipeline.clone_unfitted())
+        .ok_or_else(|| PipelineError::Fit("winner index out of range".into()))?;
     let fit_start = Instant::now();
-    best.fit(train)?;
-    cands[best_idx].train_time += fit_start.elapsed();
+    exec.fit_full(&mut best, train)?;
+    if let Some(c) = cands.get_mut(best_idx) {
+        c.train_time += fit_start.elapsed();
+    }
 
     let reports: Vec<PipelineReport> = order
         .iter()
         .enumerate()
-        .map(|(rank, &i)| PipelineReport {
-            name: cands[i].name.clone(),
-            scores: cands[i].scores.clone(),
-            projected_score: cands[i].projected,
-            final_score: cands[i].final_score,
-            train_time: cands[i].train_time,
-            rank: rank + 1,
+        .filter_map(|(rank, &(_, _, i))| {
+            cands.get(i).map(|c| PipelineReport {
+                name: c.name.clone(),
+                scores: c.scores.clone(),
+                projected_score: c.projected,
+                final_score: c.final_score,
+                train_time: c.train_time,
+                rank: rank + 1,
+            })
         })
         .collect();
 
@@ -370,12 +312,14 @@ pub fn run_tdaub(
         reports,
         best,
         total_time: t_start.elapsed(),
+        execution,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::executor::FailureKind;
     use autoai_pipelines::{Mt2rForecaster, ThetaPipeline, ZeroModelPipeline};
 
     fn seasonal_frame(n: usize) -> TimeSeriesFrame {
@@ -464,7 +408,7 @@ mod tests {
     }
 
     #[test]
-    fn failing_pipeline_is_ranked_last_not_fatal() {
+    fn failing_pipeline_is_excluded_and_reported_not_fatal() {
         /// A pipeline that always fails to fit.
         struct Broken;
         impl Forecaster for Broken {
@@ -485,8 +429,17 @@ mod tests {
         pipelines.push(Box::new(Broken));
         let frame = seasonal_frame(400);
         let result = run_tdaub(pipelines, &frame, &TDaubConfig::default()).unwrap();
-        assert_eq!(result.reports.last().unwrap().name, "Broken");
+        // excluded from the ranking, reported as a typed failure
+        assert!(result.reports.iter().all(|r| r.name != "Broken"));
         assert_ne!(result.best.name(), "Broken");
+        let entry = result.execution.find("Broken").unwrap();
+        assert!(
+            matches!(entry.failure, Some(FailureKind::Errored(_))),
+            "{:?}",
+            entry.failure
+        );
+        assert!(entry.allocations >= 1);
+        assert_eq!(result.execution.survivors(), 3);
     }
 
     #[test]
@@ -574,5 +527,17 @@ mod tests {
             .filter(|r| r.final_score.is_some())
             .count();
         assert!(finals >= 3, "{finals} finalists");
+    }
+
+    #[test]
+    fn execution_report_covers_every_pipeline() {
+        let frame = seasonal_frame(400);
+        let result = run_tdaub(pool(), &frame, &TDaubConfig::default()).unwrap();
+        assert_eq!(result.execution.pipelines.len(), 3);
+        assert_eq!(result.execution.survivors(), 3);
+        assert!(result.execution.total_allocations() >= 3);
+        for p in &result.execution.pipelines {
+            assert!(p.failure.is_none(), "{}: {:?}", p.name, p.failure);
+        }
     }
 }

@@ -57,6 +57,11 @@ pub enum Rule {
     Hermeticity,
     /// `tscheck:allow` escape hatch without a justification.
     BadAllow,
+    /// Strict mode: *any* slice/array indexing in a hot-path file.
+    StrictIndexing,
+    /// Strict mode: re-raising worker panics (`.join().unwrap()`,
+    /// `resume_unwind`) instead of routing them into a typed error.
+    PanicPropagation,
 }
 
 impl Rule {
@@ -69,6 +74,8 @@ impl Rule {
             Rule::Hygiene => "docs",
             Rule::Hermeticity => "deps",
             Rule::BadAllow => "allow",
+            Rule::StrictIndexing => "strict-index",
+            Rule::PanicPropagation => "propagate",
         }
     }
 }
@@ -105,6 +112,14 @@ pub struct Config {
     /// Crate directory names under `crates/` whose `src/` trees are held to
     /// the panic-freedom and NaN-ordering rules.
     pub scoped_crates: Vec<String>,
+    /// Run the strict rule family ([`Rule::StrictIndexing`],
+    /// [`Rule::PanicPropagation`]) over [`Config::strict_paths`].
+    pub strict: bool,
+    /// Repo-relative path prefixes held to the strict rules: the T-Daub
+    /// execution engine and the parallel work queue, where an
+    /// out-of-bounds index or a re-raised worker panic would take down a
+    /// whole AutoML run.
+    pub strict_paths: Vec<String>,
 }
 
 impl Default for Config {
@@ -129,6 +144,11 @@ impl Default for Config {
             .iter()
             .map(|s| s.to_string())
             .collect(),
+            strict: false,
+            strict_paths: vec![
+                "crates/tdaub/src/".to_string(),
+                "crates/linalg/src/par.rs".to_string(),
+            ],
         }
     }
 }
@@ -143,6 +163,16 @@ impl Config {
         self.scoped_crates
             .iter()
             .any(|c| path.starts_with(&format!("crates/{c}/src/")))
+    }
+
+    /// Does `path` fall under the strict-rule scope? Only meaningful when
+    /// [`Config::strict`] is set; test trees are never in scope.
+    pub fn is_strict_scoped(&self, path: &str) -> bool {
+        self.strict
+            && !path.contains("/tests/")
+            && !path.contains("/benches/")
+            && !path.contains("/examples/")
+            && self.strict_paths.iter().any(|p| path.starts_with(p))
     }
 }
 
@@ -289,6 +319,43 @@ fn line_hits(code: &str) -> Vec<(Rule, String)> {
     hits
 }
 
+/// True when position `open` in `code` is a subscript `[` — i.e. directly
+/// preceded by an expression (identifier, `)`, or `]`). Array literals,
+/// slice types, attributes (`#[...]`) and macros (`vec![...]`) are preceded
+/// by other characters and do not count.
+fn is_subscript(code: &str, open: usize) -> bool {
+    code[..open]
+        .chars()
+        .next_back()
+        .is_some_and(|p| p.is_alphanumeric() || p == '_' || p == ')' || p == ']')
+}
+
+/// Strict rule hits on one (already stripped) line of hot-path code.
+fn strict_line_hits(code: &str) -> Vec<(Rule, String)> {
+    let mut hits = Vec::new();
+    if code
+        .char_indices()
+        .any(|(i, c)| c == '[' && is_subscript(code, i))
+    {
+        hits.push((
+            Rule::StrictIndexing,
+            "slice indexing in a hot-path file; use `.get`/`.get_mut` or an iterator".into(),
+        ));
+    }
+    for pat in [".join().unwrap(", ".join().expect(", "resume_unwind"] {
+        if code.contains(pat) {
+            hits.push((
+                Rule::PanicPropagation,
+                format!(
+                    "`{pat}` re-raises a worker panic; route it into the typed \
+                     `WorkerPanic` error path instead"
+                ),
+            ));
+        }
+    }
+    hits
+}
+
 /// Look for `tscheck:allow(<id>)` on `raw` (the unstripped line) or the
 /// line above. Returns:
 /// * `None` — no escape hatch, the violation stands;
@@ -328,7 +395,9 @@ pub fn check_source(path: &str, src: &str, cfg: &Config) -> Vec<Violation> {
         }
     }
 
-    if !cfg.is_scoped(path) {
+    let scoped = cfg.is_scoped(path);
+    let strict = cfg.is_strict_scoped(path);
+    if !scoped && !strict {
         return out;
     }
 
@@ -378,7 +447,11 @@ pub fn check_source(path: &str, src: &str, cfg: &Config) -> Vec<Violation> {
         let in_test = test_region_depth.is_some();
         if !in_test && !pending_cfg_test {
             let prev = if idx > 0 { Some(lines[idx - 1]) } else { None };
-            for (rule, message) in line_hits(&code) {
+            let mut hits = if scoped { line_hits(&code) } else { Vec::new() };
+            if strict {
+                hits.extend(strict_line_hits(&code));
+            }
+            for (rule, message) in hits {
                 match allow_state(rule, raw, prev) {
                     Some(true) => {}
                     Some(false) => out.push(Violation {
@@ -626,6 +699,77 @@ mod tests {
             &cfg(),
         );
         assert!(ok.is_empty());
+    }
+
+    fn strict_cfg() -> Config {
+        Config {
+            strict: true,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn strict_indexing_fires_only_in_strict_paths_with_flag() {
+        let src = "fn f() {\n    let x = data[i];\n}\n";
+        // strict path + strict flag → strict-index fires
+        let v = check_source("crates/tdaub/src/executor.rs", src, &strict_cfg());
+        assert!(v.iter().any(|x| x.rule == Rule::StrictIndexing), "{v:?}");
+        // same file without the flag → silent
+        let off = check_source("crates/tdaub/src/executor.rs", src, &cfg());
+        assert!(off.is_empty(), "{off:?}");
+        // non-strict path with the flag → silent (linalg matrix code may
+        // index freely)
+        let other = check_source("crates/linalg/src/matrix.rs", src, &strict_cfg());
+        assert!(other.is_empty(), "{other:?}");
+    }
+
+    #[test]
+    fn strict_indexing_ignores_literals_types_attrs_and_macros() {
+        let src = "#[derive(Debug)]\nfn f(xs: &[f64]) -> Vec<f64> {\n    let a = [1.0, 2.0];\n    let v = vec![0.0; 4];\n    xs.to_vec()\n}\n";
+        let v = check_source("crates/tdaub/src/executor.rs", src, &strict_cfg());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn strict_indexing_catches_chained_subscripts() {
+        for line in ["m.rows()[0]", "(a + b)[i]", "grid[r][c]"] {
+            let src = format!("fn f() {{\n    let x = {line};\n}}\n");
+            let v = check_source("crates/tdaub/src/runner.rs", &src, &strict_cfg());
+            assert!(
+                v.iter().any(|x| x.rule == Rule::StrictIndexing),
+                "`{line}` not flagged"
+            );
+        }
+    }
+
+    #[test]
+    fn panic_propagation_is_flagged_in_strict_scope() {
+        let src =
+            "fn f() {\n    let r = handle.join().unwrap();\n    std::panic::resume_unwind(p);\n}\n";
+        let v = check_source("crates/linalg/src/par.rs", src, &strict_cfg());
+        let props: Vec<_> = v
+            .iter()
+            .filter(|x| x.rule == Rule::PanicPropagation)
+            .collect();
+        assert_eq!(props.len(), 2, "{v:?}");
+        // typed-error joining is fine
+        let good = "fn f() {\n    if let Ok(part) = h.join() { out.extend(part); }\n}\n";
+        let ok = check_source("crates/linalg/src/par.rs", good, &strict_cfg());
+        assert!(ok.iter().all(|x| x.rule != Rule::PanicPropagation));
+    }
+
+    #[test]
+    fn strict_rules_skip_test_regions() {
+        let src = "fn f() { g(); }\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let x = data[0];\n    }\n}\n";
+        let v = check_source("crates/tdaub/src/executor.rs", src, &strict_cfg());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn strict_violation_can_be_waived_with_justification() {
+        let src = "fn f() {\n    // tscheck:allow(strict-index): bounds checked two lines up\n    let x = data[i];\n}\n";
+        let v = check_source("crates/tdaub/src/executor.rs", src, &strict_cfg());
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]

@@ -1,12 +1,16 @@
 //! CLI driver for the `tscheck` static-analysis pass.
 //!
-//! Usage: `cargo run -p xtask -- check`
+//! Usage: `cargo run -p xtask -- check [--strict]`
 //!
 //! Walks the workspace (rooted two levels above this crate's manifest, so
 //! the command works from any cwd), runs [`xtask::check_source`] on every
 //! `.rs` file and [`xtask::check_manifest`] on every `Cargo.toml`, prints
 //! each violation as `path:line [rule] message`, and exits non-zero when
 //! anything fired.
+//!
+//! `--strict` additionally holds the hot-path files (the T-Daub execution
+//! engine and the parallel work queue) to the strict rule family: no slice
+//! indexing at all, and no `.join().unwrap()`-style panic propagation.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -19,9 +23,18 @@ use xtask::{check_manifest, check_source, Config, Violation, ALLOWED_EXTERNAL};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("check") => run_check(),
+        Some("check") => {
+            let rest = args.get(1..).unwrap_or_default();
+            let strict = rest.iter().any(|a| a == "--strict");
+            if let Some(unknown) = rest.iter().find(|a| *a != "--strict") {
+                eprintln!("tscheck: unknown flag `{unknown}`");
+                eprintln!("tscheck: usage: cargo run -p xtask -- check [--strict]");
+                return ExitCode::from(2);
+            }
+            run_check(strict)
+        }
         _ => {
-            eprintln!("tscheck: usage: cargo run -p xtask -- check");
+            eprintln!("tscheck: usage: cargo run -p xtask -- check [--strict]");
             ExitCode::from(2)
         }
     }
@@ -58,9 +71,12 @@ fn walk(dir: &Path, keep: &dyn Fn(&Path) -> bool, out: &mut Vec<PathBuf>) {
     }
 }
 
-fn run_check() -> ExitCode {
+fn run_check(strict: bool) -> ExitCode {
     let root = repo_root();
-    let cfg = Config::default();
+    let cfg = Config {
+        strict,
+        ..Config::default()
+    };
     let mut violations: Vec<Violation> = Vec::new();
 
     let mut sources: Vec<PathBuf> = Vec::new();
@@ -115,7 +131,8 @@ fn run_check() -> ExitCode {
 
     if violations.is_empty() && unreadable == 0 {
         println!(
-            "tscheck: ok ({} source files, {} manifests)",
+            "tscheck: ok{} ({} source files, {} manifests)",
+            if strict { " [strict]" } else { "" },
             sources.len(),
             manifests.len()
         );

@@ -10,10 +10,16 @@ cargo fmt --all --check
 echo "==> tscheck static analysis"
 cargo run -q --offline -p xtask -- check
 
+echo "==> tscheck strict mode (hot paths: tdaub executor, linalg work queue)"
+cargo run -q --offline -p xtask -- check --strict
+
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
 
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
+
+echo "==> isolation tests under --release (timing-sensitive paths)"
+cargo test -q --offline --release --test tdaub_isolation
 
 echo "check.sh: all gates passed"

@@ -6,10 +6,10 @@
 //! from the fixed seeds below.
 
 use autoai_ts_repro::linalg;
-use autoai_ts_repro::linalg::Rng64;
+use autoai_ts_repro::linalg::{parallel_try_map_range, Rng64};
 use autoai_ts_repro::transforms::{
-    flatten_windows, normalized_flatten_windows, DifferenceTransform, LogTransform, MinMaxScaler,
-    StandardScaler, Transform,
+    flatten_windows, localized_flatten_windows, normalized_flatten_windows, DifferenceTransform,
+    LogTransform, MinMaxScaler, StandardScaler, Transform,
 };
 use autoai_ts_repro::tsdata::{
     rank_rows, reverse_allocation, smape, train_test_split, TimeSeriesFrame,
@@ -189,6 +189,129 @@ fn rank_rows_is_a_permutation_average() {
         let n = scores.len() as f64;
         // ranks always sum to n(n+1)/2 whether or not there are ties
         assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+    }
+}
+
+// ---- transform round-trips under the executor path --------------------
+//
+// The three tests below run their random cases through
+// `parallel_try_map_range` — the same work queue the T-Daub executor uses —
+// so the invariants are exercised on worker threads, each case seeded
+// independently for reproducibility. A `None`/`Err` slot would mean a
+// worker panicked; the asserts inside run on the worker, the outer unwrap
+// surfaces any failure message.
+
+/// Per-case RNG: independent of case order, stable across thread counts.
+fn case_rng(base: u64, case: usize) -> Rng64 {
+    Rng64::seed_from_u64(base.wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+#[test]
+fn flatten_windows_reconstruct_the_series() {
+    let outcomes = parallel_try_map_range(CASES, |case| {
+        let mut rng = case_rng(0xF1A7, case);
+        let n_series = rng.gen_range(1..4);
+        let len = rng.gen_range(8..96);
+        let cols: Vec<Vec<f64>> = (0..n_series)
+            .map(|_| (0..len).map(|_| rng.range_f64(-1e3, 1e3)).collect())
+            .collect();
+        let lookback = rng.gen_range(1..6);
+        let horizon = rng.gen_range(1..4);
+        let frame = TimeSeriesFrame::from_columns(cols.clone());
+        let ds = flatten_windows(&frame, lookback, horizon);
+        // every feature and target cell must be an exact copy of the
+        // original series value at its window offset — together the
+        // windows reconstruct the series
+        for w in 0..ds.len() {
+            for (c, col) in cols.iter().enumerate() {
+                for k in 0..lookback {
+                    let got = ds.x[(w, c * lookback + k)];
+                    let want = col[w + k];
+                    assert!((got - want).abs() < 1e-9, "x[{w},{c},{k}]: {got} vs {want}");
+                }
+                for k in 0..horizon {
+                    let got = ds.y[(w, c * horizon + k)];
+                    let want = col[w + lookback + k];
+                    assert!((got - want).abs() < 1e-9, "y[{w},{c},{k}]: {got} vs {want}");
+                }
+            }
+        }
+    });
+    for (case, r) in outcomes.into_iter().enumerate() {
+        r.unwrap_or_else(|p| panic!("case {case}: {p}"));
+    }
+}
+
+#[test]
+fn localized_flatten_matches_joint_flatten_slices() {
+    let outcomes = parallel_try_map_range(CASES, |case| {
+        let mut rng = case_rng(0x10CA, case);
+        let n_series = rng.gen_range(2..5);
+        let len = rng.gen_range(10..64);
+        let cols: Vec<Vec<f64>> = (0..n_series)
+            .map(|_| (0..len).map(|_| rng.range_f64(-1e3, 1e3)).collect())
+            .collect();
+        let lookback = rng.gen_range(1..5);
+        let horizon = rng.gen_range(1..3);
+        let frame = TimeSeriesFrame::from_columns(cols);
+        let joint = flatten_windows(&frame, lookback, horizon);
+        let local = localized_flatten_windows(&frame, lookback, horizon);
+        assert_eq!(local.len(), n_series);
+        // each per-series dataset must equal the matching column block of
+        // the joint dataset — two different code paths, same windows
+        for (c, ds) in local.iter().enumerate() {
+            assert_eq!(ds.len(), joint.len());
+            for w in 0..ds.len() {
+                for k in 0..lookback {
+                    let a = ds.x[(w, k)];
+                    let b = joint.x[(w, c * lookback + k)];
+                    assert!((a - b).abs() < 1e-9, "x[{w},{k}] series {c}: {a} vs {b}");
+                }
+                for k in 0..horizon {
+                    let a = ds.y[(w, k)];
+                    let b = joint.y[(w, c * horizon + k)];
+                    assert!((a - b).abs() < 1e-9, "y[{w},{k}] series {c}: {a} vs {b}");
+                }
+            }
+        }
+    });
+    for (case, r) in outcomes.into_iter().enumerate() {
+        r.unwrap_or_else(|p| panic!("case {case}: {p}"));
+    }
+}
+
+#[test]
+fn difference_inverse_reconstructs_forecasts_orders_1_to_3() {
+    let outcomes = parallel_try_map_range(CASES, |case| {
+        let mut rng = case_rng(0xD1FF2, case);
+        for order in 1..=3usize {
+            let len = rng.gen_range(order + 4..64);
+            let train: Vec<f64> = (0..len).map(|_| rng.range_f64(-1e3, 1e3)).collect();
+            let future: Vec<f64> = (0..rng.gen_range(1..6))
+                .map(|_| rng.range_f64(-1e3, 1e3))
+                .collect();
+            let mut continued = train.clone();
+            continued.extend_from_slice(&future);
+
+            let mut t = DifferenceTransform::with_order(order);
+            t.fit(&TimeSeriesFrame::univariate(train.clone()));
+            // the model's "perfect forecast" in difference space: the last
+            // `future.len()` entries of the order-d differences of the
+            // continued series
+            let diffs = t.transform(&TimeSeriesFrame::univariate(continued.clone()));
+            let d = diffs.series(0);
+            let tail = &d[d.len() - future.len()..];
+            let restored = t.inverse_transform(&TimeSeriesFrame::univariate(tail.to_vec()));
+            for (r, c) in restored.series(0).iter().zip(&future) {
+                assert!(
+                    (r - c).abs() < 1e-9 * (1.0 + c.abs()),
+                    "order {order}: {r} vs {c}"
+                );
+            }
+        }
+    });
+    for (case, r) in outcomes.into_iter().enumerate() {
+        r.unwrap_or_else(|p| panic!("case {case}: {p}"));
     }
 }
 
