@@ -27,6 +27,6 @@ pub use solve::{
     cholesky, cholesky_solve, lstsq, lstsq_ridge, simple_linreg, solve_linear, SolveError,
 };
 pub use stats::{
-    autocorrelation, autocovariance, mean, median, partial_autocorrelation, quantile, std_dev,
-    variance, yule_walker, zero_crossings,
+    autocorrelation, autocovariance, levinson_durbin, mean, median, partial_autocorrelation,
+    quantile, std_dev, variance, yule_walker, zero_crossings,
 };

@@ -112,6 +112,19 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Iterate over the rows as slices (row-major chunks). A matrix with
+    /// zero columns yields no rows (it holds no data).
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        let cols = self.cols.max(1);
+        self.data.chunks(cols).take(self.rows)
+    }
+
+    /// Iterate over the rows as mutable slices (row-major chunks).
+    pub fn rows_iter_mut(&mut self) -> impl Iterator<Item = &mut [f64]> {
+        let cols = self.cols.max(1);
+        self.data.chunks_mut(cols).take(self.rows)
+    }
+
     /// Copy column `c` out into a vector.
     pub fn col(&self, c: usize) -> Vec<f64> {
         debug_assert!(c < self.cols);

@@ -115,6 +115,20 @@ pub fn yule_walker(x: &[f64], order: usize) -> Vec<f64> {
         return Vec::new();
     }
     let rho: Vec<f64> = (0..=order).map(|k| autocorrelation(x, k)).collect();
+    levinson_durbin(&rho)
+}
+
+/// Levinson–Durbin recursion: AR coefficients `phi_1..phi_p` from the
+/// autocorrelation sequence `rho[0..=p]` (with `rho[0] = 1`). This is the
+/// solver core of [`yule_walker`], exposed separately so callers that
+/// maintain autocovariance moments incrementally (the warm-started AR model)
+/// can reuse it on their own `rho` estimates. Returns an empty vector when
+/// `rho` holds fewer than two lags.
+pub fn levinson_durbin(rho: &[f64]) -> Vec<f64> {
+    let order = rho.len().saturating_sub(1);
+    if order == 0 {
+        return Vec::new();
+    }
     let mut phi_prev = vec![0.0; order + 1];
     let mut phi = vec![0.0; order + 1];
     phi[1] = rho[1];

@@ -1,0 +1,127 @@
+//! Fall-back-transparent helpers for the shared [`TransformCache`].
+//!
+//! Pipelines hold an `Option<Arc<TransformCache>>` handed to them by the
+//! execution engine via [`Forecaster::set_transform_cache`]. These helpers
+//! collapse the three-way branch every call site would otherwise repeat:
+//! no cache attached → compute directly; cache attached but unable to serve
+//! (quarantined panic, poisoned lock) → compute directly; cache hit/miss →
+//! use the shared result. A pipeline wired through these helpers behaves
+//! bit-identically with and without a cache — the cache only changes *who*
+//! computes, never *what*.
+//!
+//! [`Forecaster::set_transform_cache`]: crate::Forecaster::set_transform_cache
+
+use std::sync::Arc;
+
+use autoai_transforms::{flatten_windows, TransformCache, WindowDataset};
+use autoai_tsdata::TimeSeriesFrame;
+
+/// Windowed design matrices for `frame`, shared through `cache` when one is
+/// attached and able to serve.
+pub fn cached_flatten(
+    cache: Option<&Arc<TransformCache>>,
+    frame: &TimeSeriesFrame,
+    lookback: usize,
+    horizon: usize,
+) -> Arc<WindowDataset> {
+    if let Some(c) = cache {
+        if let Some(ds) = c.flatten(frame, lookback, horizon) {
+            return ds;
+        }
+    }
+    Arc::new(flatten_windows(frame, lookback, horizon))
+}
+
+/// Per-series windowed design matrices (the Localized Flatten building
+/// block), shared through `cache` when possible.
+pub fn cached_localized_flatten(
+    cache: Option<&Arc<TransformCache>>,
+    frame: &TimeSeriesFrame,
+    series: usize,
+    lookback: usize,
+    horizon: usize,
+) -> Arc<WindowDataset> {
+    if let Some(c) = cache {
+        if let Some(ds) = c.localized_flatten(frame, series, lookback, horizon) {
+            return ds;
+        }
+    }
+    Arc::new(flatten_windows(&frame.select(series), lookback, horizon))
+}
+
+/// A frame-to-frame transform pass, memoized under `tag` when a cache is
+/// attached. `tag` must uniquely determine the pure function `compute`
+/// applies to `frame` (see [`TransformCache::frame_op`]). `compute` must be
+/// re-runnable (`Fn`): when the cache quarantines a panic it returns `None`
+/// and the helper re-runs `compute` directly so the panic surfaces inside
+/// the calling pipeline's own fault-isolation boundary.
+pub fn cached_frame_op(
+    cache: Option<&Arc<TransformCache>>,
+    frame: &TimeSeriesFrame,
+    tag: &str,
+    compute: impl Fn() -> TimeSeriesFrame,
+) -> TimeSeriesFrame {
+    if let Some(c) = cache {
+        if let Some(out) = c.frame_op(frame, tag, &compute) {
+            return out;
+        }
+    }
+    compute()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> TimeSeriesFrame {
+        TimeSeriesFrame::univariate((0..40).map(|i| i as f64).collect())
+    }
+
+    #[test]
+    fn helpers_compute_without_cache() {
+        let f = frame();
+        let ds = cached_flatten(None, &f, 4, 2);
+        assert_eq!(ds.x.nrows(), autoai_transforms::n_windows(40, 4, 2));
+        let out = cached_frame_op(None, &f, "id", || f.clone());
+        assert_eq!(out, f);
+    }
+
+    #[test]
+    fn helpers_share_through_cache() {
+        let cache = Arc::new(TransformCache::new());
+        let f = frame();
+        let a = cached_flatten(Some(&cache), &f, 4, 2);
+        let b = cached_flatten(Some(&cache), &f, 4, 2);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().hits, 1);
+        let l = cached_localized_flatten(Some(&cache), &f, 0, 4, 2);
+        // the select view of a univariate frame fingerprints identically
+        assert!(Arc::ptr_eq(&a, &l));
+    }
+
+    #[test]
+    fn cached_matches_uncached_exactly() {
+        let cache = Arc::new(TransformCache::new());
+        let f = frame();
+        let cached = cached_flatten(Some(&cache), &f, 5, 3);
+        let direct = cached_flatten(None, &f, 5, 3);
+        assert_eq!(*cached, *direct);
+    }
+
+    #[test]
+    fn frame_op_memoizes() {
+        let cache = Arc::new(TransformCache::new());
+        let f = frame();
+        let calls = std::cell::Cell::new(0usize);
+        let a = cached_frame_op(Some(&cache), &f, "twice", || {
+            calls.set(calls.get() + 1);
+            f.clone()
+        });
+        let b = cached_frame_op(Some(&cache), &f, "twice", || {
+            calls.set(calls.get() + 1);
+            f.clone()
+        });
+        assert_eq!(calls.get(), 1);
+        assert_eq!(a, b);
+    }
+}

@@ -7,15 +7,18 @@
 //! trained on the windowed data, evaluated on a temporal validation split of
 //! the windows, and the best one is refitted on everything.
 
+use std::sync::Arc;
+
 use autoai_ml_models::{
     GradientBoostingConfig, GradientBoostingRegressor, LinearRegression, MultiOutputRegressor,
     RandomForestConfig, RandomForestRegressor, Regressor,
 };
 use autoai_transforms::{
-    flatten_windows, latest_window, DifferenceTransform, LogTransform, Transform,
+    latest_window, DifferenceTransform, LogTransform, Transform, TransformCache,
 };
 use autoai_tsdata::TimeSeriesFrame;
 
+use crate::caching::{cached_flatten, cached_frame_op, cached_localized_flatten};
 use crate::traits::{Forecaster, PipelineError};
 
 /// Which flatten variant the ensembler uses.
@@ -50,6 +53,8 @@ pub struct AutoEnsembler {
     /// Tail of the *transformed* training data used to seed prediction.
     train_tail: Option<TimeSeriesFrame>,
     names: Vec<String>,
+    /// Shared transform cache attached by the execution engine.
+    cache: Option<Arc<TransformCache>>,
 }
 
 impl AutoEnsembler {
@@ -81,6 +86,7 @@ impl AutoEnsembler {
             chosen_regressor: String::new(),
             train_tail: None,
             names: Vec::new(),
+            cache: None,
         }
     }
 
@@ -178,7 +184,10 @@ impl AutoEnsembler {
 impl Forecaster for AutoEnsembler {
     fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
         self.names = frame.names().to_vec();
-        // fit transforms
+        let cache = self.cache.as_ref();
+        // fit transforms; the transform passes themselves are memoized so
+        // every -log / difference pipeline in the pool shares one output
+        // frame (and therefore one set of downstream window matrices)
         self.log = if self.use_log {
             let mut t = LogTransform::new();
             t.fit(frame);
@@ -187,7 +196,7 @@ impl Forecaster for AutoEnsembler {
             None
         };
         let after_log = match &self.log {
-            Some(l) => l.transform(frame),
+            Some(l) => cached_frame_op(cache, frame, "log", || l.transform(frame)),
             None => frame.clone(),
         };
         self.diff = if self.mode == EnsembleMode::DifferenceFlatten {
@@ -198,7 +207,10 @@ impl Forecaster for AutoEnsembler {
             None
         };
         let transformed = match &self.diff {
-            Some(d) => d.transform(&after_log),
+            Some(d) => {
+                let tag = format!("diff{}", d.order());
+                cached_frame_op(cache, &after_log, &tag, || d.transform(&after_log))
+            }
             None => after_log,
         };
 
@@ -210,7 +222,7 @@ impl Forecaster for AutoEnsembler {
         self.local_models.clear();
         match self.mode {
             EnsembleMode::Flatten | EnsembleMode::DifferenceFlatten => {
-                let ds = flatten_windows(&transformed, self.lookback, self.horizon);
+                let ds = cached_flatten(cache, &transformed, self.lookback, self.horizon);
                 if ds.is_empty() {
                     return Err(PipelineError::InvalidInput(format!(
                         "length {} too short for lookback {} + horizon {}",
@@ -226,8 +238,13 @@ impl Forecaster for AutoEnsembler {
             EnsembleMode::LocalizedFlatten => {
                 let mut chosen_names = Vec::new();
                 for c in 0..transformed.n_series() {
-                    let single = transformed.select(c);
-                    let ds = flatten_windows(&single, self.lookback, self.horizon);
+                    let ds = cached_localized_flatten(
+                        cache,
+                        &transformed,
+                        c,
+                        self.lookback,
+                        self.horizon,
+                    );
                     if ds.is_empty() {
                         return Err(PipelineError::InvalidInput(
                             "series too short for localized windows".into(),
@@ -305,12 +322,18 @@ impl Forecaster for AutoEnsembler {
     }
 
     fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+        // deliberately does not carry the cache: the execution engine
+        // re-attaches it before every fit so detached clones stay inert
         Box::new(Self::new(
             self.mode,
             self.lookback,
             self.horizon,
             self.use_log,
         ))
+    }
+
+    fn set_transform_cache(&mut self, cache: Option<Arc<TransformCache>>) {
+        self.cache = cache;
     }
 }
 

@@ -17,19 +17,21 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod caching;
 pub mod ensemble;
 pub mod registry;
 pub mod stat_pipelines;
 pub mod traits;
 pub mod window_pipeline;
 
+pub use caching::{cached_flatten, cached_frame_op, cached_localized_flatten};
 pub use ensemble::{AutoEnsembler, EnsembleMode};
 pub use registry::{
     default_pipelines, extended_pipelines, pipeline_by_name, PipelineContext, PIPELINE_NAMES,
 };
 pub use stat_pipelines::{
-    ArimaPipeline, BatsPipeline, HoltWintersPipeline, Mt2rForecaster, NeuralPipeline,
-    ThetaPipeline, ZeroModelPipeline,
+    ArPipeline, ArimaPipeline, BatsPipeline, HoltWintersPipeline, Mt2rForecaster, NeuralPipeline,
+    SeasonalNaivePipeline, ThetaPipeline, ZeroModelPipeline,
 };
 pub use traits::{Forecaster, PipelineError};
 pub use window_pipeline::WindowRegressorPipeline;

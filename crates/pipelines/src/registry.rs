@@ -4,8 +4,8 @@
 
 use crate::ensemble::AutoEnsembler;
 use crate::stat_pipelines::{
-    ArimaPipeline, BatsPipeline, HoltWintersPipeline, Mt2rForecaster, NeuralPipeline,
-    ThetaPipeline, ZeroModelPipeline,
+    ArPipeline, ArimaPipeline, BatsPipeline, HoltWintersPipeline, Mt2rForecaster, NeuralPipeline,
+    SeasonalNaivePipeline, ThetaPipeline, ZeroModelPipeline,
 };
 use crate::traits::Forecaster;
 use crate::window_pipeline::WindowRegressorPipeline;
@@ -90,6 +90,8 @@ pub fn pipeline_by_name(name: &str, ctx: &PipelineContext) -> Option<Box<dyn For
         "ZeroModel" => Box::new(ZeroModelPipeline::new()),
         "Theta" => Box::new(ThetaPipeline::new()),
         "NeuralWindow" => Box::new(NeuralPipeline::new(lb, h)),
+        "AR" => Box::new(ArPipeline::new(lb.clamp(1, 8))),
+        "SeasonalNaive" => Box::new(SeasonalNaivePipeline::new(if m >= 2 { m } else { lb })),
         _ => return None,
     };
     Some(p)
@@ -102,6 +104,10 @@ pub fn extended_pipelines(ctx: &PipelineContext) -> Vec<Box<dyn Forecaster>> {
     out.push(Box::new(ZeroModelPipeline::new()));
     out.push(Box::new(ThetaPipeline::new()));
     out.push(Box::new(NeuralPipeline::new(ctx.lookback, ctx.horizon)));
+    out.push(Box::new(ArPipeline::new(ctx.lookback.clamp(1, 8))));
+    out.push(Box::new(SeasonalNaivePipeline::new(
+        ctx.primary_period().max(ctx.lookback),
+    )));
     // look-back variations of the window pipelines
     for factor in [2usize, 4] {
         let lb = (ctx.lookback * factor).max(4);
@@ -161,7 +167,14 @@ mod tests {
     #[test]
     fn extension_pipelines_resolvable() {
         let ctx = PipelineContext::new(8, 12, vec![7]);
-        for name in ["ZeroModel", "Theta", "NeuralWindow", "FlattenAutoEnsembler"] {
+        for name in [
+            "ZeroModel",
+            "Theta",
+            "NeuralWindow",
+            "FlattenAutoEnsembler",
+            "AR",
+            "SeasonalNaive",
+        ] {
             assert!(pipeline_by_name(name, &ctx).is_some(), "missing {name}");
         }
     }

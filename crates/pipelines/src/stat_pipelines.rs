@@ -1,14 +1,18 @@
 //! Pipelines wrapping the statistical models (one model per series) plus
 //! the fast linear MT2RForecaster and the neural pipeline.
 
+use std::sync::Arc;
+
 use autoai_ml_models::{LinearRegression, MultiOutputRegressor};
 use autoai_neural::{Mlp, MlpConfig};
 use autoai_stat_models::{
-    auto_arima, Arima, Bats, BatsConfig, HoltWinters, Seasonality, ThetaModel, ZeroModel,
+    auto_arima, Arima, Bats, BatsConfig, HoltWinters, IncrementalAr, SeasonalNaive, Seasonality,
+    ThetaModel, ZeroModel,
 };
-use autoai_transforms::{flatten_windows, latest_window};
+use autoai_transforms::{latest_window, TransformCache};
 use autoai_tsdata::TimeSeriesFrame;
 
+use crate::caching::cached_flatten;
 use crate::traits::{Forecaster, PipelineError};
 
 fn forecast_frame(names: &[String], forecasts: Vec<Vec<f64>>) -> TimeSeriesFrame {
@@ -24,6 +28,7 @@ fn forecast_frame(names: &[String], forecasts: Vec<Vec<f64>>) -> TimeSeriesFrame
 pub struct ZeroModelPipeline {
     models: Vec<ZeroModel>,
     names: Vec<String>,
+    fitted_rows: usize,
 }
 
 impl ZeroModelPipeline {
@@ -36,6 +41,7 @@ impl ZeroModelPipeline {
 impl Forecaster for ZeroModelPipeline {
     fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
         self.models.clear();
+        self.fitted_rows = 0;
         self.names = frame.names().to_vec();
         for c in 0..frame.n_series() {
             let mut m = ZeroModel::new();
@@ -46,7 +52,27 @@ impl Forecaster for ZeroModelPipeline {
         if self.models.is_empty() {
             return Err(PipelineError::InvalidInput("empty frame".into()));
         }
+        self.fitted_rows = frame.len();
         Ok(())
+    }
+
+    fn fit_incremental(
+        &mut self,
+        frame: &TimeSeriesFrame,
+        previous_rows: usize,
+    ) -> Result<bool, PipelineError> {
+        // the fitted state is each series' last value; growing the frame at
+        // the front (reverse allocations) leaves it untouched, so the
+        // previous fit is already bit-identical to a full refit
+        if self.fitted_rows == 0
+            || previous_rows != self.fitted_rows
+            || frame.len() < previous_rows
+            || frame.n_series() != self.models.len()
+        {
+            return Ok(false);
+        }
+        self.fitted_rows = frame.len();
+        Ok(true)
     }
 
     fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
@@ -65,6 +91,171 @@ impl Forecaster for ZeroModelPipeline {
 
     fn clone_unfitted(&self) -> Box<dyn Forecaster> {
         Box::new(Self::new())
+    }
+}
+
+/// Seasonal naive as a pipeline: repeat each series' trailing season.
+pub struct SeasonalNaivePipeline {
+    period: usize,
+    models: Vec<SeasonalNaive>,
+    names: Vec<String>,
+    fitted_rows: usize,
+}
+
+impl SeasonalNaivePipeline {
+    /// New unfitted pipeline with seasonal period `m` (clamped to ≥ 1;
+    /// period 1 degenerates to the Zero Model).
+    pub fn new(m: usize) -> Self {
+        Self {
+            period: m.max(1),
+            models: Vec::new(),
+            names: Vec::new(),
+            fitted_rows: 0,
+        }
+    }
+}
+
+impl Forecaster for SeasonalNaivePipeline {
+    fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
+        self.models.clear();
+        self.fitted_rows = 0;
+        self.names = frame.names().to_vec();
+        for c in 0..frame.n_series() {
+            let mut m = SeasonalNaive::new(self.period);
+            m.fit(frame.series(c))
+                .map_err(|e| PipelineError::Fit(e.message))?;
+            self.models.push(m);
+        }
+        if self.models.is_empty() {
+            return Err(PipelineError::InvalidInput("empty frame".into()));
+        }
+        self.fitted_rows = frame.len();
+        Ok(())
+    }
+
+    fn fit_incremental(
+        &mut self,
+        frame: &TimeSeriesFrame,
+        previous_rows: usize,
+    ) -> Result<bool, PipelineError> {
+        // the fitted state is the trailing season of each series; once the
+        // previous fit already covered a full period, growth at the front
+        // cannot change it. Shorter previous fits stored a truncated tail,
+        // so they must go through a full refit.
+        if self.fitted_rows == 0
+            || previous_rows != self.fitted_rows
+            || previous_rows < self.period
+            || frame.len() < previous_rows
+            || frame.n_series() != self.models.len()
+        {
+            return Ok(false);
+        }
+        self.fitted_rows = frame.len();
+        Ok(true)
+    }
+
+    fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
+        if self.models.is_empty() {
+            return Err(PipelineError::NotFitted);
+        }
+        Ok(forecast_frame(
+            &self.names,
+            self.models.iter().map(|m| m.forecast(horizon)).collect(),
+        ))
+    }
+
+    fn name(&self) -> String {
+        "SeasonalNaive".into()
+    }
+
+    fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+        Box::new(Self::new(self.period))
+    }
+}
+
+/// Autoregression per series via Yule–Walker, warm-startable across
+/// T-Daub's growing allocations: [`Forecaster::fit_incremental`] extends the
+/// underlying [`IncrementalAr`] moment sums in O(added · order) and stays
+/// bit-identical to a full refit (end-aligned blocked summation).
+pub struct ArPipeline {
+    /// AR order (number of lags).
+    pub order: usize,
+    models: Vec<IncrementalAr>,
+    names: Vec<String>,
+    fitted_rows: usize,
+}
+
+impl ArPipeline {
+    /// New unfitted AR pipeline with the given order (clamped to ≥ 1).
+    pub fn new(order: usize) -> Self {
+        Self {
+            order: order.max(1),
+            models: Vec::new(),
+            names: Vec::new(),
+            fitted_rows: 0,
+        }
+    }
+}
+
+impl Forecaster for ArPipeline {
+    fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
+        self.models.clear();
+        self.fitted_rows = 0;
+        self.names = frame.names().to_vec();
+        for c in 0..frame.n_series() {
+            let mut m = IncrementalAr::new(self.order);
+            m.fit(frame.series(c))
+                .map_err(|e| PipelineError::Fit(e.message))?;
+            self.models.push(m);
+        }
+        if self.models.is_empty() {
+            return Err(PipelineError::InvalidInput("empty frame".into()));
+        }
+        self.fitted_rows = frame.len();
+        Ok(())
+    }
+
+    fn fit_incremental(
+        &mut self,
+        frame: &TimeSeriesFrame,
+        previous_rows: usize,
+    ) -> Result<bool, PipelineError> {
+        if self.fitted_rows == 0
+            || previous_rows != self.fitted_rows
+            || frame.len() < previous_rows
+            || frame.n_series() != self.models.len()
+        {
+            return Ok(false);
+        }
+        for (c, m) in self.models.iter_mut().enumerate() {
+            match m.fit_extended(frame.series(c), previous_rows) {
+                Ok(true) => {}
+                // partially-updated models are fine: the executor reacts to
+                // `false` with a full `fit`, which resets every model
+                Ok(false) => return Ok(false),
+                Err(e) => return Err(PipelineError::Fit(e.message)),
+            }
+        }
+        self.fitted_rows = frame.len();
+        Ok(true)
+    }
+
+    fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
+        if self.models.is_empty() {
+            return Err(PipelineError::NotFitted);
+        }
+        Ok(forecast_frame(
+            &self.names,
+            self.models.iter().map(|m| m.forecast(horizon)).collect(),
+        ))
+    }
+
+    fn name(&self) -> String {
+        "AR".into()
+    }
+
+    fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+        Box::new(Self::new(self.order))
     }
 }
 
@@ -329,6 +520,7 @@ pub struct Mt2rForecaster {
     model: Option<MultiOutputRegressor>,
     train_tail: Option<TimeSeriesFrame>,
     names: Vec<String>,
+    cache: Option<Arc<TransformCache>>,
 }
 
 impl Mt2rForecaster {
@@ -340,6 +532,7 @@ impl Mt2rForecaster {
             model: None,
             train_tail: None,
             names: Vec::new(),
+            cache: None,
         }
     }
 }
@@ -350,7 +543,7 @@ impl Forecaster for Mt2rForecaster {
         // shrink look-back for short series so at least 4 windows exist
         let max_lb = frame.len().saturating_sub(self.horizon + 4).max(1);
         self.lookback = self.lookback.min(max_lb);
-        let ds = flatten_windows(frame, self.lookback, self.horizon);
+        let ds = cached_flatten(self.cache.as_ref(), frame, self.lookback, self.horizon);
         if ds.is_empty() {
             return Err(PipelineError::InvalidInput(format!(
                 "series of length {} too short for lookback {} + horizon {}",
@@ -399,6 +592,10 @@ impl Forecaster for Mt2rForecaster {
     fn clone_unfitted(&self) -> Box<dyn Forecaster> {
         Box::new(Self::new(self.lookback, self.horizon))
     }
+
+    fn set_transform_cache(&mut self, cache: Option<Arc<TransformCache>>) {
+        self.cache = cache;
+    }
 }
 
 /// Deep-learning pipeline: a direct multi-step MLP over flattened windows.
@@ -411,6 +608,7 @@ pub struct NeuralPipeline {
     model: Option<Mlp>,
     train_tail: Option<TimeSeriesFrame>,
     names: Vec<String>,
+    cache: Option<Arc<TransformCache>>,
 }
 
 impl NeuralPipeline {
@@ -426,6 +624,7 @@ impl NeuralPipeline {
             model: None,
             train_tail: None,
             names: Vec::new(),
+            cache: None,
         }
     }
 }
@@ -435,7 +634,7 @@ impl Forecaster for NeuralPipeline {
         self.names = frame.names().to_vec();
         let max_lb = frame.len().saturating_sub(self.horizon + 4).max(1);
         self.lookback = self.lookback.min(max_lb);
-        let ds = flatten_windows(frame, self.lookback, self.horizon);
+        let ds = cached_flatten(self.cache.as_ref(), frame, self.lookback, self.horizon);
         if ds.is_empty() {
             return Err(PipelineError::InvalidInput(
                 "series too short for neural windows".into(),
@@ -479,6 +678,10 @@ impl Forecaster for NeuralPipeline {
 
     fn clone_unfitted(&self) -> Box<dyn Forecaster> {
         Box::new(Self::new(self.lookback, self.horizon))
+    }
+
+    fn set_transform_cache(&mut self, cache: Option<Arc<TransformCache>>) {
+        self.cache = cache;
     }
 }
 
@@ -625,5 +828,94 @@ mod tests {
     fn clone_unfitted_produces_same_name() {
         let p = HoltWintersPipeline::multiplicative(12);
         assert_eq!(p.clone_unfitted().name(), "HW-Multiplicative");
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_trailing_season() {
+        let mut p = SeasonalNaivePipeline::new(4);
+        p.fit(&TimeSeriesFrame::univariate(
+            (0..16).map(|i| (i % 4) as f64).collect(),
+        ))
+        .unwrap();
+        let f = p.predict(6).unwrap();
+        assert_eq!(f.series(0), &[0.0, 1.0, 2.0, 3.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_model_incremental_matches_full_fit() {
+        let frame = seasonal_frame(200);
+        let mut inc = ZeroModelPipeline::new();
+        inc.fit(&frame.tail(60)).unwrap();
+        assert!(inc.fit_incremental(&frame, 60).unwrap());
+        let mut full = ZeroModelPipeline::new();
+        full.fit(&frame).unwrap();
+        assert_eq!(
+            inc.predict(5).unwrap().to_rows(),
+            full.predict(5).unwrap().to_rows()
+        );
+        // wrong previous_rows → refuses
+        assert!(!inc.fit_incremental(&frame, 60).unwrap());
+    }
+
+    #[test]
+    fn seasonal_naive_incremental_matches_full_fit() {
+        let frame = seasonal_frame(200);
+        let mut inc = SeasonalNaivePipeline::new(12);
+        inc.fit(&frame.tail(50)).unwrap();
+        assert!(inc.fit_incremental(&frame, 50).unwrap());
+        let mut full = SeasonalNaivePipeline::new(12);
+        full.fit(&frame).unwrap();
+        assert_eq!(
+            inc.predict(24).unwrap().to_rows(),
+            full.predict(24).unwrap().to_rows()
+        );
+    }
+
+    #[test]
+    fn seasonal_naive_incremental_refuses_short_previous_fit() {
+        // previous fit shorter than the period stored a truncated tail: a
+        // warm start would keep the wrong state
+        let frame = seasonal_frame(100);
+        let mut p = SeasonalNaivePipeline::new(12);
+        p.fit(&frame.tail(8)).unwrap();
+        assert!(!p.fit_incremental(&frame, 8).unwrap());
+    }
+
+    #[test]
+    fn ar_pipeline_incremental_is_bit_identical() {
+        let cols: Vec<Vec<f64>> = (0..2)
+            .map(|c| {
+                (0..400)
+                    .map(|i| {
+                        20.0 + (c as f64 + 1.0)
+                            * (2.0 * std::f64::consts::PI * i as f64 / 11.0).sin()
+                    })
+                    .collect()
+            })
+            .collect();
+        let frame = TimeSeriesFrame::from_columns(cols);
+        let mut inc = ArPipeline::new(4);
+        inc.fit(&frame.tail(150)).unwrap();
+        assert!(inc.fit_incremental(&frame, 150).unwrap());
+        let mut full = ArPipeline::new(4);
+        full.fit(&frame).unwrap();
+        let (fi, ff) = (inc.predict(10).unwrap(), full.predict(10).unwrap());
+        for c in 0..2 {
+            let a: Vec<u64> = fi.series(c).iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u64> = ff.series(c).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "series {c} diverged");
+        }
+    }
+
+    #[test]
+    fn ar_pipeline_forecasts_seasonal() {
+        let mut p = ArPipeline::new(12);
+        p.fit(&seasonal_frame(300)).unwrap();
+        let f = p.predict(6).unwrap();
+        let truth: Vec<f64> = (300..306)
+            .map(|i| 20.0 + 5.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin())
+            .collect();
+        let smape = autoai_tsdata::smape(&truth, f.series(0));
+        assert!(smape < 10.0, "AR smape {smape}");
     }
 }

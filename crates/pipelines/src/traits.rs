@@ -1,5 +1,8 @@
 //! The pipeline-level forecaster contract.
 
+use std::sync::Arc;
+
+use autoai_transforms::TransformCache;
 use autoai_tsdata::{Metric, TimeSeriesFrame};
 
 /// Errors surfaced by pipeline fitting and prediction.
@@ -64,6 +67,30 @@ pub trait Forecaster: Send + Sync {
     /// the executor enforces the deadline cooperatively between allocations
     /// regardless of whether the pipeline honors the hint.
     fn set_time_budget(&mut self, _budget: Option<std::time::Duration>) {}
+
+    /// Hand the pipeline a shared [`TransformCache`] so its windowing and
+    /// stateless-transform passes can be memoized across the pipeline pool.
+    /// `None` detaches the cache. The default implementation ignores the
+    /// cache — only pipelines whose transforms are pure functions of the
+    /// input frame should opt in, and they must treat every cache miss
+    /// (`None` return from cache lookups) as "compute it yourself".
+    fn set_transform_cache(&mut self, _cache: Option<Arc<TransformCache>>) {}
+
+    /// Warm-started refit: `frame` extends the data of this pipeline's
+    /// previous successful `fit` call (under T-Daub's reverse allocations
+    /// the previous training frame is exactly the trailing
+    /// `previous_rows` rows of `frame`). Implementations return `Ok(true)`
+    /// only when they produced a state **bit-identical** to a full
+    /// `fit(frame)` — T-Daub's ranking-equality guarantees depend on it.
+    /// Returning `Ok(false)` (the default) tells the executor to fall back
+    /// to a full `fit`.
+    fn fit_incremental(
+        &mut self,
+        _frame: &TimeSeriesFrame,
+        _previous_rows: usize,
+    ) -> Result<bool, PipelineError> {
+        Ok(false)
+    }
 
     /// Score against a holdout frame that immediately follows the training
     /// data. Default: forecast `test.len()` rows and average the metric

@@ -22,12 +22,14 @@ pub mod arima;
 pub mod bats;
 pub mod garch;
 pub mod holtwinters;
+pub mod incremental_ar;
 pub mod simple;
 
 pub use arima::{auto_arima, Arima, ArimaSpec};
 pub use bats::{Bats, BatsConfig};
 pub use garch::Garch;
 pub use holtwinters::{HoltWinters, Seasonality};
+pub use incremental_ar::{BlockedSum, IncrementalAr};
 pub use simple::{DriftModel, SeasonalNaive, ThetaModel, ZeroModel};
 
 /// Error produced when a model cannot be fitted to the given data.

@@ -57,6 +57,11 @@ impl SeasonalNaive {
         }
     }
 
+    /// The configured seasonal period.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
     /// Store the trailing season of the series.
     pub fn fit(&mut self, series: &[f64]) -> Result<(), FitError> {
         if series.is_empty() {

@@ -22,12 +22,25 @@
 //! longer serializes a whole contiguous chunk of cheap evaluations behind
 //! it. Serial and parallel modes execute the identical per-pipeline
 //! evaluation sequence, so rankings are order-independent and reproducible.
+//!
+//! On top of the safety policy the executor carries the performance layer:
+//! a shared [`TransformCache`] is re-attached to every pipeline before each
+//! unit of work, so pipelines with the same look-back reuse flattened
+//! design matrices within a fixed-allocation round; and under reverse
+//! allocations a candidate whose previous fit is a suffix of the next
+//! allocation is offered a bit-identical [`Forecaster::fit_incremental`]
+//! warm start. Both are instrumented (cache counters, warm-start count,
+//! bytes the zero-copy allocation views avoided) in the
+//! [`ExecutionReport`].
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use autoai_linalg::{parallel_try_map_mut, simple_linreg, WorkerPanic};
 use autoai_pipelines::{Forecaster, PipelineError};
+use autoai_transforms::{CacheStats, TransformCache};
 use autoai_tsdata::{Metric, TimeSeriesFrame};
 
 /// Why a pipeline was removed from the candidate pool.
@@ -72,6 +85,14 @@ pub struct PipelineExecution {
 pub struct ExecutionReport {
     /// Accounting entries, in original pool order.
     pub pipelines: Vec<PipelineExecution>,
+    /// Shared transform-cache counters for the run (all zeros when the
+    /// cache was disabled).
+    pub cache: CacheStats,
+    /// Successful `fit_incremental` warm starts across the pool.
+    pub incremental_fits: u64,
+    /// Bytes of frame data the zero-copy allocation views avoided copying
+    /// (each unit of work used to materialize its allocation slice).
+    pub slice_bytes_avoided: u64,
 }
 
 impl ExecutionReport {
@@ -113,6 +134,11 @@ pub(crate) struct Candidate {
     pub failure: Option<FailureKind>,
     /// Most recent non-crash failure signal, for end-of-run classification.
     pub last_error: Option<FailureKind>,
+    /// Rows of the last successful `fit` on this candidate's pipeline
+    /// (0 = no valid fitted state). Drives the warm-start eligibility test:
+    /// under reverse allocations the previous fit's slice is the trailing
+    /// suffix of every later, larger allocation.
+    pub last_fit_rows: usize,
 }
 
 impl Candidate {
@@ -127,6 +153,7 @@ impl Candidate {
             allocations: 0,
             failure: None,
             last_error: None,
+            last_fit_rows: 0,
         }
     }
 
@@ -206,10 +233,14 @@ impl Candidate {
     }
 }
 
-/// Build the per-run execution report from the final candidate states.
-pub(crate) fn execution_report(cands: &[Candidate]) -> ExecutionReport {
+/// Build the per-run execution report from the final candidate states and
+/// the executor's instrumentation counters.
+pub(crate) fn execution_report(cands: &[Candidate], exec: &Executor<'_>) -> ExecutionReport {
     ExecutionReport {
         pipelines: cands.iter().map(Candidate::execution_entry).collect(),
+        cache: exec.cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
+        incremental_fits: exec.incremental_fits.load(Ordering::Relaxed),
+        slice_bytes_avoided: exec.slice_bytes_avoided.load(Ordering::Relaxed),
     }
 }
 
@@ -221,6 +252,9 @@ struct EvalUnit {
     elapsed: Duration,
     /// Failure signal, if the unit did not produce a finite score.
     error: Option<FailureKind>,
+    /// Rows the pipeline is validly fitted on after this unit (`None` when
+    /// the fit itself failed or panicked — state cannot be warm-started).
+    fitted_rows: Option<usize>,
 }
 
 /// Render a caught panic payload as text (mirrors `WorkerPanic`).
@@ -234,63 +268,6 @@ fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Train a pipeline on an allocation of `t1` and score it on `t2`, with
-/// panic isolation and a cooperative budget hint.
-///
-/// `AssertUnwindSafe` is sound because a crashed pipeline is quarantined by
-/// the caller: its (possibly corrupt) state is never fitted or queried
-/// again.
-fn evaluate_unit(
-    pipeline: &mut Box<dyn Forecaster>,
-    t1: &TimeSeriesFrame,
-    t2: &TimeSeriesFrame,
-    alloc_len: usize,
-    metric: Metric,
-    reverse: bool,
-    remaining: Option<Duration>,
-) -> EvalUnit {
-    let l = t1.len();
-    let alloc_len = alloc_len.min(l);
-    let slice = if reverse {
-        // most recent data: T1[L - alloc + 1 : L] in the paper's notation
-        t1.slice(l - alloc_len, l)
-    } else {
-        // original DAUB: oldest data first — note the pipeline then
-        // forecasts across a gap, which is why reverse wins on time series
-        t1.slice(0, alloc_len)
-    };
-    let start = Instant::now();
-    let caught = catch_unwind(AssertUnwindSafe(|| {
-        pipeline.set_time_budget(remaining);
-        pipeline
-            .fit(&slice)
-            .and_then(|()| pipeline.score(t2, metric))
-    }));
-    let elapsed = start.elapsed();
-    match caught {
-        Ok(Ok(s)) if s.is_finite() => EvalUnit {
-            score: s,
-            elapsed,
-            error: None,
-        },
-        Ok(Ok(_)) => EvalUnit {
-            score: f64::INFINITY,
-            elapsed,
-            error: Some(FailureKind::NonFinite),
-        },
-        Ok(Err(e)) => EvalUnit {
-            score: f64::INFINITY,
-            elapsed,
-            error: Some(FailureKind::Errored(e.to_string())),
-        },
-        Err(payload) => EvalUnit {
-            score: f64::INFINITY,
-            elapsed,
-            error: Some(FailureKind::Crashed(payload_message(payload.as_ref()))),
-        },
-    }
-}
-
 /// The execution engine: shared evaluation context plus the isolation and
 /// budget policy. One instance drives a whole `run_tdaub` call.
 pub(crate) struct Executor<'a> {
@@ -301,11 +278,120 @@ pub(crate) struct Executor<'a> {
     pub parallel: bool,
     /// Per-pipeline cumulative soft budget; `None` = unlimited.
     pub budget: Option<Duration>,
+    /// Shared transform cache re-attached to every pipeline before each
+    /// unit of work; `None` disables cross-pipeline memoization.
+    pub cache: Option<Arc<TransformCache>>,
+    /// Offer warm-started `fit_incremental` refits when a reverse
+    /// allocation extends a candidate's previous successful fit.
+    pub incremental: bool,
+    /// Bytes the O(1) allocation views avoided copying (one slice
+    /// materialization per unit of work before zero-copy frames).
+    pub slice_bytes_avoided: AtomicU64,
+    /// Successful warm starts across the run.
+    pub incremental_fits: AtomicU64,
 }
 
 impl Executor<'_> {
     fn remaining(&self, spent: Duration) -> Option<Duration> {
         self.budget.map(|b| b.saturating_sub(spent))
+    }
+
+    /// Train a pipeline on an allocation of `t1` and score it on `t2`, with
+    /// panic isolation and a cooperative budget hint. `previous_rows` is the
+    /// candidate's last successful fit length (0 = none); under reverse
+    /// allocations a larger allocation extends that fit as a suffix, so the
+    /// pipeline is offered a bit-identical `fit_incremental` warm start.
+    ///
+    /// `AssertUnwindSafe` is sound because a crashed pipeline is quarantined
+    /// by the caller: its (possibly corrupt) state is never fitted or
+    /// queried again.
+    fn evaluate_unit(
+        &self,
+        pipeline: &mut Box<dyn Forecaster>,
+        alloc_len: usize,
+        previous_rows: usize,
+        remaining: Option<Duration>,
+    ) -> EvalUnit {
+        let l = self.t1.len();
+        let alloc_len = alloc_len.min(l);
+        let slice = if self.reverse {
+            // most recent data: T1[L - alloc + 1 : L] in the paper's notation
+            self.t1.slice(l - alloc_len, l)
+        } else {
+            // original DAUB: oldest data first — note the pipeline then
+            // forecasts across a gap, which is why reverse wins on time series
+            self.t1.slice(0, alloc_len)
+        };
+        // the O(1) view replaces what used to be a full row copy of the
+        // allocation for every unit of work
+        self.slice_bytes_avoided.fetch_add(
+            (slice.len() as u64)
+                .saturating_mul(slice.n_series() as u64)
+                .saturating_mul(8),
+            Ordering::Relaxed,
+        );
+        // warm starts are only sound in reverse mode: forward allocations
+        // grow at the *end*, so the previous fit is a prefix, not a suffix
+        let warm_eligible =
+            self.incremental && self.reverse && previous_rows > 0 && previous_rows <= alloc_len;
+        let cache = self.cache.clone();
+        let start = Instant::now();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pipeline.set_time_budget(remaining);
+            pipeline.set_transform_cache(cache);
+            let mut warm = false;
+            let fitted = if warm_eligible {
+                match pipeline.fit_incremental(&slice, previous_rows) {
+                    Ok(true) => {
+                        warm = true;
+                        Ok(())
+                    }
+                    Ok(false) => pipeline.fit(&slice),
+                    Err(e) => Err(e),
+                }
+            } else {
+                pipeline.fit(&slice)
+            };
+            match fitted {
+                Ok(()) => (true, warm, pipeline.score(self.t2, self.metric)),
+                Err(e) => (false, warm, Err(e)),
+            }
+        }));
+        let elapsed = start.elapsed();
+        match caught {
+            Ok((fit_ok, warm, score)) => {
+                if warm {
+                    self.incremental_fits.fetch_add(1, Ordering::Relaxed);
+                }
+                let fitted_rows = fit_ok.then_some(alloc_len);
+                match score {
+                    Ok(s) if s.is_finite() => EvalUnit {
+                        score: s,
+                        elapsed,
+                        error: None,
+                        fitted_rows,
+                    },
+                    Ok(_) => EvalUnit {
+                        score: f64::INFINITY,
+                        elapsed,
+                        error: Some(FailureKind::NonFinite),
+                        fitted_rows,
+                    },
+                    Err(e) => EvalUnit {
+                        score: f64::INFINITY,
+                        elapsed,
+                        error: Some(FailureKind::Errored(e.to_string())),
+                        fitted_rows,
+                    },
+                }
+            }
+            Err(payload) => EvalUnit {
+                score: f64::INFINITY,
+                elapsed,
+                error: Some(FailureKind::Crashed(payload_message(payload.as_ref()))),
+                fitted_rows: None,
+            },
+        }
     }
 
     /// Record one unit outcome on a candidate and apply the isolation and
@@ -314,6 +400,7 @@ impl Executor<'_> {
         c.scores.push((alloc_len, unit.score));
         c.train_time += unit.elapsed;
         c.allocations += 1;
+        c.last_fit_rows = unit.fitted_rows.unwrap_or(0);
         match unit.error {
             Some(FailureKind::Crashed(m)) => {
                 // corrupt state: quarantine immediately
@@ -336,15 +423,8 @@ impl Executor<'_> {
             return;
         }
         let remaining = self.remaining(c.train_time);
-        let unit = evaluate_unit(
-            &mut c.pipeline,
-            self.t1,
-            self.t2,
-            alloc_len,
-            self.metric,
-            self.reverse,
-            remaining,
-        );
+        let previous_rows = c.last_fit_rows;
+        let unit = self.evaluate_unit(&mut c.pipeline, alloc_len, previous_rows, remaining);
         self.apply(c, alloc_len, unit);
     }
 
@@ -362,15 +442,8 @@ impl Executor<'_> {
         let mut live: Vec<&mut Candidate> = cands.iter_mut().filter(|c| c.alive()).collect();
         let outcomes: Vec<Result<EvalUnit, WorkerPanic>> = parallel_try_map_mut(&mut live, |c| {
             let remaining = self.remaining(c.train_time);
-            evaluate_unit(
-                &mut c.pipeline,
-                self.t1,
-                self.t2,
-                alloc_len,
-                self.metric,
-                self.reverse,
-                remaining,
-            )
+            let previous_rows = c.last_fit_rows;
+            self.evaluate_unit(&mut c.pipeline, alloc_len, previous_rows, remaining)
         });
         for (c, outcome) in live.iter_mut().zip(outcomes) {
             // the inner catch_unwind already absorbs pipeline panics; the
@@ -382,6 +455,7 @@ impl Executor<'_> {
                     score: f64::INFINITY,
                     elapsed: Duration::ZERO,
                     error: Some(FailureKind::Crashed(p.message)),
+                    fitted_rows: None,
                 },
             };
             self.apply(c, alloc_len, unit);
@@ -395,7 +469,11 @@ impl Executor<'_> {
         pipeline: &mut Box<dyn Forecaster>,
         train: &TimeSeriesFrame,
     ) -> Result<(), PipelineError> {
-        match catch_unwind(AssertUnwindSafe(|| pipeline.fit(train))) {
+        let cache = self.cache.clone();
+        match catch_unwind(AssertUnwindSafe(|| {
+            pipeline.set_transform_cache(cache);
+            pipeline.fit(train)
+        })) {
             Ok(result) => result,
             Err(payload) => Err(PipelineError::Crashed(payload_message(payload.as_ref()))),
         }
@@ -444,17 +522,30 @@ mod tests {
         (t1, t2)
     }
 
+    fn executor<'a>(
+        t1: &'a TimeSeriesFrame,
+        t2: &'a TimeSeriesFrame,
+        parallel: bool,
+        budget: Option<Duration>,
+    ) -> Executor<'a> {
+        Executor {
+            t1,
+            t2,
+            metric: Metric::Smape,
+            reverse: true,
+            parallel,
+            budget,
+            cache: None,
+            incremental: false,
+            slice_bytes_avoided: AtomicU64::new(0),
+            incremental_fits: AtomicU64::new(0),
+        }
+    }
+
     #[test]
     fn crash_is_captured_as_typed_failure() {
         let (t1, t2) = frames();
-        let exec = Executor {
-            t1: &t1,
-            t2: &t2,
-            metric: Metric::Smape,
-            reverse: true,
-            parallel: false,
-            budget: None,
-        };
+        let exec = executor(&t1, &t2, false, None);
         let mut c = Candidate::new(Box::new(Panicky));
         exec.run_single(&mut c, 40);
         assert!(!c.alive());
@@ -468,14 +559,7 @@ mod tests {
     #[test]
     fn budget_marks_timeout_between_allocations() {
         let (t1, t2) = frames();
-        let exec = Executor {
-            t1: &t1,
-            t2: &t2,
-            metric: Metric::Smape,
-            reverse: true,
-            parallel: false,
-            budget: Some(Duration::ZERO),
-        };
+        let exec = executor(&t1, &t2, false, Some(Duration::ZERO));
         let mut c = Candidate::new(Box::new(Always(1.0)));
         exec.run_single(&mut c, 40);
         // the unit itself completes (soft budget), then the deadline fires
@@ -489,14 +573,7 @@ mod tests {
     #[test]
     fn round_skips_dead_candidates_and_matches_serial() {
         let (t1, t2) = frames();
-        let mk = |parallel| Executor {
-            t1: &t1,
-            t2: &t2,
-            metric: Metric::Smape,
-            reverse: true,
-            parallel,
-            budget: None,
-        };
+        let mk = |parallel| executor(&t1, &t2, parallel, None);
         let build = || {
             vec![
                 Candidate::new(Box::new(Always(85.0))),
@@ -521,14 +598,7 @@ mod tests {
     #[test]
     fn non_finite_scores_classify_as_nonfinite() {
         let (t1, t2) = frames();
-        let exec = Executor {
-            t1: &t1,
-            t2: &t2,
-            metric: Metric::Smape,
-            reverse: true,
-            parallel: false,
-            budget: None,
-        };
+        let exec = executor(&t1, &t2, false, None);
         let mut c = Candidate::new(Box::new(Always(f64::NAN)));
         exec.run_single(&mut c, 40);
         assert!(c.alive()); // not yet classified — might recover

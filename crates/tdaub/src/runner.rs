@@ -1,9 +1,12 @@
 //! The T-Daub algorithm (Algorithm 1 of the paper), driven by the
 //! fault-isolated, budgeted [`executor`](crate::executor).
 
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use autoai_pipelines::{Forecaster, PipelineError};
+use autoai_transforms::TransformCache;
 use autoai_tsdata::{Metric, TimeSeriesFrame};
 
 use crate::executor::{execution_report, Candidate, ExecutionReport, Executor};
@@ -42,6 +45,16 @@ pub struct TDaubConfig {
     /// excluded from the final ranking, and is reported as
     /// [`crate::FailureKind::TimedOut`]. `None` (default) = unlimited.
     pub pipeline_time_budget: Option<Duration>,
+    /// Share one [`TransformCache`] across the pool so pipelines with the
+    /// same look-back reuse flattened design matrices within a round.
+    /// `false` gives the uncached comparison mode used by benches and the
+    /// isolation suite; rankings are identical either way.
+    pub transform_cache: bool,
+    /// Offer warm-started [`Forecaster::fit_incremental`] refits when a
+    /// reverse allocation extends a candidate's previous fit. Pipelines only
+    /// accept when the warm state is bit-identical to a full fit, so
+    /// disabling this (`false`) changes wall time, never scores.
+    pub incremental: bool,
 }
 
 impl Default for TDaubConfig {
@@ -58,6 +71,8 @@ impl Default for TDaubConfig {
             reverse_allocation: true,
             use_projection: true,
             pipeline_time_budget: None,
+            transform_cache: true,
+            incremental: true,
         }
     }
 }
@@ -142,6 +157,13 @@ pub fn run_tdaub(
         reverse: config.reverse_allocation,
         parallel: config.parallel,
         budget: config.pipeline_time_budget,
+        cache: config
+            .transform_cache
+            .then(TransformCache::new)
+            .map(Arc::new),
+        incremental: config.incremental,
+        slice_bytes_avoided: AtomicU64::new(0),
+        incremental_fits: AtomicU64::new(0),
     };
 
     if small_data {
@@ -252,7 +274,7 @@ pub fn run_tdaub(
     for c in cands.iter_mut() {
         c.finalize_failure();
     }
-    let execution = execution_report(&cands);
+    let execution = execution_report(&cands, &exec);
 
     let mut order: Vec<(bool, f64, usize)> = cands
         .iter()

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod cache;
 pub mod detect;
 pub mod resample;
 pub mod stateful;
@@ -25,6 +26,7 @@ pub mod stateless;
 pub mod traits;
 pub mod window;
 
+pub use cache::{CacheStats, TransformCache};
 pub use detect::{detect_all, Detection, Detector};
 pub use resample::{downsample, resample_to_regular, upsample_linear};
 pub use stateful::DifferenceTransform;
@@ -33,6 +35,6 @@ pub use stateless::{
 };
 pub use traits::{Transform, TransformChain};
 pub use window::{
-    flatten_windows, latest_window, localized_flatten_windows, normalized_flatten_windows,
-    WindowDataset,
+    flatten_windows, latest_window, localized_flatten_windows, n_windows,
+    normalized_flatten_windows, WindowDataset,
 };

@@ -15,12 +15,19 @@
 //!   per-window, per-series anchor (the last value of the window), making
 //!   the learning problem scale-free; anchors are returned so forecasts can
 //!   be denormalized.
+//!
+//! The kernels here are the T-Daub hot loop: every (pipeline × allocation)
+//! unit runs one of them. They are written index-free (iterator chunks and
+//! checked `get` ranges instead of `[]` subscripts) so the tscheck strict
+//! rules apply, and [`fill_flatten_rows`] exposes the row-filling core so
+//! the [`crate::cache::TransformCache`] can extend a cached design matrix
+//! with only the rows a grown allocation adds.
 
 use autoai_linalg::Matrix;
 use autoai_tsdata::TimeSeriesFrame;
 
 /// A supervised dataset derived from sliding windows.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WindowDataset {
     /// Features: `n_windows x (lookback * n_series)`.
     pub x: Matrix,
@@ -41,10 +48,51 @@ impl WindowDataset {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Total size of the dataset's matrices in bytes (8 bytes per cell).
+    /// Used by the transform cache to account for copies avoided.
+    pub fn bytes(&self) -> u64 {
+        fn matrix_bytes(m: &Matrix) -> u64 {
+            (m.nrows() as u64) * (m.ncols() as u64) * 8
+        }
+        matrix_bytes(&self.x)
+            + matrix_bytes(&self.y)
+            + self.anchors.as_ref().map_or(0, matrix_bytes)
+    }
 }
 
-fn n_windows(len: usize, lookback: usize, horizon: usize) -> usize {
+/// Number of complete (look-back, horizon) windows that fit `len` samples.
+pub fn n_windows(len: usize, lookback: usize, horizon: usize) -> usize {
     (len + 1).saturating_sub(lookback + horizon)
+}
+
+/// Fill rows of `x`/`y` with consecutive flatten windows of `frame`,
+/// starting at window index `w_first`. The iterators bound how many rows
+/// are written; every yielded row slice must have the flatten layout
+/// (`lookback * n_series` feature columns, `horizon * n_series` targets).
+/// This is the shared core of [`flatten_windows`] and the incremental
+/// design-matrix extension in the transform cache.
+pub(crate) fn fill_flatten_rows<'a>(
+    frame: &TimeSeriesFrame,
+    lookback: usize,
+    horizon: usize,
+    w_first: usize,
+    x_rows: impl Iterator<Item = &'a mut [f64]>,
+    y_rows: impl Iterator<Item = &'a mut [f64]>,
+) {
+    for (i, (xr, yr)) in x_rows.zip(y_rows).enumerate() {
+        let w = w_first + i;
+        for (chunk, col) in xr.chunks_mut(lookback).zip(frame.series_iter()) {
+            if let Some(src) = col.get(w..w + lookback) {
+                chunk.copy_from_slice(src);
+            }
+        }
+        for (chunk, col) in yr.chunks_mut(horizon).zip(frame.series_iter()) {
+            if let Some(src) = col.get(w + lookback..w + lookback + horizon) {
+                chunk.copy_from_slice(src);
+            }
+        }
+    }
 }
 
 /// Flatten transform: joint windows over all series.
@@ -57,24 +105,18 @@ pub fn flatten_windows(frame: &TimeSeriesFrame, lookback: usize, horizon: usize)
         lookback >= 1 && horizon >= 1,
         "lookback and horizon must be >= 1"
     );
-    let n = frame.len();
+    let count = n_windows(frame.len(), lookback, horizon);
     let s = frame.n_series();
-    let count = n_windows(n, lookback, horizon);
-    let mut x = Matrix::zeros(count, lookback * s);
-    let mut y = Matrix::zeros(count, horizon * s);
-    for w in 0..count {
-        let xr = x.row_mut(w);
-        for c in 0..s {
-            let col = frame.series(c);
-            xr[c * lookback..(c + 1) * lookback].copy_from_slice(&col[w..w + lookback]);
-        }
-        let yr = y.row_mut(w);
-        for c in 0..s {
-            let col = frame.series(c);
-            yr[c * horizon..(c + 1) * horizon]
-                .copy_from_slice(&col[w + lookback..w + lookback + horizon]);
-        }
-    }
+    let mut x = Matrix::zeros(count, lookback.saturating_mul(s));
+    let mut y = Matrix::zeros(count, horizon.saturating_mul(s));
+    fill_flatten_rows(
+        frame,
+        lookback,
+        horizon,
+        0,
+        x.rows_iter_mut(),
+        y.rows_iter_mut(),
+    );
     WindowDataset {
         x,
         y,
@@ -102,19 +144,25 @@ pub fn normalized_flatten_windows(
     horizon: usize,
 ) -> WindowDataset {
     let mut ds = flatten_windows(frame, lookback, horizon);
-    let s = frame.n_series();
-    let count = ds.len();
-    let mut anchors = Matrix::zeros(count, s);
-    for w in 0..count {
-        for c in 0..s {
-            let last = ds.x[(w, (c + 1) * lookback - 1)];
+    let mut anchors = Matrix::zeros(ds.len(), frame.n_series());
+    let window_rows =
+        ds.x.rows_iter_mut()
+            .zip(ds.y.rows_iter_mut())
+            .zip(anchors.rows_iter_mut());
+    for ((xr, yr), ar) in window_rows {
+        let series_chunks = xr
+            .chunks_mut(lookback)
+            .zip(yr.chunks_mut(horizon))
+            .zip(ar.iter_mut());
+        for ((xchunk, ychunk), a) in series_chunks {
+            let last = xchunk.last().copied().unwrap_or(1.0);
             let anchor = if last.abs() > 1e-9 { last } else { 1.0 };
-            anchors[(w, c)] = anchor;
-            for k in 0..lookback {
-                ds.x[(w, c * lookback + k)] /= anchor;
+            *a = anchor;
+            for v in xchunk.iter_mut() {
+                *v /= anchor;
             }
-            for k in 0..horizon {
-                ds.y[(w, c * horizon + k)] /= anchor;
+            for v in ychunk.iter_mut() {
+                *v /= anchor;
             }
         }
     }
@@ -130,9 +178,9 @@ pub fn latest_window(frame: &TimeSeriesFrame, lookback: usize) -> Option<Vec<f64
     if n < lookback {
         return None;
     }
-    let mut out = Vec::with_capacity(lookback * frame.n_series());
-    for c in 0..frame.n_series() {
-        out.extend_from_slice(&frame.series(c)[n - lookback..]);
+    let mut out = Vec::with_capacity(lookback.saturating_mul(frame.n_series()));
+    for col in frame.series_iter() {
+        out.extend_from_slice(col.get(n - lookback..)?);
     }
     Some(out)
 }
@@ -159,6 +207,17 @@ mod tests {
         assert_eq!(ds.y.row(0), &[4., 5., 40., 50.]);
         assert_eq!(ds.x.row(1), &[2., 3., 4., 20., 30., 40.]);
         assert_eq!(ds.y.row(1), &[5., 6., 50., 60.]);
+    }
+
+    #[test]
+    fn flatten_on_a_view_matches_flatten_on_a_copy() {
+        let f = frame();
+        let view = f.slice(1, 6);
+        let copy = TimeSeriesFrame::from_columns(vec![
+            f.series(0).get(1..).unwrap().to_vec(),
+            f.series(1).get(1..).unwrap().to_vec(),
+        ]);
+        assert_eq!(flatten_windows(&view, 2, 1), flatten_windows(&copy, 2, 1));
     }
 
     #[test]
@@ -214,6 +273,29 @@ mod tests {
         let w = latest_window(&frame(), 3).unwrap();
         assert_eq!(w, vec![4., 5., 6., 40., 50., 60.]);
         assert!(latest_window(&frame(), 10).is_none());
+    }
+
+    #[test]
+    fn dataset_bytes_counts_all_matrices() {
+        let ds = flatten_windows(&frame(), 3, 2);
+        // x: 2x6, y: 2x4 → (12 + 8) * 8 bytes
+        assert_eq!(ds.bytes(), 160);
+        let nds = normalized_flatten_windows(&frame(), 3, 2);
+        // anchors add 2x2 cells
+        assert_eq!(nds.bytes(), 160 + 32);
+    }
+
+    #[test]
+    fn fill_rows_with_offset_matches_full_build() {
+        let f = frame();
+        let full = flatten_windows(&f, 2, 1);
+        let mut x = Matrix::zeros(2, 4);
+        let mut y = Matrix::zeros(2, 2);
+        // fill only windows 2 and 3
+        fill_flatten_rows(&f, 2, 1, 2, x.rows_iter_mut(), y.rows_iter_mut());
+        assert_eq!(x.row(0), full.x.row(2));
+        assert_eq!(x.row(1), full.x.row(3));
+        assert_eq!(y.row(1), full.y.row(3));
     }
 
     #[test]

@@ -1,4 +1,14 @@
 //! The 2-D time series container shared by every pipeline component.
+//!
+//! Storage is backed by `Arc`-shared column buffers plus a `(start, rows)`
+//! view window, so `slice`, `tail`, and `select` are O(1): they bump a
+//! reference count and adjust the window instead of copying samples. This is
+//! the substrate for T-Daub's allocation loop, where every
+//! (pipeline × allocation) unit takes a prefix or suffix view of the same
+//! training split. Mutation goes through copy-on-write: `series_mut` and
+//! `append` first compact the view into uniquely-owned buffers.
+
+use std::sync::Arc;
 
 use crate::timestamps::{infer_frequency, Frequency};
 
@@ -9,40 +19,105 @@ use crate::timestamps::{infer_frequency, Frequency};
 /// different time series and rows represent samples". Timestamps are
 /// optional; when absent, indices `0..n` are used (the paper regenerates
 /// timestamps for dirty datasets the same way).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares the *visible* contents (names, windowed values,
+/// windowed timestamps), not buffer identity: a zero-copy view equals a
+/// deep copy of the same rows.
+#[derive(Debug, Clone)]
 pub struct TimeSeriesFrame {
     /// Per-series column names (defaults to `series_0`, `series_1`, …).
-    names: Vec<String>,
-    /// Column-major values: `values[c][r]` is sample `r` of series `c`.
-    values: Vec<Vec<f64>>,
-    /// Optional timestamps in epoch seconds, one per row.
-    timestamps: Option<Vec<i64>>,
+    names: Arc<Vec<String>>,
+    /// Column-major shared buffers: `columns[c]` holds every sample of
+    /// series `c` that any view over this buffer can expose.
+    columns: Vec<Arc<Vec<f64>>>,
+    /// Optional timestamps in epoch seconds, one per buffer row.
+    timestamps: Option<Arc<Vec<i64>>>,
+    /// First visible buffer row.
+    start: usize,
+    /// Number of visible rows.
+    rows: usize,
+}
+
+/// Stable identity of a frame view: the addresses of its shared column
+/// buffers plus the `(start, rows)` window. Two frames with equal
+/// fingerprints expose bitwise-identical data (they view the same buffers),
+/// which makes this usable as a cache key. The converse does not hold —
+/// equal data in distinct buffers fingerprints differently — so callers use
+/// it for memoization, never for semantic equality.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FrameFingerprint {
+    buffers: Vec<usize>,
+    start: usize,
+    rows: usize,
+}
+
+impl FrameFingerprint {
+    /// First visible buffer row of the fingerprinted view.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// The addresses of the viewed column buffers, in column order. Only
+    /// meaningful for cache bookkeeping (grouping views of the same data).
+    pub fn buffers(&self) -> &[usize] {
+        &self.buffers
+    }
+
+    /// Number of visible rows of the fingerprinted view.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// True when both fingerprints view the same underlying buffers.
+    pub fn same_buffers(&self, other: &FrameFingerprint) -> bool {
+        self.buffers == other.buffers
+    }
+
+    /// True when `old` is a strict suffix of `self` over the same buffers:
+    /// both views end at the same buffer row and `self` starts earlier.
+    /// This is the reuse condition for reverse (most-recent-first) T-Daub
+    /// allocations, where each allocation prepends older rows.
+    pub fn extends_as_suffix(&self, old: &FrameFingerprint) -> bool {
+        self.same_buffers(old)
+            && self.start < old.start
+            && self.start + self.rows == old.start + old.rows
+    }
+
+    /// True when `old` is a strict prefix of `self` over the same buffers:
+    /// both views start at the same buffer row and `self` is longer. This is
+    /// the reuse condition for forward (oldest-first) allocations.
+    pub fn extends_as_prefix(&self, old: &FrameFingerprint) -> bool {
+        self.same_buffers(old) && self.start == old.start && self.rows > old.rows
+    }
 }
 
 impl TimeSeriesFrame {
     /// Build a univariate frame from a single series.
     pub fn univariate(values: Vec<f64>) -> Self {
+        let rows = values.len();
         Self {
-            names: vec!["series_0".to_string()],
-            values: vec![values],
+            names: Arc::new(vec!["series_0".to_string()]),
+            columns: vec![Arc::new(values)],
             timestamps: None,
+            start: 0,
+            rows,
         }
     }
 
     /// Build a multivariate frame from column vectors. Panics on ragged input.
     pub fn from_columns(columns: Vec<Vec<f64>>) -> Self {
-        if let Some(first) = columns.first() {
-            let n = first.len();
-            assert!(
-                columns.iter().all(|c| c.len() == n),
-                "TimeSeriesFrame::from_columns: ragged columns"
-            );
-        }
+        let rows = columns.first().map_or(0, Vec::len);
+        assert!(
+            columns.iter().all(|c| c.len() == rows),
+            "TimeSeriesFrame::from_columns: ragged columns"
+        );
         let names = (0..columns.len()).map(|i| format!("series_{i}")).collect();
         Self {
-            names,
-            values: columns,
+            names: Arc::new(names),
+            columns: columns.into_iter().map(Arc::new).collect(),
             timestamps: None,
+            start: 0,
+            rows,
         }
     }
 
@@ -69,7 +144,10 @@ impl TimeSeriesFrame {
             self.len(),
             "timestamp length must equal number of rows"
         );
-        self.timestamps = Some(ts);
+        // The fresh timestamp vector covers exactly the visible rows, so the
+        // view window must be re-anchored onto owned value buffers too.
+        self.make_owned();
+        self.timestamps = Some(Arc::new(ts));
         self
     }
 
@@ -80,7 +158,7 @@ impl TimeSeriesFrame {
             self.n_series(),
             "name count must equal number of series"
         );
-        self.names = names;
+        self.names = Arc::new(names);
         self
     }
 
@@ -90,29 +168,39 @@ impl TimeSeriesFrame {
         self.with_timestamps((0..n as i64).map(|i| start + i * step_secs).collect())
     }
 
-    /// Number of samples (rows).
+    /// Number of samples (rows) visible through this view.
     pub fn len(&self) -> usize {
-        self.values.first().map_or(0, Vec::len)
+        self.rows
     }
 
     /// True when the frame holds no samples.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.rows == 0
     }
 
     /// Number of series (columns).
     pub fn n_series(&self) -> usize {
-        self.values.len()
+        self.columns.len()
     }
 
-    /// Borrow series `c` as a slice.
+    /// Borrow series `c` as a slice of the visible rows.
     pub fn series(&self, c: usize) -> &[f64] {
-        &self.values[c]
+        &self.columns[c][self.start..self.start + self.rows]
     }
 
-    /// Mutable borrow of series `c`.
-    pub fn series_mut(&mut self, c: usize) -> &mut Vec<f64> {
-        &mut self.values[c]
+    /// Iterate over all series as slices of the visible rows.
+    pub fn series_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.columns
+            .iter()
+            .map(|col| &col[self.start..self.start + self.rows])
+    }
+
+    /// Mutable borrow of series `c`. Triggers copy-on-write: the whole frame
+    /// is first compacted into uniquely-owned buffers so no other view
+    /// observes the mutation.
+    pub fn series_mut(&mut self, c: usize) -> &mut [f64] {
+        self.make_owned();
+        Arc::make_mut(&mut self.columns[c]).as_mut_slice()
     }
 
     /// Column names.
@@ -120,77 +208,143 @@ impl TimeSeriesFrame {
         &self.names
     }
 
-    /// Timestamps, if attached.
+    /// Timestamps for the visible rows, if attached.
     pub fn timestamps(&self) -> Option<&[i64]> {
-        self.timestamps.as_deref()
+        self.timestamps
+            .as_ref()
+            .map(|t| &t[self.start..self.start + self.rows])
     }
 
     /// Infer the sampling frequency from timestamps (median inter-arrival).
     pub fn frequency(&self) -> Option<Frequency> {
-        self.timestamps.as_deref().and_then(infer_frequency)
+        self.timestamps().and_then(infer_frequency)
     }
 
     /// Row `r` across all series, in column order.
     pub fn row(&self, r: usize) -> Vec<f64> {
-        self.values.iter().map(|c| c[r]).collect()
+        assert!(r < self.rows, "row index out of bounds");
+        self.columns.iter().map(|c| c[self.start + r]).collect()
     }
 
-    /// Slice rows `[start, end)` into a new frame (timestamps preserved).
+    /// Slice rows `[start, end)` into a new frame view. O(1): shares the
+    /// underlying buffers and narrows the window; no samples are copied.
+    /// Out-of-range bounds clamp to the frame length.
     pub fn slice(&self, start: usize, end: usize) -> Self {
-        let end = end.min(self.len());
+        let end = end.min(self.rows);
         let start = start.min(end);
         Self {
-            names: self.names.clone(),
-            values: self.values.iter().map(|c| c[start..end].to_vec()).collect(),
-            timestamps: self.timestamps.as_ref().map(|t| t[start..end].to_vec()),
+            names: Arc::clone(&self.names),
+            columns: self.columns.iter().map(Arc::clone).collect(),
+            timestamps: self.timestamps.as_ref().map(Arc::clone),
+            start: self.start + start,
+            rows: end - start,
         }
     }
 
-    /// The last `n` rows (fewer when the frame is shorter).
+    /// The last `n` rows (fewer when the frame is shorter). O(1) view.
     pub fn tail(&self, n: usize) -> Self {
-        let len = self.len();
-        self.slice(len.saturating_sub(n), len)
+        self.slice(self.rows.saturating_sub(n), self.rows)
     }
 
-    /// Select a single series into a new univariate frame.
+    /// Select a single series into a new univariate frame view. O(1): the
+    /// column buffer is shared, not copied.
     pub fn select(&self, c: usize) -> Self {
         Self {
-            names: vec![self.names[c].clone()],
-            values: vec![self.values[c].clone()],
-            timestamps: self.timestamps.clone(),
+            names: Arc::new(vec![self.names[c].clone()]),
+            columns: vec![Arc::clone(&self.columns[c])],
+            timestamps: self.timestamps.as_ref().map(Arc::clone),
+            start: self.start,
+            rows: self.rows,
         }
     }
 
     /// Append the rows of `other` (must have same number of series).
+    /// Compacts this frame into owned buffers first (copy-on-write), so
+    /// other views over the previous buffers are unaffected.
     pub fn append(&mut self, other: &TimeSeriesFrame) {
         assert_eq!(
             self.n_series(),
             other.n_series(),
             "append: series count mismatch"
         );
-        for (c, col) in other.values.iter().enumerate() {
-            self.values[c].extend_from_slice(col);
+        self.make_owned();
+        for (col, extra) in self.columns.iter_mut().zip(other.series_iter()) {
+            Arc::make_mut(col).extend_from_slice(extra);
         }
         match (&mut self.timestamps, other.timestamps()) {
-            (Some(ts), Some(ots)) => ts.extend_from_slice(ots),
+            (Some(ts), Some(ots)) => Arc::make_mut(ts).extend_from_slice(ots),
             (Some(_), None) => self.timestamps = None,
             _ => {}
         }
+        self.rows += other.len();
     }
 
     /// Convert to row-major nested vectors (user-facing output shape).
     pub fn to_rows(&self) -> Vec<Vec<f64>> {
-        (0..self.len()).map(|r| self.row(r)).collect()
+        (0..self.rows).map(|r| self.row(r)).collect()
     }
 
-    /// True if any value is NaN or infinite.
+    /// True if any visible value is NaN or infinite.
     pub fn has_non_finite(&self) -> bool {
-        self.values.iter().any(|c| c.iter().any(|v| !v.is_finite()))
+        self.series_iter().any(|c| c.iter().any(|v| !v.is_finite()))
     }
 
-    /// True if any value is strictly negative (gates log/Box-Cox transforms).
+    /// True if any visible value is strictly negative (gates log/Box-Cox
+    /// transforms).
     pub fn has_negative(&self) -> bool {
-        self.values.iter().any(|c| c.iter().any(|&v| v < 0.0))
+        self.series_iter().any(|c| c.iter().any(|&v| v < 0.0))
+    }
+
+    /// Identity of this view for memoization: buffer addresses plus window.
+    /// See [`FrameFingerprint`] for the guarantees this does and does not
+    /// provide.
+    pub fn fingerprint(&self) -> FrameFingerprint {
+        FrameFingerprint {
+            buffers: self
+                .columns
+                .iter()
+                .map(|c| Arc::as_ptr(c) as usize)
+                .collect(),
+            start: self.start,
+            rows: self.rows,
+        }
+    }
+
+    /// True when this frame shares at least one column buffer with `other`
+    /// (i.e. one is a zero-copy view derived from the other). Diagnostic
+    /// helper for tests and cache instrumentation.
+    pub fn shares_storage_with(&self, other: &TimeSeriesFrame) -> bool {
+        self.columns
+            .iter()
+            .any(|a| other.columns.iter().any(|b| Arc::ptr_eq(a, b)))
+    }
+
+    /// Compact the view into uniquely-owned buffers holding exactly the
+    /// visible rows, so subsequent `Arc::make_mut` calls never clone hidden
+    /// data and mutations never leak into sibling views.
+    fn make_owned(&mut self) {
+        let (start, rows) = (self.start, self.rows);
+        for col in &mut self.columns {
+            if start != 0 || col.len() != rows || Arc::strong_count(col) != 1 {
+                *col = Arc::new(col[start..start + rows].to_vec());
+            }
+        }
+        if let Some(ts) = &mut self.timestamps {
+            if start != 0 || ts.len() != rows || Arc::strong_count(ts) != 1 {
+                *ts = Arc::new(ts[start..start + rows].to_vec());
+            }
+        }
+        self.start = 0;
+    }
+}
+
+impl PartialEq for TimeSeriesFrame {
+    fn eq(&self, other: &Self) -> bool {
+        *self.names == *other.names
+            && self.rows == other.rows
+            && self.n_series() == other.n_series()
+            && self.series_iter().eq(other.series_iter())
+            && self.timestamps() == other.timestamps()
     }
 }
 
@@ -233,11 +387,78 @@ mod tests {
     }
 
     #[test]
+    fn slice_is_zero_copy_view() {
+        let f = sample();
+        let s = f.slice(1, 4);
+        assert!(s.shares_storage_with(&f));
+        // a slice of a slice still shares the original buffers
+        let ss = s.slice(1, 3);
+        assert!(ss.shares_storage_with(&f));
+        assert_eq!(ss.series(0), &[3., 4.]);
+    }
+
+    #[test]
+    fn slice_equals_deep_copy() {
+        let f = sample().with_regular_timestamps(0, 60);
+        let view = f.slice(1, 3);
+        let copy = TimeSeriesFrame::from_columns(vec![vec![2., 3.], vec![20., 30.]])
+            .with_timestamps(vec![60, 120]);
+        assert_eq!(view, copy);
+    }
+
+    #[test]
+    fn mutation_does_not_leak_into_sibling_views() {
+        let mut f = sample();
+        let view = f.slice(0, 4);
+        f.series_mut(0)[0] = 99.0;
+        assert_eq!(f.series(0)[0], 99.0);
+        assert_eq!(view.series(0)[0], 1.0);
+        assert!(!f.shares_storage_with(&view));
+    }
+
+    #[test]
+    fn mutating_a_view_does_not_touch_the_parent() {
+        let f = sample();
+        let mut view = f.slice(1, 3);
+        view.series_mut(0)[0] = -5.0;
+        assert_eq!(view.series(0), &[-5., 3.]);
+        assert_eq!(f.series(0), &[1., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn fingerprint_tracks_view_windows() {
+        let f = sample();
+        let a = f.slice(1, 4);
+        let b = f.slice(1, 4);
+        let c = f.slice(0, 4);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // reverse-allocation growth: c ends where a ends but starts earlier
+        assert!(c.fingerprint().extends_as_suffix(&a.fingerprint()));
+        assert!(!a.fingerprint().extends_as_suffix(&c.fingerprint()));
+        // forward growth: a prefix view extended by later rows
+        let p_old = f.slice(0, 2);
+        let p_new = f.slice(0, 3);
+        assert!(p_new.fingerprint().extends_as_prefix(&p_old.fingerprint()));
+        // a deep copy has different buffers even with identical data
+        let clone = TimeSeriesFrame::from_columns(vec![f.series(0).to_vec(), f.series(1).to_vec()]);
+        assert!(!clone.fingerprint().same_buffers(&f.fingerprint()));
+    }
+
+    #[test]
     fn timestamps_roundtrip_through_slice() {
         let f = sample().with_regular_timestamps(1000, 60);
         assert_eq!(f.timestamps().unwrap(), &[1000, 1060, 1120, 1180]);
         let s = f.slice(1, 3);
         assert_eq!(s.timestamps().unwrap(), &[1060, 1120]);
+    }
+
+    #[test]
+    fn with_timestamps_on_a_view_covers_visible_rows() {
+        let f = sample();
+        let s = f.slice(1, 3).with_timestamps(vec![7, 8]);
+        assert_eq!(s.timestamps().unwrap(), &[7, 8]);
+        assert_eq!(s.series(0), &[2., 3.]);
     }
 
     #[test]
@@ -247,6 +468,16 @@ mod tests {
         a.append(&b);
         assert_eq!(a.len(), 8);
         assert_eq!(a.series(0)[4], 1.0);
+    }
+
+    #[test]
+    fn append_to_a_view_copies_on_write() {
+        let f = sample();
+        let mut v = f.slice(1, 3);
+        v.append(&f.slice(0, 1));
+        assert_eq!(v.series(0), &[2., 3., 1.]);
+        // the original frame is untouched
+        assert_eq!(f.series(0), &[1., 2., 3., 4.]);
     }
 
     #[test]
@@ -274,6 +505,8 @@ mod tests {
         let u = f.select(1);
         assert_eq!(u.n_series(), 1);
         assert_eq!(u.series(0), &[10., 20., 30., 40.]);
+        // select is also zero-copy
+        assert!(u.shares_storage_with(&f));
     }
 
     #[test]
@@ -285,6 +518,14 @@ mod tests {
         assert!(f.has_negative());
         f.series_mut(1)[0] = f64::NAN;
         assert!(f.has_non_finite());
+    }
+
+    #[test]
+    fn non_finite_outside_the_view_is_invisible() {
+        let mut base = sample();
+        base.series_mut(0)[0] = f64::NAN;
+        let v = base.slice(1, 4);
+        assert!(!v.has_non_finite());
     }
 
     #[test]

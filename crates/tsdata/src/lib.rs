@@ -19,7 +19,7 @@ pub mod ranking;
 pub mod split;
 pub mod timestamps;
 
-pub use frame::TimeSeriesFrame;
+pub use frame::{FrameFingerprint, TimeSeriesFrame};
 pub use metrics::{mae, mape, mse, r2_score, rmse, smape, Metric};
 pub use quality::{clean, quality_check, QualityIssue, QualityReport};
 pub use ranking::{average_ranks, rank_histogram, rank_rows, RankSummary};

@@ -27,6 +27,12 @@
 //!
 //! An allow without a justification is itself a violation (`allow`).
 //!
+//! A fifth, opt-in **strict** family (`check --strict`) holds the hot-path
+//! files in [`Config::strict_paths`] to tighter standards: no slice
+//! indexing at all (`strict-index`), no re-raised worker panics
+//! (`propagate`), and no unchecked `*`/`+` sizing arithmetic inside
+//! allocation or capacity expressions (`alloc-arith`).
+//!
 //! The scanner is line-based: it strips `//` comments, string/char literals
 //! and `/* … */` block comments before matching, and skips `#[cfg(test)]`
 //! regions by brace tracking, so doc examples and unit tests stay free to
@@ -62,6 +68,11 @@ pub enum Rule {
     /// Strict mode: re-raising worker panics (`.join().unwrap()`,
     /// `resume_unwind`) instead of routing them into a typed error.
     PanicPropagation,
+    /// Strict mode: unchecked `a * b` / `a + b` sizing arithmetic inside an
+    /// allocation or capacity expression (`with_capacity`, `reserve`,
+    /// `::zeros`, `vec![_; n]`) — overflow panics instead of returning an
+    /// error. Use `checked_*`/`saturating_*`.
+    AllocArith,
 }
 
 impl Rule {
@@ -76,6 +87,7 @@ impl Rule {
             Rule::BadAllow => "allow",
             Rule::StrictIndexing => "strict-index",
             Rule::PanicPropagation => "propagate",
+            Rule::AllocArith => "alloc-arith",
         }
     }
 }
@@ -113,12 +125,14 @@ pub struct Config {
     /// the panic-freedom and NaN-ordering rules.
     pub scoped_crates: Vec<String>,
     /// Run the strict rule family ([`Rule::StrictIndexing`],
-    /// [`Rule::PanicPropagation`]) over [`Config::strict_paths`].
+    /// [`Rule::PanicPropagation`], [`Rule::AllocArith`]) over
+    /// [`Config::strict_paths`].
     pub strict: bool,
     /// Repo-relative path prefixes held to the strict rules: the T-Daub
-    /// execution engine and the parallel work queue, where an
-    /// out-of-bounds index or a re-raised worker panic would take down a
-    /// whole AutoML run.
+    /// execution engine, the parallel work queue, and the windowing
+    /// kernels, where an out-of-bounds index, a re-raised worker panic, or
+    /// an overflowing capacity computation would take down a whole AutoML
+    /// run.
     pub strict_paths: Vec<String>,
 }
 
@@ -148,6 +162,7 @@ impl Default for Config {
             strict_paths: vec![
                 "crates/tdaub/src/".to_string(),
                 "crates/linalg/src/par.rs".to_string(),
+                "crates/transforms/src/window.rs".to_string(),
             ],
         }
     }
@@ -330,6 +345,66 @@ fn is_subscript(code: &str, open: usize) -> bool {
         .is_some_and(|p| p.is_alphanumeric() || p == '_' || p == ')' || p == ']')
 }
 
+/// Argument region of the first `marker` occurrence in `code`: the text
+/// between the marker's opening delimiter and its matching close (or the
+/// rest of the line when the call spans lines).
+fn arg_region<'a>(code: &'a str, marker: &str, open: char, close: char) -> Option<&'a str> {
+    let start = code.find(marker)? + marker.len();
+    let rest = code.get(start..)?;
+    let mut depth = 1i32;
+    for (i, c) in rest.char_indices() {
+        if c == open {
+            depth += 1;
+        } else if c == close {
+            depth -= 1;
+            if depth == 0 {
+                return rest.get(..i);
+            }
+        }
+    }
+    Some(rest)
+}
+
+/// `alloc-arith` hits: unchecked `*`/`+` sizing arithmetic inside an
+/// allocation or capacity expression. Overflow in a capacity computation
+/// panics (or aborts on OOM) instead of surfacing a typed error, so hot
+/// paths must size with `checked_*`/`saturating_*`.
+fn alloc_arith_hits(code: &str) -> Vec<(Rule, String)> {
+    let suspicious = |region: &str| {
+        (region.contains(" * ") || region.contains(" + "))
+            && !region.contains("checked_")
+            && !region.contains("saturating_")
+    };
+    let mut hits = Vec::new();
+    for marker in ["with_capacity(", ".reserve(", "::zeros("] {
+        if let Some(region) = arg_region(code, marker, '(', ')') {
+            if suspicious(region) {
+                hits.push((
+                    Rule::AllocArith,
+                    format!(
+                        "unchecked sizing arithmetic in `{marker}..)`; use \
+                         `checked_mul`/`checked_add` or `saturating_*`"
+                    ),
+                ));
+            }
+        }
+    }
+    // `vec![elem; len]`: only the length expression after `;` allocates
+    if let Some(region) = arg_region(code, "vec![", '[', ']') {
+        if let Some((_, len_expr)) = region.rsplit_once(';') {
+            if suspicious(len_expr) {
+                hits.push((
+                    Rule::AllocArith,
+                    "unchecked sizing arithmetic in `vec![_; ..]`; use \
+                     `checked_mul`/`checked_add` or `saturating_*`"
+                        .into(),
+                ));
+            }
+        }
+    }
+    hits
+}
+
 /// Strict rule hits on one (already stripped) line of hot-path code.
 fn strict_line_hits(code: &str) -> Vec<(Rule, String)> {
     let mut hits = Vec::new();
@@ -353,6 +428,7 @@ fn strict_line_hits(code: &str) -> Vec<(Rule, String)> {
             ));
         }
     }
+    hits.extend(alloc_arith_hits(code));
     hits
 }
 
@@ -756,6 +832,61 @@ mod tests {
         let good = "fn f() {\n    if let Ok(part) = h.join() { out.extend(part); }\n}\n";
         let ok = check_source("crates/linalg/src/par.rs", good, &strict_cfg());
         assert!(ok.iter().all(|x| x.rule != Rule::PanicPropagation));
+    }
+
+    #[test]
+    fn alloc_arith_flags_unchecked_sizing() {
+        for line in [
+            "let v: Vec<f64> = Vec::with_capacity(rows * cols);",
+            "out.reserve(extra + 1);",
+            "let m = Matrix::zeros(n, lookback * s);",
+            "let buf = vec![0.0; rows * cols];",
+        ] {
+            let src = format!("fn f() {{\n    {line}\n}}\n");
+            let v = check_source("crates/tdaub/src/executor.rs", &src, &strict_cfg());
+            assert!(
+                v.iter().any(|x| x.rule == Rule::AllocArith),
+                "`{line}` not flagged: {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn alloc_arith_accepts_checked_and_plain_sizing() {
+        for line in [
+            "let v: Vec<f64> = Vec::with_capacity(n);",
+            "let v = Vec::with_capacity(rows.saturating_mul(cols));",
+            "out.reserve(extra.checked_add(1).ok_or(Error::TooBig)?);",
+            "let m = Matrix::zeros(n, lookback.saturating_mul(s));",
+            "let buf = vec![0.0; len];",
+            "let pair = vec![a * b];",  // element expr, not a length
+            "let total = rows * cols;", // arithmetic outside an allocation
+        ] {
+            let src = format!("fn f() {{\n    {line}\n}}\n");
+            let v = check_source("crates/tdaub/src/executor.rs", &src, &strict_cfg());
+            assert!(
+                v.iter().all(|x| x.rule != Rule::AllocArith),
+                "`{line}` wrongly flagged: {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn alloc_arith_is_strict_only_and_waivable() {
+        let src = "fn f() {\n    let v = Vec::with_capacity(rows * cols);\n}\n";
+        // outside strict mode → silent
+        let off = check_source("crates/tdaub/src/executor.rs", src, &cfg());
+        assert!(off.is_empty(), "{off:?}");
+        // non-strict path with the flag → silent
+        let other = check_source("crates/linalg/src/matrix.rs", src, &strict_cfg());
+        assert!(other.is_empty(), "{other:?}");
+        // window kernels are in the strict set
+        let win = check_source("crates/transforms/src/window.rs", src, &strict_cfg());
+        assert!(win.iter().any(|x| x.rule == Rule::AllocArith), "{win:?}");
+        // a justified allow waives
+        let waived = "fn f() {\n    // tscheck:allow(alloc-arith): both factors < 2^16 by construction\n    let v = Vec::with_capacity(rows * cols);\n}\n";
+        let ok = check_source("crates/tdaub/src/executor.rs", waived, &strict_cfg());
+        assert!(ok.is_empty(), "{ok:?}");
     }
 
     #[test]

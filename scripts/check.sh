@@ -10,7 +10,7 @@ cargo fmt --all --check
 echo "==> tscheck static analysis"
 cargo run -q --offline -p xtask -- check
 
-echo "==> tscheck strict mode (hot paths: tdaub executor, linalg work queue)"
+echo "==> tscheck strict mode (hot paths: tdaub executor, linalg work queue, window kernels)"
 cargo run -q --offline -p xtask -- check --strict
 
 echo "==> cargo build --release --offline"
@@ -21,5 +21,8 @@ cargo test -q --offline --workspace
 
 echo "==> isolation tests under --release (timing-sensitive paths)"
 cargo test -q --offline --release --test tdaub_isolation
+
+echo "==> tdaub bench smoke (cache effectiveness + ranking parity)"
+cargo bench -q --offline -p autoai-bench --bench tdaub -- --smoke
 
 echo "check.sh: all gates passed"

@@ -8,7 +8,7 @@
 
 use std::time::Duration;
 
-use autoai_pipelines::{Forecaster, PipelineError};
+use autoai_pipelines::{pipeline_by_name, Forecaster, PipelineContext, PipelineError};
 use autoai_tdaub::{run_tdaub, ExecutionReport, FailureKind, TDaubConfig, TDaubResult};
 use autoai_tsdata::TimeSeriesFrame;
 
@@ -374,6 +374,87 @@ fn all_pipelines_failing_is_a_typed_error() {
         ),
         Ok(_) => panic!("an all-failing pool must not produce a ranking"),
     }
+}
+
+#[test]
+fn rankings_bit_identical_across_cache_and_execution_modes() {
+    // the perf layer's determinism contract: cached, uncached, serial and
+    // parallel runs must agree to the last bit — projected and final
+    // scores, not just rank order. The pool mixes hostile pipelines with
+    // real registry ones so the transform cache and warm starts are
+    // actually on the hot path. No time budget: timing must never be able
+    // to influence classification here.
+    let frame = stationary_frame(320);
+    let pool = || -> Vec<Box<dyn Forecaster>> {
+        let ctx = PipelineContext::new(6, 8, vec![8]);
+        let mut p: Vec<Box<dyn Forecaster>> = vec![
+            Box::new(MeanPlus::new(0.0)),
+            Box::new(MeanPlus::new(2.0)),
+            Box::new(Panicker),
+            Box::new(Erroring),
+            Box::new(NanForecaster),
+        ];
+        for name in [
+            "ZeroModel",
+            "SeasonalNaive",
+            "AR",
+            "NeuralWindow",
+            "FlattenAutoEnsembler",
+        ] {
+            p.extend(pipeline_by_name(name, &ctx));
+        }
+        p
+    };
+    let cfg = |cached: bool, parallel: bool| TDaubConfig {
+        parallel,
+        transform_cache: cached,
+        incremental: cached,
+        pipeline_time_budget: None,
+        ..Default::default()
+    };
+    let signature = |r: &TDaubResult| -> Vec<(String, u64, u64)> {
+        r.reports
+            .iter()
+            .map(|rep| {
+                (
+                    rep.name.clone(),
+                    rep.projected_score.to_bits(),
+                    rep.final_score.unwrap_or(f64::NAN).to_bits(),
+                )
+            })
+            .collect()
+    };
+
+    let reference = run_tdaub(pool(), &frame, &cfg(false, false)).unwrap();
+    for (cached, parallel) in [(false, true), (true, false), (true, true)] {
+        let run = run_tdaub(pool(), &frame, &cfg(cached, parallel)).unwrap();
+        assert_eq!(
+            signature(&run),
+            signature(&reference),
+            "cached={cached} parallel={parallel}"
+        );
+        // identical failure classification in every mode
+        for (a, b) in reference
+            .execution
+            .pipelines
+            .iter()
+            .zip(&run.execution.pipelines)
+        {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.failure, b.failure, "{}", a.name);
+        }
+    }
+
+    // and the cached runs really did cache: hits, extensions and warm
+    // starts all non-trivial on this pool
+    let cached_run = run_tdaub(pool(), &frame, &cfg(true, false)).unwrap();
+    let stats = &cached_run.execution.cache;
+    assert!(stats.hits > 0, "no cache hits: {stats:?}");
+    assert!(stats.extensions > 0, "no incremental extensions: {stats:?}");
+    assert!(
+        cached_run.execution.incremental_fits > 0,
+        "no warm-started fits"
+    );
 }
 
 #[test]
