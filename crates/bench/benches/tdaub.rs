@@ -12,9 +12,11 @@
 //!   `BENCH_tdaub.json` at the repo root (wall times, cache hit rate, bytes
 //!   copied before/after the zero-copy + caching work).
 //! * `--smoke` — reduced problem size, no JSON; asserts the cache is
-//!   actually effective (hits, extensions, warm starts all non-trivial) and
-//!   that cached and uncached runs produce bit-identical rankings. Exits
-//!   non-zero on any violation; wired into `scripts/check.sh`.
+//!   actually effective (hits, extensions, warm starts all non-trivial),
+//!   that cached and uncached runs rank the pool identically, and that the
+//!   scoring phase replays full-length acceleration fits from the memo
+//!   (fits avoided > 0, duplicate full-length fits == 0). Exits non-zero
+//!   on any violation; wired into `scripts/check.sh`.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -98,19 +100,14 @@ fn measure(iters: usize, mut f: impl FnMut() -> TDaubResult) -> (f64, TDaubResul
     (best_ms, last.expect("at least one iteration"))
 }
 
-/// Ranking signature: names in rank order with bit-exact scores, so the
-/// cached/uncached comparison detects even ULP-level divergence.
-fn ranking(r: &TDaubResult) -> Vec<(String, u64, u64)> {
-    r.reports
-        .iter()
-        .map(|rep| {
-            (
-                rep.name.clone(),
-                rep.projected_score.to_bits(),
-                rep.final_score.unwrap_or(f64::NAN).to_bits(),
-            )
-        })
-        .collect()
+/// Ranking-parity signature: pipeline names in rank order. Tier-2 warm
+/// starts (seeded Nelder–Mead restarts, ensemble tournament reuse) are
+/// deterministic but not bit-identical to cold fits, so the cached vs
+/// uncached comparison checks T-Daub's actual output — the ranking —
+/// rather than raw score bits. Bit-exactness of the tier-1 pipelines is
+/// enforced separately by `tests/cache_correctness.rs`.
+fn ranking(r: &TDaubResult) -> Vec<String> {
+    r.reports.iter().map(|rep| rep.name.clone()).collect()
 }
 
 /// A pipeline whose every fit stalls for a fixed delay — the pool-polluter
@@ -208,9 +205,27 @@ fn main() {
         "warm starts: {}   slice bytes avoided: {}",
         cached.execution.incremental_fits, cached.execution.slice_bytes_avoided
     );
+    println!(
+        "fits avoided (memo replays): {} cached / {} uncached   duplicate full fits: {} / {}",
+        cached.execution.fits_avoided,
+        uncached.execution.fits_avoided,
+        cached.execution.duplicate_fits,
+        uncached.execution.duplicate_fits
+    );
     println!("rankings identical: {rankings_match}");
 
     assert!(rankings_match, "cached and uncached rankings diverged");
+    // the memo is unconditional (fingerprint equality implies bitwise
+    // identical inputs), so both arms must replay the full-length
+    // acceleration fit in the scoring phase instead of refitting
+    assert_eq!(
+        cached.execution.duplicate_fits, 0,
+        "cached run repeated a fit on an identical frame view"
+    );
+    assert_eq!(
+        uncached.execution.duplicate_fits, 0,
+        "uncached run repeated a fit on an identical frame view"
+    );
     if smoke {
         assert!(stats.hits > 0, "transform cache recorded no hits");
         assert!(stats.misses > 0, "transform cache recorded no misses");
@@ -221,6 +236,11 @@ fn main() {
         assert!(
             cached.execution.incremental_fits > 0,
             "no warm-started fits"
+        );
+        assert!(
+            cached.execution.fits_avoided > 0,
+            "scoring phase refit a full-length pipeline instead of \
+             replaying the memoized acceleration score"
         );
         assert!(
             cached.execution.slice_bytes_avoided > 0,
@@ -285,7 +305,7 @@ fn main() {
     // machine-readable record at the repo root (hand-built JSON: the schema
     // is flat and the hermetic build carries no serializer)
     let json = format!(
-        "{{\n  \"bench\": \"tdaub\",\n  \"pool_size\": {pool_size},\n  \"rows\": {n},\n  \"series\": 2,\n  \"iters\": {iters},\n  \"uncached_ms\": {uncached_ms:.3},\n  \"cached_ms\": {cached_ms:.3},\n  \"speedup\": {speedup:.3},\n  \"cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"extensions\": {},\n    \"hit_rate\": {:.4},\n    \"bytes_saved\": {},\n    \"bytes_built\": {}\n  }},\n  \"incremental_fits\": {},\n  \"slice_bytes_avoided\": {},\n  \"bytes_copied_before\": {bytes_before},\n  \"bytes_copied_after\": {bytes_after},\n  \"copy_reduction\": {copy_reduction:.3},\n  \"rankings_match\": {rankings_match}\n}}\n",
+        "{{\n  \"bench\": \"tdaub\",\n  \"pool_size\": {pool_size},\n  \"rows\": {n},\n  \"series\": 2,\n  \"iters\": {iters},\n  \"uncached_ms\": {uncached_ms:.3},\n  \"cached_ms\": {cached_ms:.3},\n  \"speedup\": {speedup:.3},\n  \"cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"extensions\": {},\n    \"hit_rate\": {:.4},\n    \"bytes_saved\": {},\n    \"bytes_built\": {}\n  }},\n  \"incremental_fits\": {},\n  \"fits_avoided\": {},\n  \"duplicate_fits\": {},\n  \"slice_bytes_avoided\": {},\n  \"bytes_copied_before\": {bytes_before},\n  \"bytes_copied_after\": {bytes_after},\n  \"copy_reduction\": {copy_reduction:.3},\n  \"rankings_match\": {rankings_match}\n}}\n",
         stats.hits,
         stats.misses,
         stats.extensions,
@@ -293,6 +313,8 @@ fn main() {
         stats.bytes_saved,
         stats.bytes_built,
         cached.execution.incremental_fits,
+        cached.execution.fits_avoided,
+        cached.execution.duplicate_fits,
         cached.execution.slice_bytes_avoided,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tdaub.json");

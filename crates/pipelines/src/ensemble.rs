@@ -18,6 +18,8 @@ use autoai_transforms::{
 };
 use autoai_tsdata::TimeSeriesFrame;
 
+use autoai_tsdata::FrameFingerprint;
+
 use crate::caching::{cached_flatten, cached_frame_op, cached_localized_flatten};
 use crate::traits::{Forecaster, PipelineError};
 
@@ -50,11 +52,23 @@ pub struct AutoEnsembler {
     local_models: Vec<MultiOutputRegressor>,
     /// Name of the regressor the auto-selection chose.
     pub chosen_regressor: String,
+    /// Per-series winners (LocalizedFlatten mode), kept separately so a
+    /// warm start can refit each series' own winner.
+    local_chosen: Vec<String>,
     /// Tail of the *transformed* training data used to seed prediction.
     train_tail: Option<TimeSeriesFrame>,
     names: Vec<String>,
     /// Shared transform cache attached by the execution engine.
     cache: Option<Arc<TransformCache>>,
+    /// Rows of the last successfully fitted frame (0 = unfitted).
+    fitted_rows: usize,
+    /// Window-matrix rows at the last regressor *tournament*; once the
+    /// data has grown enough that the window count doubles, a warm start
+    /// declines and the selection re-runs from scratch.
+    tournament_rows: usize,
+    /// Fingerprint of the last fitted frame view, proving that a warm
+    /// start really extends the previously seen data.
+    last_fp: Option<FrameFingerprint>,
 }
 
 impl AutoEnsembler {
@@ -84,9 +98,13 @@ impl AutoEnsembler {
             model: None,
             local_models: Vec::new(),
             chosen_regressor: String::new(),
+            local_chosen: Vec::new(),
             train_tail: None,
             names: Vec::new(),
             cache: None,
+            fitted_rows: 0,
+            tournament_rows: 0,
+            last_fp: None,
         }
     }
 
@@ -153,41 +171,39 @@ impl AutoEnsembler {
             }
         }
         let chosen = best.map_or("linear", |(_, n)| n);
+        let model = Self::fit_named(chosen, x, y)?;
+        Ok((model, chosen.to_string()))
+    }
+
+    /// Fit the named candidate regressor on all windows, skipping the
+    /// selection tournament — the warm-start fast path.
+    fn fit_named(
+        name: &str,
+        x: &autoai_linalg::Matrix,
+        y: &autoai_linalg::Matrix,
+    ) -> Result<MultiOutputRegressor, PipelineError> {
         let Some(proto) = Self::candidates()
             .into_iter()
-            .find(|(n, _)| *n == chosen)
+            .find(|(n, _)| *n == name)
             .map(|(_, p)| p)
         else {
             return Err(PipelineError::Fit(format!(
-                "ensemble candidate `{chosen}` is not registered"
+                "ensemble candidate `{name}` is not registered"
             )));
         };
         let mut model = MultiOutputRegressor::new(proto);
         model.fit(x, y).map_err(|e| PipelineError::Fit(e.message))?;
-        Ok((model, chosen.to_string()))
+        Ok(model)
     }
 
-    /// Invert the transform chain on forecast output (stateful inverse
-    /// first, then stateless — §3's reverse-order rule).
-    fn inverse(&self, frame: &TimeSeriesFrame) -> TimeSeriesFrame {
-        let mut cur = frame.clone();
-        if let Some(diff) = &self.diff {
-            cur = diff.inverse_transform(&cur);
-        }
-        if let Some(log) = &self.log {
-            cur = log.inverse_transform(&cur);
-        }
-        cur
-    }
-}
-
-impl Forecaster for AutoEnsembler {
-    fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
-        self.names = frame.names().to_vec();
+    /// Fit the transform chain on `frame` and return the transformed frame
+    /// with the look-back clamped to it — shared by `fit` and
+    /// [`Forecaster::fit_incremental`] so both paths see identical inputs.
+    fn apply_transforms(&mut self, frame: &TimeSeriesFrame) -> TimeSeriesFrame {
         let cache = self.cache.as_ref();
-        // fit transforms; the transform passes themselves are memoized so
-        // every -log / difference pipeline in the pool shares one output
-        // frame (and therefore one set of downstream window matrices)
+        // the transform passes themselves are memoized so every -log /
+        // difference pipeline in the pool shares one output frame (and
+        // therefore one set of downstream window matrices)
         self.log = if self.use_log {
             let mut t = LogTransform::new();
             t.fit(frame);
@@ -217,9 +233,35 @@ impl Forecaster for AutoEnsembler {
         // adapt look-back to data length
         let max_lb = transformed.len().saturating_sub(self.horizon + 4).max(1);
         self.lookback = self.lookback.min(max_lb);
+        transformed
+    }
+
+    /// Invert the transform chain on forecast output (stateful inverse
+    /// first, then stateless — §3's reverse-order rule).
+    fn inverse(&self, frame: &TimeSeriesFrame) -> TimeSeriesFrame {
+        let mut cur = frame.clone();
+        if let Some(diff) = &self.diff {
+            cur = diff.inverse_transform(&cur);
+        }
+        if let Some(log) = &self.log {
+            cur = log.inverse_transform(&cur);
+        }
+        cur
+    }
+}
+
+impl Forecaster for AutoEnsembler {
+    fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
+        self.names = frame.names().to_vec();
+        self.fitted_rows = 0;
+        self.tournament_rows = 0;
+        self.last_fp = None;
+        let transformed = self.apply_transforms(frame);
+        let cache = self.cache.as_ref();
 
         self.model = None;
         self.local_models.clear();
+        self.local_chosen.clear();
         match self.mode {
             EnsembleMode::Flatten | EnsembleMode::DifferenceFlatten => {
                 let ds = cached_flatten(cache, &transformed, self.lookback, self.horizon);
@@ -232,6 +274,7 @@ impl Forecaster for AutoEnsembler {
                     )));
                 }
                 let (model, chosen) = Self::auto_fit(&ds.x, &ds.y)?;
+                self.tournament_rows = ds.x.nrows();
                 self.model = Some(model);
                 self.chosen_regressor = chosen;
             }
@@ -251,14 +294,83 @@ impl Forecaster for AutoEnsembler {
                         ));
                     }
                     let (model, chosen) = Self::auto_fit(&ds.x, &ds.y)?;
+                    self.tournament_rows = ds.x.nrows();
                     self.local_models.push(model);
                     chosen_names.push(chosen);
                 }
-                self.chosen_regressor = chosen_names.join(",");
+                self.local_chosen = chosen_names;
+                self.chosen_regressor = self.local_chosen.join(",");
             }
         }
         self.train_tail = Some(transformed.tail(self.lookback + self.horizon));
+        self.fitted_rows = frame.len();
+        self.last_fp = Some(frame.fingerprint());
         Ok(())
+    }
+
+    fn fit_incremental(
+        &mut self,
+        frame: &TimeSeriesFrame,
+        previous_rows: usize,
+    ) -> Result<bool, PipelineError> {
+        let Some(old_fp) = self.last_fp.as_ref() else {
+            return Ok(false);
+        };
+        let fp = frame.fingerprint();
+        if self.fitted_rows == 0
+            || previous_rows != self.fitted_rows
+            || frame.len() < previous_rows
+            || self.chosen_regressor.is_empty()
+            || !(fp.extends_as_suffix(old_fp) || fp.extends_as_prefix(old_fp))
+        {
+            return Ok(false);
+        }
+        self.names = frame.names().to_vec();
+        let transformed = self.apply_transforms(frame);
+        let cache = self.cache.as_ref();
+        // growth trigger: once the window count has doubled since the last
+        // tournament, the winner may no longer hold — decline the warm
+        // start so the executor's full `fit` re-runs the selection
+        let stale = |rows: usize| rows >= self.tournament_rows.max(1).saturating_mul(2);
+        match self.mode {
+            EnsembleMode::Flatten | EnsembleMode::DifferenceFlatten => {
+                if self.model.is_none() {
+                    return Ok(false);
+                }
+                let ds = cached_flatten(cache, &transformed, self.lookback, self.horizon);
+                if ds.is_empty() || stale(ds.x.nrows()) {
+                    return Ok(false);
+                }
+                let chosen = self.chosen_regressor.clone();
+                self.model = Some(Self::fit_named(&chosen, &ds.x, &ds.y)?);
+            }
+            EnsembleMode::LocalizedFlatten => {
+                if self.local_chosen.len() != transformed.n_series() {
+                    return Ok(false);
+                }
+                // fit into a fresh vec so a mid-way failure leaves the
+                // previous models intact for the executor's cold fallback
+                let mut models = Vec::with_capacity(self.local_chosen.len());
+                for (c, name) in self.local_chosen.iter().enumerate() {
+                    let ds = cached_localized_flatten(
+                        cache,
+                        &transformed,
+                        c,
+                        self.lookback,
+                        self.horizon,
+                    );
+                    if ds.is_empty() || stale(ds.x.nrows()) {
+                        return Ok(false);
+                    }
+                    models.push(Self::fit_named(name, &ds.x, &ds.y)?);
+                }
+                self.local_models = models;
+            }
+        }
+        self.train_tail = Some(transformed.tail(self.lookback + self.horizon));
+        self.fitted_rows = frame.len();
+        self.last_fp = Some(fp);
+        Ok(true)
     }
 
     fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
@@ -457,5 +569,60 @@ mod tests {
     fn predict_before_fit_errors() {
         let p = AutoEnsembler::flatten(8, 4, false);
         assert!(matches!(p.predict(4), Err(PipelineError::NotFitted)));
+    }
+
+    #[test]
+    fn warm_start_skips_tournament_and_keeps_choice() {
+        let frame = seasonal_frame(240);
+        let mut p = AutoEnsembler::flatten(12, 6, false);
+        // previous fit on the trailing 180 rows (T-Daub reverse allocation)
+        p.fit(&frame.slice(60, 240)).unwrap();
+        let chosen = p.chosen_regressor.clone();
+        assert!(p.fit_incremental(&frame, 180).unwrap());
+        assert_eq!(
+            p.chosen_regressor, chosen,
+            "warm start must keep the winner"
+        );
+        let f = p.predict(6).unwrap();
+        let smape = autoai_tsdata::smape(&truth(240..246), f.series(0));
+        assert!(smape < 8.0, "warm-started smape {smape}");
+    }
+
+    #[test]
+    fn warm_start_declines_when_window_count_doubles() {
+        let frame = seasonal_frame(300);
+        let mut p = AutoEnsembler::flatten(12, 6, false);
+        p.fit(&frame.slice(240, 300)).unwrap();
+        // 60 → 300 rows: the window count far more than doubles, so the
+        // regressor tournament must re-run via a full fit
+        assert!(!p.fit_incremental(&frame, 60).unwrap());
+    }
+
+    #[test]
+    fn warm_start_refuses_unrelated_frame() {
+        let mut p = AutoEnsembler::flatten(12, 6, false);
+        p.fit(&seasonal_frame(200)).unwrap();
+        assert!(!p.fit_incremental(&seasonal_frame(220), 200).unwrap());
+    }
+
+    #[test]
+    fn localized_warm_start_refits_per_series_winners() {
+        let cols = vec![
+            (0..260)
+                .map(|i| 10.0 + (2.0 * std::f64::consts::PI * i as f64 / 8.0).sin())
+                .collect::<Vec<f64>>(),
+            (0..260)
+                .map(|i| 50.0 + 0.5 * i as f64)
+                .collect::<Vec<f64>>(),
+        ];
+        let frame = TimeSeriesFrame::from_columns(cols);
+        let mut p = AutoEnsembler::localized_flatten(10, 4);
+        p.fit(&frame.slice(60, 260)).unwrap();
+        let chosen = p.chosen_regressor.clone();
+        assert!(p.fit_incremental(&frame, 200).unwrap());
+        assert_eq!(p.chosen_regressor, chosen);
+        let f = p.predict(4).unwrap();
+        assert_eq!(f.n_series(), 2);
+        assert!(f.series(1)[3] > 170.0, "{:?}", f.series(1));
     }
 }

@@ -6,11 +6,11 @@ use std::sync::Arc;
 use autoai_ml_models::{LinearRegression, MultiOutputRegressor};
 use autoai_neural::{Mlp, MlpConfig};
 use autoai_stat_models::{
-    auto_arima, Arima, Bats, BatsConfig, HoltWinters, IncrementalAr, SeasonalNaive, Seasonality,
-    ThetaModel, ZeroModel,
+    auto_arima, auto_arima_seeded, Arima, Bats, BatsConfig, HoltWinters, IncrementalAr,
+    SeasonalNaive, Seasonality, ThetaModel, ZeroModel,
 };
 use autoai_transforms::{latest_window, TransformCache};
-use autoai_tsdata::TimeSeriesFrame;
+use autoai_tsdata::{FrameFingerprint, TimeSeriesFrame};
 
 use crate::caching::cached_flatten;
 use crate::traits::{Forecaster, PipelineError};
@@ -260,6 +260,12 @@ impl Forecaster for ArPipeline {
 }
 
 /// Automatic ARIMA per series (the `Arima` pipeline of Table 6).
+///
+/// Supports a tier-2 (rank-stable) [`Forecaster::fit_incremental`] warm
+/// start: when the new frame provably extends the previously fitted view
+/// (fingerprint-verified), the stepwise order search restarts at the
+/// previous winner's `(p, q)` and each refit seeds CSS Nelder–Mead from
+/// the previous coefficients instead of a cold initialization.
 pub struct ArimaPipeline {
     /// Maximum non-seasonal AR order.
     pub max_p: usize,
@@ -269,6 +275,8 @@ pub struct ArimaPipeline {
     pub m: usize,
     models: Vec<Arima>,
     names: Vec<String>,
+    fitted_rows: usize,
+    last_fp: Option<FrameFingerprint>,
 }
 
 impl ArimaPipeline {
@@ -280,6 +288,8 @@ impl ArimaPipeline {
             m,
             models: Vec::new(),
             names: Vec::new(),
+            fitted_rows: 0,
+            last_fp: None,
         }
     }
 }
@@ -287,6 +297,8 @@ impl ArimaPipeline {
 impl Forecaster for ArimaPipeline {
     fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
         self.models.clear();
+        self.fitted_rows = 0;
+        self.last_fp = None;
         self.names = frame.names().to_vec();
         for c in 0..frame.n_series() {
             let m = auto_arima(frame.series(c), self.max_p, self.max_q, self.m)
@@ -296,7 +308,41 @@ impl Forecaster for ArimaPipeline {
         if self.models.is_empty() {
             return Err(PipelineError::InvalidInput("empty frame".into()));
         }
+        self.fitted_rows = frame.len();
+        self.last_fp = Some(frame.fingerprint());
         Ok(())
+    }
+
+    fn fit_incremental(
+        &mut self,
+        frame: &TimeSeriesFrame,
+        previous_rows: usize,
+    ) -> Result<bool, PipelineError> {
+        let Some(old_fp) = self.last_fp.as_ref() else {
+            return Ok(false);
+        };
+        let fp = frame.fingerprint();
+        if self.fitted_rows == 0
+            || previous_rows != self.fitted_rows
+            || frame.len() < previous_rows
+            || frame.n_series() != self.models.len()
+            || !(fp.extends_as_suffix(old_fp) || fp.extends_as_prefix(old_fp))
+        {
+            return Ok(false);
+        }
+        // seeded models are built into a fresh vec so a failure mid-way
+        // leaves the previous fit untouched for the executor's cold fallback
+        let mut models = Vec::with_capacity(self.models.len());
+        for (c, seed) in self.models.iter().enumerate() {
+            let m = auto_arima_seeded(frame.series(c), self.max_p, self.max_q, self.m, seed)
+                .map_err(|e| PipelineError::Fit(e.message))?;
+            models.push(m);
+        }
+        self.models = models;
+        self.names = frame.names().to_vec();
+        self.fitted_rows = frame.len();
+        self.last_fp = Some(fp);
+        Ok(true)
     }
 
     fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
@@ -320,15 +366,27 @@ impl Forecaster for ArimaPipeline {
             m: self.m,
             models: Vec::new(),
             names: Vec::new(),
+            fitted_rows: 0,
+            last_fp: None,
         })
     }
 }
 
 /// Holt-Winters per series (HW-Additive / HW-Multiplicative in Table 6).
+///
+/// Supports a tier-2 (rank-stable) [`Forecaster::fit_incremental`] warm
+/// start: forward growth (the previous view is a prefix of the new frame)
+/// re-runs the smoothing recursion over the appended rows only —
+/// bit-identical to a full recursion at the fitted constants — while
+/// reverse growth (T-Daub's allocations, previous view is a suffix)
+/// restarts the Nelder–Mead smoothing-constant search from the previous
+/// optimum. Both paths are fingerprint-verified with a cold-fit fallback.
 pub struct HoltWintersPipeline {
     seasonality: Seasonality,
     models: Vec<HoltWinters>,
     names: Vec<String>,
+    fitted_rows: usize,
+    last_fp: Option<FrameFingerprint>,
 }
 
 impl HoltWintersPipeline {
@@ -343,6 +401,8 @@ impl HoltWintersPipeline {
             seasonality: s,
             models: Vec::new(),
             names: Vec::new(),
+            fitted_rows: 0,
+            last_fp: None,
         }
     }
 
@@ -357,6 +417,8 @@ impl HoltWintersPipeline {
             seasonality: s,
             models: Vec::new(),
             names: Vec::new(),
+            fitted_rows: 0,
+            last_fp: None,
         }
     }
 }
@@ -364,6 +426,8 @@ impl HoltWintersPipeline {
 impl Forecaster for HoltWintersPipeline {
     fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
         self.models.clear();
+        self.fitted_rows = 0;
+        self.last_fp = None;
         self.names = frame.names().to_vec();
         for c in 0..frame.n_series() {
             // degrade gracefully to non-seasonal when the series is too
@@ -376,7 +440,59 @@ impl Forecaster for HoltWintersPipeline {
         if self.models.is_empty() {
             return Err(PipelineError::InvalidInput("empty frame".into()));
         }
+        self.fitted_rows = frame.len();
+        self.last_fp = Some(frame.fingerprint());
         Ok(())
+    }
+
+    fn fit_incremental(
+        &mut self,
+        frame: &TimeSeriesFrame,
+        previous_rows: usize,
+    ) -> Result<bool, PipelineError> {
+        let Some(old_fp) = self.last_fp.as_ref() else {
+            return Ok(false);
+        };
+        let fp = frame.fingerprint();
+        if self.fitted_rows == 0
+            || previous_rows != self.fitted_rows
+            || frame.len() < previous_rows
+            || frame.n_series() != self.models.len()
+        {
+            return Ok(false);
+        }
+        let appended = frame.len() > previous_rows && fp.extends_as_prefix(old_fp);
+        if !appended && !fp.extends_as_suffix(old_fp) {
+            return Ok(false);
+        }
+        // warm models are built into a fresh vec so a failure mid-way
+        // leaves the previous fit untouched for the executor's cold fallback
+        let mut models = Vec::with_capacity(self.models.len());
+        for seed in &self.models {
+            let c = models.len();
+            let s = frame.series(c);
+            let m = if appended && seed.len() == previous_rows {
+                // forward growth: continue the smoothing recursion over the
+                // appended rows only, keeping the fitted constants
+                let mut warm = seed.clone();
+                match warm.extend(s.get(previous_rows..).unwrap_or_default()) {
+                    Ok(()) => warm,
+                    Err(_) => return Ok(false),
+                }
+            } else {
+                // reverse growth: re-optimize from the previous optimum,
+                // mirroring `fit`'s graceful non-seasonal degradation
+                HoltWinters::fit_seeded(s, self.seasonality, seed)
+                    .or_else(|_| HoltWinters::fit_seeded(s, Seasonality::None, seed))
+                    .map_err(|e| PipelineError::Fit(e.message))?
+            };
+            models.push(m);
+        }
+        self.models = models;
+        self.names = frame.names().to_vec();
+        self.fitted_rows = frame.len();
+        self.last_fp = Some(fp);
+        Ok(true)
     }
 
     fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
@@ -401,6 +517,8 @@ impl Forecaster for HoltWintersPipeline {
             seasonality: self.seasonality,
             models: Vec::new(),
             names: Vec::new(),
+            fitted_rows: 0,
+            last_fp: None,
         })
     }
 }
@@ -905,6 +1023,73 @@ mod tests {
             let b: Vec<u64> = ff.series(c).iter().map(|v| v.to_bits()).collect();
             assert_eq!(a, b, "series {c} diverged");
         }
+    }
+
+    #[test]
+    fn hw_pipeline_incremental_reverse_growth_warm_starts() {
+        let frame = seasonal_frame(240);
+        let mut warm = HoltWintersPipeline::additive(12);
+        // previous fit on the trailing 150 rows (T-Daub reverse allocation)
+        warm.fit(&frame.slice(90, 240)).unwrap();
+        assert!(warm.fit_incremental(&frame, 150).unwrap());
+        let mut cold = HoltWintersPipeline::additive(12);
+        cold.fit(&frame).unwrap();
+        let (fw, fc) = (warm.predict(12).unwrap(), cold.predict(12).unwrap());
+        for (a, b) in fw.series(0).iter().zip(fc.series(0)) {
+            assert!(a.is_finite());
+            assert!((a - b).abs() < 0.5, "warm {a} vs cold {b}");
+        }
+    }
+
+    #[test]
+    fn hw_pipeline_incremental_forward_growth_extends() {
+        let frame = seasonal_frame(240);
+        let mut p = HoltWintersPipeline::additive(12);
+        p.fit(&frame.slice(0, 180)).unwrap();
+        // forward growth: rows are appended at the end of the fitted view
+        assert!(p.fit_incremental(&frame, 180).unwrap());
+        let f = p.predict(12).unwrap();
+        let truth: Vec<f64> = (240..252)
+            .map(|i| 20.0 + 5.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin())
+            .collect();
+        let smape = autoai_tsdata::smape(&truth, f.series(0));
+        assert!(smape < 5.0, "extended HW smape {smape}");
+    }
+
+    #[test]
+    fn hw_pipeline_incremental_refuses_unrelated_frame() {
+        let mut p = HoltWintersPipeline::additive(12);
+        p.fit(&seasonal_frame(120)).unwrap();
+        // a fresh frame with different buffers cannot be proven to extend
+        // the fitted view, even with a "plausible" previous_rows
+        assert!(!p.fit_incremental(&seasonal_frame(150), 120).unwrap());
+    }
+
+    #[test]
+    fn arima_pipeline_incremental_reverse_growth_warm_starts() {
+        let frame = TimeSeriesFrame::univariate(
+            (0..220)
+                .map(|i| 50.0 + 0.4 * i as f64 + (i as f64 * 0.9).sin())
+                .collect(),
+        );
+        let mut warm = ArimaPipeline::new(0);
+        warm.fit(&frame.slice(80, 220)).unwrap();
+        assert!(warm.fit_incremental(&frame, 140).unwrap());
+        let mut cold = ArimaPipeline::new(0);
+        cold.fit(&frame).unwrap();
+        let (fw, fc) = (warm.predict(6).unwrap(), cold.predict(6).unwrap());
+        for (a, b) in fw.series(0).iter().zip(fc.series(0)) {
+            assert!(a.is_finite());
+            assert!((a - b).abs() < 2.0, "warm {a} vs cold {b}");
+        }
+    }
+
+    #[test]
+    fn arima_pipeline_incremental_refuses_wrong_previous_rows() {
+        let frame = TimeSeriesFrame::univariate((0..160).map(|i| 10.0 + 0.3 * i as f64).collect());
+        let mut p = ArimaPipeline::new(0);
+        p.fit(&frame.slice(40, 160)).unwrap();
+        assert!(!p.fit_incremental(&frame, 100).unwrap());
     }
 
     #[test]

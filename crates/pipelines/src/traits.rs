@@ -79,11 +79,25 @@ pub trait Forecaster: Send + Sync {
     /// Warm-started refit: `frame` extends the data of this pipeline's
     /// previous successful `fit` call (under T-Daub's reverse allocations
     /// the previous training frame is exactly the trailing
-    /// `previous_rows` rows of `frame`). Implementations return `Ok(true)`
-    /// only when they produced a state **bit-identical** to a full
-    /// `fit(frame)` — T-Daub's ranking-equality guarantees depend on it.
+    /// `previous_rows` rows of `frame`). The contract is two-tier:
+    ///
+    /// * **Tier 1 (bit-identical)** — closed-form pipelines (Zero Model,
+    ///   seasonal naive, Yule–Walker AR) return `Ok(true)` only when the
+    ///   warm-started state is **bit-identical** to a full `fit(frame)`.
+    /// * **Tier 2 (rank-stable)** — iterative-search pipelines
+    ///   (Holt-Winters, auto-ARIMA, the AutoEnsembler family) may instead
+    ///   produce a *deterministic seeded restart*: the search is re-run on
+    ///   the full `frame` but started from the previous optimum (or the
+    ///   previous model-selection winner), so fit quality matches a cold
+    ///   fit while skipping the redundant part of the search. Tier-2
+    ///   implementations must verify via [`TimeSeriesFrame::fingerprint`]
+    ///   that `frame` really extends the previously fitted view and return
+    ///   `Ok(false)` otherwise.
+    ///
     /// Returning `Ok(false)` (the default) tells the executor to fall back
-    /// to a full `fit`.
+    /// to a full `fit`; recoverable mismatches (wrong `previous_rows`,
+    /// different buffers, changed series count) must use `Ok(false)`, not
+    /// `Err` — an `Err` is recorded as a fit failure.
     fn fit_incremental(
         &mut self,
         _frame: &TimeSeriesFrame,

@@ -108,7 +108,11 @@ fn difference(x: &[f64], lag: usize, times: usize) -> Vec<f64> {
         if cur.len() <= lag {
             return Vec::new();
         }
-        cur = (lag..cur.len()).map(|i| cur[i] - cur[i - lag]).collect();
+        cur = cur
+            .iter()
+            .zip(cur.iter().skip(lag))
+            .map(|(prev, next)| next - prev)
+            .collect();
     }
     cur
 }
@@ -139,8 +143,34 @@ pub struct Arima {
 }
 
 impl Arima {
-    /// Fit an ARIMA with the given specification.
+    /// Fit an ARIMA with the given specification (cold start: OLS lag
+    /// regression initializes the CSS search).
     pub fn fit(series: &[f64], spec: ArimaSpec) -> Result<Self, FitError> {
+        Self::fit_impl(series, spec, None)
+    }
+
+    /// Warm-started fit: restart the CSS Nelder–Mead from a previous fit's
+    /// coefficients instead of the cold OLS initialization. The result is a
+    /// fully re-optimized fit of `series`, so fit quality matches a cold
+    /// [`Arima::fit`]; only the optimizer's path is shortened. A seed whose
+    /// specification differs from `spec` falls back to the cold start
+    /// (coefficients would not align with the lag structure).
+    pub fn fit_seeded(series: &[f64], spec: ArimaSpec, seed: &Arima) -> Result<Self, FitError> {
+        if seed.spec != spec {
+            return Self::fit(series, spec);
+        }
+        // clamp inside the CSS guard (|c| > 5 → ∞) so the seeded simplex
+        // never starts in the rejected region
+        let warm: Vec<f64> = seed
+            .ar_coefs
+            .iter()
+            .chain(seed.ma_coefs.iter())
+            .map(|c| c.clamp(-4.9, 4.9))
+            .collect();
+        Self::fit_impl(series, spec, Some(&warm))
+    }
+
+    fn fit_impl(series: &[f64], spec: ArimaSpec, warm: Option<&[f64]>) -> Result<Self, FitError> {
         let min_len = spec.k_params() + spec.d + spec.seasonal.map_or(0, |s| s.d * s.m + s.m) + 8;
         if series.len() < min_len {
             return Err(FitError::new(format!(
@@ -169,22 +199,34 @@ impl Arima {
         let n_ar = ar_lags.len();
         let n_ma = ma_lags.len();
 
-        // 2. initialize AR by OLS lag regression, MA at 0
-        let mut init = vec![0.0; n_ar + n_ma];
-        if n_ar > 0 {
-            let max_lag = ar_lags.last().copied().unwrap_or(0);
-            if wc.len() > max_lag + 2 {
-                let rows: Vec<Vec<f64>> = (max_lag..wc.len())
-                    .map(|t| ar_lags.iter().map(|&l| wc[t - l]).collect())
-                    .collect();
-                let x = Matrix::from_rows(&rows);
-                let y: Vec<f64> = wc[max_lag..].to_vec();
-                if let Ok(beta) = lstsq(&x, &y) {
-                    for (i, b) in beta.iter().enumerate() {
-                        init[i] = b.clamp(-0.95, 0.95);
+        // 2. initialize: a warm seed from a previous fit wins; otherwise
+        // AR by OLS lag regression, MA at 0
+        let mut init = vec![0.0; n_ar.saturating_add(n_ma)];
+        match warm.filter(|w| w.len() == init.len()) {
+            Some(w) => init.copy_from_slice(w),
+            None if n_ar > 0 => {
+                let max_lag = ar_lags.last().copied().unwrap_or(0);
+                if wc.len() > max_lag + 2 {
+                    let rows: Vec<Vec<f64>> = (max_lag..wc.len())
+                        .map(|t| {
+                            ar_lags
+                                .iter()
+                                // t ranges over max_lag.. and every lag is
+                                // <= max_lag, so t - l is always in bounds
+                                .map(|&l| wc.get(t - l).copied().unwrap_or_default())
+                                .collect()
+                        })
+                        .collect();
+                    let x = Matrix::from_rows(&rows);
+                    let y: Vec<f64> = wc.get(max_lag..).unwrap_or_default().to_vec();
+                    if let Ok(beta) = lstsq(&x, &y) {
+                        for (slot, b) in init.iter_mut().zip(beta.iter()) {
+                            *slot = b.clamp(-0.95, 0.95);
+                        }
                     }
                 }
             }
+            None => {}
         }
 
         // 3. CSS objective
@@ -193,8 +235,8 @@ impl Arima {
             if params.iter().any(|c| c.abs() > 5.0) {
                 return f64::INFINITY;
             }
-            let (e, sse) =
-                Self::css_residuals(&wc, &ar_lags, &params[..n_ar], &ma_lags, &params[n_ar..]);
+            let (ar_part, ma_part) = params.split_at(n_ar.min(params.len()));
+            let (e, sse) = Self::css_residuals(&wc, &ar_lags, ar_part, &ma_lags, ma_part);
             if e.is_empty() {
                 f64::INFINITY
             } else {
@@ -210,8 +252,9 @@ impl Arima {
         } else {
             Vec::new()
         };
-        let ar_coefs = params[..n_ar].to_vec();
-        let ma_coefs = params[n_ar..].to_vec();
+        let (ar_part, ma_part) = params.split_at(n_ar.min(params.len()));
+        let ar_coefs = ar_part.to_vec();
+        let ma_coefs = ma_part.to_vec();
         let (residuals, sse) = Self::css_residuals(&wc, &ar_lags, &ar_coefs, &ma_lags, &ma_coefs);
         let n_eff = residuals.len().max(1) as f64;
         let sigma2 = (sse / n_eff).max(1e-300);
@@ -257,17 +300,22 @@ impl Arima {
             let mut pred = 0.0;
             for (&l, &c) in ar_lags.iter().zip(ar) {
                 if t >= l {
+                    // tscheck:allow(strict-index): guarded by t >= l with t < n == wc.len()
                     pred += c * wc[t - l];
                 }
             }
             for (&l, &c) in ma_lags.iter().zip(ma) {
                 if t >= l {
+                    // tscheck:allow(strict-index): guarded by t >= l with t < n == e.len()
                     pred += c * e[t - l];
                 }
             }
-            e[t] = wc[t] - pred;
+            // tscheck:allow(strict-index): t < n and both vectors have length n
+            let et = wc[t] - pred;
+            // tscheck:allow(strict-index): t < n == e.len()
+            e[t] = et;
             if t >= max_lag {
-                sse += e[t] * e[t];
+                sse += et * et;
             }
         }
         (e, sse)
@@ -284,18 +332,25 @@ impl Arima {
             let mut pred = 0.0;
             for (&l, &c) in self.ar_lags.iter().zip(&self.ar_coefs) {
                 if t >= l {
+                    // tscheck:allow(strict-index): guarded by t >= l with t == wext.len()
                     pred += c * wext[t - l];
                 }
             }
             for (&l, &c) in self.ma_lags.iter().zip(&self.ma_coefs) {
                 if t >= l && t - l < eext.len() {
+                    // tscheck:allow(strict-index): guarded by t - l < eext.len()
                     pred += c * eext[t - l];
                 }
             }
             wext.push(pred);
             eext.push(0.0);
         }
-        let w_fore: Vec<f64> = wext[n..].iter().map(|v| v + self.intercept).collect();
+        let w_fore: Vec<f64> = wext
+            .get(n..)
+            .unwrap_or_default()
+            .iter()
+            .map(|v| v + self.intercept)
+            .collect();
 
         // 2. integrate back: regular differences first (they were applied
         // last), then seasonal.
@@ -309,7 +364,7 @@ impl Arima {
             base
         };
         // undo regular differencing, one order at a time from the inside out
-        let mut levels: Vec<Vec<f64>> = Vec::with_capacity(self.spec.d + 1);
+        let mut levels: Vec<Vec<f64>> = Vec::with_capacity(self.spec.d.saturating_add(1));
         levels.push(x_d.clone());
         for _ in 0..self.spec.d {
             x_d = difference(&x_d, 1, 1);
@@ -317,7 +372,11 @@ impl Arima {
         }
         let mut fore = w_fore;
         for level in (0..self.spec.d).rev() {
-            let anchor = *levels[level].last().unwrap_or(&0.0);
+            let anchor = levels
+                .get(level)
+                .and_then(|l| l.last())
+                .copied()
+                .unwrap_or_default();
             let mut prev = anchor;
             for f in &mut fore {
                 prev += *f;
@@ -328,23 +387,26 @@ impl Arima {
         if let Some(s) = self.spec.seasonal {
             let mut hist = self.history.clone();
             // reconstruct intermediate seasonal levels
-            let mut slevels: Vec<Vec<f64>> = Vec::with_capacity(s.d + 1);
+            let mut slevels: Vec<Vec<f64>> = Vec::with_capacity(s.d.saturating_add(1));
             slevels.push(hist.clone());
             for _ in 0..s.d {
                 hist = difference(&hist, s.m, 1);
                 slevels.push(hist.clone());
             }
             for level in (0..s.d).rev() {
-                let base = &slevels[level];
+                let Some(base) = slevels.get(level) else {
+                    continue;
+                };
                 let mut extended = base.clone();
                 for f in fore.iter_mut() {
                     let idx = extended.len();
-                    let v = *f
-                        + if idx >= s.m {
-                            extended[idx - s.m]
-                        } else {
-                            *base.last().unwrap_or(&0.0)
-                        };
+                    let seasonal_base = if idx >= s.m {
+                        // idx - s.m < idx == extended.len(): always present
+                        extended.get(idx - s.m).copied().unwrap_or_default()
+                    } else {
+                        base.last().copied().unwrap_or_default()
+                    };
+                    let v = *f + seasonal_base;
                     extended.push(v);
                     *f = v;
                 }
@@ -389,6 +451,33 @@ pub fn ndiffs(series: &[f64], max_d: usize) -> usize {
 /// differenced series is strong, a seasonal `(1, D, 1)_m` component is
 /// included with `D = 1`.
 pub fn auto_arima(series: &[f64], max_p: usize, max_q: usize, m: usize) -> Result<Arima, FitError> {
+    auto_arima_impl(series, max_p, max_q, m, None)
+}
+
+/// Stepwise selection seeded by a previous winner (warm start for T-Daub's
+/// growing allocations): the hill climb starts in the seed's `(p, q)`
+/// neighborhood and the seed-spec fit restarts its CSS search from the
+/// previous coefficients via [`Arima::fit_seeded`]. Differencing and the
+/// seasonal decision are always re-detected on the new data; when either
+/// disagrees with the seed's specification the search falls back to the
+/// cold start, so a stale seed costs nothing but its detection pass.
+pub fn auto_arima_seeded(
+    series: &[f64],
+    max_p: usize,
+    max_q: usize,
+    m: usize,
+    seed: &Arima,
+) -> Result<Arima, FitError> {
+    auto_arima_impl(series, max_p, max_q, m, Some(seed))
+}
+
+fn auto_arima_impl(
+    series: &[f64],
+    max_p: usize,
+    max_q: usize,
+    m: usize,
+    seed: Option<&Arima>,
+) -> Result<Arima, FitError> {
     let d = ndiffs(series, 2);
     let seasonal = if m >= 2 && series.len() >= 3 * m + 10 {
         let diffed = difference(series, 1, d);
@@ -407,12 +496,21 @@ pub fn auto_arima(series: &[f64], max_p: usize, max_q: usize, m: usize) -> Resul
         None
     };
 
+    // a seed only counts when the freshly detected differencing and
+    // seasonal structure agree with it
+    let seed = seed.filter(|s| s.spec.d == d && s.spec.seasonal == seasonal);
     let try_fit = |p: usize, q: usize| -> Option<Arima> {
         let spec = ArimaSpec { p, d, q, seasonal };
-        Arima::fit(series, spec).ok()
+        match seed.filter(|s| s.spec == spec) {
+            Some(s) => Arima::fit_seeded(series, spec, s).ok(),
+            None => Arima::fit(series, spec).ok(),
+        }
     };
 
-    let (mut p, mut q) = (1.min(max_p), 1.min(max_q));
+    let (mut p, mut q) = match seed {
+        Some(s) => (s.spec.p.min(max_p), s.spec.q.min(max_q)),
+        None => (1.min(max_p), 1.min(max_q)),
+    };
     let mut best = try_fit(p, q)
         .or_else(|| Arima::fit(series, ArimaSpec::new(1, d, 0)).ok())
         .or_else(|| Arima::fit(series, ArimaSpec::new(0, d, 0)).ok())
@@ -604,6 +702,55 @@ mod tests {
         let f = m.forecast(10);
         // forecasts should keep climbing
         assert!(f[9] > 295.0, "{f:?}");
+    }
+
+    #[test]
+    fn seeded_fit_matches_cold_fit_quality() {
+        let x = ar1_series(0.7, 900, 21, 0.5);
+        let seed = Arima::fit(&x[..600], ArimaSpec::new(1, 0, 1)).unwrap();
+        let warm = Arima::fit_seeded(&x, ArimaSpec::new(1, 0, 1), &seed).unwrap();
+        let cold = Arima::fit(&x, ArimaSpec::new(1, 0, 1)).unwrap();
+        // both optimize the same CSS surface; the warm restart must land in
+        // the same basin, not a degraded one
+        assert!(
+            warm.sigma2 <= cold.sigma2 * 1.05,
+            "warm {} vs cold {}",
+            warm.sigma2,
+            cold.sigma2
+        );
+        assert!((warm.ar_coefs[0] - cold.ar_coefs[0]).abs() < 0.05);
+    }
+
+    #[test]
+    fn seeded_fit_with_mismatched_spec_falls_back_to_cold() {
+        let x = ar1_series(0.6, 500, 8, 0.5);
+        let seed = Arima::fit(&x[..300], ArimaSpec::new(2, 0, 0)).unwrap();
+        let warm = Arima::fit_seeded(&x, ArimaSpec::new(1, 0, 0), &seed).unwrap();
+        assert_eq!(warm.spec, ArimaSpec::new(1, 0, 0));
+        assert!(warm.sigma2.is_finite());
+    }
+
+    #[test]
+    fn auto_arima_seeded_matches_cold_selection_quality() {
+        let x = ar1_series(0.6, 500, 9, 0.5);
+        let seed = auto_arima(&x[..350], 3, 3, 0).unwrap();
+        let warm = auto_arima_seeded(&x, 3, 3, 0, &seed).unwrap();
+        let cold = auto_arima(&x, 3, 3, 0).unwrap();
+        assert_eq!(warm.spec.d, cold.spec.d);
+        let fw = warm.forecast(8);
+        let fc = cold.forecast(8);
+        assert!(fw.iter().all(|v| v.is_finite()));
+        // the seeded search may walk a different hill-climb path but must
+        // land on a model of equivalent information-criterion quality
+        assert!(
+            warm.aic <= cold.aic + cold.aic.abs() * 0.01 + 1.0,
+            "warm {} vs cold {}",
+            warm.aic,
+            cold.aic
+        );
+        for (a, b) in fw.iter().zip(&fc) {
+            assert!((a - b).abs() < 1.0, "{fw:?} vs {fc:?}");
+        }
     }
 
     #[test]

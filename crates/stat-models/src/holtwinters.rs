@@ -7,6 +7,13 @@
 //! constants `(α, β, γ)` are chosen automatically by Nelder–Mead on the
 //! one-step-ahead sum of squared errors, with a sigmoid reparameterization
 //! keeping them in (0, 1).
+//!
+//! Two warm-start paths support T-Daub's incremental layer: [`HoltWinters::
+//! fit_seeded`] restarts the constant search from a previous fit's
+//! unconstrained optimum, and [`HoltWinters::extend`] re-runs the smoothing
+//! recursion only over appended rows from the carried `(level, trend,
+//! seasonals)` state — bit-identical to recursing over the concatenation at
+//! the same constants, because the update is a left-to-right fold.
 
 use autoai_linalg::{nelder_mead, NelderMeadOptions};
 
@@ -52,6 +59,9 @@ pub struct HoltWinters {
     /// One-step SSE of the optimized fit.
     pub sse: f64,
     n: usize,
+    /// Optimized smoothing constants in the unconstrained (pre-sigmoid)
+    /// space; seeds warm-started refits.
+    raw: [f64; 3],
 }
 
 fn sigmoid(x: f64) -> f64 {
@@ -60,9 +70,134 @@ fn sigmoid(x: f64) -> f64 {
     (1.0 / (1.0 + (-x).exp())).clamp(1e-4, 1.0 - 1e-4)
 }
 
+/// Carried recursion state: one step of the smoothing fold. `run` (full
+/// fits) and [`HoltWinters::extend`] (appended-rows warm starts) share this
+/// exact code path, so an extension replays the identical floating-point
+/// operations a full recursion would perform.
+struct HwState {
+    level: f64,
+    trend: f64,
+    seasonals: Vec<f64>,
+    sse: f64,
+}
+
+impl HwState {
+    /// Initial states from the first season (or first two samples).
+    fn init(series: &[f64], seasonality: Seasonality) -> Option<Self> {
+        let m = seasonality.period();
+        if m > 0 {
+            let s1 = series.get(..m)?;
+            let s2 = series.get(m..2 * m)?;
+            let m1 = autoai_linalg::mean(s1);
+            let m2 = autoai_linalg::mean(s2);
+            let seasonals: Vec<f64> = match seasonality {
+                Seasonality::Additive(_) => s1.iter().map(|&v| v - m1).collect(),
+                Seasonality::Multiplicative(_) => {
+                    if m1.abs() < 1e-12 {
+                        return None;
+                    }
+                    s1.iter().map(|&v| v / m1).collect()
+                }
+                Seasonality::None => return None, // m == 0 for Seasonality::None
+            };
+            Some(Self {
+                level: m1,
+                trend: (m2 - m1) / m as f64,
+                seasonals,
+                sse: 0.0,
+            })
+        } else {
+            let (&x0, &x1) = (series.first()?, series.get(1)?);
+            Some(Self {
+                level: x0,
+                trend: x1 - x0,
+                seasonals: Vec::new(),
+                sse: 0.0,
+            })
+        }
+    }
+
+    /// One smoothing update for sample `x` at global index `t`. Returns
+    /// `None` when the state diverges (multiplicative models on bad data).
+    fn step(
+        &mut self,
+        seasonality: Seasonality,
+        alpha: f64,
+        beta: f64,
+        gamma: f64,
+        t: usize,
+        x: f64,
+    ) -> Option<()> {
+        let m = seasonality.period();
+        let season = if m > 0 {
+            self.seasonals.get(t % m).copied()?
+        } else {
+            0.0
+        };
+        let (fitted, deseason) = match seasonality {
+            Seasonality::None => (self.level + self.trend, x),
+            Seasonality::Additive(_) => (self.level + self.trend + season, x - season),
+            Seasonality::Multiplicative(_) => {
+                if season.abs() < 1e-9 {
+                    return None;
+                }
+                ((self.level + self.trend) * season, x / season)
+            }
+        };
+        let err = x - fitted;
+        self.sse += err * err;
+        if !self.sse.is_finite() {
+            return None;
+        }
+        let prev_level = self.level;
+        self.level = alpha * deseason + (1.0 - alpha) * (self.level + self.trend);
+        self.trend = beta * (self.level - prev_level) + (1.0 - beta) * self.trend;
+        if m > 0 {
+            let updated = match seasonality {
+                Seasonality::Additive(_) => gamma * (x - self.level) + (1.0 - gamma) * season,
+                Seasonality::Multiplicative(_) => {
+                    if self.level.abs() < 1e-12 {
+                        return None;
+                    }
+                    gamma * (x / self.level) + (1.0 - gamma) * season
+                }
+                Seasonality::None => 0.0,
+            };
+            *self.seasonals.get_mut(t % m)? = updated;
+        }
+        Some(())
+    }
+}
+
 impl HoltWinters {
     /// Fit a Holt-Winters model, optimizing `(α, β, γ)` on one-step SSE.
     pub fn fit(series: &[f64], seasonality: Seasonality) -> Result<Self, FitError> {
+        // raw 0 → 0.5; start from moderate smoothing
+        Self::fit_from(series, seasonality, [-1.0, -2.0, -1.0])
+    }
+
+    /// Warm-started fit: restart the smoothing-constant search from the
+    /// unconstrained optimum of a previous fit on overlapping data. The
+    /// result is a fully re-optimized fit of `series` (not a state
+    /// carry-over), so fit quality matches a cold [`HoltWinters::fit`];
+    /// only the optimizer's path to the optimum is shortened. A seed with a
+    /// different seasonal structure falls back to the cold start.
+    pub fn fit_seeded(
+        series: &[f64],
+        seasonality: Seasonality,
+        seed: &HoltWinters,
+    ) -> Result<Self, FitError> {
+        if seed.seasonality != seasonality {
+            return Self::fit(series, seasonality);
+        }
+        Self::fit_from(series, seasonality, seed.raw)
+    }
+
+    fn fit_from(
+        series: &[f64],
+        seasonality: Seasonality,
+        init: [f64; 3],
+    ) -> Result<Self, FitError> {
         let m = seasonality.period();
         let min_len = if m > 0 { 2 * m + 2 } else { 4 };
         if series.len() < min_len {
@@ -84,7 +219,10 @@ impl HoltWinters {
 
         // optimize in unconstrained space via sigmoid
         let objective = |raw: &[f64]| -> f64 {
-            let (a, b, g) = (sigmoid(raw[0]), sigmoid(raw[1]), sigmoid(raw[2]));
+            let [a, b, g] = match raw {
+                &[a, b, g] => [sigmoid(a), sigmoid(b), sigmoid(g)],
+                _ => return f64::INFINITY,
+            };
             match Self::run(series, seasonality, a, b, g) {
                 Some((_, _, _, sse)) => sse,
                 None => f64::INFINITY,
@@ -94,9 +232,9 @@ impl HoltWinters {
             max_evals: 1500,
             ..Default::default()
         };
-        // raw 0 → 0.5; start from moderate smoothing
-        let (raw, _) = nelder_mead(objective, &[-1.0, -2.0, -1.0], &opts);
-        let (alpha, beta, gamma) = (sigmoid(raw[0]), sigmoid(raw[1]), sigmoid(raw[2]));
+        let (raw, _) = nelder_mead(objective, &init, &opts);
+        let raw: [f64; 3] = raw.try_into().unwrap_or(init);
+        let [alpha, beta, gamma] = [sigmoid(raw[0]), sigmoid(raw[1]), sigmoid(raw[2])]; // tscheck:allow(strict-index): fixed-size array destructured with literal in-bounds indices
         let (level, trend, seasonals, sse) = Self::run(series, seasonality, alpha, beta, gamma)
             .ok_or_else(|| FitError::new("Holt-Winters recursion diverged"))?;
 
@@ -110,6 +248,7 @@ impl HoltWinters {
             seasonals,
             sse,
             n: series.len(),
+            raw,
         })
     }
 
@@ -123,65 +262,74 @@ impl HoltWinters {
         gamma: f64,
     ) -> Option<(f64, f64, Vec<f64>, f64)> {
         let m = seasonality.period();
-        // initial states
-        let (mut level, mut trend, mut seasonals) = if m > 0 {
-            let s1 = &series[..m];
-            let s2 = &series[m..2 * m];
-            let m1 = autoai_linalg::mean(s1);
-            let m2 = autoai_linalg::mean(s2);
-            let level = m1;
-            let trend = (m2 - m1) / m as f64;
-            let seasonals: Vec<f64> = match seasonality {
-                Seasonality::Additive(_) => s1.iter().map(|&v| v - m1).collect(),
-                Seasonality::Multiplicative(_) => {
-                    if m1.abs() < 1e-12 {
-                        return None;
-                    }
-                    s1.iter().map(|&v| v / m1).collect()
-                }
-                Seasonality::None => return None, // m == 0 for Seasonality::None
-            };
-            (level, trend, seasonals)
-        } else {
-            (series[0], series[1] - series[0], Vec::new())
-        };
-
-        let mut sse = 0.0;
+        let mut state = HwState::init(series, seasonality)?;
         let start = if m > 0 { m } else { 1 };
         for (t, &x) in series.iter().enumerate().skip(start) {
-            let season = if m > 0 { seasonals[t % m] } else { 0.0 };
-            let (fitted, deseason) = match seasonality {
-                Seasonality::None => (level + trend, x),
-                Seasonality::Additive(_) => (level + trend + season, x - season),
-                Seasonality::Multiplicative(_) => {
-                    if season.abs() < 1e-9 {
-                        return None;
-                    }
-                    ((level + trend) * season, x / season)
-                }
-            };
-            let err = x - fitted;
-            sse += err * err;
-            if !sse.is_finite() {
-                return None;
-            }
-            let prev_level = level;
-            level = alpha * deseason + (1.0 - alpha) * (level + trend);
-            trend = beta * (level - prev_level) + (1.0 - beta) * trend;
-            if m > 0 {
-                seasonals[t % m] = match seasonality {
-                    Seasonality::Additive(_) => gamma * (x - level) + (1.0 - gamma) * season,
-                    Seasonality::Multiplicative(_) => {
-                        if level.abs() < 1e-12 {
-                            return None;
-                        }
-                        gamma * (x / level) + (1.0 - gamma) * season
-                    }
-                    Seasonality::None => 0.0,
-                };
+            state.step(seasonality, alpha, beta, gamma, t, x)?;
+        }
+        Some((state.level, state.trend, state.seasonals, state.sse))
+    }
+
+    /// Continue the smoothing recursion over `appended` rows from the
+    /// carried `(level, trend, seasonals)` state, keeping the fitted
+    /// smoothing constants. Because the recursion is a left-to-right fold
+    /// sharing [`HwState::step`] with full fits, the resulting state is
+    /// bit-identical to re-running the recursion over the concatenated
+    /// series at the same constants; a full `fit` would additionally
+    /// re-optimize the constants, which [`HoltWinters::fit_seeded`] covers.
+    ///
+    /// On error the model's state is unspecified — callers should discard
+    /// the model and fall back to a full fit.
+    pub fn extend(&mut self, appended: &[f64]) -> Result<(), FitError> {
+        if appended.iter().any(|v| !v.is_finite()) {
+            return Err(FitError::new("appended rows contain non-finite values"));
+        }
+        if matches!(self.seasonality, Seasonality::Multiplicative(_))
+            && appended.iter().any(|&v| v <= 0.0)
+        {
+            return Err(FitError::new(
+                "multiplicative Holt-Winters requires strictly positive data",
+            ));
+        }
+        let mut state = HwState {
+            level: self.level,
+            trend: self.trend,
+            seasonals: std::mem::take(&mut self.seasonals),
+            sse: self.sse,
+        };
+        for (i, &x) in appended.iter().enumerate() {
+            if state
+                .step(
+                    self.seasonality,
+                    self.alpha,
+                    self.beta,
+                    self.gamma,
+                    self.n + i,
+                    x,
+                )
+                .is_none()
+            {
+                return Err(FitError::new(
+                    "Holt-Winters recursion diverged during extension",
+                ));
             }
         }
-        Some((level, trend, seasonals, sse))
+        self.level = state.level;
+        self.trend = state.trend;
+        self.seasonals = state.seasonals;
+        self.sse = state.sse;
+        self.n += appended.len();
+        Ok(())
+    }
+
+    /// Number of samples the model's recursion state has absorbed.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the model has absorbed no samples (never for fitted models).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
     }
 
     /// Forecast `horizon` values ahead of the training data.
@@ -193,7 +341,11 @@ impl HoltWinters {
                 if m == 0 {
                     base
                 } else {
-                    let season = self.seasonals[(self.n + h - 1) % m];
+                    let season = self
+                        .seasonals
+                        .get((self.n + h - 1) % m)
+                        .copied()
+                        .unwrap_or_default();
                     match self.seasonality {
                         Seasonality::Additive(_) => base + season,
                         Seasonality::Multiplicative(_) => base * season,
@@ -276,5 +428,79 @@ mod tests {
         for v in f {
             assert!((v - 7.0).abs() < 1e-6, "{v}");
         }
+    }
+
+    #[test]
+    fn extend_matches_full_recursion_bitwise() {
+        let pattern = [5.0, -2.0, -8.0, 5.0];
+        let series: Vec<f64> = (0..120)
+            .map(|i| 20.0 + 0.05 * i as f64 + pattern[i % 4])
+            .collect();
+        let mut warm = HoltWinters::fit(&series[..90], Seasonality::Additive(4)).unwrap();
+        warm.extend(&series[90..]).unwrap();
+        // same constants, full recursion from scratch: every carried state
+        // component must agree to the bit
+        let (level, trend, seasonals, sse) = HoltWinters::run(
+            &series,
+            Seasonality::Additive(4),
+            warm.alpha,
+            warm.beta,
+            warm.gamma,
+        )
+        .unwrap();
+        assert_eq!(warm.level.to_bits(), level.to_bits());
+        assert_eq!(warm.trend.to_bits(), trend.to_bits());
+        assert_eq!(warm.sse.to_bits(), sse.to_bits());
+        assert_eq!(warm.seasonals.len(), seasonals.len());
+        for (a, b) in warm.seasonals.iter().zip(&seasonals) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(warm.len(), 120);
+    }
+
+    #[test]
+    fn extend_without_seasonality_matches_full_recursion_bitwise() {
+        let series: Vec<f64> = (0..60).map(|i| 10.0 + 1.5 * i as f64).collect();
+        let mut warm = HoltWinters::fit(&series[..40], Seasonality::None).unwrap();
+        warm.extend(&series[40..]).unwrap();
+        let (level, trend, _, sse) = HoltWinters::run(
+            &series,
+            Seasonality::None,
+            warm.alpha,
+            warm.beta,
+            warm.gamma,
+        )
+        .unwrap();
+        assert_eq!(warm.level.to_bits(), level.to_bits());
+        assert_eq!(warm.trend.to_bits(), trend.to_bits());
+        assert_eq!(warm.sse.to_bits(), sse.to_bits());
+    }
+
+    #[test]
+    fn seeded_fit_matches_cold_fit_quality() {
+        let pattern = [5.0, -2.0, -8.0, 5.0];
+        let series: Vec<f64> = (0..100)
+            .map(|i| 20.0 + 0.1 * i as f64 + pattern[i % 4])
+            .collect();
+        let seed = HoltWinters::fit(&series[..70], Seasonality::Additive(4)).unwrap();
+        let warm = HoltWinters::fit_seeded(&series, Seasonality::Additive(4), &seed).unwrap();
+        let cold = HoltWinters::fit(&series, Seasonality::Additive(4)).unwrap();
+        assert!(warm.sse.is_finite() && cold.sse.is_finite());
+        // both start from near-optimal regions; the warm fit must not lose
+        // measurable quality to the cold reference
+        assert!(
+            warm.sse <= cold.sse * 1.05 + 1e-9,
+            "warm {} vs cold {}",
+            warm.sse,
+            cold.sse
+        );
+    }
+
+    #[test]
+    fn seeded_fit_with_mismatched_seasonality_falls_back_to_cold() {
+        let series: Vec<f64> = (0..60).map(|i| 10.0 + 1.5 * i as f64).collect();
+        let seed = HoltWinters::fit(&series[..40], Seasonality::None).unwrap();
+        let warm = HoltWinters::fit_seeded(&series, Seasonality::Additive(4), &seed).unwrap();
+        assert_eq!(warm.seasonality, Seasonality::Additive(4));
     }
 }

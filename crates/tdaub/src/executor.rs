@@ -26,12 +26,16 @@
 //! On top of the safety policy the executor carries the performance layer:
 //! a shared [`TransformCache`] is re-attached to every pipeline before each
 //! unit of work, so pipelines with the same look-back reuse flattened
-//! design matrices within a fixed-allocation round; and under reverse
+//! design matrices within a fixed-allocation round; under reverse
 //! allocations a candidate whose previous fit is a suffix of the next
-//! allocation is offered a bit-identical [`Forecaster::fit_incremental`]
-//! warm start. Both are instrumented (cache counters, warm-start count,
-//! bytes the zero-copy allocation views avoided) in the
-//! [`ExecutionReport`].
+//! allocation is offered a [`Forecaster::fit_incremental`] warm start; and
+//! every successful fit+score unit is memoized per candidate, keyed by the
+//! allocation slice's [`FrameFingerprint`] — re-evaluating a bitwise
+//! identical allocation (the acceleration→scoring phase boundary, or a
+//! stalled acceleration step) replays the recorded score instead of
+//! refitting. All of it is instrumented (cache counters, warm-start count,
+//! fits avoided, duplicate fits, bytes the zero-copy allocation views
+//! avoided) in the [`ExecutionReport`].
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,7 +45,7 @@ use std::time::{Duration, Instant};
 use autoai_linalg::{parallel_try_map_mut, simple_linreg, WorkerPanic};
 use autoai_pipelines::{Forecaster, PipelineError};
 use autoai_transforms::{CacheStats, TransformCache};
-use autoai_tsdata::{Metric, TimeSeriesFrame};
+use autoai_tsdata::{FrameFingerprint, Metric, TimeSeriesFrame};
 
 /// Why a pipeline was removed from the candidate pool.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,6 +94,14 @@ pub struct ExecutionReport {
     pub cache: CacheStats,
     /// Successful `fit_incremental` warm starts across the pool.
     pub incremental_fits: u64,
+    /// Fit+score units served from the per-candidate fingerprint memo
+    /// instead of refitting bitwise-identical data (cross-round and across
+    /// the acceleration→scoring phase boundary).
+    pub fits_avoided: u64,
+    /// Executed fits whose allocation fingerprint the same candidate had
+    /// already fitted successfully — structurally zero while the memo is
+    /// active; asserted zero by the bench smoke mode.
+    pub duplicate_fits: u64,
     /// Bytes of frame data the zero-copy allocation views avoided copying
     /// (each unit of work used to materialize its allocation slice).
     pub slice_bytes_avoided: u64,
@@ -139,6 +151,16 @@ pub(crate) struct Candidate {
     /// under reverse allocations the previous fit's slice is the trailing
     /// suffix of every later, larger allocation.
     pub last_fit_rows: usize,
+    /// Per-run fit+score memo: `(allocation fingerprint, score)` for every
+    /// unit that fit and scored finitely. Equal fingerprints mean the same
+    /// buffers and the same window — bitwise-identical input — so replaying
+    /// the deterministic score is exact and the memo stays on even in the
+    /// uncached comparison modes.
+    pub memo: Vec<(FrameFingerprint, f64)>,
+    /// Fingerprints of every allocation this candidate's pipeline
+    /// successfully fitted (superset of `memo`'s keys: includes fits whose
+    /// score came out non-finite). Used to count duplicate fits.
+    pub fitted_fps: Vec<FrameFingerprint>,
 }
 
 impl Candidate {
@@ -154,6 +176,8 @@ impl Candidate {
             failure: None,
             last_error: None,
             last_fit_rows: 0,
+            memo: Vec::new(),
+            fitted_fps: Vec::new(),
         }
     }
 
@@ -240,6 +264,8 @@ pub(crate) fn execution_report(cands: &[Candidate], exec: &Executor<'_>) -> Exec
         pipelines: cands.iter().map(Candidate::execution_entry).collect(),
         cache: exec.cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
         incremental_fits: exec.incremental_fits.load(Ordering::Relaxed),
+        fits_avoided: exec.fits_avoided.load(Ordering::Relaxed),
+        duplicate_fits: exec.duplicate_fits.load(Ordering::Relaxed),
         slice_bytes_avoided: exec.slice_bytes_avoided.load(Ordering::Relaxed),
     }
 }
@@ -255,6 +281,12 @@ struct EvalUnit {
     /// Rows the pipeline is validly fitted on after this unit (`None` when
     /// the fit itself failed or panicked — state cannot be warm-started).
     fitted_rows: Option<usize>,
+    /// Fingerprint of the allocation slice the unit fit (`None` only for
+    /// the queue-level `WorkerPanic` fallback, which never reached a fit).
+    fp: Option<FrameFingerprint>,
+    /// The unit was replayed from the candidate's memo: no fit happened and
+    /// the pipeline's fitted state is unchanged.
+    from_memo: bool,
 }
 
 /// Render a caught panic payload as text (mirrors `WorkerPanic`).
@@ -289,6 +321,10 @@ pub(crate) struct Executor<'a> {
     pub slice_bytes_avoided: AtomicU64,
     /// Successful warm starts across the run.
     pub incremental_fits: AtomicU64,
+    /// Units replayed from a candidate's fingerprint memo (no fit executed).
+    pub fits_avoided: AtomicU64,
+    /// Executed fits on an allocation the candidate had already fitted.
+    pub duplicate_fits: AtomicU64,
 }
 
 impl Executor<'_> {
@@ -296,11 +332,49 @@ impl Executor<'_> {
         self.budget.map(|b| b.saturating_sub(spent))
     }
 
-    /// Train a pipeline on an allocation of `t1` and score it on `t2`, with
-    /// panic isolation and a cooperative budget hint. `previous_rows` is the
-    /// candidate's last successful fit length (0 = none); under reverse
-    /// allocations a larger allocation extends that fit as a suffix, so the
-    /// pipeline is offered a bit-identical `fit_incremental` warm start.
+    /// The allocation slice of `t1` for one unit of work (a zero-copy view).
+    fn allocation_slice(&self, alloc_len: usize) -> TimeSeriesFrame {
+        let l = self.t1.len();
+        let alloc_len = alloc_len.min(l);
+        if self.reverse {
+            // most recent data: T1[L - alloc + 1 : L] in the paper's notation
+            self.t1.slice(l - alloc_len, l)
+        } else {
+            // original DAUB: oldest data first — note the pipeline then
+            // forecasts across a gap, which is why reverse wins on time series
+            self.t1.slice(0, alloc_len)
+        }
+    }
+
+    /// Serve one unit of work for a candidate: replay it from the
+    /// fingerprint memo when this allocation was already fit and scored
+    /// (bitwise-identical input ⇒ identical deterministic outcome), or
+    /// evaluate it for real. Identical in serial and parallel modes.
+    fn evaluate_or_replay(&self, c: &mut Candidate, alloc_len: usize) -> EvalUnit {
+        let slice = self.allocation_slice(alloc_len);
+        let fp = slice.fingerprint();
+        if let Some(&(_, score)) = c.memo.iter().find(|(m, _)| *m == fp) {
+            self.fits_avoided.fetch_add(1, Ordering::Relaxed);
+            return EvalUnit {
+                score,
+                elapsed: Duration::ZERO,
+                error: None,
+                fitted_rows: None,
+                fp: None,
+                from_memo: true,
+            };
+        }
+        let remaining = self.remaining(c.train_time);
+        let previous_rows = c.last_fit_rows;
+        self.evaluate_unit(&mut c.pipeline, slice, fp, previous_rows, remaining)
+    }
+
+    /// Train a pipeline on an allocation slice of `t1` and score it on
+    /// `t2`, with panic isolation and a cooperative budget hint.
+    /// `previous_rows` is the candidate's last successful fit length
+    /// (0 = none); under reverse allocations a larger allocation extends
+    /// that fit as a suffix, so the pipeline is offered a
+    /// `fit_incremental` warm start.
     ///
     /// `AssertUnwindSafe` is sound because a crashed pipeline is quarantined
     /// by the caller: its (possibly corrupt) state is never fitted or
@@ -308,20 +382,12 @@ impl Executor<'_> {
     fn evaluate_unit(
         &self,
         pipeline: &mut Box<dyn Forecaster>,
-        alloc_len: usize,
+        slice: TimeSeriesFrame,
+        fp: FrameFingerprint,
         previous_rows: usize,
         remaining: Option<Duration>,
     ) -> EvalUnit {
-        let l = self.t1.len();
-        let alloc_len = alloc_len.min(l);
-        let slice = if self.reverse {
-            // most recent data: T1[L - alloc + 1 : L] in the paper's notation
-            self.t1.slice(l - alloc_len, l)
-        } else {
-            // original DAUB: oldest data first — note the pipeline then
-            // forecasts across a gap, which is why reverse wins on time series
-            self.t1.slice(0, alloc_len)
-        };
+        let alloc_len = slice.len();
         // the O(1) view replaces what used to be a full row copy of the
         // allocation for every unit of work
         self.slice_bytes_avoided.fetch_add(
@@ -370,18 +436,24 @@ impl Executor<'_> {
                         elapsed,
                         error: None,
                         fitted_rows,
+                        fp: Some(fp),
+                        from_memo: false,
                     },
                     Ok(_) => EvalUnit {
                         score: f64::INFINITY,
                         elapsed,
                         error: Some(FailureKind::NonFinite),
                         fitted_rows,
+                        fp: Some(fp),
+                        from_memo: false,
                     },
                     Err(e) => EvalUnit {
                         score: f64::INFINITY,
                         elapsed,
                         error: Some(FailureKind::Errored(e.to_string())),
                         fitted_rows,
+                        fp: Some(fp),
+                        from_memo: false,
                     },
                 }
             }
@@ -390,6 +462,8 @@ impl Executor<'_> {
                 elapsed,
                 error: Some(FailureKind::Crashed(payload_message(payload.as_ref()))),
                 fitted_rows: None,
+                fp: Some(fp),
+                from_memo: false,
             },
         }
     }
@@ -400,7 +474,22 @@ impl Executor<'_> {
         c.scores.push((alloc_len, unit.score));
         c.train_time += unit.elapsed;
         c.allocations += 1;
+        if unit.from_memo {
+            // a replay leaves the pipeline's fitted state untouched — no
+            // error, no time, nothing to memoize
+            return;
+        }
         c.last_fit_rows = unit.fitted_rows.unwrap_or(0);
+        if let (Some(fp), Some(_)) = (unit.fp.as_ref(), unit.fitted_rows) {
+            if c.fitted_fps.contains(fp) {
+                self.duplicate_fits.fetch_add(1, Ordering::Relaxed);
+            } else {
+                c.fitted_fps.push(fp.clone());
+            }
+            if unit.error.is_none() {
+                c.memo.push((fp.clone(), unit.score));
+            }
+        }
         match unit.error {
             Some(FailureKind::Crashed(m)) => {
                 // corrupt state: quarantine immediately
@@ -417,14 +506,12 @@ impl Executor<'_> {
         }
     }
 
-    /// Evaluate one live candidate on one allocation.
+    /// Evaluate one live candidate on one allocation (memo-aware).
     pub fn run_single(&self, c: &mut Candidate, alloc_len: usize) {
         if !c.alive() {
             return;
         }
-        let remaining = self.remaining(c.train_time);
-        let previous_rows = c.last_fit_rows;
-        let unit = self.evaluate_unit(&mut c.pipeline, alloc_len, previous_rows, remaining);
+        let unit = self.evaluate_or_replay(c, alloc_len);
         self.apply(c, alloc_len, unit);
     }
 
@@ -440,11 +527,8 @@ impl Executor<'_> {
             return;
         }
         let mut live: Vec<&mut Candidate> = cands.iter_mut().filter(|c| c.alive()).collect();
-        let outcomes: Vec<Result<EvalUnit, WorkerPanic>> = parallel_try_map_mut(&mut live, |c| {
-            let remaining = self.remaining(c.train_time);
-            let previous_rows = c.last_fit_rows;
-            self.evaluate_unit(&mut c.pipeline, alloc_len, previous_rows, remaining)
-        });
+        let outcomes: Vec<Result<EvalUnit, WorkerPanic>> =
+            parallel_try_map_mut(&mut live, |c| self.evaluate_or_replay(c, alloc_len));
         for (c, outcome) in live.iter_mut().zip(outcomes) {
             // the inner catch_unwind already absorbs pipeline panics; the
             // queue-level WorkerPanic arm is a second net (e.g. a panicking
@@ -456,6 +540,8 @@ impl Executor<'_> {
                     elapsed: Duration::ZERO,
                     error: Some(FailureKind::Crashed(p.message)),
                     fitted_rows: None,
+                    fp: None,
+                    from_memo: false,
                 },
             };
             self.apply(c, alloc_len, unit);
@@ -539,6 +625,8 @@ mod tests {
             incremental: false,
             slice_bytes_avoided: AtomicU64::new(0),
             incremental_fits: AtomicU64::new(0),
+            fits_avoided: AtomicU64::new(0),
+            duplicate_fits: AtomicU64::new(0),
         }
     }
 
@@ -593,6 +681,77 @@ mod tests {
         }
         // the panicking candidate stopped after its first allocation
         assert_eq!(serial.get(1).map(|c| c.allocations), Some(1));
+    }
+
+    /// Scores like `Always` but counts how many times `fit` actually ran,
+    /// observable from outside the boxed pipeline.
+    struct CountingFits {
+        value: f64,
+        fits: Arc<AtomicU64>,
+    }
+    impl Forecaster for CountingFits {
+        fn fit(&mut self, _: &TimeSeriesFrame) -> Result<(), PipelineError> {
+            self.fits.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+        fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
+            Ok(TimeSeriesFrame::univariate(vec![self.value; horizon]))
+        }
+        fn name(&self) -> String {
+            "CountingFits".into()
+        }
+        fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+            Box::new(CountingFits {
+                value: self.value,
+                fits: Arc::clone(&self.fits),
+            })
+        }
+    }
+
+    #[test]
+    fn full_length_fit_is_replayed_not_repeated_across_the_phase_boundary() {
+        let (t1, t2) = frames();
+        let exec = executor(&t1, &t2, false, None);
+        let fits = Arc::new(AtomicU64::new(0));
+        let mut c = Candidate::new(Box::new(CountingFits {
+            value: 85.0,
+            fits: Arc::clone(&fits),
+        }));
+        let full = t1.len();
+        // acceleration confirms the leader at full length…
+        exec.run_single(&mut c, full);
+        // …and the scoring phase re-requests the identical allocation
+        exec.run_single(&mut c, full);
+        assert_eq!(
+            fits.load(Ordering::Relaxed),
+            1,
+            "the second unit must not refit"
+        );
+        assert_eq!(c.scores.len(), 2);
+        assert_eq!(
+            c.scores.first().map(|&(_, s)| s.to_bits()),
+            c.scores.last().map(|&(_, s)| s.to_bits()),
+            "a replay must be bit-identical to the recorded score"
+        );
+        assert_eq!(exec.fits_avoided.load(Ordering::Relaxed), 1);
+        assert_eq!(exec.duplicate_fits.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn memo_distinguishes_different_allocations() {
+        let (t1, t2) = frames();
+        let exec = executor(&t1, &t2, false, None);
+        let fits = Arc::new(AtomicU64::new(0));
+        let mut c = Candidate::new(Box::new(CountingFits {
+            value: 85.0,
+            fits: Arc::clone(&fits),
+        }));
+        exec.run_single(&mut c, 40);
+        exec.run_single(&mut c, 60);
+        exec.run_single(&mut c, 40); // only this one is a replay
+        assert_eq!(fits.load(Ordering::Relaxed), 2);
+        assert_eq!(exec.fits_avoided.load(Ordering::Relaxed), 1);
+        assert_eq!(c.scores.len(), 3);
     }
 
     #[test]

@@ -97,20 +97,25 @@ pub fn infer_frequency(ts: &[i64]) -> Option<Frequency> {
 
 /// Fraction of inter-arrival gaps that deviate from the median by more than
 /// 1% — a measure of sampling irregularity used by the detectors.
+///
+/// Like [`infer_frequency`], the median is taken over **positive** gaps
+/// only, so a duplicate or backwards timestamp cannot skew the reference
+/// period; non-positive gaps always count as irregular. A series with no
+/// positive gap at all is maximally irregular.
 pub fn irregularity(ts: &[i64]) -> f64 {
     if ts.len() < 3 {
         return 0.0;
     }
-    let mut deltas: Vec<i64> = ts.windows(2).map(|w| w[1] - w[0]).collect();
-    let mut sorted = deltas.clone();
-    sorted.sort_unstable();
-    let median = sorted[sorted.len() / 2] as f64;
-    if median <= 0.0 {
+    let deltas: Vec<i64> = ts.windows(2).map(|w| w[1] - w[0]).collect();
+    let mut positive: Vec<i64> = deltas.iter().copied().filter(|&d| d > 0).collect();
+    if positive.is_empty() {
         return 1.0;
     }
+    positive.sort_unstable();
+    let median = positive[positive.len() / 2] as f64;
     let irregular = deltas
-        .drain(..)
-        .filter(|&d| ((d as f64 - median) / median).abs() > 0.01)
+        .iter()
+        .filter(|&&d| d <= 0 || ((d as f64 - median) / median).abs() > 0.01)
         .count();
     irregular as f64 / (ts.len() - 1) as f64
 }
@@ -169,6 +174,39 @@ mod tests {
         ts[50] += 30; // one displaced sample disturbs two gaps
         let irr = irregularity(&ts);
         assert!(irr > 0.0 && irr < 0.1, "irr = {irr}");
+    }
+
+    #[test]
+    fn irregularity_median_ignores_backwards_timestamps() {
+        // one backwards jump disturbs two gaps (one negative, one oversized);
+        // the median must come from the positive gaps so the surrounding
+        // regular cadence is not flagged
+        let mut ts: Vec<i64> = (0..50).map(|i| i * 60).collect();
+        ts[20] -= 7_200;
+        let irr = irregularity(&ts);
+        assert!(
+            (irr - 2.0 / 49.0).abs() < 1e-12,
+            "only the two disturbed gaps should be irregular, got {irr}"
+        );
+    }
+
+    #[test]
+    fn irregularity_with_duplicate_run_is_partial_not_total() {
+        // a run of duplicated timestamps used to drive the all-gaps median
+        // to zero and report total irregularity; only the duplicate gaps
+        // (and none of the regular ones) should be flagged
+        let ts: Vec<i64> = vec![0, 60, 120, 180, 180, 180, 180, 240, 300, 360];
+        let irr = irregularity(&ts);
+        assert!(
+            (irr - 3.0 / 9.0).abs() < 1e-12,
+            "three zero gaps out of nine, got {irr}"
+        );
+    }
+
+    #[test]
+    fn irregularity_of_fully_nonincreasing_series_is_total() {
+        let ts: Vec<i64> = vec![100, 100, 100, 100];
+        assert_eq!(irregularity(&ts), 1.0);
     }
 
     #[test]

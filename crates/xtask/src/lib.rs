@@ -129,10 +129,11 @@ pub struct Config {
     /// [`Config::strict_paths`].
     pub strict: bool,
     /// Repo-relative path prefixes held to the strict rules: the T-Daub
-    /// execution engine, the parallel work queue, and the windowing
-    /// kernels, where an out-of-bounds index, a re-raised worker panic, or
-    /// an overflowing capacity computation would take down a whole AutoML
-    /// run.
+    /// execution engine, the parallel work queue, the windowing kernels,
+    /// the warm-startable Holt-Winters/ARIMA recursions, and the
+    /// transform-cache layer, where an out-of-bounds index, a re-raised
+    /// worker panic, or an overflowing capacity computation would take
+    /// down a whole AutoML run.
     pub strict_paths: Vec<String>,
 }
 
@@ -163,6 +164,9 @@ impl Default for Config {
                 "crates/tdaub/src/".to_string(),
                 "crates/linalg/src/par.rs".to_string(),
                 "crates/transforms/src/window.rs".to_string(),
+                "crates/stat-models/src/holtwinters.rs".to_string(),
+                "crates/stat-models/src/arima.rs".to_string(),
+                "crates/pipelines/src/caching.rs".to_string(),
             ],
         }
     }

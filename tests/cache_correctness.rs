@@ -4,9 +4,14 @@
 //! The layer's contract is that none of it is observable in results — a
 //! view scores like a copy, a cached design matrix is bitwise equal to a
 //! rebuilt one, and a T-Daub run produces the same ranking whether the
-//! cache and warm starts are on or off. Each test draws randomized cases
-//! from the in-repo deterministic [`Rng64`] so failures reproduce from the
-//! fixed seeds.
+//! cache and warm starts are on or off. The warm-start contract is
+//! two-tier (see `Forecaster::fit_incremental`): tier-1 pipelines
+//! (ZeroModel, SeasonalNaive, AR) must be **bit-identical** with the
+//! features on vs off, while tier-2 pipelines (Holt-Winters, ARIMA, the
+//! AutoEnsembler family) run deterministic seeded restarts and must keep
+//! the **ranking** unchanged. Each test draws randomized cases from the
+//! in-repo deterministic [`Rng64`] so failures reproduce from the fixed
+//! seeds.
 
 use autoai_ts_repro::linalg::Rng64;
 use autoai_ts_repro::pipelines::{pipeline_by_name, Forecaster, PipelineContext};
@@ -188,17 +193,14 @@ fn signature(r: &TDaubResult) -> Vec<(String, u64, u64)> {
         .collect()
 }
 
+/// Tier-1 bit-exactness: pools restricted to pipelines whose warm starts
+/// are bit-identical to full refits (plus pipelines with no warm start at
+/// all, which always cold-fit) must produce bit-identical score signatures
+/// with the performance features on vs off.
 #[test]
 fn cached_and_uncached_tdaub_rankings_match_over_random_pools() {
     let mut rng = Rng64::seed_from_u64(0x7DAB);
-    let names = [
-        "ZeroModel",
-        "SeasonalNaive",
-        "AR",
-        "Theta",
-        "NeuralWindow",
-        "FlattenAutoEnsembler",
-    ];
+    let names = ["ZeroModel", "SeasonalNaive", "AR", "Theta", "NeuralWindow"];
     for case in 0..6 {
         let ctx = PipelineContext::new(6, 8, vec![8]);
         let n = rng.gen_range(140..240);
@@ -234,5 +236,68 @@ fn cached_and_uncached_tdaub_rankings_match_over_random_pools() {
             reference,
             "case {case}: pool {pool_names:?}, step {step}, parallel {cached_parallel}"
         );
+    }
+}
+
+/// Tier-2 rank stability: pools including the seeded-restart pipelines
+/// (Holt-Winters, auto-ARIMA, AutoEnsembler) must produce the same
+/// *ranking* — pipeline names in rank order — with warm starts on vs off,
+/// with every projected score finite in both runs. Bit-exact scores are
+/// deliberately not required here: a seeded Nelder–Mead restart converges
+/// to the same optimum along a different path.
+#[test]
+fn warm_started_tdaub_preserves_rankings_for_tier2_pools() {
+    let mut rng = Rng64::seed_from_u64(0x2B7DAB);
+    let tier2 = [
+        "HW-Additive",
+        "HW-Multiplicative",
+        "Arima",
+        "FlattenAutoEnsembler",
+    ];
+    let tier1 = ["ZeroModel", "AR"];
+    for case in 0..4 {
+        let ctx = PipelineContext::new(6, 8, vec![8]);
+        let n = rng.gen_range(150..220);
+        let data = random_frame(&mut rng, n, n + 1);
+        let pool_names: Vec<&str> = {
+            let mut picked: Vec<&str> = tier2.iter().copied().filter(|_| rng.next_bool()).collect();
+            if picked.is_empty() {
+                picked.push("HW-Additive");
+            }
+            picked.extend(tier1.iter().copied().filter(|_| rng.next_bool()));
+            picked
+        };
+        let pool = || -> Vec<Box<dyn Forecaster>> {
+            pool_names
+                .iter()
+                .filter_map(|name| pipeline_by_name(name, &ctx))
+                .collect()
+        };
+        let step = 25 + 5 * rng.gen_range(0..3);
+        let cfg = |warm: bool| TDaubConfig {
+            min_allocation_size: step,
+            allocation_size: step,
+            parallel: false,
+            transform_cache: true,
+            incremental: warm,
+            ..Default::default()
+        };
+        let cold = run_tdaub(pool(), &data, &cfg(false)).expect("cold run");
+        let warm = run_tdaub(pool(), &data, &cfg(true)).expect("warm run");
+        let rank = |r: &TDaubResult| -> Vec<String> {
+            r.reports.iter().map(|rep| rep.name.clone()).collect()
+        };
+        assert_eq!(
+            rank(&warm),
+            rank(&cold),
+            "case {case}: pool {pool_names:?}, step {step}"
+        );
+        for rep in warm.reports.iter().chain(cold.reports.iter()) {
+            assert!(
+                rep.projected_score.is_finite(),
+                "case {case}: {} produced a non-finite projected score",
+                rep.name
+            );
+        }
     }
 }
