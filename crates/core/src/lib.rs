@@ -28,10 +28,10 @@
 pub mod orchestrator;
 pub mod progress;
 
-pub use orchestrator::{AutoAITS, AutoAITSConfig, FitSummary};
+pub use orchestrator::{AutoAITS, AutoAITSConfig, DegradationLevel, FitSummary};
 pub use progress::{LogProgress, NoProgress, Progress, ProgressEvent};
 
 // Re-export the vocabulary types users need at the API boundary.
 pub use autoai_pipelines::{Forecaster, PipelineContext, PipelineError, PIPELINE_NAMES};
-pub use autoai_tdaub::{PipelineReport, TDaubConfig};
+pub use autoai_tdaub::{FailureKind, PipelineReport, TDaubConfig};
 pub use autoai_tsdata::{Metric, TimeSeriesFrame};

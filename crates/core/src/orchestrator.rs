@@ -52,6 +52,34 @@ impl Default for AutoAITSConfig {
     }
 }
 
+/// How far down the always-forecast degradation ladder `fit` had to climb
+/// to return a working forecaster. `fit` only errors on invalid *input*;
+/// pipeline failures — up to and including the entire pool crashing,
+/// erroring, or timing out — degrade the result instead of failing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradationLevel {
+    /// The full pool ran: every pipeline survived T-Daub and the winner
+    /// retrained cleanly.
+    None,
+    /// Part of the pool was lost (excluded pipelines, or the T-Daub winner
+    /// failed its final refit and a ranked runner-up took over), but a
+    /// genuinely selected pipeline is serving forecasts.
+    Survivors,
+    /// Every pipeline failed; forecasts come from the ZeroModel baseline,
+    /// the ladder's fault-free bottom rung.
+    ZeroModel,
+}
+
+impl std::fmt::Display for DegradationLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradationLevel::None => write!(f, "full pool"),
+            DegradationLevel::Survivors => write!(f, "survivors"),
+            DegradationLevel::ZeroModel => write!(f, "zero-model baseline"),
+        }
+    }
+}
+
 /// Summary of a completed `fit`, for inspection and benchmarking.
 pub struct FitSummary {
     /// Result of the initial data quality check.
@@ -70,6 +98,8 @@ pub struct FitSummary {
     pub best_pipeline: String,
     /// SMAPE of the winner on the 20% holdout.
     pub holdout_smape: f64,
+    /// How far down the degradation ladder this fit landed.
+    pub degradation: DegradationLevel,
     /// Total wall-clock seconds of the whole fit.
     pub fit_seconds: f64,
 }
@@ -222,50 +252,104 @@ impl AutoAITS {
             tdaub_cfg.min_allocation_size = unit;
             tdaub_cfg.allocation_size = unit;
         }
-        let result = run_tdaub(pipelines, &train, &tdaub_cfg)?;
-        for failed in result.execution.failures() {
-            self.progress.report(&ProgressEvent::PipelineExcluded {
-                name: failed.name.clone(),
-                reason: failed
-                    .failure
-                    .as_ref()
-                    .map(|k| k.to_string())
-                    .unwrap_or_default(),
-            });
+        // ---- 6. degradation ladder: full pool → survivors → ZeroModel ----
+        // From here on, pipeline failures can no longer fail the fit: a
+        // T-Daub run with survivors serves the ranked winner (walking down
+        // the ranking when the winner's final refit fails), and a run where
+        // *everything* failed serves the ZeroModel baseline.
+        let (best, reports, execution, holdout_smape, residual_std, degradation) =
+            match run_tdaub(pipelines, &train, &tdaub_cfg) {
+                Ok(result) => {
+                    for failed in result.execution.failures() {
+                        self.progress.report(&ProgressEvent::PipelineExcluded {
+                            name: failed.name.clone(),
+                            reason: failed
+                                .failure
+                                .as_ref()
+                                .map(|k| k.to_string())
+                                .unwrap_or_default(),
+                        });
+                    }
+                    self.progress.report(&ProgressEvent::TDaubFinished {
+                        best: result.best.name(),
+                        evaluations: result.execution.total_allocations(),
+                        failures: result.execution.failures().count(),
+                    });
+
+                    let holdout_smape = result
+                        .best
+                        .score(&holdout, Metric::Smape)
+                        .unwrap_or(f64::INFINITY);
+                    self.progress.report(&ProgressEvent::HoldoutScored {
+                        smape: holdout_smape,
+                    });
+                    let residual_std = residual_spread(result.best.as_ref(), &holdout);
+
+                    let mut degradation = if result.execution.failures().next().is_some() {
+                        DegradationLevel::Survivors
+                    } else {
+                        DegradationLevel::None
+                    };
+                    // full-data retraining, panic-isolated; when the winner
+                    // fails its refit, the ranked runners-up each get one
+                    // rung before the ladder hits the baseline
+                    let mut best = result.best.clone_unfitted();
+                    if rung_fit(&mut best, &data).is_err() {
+                        degradation = DegradationLevel::Survivors;
+                        let runner_up = result.reports.iter().skip(1).find_map(|report| {
+                            let mut next = pipeline_by_name(&report.name, &ctx)?;
+                            rung_fit(&mut next, &data).ok().map(|()| next)
+                        });
+                        best = match runner_up {
+                            Some(b) => b,
+                            None => {
+                                degradation = DegradationLevel::ZeroModel;
+                                let mut zm: Box<dyn Forecaster> =
+                                    Box::new(ZeroModelPipeline::new());
+                                zm.fit(&data)?;
+                                zm
+                            }
+                        };
+                    }
+                    (
+                        best,
+                        result.reports,
+                        result.execution,
+                        holdout_smape,
+                        residual_std,
+                        degradation,
+                    )
+                }
+                Err(_) => {
+                    // every pipeline failed during ranking; the system must
+                    // still forecast. Score the baseline honestly (fit on
+                    // the training split, scored on the holdout) and serve
+                    // a full-data ZeroModel.
+                    let mut scored = ZeroModelPipeline::new();
+                    scored.fit(&train)?;
+                    let holdout_smape = scored
+                        .score(&holdout, Metric::Smape)
+                        .unwrap_or(f64::INFINITY);
+                    self.progress.report(&ProgressEvent::HoldoutScored {
+                        smape: holdout_smape,
+                    });
+                    let residual_std = residual_spread(&scored, &holdout);
+                    let mut best: Box<dyn Forecaster> = Box::new(ZeroModelPipeline::new());
+                    best.fit(&data)?;
+                    (
+                        best,
+                        Vec::new(),
+                        ExecutionReport::default(),
+                        holdout_smape,
+                        residual_std,
+                        DegradationLevel::ZeroModel,
+                    )
+                }
+            };
+        if degradation != DegradationLevel::None {
+            self.progress
+                .report(&ProgressEvent::Degraded { level: degradation });
         }
-        self.progress.report(&ProgressEvent::TDaubFinished {
-            best: result.best.name(),
-            evaluations: result.execution.total_allocations(),
-            failures: result.execution.failures().count(),
-        });
-
-        // ---- 6. holdout evaluation, then full-data retraining ----
-        let holdout_smape = result
-            .best
-            .score(&holdout, Metric::Smape)
-            .unwrap_or(f64::INFINITY);
-        self.progress.report(&ProgressEvent::HoldoutScored {
-            smape: holdout_smape,
-        });
-
-        // per-series holdout residual spread → prediction intervals
-        let residual_std: Vec<f64> = match result.best.predict(holdout.len()) {
-            Ok(pred) if pred.n_series() == holdout.n_series() => (0..holdout.n_series())
-                .map(|c| {
-                    let resid: Vec<f64> = holdout
-                        .series(c)
-                        .iter()
-                        .zip(pred.series(c))
-                        .map(|(a, p)| a - p)
-                        .collect();
-                    autoai_linalg::std_dev(&resid).max(1e-12)
-                })
-                .collect(),
-            _ => vec![f64::NAN; holdout.n_series()],
-        };
-
-        let mut best = result.best.clone_unfitted();
-        best.fit(&data)?;
         self.progress.report(&ProgressEvent::Ready);
 
         let summary = FitSummary {
@@ -273,9 +357,10 @@ impl AutoAITS {
             lookback,
             seasonal_periods,
             best_pipeline: best.name(),
-            reports: result.reports,
-            execution: result.execution,
+            reports,
+            execution,
             holdout_smape,
+            degradation,
             fit_seconds: started.elapsed().as_secs_f64(),
         };
         self.state = Some(FittedState {
@@ -350,6 +435,40 @@ impl AutoAITS {
     }
 }
 
+/// One rung of the degradation ladder: a full-data refit with the same
+/// panic isolation as every T-Daub unit of work. `AssertUnwindSafe` is
+/// sound because a panicked rung's pipeline is discarded, never queried.
+fn rung_fit(
+    pipeline: &mut Box<dyn Forecaster>,
+    data: &TimeSeriesFrame,
+) -> Result<(), PipelineError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pipeline.fit(data))) {
+        Ok(result) => result,
+        Err(_) => Err(PipelineError::Crashed(
+            "pipeline panicked during final refit".into(),
+        )),
+    }
+}
+
+/// Per-series holdout residual standard deviation (prediction-interval
+/// widths); NaN when the forecaster cannot predict the holdout's shape.
+fn residual_spread(best: &dyn Forecaster, holdout: &TimeSeriesFrame) -> Vec<f64> {
+    match best.predict(holdout.len()) {
+        Ok(pred) if pred.n_series() == holdout.n_series() => (0..holdout.n_series())
+            .map(|c| {
+                let resid: Vec<f64> = holdout
+                    .series(c)
+                    .iter()
+                    .zip(pred.series(c))
+                    .map(|(a, p)| a - p)
+                    .collect();
+                autoai_linalg::std_dev(&resid).max(1e-12)
+            })
+            .collect(),
+        _ => vec![f64::NAN; holdout.n_series()],
+    }
+}
+
 /// Seasonal-period candidates when the user supplied the look-back: run the
 /// discovery machinery anyway, purely for the statistical pipelines.
 fn discovered_periods(train: &TimeSeriesFrame, cfg: &LookbackConfig) -> Vec<usize> {
@@ -397,6 +516,13 @@ mod tests {
         );
         assert!(!summary.best_pipeline.is_empty());
         assert!(summary.reports.len() == 3);
+    }
+
+    #[test]
+    fn healthy_fit_reports_no_degradation() {
+        let mut sys = AutoAITS::with_config(fast_config());
+        sys.fit_rows(&seasonal_rows(300)).unwrap();
+        assert_eq!(sys.summary().unwrap().degradation, DegradationLevel::None);
     }
 
     #[test]

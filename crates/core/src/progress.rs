@@ -6,6 +6,8 @@
 //! CLI/web surfaces are replaced by a [`Progress`] sink trait; the bench
 //! harness and examples plug in [`LogProgress`] for stderr output.
 
+use crate::orchestrator::DegradationLevel;
+
 /// One step of the zero-conf process.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ProgressEvent {
@@ -49,6 +51,14 @@ pub enum ProgressEvent {
     HoldoutScored {
         /// SMAPE on the held-out 20%.
         smape: f64,
+    },
+    /// `fit` climbed down the degradation ladder instead of failing: part
+    /// or all of the pool was lost and the returned forecaster reflects the
+    /// reported level. Emitted immediately before [`ProgressEvent::Ready`],
+    /// and only when the level is not [`DegradationLevel::None`].
+    Degraded {
+        /// How far down the ladder the fit landed.
+        level: DegradationLevel,
     },
     /// Final full-data retraining done; the system is ready to predict.
     Ready,

@@ -20,8 +20,11 @@ pub mod stats;
 
 pub use fft::{dominant_period, fft_complex, periodogram, Complex};
 pub use matrix::Matrix;
-pub use optimize::{golden_section_min, nelder_mead, NelderMeadOptions};
-pub use par::{parallel_try_map_mut, parallel_try_map_range, WorkerPanic};
+pub use optimize::{golden_section_min, nelder_mead, nelder_mead_budgeted, NelderMeadOptions};
+pub use par::{
+    parallel_try_map_mut, parallel_try_map_range, supervised_try_map, SupervisedOutcome,
+    WorkerPanic,
+};
 pub use rng::Rng64;
 pub use solve::{
     cholesky, cholesky_solve, lstsq, lstsq_ridge, simple_linreg, solve_linear, SolveError,

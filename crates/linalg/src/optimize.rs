@@ -15,6 +15,11 @@ pub struct NelderMeadOptions {
     pub f_tol: f64,
     /// Initial simplex step relative to each coordinate (absolute fallback 0.1).
     pub initial_step: f64,
+    /// Cooperative wall-clock deadline: when set, the search stops at the
+    /// first iteration past this instant and returns the best vertex found
+    /// so far. This is how the per-pipeline *soft* time budget reaches the
+    /// iterative model fits — best-so-far parameters instead of a hang.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for NelderMeadOptions {
@@ -23,6 +28,7 @@ impl Default for NelderMeadOptions {
             max_evals: 2000,
             f_tol: 1e-9,
             initial_step: 0.1,
+            deadline: None,
         }
     }
 }
@@ -30,12 +36,27 @@ impl Default for NelderMeadOptions {
 /// Minimize `f` starting from `x0` with the Nelder–Mead simplex method.
 ///
 /// Returns `(argmin, min_value)`. The objective may return non-finite values
-/// to signal infeasible points; they are treated as `+inf`.
+/// to signal infeasible points; they are treated as `+inf`. A configured
+/// [`NelderMeadOptions::deadline`] is honored (see [`nelder_mead_budgeted`]
+/// when the caller needs to know whether the search was cut short).
 pub fn nelder_mead(
     f: impl Fn(&[f64]) -> f64,
     x0: &[f64],
     opts: &NelderMeadOptions,
 ) -> (Vec<f64>, f64) {
+    let (x, v, _) = nelder_mead_budgeted(f, x0, opts);
+    (x, v)
+}
+
+/// [`nelder_mead`] variant that also reports whether the search exited early
+/// because [`NelderMeadOptions::deadline`] passed. Returns
+/// `(argmin, min_value, timed_out)`; on `timed_out == true` the argmin is the
+/// best simplex vertex found before the deadline (best-so-far semantics).
+pub fn nelder_mead_budgeted(
+    f: impl Fn(&[f64]) -> f64,
+    x0: &[f64],
+    opts: &NelderMeadOptions,
+) -> (Vec<f64>, f64, bool) {
     let n = x0.len();
     let eval = |x: &[f64]| -> f64 {
         let v = f(x);
@@ -46,7 +67,7 @@ pub fn nelder_mead(
         }
     };
     if n == 0 {
-        return (Vec::new(), eval(x0));
+        return (Vec::new(), eval(x0), false);
     }
     // standard coefficients
     let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
@@ -65,8 +86,15 @@ pub fn nelder_mead(
     }
     let mut values: Vec<f64> = simplex.iter().map(|p| eval(p)).collect();
     let mut evals = values.len();
+    let mut timed_out = false;
 
     while evals < opts.max_evals {
+        if let Some(deadline) = opts.deadline {
+            if std::time::Instant::now() >= deadline {
+                timed_out = true;
+                break;
+            }
+        }
         // order simplex by objective
         let mut idx: Vec<usize> = (0..=n).collect();
         idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
@@ -156,7 +184,7 @@ pub fn nelder_mead(
             best = i;
         }
     }
-    (simplex[best].clone(), values[best])
+    (simplex[best].clone(), values[best], timed_out)
 }
 
 /// Golden-section search for the minimum of a unimodal 1-D function on `[a, b]`.
@@ -235,6 +263,32 @@ mod tests {
         let (x, v) = nelder_mead(|_| 7.0, &[], &NelderMeadOptions::default());
         assert!(x.is_empty());
         assert_eq!(v, 7.0);
+    }
+
+    #[test]
+    fn expired_deadline_returns_best_so_far_with_flag() {
+        let f = |x: &[f64]| (x[0] - 3.0).powi(2);
+        let opts = NelderMeadOptions {
+            deadline: Some(std::time::Instant::now()),
+            ..Default::default()
+        };
+        let (x, v, timed_out) = nelder_mead_budgeted(f, &[0.0], &opts);
+        assert!(timed_out);
+        assert_eq!(x.len(), 1);
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn far_deadline_does_not_change_the_result() {
+        let f = |x: &[f64]| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2);
+        let opts = NelderMeadOptions {
+            deadline: Some(std::time::Instant::now() + std::time::Duration::from_secs(3600)),
+            ..Default::default()
+        };
+        let (budgeted, _, timed_out) = nelder_mead_budgeted(f, &[0.0, 0.0], &opts);
+        let (plain, _) = nelder_mead(f, &[0.0, 0.0], &NelderMeadOptions::default());
+        assert!(!timed_out);
+        assert_eq!(budgeted, plain);
     }
 
     #[test]

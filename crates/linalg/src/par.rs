@@ -154,6 +154,262 @@ where
     parallel_try_map_mut(&mut idx, |i| f(*i))
 }
 
+/// Outcome of one item processed by [`supervised_try_map`].
+#[derive(Debug)]
+pub enum SupervisedOutcome<T, R> {
+    /// The worker finished inside the hard deadline. The item comes back to
+    /// the caller with any mutations applied, alongside the closure's result
+    /// (or the panic it raised, caught per item as in
+    /// [`parallel_try_map_mut`]).
+    Completed {
+        /// The work item, returned to the caller.
+        item: T,
+        /// The closure's return value, or the caught panic.
+        result: Result<R, WorkerPanic>,
+    },
+    /// The worker blew the hard deadline and was quarantined: its thread was
+    /// detached (never joined) and the item is lost to the zombie worker, so
+    /// only the timeout classification comes back.
+    HardTimeout,
+}
+
+/// State shared between the monitor and its workers.
+struct SupervisedShared<T, F> {
+    /// Work-queue cursor: each worker claims the next unclaimed index.
+    next: AtomicUsize,
+    /// One take-once slot per input item.
+    slots: Vec<Mutex<Option<T>>>,
+    /// Ids of quarantined workers. A retired worker exits at the top of its
+    /// claim loop, so a zombie can never claim fresh work: retirement only
+    /// ever happens while the worker is stuck *inside* the closure, and the
+    /// retired check runs before every claim.
+    retired: Mutex<std::collections::HashSet<usize>>,
+    f: F,
+}
+
+impl<T, F> SupervisedShared<T, F> {
+    fn is_retired(&self, worker: usize) -> bool {
+        self.retired
+            .lock()
+            .map(|set| set.contains(&worker))
+            .unwrap_or(true)
+    }
+
+    fn retire(&self, worker: usize) {
+        if let Ok(mut set) = self.retired.lock() {
+            set.insert(worker);
+        }
+    }
+}
+
+enum SupervisedMsg<T, R> {
+    /// A worker claimed an item and is about to run the closure. The monitor
+    /// stamps the deadline clock when it *receives* this message, so the
+    /// enforced bound is `hard_deadline` plus bounded messaging skew.
+    Started { worker: usize, item: usize },
+    /// A worker finished an item (successfully or with a caught panic).
+    Finished {
+        worker: usize,
+        item: usize,
+        value: Box<T>,
+        result: Result<R, WorkerPanic>,
+    },
+}
+
+/// Spawn one supervised worker; returns `false` if the OS refused the thread.
+fn spawn_supervised_worker<T, R, F>(
+    id: usize,
+    shared: std::sync::Arc<SupervisedShared<T, F>>,
+    tx: std::sync::mpsc::Sender<SupervisedMsg<T, R>>,
+) -> bool
+where
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(&mut T) -> R + Send + Sync + 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("supervised-{id}"))
+        .spawn(move || loop {
+            if shared.is_retired(id) {
+                return;
+            }
+            let idx = shared.next.fetch_add(1, Ordering::Relaxed);
+            if idx >= shared.slots.len() {
+                return;
+            }
+            let Some(slot) = shared.slots.get(idx) else {
+                return;
+            };
+            let taken = match slot.lock() {
+                Ok(mut guard) => guard.take(),
+                Err(_) => None,
+            };
+            let Some(mut item) = taken else { continue };
+            if tx
+                .send(SupervisedMsg::Started {
+                    worker: id,
+                    item: idx,
+                })
+                .is_err()
+            {
+                // The monitor is gone; nothing can observe this worker.
+                return;
+            }
+            let result = run_caught(&shared.f, &mut item);
+            let finished = SupervisedMsg::Finished {
+                worker: id,
+                item: idx,
+                value: Box::new(item),
+                result,
+            };
+            if tx.send(finished).is_err() {
+                return;
+            }
+        })
+        .is_ok()
+}
+
+/// Map `f` over owned `items` under a per-item **hard** wall-clock deadline,
+/// returning per-item outcomes in input order.
+///
+/// Unlike [`parallel_try_map_mut`] — which must wait for every closure call
+/// to return — this primitive is a supervised work queue: the calling thread
+/// acts as a monitor while detached worker threads pull items. A worker that
+/// runs one item past `hard_deadline` is *quarantined*: its id is retired
+/// (it can never claim work again), its thread is abandoned un-joined, the
+/// item is reported as [`SupervisedOutcome::HardTimeout`], and a fresh
+/// replacement worker is spawned so pool capacity stays constant. A late
+/// result from a quarantined zombie is discarded, never surfaced.
+///
+/// This gives the caller a provable upper wall-time bound of roughly
+/// `ceil(n / workers) * hard_deadline` plus scheduling overhead even when a
+/// closure ignores every cooperative budget and never returns. The deadline
+/// clock for an item starts when the monitor receives the worker's start
+/// message, so the per-item bound has bounded messaging skew, not drift.
+///
+/// `workers` is clamped to `1..=items.len()`. With `workers == 1` this is a
+/// sequential loop that still enforces the deadline (the monitor replaces a
+/// wedged single worker so the remaining items are not starved).
+pub fn supervised_try_map<T, R, F>(
+    items: Vec<T>,
+    hard_deadline: std::time::Duration,
+    workers: usize,
+    f: F,
+) -> Vec<SupervisedOutcome<T, R>>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(&mut T) -> R + Send + Sync + 'static,
+{
+    use std::collections::HashMap;
+    use std::sync::mpsc;
+    use std::time::{Duration, Instant};
+
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    let shared = std::sync::Arc::new(SupervisedShared {
+        next: AtomicUsize::new(0),
+        slots: items.into_iter().map(|t| Mutex::new(Some(t))).collect(),
+        retired: Mutex::new(std::collections::HashSet::new()),
+        f,
+    });
+    let (tx, rx) = mpsc::channel();
+    let mut live_workers = 0usize;
+    for id in 0..workers {
+        if spawn_supervised_worker(id, std::sync::Arc::clone(&shared), tx.clone()) {
+            live_workers += 1;
+        }
+    }
+    let mut next_worker_id = workers;
+
+    let mut outcomes: Vec<Option<SupervisedOutcome<T, R>>> = Vec::new();
+    outcomes.resize_with(n, || None);
+    let mut resolved = 0usize;
+    // worker id -> (item index, moment its Started message arrived)
+    let mut in_flight: HashMap<usize, (usize, Instant)> = HashMap::new();
+
+    while resolved < n {
+        if live_workers == 0 && in_flight.is_empty() {
+            // Defensive: the OS refused every (replacement) thread and
+            // nothing is running. Fill the remaining slots so the caller
+            // still gets a total, typed answer instead of a hang.
+            for slot in outcomes.iter_mut() {
+                if slot.is_none() {
+                    *slot = Some(SupervisedOutcome::HardTimeout);
+                }
+            }
+            break;
+        }
+        let wait = in_flight
+            .values()
+            .map(|&(_, started)| hard_deadline.saturating_sub(started.elapsed()))
+            .min()
+            .unwrap_or(Duration::from_millis(25))
+            .min(Duration::from_millis(50));
+        match rx.recv_timeout(wait) {
+            Ok(SupervisedMsg::Started { worker, item }) => {
+                in_flight.insert(worker, (item, Instant::now()));
+            }
+            Ok(SupervisedMsg::Finished {
+                worker,
+                item,
+                value,
+                result,
+            }) => {
+                in_flight.remove(&worker);
+                if let Some(slot) = outcomes.get_mut(item) {
+                    if slot.is_none() {
+                        *slot = Some(SupervisedOutcome::Completed {
+                            item: *value,
+                            result,
+                        });
+                        resolved += 1;
+                    }
+                    // An occupied slot means the item already resolved as a
+                    // HardTimeout: the sender is a quarantined zombie and its
+                    // late result is discarded here, never surfaced.
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // Unreachable while the monitor holds `tx`; purely defensive.
+                break;
+            }
+        }
+        // Deadline sweep: quarantine every worker whose current item has now
+        // run past the hard deadline.
+        let expired: Vec<(usize, usize)> = in_flight
+            .iter()
+            .filter(|&(_, &(_, started))| started.elapsed() >= hard_deadline)
+            .map(|(&worker, &(item, _))| (worker, item))
+            .collect();
+        for (worker, item) in expired {
+            in_flight.remove(&worker);
+            shared.retire(worker);
+            live_workers = live_workers.saturating_sub(1);
+            if let Some(slot) = outcomes.get_mut(item) {
+                if slot.is_none() {
+                    *slot = Some(SupervisedOutcome::HardTimeout);
+                    resolved += 1;
+                }
+            }
+            let id = next_worker_id;
+            next_worker_id += 1;
+            if spawn_supervised_worker(id, std::sync::Arc::clone(&shared), tx.clone()) {
+                live_workers += 1;
+            }
+        }
+    }
+
+    outcomes
+        .into_iter()
+        .map(|slot| slot.unwrap_or(SupervisedOutcome::HardTimeout))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,5 +503,95 @@ mod tests {
             i
         });
         assert_eq!(out.into_iter().filter_map(|r| r.ok()).count(), 32);
+    }
+
+    use std::time::Duration;
+
+    #[test]
+    fn supervised_completes_fast_items_in_order() {
+        let items: Vec<usize> = (0..16).collect();
+        let out = supervised_try_map(items, Duration::from_secs(10), 4, |i: &mut usize| {
+            *i += 1;
+            *i * 2
+        });
+        assert_eq!(out.len(), 16);
+        for (i, o) in out.into_iter().enumerate() {
+            match o {
+                SupervisedOutcome::Completed { item, result } => {
+                    assert_eq!(item, i + 1);
+                    assert_eq!(result.unwrap(), (i + 1) * 2);
+                }
+                SupervisedOutcome::HardTimeout => panic!("item {i} timed out"),
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_quarantines_only_the_wedged_item() {
+        let items: Vec<usize> = (0..8).collect();
+        let start = std::time::Instant::now();
+        let out = supervised_try_map(items, Duration::from_millis(150), 4, |i: &mut usize| {
+            if *i == 3 {
+                std::thread::sleep(Duration::from_secs(10));
+            }
+            *i
+        });
+        // the wedged zombie must not delay the monitor's return
+        assert!(start.elapsed() < Duration::from_secs(5));
+        for (i, o) in out.into_iter().enumerate() {
+            match (i, o) {
+                (3, SupervisedOutcome::HardTimeout) => {}
+                (3, _) => panic!("wedged item survived"),
+                (_, SupervisedOutcome::Completed { item, .. }) => assert_eq!(item, i),
+                (_, SupervisedOutcome::HardTimeout) => panic!("healthy item {i} timed out"),
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_single_worker_is_still_deadline_bounded() {
+        // with one worker, the wedged item would starve the rest without the
+        // replacement-spawn machinery
+        let items: Vec<usize> = (0..6).collect();
+        let out = supervised_try_map(items, Duration::from_millis(150), 1, |i: &mut usize| {
+            if *i == 0 {
+                std::thread::sleep(Duration::from_secs(10));
+            }
+            *i
+        });
+        let completed = out
+            .iter()
+            .filter(|o| matches!(o, SupervisedOutcome::Completed { .. }))
+            .count();
+        assert_eq!(completed, 5);
+        assert!(matches!(out.first(), Some(SupervisedOutcome::HardTimeout)));
+    }
+
+    #[test]
+    fn supervised_catches_panics_per_item() {
+        let items: Vec<usize> = (0..8).collect();
+        let out = supervised_try_map(items, Duration::from_secs(10), 3, |i: &mut usize| {
+            if *i % 3 == 1 {
+                panic!("boom {i}", i = *i);
+            }
+            *i
+        });
+        for (i, o) in out.into_iter().enumerate() {
+            let SupervisedOutcome::Completed { result, .. } = o else {
+                panic!("item {i} timed out");
+            };
+            if i % 3 == 1 {
+                assert!(result.unwrap_err().message.contains("boom"));
+            } else {
+                assert_eq!(result.unwrap(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_empty_input() {
+        let out: Vec<SupervisedOutcome<usize, usize>> =
+            supervised_try_map(Vec::new(), Duration::from_secs(1), 4, |i: &mut usize| *i);
+        assert!(out.is_empty());
     }
 }

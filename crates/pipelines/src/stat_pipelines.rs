@@ -2,12 +2,13 @@
 //! the fast linear MT2RForecaster and the neural pipeline.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use autoai_ml_models::{LinearRegression, MultiOutputRegressor};
 use autoai_neural::{Mlp, MlpConfig};
 use autoai_stat_models::{
-    auto_arima, auto_arima_seeded, Arima, Bats, BatsConfig, HoltWinters, IncrementalAr,
-    SeasonalNaive, Seasonality, ThetaModel, ZeroModel,
+    auto_arima_seeded_with_deadline, auto_arima_with_deadline, Arima, Bats, BatsConfig,
+    HoltWinters, IncrementalAr, SeasonalNaive, Seasonality, ThetaModel, ZeroModel,
 };
 use autoai_transforms::{latest_window, TransformCache};
 use autoai_tsdata::{FrameFingerprint, TimeSeriesFrame};
@@ -21,6 +22,56 @@ fn forecast_frame(names: &[String], forecasts: Vec<Vec<f64>>) -> TimeSeriesFrame
         f = f.with_names(names.to_vec());
     }
     f
+}
+
+/// Deterministic chaos gate at the top of `fit`/`fit_incremental`. The key
+/// folds the pipeline name and the frame length — both pure functions of the
+/// evaluated allocation — so a cached replay and a fresh evaluation of the
+/// same unit draw the same fault, preserving cached==uncached ranking parity
+/// under injection. [`ZeroModelPipeline`] deliberately has no gate: it is the
+/// degradation ladder's last rung and must stay fault-free by construction.
+fn chaos_fit_gate(pipeline: &str, len: usize) -> Result<(), PipelineError> {
+    if !autoai_chaos::enabled() {
+        return Ok(());
+    }
+    let k = autoai_chaos::key(pipeline) ^ (len as u64);
+    match autoai_chaos::inject("pipeline.fit", k) {
+        Some(autoai_chaos::Fault::Panic) => {
+            // tscheck:allow(panic): deliberate chaos fault injection exercising the executor's panic isolation
+            panic!("chaos: injected panic fitting {pipeline} on {len} rows")
+        }
+        Some(autoai_chaos::Fault::TypedError) => Err(PipelineError::Fit(format!(
+            "chaos: injected fit error in {pipeline}"
+        ))),
+        Some(autoai_chaos::Fault::Delay(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            Ok(())
+        }
+        Some(autoai_chaos::Fault::NanForecast) | None => Ok(()),
+    }
+}
+
+/// Deterministic chaos gate in `predict`: on a NaN-forecast draw, returns a
+/// poisoned frame the caller must hand back instead of its real forecast
+/// (the scorer turns it into a NaN score, exercising the ranking's NaN
+/// handling). Keyed on name and horizon only, for the same determinism
+/// reasons as [`chaos_fit_gate`].
+fn chaos_predict_gate(pipeline: &str, horizon: usize, n_series: usize) -> Option<TimeSeriesFrame> {
+    if !autoai_chaos::enabled() {
+        return None;
+    }
+    let k = autoai_chaos::key(pipeline) ^ (horizon as u64);
+    match autoai_chaos::inject("pipeline.predict", k) {
+        Some(autoai_chaos::Fault::NanForecast) => Some(TimeSeriesFrame::from_columns(vec![
+            vec![f64::NAN; horizon];
+            n_series.max(1)
+        ])),
+        Some(autoai_chaos::Fault::Delay(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            None
+        }
+        _ => None,
+    }
 }
 
 /// The Zero Model as a pipeline: repeat each series' last value (§4).
@@ -117,6 +168,7 @@ impl SeasonalNaivePipeline {
 
 impl Forecaster for SeasonalNaivePipeline {
     fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
+        chaos_fit_gate("SeasonalNaive", frame.len())?;
         self.models.clear();
         self.fitted_rows = 0;
         self.names = frame.names().to_vec();
@@ -150,6 +202,7 @@ impl Forecaster for SeasonalNaivePipeline {
         {
             return Ok(false);
         }
+        chaos_fit_gate("SeasonalNaive", frame.len())?;
         self.fitted_rows = frame.len();
         Ok(true)
     }
@@ -157,6 +210,9 @@ impl Forecaster for SeasonalNaivePipeline {
     fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
         if self.models.is_empty() {
             return Err(PipelineError::NotFitted);
+        }
+        if let Some(poisoned) = chaos_predict_gate("SeasonalNaive", horizon, self.models.len()) {
+            return Ok(poisoned);
         }
         Ok(forecast_frame(
             &self.names,
@@ -199,6 +255,7 @@ impl ArPipeline {
 
 impl Forecaster for ArPipeline {
     fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
+        chaos_fit_gate("AR", frame.len())?;
         self.models.clear();
         self.fitted_rows = 0;
         self.names = frame.names().to_vec();
@@ -227,6 +284,7 @@ impl Forecaster for ArPipeline {
         {
             return Ok(false);
         }
+        chaos_fit_gate("AR", frame.len())?;
         for (c, m) in self.models.iter_mut().enumerate() {
             match m.fit_extended(frame.series(c), previous_rows) {
                 Ok(true) => {}
@@ -243,6 +301,9 @@ impl Forecaster for ArPipeline {
     fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
         if self.models.is_empty() {
             return Err(PipelineError::NotFitted);
+        }
+        if let Some(poisoned) = chaos_predict_gate("AR", horizon, self.models.len()) {
+            return Ok(poisoned);
         }
         Ok(forecast_frame(
             &self.names,
@@ -277,6 +338,7 @@ pub struct ArimaPipeline {
     names: Vec<String>,
     fitted_rows: usize,
     last_fp: Option<FrameFingerprint>,
+    budget: Option<Duration>,
 }
 
 impl ArimaPipeline {
@@ -290,19 +352,31 @@ impl ArimaPipeline {
             names: Vec::new(),
             fitted_rows: 0,
             last_fp: None,
+            budget: None,
         }
+    }
+
+    /// Whether any per-series search in the last fit was cut short by the
+    /// soft time budget (best-so-far parameters were kept).
+    pub fn timed_out(&self) -> bool {
+        self.models.iter().any(|m| m.timed_out)
     }
 }
 
 impl Forecaster for ArimaPipeline {
     fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
+        chaos_fit_gate("Arima", frame.len())?;
         self.models.clear();
         self.fitted_rows = 0;
         self.last_fp = None;
         self.names = frame.names().to_vec();
+        // one absolute deadline shared by every per-series search, so the
+        // whole fit honors the budget, not each series separately
+        let deadline = self.budget.map(|b| Instant::now() + b);
         for c in 0..frame.n_series() {
-            let m = auto_arima(frame.series(c), self.max_p, self.max_q, self.m)
-                .map_err(|e| PipelineError::Fit(e.message))?;
+            let m =
+                auto_arima_with_deadline(frame.series(c), self.max_p, self.max_q, self.m, deadline)
+                    .map_err(|e| PipelineError::Fit(e.message))?;
             self.models.push(m);
         }
         if self.models.is_empty() {
@@ -330,12 +404,21 @@ impl Forecaster for ArimaPipeline {
         {
             return Ok(false);
         }
+        chaos_fit_gate("Arima", frame.len())?;
         // seeded models are built into a fresh vec so a failure mid-way
         // leaves the previous fit untouched for the executor's cold fallback
+        let deadline = self.budget.map(|b| Instant::now() + b);
         let mut models = Vec::with_capacity(self.models.len());
         for (c, seed) in self.models.iter().enumerate() {
-            let m = auto_arima_seeded(frame.series(c), self.max_p, self.max_q, self.m, seed)
-                .map_err(|e| PipelineError::Fit(e.message))?;
+            let m = auto_arima_seeded_with_deadline(
+                frame.series(c),
+                self.max_p,
+                self.max_q,
+                self.m,
+                seed,
+                deadline,
+            )
+            .map_err(|e| PipelineError::Fit(e.message))?;
             models.push(m);
         }
         self.models = models;
@@ -349,6 +432,9 @@ impl Forecaster for ArimaPipeline {
         if self.models.is_empty() {
             return Err(PipelineError::NotFitted);
         }
+        if let Some(poisoned) = chaos_predict_gate("Arima", horizon, self.models.len()) {
+            return Ok(poisoned);
+        }
         Ok(forecast_frame(
             &self.names,
             self.models.iter().map(|m| m.forecast(horizon)).collect(),
@@ -357,6 +443,10 @@ impl Forecaster for ArimaPipeline {
 
     fn name(&self) -> String {
         "Arima".into()
+    }
+
+    fn set_time_budget(&mut self, budget: Option<Duration>) {
+        self.budget = budget;
     }
 
     fn clone_unfitted(&self) -> Box<dyn Forecaster> {
@@ -368,6 +458,7 @@ impl Forecaster for ArimaPipeline {
             names: Vec::new(),
             fitted_rows: 0,
             last_fp: None,
+            budget: self.budget,
         })
     }
 }
@@ -387,6 +478,7 @@ pub struct HoltWintersPipeline {
     names: Vec<String>,
     fitted_rows: usize,
     last_fp: Option<FrameFingerprint>,
+    budget: Option<Duration>,
 }
 
 impl HoltWintersPipeline {
@@ -403,6 +495,7 @@ impl HoltWintersPipeline {
             names: Vec::new(),
             fitted_rows: 0,
             last_fp: None,
+            budget: None,
         }
     }
 
@@ -419,21 +512,34 @@ impl HoltWintersPipeline {
             names: Vec::new(),
             fitted_rows: 0,
             last_fp: None,
+            budget: None,
         }
+    }
+
+    /// Whether any per-series constant search in the last fit was cut short
+    /// by the soft time budget (best-so-far parameters were kept).
+    pub fn timed_out(&self) -> bool {
+        self.models.iter().any(|m| m.timed_out)
     }
 }
 
 impl Forecaster for HoltWintersPipeline {
     fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
+        chaos_fit_gate(&self.name(), frame.len())?;
         self.models.clear();
         self.fitted_rows = 0;
         self.last_fp = None;
         self.names = frame.names().to_vec();
+        // one absolute deadline shared by every per-series search, so the
+        // whole fit honors the budget, not each series separately
+        let deadline = self.budget.map(|b| Instant::now() + b);
         for c in 0..frame.n_series() {
             // degrade gracefully to non-seasonal when the series is too
             // short for the configured period
-            let m = HoltWinters::fit(frame.series(c), self.seasonality)
-                .or_else(|_| HoltWinters::fit(frame.series(c), Seasonality::None))
+            let m = HoltWinters::fit_with_deadline(frame.series(c), self.seasonality, deadline)
+                .or_else(|_| {
+                    HoltWinters::fit_with_deadline(frame.series(c), Seasonality::None, deadline)
+                })
                 .map_err(|e| PipelineError::Fit(e.message))?;
             self.models.push(m);
         }
@@ -465,8 +571,10 @@ impl Forecaster for HoltWintersPipeline {
         if !appended && !fp.extends_as_suffix(old_fp) {
             return Ok(false);
         }
+        chaos_fit_gate(&self.name(), frame.len())?;
         // warm models are built into a fresh vec so a failure mid-way
         // leaves the previous fit untouched for the executor's cold fallback
+        let deadline = self.budget.map(|b| Instant::now() + b);
         let mut models = Vec::with_capacity(self.models.len());
         for seed in &self.models {
             let c = models.len();
@@ -482,8 +590,10 @@ impl Forecaster for HoltWintersPipeline {
             } else {
                 // reverse growth: re-optimize from the previous optimum,
                 // mirroring `fit`'s graceful non-seasonal degradation
-                HoltWinters::fit_seeded(s, self.seasonality, seed)
-                    .or_else(|_| HoltWinters::fit_seeded(s, Seasonality::None, seed))
+                HoltWinters::fit_seeded_with_deadline(s, self.seasonality, seed, deadline)
+                    .or_else(|_| {
+                        HoltWinters::fit_seeded_with_deadline(s, Seasonality::None, seed, deadline)
+                    })
                     .map_err(|e| PipelineError::Fit(e.message))?
             };
             models.push(m);
@@ -499,6 +609,9 @@ impl Forecaster for HoltWintersPipeline {
         if self.models.is_empty() {
             return Err(PipelineError::NotFitted);
         }
+        if let Some(poisoned) = chaos_predict_gate(&self.name(), horizon, self.models.len()) {
+            return Ok(poisoned);
+        }
         Ok(forecast_frame(
             &self.names,
             self.models.iter().map(|m| m.forecast(horizon)).collect(),
@@ -512,6 +625,10 @@ impl Forecaster for HoltWintersPipeline {
         }
     }
 
+    fn set_time_budget(&mut self, budget: Option<Duration>) {
+        self.budget = budget;
+    }
+
     fn clone_unfitted(&self) -> Box<dyn Forecaster> {
         Box::new(Self {
             seasonality: self.seasonality,
@@ -519,6 +636,7 @@ impl Forecaster for HoltWintersPipeline {
             names: Vec::new(),
             fitted_rows: 0,
             last_fp: None,
+            budget: self.budget,
         })
     }
 }
@@ -529,6 +647,7 @@ pub struct BatsPipeline {
     pub periods: Vec<usize>,
     models: Vec<Bats>,
     names: Vec<String>,
+    budget: Option<Duration>,
 }
 
 impl BatsPipeline {
@@ -538,18 +657,29 @@ impl BatsPipeline {
             periods,
             models: Vec::new(),
             names: Vec::new(),
+            budget: None,
         }
+    }
+
+    /// Whether any per-series component search in the last fit was cut short
+    /// by the soft time budget (the best configuration so far was kept).
+    pub fn timed_out(&self) -> bool {
+        self.models.iter().any(|m| m.timed_out)
     }
 }
 
 impl Forecaster for BatsPipeline {
     fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
+        chaos_fit_gate("bats", frame.len())?;
         self.models.clear();
         self.names = frame.names().to_vec();
         let config = BatsConfig::with_periods(self.periods.clone());
+        // one absolute deadline shared by every per-series search, so the
+        // whole fit honors the budget, not each series separately
+        let deadline = self.budget.map(|b| Instant::now() + b);
         for c in 0..frame.n_series() {
-            let m =
-                Bats::fit(frame.series(c), &config).map_err(|e| PipelineError::Fit(e.message))?;
+            let m = Bats::fit_with_deadline(frame.series(c), &config, deadline)
+                .map_err(|e| PipelineError::Fit(e.message))?;
             self.models.push(m);
         }
         if self.models.is_empty() {
@@ -562,6 +692,9 @@ impl Forecaster for BatsPipeline {
         if self.models.is_empty() {
             return Err(PipelineError::NotFitted);
         }
+        if let Some(poisoned) = chaos_predict_gate("bats", horizon, self.models.len()) {
+            return Ok(poisoned);
+        }
         Ok(forecast_frame(
             &self.names,
             self.models.iter().map(|m| m.forecast(horizon)).collect(),
@@ -572,8 +705,14 @@ impl Forecaster for BatsPipeline {
         "bats".into()
     }
 
+    fn set_time_budget(&mut self, budget: Option<Duration>) {
+        self.budget = budget;
+    }
+
     fn clone_unfitted(&self) -> Box<dyn Forecaster> {
-        Box::new(Self::new(self.periods.clone()))
+        let mut fresh = Self::new(self.periods.clone());
+        fresh.budget = self.budget;
+        Box::new(fresh)
     }
 }
 
@@ -657,6 +796,7 @@ impl Mt2rForecaster {
 
 impl Forecaster for Mt2rForecaster {
     fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
+        chaos_fit_gate("MT2RForecaster", frame.len())?;
         self.names = frame.names().to_vec();
         // shrink look-back for short series so at least 4 windows exist
         let max_lb = frame.len().saturating_sub(self.horizon + 4).max(1);
@@ -683,6 +823,9 @@ impl Forecaster for Mt2rForecaster {
         let model = self.model.as_ref().ok_or(PipelineError::NotFitted)?;
         let tail = self.train_tail.as_ref().ok_or(PipelineError::NotFitted)?;
         let n_series = tail.n_series();
+        if let Some(poisoned) = chaos_predict_gate("MT2RForecaster", horizon, n_series) {
+            return Ok(poisoned);
+        }
         let mut work = tail.clone();
         let mut out: Vec<Vec<f64>> = vec![Vec::with_capacity(horizon); n_series];
         let mut produced = 0usize;

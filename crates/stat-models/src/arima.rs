@@ -11,7 +11,9 @@
 //! the paper benchmarks (Table 3: `start_p=1, start_q=1, max_p=3, max_q=3,
 //! m=12, seasonal=True, d=1, D=1`).
 
-use autoai_linalg::{lstsq, nelder_mead, Matrix, NelderMeadOptions};
+use std::time::Instant;
+
+use autoai_linalg::{lstsq, nelder_mead_budgeted, Matrix, NelderMeadOptions};
 
 use crate::FitError;
 
@@ -134,6 +136,10 @@ pub struct Arima {
     pub sigma2: f64,
     /// Akaike information criterion (corrected) of the fit.
     pub aic: f64,
+    /// True when a fit deadline expired before the CSS search (or, for
+    /// `auto_arima`, the order hill climb) converged; the model holds the
+    /// best parameters found so far.
+    pub timed_out: bool,
     /// Differenced training series (CSS recursion state).
     w: Vec<f64>,
     /// In-sample residuals of the differenced series.
@@ -146,7 +152,18 @@ impl Arima {
     /// Fit an ARIMA with the given specification (cold start: OLS lag
     /// regression initializes the CSS search).
     pub fn fit(series: &[f64], spec: ArimaSpec) -> Result<Self, FitError> {
-        Self::fit_impl(series, spec, None)
+        Self::fit_impl(series, spec, None, None)
+    }
+
+    /// [`Arima::fit`] with a cooperative hard stop: once `deadline` passes,
+    /// the CSS search exits at the best coefficients found so far and the
+    /// returned model carries `timed_out == true`.
+    pub fn fit_with_deadline(
+        series: &[f64],
+        spec: ArimaSpec,
+        deadline: Option<Instant>,
+    ) -> Result<Self, FitError> {
+        Self::fit_impl(series, spec, None, deadline)
     }
 
     /// Warm-started fit: restart the CSS Nelder–Mead from a previous fit's
@@ -156,8 +173,19 @@ impl Arima {
     /// specification differs from `spec` falls back to the cold start
     /// (coefficients would not align with the lag structure).
     pub fn fit_seeded(series: &[f64], spec: ArimaSpec, seed: &Arima) -> Result<Self, FitError> {
+        Self::fit_seeded_with_deadline(series, spec, seed, None)
+    }
+
+    /// [`Arima::fit_seeded`] under a cooperative fit deadline; see
+    /// [`Arima::fit_with_deadline`] for the timeout semantics.
+    pub fn fit_seeded_with_deadline(
+        series: &[f64],
+        spec: ArimaSpec,
+        seed: &Arima,
+        deadline: Option<Instant>,
+    ) -> Result<Self, FitError> {
         if seed.spec != spec {
-            return Self::fit(series, spec);
+            return Self::fit_with_deadline(series, spec, deadline);
         }
         // clamp inside the CSS guard (|c| > 5 → ∞) so the seeded simplex
         // never starts in the rejected region
@@ -167,10 +195,15 @@ impl Arima {
             .chain(seed.ma_coefs.iter())
             .map(|c| c.clamp(-4.9, 4.9))
             .collect();
-        Self::fit_impl(series, spec, Some(&warm))
+        Self::fit_impl(series, spec, Some(&warm), deadline)
     }
 
-    fn fit_impl(series: &[f64], spec: ArimaSpec, warm: Option<&[f64]>) -> Result<Self, FitError> {
+    fn fit_impl(
+        series: &[f64],
+        spec: ArimaSpec,
+        warm: Option<&[f64]>,
+        deadline: Option<Instant>,
+    ) -> Result<Self, FitError> {
         let min_len = spec.k_params() + spec.d + spec.seasonal.map_or(0, |s| s.d * s.m + s.m) + 8;
         if series.len() < min_len {
             return Err(FitError::new(format!(
@@ -243,14 +276,16 @@ impl Arima {
                 sse
             }
         };
-        let params = if n_ar + n_ma > 0 {
+        let (params, timed_out) = if n_ar + n_ma > 0 {
             let opts = NelderMeadOptions {
                 max_evals: 800 * (n_ar + n_ma),
+                deadline,
                 ..Default::default()
             };
-            nelder_mead(css, &init, &opts).0
+            let (params, _, timed_out) = nelder_mead_budgeted(css, &init, &opts);
+            (params, timed_out)
         } else {
-            Vec::new()
+            (Vec::new(), false)
         };
         let (ar_part, ma_part) = params.split_at(n_ar.min(params.len()));
         let ar_coefs = ar_part.to_vec();
@@ -275,6 +310,7 @@ impl Arima {
             intercept: mean,
             sigma2,
             aic,
+            timed_out,
             w: wc,
             residuals,
             history: series.to_vec(),
@@ -451,7 +487,21 @@ pub fn ndiffs(series: &[f64], max_d: usize) -> usize {
 /// differenced series is strong, a seasonal `(1, D, 1)_m` component is
 /// included with `D = 1`.
 pub fn auto_arima(series: &[f64], max_p: usize, max_q: usize, m: usize) -> Result<Arima, FitError> {
-    auto_arima_impl(series, max_p, max_q, m, None)
+    auto_arima_impl(series, max_p, max_q, m, None, None)
+}
+
+/// [`auto_arima`] with a cooperative hard stop: the deadline is checked
+/// between hill-climb candidates (and inside each candidate's CSS search),
+/// so an expired budget returns the best model selected so far with
+/// `timed_out == true` instead of finishing the walk.
+pub fn auto_arima_with_deadline(
+    series: &[f64],
+    max_p: usize,
+    max_q: usize,
+    m: usize,
+    deadline: Option<Instant>,
+) -> Result<Arima, FitError> {
+    auto_arima_impl(series, max_p, max_q, m, None, deadline)
 }
 
 /// Stepwise selection seeded by a previous winner (warm start for T-Daub's
@@ -468,7 +518,20 @@ pub fn auto_arima_seeded(
     m: usize,
     seed: &Arima,
 ) -> Result<Arima, FitError> {
-    auto_arima_impl(series, max_p, max_q, m, Some(seed))
+    auto_arima_impl(series, max_p, max_q, m, Some(seed), None)
+}
+
+/// [`auto_arima_seeded`] under a cooperative fit deadline; see
+/// [`auto_arima_with_deadline`] for the timeout semantics.
+pub fn auto_arima_seeded_with_deadline(
+    series: &[f64],
+    max_p: usize,
+    max_q: usize,
+    m: usize,
+    seed: &Arima,
+    deadline: Option<Instant>,
+) -> Result<Arima, FitError> {
+    auto_arima_impl(series, max_p, max_q, m, Some(seed), deadline)
 }
 
 fn auto_arima_impl(
@@ -477,7 +540,9 @@ fn auto_arima_impl(
     max_q: usize,
     m: usize,
     seed: Option<&Arima>,
+    deadline: Option<Instant>,
 ) -> Result<Arima, FitError> {
+    let expired = || deadline.is_some_and(|d| Instant::now() >= d);
     let d = ndiffs(series, 2);
     let seasonal = if m >= 2 && series.len() >= 3 * m + 10 {
         let diffed = difference(series, 1, d);
@@ -502,8 +567,8 @@ fn auto_arima_impl(
     let try_fit = |p: usize, q: usize| -> Option<Arima> {
         let spec = ArimaSpec { p, d, q, seasonal };
         match seed.filter(|s| s.spec == spec) {
-            Some(s) => Arima::fit_seeded(series, spec, s).ok(),
-            None => Arima::fit(series, spec).ok(),
+            Some(s) => Arima::fit_seeded_with_deadline(series, spec, s, deadline).ok(),
+            None => Arima::fit_with_deadline(series, spec, deadline).ok(),
         }
     };
 
@@ -516,6 +581,12 @@ fn auto_arima_impl(
         .or_else(|| Arima::fit(series, ArimaSpec::new(0, d, 0)).ok())
         .ok_or_else(|| FitError::new("auto_arima: no candidate model could be fitted"))?;
     loop {
+        if expired() {
+            // the hill climb was cut short: mark the winner so callers can
+            // tell a converged selection from a budget-truncated one
+            best.timed_out = true;
+            break;
+        }
         let mut improved = false;
         let mut candidates = Vec::new();
         if p < max_p {
@@ -531,6 +602,9 @@ fn auto_arima_impl(
             candidates.push((p, q - 1));
         }
         for (cp, cq) in candidates {
+            if expired() {
+                break;
+            }
             if let Some(model) = try_fit(cp, cq) {
                 if model.aic < best.aic - 1e-9 {
                     best = model;
@@ -750,6 +824,25 @@ mod tests {
         );
         for (a, b) in fw.iter().zip(&fc) {
             assert!((a - b).abs() < 1.0, "{fw:?} vs {fc:?}");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_returns_best_so_far_model() {
+        let x = ar1_series(0.7, 600, 13, 0.5);
+        let past = Instant::now() - std::time::Duration::from_secs(1);
+        let m = auto_arima_with_deadline(&x, 3, 3, 0, Some(past)).unwrap();
+        assert!(m.timed_out);
+        let f = m.forecast(6);
+        assert!(f.iter().all(|v| v.is_finite()), "{f:?}");
+        // a generous deadline behaves exactly like no deadline
+        let far = Instant::now() + std::time::Duration::from_secs(600);
+        let full = auto_arima_with_deadline(&x, 3, 3, 0, Some(far)).unwrap();
+        assert!(!full.timed_out);
+        let unbounded = auto_arima(&x, 3, 3, 0).unwrap();
+        assert_eq!(full.spec, unbounded.spec);
+        for (a, b) in full.forecast(6).iter().zip(&unbounded.forecast(6)) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

@@ -10,7 +10,9 @@
 //! over the 2×2×2 grid (Box-Cox × trend × ARMA), exactly the spirit of the
 //! reference implementation's automatic component search.
 
-use autoai_linalg::{nelder_mead, NelderMeadOptions};
+use std::time::Instant;
+
+use autoai_linalg::{nelder_mead_budgeted, NelderMeadOptions};
 
 use crate::arima::{Arima, ArimaSpec};
 use crate::FitError;
@@ -74,6 +76,10 @@ pub struct Bats {
     arma: Option<Arima>,
     /// AIC of the selected configuration.
     pub aic: f64,
+    /// True when a fit deadline expired before the component grid (or the
+    /// smoothing-constant search inside it) finished; the model is the best
+    /// configuration found so far.
+    pub timed_out: bool,
     n: usize,
 }
 
@@ -105,6 +111,20 @@ impl Bats {
 
     /// Fit a BATS model with automatic component selection by AIC.
     pub fn fit(series: &[f64], config: &BatsConfig) -> Result<Self, FitError> {
+        Self::fit_with_deadline(series, config, None)
+    }
+
+    /// [`Bats::fit`] with a cooperative hard stop: the deadline is threaded
+    /// into each smoothing-constant search and checked between component
+    /// grid combinations, so an expired budget returns the best
+    /// configuration found so far with `timed_out == true`. At least one
+    /// configuration is always attempted even on an already-expired
+    /// deadline.
+    pub fn fit_with_deadline(
+        series: &[f64],
+        config: &BatsConfig,
+        deadline: Option<Instant>,
+    ) -> Result<Self, FitError> {
         if series.iter().any(|v| !v.is_finite()) {
             return Err(FitError::new("series contains non-finite values"));
         }
@@ -139,8 +159,14 @@ impl Bats {
             None => vec![false, true],
         };
 
+        let expired = || deadline.is_some_and(|d| Instant::now() >= d);
+        let mut truncated = false;
         let mut best: Option<Bats> = None;
         for &use_bc in &bc_options {
+            if best.is_some() && expired() {
+                truncated = true;
+                break;
+            }
             // transform once per Box-Cox choice
             let (transformed, lambda, offset) = if use_bc {
                 let min = series.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -173,13 +199,23 @@ impl Bats {
             };
 
             for &use_trend in &trend_options {
-                let es = match Self::fit_es(&transformed, use_trend, &periods) {
-                    Some(es) => es,
-                    None => continue,
-                };
+                if best.is_some() && expired() {
+                    truncated = true;
+                    break;
+                }
+                let (es, es_timed_out) =
+                    match Self::fit_es(&transformed, use_trend, &periods, deadline) {
+                        Some(es) => es,
+                        None => continue,
+                    };
                 for &use_arma in &arma_options {
+                    if best.is_some() && expired() {
+                        truncated = true;
+                        break;
+                    }
                     let arma = if use_arma && es.residuals.len() >= 30 {
-                        Arima::fit(&es.residuals, ArimaSpec::new(1, 0, 1)).ok()
+                        Arima::fit_with_deadline(&es.residuals, ArimaSpec::new(1, 0, 1), deadline)
+                            .ok()
                     } else {
                         None
                     };
@@ -195,6 +231,7 @@ impl Bats {
                         + if arma.is_some() { 2.0 } else { 0.0 };
                     let aic = n_eff * (sse / n_eff).max(1e-300).ln() + 2.0 * k;
                     let has_arma = arma.is_some();
+                    let timed_out = es_timed_out || arma.as_ref().is_some_and(|a| a.timed_out);
                     let cand = Bats {
                         lambda,
                         offset,
@@ -204,6 +241,7 @@ impl Bats {
                         es: es.clone(),
                         arma,
                         aic,
+                        timed_out,
                         n: series.len(),
                     };
                     if best.as_ref().is_none_or(|b| cand.aic < b.aic) {
@@ -212,18 +250,36 @@ impl Bats {
                 }
             }
         }
-        best.ok_or_else(|| FitError::new("no BATS configuration could be fitted"))
+        let mut best =
+            best.ok_or_else(|| FitError::new("no BATS configuration could be fitted"))?;
+        best.timed_out |= truncated;
+        Ok(best)
     }
 
     /// Fit the exponential-smoothing core with Nelder–Mead over smoothing
-    /// constants (sigmoid-constrained).
-    fn fit_es(y: &[f64], use_trend: bool, periods: &[usize]) -> Option<EsState> {
+    /// constants (sigmoid-constrained). The second element of the result
+    /// reports whether the search was cut short by the deadline.
+    fn fit_es(
+        y: &[f64],
+        use_trend: bool,
+        periods: &[usize],
+        deadline: Option<Instant>,
+    ) -> Option<(EsState, bool)> {
         let n_gammas = periods.len();
         let dim = 2 + n_gammas;
+        // the optimizer's parameter vector always has length `dim`; a
+        // defensive 0.0 (sigmoid → 0.5) keeps the lookup total
+        let raw_at = |raw: &[f64], i: usize| raw.get(i).copied().unwrap_or(0.0);
         let objective = |raw: &[f64]| -> f64 {
-            let alpha = sigmoid(raw[0]);
-            let beta = if use_trend { sigmoid(raw[1]) } else { 0.0 };
-            let gammas: Vec<f64> = (0..n_gammas).map(|i| sigmoid(raw[2 + i]) * 0.5).collect();
+            let alpha = sigmoid(raw_at(raw, 0));
+            let beta = if use_trend {
+                sigmoid(raw_at(raw, 1))
+            } else {
+                0.0
+            };
+            let gammas: Vec<f64> = (0..n_gammas)
+                .map(|i| sigmoid(raw_at(raw, 2 + i)) * 0.5)
+                .collect();
             match Self::run_es(y, use_trend, periods, alpha, beta, &gammas) {
                 Some(st) => st.sse,
                 None => f64::INFINITY,
@@ -232,13 +288,20 @@ impl Bats {
         let init = vec![-1.0; dim];
         let opts = NelderMeadOptions {
             max_evals: 600 * dim,
+            deadline,
             ..Default::default()
         };
-        let (raw, _) = nelder_mead(objective, &init, &opts);
-        let alpha = sigmoid(raw[0]);
-        let beta = if use_trend { sigmoid(raw[1]) } else { 0.0 };
-        let gammas: Vec<f64> = (0..n_gammas).map(|i| sigmoid(raw[2 + i]) * 0.5).collect();
-        Self::run_es(y, use_trend, periods, alpha, beta, &gammas)
+        let (raw, _, timed_out) = nelder_mead_budgeted(objective, &init, &opts);
+        let alpha = sigmoid(raw_at(&raw, 0));
+        let beta = if use_trend {
+            sigmoid(raw_at(&raw, 1))
+        } else {
+            0.0
+        };
+        let gammas: Vec<f64> = (0..n_gammas)
+            .map(|i| sigmoid(raw_at(&raw, 2 + i)) * 0.5)
+            .collect();
+        Self::run_es(y, use_trend, periods, alpha, beta, &gammas).map(|st| (st, timed_out))
     }
 
     /// One pass of the additive multi-seasonal smoothing recursion.
@@ -252,7 +315,7 @@ impl Bats {
     ) -> Option<EsState> {
         let warmup = periods.iter().copied().max().unwrap_or(1).max(2);
         // initial seasonal indices from the first cycle of each period
-        let base = autoai_linalg::mean(&y[..warmup]);
+        let base = autoai_linalg::mean(y.get(..warmup)?);
         let mut seasonals: Vec<Vec<f64>> = periods
             .iter()
             .map(|&m| {
@@ -262,7 +325,8 @@ impl Bats {
                 for (j, v) in idx.iter_mut().enumerate() {
                     let mut s = 0.0;
                     for c in 0..use_cycles {
-                        s += y[c * m + j];
+                        // c < cycles and j < m, so c*m + j < cycles*m <= len
+                        s += y.get(c * m + j).copied().unwrap_or(base);
                     }
                     *v = s / use_cycles as f64 - base;
                 }
@@ -277,17 +341,19 @@ impl Bats {
             .collect();
         let mut level = base;
         let mut trend = if use_trend && y.len() > warmup {
-            (y[warmup] - y[0]) / warmup as f64
+            (y.get(warmup)? - y.first()?) / warmup as f64
         } else {
             0.0
         };
         let mut residuals = Vec::with_capacity(y.len());
         let mut sse = 0.0;
+        // one seasonal index vector per period: zipping keeps the per-period
+        // lookups total (t % m < m == the vector's length by construction)
         for (t, &x) in y.iter().enumerate() {
             let season_sum: f64 = periods
                 .iter()
-                .enumerate()
-                .map(|(j, &m)| seasonals[j][t % m])
+                .zip(&seasonals)
+                .map(|(&m, s)| s.get(t % m).copied().unwrap_or_default())
                 .sum();
             let fitted = level + trend + season_sum;
             let err = x - fitted;
@@ -303,16 +369,19 @@ impl Bats {
             if use_trend {
                 trend = beta * (level - prev_level) + (1.0 - beta) * trend;
             }
-            for (j, &m) in periods.iter().enumerate() {
+            for j in 0..periods.len() {
                 let other: f64 = periods
                     .iter()
+                    .zip(&seasonals)
                     .enumerate()
                     .filter(|&(k, _)| k != j)
-                    .map(|(k, &mk)| seasonals[k][t % mk])
+                    .map(|(_, (&mk, s))| s.get(t % mk).copied().unwrap_or_default())
                     .sum();
-                let g = gammas[j];
-                let s = seasonals[j][t % m];
-                seasonals[j][t % m] = g * (x - level - other) + (1.0 - g) * s;
+                let g = gammas.get(j).copied().unwrap_or_default();
+                let m = periods.get(j).copied().unwrap_or(1);
+                if let Some(slot) = seasonals.get_mut(j).and_then(|s| s.get_mut(t % m)) {
+                    *slot = g * (x - level - other) + (1.0 - g) * *slot;
+                }
             }
         }
         Some(EsState {
@@ -336,12 +405,12 @@ impl Bats {
                 let season_sum: f64 = self
                     .periods
                     .iter()
-                    .enumerate()
-                    .map(|(j, &m)| self.es.seasonals[j][t % m])
+                    .zip(&self.es.seasonals)
+                    .map(|(&m, s)| s.get(t % m).copied().unwrap_or_default())
                     .sum();
                 let mut v = self.es.level + self.es.trend * h as f64 + season_sum;
                 if let Some(af) = &arma_fore {
-                    v += af[h - 1];
+                    v += af.get(h - 1).copied().unwrap_or_default();
                 }
                 match self.lambda {
                     Some(l) => box_cox_inv(v, l) - self.offset,
@@ -458,6 +527,26 @@ mod tests {
     #[test]
     fn too_short_rejected() {
         assert!(Bats::fit(&[1.0, 2.0, 3.0], &BatsConfig::auto()).is_err());
+    }
+
+    #[test]
+    fn expired_deadline_still_yields_a_usable_model() {
+        let pattern = [8.0, -3.0, -7.0, 2.0];
+        let y: Vec<f64> = (0..100).map(|i| 50.0 + pattern[i % 4]).collect();
+        let past = Instant::now() - std::time::Duration::from_secs(1);
+        let m =
+            Bats::fit_with_deadline(&y, &BatsConfig::with_periods(vec![4]), Some(past)).unwrap();
+        assert!(m.timed_out);
+        assert!(m.forecast(8).iter().all(|v| v.is_finite()));
+        // a generous deadline behaves exactly like no deadline
+        let far = Instant::now() + std::time::Duration::from_secs(600);
+        let full =
+            Bats::fit_with_deadline(&y, &BatsConfig::with_periods(vec![4]), Some(far)).unwrap();
+        assert!(!full.timed_out);
+        let unbounded = Bats::fit(&y, &BatsConfig::with_periods(vec![4])).unwrap();
+        for (a, b) in full.forecast(8).iter().zip(&unbounded.forecast(8)) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

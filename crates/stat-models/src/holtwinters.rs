@@ -15,7 +15,9 @@
 //! seasonals)` state — bit-identical to recursing over the concatenation at
 //! the same constants, because the update is a left-to-right fold.
 
-use autoai_linalg::{nelder_mead, NelderMeadOptions};
+use std::time::Instant;
+
+use autoai_linalg::{nelder_mead_budgeted, NelderMeadOptions};
 
 use crate::FitError;
 
@@ -58,6 +60,9 @@ pub struct HoltWinters {
     seasonals: Vec<f64>,
     /// One-step SSE of the optimized fit.
     pub sse: f64,
+    /// True when the smoothing-constant search stopped early because a fit
+    /// deadline expired; the model holds the best parameters found so far.
+    pub timed_out: bool,
     n: usize,
     /// Optimized smoothing constants in the unconstrained (pre-sigmoid)
     /// space; seeds warm-started refits.
@@ -173,7 +178,20 @@ impl HoltWinters {
     /// Fit a Holt-Winters model, optimizing `(α, β, γ)` on one-step SSE.
     pub fn fit(series: &[f64], seasonality: Seasonality) -> Result<Self, FitError> {
         // raw 0 → 0.5; start from moderate smoothing
-        Self::fit_from(series, seasonality, [-1.0, -2.0, -1.0])
+        Self::fit_from(series, seasonality, [-1.0, -2.0, -1.0], None)
+    }
+
+    /// [`HoltWinters::fit`] with a cooperative hard stop: once `deadline`
+    /// passes, the constant search exits at the best parameters found so far
+    /// and the returned model carries `timed_out == true`. The smoothing
+    /// recursion itself (linear in the series) always completes, so the
+    /// model is usable — just potentially sub-optimally tuned.
+    pub fn fit_with_deadline(
+        series: &[f64],
+        seasonality: Seasonality,
+        deadline: Option<Instant>,
+    ) -> Result<Self, FitError> {
+        Self::fit_from(series, seasonality, [-1.0, -2.0, -1.0], deadline)
     }
 
     /// Warm-started fit: restart the smoothing-constant search from the
@@ -187,16 +205,28 @@ impl HoltWinters {
         seasonality: Seasonality,
         seed: &HoltWinters,
     ) -> Result<Self, FitError> {
+        Self::fit_seeded_with_deadline(series, seasonality, seed, None)
+    }
+
+    /// [`HoltWinters::fit_seeded`] under a cooperative fit deadline; see
+    /// [`HoltWinters::fit_with_deadline`] for the timeout semantics.
+    pub fn fit_seeded_with_deadline(
+        series: &[f64],
+        seasonality: Seasonality,
+        seed: &HoltWinters,
+        deadline: Option<Instant>,
+    ) -> Result<Self, FitError> {
         if seed.seasonality != seasonality {
-            return Self::fit(series, seasonality);
+            return Self::fit_with_deadline(series, seasonality, deadline);
         }
-        Self::fit_from(series, seasonality, seed.raw)
+        Self::fit_from(series, seasonality, seed.raw, deadline)
     }
 
     fn fit_from(
         series: &[f64],
         seasonality: Seasonality,
         init: [f64; 3],
+        deadline: Option<Instant>,
     ) -> Result<Self, FitError> {
         let m = seasonality.period();
         let min_len = if m > 0 { 2 * m + 2 } else { 4 };
@@ -230,9 +260,10 @@ impl HoltWinters {
         };
         let opts = NelderMeadOptions {
             max_evals: 1500,
+            deadline,
             ..Default::default()
         };
-        let (raw, _) = nelder_mead(objective, &init, &opts);
+        let (raw, _, timed_out) = nelder_mead_budgeted(objective, &init, &opts);
         let raw: [f64; 3] = raw.try_into().unwrap_or(init);
         let [alpha, beta, gamma] = [sigmoid(raw[0]), sigmoid(raw[1]), sigmoid(raw[2])]; // tscheck:allow(strict-index): fixed-size array destructured with literal in-bounds indices
         let (level, trend, seasonals, sse) = Self::run(series, seasonality, alpha, beta, gamma)
@@ -247,6 +278,7 @@ impl HoltWinters {
             trend,
             seasonals,
             sse,
+            timed_out,
             n: series.len(),
             raw,
         })
@@ -494,6 +526,26 @@ mod tests {
             warm.sse,
             cold.sse
         );
+    }
+
+    #[test]
+    fn expired_deadline_still_yields_a_usable_model() {
+        let pattern = [5.0, -2.0, -8.0, 5.0];
+        let series: Vec<f64> = (0..80).map(|i| 20.0 + pattern[i % 4]).collect();
+        let m = HoltWinters::fit_with_deadline(
+            &series,
+            Seasonality::Additive(4),
+            Some(Instant::now() - std::time::Duration::from_secs(1)),
+        )
+        .unwrap();
+        assert!(m.timed_out);
+        assert!(m.sse.is_finite());
+        assert!(m.forecast(4).iter().all(|v| v.is_finite()));
+        // a generous deadline never trips the flag
+        let far = Instant::now() + std::time::Duration::from_secs(600);
+        let full =
+            HoltWinters::fit_with_deadline(&series, Seasonality::Additive(4), Some(far)).unwrap();
+        assert!(!full.timed_out);
     }
 
     #[test]

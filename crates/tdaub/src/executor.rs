@@ -13,6 +13,13 @@
 //!   pipeline's cumulative wall time, checked between allocations; a
 //!   pipeline that blows its budget stops receiving data and is recorded as
 //!   [`FailureKind::TimedOut`];
+//! * **a per-unit hard deadline** — with a hard deadline set, every round
+//!   runs through `autoai_linalg::supervised_try_map`: a monitor thread
+//!   quarantines any unit that exceeds the deadline
+//!   ([`FailureKind::HardTimeout`]), detaching its worker thread and
+//!   retiring its transform-cache epoch so the abandoned zombie can neither
+//!   stall the run nor corrupt shared state — `run_tdaub`'s wall time gets
+//!   a provable upper bound even against `loop {}` in a pipeline;
 //! * **typed failure accounting** — every pipeline's wall time, allocation
 //!   count, and failure (if any) land in an [`ExecutionReport`] that the
 //!   orchestrator surfaces through `core::Progress` and `FitSummary`.
@@ -42,7 +49,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use autoai_linalg::{parallel_try_map_mut, simple_linreg, WorkerPanic};
+use autoai_linalg::{
+    parallel_try_map_mut, simple_linreg, supervised_try_map, SupervisedOutcome, WorkerPanic,
+};
 use autoai_pipelines::{Forecaster, PipelineError};
 use autoai_transforms::{CacheStats, TransformCache};
 use autoai_tsdata::{FrameFingerprint, Metric, TimeSeriesFrame};
@@ -56,6 +65,10 @@ pub enum FailureKind {
     Errored(String),
     /// The pipeline exceeded its per-pipeline soft time budget.
     TimedOut,
+    /// One unit of work blew the per-unit **hard** deadline: the watchdog
+    /// detached the worker thread and quarantined the pipeline (its state is
+    /// owned by the abandoned zombie and is never touched again).
+    HardTimeout,
     /// The pipeline ran but never produced a finite score (NaN/∞).
     NonFinite,
 }
@@ -66,6 +79,9 @@ impl std::fmt::Display for FailureKind {
             FailureKind::Crashed(m) => write!(f, "crashed: {m}"),
             FailureKind::Errored(m) => write!(f, "errored: {m}"),
             FailureKind::TimedOut => write!(f, "timed out"),
+            FailureKind::HardTimeout => {
+                write!(f, "exceeded the hard deadline and was quarantined")
+            }
             FailureKind::NonFinite => write!(f, "produced no finite score"),
         }
     }
@@ -105,6 +121,10 @@ pub struct ExecutionReport {
     /// Bytes of frame data the zero-copy allocation views avoided copying
     /// (each unit of work used to materialize its allocation slice).
     pub slice_bytes_avoided: u64,
+    /// Faults the deterministic chaos layer injected during this run
+    /// (delta of `autoai_chaos::injected_count()` across the run; always
+    /// zero when no fault plan is installed).
+    pub injected_faults: u64,
 }
 
 impl ExecutionReport {
@@ -267,6 +287,7 @@ pub(crate) fn execution_report(cands: &[Candidate], exec: &Executor<'_>) -> Exec
         fits_avoided: exec.fits_avoided.load(Ordering::Relaxed),
         duplicate_fits: exec.duplicate_fits.load(Ordering::Relaxed),
         slice_bytes_avoided: exec.slice_bytes_avoided.load(Ordering::Relaxed),
+        injected_faults: autoai_chaos::injected_count().saturating_sub(exec.chaos_start),
     }
 }
 
@@ -287,6 +308,190 @@ struct EvalUnit {
     /// The unit was replayed from the candidate's memo: no fit happened and
     /// the pipeline's fitted state is unchanged.
     from_memo: bool,
+    /// The fit succeeded via a `fit_incremental` warm start. Counted in
+    /// [`Executor::apply`] (not at evaluation time) so a quarantined
+    /// zombie's work never reaches the shared counters.
+    warm: bool,
+    /// Bytes the zero-copy allocation view avoided copying for this unit;
+    /// credited in [`Executor::apply`] for the same reason.
+    slice_bytes: u64,
+}
+
+impl EvalUnit {
+    /// A unit served from the candidate's fingerprint memo: no fit ran and
+    /// the pipeline's fitted state is unchanged.
+    fn replayed(score: f64) -> Self {
+        EvalUnit {
+            score,
+            elapsed: Duration::ZERO,
+            error: None,
+            fitted_rows: None,
+            fp: None,
+            from_memo: true,
+            warm: false,
+            slice_bytes: 0,
+        }
+    }
+
+    /// A unit that never produced a fit at all: the queue-level panic net
+    /// or a watchdog quarantine.
+    fn failed(kind: FailureKind) -> Self {
+        EvalUnit {
+            score: f64::INFINITY,
+            elapsed: Duration::ZERO,
+            error: Some(kind),
+            fitted_rows: None,
+            fp: None,
+            from_memo: false,
+            warm: false,
+            slice_bytes: 0,
+        }
+    }
+}
+
+/// Everything one isolated fit+score unit needs besides the pipeline
+/// itself. All owned (the frames are zero-copy `Arc`-backed views, the rest
+/// is cheap), so a unit can be shipped to a supervised worker thread
+/// without borrowing the executor.
+struct UnitSpec {
+    slice: TimeSeriesFrame,
+    t2: TimeSeriesFrame,
+    metric: Metric,
+    fp: FrameFingerprint,
+    warm_eligible: bool,
+    previous_rows: usize,
+    remaining: Option<Duration>,
+    cache: Option<Arc<TransformCache>>,
+}
+
+/// A unit of work shipped through the supervised watchdog queue. The
+/// candidate's pipeline travels with the unit (a [`Tombstone`] holds its
+/// slot meanwhile) and comes back inside `SupervisedOutcome::Completed`; on
+/// a hard timeout it stays with the zombie worker forever.
+struct WorkUnit {
+    idx: usize,
+    /// Transform-cache work-unit epoch; retired on quarantine so the
+    /// zombie's late cache writes are detected and discarded.
+    epoch: u64,
+    pipeline: Box<dyn Forecaster>,
+    spec: UnitSpec,
+}
+
+/// Placeholder installed in a candidate's pipeline slot while the real
+/// pipeline is out with a supervised worker. It becomes permanent when the
+/// watchdog quarantines that worker: the real pipeline's state is then
+/// owned by a detached zombie thread and must never be touched again, so
+/// the tombstone answers every call with a typed error.
+struct Tombstone {
+    name: String,
+}
+
+impl Forecaster for Tombstone {
+    fn fit(&mut self, _: &TimeSeriesFrame) -> Result<(), PipelineError> {
+        Err(PipelineError::Crashed(
+            "pipeline quarantined by the hard-deadline watchdog".into(),
+        ))
+    }
+    fn predict(&self, _: usize) -> Result<TimeSeriesFrame, PipelineError> {
+        Err(PipelineError::NotFitted)
+    }
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+    fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+        Box::new(Tombstone {
+            name: self.name.clone(),
+        })
+    }
+}
+
+/// Chaos injection point for the executor itself: an installed
+/// [`autoai_chaos::FaultPlan`] may stall a unit of work right here. Only
+/// [`autoai_chaos::Fault::Delay`] is realized at this site — panics, typed
+/// errors and NaN forecasts are exercised inside the pipelines, where they
+/// have a real blast radius.
+fn chaos_unit_delay(pipeline: &str, alloc_len: usize) {
+    if !autoai_chaos::enabled() {
+        return;
+    }
+    let k = autoai_chaos::key(pipeline) ^ (alloc_len as u64);
+    if let Some(autoai_chaos::Fault::Delay(ms)) = autoai_chaos::inject("executor.unit", k) {
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+}
+
+/// Train a pipeline on its allocation slice and score it on `t2`, with
+/// panic isolation and a cooperative budget hint. `spec.previous_rows` is
+/// the candidate's last successful fit length (0 = none); when
+/// `spec.warm_eligible` the pipeline is offered a `fit_incremental` warm
+/// start. Free-standing (no executor borrow) so the supervised watchdog can
+/// run it on a detachable worker thread.
+///
+/// `AssertUnwindSafe` is sound because a crashed pipeline is quarantined by
+/// the caller: its (possibly corrupt) state is never fitted or queried
+/// again.
+fn evaluate_unit(pipeline: &mut Box<dyn Forecaster>, spec: &UnitSpec) -> EvalUnit {
+    let alloc_len = spec.slice.len();
+    // the O(1) view replaces what used to be a full row copy of the
+    // allocation for every unit of work
+    let slice_bytes = (alloc_len as u64)
+        .saturating_mul(spec.slice.n_series() as u64)
+        .saturating_mul(8);
+    let cache = spec.cache.clone();
+    let start = Instant::now();
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        chaos_unit_delay(&pipeline.name(), alloc_len);
+        pipeline.set_time_budget(spec.remaining);
+        pipeline.set_transform_cache(cache);
+        let mut warm = false;
+        let fitted = if spec.warm_eligible {
+            match pipeline.fit_incremental(&spec.slice, spec.previous_rows) {
+                Ok(true) => {
+                    warm = true;
+                    Ok(())
+                }
+                Ok(false) => pipeline.fit(&spec.slice),
+                Err(e) => Err(e),
+            }
+        } else {
+            pipeline.fit(&spec.slice)
+        };
+        match fitted {
+            Ok(()) => (true, warm, pipeline.score(&spec.t2, spec.metric)),
+            Err(e) => (false, warm, Err(e)),
+        }
+    }));
+    let elapsed = start.elapsed();
+    match caught {
+        Ok((fit_ok, warm, score)) => {
+            let fitted_rows = fit_ok.then_some(alloc_len);
+            let (score, error) = match score {
+                Ok(s) if s.is_finite() => (s, None),
+                Ok(_) => (f64::INFINITY, Some(FailureKind::NonFinite)),
+                Err(e) => (f64::INFINITY, Some(FailureKind::Errored(e.to_string()))),
+            };
+            EvalUnit {
+                score,
+                elapsed,
+                error,
+                fitted_rows,
+                fp: Some(spec.fp.clone()),
+                from_memo: false,
+                warm,
+                slice_bytes,
+            }
+        }
+        Err(payload) => EvalUnit {
+            score: f64::INFINITY,
+            elapsed,
+            error: Some(FailureKind::Crashed(payload_message(payload.as_ref()))),
+            fitted_rows: None,
+            fp: Some(spec.fp.clone()),
+            from_memo: false,
+            warm: false,
+            slice_bytes,
+        },
+    }
 }
 
 /// Render a caught panic payload as text (mirrors `WorkerPanic`).
@@ -316,6 +521,12 @@ pub(crate) struct Executor<'a> {
     /// Offer warm-started `fit_incremental` refits when a reverse
     /// allocation extends a candidate's previous successful fit.
     pub incremental: bool,
+    /// Per-unit **hard** wall-clock deadline enforced by the supervised
+    /// watchdog; `None` runs the cooperative-only paths (no watchdog).
+    pub hard_deadline: Option<Duration>,
+    /// `autoai_chaos::injected_count()` snapshot at executor construction;
+    /// the run's report carries the delta.
+    pub chaos_start: u64,
     /// Bytes the O(1) allocation views avoided copying (one slice
     /// materialization per unit of work before zero-copy frames).
     pub slice_bytes_avoided: AtomicU64,
@@ -355,122 +566,43 @@ impl Executor<'_> {
         let fp = slice.fingerprint();
         if let Some(&(_, score)) = c.memo.iter().find(|(m, _)| *m == fp) {
             self.fits_avoided.fetch_add(1, Ordering::Relaxed);
-            return EvalUnit {
-                score,
-                elapsed: Duration::ZERO,
-                error: None,
-                fitted_rows: None,
-                fp: None,
-                from_memo: true,
-            };
+            return EvalUnit::replayed(score);
         }
-        let remaining = self.remaining(c.train_time);
-        let previous_rows = c.last_fit_rows;
-        self.evaluate_unit(&mut c.pipeline, slice, fp, previous_rows, remaining)
+        let spec = self.unit_spec(slice, fp, c);
+        evaluate_unit(&mut c.pipeline, &spec)
     }
 
-    /// Train a pipeline on an allocation slice of `t1` and score it on
-    /// `t2`, with panic isolation and a cooperative budget hint.
-    /// `previous_rows` is the candidate's last successful fit length
-    /// (0 = none); under reverse allocations a larger allocation extends
-    /// that fit as a suffix, so the pipeline is offered a
-    /// `fit_incremental` warm start.
-    ///
-    /// `AssertUnwindSafe` is sound because a crashed pipeline is quarantined
-    /// by the caller: its (possibly corrupt) state is never fitted or
-    /// queried again.
-    fn evaluate_unit(
-        &self,
-        pipeline: &mut Box<dyn Forecaster>,
-        slice: TimeSeriesFrame,
-        fp: FrameFingerprint,
-        previous_rows: usize,
-        remaining: Option<Duration>,
-    ) -> EvalUnit {
-        let alloc_len = slice.len();
-        // the O(1) view replaces what used to be a full row copy of the
-        // allocation for every unit of work
-        self.slice_bytes_avoided.fetch_add(
-            (slice.len() as u64)
-                .saturating_mul(slice.n_series() as u64)
-                .saturating_mul(8),
-            Ordering::Relaxed,
-        );
+    /// Everything one unit of work for this candidate needs besides the
+    /// pipeline itself (owned, so it can cross into a supervised worker).
+    fn unit_spec(&self, slice: TimeSeriesFrame, fp: FrameFingerprint, c: &Candidate) -> UnitSpec {
         // warm starts are only sound in reverse mode: forward allocations
         // grow at the *end*, so the previous fit is a prefix, not a suffix
-        let warm_eligible =
-            self.incremental && self.reverse && previous_rows > 0 && previous_rows <= alloc_len;
-        let cache = self.cache.clone();
-        let start = Instant::now();
-        let caught = catch_unwind(AssertUnwindSafe(|| {
-            pipeline.set_time_budget(remaining);
-            pipeline.set_transform_cache(cache);
-            let mut warm = false;
-            let fitted = if warm_eligible {
-                match pipeline.fit_incremental(&slice, previous_rows) {
-                    Ok(true) => {
-                        warm = true;
-                        Ok(())
-                    }
-                    Ok(false) => pipeline.fit(&slice),
-                    Err(e) => Err(e),
-                }
-            } else {
-                pipeline.fit(&slice)
-            };
-            match fitted {
-                Ok(()) => (true, warm, pipeline.score(self.t2, self.metric)),
-                Err(e) => (false, warm, Err(e)),
-            }
-        }));
-        let elapsed = start.elapsed();
-        match caught {
-            Ok((fit_ok, warm, score)) => {
-                if warm {
-                    self.incremental_fits.fetch_add(1, Ordering::Relaxed);
-                }
-                let fitted_rows = fit_ok.then_some(alloc_len);
-                match score {
-                    Ok(s) if s.is_finite() => EvalUnit {
-                        score: s,
-                        elapsed,
-                        error: None,
-                        fitted_rows,
-                        fp: Some(fp),
-                        from_memo: false,
-                    },
-                    Ok(_) => EvalUnit {
-                        score: f64::INFINITY,
-                        elapsed,
-                        error: Some(FailureKind::NonFinite),
-                        fitted_rows,
-                        fp: Some(fp),
-                        from_memo: false,
-                    },
-                    Err(e) => EvalUnit {
-                        score: f64::INFINITY,
-                        elapsed,
-                        error: Some(FailureKind::Errored(e.to_string())),
-                        fitted_rows,
-                        fp: Some(fp),
-                        from_memo: false,
-                    },
-                }
-            }
-            Err(payload) => EvalUnit {
-                score: f64::INFINITY,
-                elapsed,
-                error: Some(FailureKind::Crashed(payload_message(payload.as_ref()))),
-                fitted_rows: None,
-                fp: Some(fp),
-                from_memo: false,
-            },
+        let warm_eligible = self.incremental
+            && self.reverse
+            && c.last_fit_rows > 0
+            && c.last_fit_rows <= slice.len();
+        UnitSpec {
+            t2: self.t2.clone(),
+            metric: self.metric,
+            warm_eligible,
+            previous_rows: c.last_fit_rows,
+            remaining: self.remaining(c.train_time),
+            cache: self.cache.clone(),
+            slice,
+            fp,
         }
     }
 
     /// Record one unit outcome on a candidate and apply the isolation and
     /// budget policy. Identical in serial and parallel modes.
     fn apply(&self, c: &mut Candidate, alloc_len: usize, unit: EvalUnit) {
+        // shared counters are credited here, on the monitor side, so a
+        // quarantined zombie's half-finished unit can never touch them
+        self.slice_bytes_avoided
+            .fetch_add(unit.slice_bytes, Ordering::Relaxed);
+        if unit.warm {
+            self.incremental_fits.fetch_add(1, Ordering::Relaxed);
+        }
         c.scores.push((alloc_len, unit.score));
         c.train_time += unit.elapsed;
         c.allocations += 1;
@@ -496,6 +628,12 @@ impl Executor<'_> {
                 c.failure = Some(FailureKind::Crashed(m));
                 return;
             }
+            Some(FailureKind::HardTimeout) => {
+                // the zombie worker owns the pipeline's state now; the
+                // candidate keeps a tombstone and leaves the pool for good
+                c.failure = Some(FailureKind::HardTimeout);
+                return;
+            }
             Some(kind) => c.last_error = Some(kind),
             None => {}
         }
@@ -511,6 +649,10 @@ impl Executor<'_> {
         if !c.alive() {
             return;
         }
+        if let Some(hard) = self.hard_deadline {
+            self.run_round_supervised(std::slice::from_mut(c), alloc_len, hard);
+            return;
+        }
         let unit = self.evaluate_or_replay(c, alloc_len);
         self.apply(c, alloc_len, unit);
     }
@@ -518,8 +660,13 @@ impl Executor<'_> {
     /// Evaluate every live candidate on the same allocation — one T-Daub
     /// fixed-allocation round. In parallel mode the candidates go through
     /// the shared work queue; the recorded outcome sequence is identical to
-    /// serial mode.
+    /// serial mode. With a hard deadline set, both modes run under the
+    /// supervised watchdog instead (serial = one supervised worker).
     pub fn run_round(&self, cands: &mut [Candidate], alloc_len: usize) {
+        if let Some(hard) = self.hard_deadline {
+            self.run_round_supervised(cands, alloc_len, hard);
+            return;
+        }
         if !self.parallel {
             for c in cands.iter_mut().filter(|c| c.alive()) {
                 self.run_single(c, alloc_len);
@@ -535,16 +682,93 @@ impl Executor<'_> {
             // set_time_budget ripping through a poisoned invariant)
             let unit = match outcome {
                 Ok(unit) => unit,
-                Err(p) => EvalUnit {
-                    score: f64::INFINITY,
-                    elapsed: Duration::ZERO,
-                    error: Some(FailureKind::Crashed(p.message)),
-                    fitted_rows: None,
-                    fp: None,
-                    from_memo: false,
-                },
+                Err(p) => EvalUnit::failed(FailureKind::Crashed(p.message)),
             };
             self.apply(c, alloc_len, unit);
+        }
+    }
+
+    /// One round under the hard-deadline watchdog. Every live candidate's
+    /// unit of work is shipped through [`supervised_try_map`], whose
+    /// monitor enforces `hard` per unit: a unit that blows the deadline
+    /// loses its worker thread (detached, never joined) *and* its pipeline
+    /// (the candidate keeps a [`Tombstone`] and is quarantined as
+    /// [`FailureKind::HardTimeout`]), and its transform-cache epoch is
+    /// retired so any late cache writes from the zombie are detected and
+    /// discarded. Memo replays and the recorded outcome sequence are
+    /// identical to the unsupervised paths, so the watchdog never changes a
+    /// surviving pipeline's ranking.
+    fn run_round_supervised(&self, cands: &mut [Candidate], alloc_len: usize, hard: Duration) {
+        let mut units: Vec<WorkUnit> = Vec::new();
+        for (idx, c) in cands.iter_mut().enumerate() {
+            if !c.alive() {
+                continue;
+            }
+            let slice = self.allocation_slice(alloc_len);
+            let fp = slice.fingerprint();
+            if let Some(&(_, score)) = c.memo.iter().find(|(m, _)| *m == fp) {
+                // replays never leave the monitor thread — no watchdog risk
+                self.fits_avoided.fetch_add(1, Ordering::Relaxed);
+                self.apply(c, alloc_len, EvalUnit::replayed(score));
+                continue;
+            }
+            let spec = self.unit_spec(slice, fp, c);
+            let epoch = self.cache.as_ref().map_or(0, |cache| cache.begin_unit());
+            let name = c.name.clone();
+            units.push(WorkUnit {
+                idx,
+                epoch,
+                pipeline: std::mem::replace(&mut c.pipeline, Box::new(Tombstone { name })),
+                spec,
+            });
+        }
+        if units.is_empty() {
+            return;
+        }
+        let workers = if self.parallel {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            1
+        };
+        let keys: Vec<(usize, u64)> = units.iter().map(|u| (u.idx, u.epoch)).collect();
+        let outcomes = supervised_try_map(units, hard, workers, |u: &mut WorkUnit| {
+            // announce the unit's epoch so cache writes from this thread
+            // can be discarded if the watchdog retires the unit mid-flight
+            if let Some(cache) = u.spec.cache.as_ref() {
+                cache.enter_unit(u.epoch);
+            }
+            let unit = evaluate_unit(&mut u.pipeline, &u.spec);
+            if let Some(cache) = u.spec.cache.as_ref() {
+                cache.exit_unit();
+            }
+            unit
+        });
+        for (outcome, (idx, epoch)) in outcomes.into_iter().zip(keys) {
+            let Some(c) = cands.get_mut(idx) else {
+                continue;
+            };
+            match outcome {
+                SupervisedOutcome::Completed { item, result } => {
+                    c.pipeline = item.pipeline;
+                    let unit = match result {
+                        Ok(unit) => unit,
+                        // second net: a panic that escaped the unit's own
+                        // catch_unwind
+                        Err(p) => EvalUnit::failed(FailureKind::Crashed(p.message)),
+                    };
+                    self.apply(c, alloc_len, unit);
+                }
+                SupervisedOutcome::HardTimeout => {
+                    if let Some(cache) = self.cache.as_ref() {
+                        cache.retire_unit(epoch);
+                    }
+                    // charge the full hard deadline: that is the wall time
+                    // the run verifiably spent waiting on this unit
+                    let mut unit = EvalUnit::failed(FailureKind::HardTimeout);
+                    unit.elapsed = hard;
+                    self.apply(c, alloc_len, unit);
+                }
+            }
         }
     }
 
@@ -623,6 +847,8 @@ mod tests {
             budget,
             cache: None,
             incremental: false,
+            hard_deadline: None,
+            chaos_start: 0,
             slice_bytes_avoided: AtomicU64::new(0),
             incremental_fits: AtomicU64::new(0),
             fits_avoided: AtomicU64::new(0),
@@ -752,6 +978,80 @@ mod tests {
         assert_eq!(fits.load(Ordering::Relaxed), 2);
         assert_eq!(exec.fits_avoided.load(Ordering::Relaxed), 1);
         assert_eq!(c.scores.len(), 3);
+    }
+
+    /// Sleeps in `fit` far past any reasonable deadline, then scores like
+    /// `Always` — the shape of a hung native solver.
+    struct Sleeper(Duration);
+    impl Forecaster for Sleeper {
+        fn fit(&mut self, _: &TimeSeriesFrame) -> Result<(), PipelineError> {
+            std::thread::sleep(self.0);
+            Ok(())
+        }
+        fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
+            Ok(TimeSeriesFrame::univariate(vec![85.0; horizon]))
+        }
+        fn name(&self) -> String {
+            "Sleeper".into()
+        }
+        fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+            Box::new(Sleeper(self.0))
+        }
+    }
+
+    #[test]
+    fn watchdog_quarantines_a_unit_past_the_hard_deadline() {
+        let (t1, t2) = frames();
+        let mut exec = executor(&t1, &t2, true, None);
+        exec.hard_deadline = Some(Duration::from_millis(150));
+        let mut cands = vec![
+            Candidate::new(Box::new(Always(85.0))),
+            Candidate::new(Box::new(Sleeper(Duration::from_secs(60)))),
+        ];
+        let start = Instant::now();
+        exec.run_round(&mut cands, 40);
+        // the round returns without waiting for the 60 s sleeper
+        assert!(
+            start.elapsed() < Duration::from_secs(20),
+            "watchdog failed to bound the round: {:?}",
+            start.elapsed()
+        );
+        let (healthy, hung) = (&cands[0], &cands[1]);
+        assert!(healthy.alive(), "{:?}", healthy.failure);
+        assert_eq!(healthy.scores.len(), 1);
+        assert!(healthy.scores[0].1.is_finite());
+        assert_eq!(hung.failure, Some(FailureKind::HardTimeout));
+        assert_eq!(hung.scores, vec![(40, f64::INFINITY)]);
+        assert!(hung.train_time >= Duration::from_millis(150));
+        // the quarantined slot holds a tombstone that fails typed
+        let mut tomb = cands[1].pipeline.clone_unfitted();
+        assert_eq!(tomb.name(), "Sleeper");
+        assert!(matches!(tomb.fit(&t1), Err(PipelineError::Crashed(_))));
+        assert!(matches!(tomb.predict(4), Err(PipelineError::NotFitted)));
+    }
+
+    #[test]
+    fn supervised_round_matches_unsupervised_scores_for_survivors() {
+        let (t1, t2) = frames();
+        let build = || {
+            vec![
+                Candidate::new(Box::new(Always(85.0))),
+                Candidate::new(Box::new(Always(84.0))),
+            ]
+        };
+        let mut plain = build();
+        let mut watched = build();
+        for alloc in [20, 40, 80] {
+            executor(&t1, &t2, true, None).run_round(&mut plain, alloc);
+            let mut exec = executor(&t1, &t2, true, None);
+            exec.hard_deadline = Some(Duration::from_secs(30));
+            exec.run_round(&mut watched, alloc);
+        }
+        for (p, w) in plain.iter().zip(&watched) {
+            let pb: Vec<(usize, u64)> = p.scores.iter().map(|&(a, s)| (a, s.to_bits())).collect();
+            let wb: Vec<(usize, u64)> = w.scores.iter().map(|&(a, s)| (a, s.to_bits())).collect();
+            assert_eq!(pb, wb, "{}", p.name);
+        }
     }
 
     #[test]

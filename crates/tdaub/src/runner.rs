@@ -45,6 +45,15 @@ pub struct TDaubConfig {
     /// excluded from the final ranking, and is reported as
     /// [`crate::FailureKind::TimedOut`]. `None` (default) = unlimited.
     pub pipeline_time_budget: Option<Duration>,
+    /// Per-unit **hard** wall-clock deadline, enforced by a supervising
+    /// watchdog rather than cooperatively: a fit+score unit still running
+    /// when the deadline expires is abandoned on its (detached) worker
+    /// thread and the pipeline is quarantined as
+    /// [`crate::FailureKind::HardTimeout`]. This bounds `run_tdaub`'s wall
+    /// time even against a pipeline that never returns. `None` (default)
+    /// derives the deadline as 4× `pipeline_time_budget` when a soft budget
+    /// is set, and disables the watchdog entirely otherwise.
+    pub pipeline_hard_deadline: Option<Duration>,
     /// Share one [`TransformCache`] across the pool so pipelines with the
     /// same look-back reuse flattened design matrices within a round.
     /// `false` gives the uncached comparison mode used by benches and the
@@ -76,6 +85,7 @@ impl Default for TDaubConfig {
             reverse_allocation: true,
             use_projection: true,
             pipeline_time_budget: None,
+            pipeline_hard_deadline: None,
             transform_cache: true,
             incremental: true,
         }
@@ -155,6 +165,14 @@ pub fn run_tdaub(
     let t2 = train.slice(n - t2_len, n);
     let l = t1.len();
 
+    // an explicit hard deadline wins; otherwise derive one from the soft
+    // budget (4× leaves cooperative early-exit room before the watchdog
+    // fires) — no budget at all means no watchdog threads
+    let hard_deadline = config.pipeline_hard_deadline.or(config
+        .pipeline_time_budget
+        .filter(|b| !b.is_zero())
+        .map(|b| b * 4));
+
     let exec = Executor {
         t1: &t1,
         t2: &t2,
@@ -167,6 +185,8 @@ pub fn run_tdaub(
             .then(TransformCache::new)
             .map(Arc::new),
         incremental: config.incremental,
+        hard_deadline,
+        chaos_start: autoai_chaos::injected_count(),
         slice_bytes_avoided: AtomicU64::new(0),
         incremental_fits: AtomicU64::new(0),
         fits_avoided: AtomicU64::new(0),

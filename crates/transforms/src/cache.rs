@@ -44,10 +44,30 @@
 //! caller first registers the key (exactly one per key, serialized by the
 //! map lock) and every later caller counts a hit, so serial and parallel
 //! executions report identical totals.
+//!
+//! **Zombie-write guard** — the hard-deadline watchdog in the T-Daub
+//! executor quarantines a worker by *abandoning* its thread, which may still
+//! be executing pipeline code that talks to this cache. Every work unit is
+//! therefore stamped with a generation (an *epoch* from [`begin_unit`]) that
+//! the executing thread carries in thread-local state
+//! ([`enter_unit`]/[`exit_unit`]); when the watchdog quarantines the unit it
+//! calls [`retire_unit`]. A thread whose current epoch is retired bypasses
+//! the cache entirely — lookups compute privately and publications are
+//! discarded — so a zombie can neither poison entries nor perturb the
+//! deterministic hit/miss accounting. Epoch `0` (the default for threads
+//! outside any supervised unit) is always live. Population uses
+//! compute-then-publish rather than blocking `get_or_init` initialization,
+//! so a worker wedged mid-build can never wedge the *other* workers behind
+//! the same slot: racing builders each compute the (deterministic) value and
+//! the first publication wins.
+//!
+//! [`begin_unit`]: TransformCache::begin_unit
+//! [`retire_unit`]: TransformCache::retire_unit
 
-use std::collections::HashMap;
+use std::cell::Cell;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use autoai_linalg::Matrix;
@@ -149,11 +169,60 @@ pub struct TransformCache {
     /// Lineage of every `frame_op` output, keyed by its fingerprint; raw
     /// views are absent (their lineage is their buffer list).
     lineages: Mutex<HashMap<FrameFingerprint, Lineage>>,
+    /// Next work-unit epoch handed out by [`TransformCache::begin_unit`]
+    /// (epoch `0` is reserved for "outside any unit" and is always live).
+    next_epoch: AtomicU64,
+    /// Epochs of quarantined work units (see the zombie-write guard in the
+    /// module docs).
+    retired_units: Mutex<HashSet<u64>>,
     hits: AtomicU64,
     misses: AtomicU64,
     extensions: AtomicU64,
     bytes_saved: AtomicU64,
     bytes_built: AtomicU64,
+}
+
+thread_local! {
+    /// Epoch of the supervised work unit the current thread is executing;
+    /// `0` outside any unit.
+    static UNIT_EPOCH: Cell<u64> = const { Cell::new(0) };
+}
+
+/// When enabled, every cache *hit* on a flatten dataset is re-derived from
+/// scratch with a fault-free [`flatten_windows`] build and compared bitwise
+/// against the cached entry; mismatches are counted process-wide. This is a
+/// test-harness knob for the chaos gauntlet (the gauntlet's caches live
+/// inside `run_tdaub` where tests cannot reach them) — it is off by default
+/// and costs one relaxed atomic load per hit when disabled.
+static VERIFY_HITS: AtomicBool = AtomicBool::new(false);
+static HIT_MISMATCHES: AtomicU64 = AtomicU64::new(0);
+
+/// Enable or disable process-wide cache-hit verification. Enabling resets
+/// the mismatch counter.
+pub fn set_hit_verification(on: bool) {
+    if on {
+        HIT_MISMATCHES.store(0, Ordering::SeqCst);
+    }
+    VERIFY_HITS.store(on, Ordering::SeqCst);
+}
+
+/// Number of verified cache hits whose bytes differed from a fault-free
+/// rebuild since verification was last enabled. Any nonzero value is a bug.
+pub fn hit_mismatches() -> u64 {
+    HIT_MISMATCHES.load(Ordering::SeqCst)
+}
+
+/// Bitwise equality of two window datasets (`to_bits`, so NaNs compare like
+/// any other payload).
+fn datasets_bits_equal(a: &WindowDataset, b: &WindowDataset) -> bool {
+    let matrix_eq = |m: &Matrix, n: &Matrix| {
+        m.nrows() == n.nrows()
+            && m.ncols() == n.ncols()
+            && m.rows_iter()
+                .zip(n.rows_iter())
+                .all(|(x, y)| x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits()))
+    };
+    matrix_eq(&a.x, &b.x) && matrix_eq(&a.y, &b.y)
 }
 
 fn frame_bytes(frame: &TimeSeriesFrame) -> u64 {
@@ -185,6 +254,52 @@ impl TransformCache {
         Self::default()
     }
 
+    /// Allocate a fresh work-unit epoch. The executor stamps each supervised
+    /// work unit with one before dispatch; the executing thread announces it
+    /// via [`TransformCache::enter_unit`].
+    pub fn begin_unit(&self) -> u64 {
+        // start at 1: epoch 0 means "outside any unit" and is always live
+        self.next_epoch
+            .fetch_add(1, Ordering::Relaxed)
+            .wrapping_add(1)
+    }
+
+    /// Mark the current thread as executing the work unit with this epoch.
+    pub fn enter_unit(&self, epoch: u64) {
+        UNIT_EPOCH.with(|e| e.set(epoch));
+    }
+
+    /// Clear the current thread's work-unit epoch (back to always-live 0).
+    pub fn exit_unit(&self) {
+        UNIT_EPOCH.with(|e| e.set(0));
+    }
+
+    /// Quarantine a work unit: any thread still executing under this epoch
+    /// (a watchdog-abandoned zombie) loses cache access — its lookups
+    /// compute privately and its publications are discarded.
+    pub fn retire_unit(&self, epoch: u64) {
+        if epoch == 0 {
+            return;
+        }
+        if let Ok(mut set) = self.retired_units.lock() {
+            set.insert(epoch);
+        }
+    }
+
+    /// Whether the calling thread's work unit is still live. Threads outside
+    /// any unit (epoch 0) are always live; a poisoned retired-set lock is
+    /// treated as "not live" so a zombie can never win by poisoning it.
+    fn unit_live(&self) -> bool {
+        let epoch = UNIT_EPOCH.with(|e| e.get());
+        if epoch == 0 {
+            return true;
+        }
+        match self.retired_units.lock() {
+            Ok(set) => !set.contains(&epoch),
+            Err(_) => false,
+        }
+    }
+
     /// Memoized [`flatten_windows`]. Returns `None` when the cache cannot
     /// serve the request (a quarantined panic or a poisoned lock); callers
     /// must then fall back to computing directly, which reproduces any
@@ -195,6 +310,15 @@ impl TransformCache {
         lookback: usize,
         horizon: usize,
     ) -> Option<Arc<WindowDataset>> {
+        if !self.unit_live() {
+            // Watchdog-abandoned zombie: compute privately without touching
+            // the maps or the deterministic hit/miss accounting.
+            let built = catch_unwind(AssertUnwindSafe(|| {
+                flatten_windows(frame, lookback, horizon)
+            }))
+            .ok()?;
+            return Some(Arc::new(built));
+        }
         let fp = frame.fingerprint();
         let key = DatasetKey {
             frame: fp.clone(),
@@ -216,12 +340,33 @@ impl TransformCache {
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
-        let entry = slot
-            .get_or_init(|| self.build_dataset(frame, lookback, horizon))
-            .as_ref()?;
+        let entry = match slot.get() {
+            Some(populated) => populated.clone()?,
+            None => {
+                // Compute outside the slot (never block other workers behind
+                // a wedged builder), then publish first-writer-wins. Racing
+                // duplicate builds produce identical deterministic entries.
+                let computed = self.build_dataset(frame, lookback, horizon);
+                if !self.unit_live() {
+                    // retired mid-build: discard the publication, keep a
+                    // private copy so the zombie's own doomed unit proceeds
+                    return computed.map(|e| e.data);
+                }
+                let _ = slot.set(computed);
+                slot.get()?.clone()?
+            }
+        };
         if existed {
             self.bytes_saved
                 .fetch_add(entry.data.bytes(), Ordering::Relaxed);
+            if VERIFY_HITS.load(Ordering::Relaxed) {
+                // fault-free rebuild straight from the kernel (the chaos
+                // injection site lives in build_dataset, not here)
+                let rebuilt = flatten_windows(frame, lookback, horizon);
+                if !datasets_bits_equal(&entry.data, &rebuilt) {
+                    HIT_MISMATCHES.fetch_add(1, Ordering::SeqCst);
+                }
+            }
         } else {
             let lineage = self.lineage_of(&fp);
             if let Ok(mut latest) = self.latest.lock() {
@@ -258,6 +403,11 @@ impl TransformCache {
         tag: &str,
         compute: impl FnOnce() -> TimeSeriesFrame,
     ) -> Option<TimeSeriesFrame> {
+        if !self.unit_live() {
+            // Watchdog-abandoned zombie: compute privately without touching
+            // the maps or the deterministic hit/miss accounting.
+            return catch_unwind(AssertUnwindSafe(compute)).ok();
+        }
         let key = FrameKey {
             frame: frame.fingerprint(),
             tag: tag.to_string(),
@@ -277,9 +427,10 @@ impl TransformCache {
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
-        let entry = slot
-            .get_or_init(|| {
-                catch_unwind(AssertUnwindSafe(|| {
+        let entry = match slot.get() {
+            Some(populated) => populated.clone()?,
+            None => {
+                let computed = catch_unwind(AssertUnwindSafe(|| {
                     let out = compute();
                     self.bytes_built
                         .fetch_add(frame_bytes(&out), Ordering::Relaxed);
@@ -288,9 +439,16 @@ impl TransformCache {
                         out,
                     }
                 }))
-                .ok()
-            })
-            .as_ref()?;
+                .ok();
+                if !self.unit_live() {
+                    // retired mid-build: discard the publication, keep a
+                    // private copy so the zombie's own doomed unit proceeds
+                    return computed.map(|e| e.out);
+                }
+                let _ = slot.set(computed);
+                slot.get()?.clone()?
+            }
+        };
         if existed {
             self.bytes_saved
                 .fetch_add(frame_bytes(&entry.out), Ordering::Relaxed);
@@ -365,6 +523,21 @@ impl TransformCache {
         horizon: usize,
     ) -> Option<DatasetEntry> {
         catch_unwind(AssertUnwindSafe(|| {
+            if autoai_chaos::enabled() {
+                let k = (lookback as u64) ^ ((horizon as u64) << 16) ^ ((frame.len() as u64) << 32);
+                match autoai_chaos::inject("cache.flatten", k) {
+                    Some(autoai_chaos::Fault::Panic | autoai_chaos::Fault::TypedError) => {
+                        // this closure's catch_unwind quarantines the entry and
+                        // callers fall back to a direct, bit-identical rebuild
+                        // tscheck:allow(panic): deliberate chaos fault injection
+                        panic!("chaos: injected cache build failure")
+                    }
+                    Some(autoai_chaos::Fault::Delay(ms)) => {
+                        std::thread::sleep(std::time::Duration::from_millis(ms))
+                    }
+                    Some(autoai_chaos::Fault::NanForecast) | None => {}
+                }
+            }
             let data = match self.extend_from_previous(frame, lookback, horizon) {
                 Some(extended) => extended,
                 None => {
@@ -751,6 +924,76 @@ mod tests {
         assert_eq!(cache.stats(), CacheStats::default());
         let _ = cache.flatten(&f, 3, 1);
         assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn retired_unit_bypasses_the_cache_entirely() {
+        let cache = TransformCache::new();
+        let f = frame(60);
+        let view = f.slice(0, 60);
+        let epoch = cache.begin_unit();
+        cache.enter_unit(epoch);
+        cache.retire_unit(epoch);
+        // zombie lookups still return correct data but leave no trace
+        let got = cache.flatten(&view, 4, 2).unwrap();
+        assert_eq!(*got, flatten_windows(&view, 4, 2));
+        let op = cache
+            .frame_op(&view, "plus1", || {
+                TimeSeriesFrame::from_columns(
+                    (0..view.n_series())
+                        .map(|c| view.series(c).iter().map(|v| v + 1.0).collect())
+                        .collect(),
+                )
+            })
+            .unwrap();
+        assert_eq!(op.len(), 60);
+        assert_eq!(cache.stats(), CacheStats::default());
+        cache.exit_unit();
+        // the same thread outside the unit uses the cache normally again
+        let _ = cache.flatten(&view, 4, 2).unwrap();
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn live_unit_uses_the_cache_normally() {
+        let cache = TransformCache::new();
+        let f = frame(60);
+        let epoch = cache.begin_unit();
+        cache.enter_unit(epoch);
+        let a = cache.flatten(&f.slice(0, 60), 4, 2).unwrap();
+        let b = cache.flatten(&f.slice(0, 60), 4, 2).unwrap();
+        cache.exit_unit();
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn retiring_one_unit_does_not_affect_another() {
+        let cache = TransformCache::new();
+        let f = frame(60);
+        let dead = cache.begin_unit();
+        let live = cache.begin_unit();
+        cache.retire_unit(dead);
+        cache.enter_unit(live);
+        let _ = cache.flatten(&f.slice(0, 60), 4, 2).unwrap();
+        cache.exit_unit();
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn hit_verification_accepts_honest_entries() {
+        let cache = TransformCache::new();
+        let f = frame(80);
+        set_hit_verification(true);
+        // plain hit plus an extension-produced entry, both must verify
+        let _ = cache.flatten(&f.slice(40, 80), 5, 2).unwrap();
+        let _ = cache.flatten(&f.slice(40, 80), 5, 2).unwrap();
+        let _ = cache.flatten(&f.slice(0, 80), 5, 2).unwrap();
+        let _ = cache.flatten(&f.slice(0, 80), 5, 2).unwrap();
+        set_hit_verification(false);
+        assert_eq!(cache.stats().extensions, 1);
+        assert_eq!(hit_mismatches(), 0);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod stateless;
 pub mod traits;
 pub mod window;
 
-pub use cache::{CacheStats, TransformCache};
+pub use cache::{hit_mismatches, set_hit_verification, CacheStats, TransformCache};
 pub use detect::{detect_all, Detection, Detector};
 pub use resample::{downsample, resample_to_regular, upsample_linear};
 pub use stateful::DifferenceTransform;

@@ -5,6 +5,9 @@
 //! state — each value maps independently. The transforms still `fit`
 //! scalar parameters (offsets, scales, λ) from training data.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use autoai_linalg::golden_section_min;
 use autoai_tsdata::TimeSeriesFrame;
 
@@ -29,12 +32,24 @@ fn map_frame(frame: &TimeSeriesFrame, f: impl Fn(usize, f64) -> f64) -> TimeSeri
 #[derive(Debug, Clone, Default)]
 pub struct LogTransform {
     offsets: Vec<f64>,
+    /// How often `transform` had to clamp a non-positive (or NaN) shifted
+    /// value up to `1e-12` before taking the log. Shared across clones so
+    /// callers holding the original can audit a pipeline-internal copy.
+    clamps: Arc<AtomicU64>,
 }
 
 impl LogTransform {
     /// New unfitted log transform.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Number of values `transform` has clamped to keep the log finite.
+    /// Zero on clean data whose range the fitted offset covers: any other
+    /// value means outputs were silently distorted, which quality checks
+    /// surface as `QualityIssue::NonPositiveForLog` upstream.
+    pub fn clamp_count(&self) -> u64 {
+        self.clamps.load(Ordering::Relaxed)
     }
 }
 
@@ -58,9 +73,11 @@ impl Transform for LogTransform {
 
     fn transform(&self, frame: &TimeSeriesFrame) -> TimeSeriesFrame {
         map_frame(frame, |c, v| {
-            (v + self.offsets.get(c).copied().unwrap_or(0.0))
-                .max(1e-12)
-                .ln()
+            let shifted = v + self.offsets.get(c).copied().unwrap_or(0.0);
+            if !(shifted >= 1e-12) {
+                self.clamps.fetch_add(1, Ordering::Relaxed);
+            }
+            shifted.max(1e-12).ln()
         })
     }
 
@@ -133,6 +150,9 @@ impl Transform for SqrtTransform {
 pub struct BoxCoxTransform {
     /// Per-series (offset, lambda).
     params: Vec<(f64, f64)>,
+    /// How often `transform` had to clamp a non-positive (or NaN) shifted
+    /// value up to `1e-12` before the power transform. Shared across clones.
+    clamps: Arc<AtomicU64>,
 }
 
 impl BoxCoxTransform {
@@ -144,6 +164,14 @@ impl BoxCoxTransform {
     /// Fitted λ for series `c` (after `fit`).
     pub fn lambda(&self, c: usize) -> Option<f64> {
         self.params.get(c).map(|p| p.1)
+    }
+
+    /// Number of values `transform` has clamped to keep the power transform
+    /// finite (the forward direction only; the inverse clamp that keeps
+    /// out-of-range *model outputs* real is a numerical guard, not data
+    /// distortion). Zero on clean data covered by the fitted offset.
+    pub fn clamp_count(&self) -> u64 {
+        self.clamps.load(Ordering::Relaxed)
     }
 
     fn bc(v: f64, lambda: f64) -> f64 {
@@ -199,7 +227,11 @@ impl Transform for BoxCoxTransform {
     fn transform(&self, frame: &TimeSeriesFrame) -> TimeSeriesFrame {
         map_frame(frame, |c, v| {
             let (off, lam) = self.params.get(c).copied().unwrap_or((0.0, 1.0));
-            Self::bc(v + off, lam)
+            let shifted = v + off;
+            if !(shifted >= 1e-12) {
+                self.clamps.fetch_add(1, Ordering::Relaxed);
+            }
+            Self::bc(shifted, lam)
         })
     }
 
@@ -388,6 +420,44 @@ mod tests {
     #[test]
     fn log_roundtrip_with_nonpositive_values() {
         roundtrip(&mut LogTransform::new(), vec![-5.0, 0.0, 5.0], 1e-9);
+    }
+
+    #[test]
+    fn log_and_boxcox_never_clamp_clean_fitted_data() {
+        let data = vec![-5.0, 0.0, 5.0, 12.5];
+        let f = TimeSeriesFrame::univariate(data);
+        let mut log = LogTransform::new();
+        let _ = log.fit_transform(&f);
+        assert_eq!(log.clamp_count(), 0);
+        let mut bc = BoxCoxTransform::new();
+        let _ = bc.fit_transform(&f);
+        assert_eq!(bc.clamp_count(), 0);
+    }
+
+    #[test]
+    fn out_of_range_data_is_counted_not_silently_clamped() {
+        // fit on positive data (offset 0), then transform values the offset
+        // cannot cover: every clamp must be surfaced on the counter
+        let train = TimeSeriesFrame::univariate(vec![1.0, 2.0, 3.0]);
+        let hostile = TimeSeriesFrame::univariate(vec![-4.0, 0.0, 2.0, f64::NAN]);
+        let mut log = LogTransform::new();
+        log.fit(&train);
+        let _ = log.transform(&hostile);
+        assert_eq!(log.clamp_count(), 3);
+        let mut bc = BoxCoxTransform::new();
+        bc.fit(&train);
+        let _ = bc.transform(&hostile);
+        assert_eq!(bc.clamp_count(), 3);
+    }
+
+    #[test]
+    fn clamp_counter_is_shared_across_clones() {
+        let train = TimeSeriesFrame::univariate(vec![1.0, 2.0, 3.0]);
+        let mut log = LogTransform::new();
+        log.fit(&train);
+        let clone = log.clone();
+        let _ = clone.transform(&TimeSeriesFrame::univariate(vec![-1.0]));
+        assert_eq!(log.clamp_count(), 1);
     }
 
     #[test]

@@ -20,6 +20,12 @@ pub enum QualityIssue {
     Missing(usize),
     /// Negative values present (count); disables log/Box-Cox transforms.
     Negative(usize),
+    /// Non-positive values present (count of zeros and negatives): the
+    /// log-family transforms would have to shift or clamp them, so the
+    /// `log_transform_safe` flag is cleared and any clamping downstream
+    /// (see the transform crate's per-transform clamp counters) is a
+    /// reported condition instead of silent distortion.
+    NonPositiveForLog(usize),
     /// A series is constant (index of the series).
     ConstantSeries(usize),
     /// Timestamps are irregular (fraction of irregular gaps).
@@ -39,7 +45,8 @@ pub struct QualityReport {
     pub missing_count: usize,
     /// Count of negative cells.
     pub negative_count: usize,
-    /// Whether log-family transforms are safe (no negatives, no zeros issue handled by offset).
+    /// Whether log-family transforms are safe: no non-positive values, so no
+    /// offset shifting or clamping would be needed to keep the log finite.
     pub log_transform_safe: bool,
 }
 
@@ -64,6 +71,7 @@ pub fn quality_check(frame: &TimeSeriesFrame) -> QualityReport {
     }
     let mut missing = 0usize;
     let mut negative = 0usize;
+    let mut nonpositive = 0usize;
     for c in 0..frame.n_series() {
         let s = frame.series(c);
         let mut min = f64::INFINITY;
@@ -75,11 +83,16 @@ pub fn quality_check(frame: &TimeSeriesFrame) -> QualityReport {
                 if v < 0.0 {
                     negative += 1;
                 }
+                if v <= 0.0 {
+                    nonpositive += 1;
+                }
                 min = min.min(v);
                 max = max.max(v);
             }
         }
-        if min.is_finite() && (max - min).abs() < 1e-12 {
+        // a single sample carries no variation information; flagging it as
+        // "constant" would be noise on legitimate single-row frames
+        if s.len() > 1 && min.is_finite() && (max - min).abs() < 1e-12 {
             issues.push(QualityIssue::ConstantSeries(c));
         }
     }
@@ -88,6 +101,9 @@ pub fn quality_check(frame: &TimeSeriesFrame) -> QualityReport {
     }
     if negative > 0 {
         issues.push(QualityIssue::Negative(negative));
+    }
+    if nonpositive > 0 {
+        issues.push(QualityIssue::NonPositiveForLog(nonpositive));
     }
     if let Some(ts) = frame.timestamps() {
         if ts.windows(2).any(|w| w[1] <= w[0]) {
@@ -103,7 +119,7 @@ pub fn quality_check(frame: &TimeSeriesFrame) -> QualityReport {
         issues,
         missing_count: missing,
         negative_count: negative,
-        log_transform_safe: negative == 0,
+        log_transform_safe: nonpositive == 0,
     }
 }
 
@@ -235,6 +251,77 @@ mod tests {
     fn interpolation_all_nan_gives_zeros() {
         let out = interpolate_gaps(&[f64::NAN, f64::NAN]);
         assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn zeros_clear_the_log_safety_flag_without_negatives() {
+        let f = TimeSeriesFrame::univariate(vec![0.0, 1.0, 2.0]);
+        let r = quality_check(&f);
+        assert!(!r.log_transform_safe);
+        assert_eq!(r.negative_count, 0);
+        assert!(r.issues.contains(&QualityIssue::NonPositiveForLog(1)));
+        // strictly positive data keeps the flag
+        let ok = quality_check(&TimeSeriesFrame::univariate(vec![0.5, 1.0]));
+        assert!(ok.log_transform_safe);
+    }
+
+    #[test]
+    fn all_nan_column_is_reported_and_zero_filled_beside_healthy_ones() {
+        let f = TimeSeriesFrame::from_columns(vec![
+            vec![f64::NAN, f64::NAN, f64::NAN],
+            vec![1.0, 2.0, 3.0],
+        ]);
+        let r = quality_check(&f);
+        assert_eq!(r.missing_count, 3);
+        let c = clean(&f);
+        assert_eq!(c.series(0), &[0.0, 0.0, 0.0]);
+        assert_eq!(c.series(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn constant_series_survives_cleaning_unchanged() {
+        // gaps inside a constant series interpolate back to the constant —
+        // cleaning must never zero-fill a series that has finite anchors
+        let f = TimeSeriesFrame::from_columns(vec![vec![5.0, 5.0, f64::NAN, 5.0, 5.0]]);
+        let c = clean(&f);
+        assert_eq!(c.series(0), &[5.0; 5]);
+        // and a fully constant series passes through bit-identically
+        let g = TimeSeriesFrame::univariate(vec![7.25; 8]);
+        assert_eq!(clean(&g).series(0), g.series(0));
+    }
+
+    #[test]
+    fn single_row_frames_are_handled_without_noise() {
+        let f = TimeSeriesFrame::univariate(vec![3.5]);
+        let r = quality_check(&f);
+        // one sample is not "constant" evidence and must not be flagged
+        assert!(!r
+            .issues
+            .iter()
+            .any(|i| matches!(i, QualityIssue::ConstantSeries(_))));
+        assert_eq!(clean(&f).series(0), &[3.5]);
+        assert_eq!(interpolate_gaps(&[2.0]), vec![2.0]);
+        assert_eq!(interpolate_gaps(&[f64::NAN]), vec![0.0]);
+    }
+
+    #[test]
+    fn series_shorter_than_any_lookback_still_check_and_clean() {
+        let f = TimeSeriesFrame::univariate(vec![1.0, f64::NAN]);
+        let r = quality_check(&f);
+        assert_eq!(r.missing_count, 1);
+        assert_eq!(clean(&f).series(0), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn infinite_extremes_count_as_missing_and_interpolate_away() {
+        let f = TimeSeriesFrame::univariate(vec![1.0, f64::INFINITY, 3.0, f64::NEG_INFINITY, 5.0]);
+        let r = quality_check(&f);
+        assert_eq!(r.missing_count, 2);
+        // ±∞ must not poison min/max or the negative count
+        assert_eq!(r.negative_count, 0);
+        let c = clean(&f);
+        assert_eq!(c.series(0), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(c.series(0).iter().all(|v| v.is_finite()));
     }
 
     #[test]

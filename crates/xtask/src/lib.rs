@@ -155,6 +155,7 @@ impl Default for Config {
                 "pipelines",
                 "tdaub",
                 "core",
+                "chaos",
             ]
             .iter()
             .map(|s| s.to_string())
@@ -166,7 +167,9 @@ impl Default for Config {
                 "crates/transforms/src/window.rs".to_string(),
                 "crates/stat-models/src/holtwinters.rs".to_string(),
                 "crates/stat-models/src/arima.rs".to_string(),
+                "crates/stat-models/src/bats.rs".to_string(),
                 "crates/pipelines/src/caching.rs".to_string(),
+                "crates/chaos/src/".to_string(),
             ],
         }
     }

@@ -10,7 +10,7 @@ cargo fmt --all --check
 echo "==> tscheck static analysis"
 cargo run -q --offline -p xtask -- check
 
-echo "==> tscheck strict mode (hot paths: tdaub executor, linalg work queue, window kernels, HW/ARIMA recursions, transform cache)"
+echo "==> tscheck strict mode (hot paths: tdaub executor, linalg work queue, window kernels, HW/ARIMA/BATS recursions, transform cache, chaos layer)"
 cargo run -q --offline -p xtask -- check --strict
 
 echo "==> cargo build --release --offline"
@@ -21,6 +21,9 @@ cargo test -q --offline --workspace
 
 echo "==> isolation tests under --release (timing-sensitive paths)"
 cargo test -q --offline --release --test tdaub_isolation
+
+echo "==> chaos gauntlet under --release (seeded fault plans, watchdog, degradation ladder)"
+cargo test -q --offline --release --test chaos_gauntlet
 
 echo "==> tdaub bench smoke (cache effectiveness, warm starts, fits avoided, ranking parity)"
 cargo bench -q --offline -p autoai-bench --bench tdaub -- --smoke

@@ -5,6 +5,7 @@
 #![deny(unsafe_code)]
 
 pub use autoai_anomaly as anomaly;
+pub use autoai_chaos as chaos;
 pub use autoai_datasets as datasets;
 pub use autoai_linalg as linalg;
 pub use autoai_lookback as lookback;

@@ -1,0 +1,181 @@
+//! The chaos gauntlet: seeded fault plans driven through the whole stack.
+//!
+//! The deterministic chaos layer (`autoai_chaos`) injects panics, typed
+//! errors, NaN forecasts and delays at named sites inside the pipelines,
+//! the transform cache and the executor. This suite sweeps **over a
+//! hundred seeded plans** and holds the system to its robustness
+//! contract:
+//!
+//! * `run_tdaub` never hangs (the hard-deadline watchdog bounds it) and
+//!   never panics — every fault lands as a typed failure;
+//! * serial and parallel runs agree bit-for-bit on the survivors under
+//!   the *same* plan (injection is a pure function of seed, site and key,
+//!   never of thread interleaving);
+//! * a cache hit never serves bytes that differ from a fault-free rebuild
+//!   (process-wide hit verification stays at zero mismatches);
+//! * `AutoAITS::fit` *always* returns a working forecaster, walking the
+//!   degradation ladder down to the ZeroModel baseline at worst;
+//! * an empty plan is invisible: zero injected faults and bit-identical
+//!   results to a run with no plan installed at all.
+//!
+//! Chaos state is process-global, so every test serializes on `GATE`.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use autoai_ts_repro::chaos;
+use autoai_ts_repro::core_ts::{AutoAITS, AutoAITSConfig, DegradationLevel};
+use autoai_ts_repro::pipelines::{pipeline_by_name, Forecaster, PipelineContext};
+use autoai_ts_repro::tdaub::{run_tdaub, TDaubConfig, TDaubResult};
+use autoai_ts_repro::transforms;
+use autoai_ts_repro::tsdata::TimeSeriesFrame;
+
+static GATE: Mutex<()> = Mutex::new(());
+
+fn wavy(n: usize) -> TimeSeriesFrame {
+    TimeSeriesFrame::univariate(
+        (0..n)
+            .map(|i| 20.0 + 3.0 * (2.0 * std::f64::consts::PI * i as f64 / 8.0).sin())
+            .collect(),
+    )
+}
+
+/// Registry pipelines that carry chaos injection gates (ZeroModel is the
+/// ladder's fault-free floor and deliberately has none).
+fn pool() -> Vec<Box<dyn Forecaster>> {
+    let ctx = PipelineContext::new(8, 6, vec![8]);
+    ["ZeroModel", "SeasonalNaive", "AR"]
+        .iter()
+        .filter_map(|n| pipeline_by_name(n, &ctx))
+        .collect()
+}
+
+fn gauntlet_cfg(parallel: bool) -> TDaubConfig {
+    TDaubConfig {
+        parallel,
+        // generous: real units finish in milliseconds; the watchdog only
+        // exists here to turn a pathological stall into a typed failure
+        pipeline_hard_deadline: Some(Duration::from_secs(10)),
+        ..Default::default()
+    }
+}
+
+/// Bit-exact outcome signature for the surviving pipelines.
+fn signature(r: &TDaubResult) -> Vec<(String, Vec<(usize, u64)>, u64, u64)> {
+    r.reports
+        .iter()
+        .map(|rep| {
+            (
+                rep.name.clone(),
+                rep.scores.iter().map(|&(a, s)| (a, s.to_bits())).collect(),
+                rep.projected_score.to_bits(),
+                rep.final_score.unwrap_or(f64::NAN).to_bits(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn a_hundred_seeded_plans_never_hang_and_agree_serial_vs_parallel() {
+    let _gate = GATE.lock().unwrap();
+    let frame = wavy(160);
+    transforms::set_hit_verification(true);
+    let mut failed_runs = 0usize;
+    let mut injected_total = 0u64;
+    for seed in 0..110u64 {
+        chaos::install(chaos::FaultPlan::new(seed));
+        let serial = run_tdaub(pool(), &frame, &gauntlet_cfg(false));
+        let parallel = run_tdaub(pool(), &frame, &gauntlet_cfg(true));
+        injected_total += chaos::injected_count();
+        chaos::disable();
+        match (serial, parallel) {
+            (Ok(s), Ok(p)) => {
+                assert_eq!(signature(&s), signature(&p), "seed {seed}");
+            }
+            // a fault hitting the winner's final full-data refit fails the
+            // whole run — legitimately, and identically in both modes
+            (Err(_), Err(_)) => failed_runs += 1,
+            (s, p) => panic!(
+                "seed {seed}: modes disagree — serial ok={}, parallel ok={}",
+                s.is_ok(),
+                p.is_ok()
+            ),
+        }
+    }
+    let mismatches = transforms::hit_mismatches();
+    transforms::set_hit_verification(false);
+    assert_eq!(mismatches, 0, "a cache hit served stale bytes");
+    assert!(injected_total > 0, "the sweep never fired a single fault");
+    assert!(failed_runs < 110, "every seeded run failed");
+}
+
+#[test]
+fn fit_degrades_but_always_returns_a_forecaster() {
+    let _gate = GATE.lock().unwrap();
+    let rows: Vec<Vec<f64>> = (0..300)
+        .map(|i| vec![20.0 + 5.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin()])
+        .collect();
+    let mut degraded = 0usize;
+    for seed in 0..40u64 {
+        // far more hostile than the default plan — roughly 3 of 5 fits die
+        let plan = chaos::FaultPlan {
+            seed,
+            panic_prob: 0.30,
+            error_prob: 0.30,
+            nan_prob: 0.15,
+            delay_prob: 0.05,
+            max_delay_ms: 3,
+        };
+        chaos::install(plan);
+        // no ZeroModel in the pool: a fully-failed pool must still produce
+        // a forecaster via the ladder's baseline rung
+        let mut cfg = AutoAITSConfig {
+            pipeline_names: Some(vec![
+                "SeasonalNaive".into(),
+                "AR".into(),
+                "MT2RForecaster".into(),
+            ]),
+            ..Default::default()
+        };
+        cfg.tdaub.pipeline_hard_deadline = Some(Duration::from_secs(10));
+        let mut sys = AutoAITS::with_config(cfg);
+        let fitted = sys.fit_rows(&rows).map(|_| ());
+        chaos::disable();
+        fitted.unwrap_or_else(|e| panic!("seed {seed}: fit must degrade, not fail: {e}"));
+        let level = sys.summary().map(|s| s.degradation);
+        if level != Some(DegradationLevel::None) {
+            degraded += 1;
+        }
+        let f = sys
+            .predict(12)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(
+            f.series(0).iter().all(|v| v.is_finite()),
+            "seed {seed}: non-finite forecast at level {level:?}"
+        );
+    }
+    assert!(degraded > 0, "aggressive plans never degraded a single fit");
+}
+
+#[test]
+fn an_empty_plan_is_bitwise_invisible() {
+    let _gate = GATE.lock().unwrap();
+    let frame = wavy(160);
+    chaos::install(chaos::FaultPlan::empty(1234));
+    let with_plan = run_tdaub(pool(), &frame, &gauntlet_cfg(true)).unwrap();
+    assert_eq!(chaos::injected_count(), 0, "an empty plan fired a fault");
+    chaos::disable();
+    let without = run_tdaub(pool(), &frame, &gauntlet_cfg(true)).unwrap();
+    assert_eq!(with_plan.execution.injected_faults, 0);
+    assert_eq!(without.execution.injected_faults, 0);
+    assert_eq!(signature(&with_plan), signature(&without));
+    for (a, b) in with_plan
+        .execution
+        .pipelines
+        .iter()
+        .zip(&without.execution.pipelines)
+    {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.failure, b.failure, "{}", a.name);
+    }
+}

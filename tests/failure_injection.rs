@@ -1,5 +1,9 @@
 //! Failure-injection tests: dirty inputs the quality-check layer (§4) must
 //! absorb, and degenerate inputs every layer must reject gracefully.
+//!
+//! Pipeline-side faults (panics, typed errors, NaN forecasts, stalls) are
+//! exercised by the seeded property suite in `tests/chaos_gauntlet.rs`,
+//! which drives the deterministic `autoai_chaos` layer (DESIGN.md §10).
 
 use autoai_ts_repro::core_ts::{AutoAITS, AutoAITSConfig, PipelineError};
 use autoai_ts_repro::pipelines::{pipeline_by_name, PipelineContext};

@@ -116,6 +116,27 @@ impl Forecaster for Sluggish {
     }
 }
 
+/// Sleeps for an hour on every fit — from the run's point of view it hangs
+/// forever. Only the hard-deadline watchdog can stop it: it never checks a
+/// cooperative budget, never returns, never panics.
+struct SleepForever;
+
+impl Forecaster for SleepForever {
+    fn fit(&mut self, _: &TimeSeriesFrame) -> Result<(), PipelineError> {
+        std::thread::sleep(Duration::from_secs(3600));
+        Ok(())
+    }
+    fn predict(&self, _: usize) -> Result<TimeSeriesFrame, PipelineError> {
+        Err(PipelineError::NotFitted)
+    }
+    fn name(&self) -> String {
+        "SleepForever".into()
+    }
+    fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+        Box::new(SleepForever)
+    }
+}
+
 /// Fits fine, forecasts NaN forever.
 struct NanForecaster;
 
@@ -455,6 +476,96 @@ fn rankings_bit_identical_across_cache_and_execution_modes() {
         cached_run.execution.incremental_fits > 0,
         "no warm-started fits"
     );
+}
+
+#[test]
+fn hard_deadline_quarantines_a_hung_pipeline_without_touching_survivors() {
+    let frame = stationary_frame(600);
+    let hostile: Vec<Box<dyn Forecaster>> = vec![
+        Box::new(MeanPlus::new(0.0)),
+        Box::new(SleepForever),
+        Box::new(MeanPlus::new(2.0)),
+    ];
+    let clean: Vec<Box<dyn Forecaster>> =
+        vec![Box::new(MeanPlus::new(0.0)), Box::new(MeanPlus::new(2.0))];
+    let watched_cfg = TDaubConfig {
+        parallel: true,
+        pipeline_hard_deadline: Some(Duration::from_millis(300)),
+        ..Default::default()
+    };
+
+    let start = std::time::Instant::now();
+    let watched = run_tdaub(hostile, &frame, &watched_cfg).unwrap();
+    // the run has a provable upper wall-time bound: one hard deadline for
+    // the hung unit plus the (fast) survivor evaluations and overhead
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "the watchdog failed to bound the run: {:?}",
+        start.elapsed()
+    );
+
+    // the hung pipeline was quarantined on its first unit, typed correctly,
+    // charged the deadline it burned, and never rescheduled
+    assert_eq!(
+        failure_of(&watched.execution, "SleepForever"),
+        &FailureKind::HardTimeout
+    );
+    let entry = watched.execution.find("SleepForever").unwrap();
+    assert_eq!(entry.allocations, 1);
+    assert!(entry.wall_time >= Duration::from_millis(300));
+    assert_eq!(watched.execution.survivors(), 2);
+
+    // the survivors' observed and projected scores are bit-identical to a
+    // clean, unsupervised run: the watchdog must never change a ranking
+    let reference = run_tdaub(
+        clean,
+        &frame,
+        &TDaubConfig {
+            parallel: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let signature = |r: &TDaubResult| -> Vec<(String, Vec<(usize, u64)>, u64)> {
+        r.reports
+            .iter()
+            .map(|rep| {
+                (
+                    rep.name.clone(),
+                    rep.scores.iter().map(|&(a, s)| (a, s.to_bits())).collect(),
+                    rep.projected_score.to_bits(),
+                )
+            })
+            .collect()
+    };
+    assert_eq!(signature(&watched), signature(&reference));
+    assert_eq!(watched.best.name(), reference.best.name());
+}
+
+#[test]
+fn soft_budget_derives_a_hard_deadline_automatically() {
+    // pipeline_hard_deadline unset + a soft budget set → the watchdog runs
+    // with a 4× derived deadline, so even a hang-forever pipeline cannot
+    // stall a budgeted run
+    let frame = stationary_frame(600);
+    let pool: Vec<Box<dyn Forecaster>> = vec![Box::new(MeanPlus::new(0.0)), Box::new(SleepForever)];
+    let cfg = TDaubConfig {
+        parallel: true,
+        pipeline_time_budget: Some(Duration::from_millis(100)),
+        ..Default::default()
+    };
+    let start = std::time::Instant::now();
+    let result = run_tdaub(pool, &frame, &cfg).unwrap();
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "derived hard deadline did not fire: {:?}",
+        start.elapsed()
+    );
+    assert_eq!(
+        failure_of(&result.execution, "SleepForever"),
+        &FailureKind::HardTimeout
+    );
+    assert_eq!(result.best.name(), "MeanPlus(0)");
 }
 
 #[test]
