@@ -25,7 +25,9 @@ fn forecast_signal(values: &[f64]) -> (Vec<f64>, f64) {
     });
     system
         .fit(&train)
+        // tscheck:allow(panic): experiment driver fails fast on a broken setup
         .expect("synthetic signals are well-formed");
+    // tscheck:allow(panic): experiment driver fails fast on a broken setup
     let pred = system.predict(TEST).expect("fitted");
     let smape = autoai_tsdata::smape(truth, pred.series(0));
     (pred.series(0).to_vec(), smape)

@@ -42,6 +42,7 @@ fn main() {
         let mut row = Vec::with_capacity(systems.len());
         row.push(evaluate_autoai(&frame, horizon));
         for name in SOTA_NAMES {
+            // tscheck:allow(panic): experiment driver fails fast on a broken setup
             let sim = sota_by_name(name).expect("registered");
             row.push(evaluate_forecaster(sim, &frame, horizon));
         }
@@ -49,6 +50,7 @@ fn main() {
         row
     })
     .into_iter()
+    // tscheck:allow(panic): experiment driver fails fast on a broken setup
     .map(|r| r.expect("dataset evaluation panicked"))
     .collect();
 
@@ -99,8 +101,10 @@ fn main() {
     }
 
     write_results_csv("exp2_univariate.csv", &dataset_names, &systems, &cells)
+        // tscheck:allow(panic): experiment driver fails fast on a broken setup
         .expect("write results csv");
     autoai_bench::write_results_json("exp2_univariate.json", &dataset_names, &systems, &cells)
+        // tscheck:allow(panic): experiment driver fails fast on a broken setup
         .expect("write results json");
     println!("\nwrote results/exp2_univariate.csv");
 

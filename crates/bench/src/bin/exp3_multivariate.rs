@@ -37,6 +37,7 @@ fn main() {
         let mut row = Vec::with_capacity(systems.len());
         row.push(evaluate_autoai(&frame, horizon));
         for name in SOTA_NAMES {
+            // tscheck:allow(panic): experiment driver fails fast on a broken setup
             let sim = sota_by_name(name).expect("registered");
             row.push(evaluate_forecaster(sim, &frame, horizon));
         }
@@ -44,6 +45,7 @@ fn main() {
         row
     })
     .into_iter()
+    // tscheck:allow(panic): experiment driver fails fast on a broken setup
     .map(|r| r.expect("dataset evaluation panicked"))
     .collect();
 
@@ -93,8 +95,10 @@ fn main() {
     }
 
     write_results_csv("exp3_multivariate.csv", &dataset_names, &systems, &cells)
+        // tscheck:allow(panic): experiment driver fails fast on a broken setup
         .expect("write results csv");
     autoai_bench::write_results_json("exp3_multivariate.json", &dataset_names, &systems, &cells)
+        // tscheck:allow(panic): experiment driver fails fast on a broken setup
         .expect("write results json");
     println!("\nwrote results/exp3_multivariate.csv");
 

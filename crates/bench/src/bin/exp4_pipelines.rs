@@ -29,6 +29,7 @@ fn run(
         let row: Vec<EvalOutcome> = PIPELINE_NAMES
             .iter()
             .map(|name| {
+                // tscheck:allow(panic): experiment driver fails fast on a broken setup
                 let p = pipeline_by_name(name, &ctx).expect("registered");
                 evaluate_forecaster(p, &frame, horizon)
             })
@@ -37,6 +38,7 @@ fn run(
         row
     })
     .into_iter()
+    // tscheck:allow(panic): experiment driver fails fast on a broken setup
     .map(|r| r.expect("dataset evaluation panicked"))
     .collect();
     (catalog.iter().map(|e| e.name.to_string()).collect(), cells)
@@ -81,6 +83,7 @@ fn main() {
             &uts_ranks
         )
     );
+    // tscheck:allow(panic): experiment driver fails fast on a broken setup
     write_results_csv("exp4_pipelines_uts.csv", &uts_names, &names, &uts_cells).expect("write csv");
 
     // the paper's core hypothesis: several different pipelines occupy the
@@ -125,6 +128,7 @@ fn main() {
             )
         );
     }
+    // tscheck:allow(panic): experiment driver fails fast on a broken setup
     write_results_csv("exp4_pipelines_mts.csv", &mts_names, &names, &mts_cells).expect("write csv");
     println!("\nwrote results/exp4_pipelines_uts.csv and results/exp4_pipelines_mts.csv");
 }

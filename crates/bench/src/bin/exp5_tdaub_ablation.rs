@@ -16,6 +16,7 @@ use autoai_tsdata::{holdout_split, Metric, TimeSeriesFrame};
 
 /// Holdout SMAPE of the pipeline a selection strategy picked.
 fn holdout_smape(best: &dyn Forecaster, holdout: &TimeSeriesFrame) -> f64 {
+    // tscheck:allow(nan): usize window clamp, not a float metric reduction
     best.score(&holdout.slice(0, 12.min(holdout.len())), Metric::Smape)
         .unwrap_or(f64::INFINITY)
 }
@@ -41,6 +42,7 @@ fn exhaustive(
             best = Some((score, p));
         }
     }
+    // tscheck:allow(panic): experiment driver fails fast on a broken setup
     let (_, mut winner) = best.expect("at least one pipeline");
     let _ = winner.fit(train);
     (winner, start.elapsed().as_secs_f64())
@@ -64,6 +66,7 @@ fn main() {
         // 1. T-Daub (reverse + projection, the paper configuration)
         let t0 = Instant::now();
         let tdaub = run_tdaub(default_pipelines(&ctx), &train, &TDaubConfig::default())
+            // tscheck:allow(panic): experiment driver fails fast on a broken setup
             .expect("tdaub runs");
         let tdaub_time = t0.elapsed().as_secs_f64();
         let tdaub_smape = holdout_smape(tdaub.best.as_ref(), &holdout);
@@ -77,6 +80,7 @@ fn main() {
             reverse_allocation: false,
             ..Default::default()
         };
+        // tscheck:allow(panic): experiment driver fails fast on a broken setup
         let fwd = run_tdaub(default_pipelines(&ctx), &train, &fwd_cfg).expect("tdaub fwd");
         let fwd_smape = holdout_smape(fwd.best.as_ref(), &holdout);
 
@@ -85,6 +89,7 @@ fn main() {
             use_projection: false,
             ..Default::default()
         };
+        // tscheck:allow(panic): experiment driver fails fast on a broken setup
         let ls = run_tdaub(default_pipelines(&ctx), &train, &ls_cfg).expect("tdaub last-score");
         let ls_smape = holdout_smape(ls.best.as_ref(), &holdout);
 

@@ -53,8 +53,8 @@ fn main() {
         let (oracle_lb, oracle_smape) = sweep
             .iter()
             .map(|&lb| (lb, eval_lb(lb)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap();
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap_or((8, fixed_smape));
 
         println!(
             "{:<28} {:>10} {:>12.2} {:>10.2} {:>12} {:>10.2}",

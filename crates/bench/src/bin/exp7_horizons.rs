@@ -36,11 +36,13 @@ fn main() {
             let mut row = Vec::with_capacity(SYSTEMS.len());
             row.push(evaluate_autoai(&frame, h));
             for name in &SYSTEMS[1..] {
+                // tscheck:allow(panic): experiment driver fails fast on a broken setup
                 row.push(evaluate_forecaster(sota_by_name(name).unwrap(), &frame, h));
             }
             row
         })
         .into_iter()
+        // tscheck:allow(panic): experiment driver fails fast on a broken setup
         .map(|r| r.expect("dataset evaluation panicked"))
         .collect();
         let summaries = average_ranks(&SYSTEMS, &score_matrix(&cells, false));
@@ -51,6 +53,7 @@ fn main() {
                 summaries
                     .iter()
                     .find(|x| &x.name == s)
+                    // tscheck:allow(panic): experiment driver fails fast on a broken setup
                     .unwrap()
                     .average_rank
             })

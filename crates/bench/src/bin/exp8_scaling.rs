@@ -57,6 +57,7 @@ fn main() {
                     let evals: usize = result.reports.iter().map(|r| r.scores.len()).sum();
                     let score = result
                         .best
+                        // tscheck:allow(nan): usize window clamp, not a float metric reduction
                         .score(&holdout.slice(0, 12.min(holdout.len())), Metric::Smape)
                         .unwrap_or(f64::INFINITY);
                     println!(

@@ -32,6 +32,7 @@ fn main() {
         let entry = univariate_catalog()
             .into_iter()
             .find(|e| e.name == name)
+            // tscheck:allow(panic): experiment driver fails fast on a broken setup
             .expect("catalog name");
         let frame = entry.generate(31);
         let lbs = discover_univariate(

@@ -20,8 +20,8 @@
 #![deny(unsafe_code)]
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
 
+use autoai_linalg::sync::OrderedMutex;
 use autoai_linalg::Rng64;
 
 /// One fault drawn from the installed [`FaultPlan`] at an injection point.
@@ -95,7 +95,7 @@ impl FaultPlan {
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static INJECTED: AtomicU64 = AtomicU64::new(0);
-static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+static PLAN: OrderedMutex<Option<FaultPlan>> = OrderedMutex::new("chaos.plan", None);
 
 /// Install `plan` process-wide and enable injection. Resets the
 /// injected-fault counter to zero.
@@ -193,6 +193,7 @@ pub fn inject(site: &str, k: u64) -> Option<Fault> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
     /// Chaos state is process-global; serialize the tests that touch it.
     static GATE: Mutex<()> = Mutex::new(());

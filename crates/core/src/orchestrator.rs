@@ -162,6 +162,7 @@ impl AutoAITS {
 
     /// Fit on a [`TimeSeriesFrame`].
     pub fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<&mut Self, PipelineError> {
+        // tscheck:allow(wall-clock): coarse fit telemetry; never feeds a ranking decision
         let started = std::time::Instant::now();
         if frame.is_empty() || frame.n_series() == 0 {
             return Err(PipelineError::InvalidInput("empty input data".into()));
@@ -176,7 +177,18 @@ impl AutoAITS {
         }
 
         // ---- 1. quality check + cleaning ----
-        let quality = quality_check(frame);
+        // A crashed assessment (chaos site `quality.assess`, or any future
+        // bug in the scan) degrades to a pessimistic report — force the
+        // cleaning pass, forbid log transforms — instead of aborting the
+        // run. `AssertUnwindSafe` is sound: `frame` is only read.
+        let quality =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| quality_check(frame)))
+                .unwrap_or_else(|_| QualityReport {
+                    issues: Vec::new(),
+                    missing_count: 1,
+                    negative_count: 0,
+                    log_transform_safe: false,
+                });
         self.progress.report(&ProgressEvent::QualityChecked {
             issues: quality.issues.len(),
         });
@@ -205,12 +217,24 @@ impl AutoAITS {
         let (lookback, seasonal_periods) = match self.config.lookback {
             Some(lb) => (lb, discovered_periods(&train, &lb_config)),
             None => {
-                let lbs = if train.n_series() > 1 {
-                    discover_multivariate(&train, &lb_config, MultivariateMode::Cap)
-                } else {
-                    discover_univariate(train.series(0), train.timestamps(), &lb_config)
-                };
-                (lbs[0], lbs)
+                // A crashed discovery (chaos site `lookback.discover`, or a
+                // future estimator bug) degrades to the paper default (§4.1)
+                // clamped to the configured cap, instead of aborting.
+                let lbs = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if train.n_series() > 1 {
+                        discover_multivariate(&train, &lb_config, MultivariateMode::Cap)
+                    } else {
+                        discover_univariate(train.series(0), train.timestamps(), &lb_config)
+                    }
+                }))
+                .unwrap_or_default();
+                match lbs.first().copied() {
+                    Some(first) => (first, lbs),
+                    None => {
+                        let fb = self.config.max_look_back.min(8).max(2);
+                        (fb, vec![fb])
+                    }
+                }
             }
         };
         self.progress.report(&ProgressEvent::LookbackDiscovered {
@@ -472,11 +496,16 @@ fn residual_spread(best: &dyn Forecaster, holdout: &TimeSeriesFrame) -> Vec<f64>
 /// Seasonal-period candidates when the user supplied the look-back: run the
 /// discovery machinery anyway, purely for the statistical pipelines.
 fn discovered_periods(train: &TimeSeriesFrame, cfg: &LookbackConfig) -> Vec<usize> {
-    if train.n_series() > 1 {
-        discover_multivariate(train, cfg, MultivariateMode::Cap)
-    } else {
-        discover_univariate(train.series(0), train.timestamps(), cfg)
-    }
+    // Same degradation rung as the main discovery path: a crashed discovery
+    // yields no seasonal candidates rather than aborting the fit.
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if train.n_series() > 1 {
+            discover_multivariate(train, cfg, MultivariateMode::Cap)
+        } else {
+            discover_univariate(train.series(0), train.timestamps(), cfg)
+        }
+    }))
+    .unwrap_or_default()
 }
 
 #[cfg(test)]

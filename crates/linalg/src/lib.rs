@@ -17,6 +17,7 @@ pub mod par;
 pub mod rng;
 pub mod solve;
 pub mod stats;
+pub mod sync;
 
 pub use fft::{dominant_period, fft_complex, periodogram, Complex};
 pub use matrix::Matrix;
@@ -32,4 +33,7 @@ pub use solve::{
 pub use stats::{
     autocorrelation, autocovariance, levinson_durbin, mean, median, partial_autocorrelation,
     quantile, std_dev, variance, yule_walker, zero_crossings,
+};
+pub use sync::{
+    inversion_count, set_abort_on_inversion, set_runtime_tracking, OrderedMutex, OrderedRwLock,
 };

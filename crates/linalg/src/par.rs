@@ -17,9 +17,9 @@
 //! run. Callers that require panic-free closures can still treat an `Err`
 //! as a bug — but they decide, not the primitive.
 
+use crate::sync::OrderedMutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// A captured panic from a mapped closure: the typed error path for worker
 /// crashes. Carries the stringified panic payload.
@@ -90,7 +90,10 @@ where
     // Each item sits behind its own Mutex; since every index is claimed by
     // exactly one worker the locks are uncontended — they exist only to give
     // the borrow checker disjoint &mut access without unsafe code.
-    let cells: Vec<Mutex<&mut T>> = items.iter_mut().map(Mutex::new).collect();
+    let cells: Vec<OrderedMutex<&mut T>> = items
+        .iter_mut()
+        .map(|t| OrderedMutex::new("par.cell", t))
+        .collect();
     let next = AtomicUsize::new(0);
     let mut out: Vec<Option<Result<R, WorkerPanic>>> = Vec::new();
     out.resize_with(n, || None);
@@ -178,12 +181,12 @@ struct SupervisedShared<T, F> {
     /// Work-queue cursor: each worker claims the next unclaimed index.
     next: AtomicUsize,
     /// One take-once slot per input item.
-    slots: Vec<Mutex<Option<T>>>,
+    slots: Vec<OrderedMutex<Option<T>>>,
     /// Ids of quarantined workers. A retired worker exits at the top of its
     /// claim loop, so a zombie can never claim fresh work: retirement only
     /// ever happens while the worker is stuck *inside* the closure, and the
     /// retired check runs before every claim.
-    retired: Mutex<std::collections::HashSet<usize>>,
+    retired: OrderedMutex<std::collections::HashSet<usize>>,
     f: F,
 }
 
@@ -312,8 +315,11 @@ where
     let workers = workers.clamp(1, n);
     let shared = std::sync::Arc::new(SupervisedShared {
         next: AtomicUsize::new(0),
-        slots: items.into_iter().map(|t| Mutex::new(Some(t))).collect(),
-        retired: Mutex::new(std::collections::HashSet::new()),
+        slots: items
+            .into_iter()
+            .map(|t| OrderedMutex::new("par.slot", Some(t)))
+            .collect(),
+        retired: OrderedMutex::new("par.retired", std::collections::HashSet::new()),
         f,
     });
     let (tx, rx) = mpsc::channel();
@@ -343,6 +349,7 @@ where
             }
             break;
         }
+        // tscheck:allow(hash-iter): order-insensitive min over watchdog deadlines
         let wait = in_flight
             .values()
             .map(|&(_, started)| hard_deadline.saturating_sub(started.elapsed()))
@@ -381,6 +388,7 @@ where
         }
         // Deadline sweep: quarantine every worker whose current item has now
         // run past the hard deadline.
+        // tscheck:allow(hash-iter): expiry sweep; outcomes are keyed per item, order-free
         let expired: Vec<(usize, usize)> = in_flight
             .iter()
             .filter(|&(_, &(_, started))| started.elapsed() >= hard_deadline)

@@ -60,6 +60,31 @@ pub fn discover_univariate(
     timestamps: Option<&[i64]>,
     config: &LookbackConfig,
 ) -> Vec<usize> {
+    // Chaos site `lookback.discover`: keyed by series length so a seeded
+    // plan perturbs the same inputs in serial and parallel runs. A `Panic`
+    // fault panics (the orchestrator degrades to the paper default), a
+    // `TypedError`/`NanForecast` fault skips discovery and returns the
+    // default directly, a `Delay` sleeps.
+    if autoai_chaos::enabled() {
+        let k = (series.len() as u64) ^ ((config.default as u64) << 48);
+        match autoai_chaos::inject("lookback.discover", k) {
+            Some(autoai_chaos::Fault::Panic) => {
+                // tscheck:allow(panic): deliberate chaos fault injection
+                panic!("chaos: injected look-back discovery failure")
+            }
+            Some(autoai_chaos::Fault::TypedError | autoai_chaos::Fault::NanForecast) => {
+                let fallback = config
+                    .max_look_back
+                    .map_or(config.default, |cap| config.default.min(cap))
+                    .max(2);
+                return vec![fallback];
+            }
+            Some(autoai_chaos::Fault::Delay(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            None => {}
+        }
+    }
     let series = &winsorize(series)[..];
     let mut candidates: Vec<usize> = Vec::new();
 

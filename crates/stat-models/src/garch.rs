@@ -60,10 +60,13 @@ impl Garch {
         // raw = [log-ish omega, logit of alpha share, logit of persistence]
         // persistence p = sigmoid(r2) * 0.998; alpha = p * sigmoid(r1)
         let nll = |raw: &[f64]| -> f64 {
-            let persistence = sigmoid(raw[2]) * 0.998;
-            let alpha = persistence * sigmoid(raw[1]);
+            let [r0, r1, r2] = raw else {
+                return f64::INFINITY;
+            };
+            let persistence = sigmoid(*r2) * 0.998;
+            let alpha = persistence * sigmoid(*r1);
             let beta = persistence - alpha;
-            let omega = softplus(raw[0]) * uncond * 0.1 + 1e-12;
+            let omega = softplus(*r0) * uncond * 0.1 + 1e-12;
             let mut var = uncond;
             let mut nll_acc = 0.0;
             let mut prev_e2 = uncond;
@@ -82,10 +85,13 @@ impl Garch {
             ..Default::default()
         };
         let (raw, _) = nelder_mead(nll, &[0.0, 0.0, 2.0], &opts);
-        let persistence = sigmoid(raw[2]) * 0.998;
-        let alpha = persistence * sigmoid(raw[1]);
+        let [r0, r1, r2] = raw.as_slice() else {
+            return Err(FitError::new("GARCH optimizer returned wrong arity"));
+        };
+        let persistence = sigmoid(*r2) * 0.998;
+        let alpha = persistence * sigmoid(*r1);
         let beta = persistence - alpha;
-        let omega = softplus(raw[0]) * uncond * 0.1 + 1e-12;
+        let omega = softplus(*r0) * uncond * 0.1 + 1e-12;
 
         // final pass for the variance path
         let mut variance_path = Vec::with_capacity(n);

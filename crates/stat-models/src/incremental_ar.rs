@@ -185,23 +185,31 @@ impl IncrementalAr {
     /// `x` the existing complete blocks are reused untouched.
     fn update(&mut self, x: &[f64]) {
         let n = x.len();
-        for k in 0..=self.order {
+        let moments = self
+            .cross
+            .iter_mut()
+            .zip(self.lead.iter_mut())
+            .zip(self.trail.iter_mut());
+        for (k, ((cross, lead), trail)) in moments.enumerate() {
             let m = n - k;
-            self.cross[k].extend_to(m, |j| {
+            cross.extend_to(m, |j| {
                 let i = m - 1 - j;
+                // tscheck:allow(strict-index): j < m, so i + k <= n - 1
                 x[i] * x[i + k]
             });
-            self.lead[k].extend_to(m, |j| x[m - 1 - j]);
-            self.trail[k].extend_to(m, |j| x[n - 1 - j]);
+            // tscheck:allow(strict-index): j < m = n - k, so both offsets < n
+            lead.extend_to(m, |j| x[m - 1 - j]);
+            // tscheck:allow(strict-index): j < m = n - k, so both offsets < n
+            trail.extend_to(m, |j| x[n - 1 - j]);
         }
         self.n = n;
-        let mean = self.trail[0].total() / n as f64;
+        let mean = self.trail.first().map_or(0.0, |t| t.total()) / n as f64;
         let mut cov = Vec::with_capacity(self.order.saturating_add(1));
-        for k in 0..=self.order {
+        let totals = self.cross.iter().zip(&self.lead).zip(&self.trail);
+        for (k, ((cross, lead), trail)) in totals.enumerate() {
             let pairs = (n - k) as f64;
-            let centered = self.cross[k].total()
-                - mean * (self.lead[k].total() + self.trail[k].total())
-                + pairs * mean * mean;
+            let centered =
+                cross.total() - mean * (lead.total() + trail.total()) + pairs * mean * mean;
             cov.push(centered);
         }
         let c0 = cov.first().copied().unwrap_or(0.0);
@@ -213,7 +221,8 @@ impl IncrementalAr {
             levinson_durbin(&rho)
         };
         self.mean = mean;
-        self.tail = x[n - self.order..].to_vec();
+        let tail_start = n.saturating_sub(self.order);
+        self.tail = x.get(tail_start..).unwrap_or_default().to_vec();
     }
 
     /// Recursive multi-step forecast from the stored tail.
@@ -223,8 +232,7 @@ impl IncrementalAr {
         let mut out = Vec::with_capacity(horizon);
         for _ in 0..horizon {
             let mut v = self.mean;
-            for (j, phi) in self.coeffs.iter().enumerate() {
-                let lagged = hist[hist.len() - 1 - j];
+            for (phi, &lagged) in self.coeffs.iter().zip(hist.iter().rev()) {
                 v += phi * (lagged - self.mean);
             }
             out.push(v);

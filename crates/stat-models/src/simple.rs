@@ -68,16 +68,15 @@ impl SeasonalNaive {
             return Err(FitError::new("empty series"));
         }
         let take = self.period.min(series.len());
-        self.tail = series[series.len() - take..].to_vec();
+        let start = series.len().saturating_sub(take);
+        self.tail = series.get(start..).unwrap_or_default().to_vec();
         Ok(())
     }
 
     /// Cycle through the stored season.
     pub fn forecast(&self, horizon: usize) -> Vec<f64> {
         assert!(!self.tail.is_empty(), "SeasonalNaive::forecast before fit");
-        (0..horizon)
-            .map(|h| self.tail[h % self.tail.len()])
-            .collect()
+        self.tail.iter().copied().cycle().take(horizon).collect()
     }
 }
 
@@ -102,10 +101,9 @@ impl DriftModel {
             return Err(FitError::new("empty series"));
         };
         self.last = last;
-        self.slope = if series.len() >= 2 {
-            (series[series.len() - 1] - series[0]) / (series.len() - 1) as f64
-        } else {
-            0.0
+        self.slope = match series.first() {
+            Some(&first) if series.len() >= 2 => (last - first) / (series.len() - 1) as f64,
+            _ => 0.0,
         };
         self.fitted = true;
         Ok(())
@@ -156,12 +154,13 @@ impl ThetaModel {
             .map(|(i, &x)| 2.0 * x - (a + b * i as f64))
             .collect();
         // SES with alpha grid search on one-step SSE
-        let mut best = (0.3, f64::INFINITY, theta2[0]);
+        let first_theta = theta2.first().copied().unwrap_or(0.0);
+        let mut best = (0.3, f64::INFINITY, first_theta);
         for k in 1..=19 {
             let alpha = k as f64 * 0.05;
-            let mut level = theta2[0];
+            let mut level = first_theta;
             let mut sse = 0.0;
-            for &x in &theta2[1..] {
+            for &x in theta2.iter().skip(1) {
                 let e = x - level;
                 sse += e * e;
                 level += alpha * e;

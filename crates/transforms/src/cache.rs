@@ -68,7 +68,9 @@ use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
+
+use autoai_linalg::sync::OrderedMutex;
 
 use autoai_linalg::Matrix;
 use autoai_tsdata::{FrameFingerprint, TimeSeriesFrame};
@@ -159,27 +161,44 @@ impl CacheStats {
 /// outputs across pipelines and allocations. See the module docs for the
 /// keying and fault-isolation contract. Shared by reference
 /// (`Arc<TransformCache>`) between the T-Daub executor's workers.
-#[derive(Default)]
 pub struct TransformCache {
-    datasets: Mutex<HashMap<DatasetKey, Slot<DatasetEntry>>>,
-    frames: Mutex<HashMap<FrameKey, Slot<FrameEntry>>>,
+    datasets: OrderedMutex<HashMap<DatasetKey, Slot<DatasetEntry>>>,
+    frames: OrderedMutex<HashMap<FrameKey, Slot<FrameEntry>>>,
     /// Newest successfully cached view per (lineage, lookback, horizon) —
     /// the extension candidate for the next allocation.
-    latest: Mutex<HashMap<ExtensionKey, FrameFingerprint>>,
+    latest: OrderedMutex<HashMap<ExtensionKey, FrameFingerprint>>,
     /// Lineage of every `frame_op` output, keyed by its fingerprint; raw
     /// views are absent (their lineage is their buffer list).
-    lineages: Mutex<HashMap<FrameFingerprint, Lineage>>,
+    lineages: OrderedMutex<HashMap<FrameFingerprint, Lineage>>,
     /// Next work-unit epoch handed out by [`TransformCache::begin_unit`]
     /// (epoch `0` is reserved for "outside any unit" and is always live).
     next_epoch: AtomicU64,
     /// Epochs of quarantined work units (see the zombie-write guard in the
     /// module docs).
-    retired_units: Mutex<HashSet<u64>>,
+    retired_units: OrderedMutex<HashSet<u64>>,
     hits: AtomicU64,
     misses: AtomicU64,
     extensions: AtomicU64,
     bytes_saved: AtomicU64,
     bytes_built: AtomicU64,
+}
+
+impl Default for TransformCache {
+    fn default() -> Self {
+        Self {
+            datasets: OrderedMutex::new("cache.datasets", HashMap::new()),
+            frames: OrderedMutex::new("cache.frames", HashMap::new()),
+            latest: OrderedMutex::new("cache.latest", HashMap::new()),
+            lineages: OrderedMutex::new("cache.lineages", HashMap::new()),
+            next_epoch: AtomicU64::new(0),
+            retired_units: OrderedMutex::new("cache.retired", HashSet::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            extensions: AtomicU64::new(0),
+            bytes_saved: AtomicU64::new(0),
+            bytes_built: AtomicU64::new(0),
+        }
+    }
 }
 
 thread_local! {

@@ -57,8 +57,40 @@ impl QualityReport {
     }
 }
 
+/// The degraded assessment used when fault injection suppresses the real
+/// scan: treat the frame as dirty (force a cleaning pass, forbid log
+/// transforms) so downstream stages stay conservative but functional.
+fn degraded_report() -> QualityReport {
+    QualityReport {
+        issues: vec![QualityIssue::Missing(1)],
+        missing_count: 1,
+        negative_count: 0,
+        log_transform_safe: false,
+    }
+}
+
 /// Inspect a frame and report data quality issues (non-destructive).
+///
+/// Chaos site `quality.assess`: keyed by the frame dimensions, so a seeded
+/// plan perturbs the same frames in serial and parallel runs. A `Panic`
+/// fault panics (the orchestrator degrades to the pessimistic report), a
+/// `TypedError` fault returns the pessimistic report directly, a `Delay`
+/// sleeps; NaN poisoning does not apply to an assessment.
 pub fn quality_check(frame: &TimeSeriesFrame) -> QualityReport {
+    if autoai_chaos::enabled() {
+        let k = (frame.len() as u64) ^ ((frame.n_series() as u64) << 32);
+        match autoai_chaos::inject("quality.assess", k) {
+            Some(autoai_chaos::Fault::Panic) => {
+                // tscheck:allow(panic): deliberate chaos fault injection
+                panic!("chaos: injected quality-assessment failure")
+            }
+            Some(autoai_chaos::Fault::TypedError) => return degraded_report(),
+            Some(autoai_chaos::Fault::Delay(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            _ => {}
+        }
+    }
     let mut issues = Vec::new();
     if frame.is_empty() {
         issues.push(QualityIssue::Empty);

@@ -1,0 +1,632 @@
+//! A zero-dependency Rust token lexer for the `tscheck` analyzer.
+//!
+//! Produces a flat token stream with per-token line numbers, handling the
+//! lexical constructs a line-stripping scanner cannot: raw strings with
+//! arbitrary `#` fences, *nested* block comments, byte strings/chars, and
+//! the lifetime-vs-char-literal ambiguity. Comments are kept as tokens so
+//! `tscheck:allow` waiver tags can be located per line; rule matching runs
+//! over the comment-free code tokens.
+//!
+//! The lexer is intentionally forgiving: unterminated literals consume to
+//! end of file instead of erroring, so the analyzer never aborts on a file
+//! it cannot fully parse (it just sees fewer tokens).
+
+use std::collections::HashMap;
+
+/// The lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `let`, `r#match` is lexed as `match`).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — distinct from [`TokKind::Char`].
+    Lifetime,
+    /// String literal, including raw (`"…"`, `r#"…"#`) and byte variants.
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal.
+    Num,
+    /// A single punctuation character.
+    Punct(char),
+    /// Line or block comment (full text preserved, line = starting line).
+    Comment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Source text. For strings/chars this is a placeholder (`""`/`' '`)
+    /// so rule patterns never match literal contents; comments keep their
+    /// full text for waiver-tag lookup.
+    pub text: String,
+    /// 1-based starting line.
+    pub line: usize,
+}
+
+impl Tok {
+    /// Is this token the identifier `name`?
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Is this token the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into a token stream. Never panics; unterminated constructs
+/// consume to end of input.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut toks: Vec<Tok> = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    let at = |j: usize| -> char { b.get(j).copied().unwrap_or('\0') };
+
+    while i < n {
+        let c = at(i);
+
+        // whitespace
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+
+        // line comment (also doc comments)
+        if c == '/' && at(i + 1) == '/' {
+            let start = i;
+            while i < n && at(i) != '\n' {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Comment,
+                text: b.get(start..i).map(String::from_iter).unwrap_or_default(),
+                line,
+            });
+            continue;
+        }
+
+        // block comment, nested
+        if c == '/' && at(i + 1) == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if at(i) == '/' && at(i + 1) == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if at(i) == '*' && at(i + 1) == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if at(i) == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Comment,
+                text: b.get(start..i).map(String::from_iter).unwrap_or_default(),
+                line: start_line,
+            });
+            continue;
+        }
+
+        // raw strings / byte strings / byte chars: r"…", r#"…"#, b"…",
+        // br#"…"#, b'…'. Check before generic identifiers.
+        if (c == 'r' || c == 'b') && !is_ident_continue_at_prev(&b, i) {
+            let mut j = i + 1;
+            let mut is_raw = c == 'r';
+            if c == 'b' && (at(j) == 'r') {
+                is_raw = true;
+                j += 1;
+            }
+            if is_raw && (at(j) == '"' || at(j) == '#') {
+                // raw (byte) string: count fence hashes
+                let mut hashes = 0usize;
+                while at(j) == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if at(j) == '"' {
+                    j += 1;
+                    let start_line = line;
+                    loop {
+                        if j >= n {
+                            break;
+                        }
+                        let ch = at(j);
+                        if ch == '\n' {
+                            line += 1;
+                            j += 1;
+                            continue;
+                        }
+                        if ch == '"' {
+                            let mut k = 0usize;
+                            while k < hashes && at(j + 1 + k) == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        text: "\"\"".to_string(),
+                        line: start_line,
+                    });
+                    i = j;
+                    continue;
+                }
+                // `r#ident` raw identifier: fall through to ident lexing
+                // below starting after `r#`.
+                if hashes == 1 && is_ident_start(at(j)) && c == 'r' {
+                    let start = j;
+                    while j < n && is_ident_continue(at(j)) {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text: b.get(start..j).map(String::from_iter).unwrap_or_default(),
+                        line,
+                    });
+                    i = j;
+                    continue;
+                }
+            }
+            if c == 'b' && at(i + 1) == '"' {
+                // byte string: ordinary escape rules
+                let start_line = line;
+                let mut j = i + 2;
+                while j < n {
+                    match at(j) {
+                        '\\' => j += 2,
+                        '"' => break,
+                        '\n' => {
+                            line += 1;
+                            j += 1;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: "\"\"".to_string(),
+                    line: start_line,
+                });
+                i = j + 1;
+                continue;
+            }
+            if c == 'b' && at(i + 1) == '\'' {
+                // byte char
+                let mut j = i + 2;
+                if at(j) == '\\' {
+                    j += 2;
+                    while j < n && at(j) != '\'' {
+                        j += 1;
+                    }
+                } else {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: "' '".to_string(),
+                    line,
+                });
+                i = j + 1;
+                continue;
+            }
+            // plain identifier starting with r/b
+        }
+
+        // ordinary string literal
+        if c == '"' {
+            let start_line = line;
+            let mut j = i + 1;
+            while j < n {
+                match at(j) {
+                    '\\' => j += 2,
+                    '"' => break,
+                    '\n' => {
+                        line += 1;
+                        j += 1;
+                    }
+                    _ => j += 1,
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: "\"\"".to_string(),
+                line: start_line,
+            });
+            i = j + 1;
+            continue;
+        }
+
+        // lifetime vs char literal
+        if c == '\'' {
+            let c1 = at(i + 1);
+            if is_ident_start(c1) && at(i + 2) != '\'' {
+                // lifetime: 'a, 'static — an ident char followed by
+                // anything but a closing quote
+                let start = i + 1;
+                let mut j = i + 1;
+                while j < n && is_ident_continue(at(j)) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: format!(
+                        "'{}",
+                        b.get(start..j).map(String::from_iter).unwrap_or_default()
+                    ),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            // char literal: 'x', '\n', '\u{1F600}', '\''
+            let mut j = i + 1;
+            if at(j) == '\\' {
+                j += 2;
+                while j < n && at(j) != '\'' {
+                    j += 1;
+                }
+            } else {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Char,
+                text: "' '".to_string(),
+                line,
+            });
+            i = j + 1;
+            continue;
+        }
+
+        // numeric literal
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i + 1;
+            while j < n {
+                let ch = at(j);
+                if is_ident_continue(ch) {
+                    j += 1;
+                } else if ch == '.' && at(j + 1).is_ascii_digit() {
+                    // decimal point, but not a range `0..n`
+                    j += 2;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: b.get(start..j).map(String::from_iter).unwrap_or_default(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        // identifier / keyword
+        if is_ident_start(c) {
+            let start = i;
+            let mut j = i + 1;
+            while j < n && is_ident_continue(at(j)) {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: b.get(start..j).map(String::from_iter).unwrap_or_default(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+
+        // single punctuation char
+        toks.push(Tok {
+            kind: TokKind::Punct(c),
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// Is the char *before* position `i` an identifier-continue char? Used to
+/// keep `br` / `r` prefixes from firing inside longer identifiers like
+/// `attr` or `expr` (`expr"…"` is not valid Rust anyway, but `var` followed
+/// by `"` across a macro boundary should not lex as a raw string).
+fn is_ident_continue_at_prev(b: &[char], i: usize) -> bool {
+    i > 0 && b.get(i - 1).copied().is_some_and(is_ident_continue)
+}
+
+/// A lexed file with test-region and comment metadata, ready for rule scans.
+pub struct FileTokens {
+    /// Comment-free code tokens in source order.
+    pub code: Vec<Tok>,
+    /// Parallel to `code`: true when the token sits inside a
+    /// `#[cfg(test)]`-gated region (matched at token level, so strings and
+    /// comments never confuse the brace tracking).
+    pub in_test: Vec<bool>,
+    /// Comment text per 1-based line (concatenated when several comments
+    /// share a line), for `tscheck:allow` waiver lookup.
+    pub comments: HashMap<usize, String>,
+}
+
+/// Lex `src` and compute test-region and comment metadata.
+pub fn analyze_file(src: &str) -> FileTokens {
+    let all = lex(src);
+    let mut comments: HashMap<usize, String> = HashMap::new();
+    let mut code: Vec<Tok> = Vec::new();
+    for t in all {
+        if t.kind == TokKind::Comment {
+            comments.entry(t.line).or_default().push_str(&t.text);
+        } else {
+            code.push(t);
+        }
+    }
+    let in_test = test_mask(&code);
+    FileTokens {
+        code,
+        in_test,
+        comments,
+    }
+}
+
+/// Mark the token ranges covered by `#[cfg(test)]` (or `#[cfg(all(test,…))]`)
+/// attributes: the gated item's brace block, or through the terminating `;`
+/// for block-less items.
+fn test_mask(code: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut i = 0usize;
+    while i < code.len() {
+        if code.get(i).is_some_and(|t| t.is_punct('#'))
+            && code.get(i + 1).is_some_and(|t| t.is_punct('['))
+        {
+            // find the attribute's closing `]`
+            let mut depth = 0i64;
+            let mut j = i + 1;
+            let mut end = None;
+            while let Some(t) = code.get(j) {
+                match t.kind {
+                    TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = Some(j);
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let Some(close) = end else { break };
+            let body = code.get(i + 2..close).unwrap_or_default();
+            let is_cfg_test = body.first().is_some_and(|t| t.is_ident("cfg"))
+                && body.iter().any(|t| t.is_ident("test"));
+            if is_cfg_test {
+                // mark from the attribute through the gated item
+                let item_end = gated_item_end(code, close + 1);
+                for m in mask
+                    .get_mut(i..=item_end.min(code.len().saturating_sub(1)))
+                    .unwrap_or_default()
+                {
+                    *m = true;
+                }
+                i = item_end + 1;
+                continue;
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Token index of the end of the item starting at `start` (inclusive):
+/// skips further attributes, then either the matching `}` of the item's
+/// first top-level `{`, or the first top-level `;` for block-less items.
+fn gated_item_end(code: &[Tok], start: usize) -> usize {
+    let mut j = start;
+    // skip stacked attributes
+    while code.get(j).is_some_and(|t| t.is_punct('#'))
+        && code.get(j + 1).is_some_and(|t| t.is_punct('['))
+    {
+        let mut depth = 0i64;
+        while let Some(t) = code.get(j) {
+            match t.kind {
+                TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        j += 1;
+    }
+    // find first `{` or `;` outside parens/brackets
+    let mut pd = 0i64;
+    while let Some(t) = code.get(j) {
+        match t.kind {
+            TokKind::Punct('(') | TokKind::Punct('[') => pd += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => pd -= 1,
+            TokKind::Punct(';') if pd == 0 => return j,
+            TokKind::Punct('{') if pd == 0 => {
+                // match braces to the item's closing `}`
+                let mut bd = 0i64;
+                while let Some(u) = code.get(j) {
+                    match u.kind {
+                        TokKind::Punct('{') => bd += 1,
+                        TokKind::Punct('}') => {
+                            bd -= 1;
+                            if bd == 0 {
+                                return j;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                return code.len().saturating_sub(1);
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn raw_strings_with_fences_do_not_leak_contents() {
+        let toks = lex(r####"let s = r#"contains .unwrap() and panic!"#;"####);
+        assert!(toks.iter().all(|t| !t.text.contains("unwrap")));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Str));
+    }
+
+    #[test]
+    fn nested_block_comments_lex_as_one_comment() {
+        let toks = lex("a /* outer /* inner */ still comment */ b");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["a", "b"]);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Comment).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn escaped_char_literals_and_static_lifetime() {
+        let toks = lex(r"let c = '\n'; let s: &'static str = x;");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+        assert!(toks.iter().any(|t| t.text == "'static"));
+    }
+
+    #[test]
+    fn byte_strings_and_chars() {
+        let toks = lex(r##"let a = b"panic!"; let c = b'\n'; let r = br#"x"#;"##);
+        assert!(toks.iter().all(|t| !t.text.contains("panic")));
+        assert!(toks.iter().filter(|t| t.kind == TokKind::Str).count() >= 2);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = \"x\ny\";\nlet b = 1; /* c\nd */ let e = 2;";
+        let toks = lex(src);
+        let b_tok = toks.iter().find(|t| t.is_ident("b")).map(|t| t.line);
+        let e_tok = toks.iter().find(|t| t.is_ident("e")).map(|t| t.line);
+        assert_eq!(b_tok, Some(3));
+        assert_eq!(e_tok, Some(4));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let k = kinds("for i in 0..n {}");
+        assert!(k.contains(&TokKind::Punct('.')));
+        let toks = lex("let x = 1.5e3; let r = 0..10;");
+        assert!(toks.iter().any(|t| t.text == "1.5e3"));
+    }
+
+    #[test]
+    fn cfg_test_region_masks_item_block() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let ft = analyze_file(src);
+        let unwrap_masked = ft
+            .code
+            .iter()
+            .zip(&ft.in_test)
+            .find(|(t, _)| t.is_ident("unwrap"))
+            .map(|(_, m)| *m);
+        assert_eq!(unwrap_masked, Some(true));
+        let after_masked = ft
+            .code
+            .iter()
+            .zip(&ft.in_test)
+            .find(|(t, _)| t.is_ident("after"))
+            .map(|(_, m)| *m);
+        assert_eq!(after_masked, Some(false));
+    }
+
+    #[test]
+    fn cfg_all_test_is_masked_and_cfg_feature_is_not() {
+        let src = "#[cfg(all(test, unix))]\nmod t { fn a() {} }\n#[cfg(unix)]\nfn b() {}";
+        let ft = analyze_file(src);
+        let a = ft
+            .code
+            .iter()
+            .zip(&ft.in_test)
+            .find(|(t, _)| t.is_ident("a"))
+            .map(|(_, m)| *m);
+        let b = ft
+            .code
+            .iter()
+            .zip(&ft.in_test)
+            .find(|(t, _)| t.is_ident("b"))
+            .map(|(_, m)| *m);
+        assert_eq!(a, Some(true));
+        assert_eq!(b, Some(false));
+    }
+
+    #[test]
+    fn comments_are_indexed_by_line() {
+        let src = "let a = 1; // tscheck:allow(panic): reason here\nlet b = 2;";
+        let ft = analyze_file(src);
+        assert!(ft
+            .comments
+            .get(&1)
+            .is_some_and(|c| c.contains("tscheck:allow(panic)")));
+        assert!(!ft.comments.contains_key(&2));
+    }
+}

@@ -1,22 +1,40 @@
 //! `tscheck` — the in-repo static-analysis pass run as `cargo run -p xtask -- check`.
 //!
-//! Four rule families, all implemented with zero external dependencies:
+//! Since PR 6 the scanner is a real **token-stream analyzer** built on the
+//! zero-dependency lexer in [`lexer`]: raw strings, nested block comments,
+//! byte literals and lifetimes are lexed correctly, and `#[cfg(test)]`
+//! regions are masked by token-level attribute + brace matching instead of
+//! line heuristics. Rules match token patterns, so string and comment
+//! contents can never fire (or suppress) a finding.
 //!
-//! 1. **Panic-freedom** (`panic`): forbids `unwrap()`, `expect(`, `panic!`,
-//!    `unreachable!`, `todo!`, `unimplemented!` and slice indexing through an
-//!    unchecked `as usize` cast in the non-test code of the library crates
-//!    (see [`Config::default`]). Library code must surface failures as typed
-//!    `Result` errors so a malformed series can never abort a long AutoML
-//!    run from deep inside a model fit.
-//! 2. **NaN-safe ordering** (`nan`): forbids `partial_cmp` (which invites
-//!    `unwrap`/`unwrap_or(Equal)` on float comparisons) and raw `f64::max`/
-//!    `f64::min` on SMAPE/MAPE metric values, where a silent NaN would
-//!    corrupt T-Daub's ranking instead of failing loudly. Use `total_cmp`.
-//! 3. **Lint hygiene** (`docs`): every crate root must carry
-//!    `#![warn(missing_docs)]` and `#![deny(unsafe_code)]`.
-//! 4. **Hermeticity** (`deps`): every `Cargo.toml` dependency must be an
-//!    in-workspace `path` dependency (or appear in [`ALLOWED_EXTERNAL`]),
-//!    so the default build works with an empty cargo registry.
+//! Rule families, all default-on for the scoped crates:
+//!
+//! 1. **Panic-freedom** (`panic`): forbids `.unwrap()`, `.expect(`,
+//!    `panic!`, `unreachable!`, `todo!`, `unimplemented!` in non-test
+//!    library code. Failures surface as typed `Result` errors so a
+//!    malformed series can never abort a long AutoML run.
+//! 2. **NaN-safe ordering** (`nan`): forbids `partial_cmp` and raw
+//!    `max`/`min` on SMAPE/MAPE metric values, where a silent NaN would
+//!    corrupt T-Daub's ranking. Use `total_cmp`.
+//! 3. **Indexing** (`index`): slice indexing through an unchecked
+//!    `as usize` cast.
+//! 4. **Lint hygiene** (`docs`): crate roots carry `#![warn(missing_docs)]`
+//!    and `#![deny(unsafe_code)]`.
+//! 5. **Hermeticity** (`deps`): every manifest dependency is an
+//!    in-workspace `path` dependency (or is in [`ALLOWED_EXTERNAL`]).
+//! 6. **Lock discipline** (`raw-lock`, `lock-order`, `lock-across-par`):
+//!    all lock construction goes through `linalg::sync`'s ordered wrappers;
+//!    guard scopes are extracted from the token stream ([`locks`]), nested
+//!    acquisitions build a workspace-wide lock-order graph whose cycles are
+//!    flagged ([`check_locks`]), and no guard may be held across a
+//!    `parallel_*`/`supervised_try_map`/`spawn`/`scope`/`join` call.
+//! 7. **Determinism** (`hash-iter`, `wall-clock`, `trunc-cast`): iteration
+//!    over `HashMap`/`HashSet` in ranking/report/cache paths
+//!    ([`Config::hash_iter_paths`]), `Instant::now`/`SystemTime::now`
+//!    outside the budget/watchdog whitelist ([`Config::clock_paths`]), and
+//!    truncating casts on length-like values are all flagged — these are
+//!    exactly the bug classes that silently break the serial==parallel
+//!    equivalence T-Daub's ranking guarantees.
 //!
 //! A violation can be waived in place with an escape hatch comment on the
 //! same line or the line above, **with a justification**:
@@ -27,21 +45,22 @@
 //!
 //! An allow without a justification is itself a violation (`allow`).
 //!
-//! A fifth, opt-in **strict** family (`check --strict`) holds the hot-path
-//! files in [`Config::strict_paths`] to tighter standards: no slice
-//! indexing at all (`strict-index`), no re-raised worker panics
-//! (`propagate`), and no unchecked `*`/`+` sizing arithmetic inside
-//! allocation or capacity expressions (`alloc-arith`).
-//!
-//! The scanner is line-based: it strips `//` comments, string/char literals
-//! and `/* … */` block comments before matching, and skips `#[cfg(test)]`
-//! regions by brace tracking, so doc examples and unit tests stay free to
-//! use `unwrap()`.
+//! The opt-in **strict** family (`check --strict`) holds the hot-path files
+//! in [`Config::strict_paths`] to tighter standards: no slice indexing at
+//! all (`strict-index`), no re-raised worker panics (`propagate`), and no
+//! unchecked `*`/`+` sizing arithmetic inside allocation or capacity
+//! expressions (`alloc-arith`).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod lexer;
+pub mod locks;
+
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+
+use lexer::{FileTokens, TokKind};
 
 /// External crates a manifest may depend on. Empty: the build is fully
 /// hermetic today. Extend this list (with a PR-reviewed justification) if a
@@ -63,6 +82,19 @@ pub enum Rule {
     Hermeticity,
     /// `tscheck:allow` escape hatch without a justification.
     BadAllow,
+    /// Raw `Mutex::new`/`RwLock::new` outside the `linalg::sync` wrappers.
+    RawLock,
+    /// A lock-order cycle (or same-class self-nesting) in the workspace
+    /// lock-order graph.
+    LockOrder,
+    /// A lock guard held across a fan-out or join call.
+    LockAcrossPar,
+    /// Iteration over hash-ordered state in a determinism-critical path.
+    HashIter,
+    /// Wall-clock read outside the budget/watchdog whitelist.
+    WallClock,
+    /// Truncating cast on a length-like value.
+    TruncCast,
     /// Strict mode: *any* slice/array indexing in a hot-path file.
     StrictIndexing,
     /// Strict mode: re-raising worker panics (`.join().unwrap()`,
@@ -85,6 +117,12 @@ impl Rule {
             Rule::Hygiene => "docs",
             Rule::Hermeticity => "deps",
             Rule::BadAllow => "allow",
+            Rule::RawLock => "raw-lock",
+            Rule::LockOrder => "lock-order",
+            Rule::LockAcrossPar => "lock-across-par",
+            Rule::HashIter => "hash-iter",
+            Rule::WallClock => "wall-clock",
+            Rule::TruncCast => "trunc-cast",
             Rule::StrictIndexing => "strict-index",
             Rule::PanicPropagation => "propagate",
             Rule::AllocArith => "alloc-arith",
@@ -118,11 +156,11 @@ impl fmt::Display for Violation {
     }
 }
 
-/// Scanner configuration: which crates the panic/NaN/index rules apply to.
+/// Scanner configuration: which crates and paths each rule family covers.
 #[derive(Debug, Clone)]
 pub struct Config {
     /// Crate directory names under `crates/` whose `src/` trees are held to
-    /// the panic-freedom and NaN-ordering rules.
+    /// the panic/NaN/index/lock/determinism rules.
     pub scoped_crates: Vec<String>,
     /// Run the strict rule family ([`Rule::StrictIndexing`],
     /// [`Rule::PanicPropagation`], [`Rule::AllocArith`]) over
@@ -130,18 +168,28 @@ pub struct Config {
     pub strict: bool,
     /// Repo-relative path prefixes held to the strict rules: the T-Daub
     /// execution engine, the parallel work queue, the windowing kernels,
-    /// the warm-startable Holt-Winters/ARIMA recursions, and the
-    /// transform-cache layer, where an out-of-bounds index, a re-raised
-    /// worker panic, or an overflowing capacity computation would take
-    /// down a whole AutoML run.
+    /// the stat-model fit recursions, and the registry/cache layers, where
+    /// an out-of-bounds index, a re-raised worker panic, or an overflowing
+    /// capacity computation would take down a whole AutoML run.
     pub strict_paths: Vec<String>,
+    /// Path prefixes allowed to read the wall clock (`Instant::now` /
+    /// `SystemTime::now`): the budget/watchdog modules whose *outputs* are
+    /// kept out of ranking decisions, and the benchmark harness whose whole
+    /// purpose is timing.
+    pub clock_paths: Vec<String>,
+    /// Determinism-critical path prefixes where iteration over
+    /// `HashMap`/`HashSet` is flagged: ranking, reports, and cache stats
+    /// must never depend on hash-iteration order.
+    pub hash_iter_paths: Vec<String>,
+    /// Path prefixes exempt from [`Rule::RawLock`] — the `linalg::sync`
+    /// module itself, which wraps the raw primitives.
+    pub lock_exempt_paths: Vec<String>,
 }
 
 impl Default for Config {
-    /// The library crates of the reproduction. Binaries and simulators
-    /// (`bench`, `sota`, `datasets`, `anomaly`, `xtask`) are exempt from the
-    /// panic rules — they are leaves, not infrastructure — but still get the
-    /// hygiene and hermeticity checks.
+    /// All workspace crates except `xtask` itself are in scope for the
+    /// panic/NaN/lock/determinism rules (since PR 6 this includes the leaf
+    /// crates `bench`, `sota`, `datasets`, `anomaly` — previously exempt).
     fn default() -> Self {
         Config {
             scoped_crates: [
@@ -156,6 +204,10 @@ impl Default for Config {
                 "tdaub",
                 "core",
                 "chaos",
+                "bench",
+                "sota",
+                "datasets",
+                "anomaly",
             ]
             .iter()
             .map(|s| s.to_string())
@@ -168,9 +220,30 @@ impl Default for Config {
                 "crates/stat-models/src/holtwinters.rs".to_string(),
                 "crates/stat-models/src/arima.rs".to_string(),
                 "crates/stat-models/src/bats.rs".to_string(),
+                "crates/stat-models/src/simple.rs".to_string(),
+                "crates/stat-models/src/garch.rs".to_string(),
+                "crates/stat-models/src/incremental_ar.rs".to_string(),
                 "crates/pipelines/src/caching.rs".to_string(),
+                "crates/pipelines/src/registry.rs".to_string(),
                 "crates/chaos/src/".to_string(),
             ],
+            clock_paths: vec![
+                "crates/linalg/src/par.rs".to_string(),
+                "crates/linalg/src/optimize.rs".to_string(),
+                "crates/tdaub/src/".to_string(),
+                "crates/pipelines/src/stat_pipelines.rs".to_string(),
+                "crates/stat-models/src/arima.rs".to_string(),
+                "crates/stat-models/src/bats.rs".to_string(),
+                "crates/bench/src/".to_string(),
+            ],
+            hash_iter_paths: vec![
+                "crates/tdaub/src/".to_string(),
+                "crates/transforms/src/cache.rs".to_string(),
+                "crates/core/src/".to_string(),
+                "crates/pipelines/src/".to_string(),
+                "crates/linalg/src/par.rs".to_string(),
+            ],
+            lock_exempt_paths: vec!["crates/linalg/src/sync.rs".to_string()],
         }
     }
 }
@@ -198,273 +271,613 @@ impl Config {
     }
 }
 
-/// Strip `//` comments and blank out string/char literal contents so rule
-/// matching never fires on prose. Returns the code-only residue of `line`.
-fn strip_code(line: &str) -> String {
-    let b: Vec<char> = line.chars().collect();
-    let mut out = String::with_capacity(line.len());
-    let mut i = 0;
-    while i < b.len() {
-        let c = b[i];
-        // line comment: drop the rest
-        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
-            break;
-        }
-        // raw string literal r"…" / r#"…"#
-        if c == 'r' && i + 1 < b.len() && (b[i + 1] == '"' || b[i + 1] == '#') {
-            let mut j = i + 1;
-            let mut hashes = 0usize;
-            while j < b.len() && b[j] == '#' {
-                hashes += 1;
-                j += 1;
-            }
-            if j < b.len() && b[j] == '"' {
-                j += 1;
-                while j < b.len() {
-                    if b[j] == '"' {
-                        let mut k = 0;
-                        while k < hashes && j + 1 + k < b.len() && b[j + 1 + k] == '#' {
-                            k += 1;
-                        }
-                        if k == hashes {
-                            j += 1 + hashes;
-                            break;
-                        }
-                    }
-                    j += 1;
-                }
-                out.push_str("\"\"");
-                i = j;
-                continue;
-            }
-        }
-        // ordinary string literal
-        if c == '"' {
-            i += 1;
-            while i < b.len() {
-                if b[i] == '\\' {
-                    i += 2;
-                    continue;
-                }
-                if b[i] == '"' {
-                    break;
-                }
-                i += 1;
-            }
-            out.push_str("\"\"");
-            i += 1;
-            continue;
-        }
-        // char literal (but not a lifetime)
-        if c == '\'' {
-            if i + 1 < b.len() && b[i + 1] == '\\' {
-                let mut j = i + 2;
-                while j < b.len() && b[j] != '\'' {
-                    j += 1;
-                }
-                out.push_str("' '");
-                i = j + 1;
-                continue;
-            }
-            if i + 2 < b.len() && b[i + 2] == '\'' {
-                out.push_str("' '");
-                i += 3;
-                continue;
-            }
-            // lifetime — keep the tick, drop nothing
-        }
-        out.push(c);
-        i += 1;
-    }
-    out
-}
+/// Reserved words that cannot be the base expression of a subscript: an
+/// `[` after one of these opens an array literal or type, not an index.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "static", "struct", "super", "trait", "type", "union", "unsafe", "use",
+    "where", "while", "yield",
+];
 
-/// True when `needle` occurs in `code` *not* preceded by an identifier
-/// character (so `not_todo!` does not match `todo!`).
-fn word_hit(code: &str, needle: &str) -> bool {
-    let mut from = 0;
-    while let Some(pos) = code[from..].find(needle) {
-        let abs = from + pos;
-        let boundary = abs == 0
-            || !code[..abs]
-                .chars()
-                .next_back()
-                .is_some_and(|p| p.is_alphanumeric() || p == '_');
-        if boundary {
-            return true;
-        }
-        from = abs + needle.len();
-    }
-    false
-}
+/// Methods whose call iterates a hash container in arbitrary order.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+];
 
-/// Rule hits on one (already stripped) line of scoped code.
-fn line_hits(code: &str) -> Vec<(Rule, String)> {
-    let mut hits = Vec::new();
-    for pat in [".unwrap()", ".expect("] {
-        if code.contains(pat) {
-            hits.push((
-                Rule::Panic,
-                format!("`{pat}` in library code; return a typed error instead"),
-            ));
-        }
-    }
-    for mac in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
-        if word_hit(code, mac) {
-            hits.push((
-                Rule::Panic,
-                format!("`{mac}` in library code; return a typed error instead"),
-            ));
-        }
-    }
-    if code.contains("partial_cmp") {
-        hits.push((
-            Rule::NanOrdering,
-            "`partial_cmp` on floats; use `total_cmp` for a NaN-safe total order".into(),
-        ));
-    }
-    let lower = code.to_ascii_lowercase();
-    if (code.contains(".max(") || code.contains(".min("))
-        && (lower.contains("smape") || lower.contains("mape"))
-    {
-        hits.push((
-            Rule::NanOrdering,
-            "raw `max`/`min` on a metric value silently drops NaN; compare explicitly".into(),
-        ));
-    }
-    if code.contains("as usize]") {
-        hits.push((
-            Rule::Indexing,
-            "slice index through unchecked `as usize` cast; bound-check or use `.get`".into(),
-        ));
-    }
-    hits
-}
+/// Narrow numeric types a length-like value must not be cast to.
+const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
 
-/// True when position `open` in `code` is a subscript `[` — i.e. directly
-/// preceded by an expression (identifier, `)`, or `]`). Array literals,
-/// slice types, attributes (`#[...]`) and macros (`vec![...]`) are preceded
-/// by other characters and do not count.
-fn is_subscript(code: &str, open: usize) -> bool {
-    code[..open]
-        .chars()
-        .next_back()
-        .is_some_and(|p| p.is_alphanumeric() || p == '_' || p == ')' || p == ']')
-}
+/// Length-like zero-argument methods watched by [`Rule::TruncCast`].
+const LENGTH_METHODS: &[&str] = &["len", "nrows", "ncols", "n_series", "count"];
 
-/// Argument region of the first `marker` occurrence in `code`: the text
-/// between the marker's opening delimiter and its matching close (or the
-/// rest of the line when the call spans lines).
-fn arg_region<'a>(code: &'a str, marker: &str, open: char, close: char) -> Option<&'a str> {
-    let start = code.find(marker)? + marker.len();
-    let rest = code.get(start..)?;
-    let mut depth = 1i32;
-    for (i, c) in rest.char_indices() {
-        if c == open {
-            depth += 1;
-        } else if c == close {
-            depth -= 1;
-            if depth == 0 {
-                return rest.get(..i);
-            }
-        }
-    }
-    Some(rest)
-}
-
-/// `alloc-arith` hits: unchecked `*`/`+` sizing arithmetic inside an
-/// allocation or capacity expression. Overflow in a capacity computation
-/// panics (or aborts on OOM) instead of surfacing a typed error, so hot
-/// paths must size with `checked_*`/`saturating_*`.
-fn alloc_arith_hits(code: &str) -> Vec<(Rule, String)> {
-    let suspicious = |region: &str| {
-        (region.contains(" * ") || region.contains(" + "))
-            && !region.contains("checked_")
-            && !region.contains("saturating_")
-    };
-    let mut hits = Vec::new();
-    for marker in ["with_capacity(", ".reserve(", "::zeros("] {
-        if let Some(region) = arg_region(code, marker, '(', ')') {
-            if suspicious(region) {
-                hits.push((
-                    Rule::AllocArith,
-                    format!(
-                        "unchecked sizing arithmetic in `{marker}..)`; use \
-                         `checked_mul`/`checked_add` or `saturating_*`"
-                    ),
-                ));
-            }
-        }
-    }
-    // `vec![elem; len]`: only the length expression after `;` allocates
-    if let Some(region) = arg_region(code, "vec![", '[', ']') {
-        if let Some((_, len_expr)) = region.rsplit_once(';') {
-            if suspicious(len_expr) {
-                hits.push((
-                    Rule::AllocArith,
-                    "unchecked sizing arithmetic in `vec![_; ..]`; use \
-                     `checked_mul`/`checked_add` or `saturating_*`"
-                        .into(),
-                ));
-            }
-        }
-    }
-    hits
-}
-
-/// Strict rule hits on one (already stripped) line of hot-path code.
-fn strict_line_hits(code: &str) -> Vec<(Rule, String)> {
-    let mut hits = Vec::new();
-    if code
-        .char_indices()
-        .any(|(i, c)| c == '[' && is_subscript(code, i))
-    {
-        hits.push((
-            Rule::StrictIndexing,
-            "slice indexing in a hot-path file; use `.get`/`.get_mut` or an iterator".into(),
-        ));
-    }
-    for pat in [".join().unwrap(", ".join().expect(", "resume_unwind"] {
-        if code.contains(pat) {
-            hits.push((
-                Rule::PanicPropagation,
-                format!(
-                    "`{pat}` re-raises a worker panic; route it into the typed \
-                     `WorkerPanic` error path instead"
-                ),
-            ));
-        }
-    }
-    hits.extend(alloc_arith_hits(code));
-    hits
-}
-
-/// Look for `tscheck:allow(<id>)` on `raw` (the unstripped line) or the
-/// line above. Returns:
+/// Look up the waiver state for a violation of `rule` at `line`:
 /// * `None` — no escape hatch, the violation stands;
 /// * `Some(true)` — waived with a justification;
 /// * `Some(false)` — escape hatch present but no justification.
-fn allow_state(rule: Rule, raw: &str, prev_raw: Option<&str>) -> Option<bool> {
+fn allow_state(rule: Rule, line: usize, comments: &HashMap<usize, String>) -> Option<bool> {
     let tag = format!("tscheck:allow({})", rule.id());
-    for cand in [Some(raw), prev_raw].into_iter().flatten() {
-        if let Some(pos) = cand.find(&tag) {
-            let rest = cand[pos + tag.len()..]
-                .trim_start_matches([':', '-', '—', ' '])
-                .trim();
-            return Some(rest.len() >= 8);
+    for l in [line, line.saturating_sub(1)] {
+        if l == 0 {
+            continue;
+        }
+        if let Some(c) = comments.get(&l) {
+            if let Some(pos) = c.find(&tag) {
+                let rest = c
+                    .get(pos + tag.len()..)
+                    .unwrap_or("")
+                    .trim_start_matches([':', '-', '—', ' '])
+                    .trim();
+                // a justification may be cut off by the end of the comment;
+                // require a minimum substance either way
+                return Some(rest.len() >= 8);
+            }
         }
     }
     None
 }
 
+/// Apply the waiver protocol to a raw hit list, producing final violations.
+fn apply_waivers(
+    path: &str,
+    hits: Vec<(Rule, usize, String)>,
+    comments: &HashMap<usize, String>,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (rule, line, message) in hits {
+        match allow_state(rule, line, comments) {
+            Some(true) => {}
+            Some(false) => out.push(Violation {
+                file: path.to_string(),
+                line,
+                rule: Rule::BadAllow,
+                message: format!(
+                    "`tscheck:allow({})` needs a justification after the tag",
+                    rule.id()
+                ),
+            }),
+            None => out.push(Violation {
+                file: path.to_string(),
+                line,
+                rule,
+                message,
+            }),
+        }
+    }
+    out
+}
+
+/// Token-pattern scan context over one file's comment-free code tokens.
+struct Scan<'a> {
+    ft: &'a FileTokens,
+}
+
+impl<'a> Scan<'a> {
+    fn ident(&self, i: usize) -> Option<&'a str> {
+        self.ft
+            .code
+            .get(i)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+    }
+
+    fn is_ident(&self, i: usize, name: &str) -> bool {
+        self.ident(i) == Some(name)
+    }
+
+    fn punct(&self, i: usize, c: char) -> bool {
+        self.ft
+            .code
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Punct(c))
+    }
+
+    fn line(&self, i: usize) -> usize {
+        self.ft.code.get(i).map(|t| t.line).unwrap_or(0)
+    }
+
+    fn live(&self, i: usize) -> bool {
+        !self.ft.in_test.get(i).copied().unwrap_or(false)
+    }
+
+    /// Token index of the matching close for the open delimiter at `open`.
+    fn matching_close(&self, open: usize, oc: char, cc: char) -> Option<usize> {
+        let mut depth = 0i64;
+        let mut j = open;
+        while let Some(t) = self.ft.code.get(j) {
+            if t.kind == TokKind::Punct(oc) {
+                depth += 1;
+            } else if t.kind == TokKind::Punct(cc) {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// Do any identifiers on `line` contain a metric name (smape/mape)?
+    fn line_mentions_metric(&self, around: usize, line: usize) -> bool {
+        let check = |t: &lexer::Tok| {
+            t.line == line
+                && t.kind == TokKind::Ident
+                && (t.text.to_ascii_lowercase().contains("smape")
+                    || t.text.to_ascii_lowercase().contains("mape"))
+        };
+        // scan outward from `around` while still on the same line
+        let mut j = around;
+        while let Some(t) = self.ft.code.get(j) {
+            if t.line != line {
+                break;
+            }
+            if check(t) {
+                return true;
+            }
+            if j == 0 {
+                break;
+            }
+            j -= 1;
+        }
+        let mut j = around + 1;
+        while let Some(t) = self.ft.code.get(j) {
+            if t.line != line {
+                break;
+            }
+            if check(t) {
+                return true;
+            }
+            j += 1;
+        }
+        false
+    }
+
+    /// Is a `*` or `+` at token `i` a binary operator (its left neighbor is
+    /// a value-ending token)?
+    fn is_binary_op(&self, i: usize) -> bool {
+        if i == 0 {
+            return false;
+        }
+        self.ft.code.get(i - 1).is_some_and(|t| match t.kind {
+            TokKind::Ident | TokKind::Num => true,
+            TokKind::Punct(')') | TokKind::Punct(']') => true,
+            _ => false,
+        })
+    }
+
+    /// Unchecked sizing arithmetic in the token range `[start, end)`:
+    /// a binary `*`/`+` with no `checked_*`/`saturating_*` call in range.
+    fn region_has_unchecked_arith(&self, start: usize, end: usize) -> bool {
+        let mut has_op = false;
+        for j in start..end {
+            if let Some(t) = self.ft.code.get(j) {
+                match t.kind {
+                    TokKind::Punct('*') | TokKind::Punct('+') => {
+                        if self.is_binary_op(j) {
+                            has_op = true;
+                        }
+                    }
+                    TokKind::Ident => {
+                        if t.text.starts_with("checked_") || t.text.starts_with("saturating_") {
+                            return false;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        has_op
+    }
+}
+
+/// Names bound to `HashMap`/`HashSet` values in this file's non-test code:
+/// `let x: HashMap<…>`, struct fields `x: Mutex<HashSet<…>>`, and
+/// `let x = HashMap::new()` all register `x`.
+fn hash_bound_names(s: &Scan<'_>) -> HashSet<String> {
+    let mut names = HashSet::new();
+    for i in 0..s.ft.code.len() {
+        if !s.live(i) {
+            continue;
+        }
+        let Some(id) = s.ident(i) else { continue };
+        if id != "HashMap" && id != "HashSet" {
+            continue;
+        }
+        // walk back to the statement/field boundary, looking for the
+        // nearest single-colon binding `name :` (skipping `::` paths), or
+        // a `let [mut] name =` binding.
+        let mut k = i;
+        let mut bound: Option<String> = None;
+        let mut let_at: Option<usize> = None;
+        while k > 0 {
+            k -= 1;
+            let Some(t) = s.ft.code.get(k) else { break };
+            match t.kind {
+                TokKind::Punct(';')
+                | TokKind::Punct('{')
+                | TokKind::Punct('}')
+                | TokKind::Punct(',')
+                | TokKind::Punct('(') => break,
+                TokKind::Ident => {
+                    if t.text == "let" {
+                        let_at = Some(k);
+                        break;
+                    }
+                    if bound.is_none()
+                        && s.punct(k + 1, ':')
+                        && !s.punct(k + 2, ':')
+                        && !(k > 0 && s.punct(k - 1, ':'))
+                    {
+                        bound = Some(t.text.clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(name) = bound {
+            names.insert(name);
+            continue;
+        }
+        if let Some(l) = let_at {
+            let mut j = l + 1;
+            if s.is_ident(j, "mut") {
+                j += 1;
+            }
+            if let Some(name) = s.ident(j) {
+                if s.punct(j + 1, '=') || s.punct(j + 1, ':') {
+                    names.insert(name.to_string());
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Scan one lexed file for all token-pattern rule hits (no waivers applied).
+fn token_hits(path: &str, ft: &FileTokens, cfg: &Config) -> Vec<(Rule, usize, String)> {
+    let scoped = cfg.is_scoped(path);
+    let strict = cfg.is_strict_scoped(path);
+    if !scoped && !strict {
+        return Vec::new();
+    }
+    let s = Scan { ft };
+    let clock_ok = cfg.clock_paths.iter().any(|p| path.starts_with(p));
+    let hash_scoped = scoped && cfg.hash_iter_paths.iter().any(|p| path.starts_with(p));
+    let lock_exempt = cfg.lock_exempt_paths.iter().any(|p| path.starts_with(p));
+    let hash_names = if hash_scoped {
+        hash_bound_names(&s)
+    } else {
+        HashSet::new()
+    };
+
+    let mut hits: Vec<(Rule, usize, String)> = Vec::new();
+    let n = ft.code.len();
+    for i in 0..n {
+        if !s.live(i) {
+            continue;
+        }
+        let line = s.line(i);
+
+        if scoped {
+            // panic: `.unwrap()` / `.expect(`
+            if s.punct(i, '.') {
+                if s.is_ident(i + 1, "unwrap") && s.punct(i + 2, '(') && s.punct(i + 3, ')') {
+                    hits.push((
+                        Rule::Panic,
+                        line,
+                        "`.unwrap()` in library code; return a typed error instead".to_string(),
+                    ));
+                }
+                if s.is_ident(i + 1, "expect") && s.punct(i + 2, '(') {
+                    hits.push((
+                        Rule::Panic,
+                        line,
+                        "`.expect(` in library code; return a typed error instead".to_string(),
+                    ));
+                }
+            }
+            // panic: aborting macros
+            if let Some(mac) = s.ident(i) {
+                if ["panic", "unreachable", "todo", "unimplemented"].contains(&mac)
+                    && s.punct(i + 1, '!')
+                {
+                    hits.push((
+                        Rule::Panic,
+                        line,
+                        format!("`{mac}!` in library code; return a typed error instead"),
+                    ));
+                }
+            }
+            // nan: partial_cmp
+            if s.is_ident(i, "partial_cmp") {
+                hits.push((
+                    Rule::NanOrdering,
+                    line,
+                    "`partial_cmp` on floats; use `total_cmp` for a NaN-safe total order"
+                        .to_string(),
+                ));
+            }
+            // nan: raw max/min on metric values
+            if s.punct(i, '.')
+                && (s.is_ident(i + 1, "max") || s.is_ident(i + 1, "min"))
+                && s.punct(i + 2, '(')
+                && s.line_mentions_metric(i, line)
+            {
+                hits.push((
+                    Rule::NanOrdering,
+                    line,
+                    "raw `max`/`min` on a metric value silently drops NaN; compare explicitly"
+                        .to_string(),
+                ));
+            }
+            // index: `… as usize]`
+            if s.is_ident(i, "as") && s.is_ident(i + 1, "usize") && s.punct(i + 2, ']') {
+                hits.push((
+                    Rule::Indexing,
+                    line,
+                    "slice index through unchecked `as usize` cast; bound-check or use `.get`"
+                        .to_string(),
+                ));
+            }
+            // raw-lock: Mutex::new / RwLock::new outside the sync module
+            if !lock_exempt {
+                if let Some(id) = s.ident(i) {
+                    if (id == "Mutex" || id == "RwLock")
+                        && s.punct(i + 1, ':')
+                        && s.punct(i + 2, ':')
+                        && s.is_ident(i + 3, "new")
+                    {
+                        hits.push((
+                            Rule::RawLock,
+                            line,
+                            format!(
+                                "raw `{id}::new`; construct locks through \
+                                 `linalg::sync::OrderedMutex`/`OrderedRwLock` so they \
+                                 participate in lock-order tracking"
+                            ),
+                        ));
+                    }
+                }
+            }
+            // wall-clock: Instant::now / SystemTime::now outside whitelist
+            if !clock_ok {
+                if let Some(id) = s.ident(i) {
+                    if (id == "Instant" || id == "SystemTime")
+                        && s.punct(i + 1, ':')
+                        && s.punct(i + 2, ':')
+                        && s.is_ident(i + 3, "now")
+                    {
+                        hits.push((
+                            Rule::WallClock,
+                            line,
+                            format!(
+                                "`{id}::now` outside the budget/watchdog whitelist; wall-clock \
+                                 reads in ranking paths break serial==parallel reproducibility"
+                            ),
+                        ));
+                    }
+                }
+            }
+            // trunc-cast: `.len() as u32`-style narrowing on lengths
+            if s.punct(i, '.')
+                && s.ident(i + 1).is_some_and(|m| LENGTH_METHODS.contains(&m))
+                && s.punct(i + 2, '(')
+                && s.punct(i + 3, ')')
+                && s.is_ident(i + 4, "as")
+                && s.ident(i + 5).is_some_and(|t| NARROW_TYPES.contains(&t))
+            {
+                hits.push((
+                    Rule::TruncCast,
+                    line,
+                    format!(
+                        "truncating cast `{}() as {}` on a length-like value; use `u64`/`usize` \
+                         or `try_from`",
+                        s.ident(i + 1).unwrap_or(""),
+                        s.ident(i + 5).unwrap_or("")
+                    ),
+                ));
+            }
+            // hash-iter: iteration over hash-ordered bindings
+            if hash_scoped {
+                if let Some(id) = s.ident(i) {
+                    if hash_names.contains(id) {
+                        let method_iter = s.punct(i + 1, '.')
+                            && s.ident(i + 2)
+                                .is_some_and(|m| HASH_ITER_METHODS.contains(&m))
+                            && s.punct(i + 3, '(');
+                        // `for x in name {` / `for x in &name {`
+                        let mut k = i;
+                        while k > 0
+                            && (s.punct(k - 1, '&')
+                                || s.is_ident(k - 1, "mut")
+                                || s.punct(k - 1, '.'))
+                        {
+                            k -= 1;
+                        }
+                        let for_iter = k > 0 && s.is_ident(k - 1, "in") && s.punct(i + 1, '{');
+                        if method_iter || for_iter {
+                            hits.push((
+                                Rule::HashIter,
+                                line,
+                                format!(
+                                    "iteration over hash-ordered `{id}` in a \
+                                     determinism-critical path; sort keys first or use an \
+                                     ordered container"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        if strict {
+            // strict-index: any subscript `[` after a value-ending token
+            if s.punct(i, '[') && i > 0 {
+                let prev_ok = s.ft.code.get(i - 1).is_some_and(|t| match t.kind {
+                    TokKind::Ident => !KEYWORDS.contains(&t.text.as_str()),
+                    TokKind::Punct(')') | TokKind::Punct(']') => true,
+                    _ => false,
+                });
+                if prev_ok {
+                    hits.push((
+                        Rule::StrictIndexing,
+                        line,
+                        "slice indexing in a hot-path file; use `.get`/`.get_mut` or an iterator"
+                            .to_string(),
+                    ));
+                }
+            }
+            // propagate: `.join().unwrap(` / `.join().expect(` / resume_unwind
+            if s.punct(i, '.')
+                && s.is_ident(i + 1, "join")
+                && s.punct(i + 2, '(')
+                && s.punct(i + 3, ')')
+                && s.punct(i + 4, '.')
+                && (s.is_ident(i + 5, "unwrap") || s.is_ident(i + 5, "expect"))
+                && s.punct(i + 6, '(')
+            {
+                hits.push((
+                    Rule::PanicPropagation,
+                    line,
+                    "`.join().unwrap()` re-raises a worker panic; route it into the typed \
+                     `WorkerPanic` error path instead"
+                        .to_string(),
+                ));
+            }
+            if s.is_ident(i, "resume_unwind") {
+                hits.push((
+                    Rule::PanicPropagation,
+                    line,
+                    "`resume_unwind` re-raises a worker panic; route it into the typed \
+                     `WorkerPanic` error path instead"
+                        .to_string(),
+                ));
+            }
+            // alloc-arith markers
+            if s.is_ident(i, "with_capacity") && s.punct(i + 1, '(') {
+                if let Some(close) = s.matching_close(i + 1, '(', ')') {
+                    if s.region_has_unchecked_arith(i + 2, close) {
+                        hits.push((
+                            Rule::AllocArith,
+                            line,
+                            "unchecked sizing arithmetic in `with_capacity(..)`; use \
+                             `checked_mul`/`checked_add` or `saturating_*`"
+                                .to_string(),
+                        ));
+                    }
+                }
+            }
+            if s.punct(i, '.') && s.is_ident(i + 1, "reserve") && s.punct(i + 2, '(') {
+                if let Some(close) = s.matching_close(i + 2, '(', ')') {
+                    if s.region_has_unchecked_arith(i + 3, close) {
+                        hits.push((
+                            Rule::AllocArith,
+                            line,
+                            "unchecked sizing arithmetic in `.reserve(..)`; use \
+                             `checked_mul`/`checked_add` or `saturating_*`"
+                                .to_string(),
+                        ));
+                    }
+                }
+            }
+            if s.is_ident(i, "zeros")
+                && i >= 2
+                && s.punct(i - 1, ':')
+                && s.punct(i - 2, ':')
+                && s.punct(i + 1, '(')
+            {
+                if let Some(close) = s.matching_close(i + 1, '(', ')') {
+                    if s.region_has_unchecked_arith(i + 2, close) {
+                        hits.push((
+                            Rule::AllocArith,
+                            line,
+                            "unchecked sizing arithmetic in `::zeros(..)`; use \
+                             `checked_mul`/`checked_add` or `saturating_*`"
+                                .to_string(),
+                        ));
+                    }
+                }
+            }
+            // vec![elem; len]: only the length expression allocates
+            if s.is_ident(i, "vec") && s.punct(i + 1, '!') && s.punct(i + 2, '[') {
+                if let Some(close) = s.matching_close(i + 2, '[', ']') {
+                    // last top-level `;` inside the macro
+                    let mut depth = 0i64;
+                    let mut semi: Option<usize> = None;
+                    for j in i + 3..close {
+                        match s.ft.code.get(j).map(|t| t.kind) {
+                            Some(TokKind::Punct('(')) | Some(TokKind::Punct('[')) => depth += 1,
+                            Some(TokKind::Punct(')')) | Some(TokKind::Punct(']')) => depth -= 1,
+                            Some(TokKind::Punct(';')) if depth == 0 => semi = Some(j),
+                            _ => {}
+                        }
+                    }
+                    if let Some(sp) = semi {
+                        if s.region_has_unchecked_arith(sp + 1, close) {
+                            hits.push((
+                                Rule::AllocArith,
+                                line,
+                                "unchecked sizing arithmetic in `vec![_; ..]`; use \
+                                 `checked_mul`/`checked_add` or `saturating_*`"
+                                    .to_string(),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // lock discipline: per-file findings (self-nesting + guard-across-par)
+    if scoped {
+        let (edges, crossings) = locks::lock_facts(path, ft);
+        for e in &edges {
+            if e.from == e.to {
+                hits.push((
+                    Rule::LockOrder,
+                    e.line,
+                    format!(
+                        "lock class `{}` acquired while a guard of the same class is held; \
+                         same-class nesting deadlocks on a single instance",
+                        e.from
+                    ),
+                ));
+            }
+        }
+        for c in &crossings {
+            hits.push((
+                Rule::LockAcrossPar,
+                c.line,
+                format!(
+                    "guard `{}` held across `{}`; release locks before fanning out or \
+                     joining workers",
+                    c.guard, c.call
+                ),
+            ));
+        }
+    }
+
+    hits
+}
+
 /// Scan one source file. `path` is the repo-relative path (forward slashes)
 /// used both for scoping and in reported violations; `src` is the file
 /// contents. Pure function of its inputs so tests can seed violations
-/// without touching the filesystem.
+/// without touching the filesystem. Cross-file lock-order cycles are the
+/// one analysis this per-file entry point cannot see — use [`check_locks`]
+/// (or [`check_workspace`]) for those.
 pub fn check_source(path: &str, src: &str, cfg: &Config) -> Vec<Violation> {
     let mut out = Vec::new();
 
-    // Rule 3: crate-root lint hygiene applies to every crate root.
+    // crate-root lint hygiene applies to every crate root
     if path.ends_with("src/lib.rs") {
         for attr in ["#![warn(missing_docs)]", "#![deny(unsafe_code)]"] {
             if !src.contains(attr) {
@@ -478,91 +891,95 @@ pub fn check_source(path: &str, src: &str, cfg: &Config) -> Vec<Violation> {
         }
     }
 
-    let scoped = cfg.is_scoped(path);
-    let strict = cfg.is_strict_scoped(path);
-    if !scoped && !strict {
+    if !cfg.is_scoped(path) && !cfg.is_strict_scoped(path) {
         return out;
     }
 
-    let lines: Vec<&str> = src.lines().collect();
-    let mut depth: i64 = 0;
-    let mut pending_cfg_test = false;
-    let mut test_region_depth: Option<i64> = None;
-    let mut in_block_comment = false;
+    let ft = lexer::analyze_file(src);
+    let hits = token_hits(path, &ft, cfg);
+    out.extend(apply_waivers(path, hits, &ft.comments));
+    out
+}
 
-    for (idx, raw) in lines.iter().enumerate() {
-        let mut code = strip_code(raw);
-        // minimal block-comment tracking across lines
-        if in_block_comment {
-            match code.find("*/") {
-                Some(p) => {
-                    code = code[p + 2..].to_string();
-                    in_block_comment = false;
-                }
-                None => continue,
-            }
+/// Is `to` reachable from `from` over the directed edge list?
+fn reachable(edges: &[locks::LockEdge], from: &str, to: &str) -> bool {
+    let mut stack: Vec<&str> = vec![from];
+    let mut seen: Vec<&str> = Vec::new();
+    while let Some(node) = stack.pop() {
+        if node == to {
+            return true;
         }
-        while let Some(p) = code.find("/*") {
-            match code[p..].find("*/") {
-                Some(q) => {
-                    code = format!("{}{}", &code[..p], &code[p + q + 2..]);
-                }
-                None => {
-                    code = code[..p].to_string();
-                    in_block_comment = true;
-                    break;
-                }
-            }
+        if seen.contains(&node) {
+            continue;
         }
-
-        if code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test") {
-            pending_cfg_test = true;
-        }
-
-        let opens = code.matches('{').count() as i64;
-        let closes = code.matches('}').count() as i64;
-
-        if pending_cfg_test && opens > 0 {
-            test_region_depth = Some(depth);
-            pending_cfg_test = false;
-        }
-
-        let in_test = test_region_depth.is_some();
-        if !in_test && !pending_cfg_test {
-            let prev = if idx > 0 { Some(lines[idx - 1]) } else { None };
-            let mut hits = if scoped { line_hits(&code) } else { Vec::new() };
-            if strict {
-                hits.extend(strict_line_hits(&code));
-            }
-            for (rule, message) in hits {
-                match allow_state(rule, raw, prev) {
-                    Some(true) => {}
-                    Some(false) => out.push(Violation {
-                        file: path.to_string(),
-                        line: idx + 1,
-                        rule: Rule::BadAllow,
-                        message: format!(
-                            "`tscheck:allow({})` needs a justification after the tag",
-                            rule.id()
-                        ),
-                    }),
-                    None => out.push(Violation {
-                        file: path.to_string(),
-                        line: idx + 1,
-                        rule,
-                        message,
-                    }),
-                }
-            }
-        }
-
-        depth += opens - closes;
-        if let Some(d) = test_region_depth {
-            if depth <= d {
-                test_region_depth = None;
+        seen.push(node);
+        for e in edges {
+            if e.from == node {
+                stack.push(&e.to);
             }
         }
     }
+    false
+}
+
+/// Cross-file lock-order analysis: collect every nested-acquisition edge
+/// from the scoped files, then flag each edge that closes a cycle in the
+/// workspace-wide lock-order graph. Reported deterministically (edges are
+/// sorted by file/line before checking) and waivable like any other rule.
+pub fn check_locks(files: &[(String, String)], cfg: &Config) -> Vec<Violation> {
+    let mut edges: Vec<locks::LockEdge> = Vec::new();
+    let mut comments: HashMap<String, HashMap<usize, String>> = HashMap::new();
+    for (path, src) in files {
+        if !cfg.is_scoped(path) {
+            continue;
+        }
+        let ft = lexer::analyze_file(src);
+        let (e, _) = locks::lock_facts(path, &ft);
+        // self-edges are reported by check_source; cycles need distinct ends
+        edges.extend(e.into_iter().filter(|e| e.from != e.to));
+        comments.insert(path.clone(), ft.comments);
+    }
+    edges.sort_by(|a, b| (&a.file, a.line, &a.from, &a.to).cmp(&(&b.file, b.line, &b.from, &b.to)));
+    edges.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.from == b.from && a.to == b.to);
+
+    let empty = HashMap::new();
+    let mut out: Vec<Violation> = Vec::new();
+    for e in &edges {
+        if reachable(&edges, &e.to, &e.from) {
+            let file_comments = comments.get(&e.file).unwrap_or(&empty);
+            let hit = vec![(
+                Rule::LockOrder,
+                e.line,
+                format!(
+                    "acquiring `{}` while holding `{}` closes a lock-order cycle (the \
+                     reverse nesting is recorded elsewhere in the workspace)",
+                    e.to, e.from
+                ),
+            )];
+            out.extend(apply_waivers(&e.file, hit, file_comments));
+        }
+    }
+    out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.message == b.message);
+    out
+}
+
+/// Run the full analysis over in-memory workspace contents: per-file rules
+/// on every source, the cross-file lock-order graph, and manifest
+/// hermeticity. Results are sorted by (file, line).
+pub fn check_workspace(
+    sources: &[(String, String)],
+    manifests: &[(String, String)],
+    cfg: &Config,
+) -> Vec<Violation> {
+    let mut out: Vec<Violation> = Vec::new();
+    for (path, src) in sources {
+        out.extend(check_source(path, src, cfg));
+    }
+    out.extend(check_locks(sources, cfg));
+    for (path, src) in manifests {
+        out.extend(check_manifest(path, src, ALLOWED_EXTERNAL));
+    }
+    out.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
     out
 }
 
@@ -708,6 +1125,12 @@ mod tests {
     }
 
     #[test]
+    fn raw_strings_and_nested_comments_do_not_fire() {
+        let src = "fn f() {\n    let s = r#\"panic! .unwrap() \"quoted\" inside\"#;\n    /* outer /* nested .expect( */ still comment */\n    let t = s;\n}\n";
+        assert!(scoped(src).is_empty(), "{:?}", scoped(src));
+    }
+
+    #[test]
     fn doc_comment_examples_do_not_fire() {
         let src = "/// ```\n/// let v = f().unwrap();\n/// ```\nfn f() -> Option<i32> { None }\n";
         assert!(scoped(src).is_empty());
@@ -728,6 +1151,15 @@ mod tests {
         let v = scoped(src);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, Rule::BadAllow);
+    }
+
+    #[test]
+    fn allow_inside_a_string_does_not_waive() {
+        let src =
+            "fn f() {\n    let s = \"tscheck:allow(panic): not a comment\"; let x = v.unwrap();\n}\n";
+        let v = scoped(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::Panic);
     }
 
     #[test]
@@ -756,9 +1188,18 @@ mod tests {
     }
 
     #[test]
-    fn unscoped_crates_are_exempt_from_panic_rules() {
-        let v = check_source(
+    fn leaf_crates_are_now_scoped_and_xtask_is_not() {
+        for file in [
             "crates/bench/src/fake.rs",
+            "crates/sota/src/fake.rs",
+            "crates/datasets/src/fake.rs",
+            "crates/anomaly/src/fake.rs",
+        ] {
+            let v = check_source(file, "fn f() { x.unwrap(); }\n", &cfg());
+            assert_eq!(v.len(), 1, "{file} should be scoped");
+        }
+        let v = check_source(
+            "crates/xtask/src/fake.rs",
             "fn f() { x.unwrap(); }\n",
             &cfg(),
         );
@@ -782,6 +1223,120 @@ mod tests {
             &cfg(),
         );
         assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn raw_lock_construction_is_flagged_outside_sync_module() {
+        let v = scoped(
+            "fn f() {\n    let m = Mutex::new(0);\n    let r = std::sync::RwLock::new(1);\n}\n",
+        );
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == Rule::RawLock));
+        // the sync module itself is exempt
+        let sync = check_source(
+            "crates/linalg/src/sync.rs",
+            "fn f() {\n    let m = Mutex::new(0);\n}\n",
+            &cfg(),
+        );
+        assert!(sync.iter().all(|x| x.rule != Rule::RawLock), "{sync:?}");
+        // test regions are exempt
+        let test = "#[cfg(test)]\nmod tests {\n    static GATE: Mutex<()> = Mutex::new(());\n}\n";
+        assert!(scoped(test).is_empty());
+        // OrderedMutex::new is of course fine
+        let ok = scoped("fn f() {\n    let m = OrderedMutex::new(\"x\", 0);\n}\n");
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn same_class_lock_nesting_is_flagged() {
+        let src = "fn f() {\n    let a = m.lock();\n    let b = m.lock();\n}\n";
+        let v = scoped(src);
+        assert!(v.iter().any(|x| x.rule == Rule::LockOrder), "{v:?}");
+    }
+
+    #[test]
+    fn guard_across_parallel_call_is_flagged() {
+        let src = "fn f() {\n    let g = plan.lock();\n    let out = supervised_try_map(items, hard, 4, worker);\n}\n";
+        let v = scoped(src);
+        assert!(v.iter().any(|x| x.rule == Rule::LockAcrossPar), "{v:?}");
+        // sequential guards are fine
+        let ok = "fn f() {\n    if let Ok(g) = plan.lock() { g.check(); }\n    let out = supervised_try_map(items, hard, 4, worker);\n}\n";
+        assert!(scoped(ok).is_empty(), "{:?}", scoped(ok));
+    }
+
+    #[test]
+    fn cross_file_lock_cycle_is_detected() {
+        let a = (
+            "crates/tdaub/src/a.rs".to_string(),
+            "fn f() {\n    let g1 = alpha.lock();\n    let g2 = beta.lock();\n}\n".to_string(),
+        );
+        let b = (
+            "crates/core/src/b.rs".to_string(),
+            "fn g() {\n    let g2 = beta.lock();\n    let g1 = alpha.lock();\n}\n".to_string(),
+        );
+        let v = check_locks(&[a.clone(), b.clone()], &cfg());
+        assert!(
+            v.iter().any(|x| x.rule == Rule::LockOrder),
+            "cycle not found: {v:?}"
+        );
+        // consistent ordering in both files: no cycle
+        let b_ok = (
+            "crates/core/src/b.rs".to_string(),
+            "fn g() {\n    let g1 = alpha.lock();\n    let g2 = beta.lock();\n}\n".to_string(),
+        );
+        let ok = check_locks(&[a, b_ok], &cfg());
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn hash_iteration_is_flagged_in_determinism_paths_only() {
+        let src = "fn f() {\n    let mut m: HashMap<String, f64> = HashMap::new();\n    for (k, v) in &m {\n        use_it(k, v);\n    }\n    let total: f64 = m.values().sum();\n}\n";
+        let v = check_source("crates/tdaub/src/fake.rs", src, &cfg());
+        let hash: Vec<_> = v.iter().filter(|x| x.rule == Rule::HashIter).collect();
+        assert_eq!(hash.len(), 2, "{v:?}");
+        // outside the determinism paths the same code is silent
+        let out = check_source("crates/lookback/src/fake.rs", src, &cfg());
+        assert!(out.iter().all(|x| x.rule != Rule::HashIter), "{out:?}");
+        // non-iterating access is fine anywhere
+        let ok = "fn f() {\n    let mut m: HashMap<String, f64> = HashMap::new();\n    m.insert(k, v);\n    let x = m.get(&k);\n}\n";
+        let okv = check_source("crates/tdaub/src/fake.rs", ok, &cfg());
+        assert!(okv.is_empty(), "{okv:?}");
+    }
+
+    #[test]
+    fn struct_field_hash_iteration_is_flagged() {
+        let src = "struct S {\n    in_flight: HashMap<usize, u64>,\n}\nimpl S {\n    fn f(&self) {\n        for k in self.in_flight.keys() {\n            use_it(k);\n        }\n    }\n}\n";
+        let v = check_source("crates/tdaub/src/fake.rs", src, &cfg());
+        assert!(v.iter().any(|x| x.rule == Rule::HashIter), "{v:?}");
+    }
+
+    #[test]
+    fn wall_clock_is_flagged_outside_whitelist() {
+        let src = "fn f() {\n    let t = Instant::now();\n    let s = SystemTime::now();\n}\n";
+        let v = check_source("crates/transforms/src/fake.rs", src, &cfg());
+        assert_eq!(
+            v.iter().filter(|x| x.rule == Rule::WallClock).count(),
+            2,
+            "{v:?}"
+        );
+        // whitelisted watchdog module is fine
+        let ok = check_source("crates/linalg/src/par.rs", src, &cfg());
+        assert!(ok.iter().all(|x| x.rule != Rule::WallClock), "{ok:?}");
+        // waivable like everything else
+        let waived = "fn f() {\n    // tscheck:allow(wall-clock): telemetry only, never ranked\n    let t = Instant::now();\n}\n";
+        let w = check_source("crates/transforms/src/fake.rs", waived, &cfg());
+        assert!(w.is_empty(), "{w:?}");
+    }
+
+    #[test]
+    fn truncating_length_casts_are_flagged() {
+        let src = "fn f() {\n    let n = xs.len() as u32;\n    let m = frame.n_series() as i16;\n    let ok = xs.len() as u64;\n    let also = xs.len() as f64;\n}\n";
+        let v = scoped(src);
+        assert_eq!(
+            v.iter().filter(|x| x.rule == Rule::TruncCast).count(),
+            2,
+            "{v:?}"
+        );
     }
 
     fn strict_cfg() -> Config {
@@ -821,6 +1376,23 @@ mod tests {
             assert!(
                 v.iter().any(|x| x.rule == Rule::StrictIndexing),
                 "`{line}` not flagged"
+            );
+        }
+    }
+
+    #[test]
+    fn new_strict_paths_cover_theta_garch_and_registries() {
+        let src = "fn f() {\n    let x = data[i];\n}\n";
+        for file in [
+            "crates/stat-models/src/simple.rs",
+            "crates/stat-models/src/garch.rs",
+            "crates/stat-models/src/incremental_ar.rs",
+            "crates/pipelines/src/registry.rs",
+        ] {
+            let v = check_source(file, src, &strict_cfg());
+            assert!(
+                v.iter().any(|x| x.rule == Rule::StrictIndexing),
+                "{file} should be strict-scoped"
             );
         }
     }
@@ -945,13 +1517,30 @@ mod tests {
     }
 
     #[test]
-    fn strip_code_handles_literals() {
-        assert_eq!(strip_code("let x = 1; // unwrap()"), "let x = 1; ");
-        assert_eq!(strip_code("let s = \"panic!\";"), "let s = \"\";");
-        assert_eq!(
-            strip_code("let c = '\\n'; let l: &'a str = s;"),
-            "let c = ' '; let l: &'a str = s;"
-        );
-        assert_eq!(strip_code("let r = r\"todo!\";"), "let r = \"\";");
+    fn check_workspace_combines_all_passes() {
+        let sources = vec![
+            (
+                "crates/tdaub/src/a.rs".to_string(),
+                "fn f() {\n    let g1 = alpha.lock();\n    let g2 = beta.lock();\n}\n".to_string(),
+            ),
+            (
+                "crates/core/src/b.rs".to_string(),
+                "fn g() {\n    let g2 = beta.lock();\n    let g1 = alpha.lock();\n    x.unwrap();\n}\n"
+                    .to_string(),
+            ),
+        ];
+        let manifests = vec![(
+            "crates/x/Cargo.toml".to_string(),
+            "[dependencies]\nrand = \"0.8\"\n".to_string(),
+        )];
+        let v = check_workspace(&sources, &manifests, &cfg());
+        assert!(v.iter().any(|x| x.rule == Rule::LockOrder));
+        assert!(v.iter().any(|x| x.rule == Rule::Panic));
+        assert!(v.iter().any(|x| x.rule == Rule::Hermeticity));
+        // sorted by (file, line)
+        let keys: Vec<_> = v.iter().map(|x| (x.file.clone(), x.line)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
     }
 }

@@ -1,0 +1,10 @@
+//! Wall-clock reads outside the whitelist and truncating length casts.
+
+fn timed(xs: &[f64]) -> (u32, f64) {
+    let t0 = Instant::now();
+    let n = xs.len() as u32;
+    let _ = SystemTime::now();
+    let wide = xs.len() as u64;
+    let _ = wide;
+    (n, t0.elapsed().as_secs_f64())
+}

@@ -1,0 +1,16 @@
+//! A guard held across a fan-out call is flagged; a scoped guard is not.
+
+fn bad(m: &OrderedMutex<Vec<u32>>, items: &mut [u32]) {
+    let g = m.lock();
+    let out = supervised_try_map(items, hard, 4, worker);
+    drop(g);
+    let _ = out;
+}
+
+fn good(m: &OrderedMutex<Vec<u32>>, items: &mut [u32]) {
+    {
+        let g = m.lock();
+        let _ = g;
+    }
+    let _ = supervised_try_map(items, hard, 4, worker);
+}

@@ -1,0 +1,29 @@
+//! Hash-ordered iteration in a determinism-critical path is flagged;
+//! keyed lookups are not.
+
+struct Stats {
+    by_name: HashMap<String, u64>,
+}
+
+impl Stats {
+    fn report(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for k in self.by_name.keys() {
+            out.push(k.clone());
+        }
+        out
+    }
+
+    fn lookup(&self, k: &str) -> Option<u64> {
+        self.by_name.get(k).copied()
+    }
+}
+
+fn locals() -> u64 {
+    let seen: HashSet<u64> = HashSet::new();
+    let mut total = 0;
+    for v in &seen {
+        total += *v;
+    }
+    total
+}

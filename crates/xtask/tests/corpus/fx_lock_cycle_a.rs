@@ -1,0 +1,9 @@
+//! One half of a cross-file lock-order cycle: alpha before beta.
+
+fn forward(alpha: &OrderedMutex<u32>, beta: &OrderedMutex<u32>) {
+    if let Ok(a) = alpha.lock() {
+        if let Ok(b) = beta.lock() {
+            let _ = (*a, *b);
+        }
+    }
+}

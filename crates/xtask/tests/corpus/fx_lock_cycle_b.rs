@@ -1,0 +1,9 @@
+//! The other half: beta before alpha — closes the workspace cycle.
+
+fn backward(alpha: &OrderedMutex<u32>, beta: &OrderedMutex<u32>) {
+    if let Ok(b) = beta.lock() {
+        if let Ok(a) = alpha.lock() {
+            let _ = (*a, *b);
+        }
+    }
+}

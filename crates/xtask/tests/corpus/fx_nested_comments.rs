@@ -1,0 +1,12 @@
+//! Decoys in nested block comments and char literals must not fire.
+
+/* outer /* nested .unwrap() panic!("x") */ still a comment */
+fn lifetimes<'a>(x: &'a [u8]) -> char {
+    let marker: char = 'p';
+    let _ = x;
+    marker
+}
+
+fn real(v: Option<u8>) -> u8 {
+    v.expect("boom")
+}

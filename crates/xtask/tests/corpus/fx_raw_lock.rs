@@ -1,0 +1,11 @@
+//! Raw lock construction outside the ordered wrappers is flagged.
+
+fn build() -> (Mutex<u32>, RwLock<u32>) {
+    let m = Mutex::new(0);
+    let r = RwLock::new(0);
+    (m, r)
+}
+
+fn good() -> OrderedMutex<u32> {
+    OrderedMutex::new("fx.good", 0)
+}

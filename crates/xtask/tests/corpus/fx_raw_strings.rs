@@ -1,0 +1,12 @@
+//! Decoy panics inside raw strings must not fire; the real one must.
+
+fn decoys() -> String {
+    let a = r#"x.unwrap() and panic!("no") and "quoted" inside"#;
+    let b = r##"outer "# inner fence .expect("boom") still string"##;
+    let c = br#"byte string with .unwrap()"#;
+    format!("{a} {b} {c:?}")
+}
+
+fn real(v: Option<i32>) -> i32 {
+    v.unwrap()
+}

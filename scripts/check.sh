@@ -7,11 +7,21 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> tscheck static analysis"
-cargo run -q --offline -p xtask -- check
+echo "==> tscheck static analysis (token analyzer: panic/nan/index + lock discipline + determinism)"
+cargo run -q --offline -p xtask -- check --timing
 
-echo "==> tscheck strict mode (hot paths: tdaub executor, linalg work queue, window kernels, HW/ARIMA/BATS recursions, transform cache, chaos layer)"
+echo "==> tscheck strict mode (hot paths: tdaub executor, linalg work queue, window kernels, stat-model fit recursions, registries, transform cache, chaos layer)"
 cargo run -q --offline -p xtask -- check --strict
+
+echo "==> tscheck wall-time budget (full strict pass must stay under ${TSCHECK_BUDGET_MS:=5000} ms)"
+start_ms=$(date +%s%3N)
+cargo run -q --offline -p xtask -- check --strict --json > /dev/null
+elapsed_ms=$(( $(date +%s%3N) - start_ms ))
+echo "    tscheck strict+json pass: ${elapsed_ms} ms (budget ${TSCHECK_BUDGET_MS} ms)"
+if [ "${elapsed_ms}" -gt "${TSCHECK_BUDGET_MS}" ]; then
+    echo "check.sh: tscheck exceeded its wall-time budget" >&2
+    exit 1
+fi
 
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
@@ -19,10 +29,13 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "==> chaos gauntlet in debug (lock-order sanitizer active under debug_assertions)"
+cargo test -q --offline --test chaos_gauntlet
+
 echo "==> isolation tests under --release (timing-sensitive paths)"
 cargo test -q --offline --release --test tdaub_isolation
 
-echo "==> chaos gauntlet under --release (seeded fault plans, watchdog, degradation ladder)"
+echo "==> chaos gauntlet under --release (seeded fault plans, watchdog, degradation ladder, runtime lock-order tracking)"
 cargo test -q --offline --release --test chaos_gauntlet
 
 echo "==> tdaub bench smoke (cache effectiveness, warm starts, fits avoided, ranking parity)"

@@ -18,6 +18,12 @@
 //! * an empty plan is invisible: zero injected faults and bit-identical
 //!   results to a run with no plan installed at all.
 //!
+//! The gauntlet doubles as a **lock-order sanitizer run**: every workspace
+//! lock goes through `linalg::sync`'s ordered wrappers, and enabling
+//! runtime tracking makes each test record the cross-thread acquisition
+//! graph live (even in release builds) and assert zero order inversions
+//! after 150+ seeded plans.
+//!
 //! Chaos state is process-global, so every test serializes on `GATE`.
 
 use std::sync::Mutex;
@@ -25,10 +31,12 @@ use std::time::Duration;
 
 use autoai_ts_repro::chaos;
 use autoai_ts_repro::core_ts::{AutoAITS, AutoAITSConfig, DegradationLevel};
+use autoai_ts_repro::linalg::sync as lock_sync;
+use autoai_ts_repro::lookback;
 use autoai_ts_repro::pipelines::{pipeline_by_name, Forecaster, PipelineContext};
 use autoai_ts_repro::tdaub::{run_tdaub, TDaubConfig, TDaubResult};
 use autoai_ts_repro::transforms;
-use autoai_ts_repro::tsdata::TimeSeriesFrame;
+use autoai_ts_repro::tsdata::{self, TimeSeriesFrame};
 
 static GATE: Mutex<()> = Mutex::new(());
 
@@ -79,6 +87,7 @@ fn signature(r: &TDaubResult) -> Vec<(String, Vec<(usize, u64)>, u64, u64)> {
 fn a_hundred_seeded_plans_never_hang_and_agree_serial_vs_parallel() {
     let _gate = GATE.lock().unwrap();
     let frame = wavy(160);
+    lock_sync::set_runtime_tracking(true);
     transforms::set_hit_verification(true);
     let mut failed_runs = 0usize;
     let mut injected_total = 0u64;
@@ -104,7 +113,10 @@ fn a_hundred_seeded_plans_never_hang_and_agree_serial_vs_parallel() {
     }
     let mismatches = transforms::hit_mismatches();
     transforms::set_hit_verification(false);
+    let inversions = lock_sync::inversion_count();
+    lock_sync::set_runtime_tracking(false);
     assert_eq!(mismatches, 0, "a cache hit served stale bytes");
+    assert_eq!(inversions, 0, "the sweep recorded a lock-order inversion");
     assert!(injected_total > 0, "the sweep never fired a single fault");
     assert!(failed_runs < 110, "every seeded run failed");
 }
@@ -115,6 +127,7 @@ fn fit_degrades_but_always_returns_a_forecaster() {
     let rows: Vec<Vec<f64>> = (0..300)
         .map(|i| vec![20.0 + 5.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin()])
         .collect();
+    lock_sync::set_runtime_tracking(true);
     let mut degraded = 0usize;
     for seed in 0..40u64 {
         // far more hostile than the default plan — roughly 3 of 5 fits die
@@ -154,7 +167,84 @@ fn fit_degrades_but_always_returns_a_forecaster() {
             "seed {seed}: non-finite forecast at level {level:?}"
         );
     }
+    let inversions = lock_sync::inversion_count();
+    lock_sync::set_runtime_tracking(false);
     assert!(degraded > 0, "aggressive plans never degraded a single fit");
+    assert_eq!(inversions, 0, "the sweep recorded a lock-order inversion");
+}
+
+#[test]
+fn pre_executor_sites_fire_and_fit_survives_them() {
+    let _gate = GATE.lock().unwrap();
+    let frame = wavy(120);
+    let aggressive = |seed| chaos::FaultPlan {
+        seed,
+        panic_prob: 0.4,
+        error_prob: 0.4,
+        nan_prob: 0.0,
+        delay_prob: 0.0,
+        max_delay_ms: 0,
+    };
+
+    // 1. the sites themselves: panics and degraded returns both occur over
+    //    the sweep, and every outcome replays identically under its seed
+    let mut panics = 0usize;
+    let mut degraded_reports = 0usize;
+    for seed in 0..30u64 {
+        chaos::install(aggressive(seed));
+        let probe = || {
+            let q = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                tsdata::quality_check(&frame)
+            }))
+            .ok();
+            let lb = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                lookback::discover_univariate(
+                    frame.series(0),
+                    None,
+                    &lookback::LookbackConfig::default(),
+                )
+            }))
+            .ok();
+            (q, lb)
+        };
+        let (q, lb) = probe();
+        assert_eq!((q.clone(), lb.clone()), probe(), "seed {seed}: not pure");
+        chaos::disable();
+        if q.is_none() || lb.is_none() {
+            panics += 1;
+        }
+        // wavy() has no missing cells, so a missing_count of 1 can only be
+        // the injected pessimistic report
+        if q.is_some_and(|r| r.missing_count == 1) {
+            degraded_reports += 1;
+        }
+    }
+    assert!(panics > 0, "no pre-executor site ever panicked");
+    assert!(degraded_reports > 0, "quality.assess never degraded");
+
+    // 2. the orchestrator: a fit under the same pressure always succeeds,
+    //    walking the quality/look-back degradation rungs instead of dying
+    let rows: Vec<Vec<f64>> = (0..200)
+        .map(|i| vec![10.0 + 2.0 * (2.0 * std::f64::consts::PI * i as f64 / 8.0).sin()])
+        .collect();
+    for seed in 0..12u64 {
+        chaos::install(aggressive(seed));
+        let mut cfg = AutoAITSConfig {
+            pipeline_names: Some(vec!["ZeroModel".into(), "SeasonalNaive".into()]),
+            ..Default::default()
+        };
+        cfg.tdaub.pipeline_hard_deadline = Some(Duration::from_secs(10));
+        let mut sys = AutoAITS::with_config(cfg);
+        let fitted = sys.fit_rows(&rows).map(|_| ());
+        chaos::disable();
+        fitted.unwrap_or_else(|e| {
+            panic!("seed {seed}: pre-executor faults must degrade, not fail: {e}")
+        });
+        let f = sys
+            .predict(8)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(f.series(0).iter().all(|v| v.is_finite()), "seed {seed}");
+    }
 }
 
 #[test]
