@@ -22,10 +22,11 @@ use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 use autoai_pipelines::{
-    default_pipelines, pipeline_by_name, Forecaster, PipelineContext, PipelineError,
+    default_pipelines, pipeline_by_name, predict_interval_or_conformal, ConformalCalibration,
+    Forecaster, PipelineContext, PipelineError,
 };
 use autoai_tdaub::{run_tdaub, TDaubConfig, TDaubResult};
-use autoai_tsdata::{Metric, TimeSeriesFrame};
+use autoai_tsdata::{interval_coverage, pinball_loss, Metric, TimeSeriesFrame};
 
 /// Two seasonal series with deterministic LCG noise — multivariate so the
 /// localized-flatten path is exercised.
@@ -226,6 +227,121 @@ fn main() {
         uncached.execution.duplicate_fits, 0,
         "uncached run repeated a fit on an identical frame view"
     );
+    println!("== ensemble selection & probabilistic bands ==");
+    // the default config runs greedy forward selection over the top
+    // survivors — selection is prediction-only, so it must not perturb the
+    // ranking: an ensembling-disabled run ranks bit-identically
+    let selection = cached
+        .ensemble
+        .as_ref()
+        .expect("default config runs ensemble selection");
+    let weight_sum: f64 = selection.members.iter().map(|m| m.weight).sum();
+    assert!(
+        (weight_sum - 1.0).abs() < 1e-9,
+        "ensemble weights sum to {weight_sum}"
+    );
+    assert!(
+        selection.score <= selection.best_single,
+        "ensemble {} worse than best single {}",
+        selection.score,
+        selection.best_single
+    );
+    let plain = run_tdaub(
+        pool(),
+        &data,
+        &TDaubConfig {
+            ensemble_top_k: 0,
+            ..config(true, smoke)
+        },
+    )
+    .expect("ensembling-disabled run");
+    assert!(plain.ensemble.is_none(), "disabled run still ensembled");
+    let rank_bits = |r: &TDaubResult| -> Vec<(String, usize, u64, u64)> {
+        r.reports
+            .iter()
+            .map(|rep| {
+                (
+                    rep.name.clone(),
+                    rep.rank,
+                    rep.projected_score.to_bits(),
+                    rep.final_score.unwrap_or(f64::NAN).to_bits(),
+                )
+            })
+            .collect()
+    };
+    assert_eq!(
+        rank_bits(&cached),
+        rank_bits(&plain),
+        "ensembling perturbed the ranking"
+    );
+    let members: Vec<String> = selection
+        .members
+        .iter()
+        .map(|m| format!("{}:{:.3}", m.name, m.weight))
+        .collect();
+    println!(
+        "ensemble [{}]  holdout {:.4} vs best single {:.4} ({} rounds)",
+        members.join(", "),
+        selection.score,
+        selection.best_single,
+        selection.rounds
+    );
+
+    // split-conformal winner bands scored out-of-sample: fit on the prefix,
+    // calibrate on the next 12 rows, evaluate pinball + coverage (alongside
+    // SMAPE) on the final 12 rows the calibration never saw
+    let ctx = PipelineContext::new(8, 12, vec![12]);
+    let mut champ = pipeline_by_name(&cached.best.name(), &ctx)
+        .or_else(|| pipeline_by_name("ZeroModel", &ctx))
+        .expect("winner resolvable by name");
+    champ
+        .fit(&data.slice(0, n - 24))
+        .expect("winner fits the bench prefix");
+    let calibration = ConformalCalibration::calibrate(champ.as_ref(), &data.slice(n - 24, n - 12));
+    let iv = predict_interval_or_conformal(champ.as_ref(), 24, &[0.8, 0.95], calibration.as_ref())
+        .expect("winner always has bands");
+    let t_eval = data.slice(n - 12, n);
+    let p_eval = iv.point().slice(12, 24);
+    let (lo80, hi80) = iv.band(0).expect("80% band");
+    let (lo95, hi95) = iv.band(1).expect("95% band");
+    let (lo80, hi80) = (lo80.slice(12, 24), hi80.slice(12, 24));
+    let (lo95, hi95) = (lo95.slice(12, 24), hi95.slice(12, 24));
+    let mut eval_smape = 0.0;
+    let (mut pinball_q10, mut pinball_q90) = (0.0, 0.0);
+    let (mut coverage_80, mut coverage_95) = (0.0, 0.0);
+    let n_series = t_eval.n_series();
+    for c in 0..n_series {
+        let actual = t_eval.series(c);
+        eval_smape += Metric::Smape.eval(actual, p_eval.series(c));
+        // the 80% band's edges are the 10%/90% quantiles
+        pinball_q10 += pinball_loss(actual, lo80.series(c), 0.10).expect("pinball q10");
+        pinball_q90 += pinball_loss(actual, hi80.series(c), 0.90).expect("pinball q90");
+        coverage_80 += interval_coverage(actual, lo80.series(c), hi80.series(c)).expect("cov 80");
+        coverage_95 += interval_coverage(actual, lo95.series(c), hi95.series(c)).expect("cov 95");
+    }
+    let scale = n_series.max(1) as f64;
+    eval_smape /= scale;
+    pinball_q10 /= scale;
+    pinball_q90 /= scale;
+    coverage_80 /= scale;
+    coverage_95 /= scale;
+    println!(
+        "winner bands ({}): smape {eval_smape:.3}  pinball q10/q90 {pinball_q10:.4}/{pinball_q90:.4}  coverage 80%/95%: {coverage_80:.2}/{coverage_95:.2}",
+        iv.source()
+    );
+    assert!(
+        pinball_q10.is_finite() && pinball_q90.is_finite() && eval_smape.is_finite(),
+        "probabilistic metrics must be finite"
+    );
+    assert!(
+        (0.0..=1.0).contains(&coverage_80) && (0.0..=1.0).contains(&coverage_95),
+        "coverage out of range: {coverage_80} / {coverage_95}"
+    );
+    assert!(
+        coverage_95 >= coverage_80,
+        "nested bands lost coverage ordering: {coverage_95} < {coverage_80}"
+    );
+
     if smoke {
         assert!(stats.hits > 0, "transform cache recorded no hits");
         assert!(stats.misses > 0, "transform cache recorded no misses");
@@ -252,7 +368,7 @@ fn main() {
             copy_reduction >= 5.0,
             "bytes-copied bar not met: {copy_reduction:.1}x (need 5x)"
         );
-        println!("smoke: all cache-effectiveness assertions passed");
+        println!("smoke: all cache-effectiveness and ensemble assertions passed");
         return;
     }
 
@@ -304,8 +420,18 @@ fn main() {
 
     // machine-readable record at the repo root (hand-built JSON: the schema
     // is flat and the hermetic build carries no serializer)
+    let member_json: Vec<String> = selection
+        .members
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"name\": \"{}\", \"weight\": {:.4}, \"picks\": {}}}",
+                m.name, m.weight, m.picks
+            )
+        })
+        .collect();
     let json = format!(
-        "{{\n  \"bench\": \"tdaub\",\n  \"pool_size\": {pool_size},\n  \"rows\": {n},\n  \"series\": 2,\n  \"iters\": {iters},\n  \"uncached_ms\": {uncached_ms:.3},\n  \"cached_ms\": {cached_ms:.3},\n  \"speedup\": {speedup:.3},\n  \"cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"extensions\": {},\n    \"hit_rate\": {:.4},\n    \"bytes_saved\": {},\n    \"bytes_built\": {}\n  }},\n  \"incremental_fits\": {},\n  \"fits_avoided\": {},\n  \"duplicate_fits\": {},\n  \"slice_bytes_avoided\": {},\n  \"bytes_copied_before\": {bytes_before},\n  \"bytes_copied_after\": {bytes_after},\n  \"copy_reduction\": {copy_reduction:.3},\n  \"rankings_match\": {rankings_match}\n}}\n",
+        "{{\n  \"bench\": \"tdaub\",\n  \"pool_size\": {pool_size},\n  \"rows\": {n},\n  \"series\": 2,\n  \"iters\": {iters},\n  \"uncached_ms\": {uncached_ms:.3},\n  \"cached_ms\": {cached_ms:.3},\n  \"speedup\": {speedup:.3},\n  \"cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"extensions\": {},\n    \"hit_rate\": {:.4},\n    \"bytes_saved\": {},\n    \"bytes_built\": {}\n  }},\n  \"incremental_fits\": {},\n  \"fits_avoided\": {},\n  \"duplicate_fits\": {},\n  \"slice_bytes_avoided\": {},\n  \"bytes_copied_before\": {bytes_before},\n  \"bytes_copied_after\": {bytes_after},\n  \"copy_reduction\": {copy_reduction:.3},\n  \"rankings_match\": {rankings_match},\n  \"ensemble\": {{\n    \"members\": [{}],\n    \"score\": {:.4},\n    \"best_single\": {:.4},\n    \"rounds\": {}\n  }},\n  \"probabilistic\": {{\n    \"source\": \"{}\",\n    \"smape\": {eval_smape:.4},\n    \"pinball_q10\": {pinball_q10:.4},\n    \"pinball_q90\": {pinball_q90:.4},\n    \"coverage_80\": {coverage_80:.4},\n    \"coverage_95\": {coverage_95:.4}\n  }}\n}}\n",
         stats.hits,
         stats.misses,
         stats.extensions,
@@ -316,6 +442,11 @@ fn main() {
         cached.execution.fits_avoided,
         cached.execution.duplicate_fits,
         cached.execution.slice_bytes_avoided,
+        member_json.join(", "),
+        selection.score,
+        selection.best_single,
+        selection.rounds,
+        iv.source(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tdaub.json");
     std::fs::write(path, json).expect("write BENCH_tdaub.json");

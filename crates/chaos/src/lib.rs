@@ -4,7 +4,8 @@
 //! rather than surface them, and the only way to *prove* that is to misbehave
 //! on purpose. This crate provides a process-global, explicitly installed
 //! [`FaultPlan`] that production code consults at named injection points
-//! ("pipeline.fit", "cache.flatten", "executor.unit", ...). Each point asks
+//! ("pipeline.fit", "pipeline.predict", "predict.interval", "cache.flatten",
+//! "executor.unit", ...). Each point asks
 //! [`inject`] whether a fault fires; the answer is a **pure function** of the
 //! plan seed, the site name, and a caller-supplied key — never of thread
 //! identity, call order, or wall clock — so a seeded plan perturbs a serial

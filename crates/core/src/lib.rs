@@ -32,6 +32,11 @@ pub use orchestrator::{AutoAITS, AutoAITSConfig, DegradationLevel, FitSummary};
 pub use progress::{LogProgress, NoProgress, Progress, ProgressEvent};
 
 // Re-export the vocabulary types users need at the API boundary.
-pub use autoai_pipelines::{Forecaster, PipelineContext, PipelineError, PIPELINE_NAMES};
-pub use autoai_tdaub::{FailureKind, PipelineReport, TDaubConfig};
+pub use autoai_pipelines::{
+    ConformalCalibration, EnsembleForecaster, Forecaster, IntervalForecast, IntervalSource,
+    PipelineContext, PipelineError, DEFAULT_LEVELS, PIPELINE_NAMES,
+};
+pub use autoai_tdaub::{
+    EnsembleMember, EnsembleSelection, FailureKind, PipelineReport, TDaubConfig,
+};
 pub use autoai_tsdata::{Metric, TimeSeriesFrame};

@@ -6,10 +6,11 @@ use autoai_lookback::{
     discover_multivariate, discover_univariate, LookbackConfig, MultivariateMode,
 };
 use autoai_pipelines::{
-    default_pipelines, pipeline_by_name, Forecaster, PipelineContext, PipelineError,
-    ZeroModelPipeline,
+    default_pipelines, pipeline_by_name, predict_interval_or_conformal, ConformalCalibration,
+    EnsembleForecaster, Forecaster, IntervalForecast, IntervalSource, PipelineContext,
+    PipelineError, ZeroModelPipeline,
 };
-use autoai_tdaub::{run_tdaub, ExecutionReport, PipelineReport, TDaubConfig};
+use autoai_tdaub::{run_tdaub, EnsembleSelection, ExecutionReport, PipelineReport, TDaubConfig};
 use autoai_tsdata::{clean, holdout_split, quality_check, Metric, QualityReport, TimeSeriesFrame};
 
 use crate::progress::{NoProgress, Progress, ProgressEvent};
@@ -98,6 +99,12 @@ pub struct FitSummary {
     pub best_pipeline: String,
     /// SMAPE of the winner on the 20% holdout.
     pub holdout_smape: f64,
+    /// Greedy forward ensemble selection over the top T-Daub survivors:
+    /// member weights and contributions, when the survivor pool allowed a
+    /// selection to run. The ensemble serves forecasts only when its
+    /// holdout score is no worse than the single winner's — `best_pipeline`
+    /// starting with `Ensemble(` marks that case.
+    pub ensemble: Option<EnsembleSelection>,
     /// How far down the degradation ladder this fit landed.
     pub degradation: DegradationLevel,
     /// Total wall-clock seconds of the whole fit.
@@ -111,6 +118,9 @@ struct FittedState {
     n_series: usize,
     /// Per-series holdout residual standard deviation (interval width).
     residual_std: Vec<f64>,
+    /// Split-conformal calibration from the train-fitted winner's holdout
+    /// residuals; `None` when the winner could not predict the holdout.
+    conformal: Option<ConformalCalibration>,
 }
 
 /// The AutoAI-TS system: drop in data, get a trained forecaster.
@@ -281,95 +291,134 @@ impl AutoAITS {
         // T-Daub run with survivors serves the ranked winner (walking down
         // the ranking when the winner's final refit fails), and a run where
         // *everything* failed serves the ZeroModel baseline.
-        let (best, reports, execution, holdout_smape, residual_std, degradation) =
-            match run_tdaub(pipelines, &train, &tdaub_cfg) {
-                Ok(result) => {
-                    for failed in result.execution.failures() {
-                        self.progress.report(&ProgressEvent::PipelineExcluded {
-                            name: failed.name.clone(),
-                            reason: failed
-                                .failure
-                                .as_ref()
-                                .map(|k| k.to_string())
-                                .unwrap_or_default(),
-                        });
-                    }
-                    self.progress.report(&ProgressEvent::TDaubFinished {
-                        best: result.best.name(),
-                        evaluations: result.execution.total_allocations(),
-                        failures: result.execution.failures().count(),
+        let (
+            best,
+            reports,
+            execution,
+            holdout_smape,
+            residual_std,
+            conformal,
+            ensemble,
+            degradation,
+        ) = match run_tdaub(pipelines, &train, &tdaub_cfg) {
+            Ok(result) => {
+                for failed in result.execution.failures() {
+                    self.progress.report(&ProgressEvent::PipelineExcluded {
+                        name: failed.name.clone(),
+                        reason: failed
+                            .failure
+                            .as_ref()
+                            .map(|k| k.to_string())
+                            .unwrap_or_default(),
                     });
-
-                    let holdout_smape = result
-                        .best
-                        .score(&holdout, Metric::Smape)
-                        .unwrap_or(f64::INFINITY);
-                    self.progress.report(&ProgressEvent::HoldoutScored {
-                        smape: holdout_smape,
-                    });
-                    let residual_std = residual_spread(result.best.as_ref(), &holdout);
-
-                    let mut degradation = if result.execution.failures().next().is_some() {
-                        DegradationLevel::Survivors
-                    } else {
-                        DegradationLevel::None
-                    };
-                    // full-data retraining, panic-isolated; when the winner
-                    // fails its refit, the ranked runners-up each get one
-                    // rung before the ladder hits the baseline
-                    let mut best = result.best.clone_unfitted();
-                    if rung_fit(&mut best, &data).is_err() {
-                        degradation = DegradationLevel::Survivors;
-                        let runner_up = result.reports.iter().skip(1).find_map(|report| {
-                            let mut next = pipeline_by_name(&report.name, &ctx)?;
-                            rung_fit(&mut next, &data).ok().map(|()| next)
-                        });
-                        best = match runner_up {
-                            Some(b) => b,
-                            None => {
-                                degradation = DegradationLevel::ZeroModel;
-                                let mut zm: Box<dyn Forecaster> =
-                                    Box::new(ZeroModelPipeline::new());
-                                zm.fit(&data)?;
-                                zm
-                            }
-                        };
-                    }
-                    (
-                        best,
-                        result.reports,
-                        result.execution,
-                        holdout_smape,
-                        residual_std,
-                        degradation,
-                    )
                 }
-                Err(_) => {
-                    // every pipeline failed during ranking; the system must
-                    // still forecast. Score the baseline honestly (fit on
-                    // the training split, scored on the holdout) and serve
-                    // a full-data ZeroModel.
-                    let mut scored = ZeroModelPipeline::new();
-                    scored.fit(&train)?;
-                    let holdout_smape = scored
-                        .score(&holdout, Metric::Smape)
-                        .unwrap_or(f64::INFINITY);
-                    self.progress.report(&ProgressEvent::HoldoutScored {
-                        smape: holdout_smape,
+                self.progress.report(&ProgressEvent::TDaubFinished {
+                    best: result.best.name(),
+                    evaluations: result.execution.total_allocations(),
+                    failures: result.execution.failures().count(),
+                });
+
+                let mut holdout_smape = result
+                    .best
+                    .score(&holdout, Metric::Smape)
+                    .unwrap_or(f64::INFINITY);
+                self.progress.report(&ProgressEvent::HoldoutScored {
+                    smape: holdout_smape,
+                });
+                let mut residual_std = residual_spread(result.best.as_ref(), &holdout);
+                // calibrate the conformal wrap while the winner is still
+                // the *train*-fitted state (split conformal needs the
+                // holdout untouched by the serving fit)
+                let mut conformal = ConformalCalibration::calibrate(result.best.as_ref(), &holdout);
+                let ensemble = result.ensemble.clone();
+
+                let mut degradation = if result.execution.failures().next().is_some() {
+                    DegradationLevel::Survivors
+                } else {
+                    DegradationLevel::None
+                };
+                // the greedy-selected ensemble gets first claim on the
+                // serving slot; it is kept only when its own holdout
+                // score is no worse than the single winner's
+                let promoted = ensemble
+                    .as_ref()
+                    .filter(|sel| sel.members.len() >= 2)
+                    .and_then(|sel| {
+                        fit_ensemble_winner(sel, &ctx, &train, &holdout, &data, holdout_smape)
                     });
-                    let residual_std = residual_spread(&scored, &holdout);
-                    let mut best: Box<dyn Forecaster> = Box::new(ZeroModelPipeline::new());
-                    best.fit(&data)?;
-                    (
-                        best,
-                        Vec::new(),
-                        ExecutionReport::default(),
-                        holdout_smape,
-                        residual_std,
-                        DegradationLevel::ZeroModel,
-                    )
-                }
-            };
+                let best = match promoted {
+                    Some(promo) => {
+                        holdout_smape = promo.holdout_smape;
+                        residual_std = promo.residual_std;
+                        conformal = promo.conformal;
+                        promo.forecaster
+                    }
+                    None => {
+                        // full-data retraining, panic-isolated; when the
+                        // winner fails its refit, the ranked runners-up
+                        // each get one rung before the ladder hits the
+                        // baseline
+                        let mut best = result.best.clone_unfitted();
+                        if rung_fit(&mut best, &data).is_err() {
+                            degradation = DegradationLevel::Survivors;
+                            let runner_up = result.reports.iter().skip(1).find_map(|report| {
+                                let mut next = pipeline_by_name(&report.name, &ctx)?;
+                                rung_fit(&mut next, &data).ok().map(|()| next)
+                            });
+                            best = match runner_up {
+                                Some(b) => b,
+                                None => {
+                                    degradation = DegradationLevel::ZeroModel;
+                                    let mut zm: Box<dyn Forecaster> =
+                                        Box::new(ZeroModelPipeline::new());
+                                    zm.fit(&data)?;
+                                    zm
+                                }
+                            };
+                        }
+                        best
+                    }
+                };
+                (
+                    best,
+                    result.reports,
+                    result.execution,
+                    holdout_smape,
+                    residual_std,
+                    conformal,
+                    ensemble,
+                    degradation,
+                )
+            }
+            Err(_) => {
+                // every pipeline failed during ranking; the system must
+                // still forecast. Score the baseline honestly (fit on
+                // the training split, scored on the holdout) and serve
+                // a full-data ZeroModel.
+                let mut scored = ZeroModelPipeline::new();
+                scored.fit(&train)?;
+                let holdout_smape = scored
+                    .score(&holdout, Metric::Smape)
+                    .unwrap_or(f64::INFINITY);
+                self.progress.report(&ProgressEvent::HoldoutScored {
+                    smape: holdout_smape,
+                });
+                let residual_std = residual_spread(&scored, &holdout);
+                let conformal = ConformalCalibration::calibrate(&scored, &holdout);
+                let mut best: Box<dyn Forecaster> = Box::new(ZeroModelPipeline::new());
+                best.fit(&data)?;
+                (
+                    best,
+                    Vec::new(),
+                    ExecutionReport::default(),
+                    holdout_smape,
+                    residual_std,
+                    conformal,
+                    None,
+                    DegradationLevel::ZeroModel,
+                )
+            }
+        };
         if degradation != DegradationLevel::None {
             self.progress
                 .report(&ProgressEvent::Degraded { level: degradation });
@@ -384,6 +433,7 @@ impl AutoAITS {
             reports,
             execution,
             holdout_smape,
+            ensemble,
             degradation,
             fit_seconds: started.elapsed().as_secs_f64(),
         };
@@ -393,6 +443,7 @@ impl AutoAITS {
             summary,
             n_series: data.n_series(),
             residual_std,
+            conformal,
         });
         Ok(self)
     }
@@ -436,6 +487,34 @@ impl AutoAITS {
         Ok(out)
     }
 
+    /// Forecast with monotone, non-crossing quantile bands at the requested
+    /// confidence `levels` (e.g. `&[0.80, 0.95]`). The interval ladder
+    /// mirrors the point-forecast degradation ladder: the winner's native
+    /// analytic band, then the split-conformal wrap calibrated on the
+    /// holdout residuals, and finally the ZeroModel baseline's analytic
+    /// random-walk band (labeled [`IntervalSource::Baseline`]). A fitted
+    /// system therefore always produces calibrated bands.
+    pub fn predict_interval(
+        &self,
+        horizon: usize,
+        levels: &[f64],
+    ) -> Result<IntervalForecast, PipelineError> {
+        let state = self.state.as_ref().ok_or(PipelineError::NotFitted)?;
+        let horizon = horizon.max(1);
+        match predict_interval_or_conformal(
+            state.best.as_ref(),
+            horizon,
+            levels,
+            state.conformal.as_ref(),
+        ) {
+            Ok(iv) => Ok(iv),
+            Err(_) => state
+                .zero_model
+                .predict_interval(horizon, levels)
+                .map(|iv| iv.with_source(IntervalSource::Baseline)),
+        }
+    }
+
     /// The Zero Model baseline forecast (available as soon as `fit` starts
     /// doing real work; exposed for comparison and fallbacks).
     pub fn predict_zero_model(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
@@ -472,6 +551,54 @@ fn rung_fit(
             "pipeline panicked during final refit".into(),
         )),
     }
+}
+
+/// A promoted ensemble winner, ready to serve.
+struct PromotedEnsemble {
+    forecaster: Box<dyn Forecaster>,
+    holdout_smape: f64,
+    residual_std: Vec<f64>,
+    conformal: Option<ConformalCalibration>,
+}
+
+/// Try to promote the greedy-selected ensemble to the serving slot: rebuild
+/// the selected members unfitted, fit the ensemble on the training split,
+/// and keep it only when its holdout SMAPE is no worse than the single
+/// winner's. The promoted forecaster is refit on the full data behind the
+/// same panic isolation as the single-winner path; any failure along the
+/// way simply yields `None` and the single winner serves instead.
+fn fit_ensemble_winner(
+    selection: &EnsembleSelection,
+    ctx: &PipelineContext,
+    train: &TimeSeriesFrame,
+    holdout: &TimeSeriesFrame,
+    data: &TimeSeriesFrame,
+    single_smape: f64,
+) -> Option<PromotedEnsemble> {
+    let members: Vec<(Box<dyn Forecaster>, f64)> = selection
+        .members
+        .iter()
+        .filter_map(|m| pipeline_by_name(&m.name, ctx).map(|p| (p, m.weight)))
+        .collect();
+    if members.len() != selection.members.len() {
+        return None;
+    }
+    let mut ens: Box<dyn Forecaster> = Box::new(EnsembleForecaster::new(members).ok()?);
+    rung_fit(&mut ens, train).ok()?;
+    let smape = ens.score(holdout, Metric::Smape).unwrap_or(f64::INFINITY);
+    if !smape.is_finite() || smape > single_smape {
+        return None;
+    }
+    let residual_std = residual_spread(ens.as_ref(), holdout);
+    let conformal = ConformalCalibration::calibrate(ens.as_ref(), holdout);
+    let mut full = ens.clone_unfitted();
+    rung_fit(&mut full, data).ok()?;
+    Some(PromotedEnsemble {
+        forecaster: full,
+        holdout_smape: smape,
+        residual_std,
+        conformal,
+    })
 }
 
 /// Per-series holdout residual standard deviation (prediction-interval
@@ -639,6 +766,48 @@ mod tests {
     }
 
     #[test]
+    fn ensemble_selection_surfaces_in_summary() {
+        let rows: Vec<Vec<f64>> = (0..320)
+            .map(|i| {
+                vec![
+                    25.0 + 6.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin()
+                        + 0.02 * i as f64,
+                ]
+            })
+            .collect();
+        let mut sys = AutoAITS::with_config(fast_config());
+        sys.fit_rows(&rows).unwrap();
+        let summary = sys.summary().unwrap();
+        let sel = summary
+            .ensemble
+            .as_ref()
+            .expect("default config runs ensemble selection over 3 survivors");
+        assert!(!sel.members.is_empty());
+        let total: f64 = sel.members.iter().map(|m| m.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9, "weights sum to {total}");
+        assert!(
+            sel.score <= sel.best_single,
+            "ensemble {} worse than best single {}",
+            sel.score,
+            sel.best_single
+        );
+        // whether or not the ensemble serves, the system still forecasts
+        assert_eq!(sys.predict_rows(6).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn disabling_ensembling_still_fits_and_reports_none() {
+        let mut cfg = fast_config();
+        cfg.tdaub.ensemble_top_k = 0;
+        let mut sys = AutoAITS::with_config(cfg);
+        sys.fit_rows(&seasonal_rows(300)).unwrap();
+        let summary = sys.summary().unwrap();
+        assert!(summary.ensemble.is_none());
+        assert!(!summary.best_pipeline.starts_with("Ensemble("));
+        assert!(sys.predict_interval(4, &[0.9]).is_ok());
+    }
+
+    #[test]
     fn horizon_sweep_6_to_30() {
         // the paper's experimental grid: horizon 6..30 step 6
         let rows = seasonal_rows(400);
@@ -682,5 +851,29 @@ mod interval_tests {
     fn interval_before_fit_errors() {
         let sys = AutoAITS::new();
         assert!(sys.predict_with_interval(3, 2.0).is_err());
+        assert!(sys.predict_interval(3, &[0.8, 0.95]).is_err());
+    }
+
+    #[test]
+    fn quantile_bands_always_available_after_fit() {
+        let rows: Vec<Vec<f64>> = (0..300)
+            .map(|i| vec![20.0 + 5.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin()])
+            .collect();
+        let mut sys = AutoAITS::with_config(AutoAITSConfig {
+            pipeline_names: Some(vec!["MT2RForecaster".into(), "ZeroModel".into()]),
+            ..Default::default()
+        });
+        sys.fit_rows(&rows).unwrap();
+        // the constructor validates finiteness, bracketing, and nesting;
+        // getting an IntervalForecast back at all is most of the assertion
+        let iv = sys.predict_interval(6, &[0.8, 0.95]).unwrap();
+        assert_eq!(iv.horizon(), 6);
+        assert_eq!(iv.n_series(), 1);
+        assert_eq!(iv.levels(), &[0.8, 0.95]);
+        // the point forecast matches the plain predict path
+        let point = sys.predict(6).unwrap();
+        for (a, b) in iv.point().series(0).iter().zip(point.series(0).iter()) {
+            assert!((a - b).abs() < 1e-9, "interval point diverges: {a} vs {b}");
+        }
     }
 }

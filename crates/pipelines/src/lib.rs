@@ -19,19 +19,26 @@
 
 pub mod caching;
 pub mod ensemble;
+pub mod interval;
 pub mod registry;
 pub mod stat_pipelines;
 pub mod traits;
+pub mod weighted_ensemble;
 pub mod window_pipeline;
 
 pub use caching::{cached_flatten, cached_frame_op, cached_localized_flatten};
 pub use ensemble::{AutoEnsembler, EnsembleMode};
+pub use interval::{
+    predict_interval_or_conformal, ConformalCalibration, IntervalForecast, IntervalSource,
+    DEFAULT_LEVELS,
+};
 pub use registry::{
     default_pipelines, extended_pipelines, pipeline_by_name, PipelineContext, PIPELINE_NAMES,
 };
 pub use stat_pipelines::{
-    ArPipeline, ArimaPipeline, BatsPipeline, HoltWintersPipeline, Mt2rForecaster, NeuralPipeline,
-    SeasonalNaivePipeline, ThetaPipeline, ZeroModelPipeline,
+    ArPipeline, ArimaPipeline, BatsPipeline, GarchPipeline, HoltWintersPipeline, Mt2rForecaster,
+    NeuralPipeline, SeasonalNaivePipeline, ThetaPipeline, ZeroModelPipeline,
 };
 pub use traits::{Forecaster, PipelineError};
+pub use weighted_ensemble::EnsembleForecaster;
 pub use window_pipeline::WindowRegressorPipeline;

@@ -4,8 +4,8 @@
 
 use crate::ensemble::AutoEnsembler;
 use crate::stat_pipelines::{
-    ArPipeline, ArimaPipeline, BatsPipeline, HoltWintersPipeline, Mt2rForecaster, NeuralPipeline,
-    SeasonalNaivePipeline, ThetaPipeline, ZeroModelPipeline,
+    ArPipeline, ArimaPipeline, BatsPipeline, GarchPipeline, HoltWintersPipeline, Mt2rForecaster,
+    NeuralPipeline, SeasonalNaivePipeline, ThetaPipeline, ZeroModelPipeline,
 };
 use crate::traits::Forecaster;
 use crate::window_pipeline::WindowRegressorPipeline;
@@ -91,6 +91,7 @@ pub fn pipeline_by_name(name: &str, ctx: &PipelineContext) -> Option<Box<dyn For
         "Theta" => Box::new(ThetaPipeline::new()),
         "NeuralWindow" => Box::new(NeuralPipeline::new(lb, h)),
         "AR" => Box::new(ArPipeline::new(lb.clamp(1, 8))),
+        "Garch" => Box::new(GarchPipeline::new()),
         "SeasonalNaive" => Box::new(SeasonalNaivePipeline::new(if m >= 2 { m } else { lb })),
         _ => return None,
     };
@@ -105,6 +106,7 @@ pub fn extended_pipelines(ctx: &PipelineContext) -> Vec<Box<dyn Forecaster>> {
     out.push(Box::new(ThetaPipeline::new()));
     out.push(Box::new(NeuralPipeline::new(ctx.lookback, ctx.horizon)));
     out.push(Box::new(ArPipeline::new(ctx.lookback.clamp(1, 8))));
+    out.push(Box::new(GarchPipeline::new()));
     out.push(Box::new(SeasonalNaivePipeline::new(
         ctx.primary_period().max(ctx.lookback),
     )));
@@ -173,6 +175,7 @@ mod tests {
             "NeuralWindow",
             "FlattenAutoEnsembler",
             "AR",
+            "Garch",
             "SeasonalNaive",
         ] {
             assert!(pipeline_by_name(name, &ctx).is_some(), "missing {name}");

@@ -5,15 +5,16 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use autoai_ml_models::{LinearRegression, MultiOutputRegressor};
-use autoai_neural::{Mlp, MlpConfig};
+use autoai_neural::{Loss, Mlp, MlpConfig};
 use autoai_stat_models::{
-    auto_arima_seeded_with_deadline, auto_arima_with_deadline, Arima, Bats, BatsConfig,
+    auto_arima_seeded_with_deadline, auto_arima_with_deadline, Arima, Bats, BatsConfig, Garch,
     HoltWinters, IncrementalAr, SeasonalNaive, Seasonality, ThetaModel, ZeroModel,
 };
 use autoai_transforms::{latest_window, TransformCache};
 use autoai_tsdata::{FrameFingerprint, TimeSeriesFrame};
 
 use crate::caching::cached_flatten;
+use crate::interval::{IntervalForecast, IntervalSource};
 use crate::traits::{Forecaster, PipelineError};
 
 fn forecast_frame(names: &[String], forecasts: Vec<Vec<f64>>) -> TimeSeriesFrame {
@@ -72,6 +73,61 @@ fn chaos_predict_gate(pipeline: &str, horizon: usize, n_series: usize) -> Option
         }
         _ => None,
     }
+}
+
+/// Deterministic chaos gate in `predict_interval`, keyed on name and
+/// horizon like [`chaos_predict_gate`]. `Ok(true)` is a NaN-forecast draw:
+/// the caller must poison its variance path so [`IntervalForecast`]
+/// validation rejects the band and the interval ladder degrades to the
+/// conformal fallback. [`ZeroModelPipeline`] deliberately has no gate — its
+/// intervals are the ladder's floor.
+fn chaos_interval_gate(pipeline: &str, horizon: usize) -> Result<bool, PipelineError> {
+    if !autoai_chaos::enabled() {
+        return Ok(false);
+    }
+    let k = autoai_chaos::key(pipeline) ^ (horizon as u64);
+    match autoai_chaos::inject("predict.interval", k) {
+        Some(autoai_chaos::Fault::Panic) => {
+            // tscheck:allow(panic): deliberate chaos fault injection exercising the interval ladder's panic isolation
+            panic!("chaos: injected panic in {pipeline} predict_interval at horizon {horizon}")
+        }
+        Some(autoai_chaos::Fault::TypedError) => Err(PipelineError::InvalidInput(format!(
+            "chaos: injected interval error in {pipeline}"
+        ))),
+        Some(autoai_chaos::Fault::NanForecast) => Ok(true),
+        Some(autoai_chaos::Fault::Delay(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            Ok(false)
+        }
+        None => Ok(false),
+    }
+}
+
+/// Assemble Gaussian bands for a per-series statistical pipeline from point
+/// forecasts and forecast variances. `poison` (a chaos NaN draw) corrupts
+/// the deviation path, which [`IntervalForecast`] validation rejects with a
+/// typed error.
+fn native_gaussian_interval(
+    names: &[String],
+    forecasts: Vec<Vec<f64>>,
+    variances: Vec<Vec<f64>>,
+    poison: bool,
+    levels: &[f64],
+) -> Result<IntervalForecast, PipelineError> {
+    let std: Vec<Vec<f64>> = variances
+        .into_iter()
+        .map(|vs| {
+            vs.into_iter()
+                .map(|v| if poison { f64::NAN } else { v.max(0.0).sqrt() })
+                .collect()
+        })
+        .collect();
+    IntervalForecast::from_gaussian(
+        forecast_frame(names, forecasts),
+        levels,
+        &std,
+        IntervalSource::Native,
+    )
 }
 
 /// The Zero Model as a pipeline: repeat each series' last value (§4).
@@ -134,6 +190,28 @@ impl Forecaster for ZeroModelPipeline {
             &self.names,
             self.models.iter().map(|m| m.forecast(horizon)).collect(),
         ))
+    }
+
+    fn predict_interval(
+        &self,
+        horizon: usize,
+        levels: &[f64],
+    ) -> Result<IntervalForecast, PipelineError> {
+        if self.models.is_empty() {
+            return Err(PipelineError::NotFitted);
+        }
+        // no chaos gate: Zero-Model random-walk bands are the interval
+        // degradation ladder's always-finite floor
+        native_gaussian_interval(
+            &self.names,
+            self.models.iter().map(|m| m.forecast(horizon)).collect(),
+            self.models
+                .iter()
+                .map(|m| m.forecast_variance(horizon))
+                .collect(),
+            false,
+            levels,
+        )
     }
 
     fn name(&self) -> String {
@@ -311,6 +389,27 @@ impl Forecaster for ArPipeline {
         ))
     }
 
+    fn predict_interval(
+        &self,
+        horizon: usize,
+        levels: &[f64],
+    ) -> Result<IntervalForecast, PipelineError> {
+        if self.models.is_empty() {
+            return Err(PipelineError::NotFitted);
+        }
+        let poison = chaos_interval_gate("AR", horizon)?;
+        native_gaussian_interval(
+            &self.names,
+            self.models.iter().map(|m| m.forecast(horizon)).collect(),
+            self.models
+                .iter()
+                .map(|m| m.forecast_variance(horizon))
+                .collect(),
+            poison,
+            levels,
+        )
+    }
+
     fn name(&self) -> String {
         "AR".into()
     }
@@ -439,6 +538,27 @@ impl Forecaster for ArimaPipeline {
             &self.names,
             self.models.iter().map(|m| m.forecast(horizon)).collect(),
         ))
+    }
+
+    fn predict_interval(
+        &self,
+        horizon: usize,
+        levels: &[f64],
+    ) -> Result<IntervalForecast, PipelineError> {
+        if self.models.is_empty() {
+            return Err(PipelineError::NotFitted);
+        }
+        let poison = chaos_interval_gate("Arima", horizon)?;
+        native_gaussian_interval(
+            &self.names,
+            self.models.iter().map(|m| m.forecast(horizon)).collect(),
+            self.models
+                .iter()
+                .map(|m| m.forecast_variance(horizon))
+                .collect(),
+            poison,
+            levels,
+        )
     }
 
     fn name(&self) -> String {
@@ -618,6 +738,27 @@ impl Forecaster for HoltWintersPipeline {
         ))
     }
 
+    fn predict_interval(
+        &self,
+        horizon: usize,
+        levels: &[f64],
+    ) -> Result<IntervalForecast, PipelineError> {
+        if self.models.is_empty() {
+            return Err(PipelineError::NotFitted);
+        }
+        let poison = chaos_interval_gate(&self.name(), horizon)?;
+        native_gaussian_interval(
+            &self.names,
+            self.models.iter().map(|m| m.forecast(horizon)).collect(),
+            self.models
+                .iter()
+                .map(|m| m.forecast_variance(horizon))
+                .collect(),
+            poison,
+            levels,
+        )
+    }
+
     fn name(&self) -> String {
         match self.seasonality {
             Seasonality::Multiplicative(_) => "HW-Multiplicative".into(),
@@ -765,6 +906,122 @@ impl Forecaster for ThetaPipeline {
     }
 }
 
+/// GARCH(1,1) conditional-volatility pipeline (extension, the paper's §6
+/// "high volatility models" future-work item): each series is modeled as a
+/// random walk with drift whose increments follow a GARCH(1,1) variance
+/// process. Point forecasts extrapolate the drift; intervals widen with the
+/// conditional variance forecast, making this the only pool member whose
+/// bands react to volatility clustering.
+pub struct GarchPipeline {
+    models: Vec<Garch>,
+    lasts: Vec<f64>,
+    names: Vec<String>,
+}
+
+impl GarchPipeline {
+    /// New unfitted pipeline.
+    pub fn new() -> Self {
+        Self {
+            models: Vec::new(),
+            lasts: Vec::new(),
+            names: Vec::new(),
+        }
+    }
+}
+
+impl Default for GarchPipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Forecaster for GarchPipeline {
+    fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
+        chaos_fit_gate("Garch", frame.len())?;
+        self.models.clear();
+        self.lasts.clear();
+        self.names = frame.names().to_vec();
+        for c in 0..frame.n_series() {
+            let s = frame.series(c);
+            let diffs: Vec<f64> = s.windows(2).map(|w| w[1] - w[0]).collect();
+            let m = Garch::fit(&diffs).map_err(|e| PipelineError::Fit(e.message))?;
+            let last = s
+                .last()
+                .copied()
+                .ok_or_else(|| PipelineError::InvalidInput("empty series".into()))?;
+            self.models.push(m);
+            self.lasts.push(last);
+        }
+        if self.models.is_empty() {
+            return Err(PipelineError::InvalidInput("empty frame".into()));
+        }
+        Ok(())
+    }
+
+    fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
+        if self.models.is_empty() {
+            return Err(PipelineError::NotFitted);
+        }
+        if let Some(poisoned) = chaos_predict_gate("Garch", horizon, self.models.len()) {
+            return Ok(poisoned);
+        }
+        Ok(forecast_frame(
+            &self.names,
+            self.models
+                .iter()
+                .zip(self.lasts.iter())
+                .map(|(m, last)| (1..=horizon).map(|h| last + m.mu * h as f64).collect())
+                .collect(),
+        ))
+    }
+
+    fn predict_interval(
+        &self,
+        horizon: usize,
+        levels: &[f64],
+    ) -> Result<IntervalForecast, PipelineError> {
+        if self.models.is_empty() {
+            return Err(PipelineError::NotFitted);
+        }
+        let poison = chaos_interval_gate("Garch", horizon)?;
+        // variance of the h-step level forecast is the accumulated
+        // conditional variance of the h increments
+        let variances: Vec<Vec<f64>> = self
+            .models
+            .iter()
+            .map(|m| {
+                let mut acc = 0.0;
+                m.forecast_variance(horizon)
+                    .into_iter()
+                    .map(|v| {
+                        acc += v.max(0.0);
+                        acc
+                    })
+                    .collect()
+            })
+            .collect();
+        native_gaussian_interval(
+            &self.names,
+            self.models
+                .iter()
+                .zip(self.lasts.iter())
+                .map(|(m, last)| (1..=horizon).map(|h| last + m.mu * h as f64).collect())
+                .collect(),
+            variances,
+            poison,
+            levels,
+        )
+    }
+
+    fn name(&self) -> String {
+        "Garch".into()
+    }
+
+    fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+        Box::new(Self::new())
+    }
+}
+
 /// MT2RForecaster: multi-target regression — a single direct multi-output
 /// linear regression over flattened look-back windows. The fastest ML
 /// pipeline in Table 6 (sub-second on every dataset) and a strong baseline
@@ -867,6 +1124,10 @@ pub struct NeuralPipeline {
     pub horizon: usize,
     config: MlpConfig,
     model: Option<Mlp>,
+    /// Gaussian-NLL head: a second MLP trained with heteroscedastic loss;
+    /// only its dispersion output is used, the point forecast stays the
+    /// MSE model's.
+    nll: Option<Mlp>,
     train_tail: Option<TimeSeriesFrame>,
     names: Vec<String>,
     cache: Option<Arc<TransformCache>>,
@@ -883,6 +1144,7 @@ impl NeuralPipeline {
                 ..Default::default()
             },
             model: None,
+            nll: None,
             train_tail: None,
             names: Vec::new(),
             cache: None,
@@ -905,6 +1167,17 @@ impl Forecaster for NeuralPipeline {
         mlp.fit(&ds.x, &ds.y)
             .map_err(|e| PipelineError::Fit(e.message))?;
         self.model = Some(mlp);
+        // uncertainty head at reduced epochs; a failed head is not fatal —
+        // predict_interval errors and the caller conformal-wraps instead
+        let mut nll = Mlp::new(MlpConfig {
+            loss: Loss::GaussianNll,
+            epochs: (self.config.epochs / 2).max(10),
+            ..self.config.clone()
+        });
+        self.nll = match nll.fit(&ds.x, &ds.y) {
+            Ok(()) => Some(nll),
+            Err(_) => None,
+        };
         self.train_tail = Some(frame.tail(self.lookback + self.horizon));
         Ok(())
     }
@@ -931,6 +1204,56 @@ impl Forecaster for NeuralPipeline {
             produced += take;
         }
         Ok(forecast_frame(&self.names, out))
+    }
+
+    fn predict_interval(
+        &self,
+        horizon: usize,
+        levels: &[f64],
+    ) -> Result<IntervalForecast, PipelineError> {
+        let model = self.model.as_ref().ok_or(PipelineError::NotFitted)?;
+        let tail = self.train_tail.as_ref().ok_or(PipelineError::NotFitted)?;
+        let nll = self
+            .nll
+            .as_ref()
+            .ok_or_else(|| PipelineError::InvalidInput("Gaussian-NLL head unavailable".into()))?;
+        let poison = chaos_interval_gate("NeuralWindow", horizon)?;
+        let n_series = tail.n_series();
+        // same recursion as `predict` for the point path; the NLL head runs
+        // on the identical features and contributes only the dispersion
+        let mut work = tail.clone();
+        let mut out: Vec<Vec<f64>> = vec![Vec::with_capacity(horizon); n_series];
+        let mut stds: Vec<Vec<f64>> = vec![Vec::with_capacity(horizon); n_series];
+        let mut produced = 0usize;
+        while produced < horizon {
+            let features = latest_window(&work, self.lookback)
+                .ok_or_else(|| PipelineError::InvalidInput("window unavailable".into()))?;
+            let pred = model.predict_row(&features);
+            let dist = nll.predict_distribution(&features);
+            let take = self.horizon.min(horizon - produced);
+            let mut cols: Vec<Vec<f64>> = Vec::with_capacity(n_series);
+            for c in 0..n_series {
+                let seg = &pred[c * self.horizon..(c + 1) * self.horizon];
+                out[c].extend_from_slice(&seg[..take]);
+                let dseg = &dist[c * self.horizon..(c + 1) * self.horizon];
+                stds[c].extend(dseg.iter().take(take).map(|(_, sd)| {
+                    if poison {
+                        f64::NAN
+                    } else {
+                        sd.abs()
+                    }
+                }));
+                cols.push(seg.to_vec());
+            }
+            work.append(&TimeSeriesFrame::from_columns(cols));
+            produced += take;
+        }
+        IntervalForecast::from_gaussian(
+            forecast_frame(&self.names, out),
+            levels,
+            &stds,
+            IntervalSource::Native,
+        )
     }
 
     fn name(&self) -> String {
@@ -1245,5 +1568,113 @@ mod tests {
             .collect();
         let smape = autoai_tsdata::smape(&truth, f.series(0));
         assert!(smape < 10.0, "AR smape {smape}");
+    }
+
+    fn noisy_frame(n: usize) -> TimeSeriesFrame {
+        // deterministic pseudo-noise so interval widths are non-degenerate
+        TimeSeriesFrame::univariate(
+            (0..n)
+                .map(|i| 50.0 + (i as f64 * 0.7).sin() * 3.0 + ((i * 7919) % 13) as f64 * 0.3)
+                .collect(),
+        )
+    }
+
+    fn assert_native_bands(p: &dyn Forecaster, horizon: usize) {
+        let iv = p
+            .predict_interval(horizon, &crate::interval::DEFAULT_LEVELS)
+            .unwrap();
+        assert_eq!(iv.horizon(), horizon);
+        assert_eq!(iv.source(), IntervalSource::Native);
+        let point = p.predict(horizon).unwrap();
+        // interval point path matches the plain forecast
+        for (a, b) in iv.point().series(0).iter().zip(point.series(0)) {
+            assert!((a - b).abs() < 1e-9, "interval point {a} != predict {b}");
+        }
+        let (lo80, _) = iv.band(0).unwrap();
+        let (lo95, hi95) = iv.band(1).unwrap();
+        // wider level is wider, and everything is finite (constructor
+        // guarantees bracketing/nesting, spot-check anyway)
+        for t in 0..horizon {
+            assert!(lo95.series(0)[t] <= lo80.series(0)[t]);
+            assert!(hi95.series(0)[t].is_finite());
+        }
+    }
+
+    #[test]
+    fn zero_model_interval_widens_with_horizon() {
+        let mut p = ZeroModelPipeline::new();
+        p.fit(&noisy_frame(100)).unwrap();
+        assert_native_bands(&p, 8);
+        let iv = p.predict_interval(8, &[0.9]).unwrap();
+        let (lo, hi) = iv.band(0).unwrap();
+        let w1 = hi.series(0)[0] - lo.series(0)[0];
+        let w8 = hi.series(0)[7] - lo.series(0)[7];
+        assert!(w1 > 0.0, "degenerate first-step width");
+        assert!(w8 > w1, "random-walk bands must widen: {w1} vs {w8}");
+    }
+
+    #[test]
+    fn ar_and_hw_intervals_are_native_and_nested() {
+        let mut ar = ArPipeline::new(6);
+        ar.fit(&noisy_frame(200)).unwrap();
+        assert_native_bands(&ar, 10);
+
+        let mut hw = HoltWintersPipeline::additive(12);
+        hw.fit(&seasonal_frame(120)).unwrap();
+        assert_native_bands(&hw, 12);
+    }
+
+    #[test]
+    fn arima_interval_is_native_and_nested() {
+        let mut p = ArimaPipeline::new(0);
+        p.fit(&noisy_frame(150)).unwrap();
+        assert_native_bands(&p, 6);
+    }
+
+    #[test]
+    fn garch_pipeline_fits_and_bands_widen() {
+        let mut p = GarchPipeline::new();
+        p.fit(&noisy_frame(120)).unwrap();
+        assert_native_bands(&p, 8);
+        let iv = p.predict_interval(8, &[0.9]).unwrap();
+        let (lo, hi) = iv.band(0).unwrap();
+        let w1 = hi.series(0)[0] - lo.series(0)[0];
+        let w8 = hi.series(0)[7] - lo.series(0)[7];
+        assert!(w8 > w1, "accumulated GARCH variance must widen bands");
+    }
+
+    #[test]
+    fn garch_pipeline_rejects_short_series() {
+        let mut p = GarchPipeline::new();
+        assert!(p
+            .fit(&TimeSeriesFrame::univariate(
+                (0..10).map(|i| i as f64).collect()
+            ))
+            .is_err());
+    }
+
+    #[test]
+    fn neural_pipeline_interval_uses_nll_head() {
+        let mut p = NeuralPipeline::new(12, 4);
+        p.fit(&seasonal_frame(300)).unwrap();
+        let iv = p
+            .predict_interval(6, &crate::interval::DEFAULT_LEVELS)
+            .unwrap();
+        assert_eq!(iv.source(), IntervalSource::Native);
+        assert_eq!(iv.horizon(), 6);
+        let (lo, hi) = iv.band(1).unwrap();
+        for t in 0..6 {
+            assert!(lo.series(0)[t].is_finite() && hi.series(0)[t].is_finite());
+            assert!(lo.series(0)[t] <= hi.series(0)[t]);
+        }
+    }
+
+    #[test]
+    fn interval_before_fit_errors() {
+        assert!(ZeroModelPipeline::new()
+            .predict_interval(3, &[0.8])
+            .is_err());
+        assert!(GarchPipeline::new().predict_interval(3, &[0.8]).is_err());
+        assert!(ArPipeline::new(2).predict_interval(3, &[0.8]).is_err());
     }
 }

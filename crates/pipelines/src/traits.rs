@@ -106,6 +106,23 @@ pub trait Forecaster: Send + Sync {
         Ok(false)
     }
 
+    /// Forecast the next `horizon` rows together with central prediction
+    /// intervals at the given coverage `levels` (each in (0, 1), strictly
+    /// ascending). Pipelines with a native uncertainty model (residual
+    /// variance recursions, GARCH conditional variance, a Gaussian-NLL
+    /// neural head) override this; the default refuses, signalling the
+    /// caller to wrap the point forecast with the split-conformal fallback
+    /// (`predict_interval_or_conformal` in the `interval` module).
+    fn predict_interval(
+        &self,
+        _horizon: usize,
+        _levels: &[f64],
+    ) -> Result<crate::interval::IntervalForecast, PipelineError> {
+        Err(PipelineError::InvalidInput(
+            "no native interval implementation".into(),
+        ))
+    }
+
     /// Score against a holdout frame that immediately follows the training
     /// data. Default: forecast `test.len()` rows and average the metric
     /// across series. Lower-is-better metrics return their value directly;

@@ -455,6 +455,67 @@ impl Arima {
     pub fn resid_std(&self) -> f64 {
         self.sigma2.sqrt()
     }
+
+    /// Variance of the h-step-ahead forecast for `h = 1..=horizon`, via the
+    /// psi-weight (MA(∞)) representation of the fitted, fully integrated
+    /// model. The stationary ARMA psi weights (`ψ_0 = 1`,
+    /// `ψ_j = θ_j + Σ_l φ_l ψ_{j−l}` over the sparse seasonal lag sets) are
+    /// pushed through the regular (`d` prefix sums) and seasonal (`D`
+    /// lag-`m` sums) integration operators, giving
+    /// `var(h) = σ² Σ_{j<h} ψ_j²` on the original scale.
+    pub fn forecast_variance(&self, horizon: usize) -> Vec<f64> {
+        if horizon == 0 {
+            return Vec::new();
+        }
+        let mut psi = vec![0.0f64; horizon];
+        if let Some(first) = psi.first_mut() {
+            *first = 1.0;
+        }
+        for j in 1..horizon {
+            let mut v = 0.0;
+            for (&l, &c) in self.ma_lags.iter().zip(&self.ma_coefs) {
+                if l == j {
+                    v += c;
+                }
+            }
+            for (&l, &c) in self.ar_lags.iter().zip(&self.ar_coefs) {
+                if let Some(&prev) = j.checked_sub(l).and_then(|i| psi.get(i)) {
+                    v += c * prev;
+                }
+            }
+            if let Some(slot) = psi.get_mut(j) {
+                *slot = v;
+            }
+        }
+        // integrate: each regular difference turns psi into its prefix sums
+        for _ in 0..self.spec.d {
+            let mut acc = 0.0;
+            for p in psi.iter_mut() {
+                acc += *p;
+                *p = acc;
+            }
+        }
+        // each seasonal difference adds the weight from one period earlier
+        if let Some(s) = self.spec.seasonal {
+            if s.m >= 1 {
+                for _ in 0..s.d {
+                    for j in s.m..horizon {
+                        let prev = psi.get(j - s.m).copied().unwrap_or(0.0);
+                        if let Some(slot) = psi.get_mut(j) {
+                            *slot += prev;
+                        }
+                    }
+                }
+            }
+        }
+        let mut cum = 0.0;
+        psi.iter()
+            .map(|p| {
+                cum += p * p;
+                (self.sigma2 * cum).max(0.0)
+            })
+            .collect()
+    }
 }
 
 /// Heuristic number of regular differences: difference while the standard

@@ -387,6 +387,50 @@ impl HoltWinters {
             })
             .collect()
     }
+
+    /// In-sample one-step residual variance: the recursion's SSE over the
+    /// number of smoothing steps (the recursion starts after the initial
+    /// season, or after the first sample for non-seasonal fits).
+    pub fn resid_variance(&self) -> f64 {
+        let start = self.seasonality.period().max(1);
+        let steps = self.n.saturating_sub(start);
+        if steps == 0 {
+            return 0.0;
+        }
+        let v = self.sse / steps as f64;
+        if v.is_finite() {
+            v.max(0.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Approximate variance of the h-step-ahead forecast for
+    /// `h = 1..=horizon`, using the additive-error state-space formula
+    /// (Hyndman et al., *Forecasting with Exponential Smoothing*):
+    /// `var(h) = σ²·(1 + Σ_{j=1}^{h−1} c_j²)` with
+    /// `c_j = α(1 + jβ) + γ(1−α)·1{j ≡ 0 mod m}`. Multiplicative seasonality
+    /// reuses the additive approximation (the conventional fallback).
+    pub fn forecast_variance(&self, horizon: usize) -> Vec<f64> {
+        let s2 = self.resid_variance();
+        let m = self.seasonality.period();
+        let mut acc = 1.0;
+        (1..=horizon)
+            .map(|h| {
+                if h > 1 {
+                    let j = (h - 1) as f64;
+                    let seasonal = if m > 0 && (h - 1) % m == 0 {
+                        self.gamma * (1.0 - self.alpha)
+                    } else {
+                        0.0
+                    };
+                    let cj = self.alpha * (1.0 + j * self.beta) + seasonal;
+                    acc += cj * cj;
+                }
+                s2 * acc
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

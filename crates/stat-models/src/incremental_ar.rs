@@ -110,6 +110,9 @@ pub struct IncrementalAr {
     trail: Vec<BlockedSum>,
     coeffs: Vec<f64>,
     mean: f64,
+    /// Yule–Walker innovation variance `γ(0)·(1 − Σ φ_k ρ_k)`, the one-step
+    /// forecast-error variance implied by the fitted coefficients.
+    innovation_var: f64,
     /// Last `order` observations (oldest first), the forecast seed.
     tail: Vec<f64>,
 }
@@ -126,6 +129,7 @@ impl IncrementalAr {
             trail: Vec::new(),
             coeffs: Vec::new(),
             mean: 0.0,
+            innovation_var: 0.0,
             tail: Vec::new(),
         }
     }
@@ -220,9 +224,52 @@ impl IncrementalAr {
             let rho: Vec<f64> = cov.iter().map(|c| c / c0).collect();
             levinson_durbin(&rho)
         };
+        // Yule–Walker innovation variance: γ(0)·(1 − Σ φ_k ρ_k), where
+        // γ(0) = c0/n (biased sample autocovariance). Degenerate fits keep
+        // whatever (near-zero) variance γ(0) carries; clamp at zero so
+        // numerical noise never yields a negative variance.
+        let gamma0 = c0 / n as f64;
+        let explained: f64 = self
+            .coeffs
+            .iter()
+            .zip(cov.iter().skip(1))
+            .map(|(phi, ck)| if c0.abs() < 1e-12 { 0.0 } else { phi * ck / c0 })
+            .sum();
+        self.innovation_var = (gamma0 * (1.0 - explained)).max(0.0);
+        if !self.innovation_var.is_finite() {
+            self.innovation_var = 0.0;
+        }
         self.mean = mean;
         let tail_start = n.saturating_sub(self.order);
         self.tail = x.get(tail_start..).unwrap_or_default().to_vec();
+    }
+
+    /// One-step forecast-error (innovation) variance of the current fit.
+    pub fn innovation_variance(&self) -> f64 {
+        self.innovation_var
+    }
+
+    /// Variance of the h-step-ahead forecast for `h = 1..=horizon` via the
+    /// psi-weight (MA(∞)) representation: `ψ_0 = 1`,
+    /// `ψ_j = Σ_i φ_i ψ_{j−i}`, and `var(h) = σ² Σ_{j<h} ψ_j²`.
+    pub fn forecast_variance(&self, horizon: usize) -> Vec<f64> {
+        assert!(self.n > 0, "IncrementalAr::forecast_variance before fit");
+        let mut psi = vec![1.0f64];
+        let mut cum = self.innovation_var;
+        let mut out = Vec::with_capacity(horizon);
+        for _ in 0..horizon {
+            out.push(cum);
+            let mut next = 0.0;
+            for (i, phi) in self.coeffs.iter().enumerate() {
+                let lag = i + 1;
+                if let Some(&prev) = psi.len().checked_sub(lag).and_then(|j| psi.get(j)) {
+                    next += phi * prev;
+                }
+            }
+            psi.push(next);
+            cum += self.innovation_var * next * next;
+        }
+        out
     }
 
     /// Recursive multi-step forecast from the stored tail.

@@ -12,6 +12,9 @@ use crate::FitError;
 #[derive(Debug, Clone, Default)]
 pub struct ZeroModel {
     last: f64,
+    /// One-step difference variance (random-walk innovation variance),
+    /// the basis of the model's native prediction intervals.
+    diff_var: f64,
     fitted: bool,
 }
 
@@ -28,6 +31,20 @@ impl ZeroModel {
             .copied()
             .ok_or_else(|| FitError::new("empty series"))?;
         self.last = last;
+        // random-walk innovation variance from one-step differences
+        // (finite pairs only); a single observation leaves zero width
+        let mut sum = 0.0;
+        let mut pairs = 0usize;
+        for w in series.windows(2) {
+            if let [a, b] = w {
+                let d = b - a;
+                if d.is_finite() {
+                    sum += d * d;
+                    pairs += 1;
+                }
+            }
+        }
+        self.diff_var = if pairs > 0 { sum / pairs as f64 } else { 0.0 };
         self.fitted = true;
         Ok(())
     }
@@ -36,6 +53,15 @@ impl ZeroModel {
     pub fn forecast(&self, horizon: usize) -> Vec<f64> {
         assert!(self.fitted, "ZeroModel::forecast before fit");
         vec![self.last; horizon]
+    }
+
+    /// Variance of the h-step-ahead forecast under the model's implied
+    /// random walk: the one-step difference variance accumulated over `h`
+    /// steps. Always finite for fitted models — the Zero Model is the
+    /// degradation ladder's floor and its intervals must never fail.
+    pub fn forecast_variance(&self, horizon: usize) -> Vec<f64> {
+        assert!(self.fitted, "ZeroModel::forecast_variance before fit");
+        (1..=horizon).map(|h| self.diff_var * h as f64).collect()
     }
 }
 

@@ -1,0 +1,311 @@
+//! Greedy forward ensemble selection (Caruana-style, with replacement)
+//! over the T-Daub survivor set.
+//!
+//! Selection runs on the internal T2 holdout using the candidates'
+//! **already-fitted** states — predictions only, never a refit, so the
+//! `duplicate_fits == 0` invariant and the T-Daub ranking are untouched.
+//! Each round adds the candidate whose inclusion minimizes the blended
+//! holdout score; replacement is allowed (picking a member twice doubles
+//! its weight). The loop stops at the round budget or the first round with
+//! no strict improvement. Because round one necessarily picks the best
+//! single candidate, the ensemble's holdout score can never be worse than
+//! the best single survivor's.
+//!
+//! Determinism: candidates are visited in rank order and ties broken by
+//! strict `<` comparison, so the first (best-ranked) candidate wins ties.
+//! All arithmetic is serial regardless of the executor's parallel mode —
+//! serial and parallel T-Daub runs hand over bit-identical fitted states,
+//! so they select bit-identical ensembles.
+
+use autoai_tsdata::{Metric, TimeSeriesFrame};
+
+/// One selected ensemble member.
+#[derive(Debug, Clone)]
+pub struct EnsembleMember {
+    /// Pipeline display name.
+    pub name: String,
+    /// Normalized weight (`picks / total picks`), in (0, 1].
+    pub weight: f64,
+    /// How many greedy rounds picked this member.
+    pub picks: usize,
+    /// The member's own holdout score (for the contribution report).
+    pub solo_score: f64,
+}
+
+/// Outcome of greedy forward selection.
+#[derive(Debug, Clone)]
+pub struct EnsembleSelection {
+    /// Selected members in candidate-rank order, weights summing to one.
+    pub members: Vec<EnsembleMember>,
+    /// Holdout score of the weighted ensemble (same lower-is-better
+    /// orientation as the T-Daub ranking).
+    pub score: f64,
+    /// Best single candidate's holdout score; `score <= best_single` by
+    /// construction.
+    pub best_single: f64,
+    /// Number of greedy rounds actually taken.
+    pub rounds: usize,
+}
+
+/// Score a blended forecast `(sum + next) / (k + 1)` against the holdout,
+/// replicating the `Forecaster::score` semantics: per-series metric, mean
+/// across series, higher-is-better metrics negated. Any non-finite value
+/// (NaN forecasts from chaos poisoning included) scores `INFINITY` so it
+/// can never be selected.
+fn blended_score(
+    sum: &[Vec<f64>],
+    next: &TimeSeriesFrame,
+    k: usize,
+    t2: &TimeSeriesFrame,
+    metric: Metric,
+) -> f64 {
+    let denom = (k + 1) as f64;
+    let mut total = 0.0;
+    for ((acc, fs), ts) in sum.iter().zip(next.series_iter()).zip(t2.series_iter()) {
+        let blended: Vec<f64> = acc
+            .iter()
+            .zip(fs.iter())
+            .map(|(a, v)| (a + v) / denom)
+            .collect();
+        if blended.iter().any(|v| !v.is_finite()) {
+            return f64::INFINITY;
+        }
+        let v = metric.eval(ts, &blended);
+        if !v.is_finite() {
+            return f64::INFINITY;
+        }
+        total += if metric.higher_is_better() { -v } else { v };
+    }
+    total / sum.len().max(1) as f64
+}
+
+/// Greedy forward selection with replacement. `candidates` are
+/// `(name, holdout forecast)` pairs in **rank order** (best first); the
+/// forecast must be shaped like `t2`. Returns `None` when fewer than one
+/// candidate produces a finite holdout score.
+pub fn greedy_select(
+    candidates: &[(String, TimeSeriesFrame)],
+    t2: &TimeSeriesFrame,
+    metric: Metric,
+    max_rounds: usize,
+) -> Option<EnsembleSelection> {
+    if candidates.is_empty() || t2.len() == 0 || t2.n_series() == 0 {
+        return None;
+    }
+    let n_series = t2.n_series();
+    let zero: Vec<Vec<f64>> = vec![vec![0.0; t2.len()]; n_series];
+    let usable = |f: &TimeSeriesFrame| f.n_series() == n_series && f.len() == t2.len();
+    let solo: Vec<f64> = candidates
+        .iter()
+        .map(|(_, f)| {
+            if usable(f) {
+                blended_score(&zero, f, 0, t2, metric)
+            } else {
+                f64::INFINITY
+            }
+        })
+        .collect();
+    let best_single = solo.iter().copied().fold(f64::INFINITY, f64::min);
+    if !best_single.is_finite() {
+        return None;
+    }
+
+    let mut sum = zero;
+    let mut picks = vec![0usize; candidates.len()];
+    let mut rounds = 0usize;
+    let mut current = f64::INFINITY;
+    for _ in 0..max_rounds.max(1) {
+        let mut best: Option<(f64, usize)> = None;
+        for (i, (_, f)) in candidates.iter().enumerate() {
+            if !usable(f) {
+                continue;
+            }
+            let s = blended_score(&sum, f, rounds, t2, metric);
+            if !s.is_finite() {
+                continue;
+            }
+            // strict < keeps the earliest (best-ranked) candidate on ties
+            if best.is_none_or(|(bs, _)| s < bs) {
+                best = Some((s, i));
+            }
+        }
+        let Some((s, i)) = best else { break };
+        if rounds > 0 && s >= current {
+            break;
+        }
+        let Some((_, f)) = candidates.get(i) else {
+            break;
+        };
+        for (acc, fs) in sum.iter_mut().zip(f.series_iter()) {
+            for (a, v) in acc.iter_mut().zip(fs.iter()) {
+                *a += v;
+            }
+        }
+        if let Some(p) = picks.get_mut(i) {
+            *p += 1;
+        }
+        rounds += 1;
+        current = s;
+    }
+    if rounds == 0 {
+        return None;
+    }
+
+    let members: Vec<EnsembleMember> = candidates
+        .iter()
+        .zip(picks.iter().zip(solo.iter()))
+        .filter(|(_, (p, _))| **p > 0)
+        .map(|((name, _), (p, sc))| EnsembleMember {
+            name: name.clone(),
+            weight: *p as f64 / rounds as f64,
+            picks: *p,
+            solo_score: *sc,
+        })
+        .collect();
+    Some(EnsembleSelection {
+        members,
+        score: current,
+        best_single,
+        rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uni(vals: Vec<f64>) -> TimeSeriesFrame {
+        TimeSeriesFrame::univariate(vals)
+    }
+
+    #[test]
+    fn single_good_candidate_is_the_ensemble() {
+        let t2 = uni(vec![1.0, 2.0, 3.0]);
+        let sel = greedy_select(
+            &[("A".into(), uni(vec![1.0, 2.0, 3.0]))],
+            &t2,
+            Metric::Smape,
+            8,
+        )
+        .unwrap();
+        assert_eq!(sel.members.len(), 1);
+        let m = sel.members.first().unwrap();
+        assert_eq!(m.name, "A");
+        assert!((m.weight - 1.0).abs() < 1e-12);
+        assert_eq!(sel.score, sel.best_single);
+    }
+
+    #[test]
+    fn complementary_candidates_blend_below_best_single() {
+        // truth is the midpoint of two biased forecasts: the blend is exact
+        let t2 = uni(vec![10.0, 10.0, 10.0, 10.0]);
+        let sel = greedy_select(
+            &[
+                ("high".into(), uni(vec![12.0, 12.0, 12.0, 12.0])),
+                ("low".into(), uni(vec![8.0, 8.0, 8.0, 8.0])),
+            ],
+            &t2,
+            Metric::Smape,
+            8,
+        )
+        .unwrap();
+        assert_eq!(sel.members.len(), 2, "{:?}", sel.members);
+        assert!(sel.score < sel.best_single);
+        assert!(
+            sel.score < 1e-9,
+            "perfect blend expected, got {}",
+            sel.score
+        );
+        let total: f64 = sel.members.iter().map(|m| m.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ensemble_never_worse_than_best_single() {
+        let t2 = uni(vec![5.0, 6.0, 7.0, 8.0, 9.0]);
+        let cands = vec![
+            ("good".into(), uni(vec![5.1, 6.1, 7.1, 8.1, 9.1])),
+            ("bad".into(), uni(vec![50.0, 60.0, 70.0, 80.0, 90.0])),
+            ("worse".into(), uni(vec![-5.0, -6.0, -7.0, -8.0, -9.0])),
+        ];
+        let sel = greedy_select(&cands, &t2, Metric::Smape, 8).unwrap();
+        assert!(sel.score <= sel.best_single);
+        // the bad candidates must not dominate the weights
+        let good_weight = sel
+            .members
+            .iter()
+            .find(|m| m.name == "good")
+            .map_or(0.0, |m| m.weight);
+        assert!(good_weight >= 0.5, "{:?}", sel.members);
+    }
+
+    #[test]
+    fn nan_candidates_are_never_selected() {
+        let t2 = uni(vec![1.0, 2.0]);
+        let sel = greedy_select(
+            &[
+                ("poisoned".into(), uni(vec![f64::NAN, 2.0])),
+                ("ok".into(), uni(vec![1.5, 2.5])),
+            ],
+            &t2,
+            Metric::Smape,
+            8,
+        )
+        .unwrap();
+        assert!(sel.members.iter().all(|m| m.name != "poisoned"));
+        // all-NaN pool selects nothing
+        assert!(greedy_select(
+            &[("poisoned".into(), uni(vec![f64::NAN, 2.0]))],
+            &t2,
+            Metric::Smape,
+            8,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn shape_mismatched_candidates_are_skipped() {
+        let t2 = uni(vec![1.0, 2.0, 3.0]);
+        let sel = greedy_select(
+            &[
+                ("short".into(), uni(vec![1.0])),
+                ("ok".into(), uni(vec![1.0, 2.0, 3.0])),
+            ],
+            &t2,
+            Metric::Smape,
+            8,
+        )
+        .unwrap();
+        assert_eq!(sel.members.len(), 1);
+        assert_eq!(
+            sel.members.first().map(|m| m.name.clone()),
+            Some("ok".into())
+        );
+    }
+
+    #[test]
+    fn selection_is_deterministic_and_tie_breaks_by_rank() {
+        let t2 = uni(vec![4.0, 5.0, 6.0]);
+        // identical forecasts: the first (best-ranked) name must win
+        let cands = vec![
+            ("first".into(), uni(vec![4.2, 5.2, 6.2])),
+            ("second".into(), uni(vec![4.2, 5.2, 6.2])),
+        ];
+        let a = greedy_select(&cands, &t2, Metric::Smape, 8).unwrap();
+        let b = greedy_select(&cands, &t2, Metric::Smape, 8).unwrap();
+        assert_eq!(a.members.len(), 1);
+        assert_eq!(
+            a.members.first().map(|m| m.name.clone()),
+            Some("first".into())
+        );
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn empty_inputs_select_nothing() {
+        assert!(greedy_select(&[], &uni(vec![1.0]), Metric::Smape, 8).is_none());
+        assert!(
+            greedy_select(&[("a".into(), uni(vec![]))], &uni(vec![]), Metric::Smape, 8).is_none()
+        );
+    }
+}

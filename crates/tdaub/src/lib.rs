@@ -19,8 +19,10 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod ensemble;
 pub mod executor;
 pub mod runner;
 
+pub use ensemble::{greedy_select, EnsembleMember, EnsembleSelection};
 pub use executor::{ExecutionReport, FailureKind, PipelineExecution};
 pub use runner::{run_tdaub, PipelineReport, TDaubConfig, TDaubResult};

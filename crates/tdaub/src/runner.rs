@@ -9,6 +9,7 @@ use autoai_pipelines::{Forecaster, PipelineError};
 use autoai_transforms::TransformCache;
 use autoai_tsdata::{Metric, TimeSeriesFrame};
 
+use crate::ensemble::{greedy_select, EnsembleSelection};
 use crate::executor::{execution_report, Candidate, ExecutionReport, Executor};
 
 /// T-Daub configuration; field names follow the paper's §4.2 definitions.
@@ -69,6 +70,16 @@ pub struct TDaubConfig {
     /// does not extend the prior allocation. Disabling this (`false`)
     /// changes wall time, never the ranking order.
     pub incremental: bool,
+    /// How many top-ranked survivors enter greedy forward ensemble
+    /// selection after the final ranking. Selection uses the candidates'
+    /// already-fitted states — holdout predictions only, zero additional
+    /// fits — and never changes the single-winner ranking. `0` or `1`
+    /// disables ensembling ([`TDaubResult::ensemble`] stays `None`).
+    pub ensemble_top_k: usize,
+    /// Maximum greedy selection rounds (picks with replacement). More
+    /// rounds allow finer weights; the loop stops early at the first round
+    /// without strict improvement.
+    pub ensemble_rounds: usize,
 }
 
 impl Default for TDaubConfig {
@@ -88,6 +99,8 @@ impl Default for TDaubConfig {
             pipeline_hard_deadline: None,
             transform_cache: true,
             incremental: true,
+            ensemble_top_k: 3,
+            ensemble_rounds: 8,
         }
     }
 }
@@ -126,6 +139,12 @@ pub struct TDaubResult {
     /// Per-pipeline execution accounting (wall time, allocations attempted,
     /// failure kind) for the whole pool, including excluded pipelines.
     pub execution: ExecutionReport,
+    /// Greedy forward ensemble selection over the top
+    /// [`TDaubConfig::ensemble_top_k`] survivors, when enabled and at least
+    /// two survivors produced usable holdout forecasts. Purely additive:
+    /// [`TDaubResult::best`] and the ranking are identical whether or not
+    /// ensembling ran.
+    pub ensemble: Option<EnsembleSelection>,
 }
 
 /// Run T-Daub over a pipeline pool (Algorithm 1).
@@ -327,6 +346,31 @@ pub fn run_tdaub(
         ));
     }
 
+    // ---- 5. greedy ensemble selection over the top survivors ----
+    // predictions from the candidates' already-fitted states only: zero
+    // additional fits (`duplicate_fits == 0` holds) and no effect on the
+    // ranking above. A panicking predict (aggressive chaos) just excludes
+    // that candidate.
+    let ensemble = if config.ensemble_top_k >= 2 {
+        let mut entries: Vec<(String, TimeSeriesFrame)> = Vec::new();
+        for &(_, _, i) in order.iter().take(config.ensemble_top_k) {
+            let Some(c) = cands.get(i) else { continue };
+            let pred = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                c.pipeline.predict(t2.len())
+            }));
+            if let Ok(Ok(pred)) = pred {
+                entries.push((c.name.clone(), pred));
+            }
+        }
+        if entries.len() >= 2 {
+            greedy_select(&entries, &t2, config.metric, config.ensemble_rounds)
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+
     // retrain the winner on the entire training input (isolated like every
     // other unit of work: a panic here is a typed Crashed error, not an
     // abort)
@@ -361,6 +405,7 @@ pub fn run_tdaub(
         best,
         total_time: t_start.elapsed(),
         execution,
+        ensemble,
     })
 }
 
@@ -635,5 +680,103 @@ mod tests {
         for p in &result.execution.pipelines {
             assert!(p.failure.is_none(), "{}: {:?}", p.name, p.failure);
         }
+    }
+
+    #[test]
+    fn ensemble_selection_runs_by_default_and_beats_no_single() {
+        let frame = seasonal_frame(500);
+        let cfg = TDaubConfig {
+            parallel: false,
+            ..Default::default()
+        };
+        let result = run_tdaub(pool(), &frame, &cfg).unwrap();
+        let sel = result.ensemble.expect("default config must select");
+        let total: f64 = sel.members.iter().map(|m| m.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12, "weights sum {total}");
+        assert!(
+            sel.score <= sel.best_single,
+            "ensemble {} worse than best single {}",
+            sel.score,
+            sel.best_single
+        );
+        assert!(sel.rounds >= 1);
+    }
+
+    #[test]
+    fn disabling_ensembling_leaves_ranking_bit_identical() {
+        let frame = seasonal_frame(500);
+        let on = run_tdaub(
+            pool(),
+            &frame,
+            &TDaubConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let off = run_tdaub(
+            pool(),
+            &frame,
+            &TDaubConfig {
+                parallel: false,
+                ensemble_top_k: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(on.ensemble.is_some());
+        assert!(off.ensemble.is_none());
+        assert_eq!(on.best.name(), off.best.name());
+        assert_eq!(on.reports.len(), off.reports.len());
+        for (a, b) in on.reports.iter().zip(off.reports.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.rank, b.rank);
+            assert_eq!(
+                a.projected_score.to_bits(),
+                b.projected_score.to_bits(),
+                "{} projected diverged",
+                a.name
+            );
+            assert_eq!(
+                a.final_score.map(f64::to_bits),
+                b.final_score.map(f64::to_bits),
+                "{} final diverged",
+                a.name
+            );
+        }
+    }
+
+    #[test]
+    fn ensemble_selection_is_deterministic_across_runs() {
+        let frame = seasonal_frame(500);
+        let run = |parallel: bool| {
+            run_tdaub(
+                pool(),
+                &frame,
+                &TDaubConfig {
+                    parallel,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let sig = |r: &TDaubResult| {
+            r.ensemble.as_ref().map(|s| {
+                (
+                    s.score.to_bits(),
+                    s.rounds,
+                    s.members
+                        .iter()
+                        .map(|m| (m.name.clone(), m.picks, m.weight.to_bits()))
+                        .collect::<Vec<_>>(),
+                )
+            })
+        };
+        let a = run(false);
+        let b = run(false);
+        let c = run(true);
+        assert_eq!(sig(&a), sig(&b), "serial reruns diverged");
+        assert_eq!(sig(&a), sig(&c), "serial vs parallel diverged");
+        assert!(sig(&a).is_some());
     }
 }

@@ -1,0 +1,126 @@
+//! Split-conformal prediction scores.
+//!
+//! The distribution-free fallback behind `predict_interval`: any point
+//! forecaster gains finite-sample marginal coverage by widening its point
+//! forecast with an empirical quantile of held-out absolute residuals.
+//! For `n` exchangeable calibration scores and a target level `q`, the
+//! half-width is the `ceil((n + 1) * q)`-th smallest score, which yields
+//! `P(|y - ŷ| <= w) >= q` on a fresh exchangeable point (Vovk et al.;
+//! Lei et al. 2018 split conformal).
+//!
+//! This module is pure slice math — it knows nothing about forecasters or
+//! frames. The pipeline-facing glue (computing residuals from a fitted
+//! forecaster, assembling band frames) lives in `autoai_pipelines`.
+
+/// Sorted absolute-residual calibration scores, one set per series.
+#[derive(Debug, Clone)]
+pub struct ConformalScores {
+    /// Per-series ascending absolute residuals (non-finite values dropped).
+    per_series: Vec<Vec<f64>>,
+}
+
+impl ConformalScores {
+    /// Build calibration scores from per-series residuals (forecast errors
+    /// on a held-out window). Non-finite residuals are dropped; returns
+    /// `None` when any series ends up with no usable score, because a
+    /// half-width cannot be certified for it.
+    pub fn from_residuals(residuals: &[Vec<f64>]) -> Option<Self> {
+        if residuals.is_empty() {
+            return None;
+        }
+        let mut per_series = Vec::with_capacity(residuals.len());
+        for series in residuals {
+            let mut scores: Vec<f64> = series
+                .iter()
+                .map(|r| r.abs())
+                .filter(|r| r.is_finite())
+                .collect();
+            if scores.is_empty() {
+                return None;
+            }
+            scores.sort_by(f64::total_cmp);
+            per_series.push(scores);
+        }
+        Some(Self { per_series })
+    }
+
+    /// Number of calibrated series.
+    pub fn n_series(&self) -> usize {
+        self.per_series.len()
+    }
+
+    /// Conformal half-width for `series` at coverage `level` in (0, 1):
+    /// the `ceil((n + 1) * level)`-th smallest score, clamped to the
+    /// largest observed score when the finite-sample rank exceeds `n`.
+    /// Returns `None` for an unknown series or a level outside (0, 1).
+    pub fn half_width(&self, series: usize, level: f64) -> Option<f64> {
+        if !(level > 0.0 && level < 1.0) {
+            return None;
+        }
+        let scores = self.per_series.get(series)?;
+        let n = scores.len();
+        let rank = (((n + 1) as f64) * level).ceil() as usize;
+        let rank = rank.clamp(1, n);
+        scores.get(rank - 1).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_width_picks_finite_sample_rank() {
+        // n = 9 scores 1..=9; level 0.8 → rank ceil(10 * 0.8) = 8 → score 8
+        let resid: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        let s = ConformalScores::from_residuals(&[resid]).unwrap();
+        assert_eq!(s.half_width(0, 0.8), Some(8.0));
+        // level 0.95 → rank ceil(10 * 0.95) = 10, clamped to 9 → score 9
+        assert_eq!(s.half_width(0, 0.95), Some(9.0));
+        // tiny level still returns the smallest score, never zero-rank
+        assert_eq!(s.half_width(0, 0.01), Some(1.0));
+    }
+
+    #[test]
+    fn scores_sort_and_take_absolute_values() {
+        let s = ConformalScores::from_residuals(&[vec![-3.0, 1.0, -2.0]]).unwrap();
+        // sorted |r| = [1, 2, 3]; level 0.5 → rank ceil(4 * .5) = 2 → 2.0
+        assert_eq!(s.half_width(0, 0.5), Some(2.0));
+    }
+
+    #[test]
+    fn non_finite_residuals_are_dropped() {
+        let s = ConformalScores::from_residuals(&[vec![f64::NAN, 2.0, f64::INFINITY]]).unwrap();
+        assert_eq!(s.half_width(0, 0.9), Some(2.0));
+    }
+
+    #[test]
+    fn unusable_series_refuse_calibration() {
+        assert!(ConformalScores::from_residuals(&[]).is_none());
+        assert!(ConformalScores::from_residuals(&[vec![]]).is_none());
+        assert!(ConformalScores::from_residuals(&[vec![f64::NAN]]).is_none());
+        // one good + one empty series: whole calibration refused
+        assert!(ConformalScores::from_residuals(&[vec![1.0], vec![]]).is_none());
+    }
+
+    #[test]
+    fn invalid_levels_and_series_are_none() {
+        let s = ConformalScores::from_residuals(&[vec![1.0]]).unwrap();
+        assert!(s.half_width(0, 0.0).is_none());
+        assert!(s.half_width(0, 1.0).is_none());
+        assert!(s.half_width(1, 0.5).is_none());
+        assert_eq!(s.n_series(), 1);
+    }
+
+    #[test]
+    fn wider_level_never_narrows_the_band() {
+        let resid: Vec<f64> = (0..40).map(|i| ((i * 37) % 19) as f64 * 0.5).collect();
+        let s = ConformalScores::from_residuals(&[resid]).unwrap();
+        let mut prev = 0.0;
+        for level in [0.5, 0.8, 0.9, 0.95, 0.99] {
+            let w = s.half_width(0, level).unwrap();
+            assert!(w >= prev, "level {level}: {w} < {prev}");
+            prev = w;
+        }
+    }
+}

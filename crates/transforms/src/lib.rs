@@ -19,6 +19,7 @@
 #![deny(unsafe_code)]
 
 pub mod cache;
+pub mod conformal;
 pub mod detect;
 pub mod resample;
 pub mod stateful;
@@ -27,6 +28,7 @@ pub mod traits;
 pub mod window;
 
 pub use cache::{hit_mismatches, set_hit_verification, CacheStats, TransformCache};
+pub use conformal::ConformalScores;
 pub use detect::{detect_all, Detection, Detector};
 pub use resample::{downsample, resample_to_regular, upsample_linear};
 pub use stateful::DifferenceTransform;

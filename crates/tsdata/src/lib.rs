@@ -20,7 +20,10 @@ pub mod split;
 pub mod timestamps;
 
 pub use frame::{FrameFingerprint, TimeSeriesFrame};
-pub use metrics::{mae, mape, mse, r2_score, rmse, smape, Metric};
+pub use metrics::{
+    crps, interval_coverage, mae, mape, mse, normal_cdf, normal_pdf, normal_quantile, pinball_loss,
+    r2_score, rmse, smape, Metric, MetricError,
+};
 pub use quality::{clean, quality_check, QualityIssue, QualityReport};
 pub use ranking::{average_ranks, rank_histogram, rank_rows, RankSummary};
 pub use split::{holdout_split, reverse_allocation, train_test_split};

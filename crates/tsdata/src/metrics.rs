@@ -137,6 +137,206 @@ pub fn r2_score(actual: &[f64], predicted: &[f64]) -> f64 {
     1.0 - ss_res / ss_tot
 }
 
+/// Typed error for the probabilistic metrics. The point metrics above
+/// predate it and keep their panic-on-mismatch contract; interval claims
+/// are easy to get silently wrong, so the probabilistic family rejects
+/// every degenerate input loudly instead of folding it into the score.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricError {
+    /// Inputs are empty.
+    Empty,
+    /// Input slices have different lengths.
+    LengthMismatch {
+        /// Length of the truth slice.
+        actual: usize,
+        /// Length of the offending forecast slice.
+        predicted: usize,
+    },
+    /// A non-finite value appeared in the named input.
+    NonFinite(&'static str),
+    /// The requested quantile is outside the open interval (0, 1).
+    InvalidQuantile(f64),
+    /// An interval crosses (`lower > upper`) at the given index.
+    Crossing(usize),
+}
+
+impl std::fmt::Display for MetricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricError::Empty => write!(f, "metric inputs are empty"),
+            MetricError::LengthMismatch { actual, predicted } => {
+                write!(
+                    f,
+                    "metric inputs differ in length ({actual} vs {predicted})"
+                )
+            }
+            MetricError::NonFinite(which) => write!(f, "non-finite value in {which}"),
+            MetricError::InvalidQuantile(q) => write!(f, "quantile {q} outside (0, 1)"),
+            MetricError::Crossing(i) => write!(f, "interval crosses (lower > upper) at index {i}"),
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}
+
+fn check_pair(actual: &[f64], predicted: &[f64], which: &'static str) -> Result<(), MetricError> {
+    if actual.is_empty() || predicted.is_empty() {
+        return Err(MetricError::Empty);
+    }
+    if actual.len() != predicted.len() {
+        return Err(MetricError::LengthMismatch {
+            actual: actual.len(),
+            predicted: predicted.len(),
+        });
+    }
+    if actual.iter().any(|v| !v.is_finite()) {
+        return Err(MetricError::NonFinite("actual"));
+    }
+    if predicted.iter().any(|v| !v.is_finite()) {
+        return Err(MetricError::NonFinite(which));
+    }
+    Ok(())
+}
+
+/// Pinball (quantile) loss at quantile `q ∈ (0, 1)`:
+/// `mean(q·(a−p)⁺ + (1−q)·(p−a)⁺)`. The proper scoring rule for a
+/// quantile forecast — minimized in expectation by the true `q`-quantile.
+pub fn pinball_loss(actual: &[f64], predicted: &[f64], q: f64) -> Result<f64, MetricError> {
+    if !(q > 0.0 && q < 1.0) {
+        return Err(MetricError::InvalidQuantile(q));
+    }
+    check_pair(actual, predicted, "predicted")?;
+    let s: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(&a, &p)| {
+            let d = a - p;
+            if d >= 0.0 {
+                q * d
+            } else {
+                (q - 1.0) * d
+            }
+        })
+        .sum();
+    Ok(s / actual.len() as f64)
+}
+
+/// Empirical coverage of an interval forecast: the fraction of actuals
+/// falling inside `[lower, upper]` (inclusive). Rejects crossing bands.
+pub fn interval_coverage(actual: &[f64], lower: &[f64], upper: &[f64]) -> Result<f64, MetricError> {
+    check_pair(actual, lower, "lower")?;
+    check_pair(actual, upper, "upper")?;
+    for (i, (lo, hi)) in lower.iter().zip(upper).enumerate() {
+        if lo > hi {
+            return Err(MetricError::Crossing(i));
+        }
+    }
+    let inside = actual
+        .iter()
+        .zip(lower.iter().zip(upper))
+        .filter(|&(a, (lo, hi))| lo <= a && a <= hi)
+        .count();
+    Ok(inside as f64 / actual.len() as f64)
+}
+
+/// Continuous Ranked Probability Score of a Gaussian forecast, averaged
+/// over the samples, via the closed form
+/// `CRPS(N(μ,σ), a) = σ·[z(2Φ(z)−1) + 2φ(z) − 1/√π]` with `z = (a−μ)/σ`.
+/// A zero-σ (point) forecast degenerates to the absolute error. Negative
+/// `std` values are rejected as non-finite input.
+pub fn crps(actual: &[f64], mean: &[f64], std: &[f64]) -> Result<f64, MetricError> {
+    check_pair(actual, mean, "mean")?;
+    check_pair(actual, std, "std")?;
+    if std.iter().any(|s| *s < 0.0) {
+        return Err(MetricError::NonFinite("std"));
+    }
+    let s: f64 = actual
+        .iter()
+        .zip(mean.iter().zip(std))
+        .map(|(&a, (&mu, &sd))| {
+            if sd <= 0.0 {
+                (a - mu).abs()
+            } else {
+                let z = (a - mu) / sd;
+                sd * (z * (2.0 * normal_cdf(z) - 1.0) + 2.0 * normal_pdf(z)
+                    - 1.0 / std::f64::consts::PI.sqrt())
+            }
+        })
+        .sum();
+    Ok(s / actual.len() as f64)
+}
+
+/// Standard normal density φ(x).
+pub fn normal_pdf(x: f64) -> f64 {
+    (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal CDF Φ(x) via the Abramowitz–Stegun §7.1.26 erf
+/// approximation (absolute error < 1.5e-7).
+pub fn normal_cdf(x: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.3275911 * (x.abs() / std::f64::consts::SQRT_2));
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let erf = 1.0 - poly * (-(x * x) / 2.0).exp();
+    if x >= 0.0 {
+        0.5 * (1.0 + erf)
+    } else {
+        0.5 * (1.0 - erf)
+    }
+}
+
+/// Standard normal quantile Φ⁻¹(p) via the Acklam rational approximation
+/// (relative error < 1.2e-9). `p` is clamped to `[1e-12, 1 − 1e-12]` so the
+/// result is always finite.
+pub fn normal_quantile(p: f64) -> f64 {
+    let p = p.clamp(1e-12, 1.0 - 1e-12);
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        let num = C.iter().fold(0.0, |acc, c| acc * q + c);
+        let den = D.iter().fold(0.0, |acc, d| acc * q + d) * q + 1.0;
+        num / den
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        let num = A.iter().fold(0.0, |acc, a| acc * r + a) * q;
+        let den = B.iter().fold(0.0, |acc, b| acc * r + b) * r + 1.0;
+        num / den
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,5 +411,119 @@ mod tests {
     #[should_panic(expected = "equal length")]
     fn length_mismatch_panics() {
         let _ = smape(&[1.0], &[1.0, 2.0]);
+    }
+
+    // ---- probabilistic metrics: golden values ----
+
+    #[test]
+    fn pinball_golden_values() {
+        // a=10, p=8, q=0.9: under-forecast → 0.9 * 2 = 1.8
+        assert!((pinball_loss(&[10.0], &[8.0], 0.9).unwrap() - 1.8).abs() < 1e-12);
+        // a=10, p=12, q=0.9: over-forecast → 0.1 * 2 = 0.2
+        assert!((pinball_loss(&[10.0], &[12.0], 0.9).unwrap() - 0.2).abs() < 1e-12);
+        // symmetric at the median: q=0.5 halves the MAE
+        let a = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 5.0];
+        assert!((pinball_loss(&a, &p, 0.5).unwrap() - 0.5 * mae(&a, &p)).abs() < 1e-12);
+        // exact forecast → zero loss at any quantile
+        assert_eq!(pinball_loss(&a, &a, 0.25).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn interval_coverage_golden_values() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let lo = [0.0, 2.5, 2.0, 0.0];
+        let hi = [2.0, 3.0, 4.0, 3.0];
+        // inside: 1 ∈ [0,2], 3 ∈ [2,4]; outside: 2 < 2.5, 4 > 3
+        assert!((interval_coverage(&a, &lo, &hi).unwrap() - 0.5).abs() < 1e-12);
+        // boundaries are inclusive
+        assert_eq!(interval_coverage(&[1.0], &[1.0], &[1.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn crps_golden_values() {
+        // hit at the mean: CRPS(N(0,1), 0) = σ(2φ(0) − 1/√π)
+        let expected = 2.0 * normal_pdf(0.0) - 1.0 / std::f64::consts::PI.sqrt();
+        assert!((crps(&[0.0], &[0.0], &[1.0]).unwrap() - expected).abs() < 1e-6);
+        // scale equivariance: CRPS(N(0,σ), 0) = σ·CRPS(N(0,1), 0)
+        let scaled = crps(&[0.0], &[0.0], &[3.0]).unwrap();
+        assert!((scaled - 3.0 * expected).abs() < 1e-6);
+        // zero sigma degenerates to absolute error
+        assert!((crps(&[5.0], &[3.0], &[0.0]).unwrap() - 2.0).abs() < 1e-12);
+        // far miss ≈ |a − μ| (the distribution barely matters)
+        let far = crps(&[100.0], &[0.0], &[1.0]).unwrap();
+        assert!((far - 100.0).abs() < 1.0, "{far}");
+    }
+
+    #[test]
+    fn crps_rewards_sharp_calibrated_forecasts() {
+        // truth near the mean: the sharper (smaller σ) forecast wins
+        let sharp = crps(&[0.1], &[0.0], &[0.5]).unwrap();
+        let vague = crps(&[0.1], &[0.0], &[5.0]).unwrap();
+        assert!(sharp < vague, "sharp {sharp} vs vague {vague}");
+    }
+
+    #[test]
+    fn probabilistic_metrics_reject_degenerate_inputs() {
+        // empty
+        assert_eq!(pinball_loss(&[], &[], 0.5), Err(MetricError::Empty));
+        assert_eq!(interval_coverage(&[], &[], &[]), Err(MetricError::Empty));
+        assert_eq!(crps(&[], &[], &[]), Err(MetricError::Empty));
+        // length mismatch
+        assert!(matches!(
+            pinball_loss(&[1.0], &[1.0, 2.0], 0.5),
+            Err(MetricError::LengthMismatch { .. })
+        ));
+        // NaN-bearing truth is a typed error (PR 2's SMAPE NaN contract)
+        assert_eq!(
+            pinball_loss(&[f64::NAN], &[1.0], 0.5),
+            Err(MetricError::NonFinite("actual"))
+        );
+        assert_eq!(
+            crps(&[f64::NAN], &[1.0], &[1.0]),
+            Err(MetricError::NonFinite("actual"))
+        );
+        // NaN forecast is rejected too, never folded into the score
+        assert_eq!(
+            interval_coverage(&[1.0], &[f64::NAN], &[2.0]),
+            Err(MetricError::NonFinite("lower"))
+        );
+        // quantile domain
+        assert_eq!(
+            pinball_loss(&[1.0], &[1.0], 0.0),
+            Err(MetricError::InvalidQuantile(0.0))
+        );
+        assert_eq!(
+            pinball_loss(&[1.0], &[1.0], 1.0),
+            Err(MetricError::InvalidQuantile(1.0))
+        );
+        // crossing bands
+        assert_eq!(
+            interval_coverage(&[1.0, 2.0], &[0.0, 3.0], &[2.0, 2.5]),
+            Err(MetricError::Crossing(1))
+        );
+        // negative sigma
+        assert_eq!(
+            crps(&[1.0], &[1.0], &[-1.0]),
+            Err(MetricError::NonFinite("std"))
+        );
+    }
+
+    #[test]
+    fn normal_helpers_are_consistent() {
+        // CDF golden points
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.959963985) - 0.975).abs() < 1e-6);
+        assert!((normal_cdf(-1.959963985) - 0.025).abs() < 1e-6);
+        // quantile inverts the CDF across the useful range
+        for p in [0.01, 0.025, 0.1, 0.5, 0.8, 0.9, 0.975, 0.995] {
+            let z = normal_quantile(p);
+            assert!((normal_cdf(z) - p).abs() < 1e-5, "p={p} z={z}");
+        }
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+        assert_eq!(normal_quantile(0.5), 0.0);
+        // extreme inputs stay finite
+        assert!(normal_quantile(0.0).is_finite());
+        assert!(normal_quantile(1.0).is_finite());
     }
 }

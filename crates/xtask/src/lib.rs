@@ -225,6 +225,10 @@ impl Default for Config {
                 "crates/stat-models/src/incremental_ar.rs".to_string(),
                 "crates/pipelines/src/caching.rs".to_string(),
                 "crates/pipelines/src/registry.rs".to_string(),
+                "crates/pipelines/src/interval.rs".to_string(),
+                "crates/pipelines/src/weighted_ensemble.rs".to_string(),
+                "crates/transforms/src/conformal.rs".to_string(),
+                "crates/tsdata/src/metrics.rs".to_string(),
                 "crates/chaos/src/".to_string(),
             ],
             clock_paths: vec![
@@ -1388,6 +1392,10 @@ mod tests {
             "crates/stat-models/src/garch.rs",
             "crates/stat-models/src/incremental_ar.rs",
             "crates/pipelines/src/registry.rs",
+            "crates/pipelines/src/interval.rs",
+            "crates/pipelines/src/weighted_ensemble.rs",
+            "crates/transforms/src/conformal.rs",
+            "crates/tsdata/src/metrics.rs",
         ] {
             let v = check_source(file, src, &strict_cfg());
             assert!(

@@ -10,7 +10,7 @@ cargo fmt --all --check
 echo "==> tscheck static analysis (token analyzer: panic/nan/index + lock discipline + determinism)"
 cargo run -q --offline -p xtask -- check --timing
 
-echo "==> tscheck strict mode (hot paths: tdaub executor, linalg work queue, window kernels, stat-model fit recursions, registries, transform cache, chaos layer)"
+echo "==> tscheck strict mode (hot paths: tdaub executor + ensemble selection, linalg work queue, window kernels, stat-model fit recursions, registries, transform cache, interval/conformal layer, probabilistic metrics, chaos layer)"
 cargo run -q --offline -p xtask -- check --strict
 
 echo "==> tscheck wall-time budget (full strict pass must stay under ${TSCHECK_BUDGET_MS:=5000} ms)"

@@ -16,7 +16,10 @@
 //! * `AutoAITS::fit` *always* returns a working forecaster, walking the
 //!   degradation ladder down to the ZeroModel baseline at worst;
 //! * an empty plan is invisible: zero injected faults and bit-identical
-//!   results to a run with no plan installed at all.
+//!   results to a run with no plan installed at all;
+//! * the interval ladder absorbs `predict.interval` faults: a faulting
+//!   native band degrades to the split-conformal fallback (and at worst to
+//!   the ZeroModel floor), and the served bands are always finite.
 //!
 //! The gauntlet doubles as a **lock-order sanitizer run**: every workspace
 //! lock goes through `linalg::sync`'s ordered wrappers, and enabling
@@ -33,7 +36,10 @@ use autoai_ts_repro::chaos;
 use autoai_ts_repro::core_ts::{AutoAITS, AutoAITSConfig, DegradationLevel};
 use autoai_ts_repro::linalg::sync as lock_sync;
 use autoai_ts_repro::lookback;
-use autoai_ts_repro::pipelines::{pipeline_by_name, Forecaster, PipelineContext};
+use autoai_ts_repro::pipelines::{
+    pipeline_by_name, predict_interval_or_conformal, ConformalCalibration, Forecaster,
+    IntervalSource, PipelineContext,
+};
 use autoai_ts_repro::tdaub::{run_tdaub, TDaubConfig, TDaubResult};
 use autoai_ts_repro::transforms;
 use autoai_ts_repro::tsdata::{self, TimeSeriesFrame};
@@ -166,6 +172,36 @@ fn fit_degrades_but_always_returns_a_forecaster() {
             f.series(0).iter().all(|v| v.is_finite()),
             "seed {seed}: non-finite forecast at level {level:?}"
         );
+        // the interval ladder must hold under the same pressure: re-arm the
+        // plan and demand finite, bracketed quantile bands from the fitted
+        // system — native, conformal, or the ZeroModel floor
+        chaos::install(chaos::FaultPlan {
+            seed,
+            panic_prob: 0.30,
+            error_prob: 0.30,
+            nan_prob: 0.15,
+            delay_prob: 0.05,
+            max_delay_ms: 3,
+        });
+        let iv = sys.predict_interval(12, &[0.8, 0.95]);
+        chaos::disable();
+        let iv = iv.unwrap_or_else(|e| panic!("seed {seed}: interval ladder must not fail: {e}"));
+        for idx in 0..2 {
+            let (lo, hi) = iv
+                .band(idx)
+                .unwrap_or_else(|| panic!("seed {seed}: band {idx}"));
+            for ((l, u), p) in lo
+                .series(0)
+                .iter()
+                .zip(hi.series(0))
+                .zip(iv.point().series(0))
+            {
+                assert!(
+                    l.is_finite() && u.is_finite() && *l <= *p && *p <= *u,
+                    "seed {seed}: invalid band [{l}, {u}] around {p}"
+                );
+            }
+        }
     }
     let inversions = lock_sync::inversion_count();
     lock_sync::set_runtime_tracking(false);
@@ -245,6 +281,75 @@ fn pre_executor_sites_fire_and_fit_survives_them() {
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         assert!(f.series(0).iter().all(|v| v.is_finite()), "seed {seed}");
     }
+}
+
+#[test]
+fn interval_faults_degrade_to_conformal_and_bands_stay_finite() {
+    let _gate = GATE.lock().unwrap();
+    let frame = wavy(160);
+    let (train, calib) = (frame.slice(0, 136), frame.slice(136, 160));
+    let ctx = PipelineContext::new(8, 6, vec![8]);
+    // fit and calibrate fault-free; the sweep then attacks only the
+    // prediction-time sites (`predict.interval`, `pipeline.predict`)
+    let mut p = pipeline_by_name("AR", &ctx).expect("AR resolvable");
+    p.fit(&train).expect("fault-free fit");
+    let cal = ConformalCalibration::calibrate(p.as_ref(), &calib).expect("calibration");
+
+    let mut native = 0usize;
+    let mut conformal = 0usize;
+    let mut floors = 0usize;
+    for seed in 0..60u64 {
+        let plan = chaos::FaultPlan {
+            seed,
+            panic_prob: 0.25,
+            error_prob: 0.25,
+            nan_prob: 0.25,
+            delay_prob: 0.05,
+            max_delay_ms: 2,
+        };
+        chaos::install(plan);
+        for horizon in [3usize, 6, 9] {
+            let outcome =
+                predict_interval_or_conformal(p.as_ref(), horizon, &[0.8, 0.95], Some(&cal));
+            // injection is a pure function of (seed, site, key): the same
+            // call under the same plan lands on the same rung
+            let replay =
+                predict_interval_or_conformal(p.as_ref(), horizon, &[0.8, 0.95], Some(&cal));
+            match (&outcome, &replay) {
+                (Ok(a), Ok(b)) => assert_eq!(a.source(), b.source(), "seed {seed}"),
+                (Err(_), Err(_)) => {}
+                _ => panic!("seed {seed} h={horizon}: replay diverged"),
+            }
+            match outcome {
+                Ok(iv) => {
+                    match iv.source() {
+                        IntervalSource::Native => native += 1,
+                        IntervalSource::Conformal => conformal += 1,
+                        IntervalSource::Baseline => unreachable!("no floor in this ladder"),
+                    }
+                    for idx in 0..2 {
+                        let (lo, hi) = iv.band(idx).expect("band");
+                        assert!(
+                            lo.series(0)
+                                .iter()
+                                .zip(hi.series(0))
+                                .all(|(l, u)| l.is_finite() && u.is_finite() && l <= u),
+                            "seed {seed} h={horizon}: non-finite or crossed band"
+                        );
+                    }
+                }
+                // both rungs faulted (native band + NaN-poisoned conformal
+                // point): a typed error, never a panic — callers with a
+                // ZeroModel floor absorb this
+                Err(_) => floors += 1,
+            }
+        }
+        chaos::disable();
+    }
+    assert!(native > 0, "no native band survived the sweep");
+    assert!(conformal > 0, "native faults never degraded to conformal");
+    // the ladder stayed total: every call returned a band or a typed error
+    assert_eq!(native + conformal + floors, 180);
 }
 
 #[test]

@@ -1,0 +1,316 @@
+//! Seeded calibration property suite for the probabilistic forecast layer.
+//!
+//! Three families of properties, all driven by the in-repo deterministic
+//! [`Rng64`] so every failure reproduces from the fixed seeds:
+//!
+//! 1. **Empirical coverage** — on synthetic series whose generating process
+//!    matches a pipeline's model family (AR(1) for AR/ARIMA, seasonal +
+//!    Gaussian noise for Holt-Winters, random walks for ZeroModel/GARCH),
+//!    the native 80%/95% bands must cover the realized future within
+//!    tolerance of their nominal levels.
+//! 2. **Quantile monotonicity** — every pool pipeline, across random
+//!    horizons, returns bands where `lower <= point <= upper` per level and
+//!    a wider level never produces a narrower band. The
+//!    [`IntervalForecast`] constructor enforces this, so the property is
+//!    asserted both through the constructor (an `Ok` return) and directly
+//!    against the band frames.
+//! 3. **Conformal guarantee** — on exchangeable (iid) noise, the
+//!    split-conformal fallback's marginal coverage is at least its nominal
+//!    level up to finite-sample slack, for a pipeline with no native
+//!    interval implementation.
+
+use autoai_ts_repro::linalg::Rng64;
+use autoai_ts_repro::pipelines::{
+    pipeline_by_name, predict_interval_or_conformal, ConformalCalibration, Forecaster,
+    IntervalForecast, IntervalSource, PipelineContext,
+};
+use autoai_ts_repro::tsdata::TimeSeriesFrame;
+
+const LEVELS: [f64; 2] = [0.80, 0.95];
+
+/// AR(1) around a fixed mean with Gaussian innovations.
+fn ar1(rng: &mut Rng64, n: usize, phi: f64, sigma: f64) -> Vec<f64> {
+    let mut x = 50.0;
+    (0..n)
+        .map(|_| {
+            x = 50.0 + phi * (x - 50.0) + sigma * rng.normal();
+            x
+        })
+        .collect()
+}
+
+/// Seasonal signal plus iid Gaussian noise.
+fn seasonal(rng: &mut Rng64, n: usize, period: usize, sigma: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            30.0 + 6.0 * (2.0 * std::f64::consts::PI * i as f64 / period as f64).sin()
+                + sigma * rng.normal()
+        })
+        .collect()
+}
+
+/// Random walk with drifted Gaussian steps — the model family behind the
+/// ZeroModel and GARCH interval recursions.
+fn random_walk(rng: &mut Rng64, n: usize, drift: f64, sigma: f64) -> Vec<f64> {
+    let mut x = 100.0;
+    (0..n)
+        .map(|_| {
+            x += drift + sigma * rng.normal();
+            x
+        })
+        .collect()
+}
+
+/// Fit `pipeline` on the first `n - horizon` points of each generated
+/// series, ask for native bands over the final `horizon` points, and return
+/// the empirical coverage per level. Panics if the pipeline ever refuses a
+/// native interval — these pipelines advertise analytic bands.
+fn native_coverage(
+    rng: &mut Rng64,
+    mut gen: impl FnMut(&mut Rng64, usize) -> Vec<f64>,
+    pipeline: &str,
+    ctx: &PipelineContext,
+    n: usize,
+    horizon: usize,
+    trials: usize,
+) -> Vec<f64> {
+    let mut hits = vec![0usize; LEVELS.len()];
+    let mut events = 0usize;
+    for _ in 0..trials {
+        let series = gen(rng, n + horizon);
+        let (train, future) = (series[..n].to_vec(), &series[n..]);
+        let mut p = pipeline_by_name(pipeline, ctx).expect("pipeline resolvable");
+        p.fit(&TimeSeriesFrame::univariate(train)).expect("fit");
+        let iv = p
+            .predict_interval(horizon, &LEVELS)
+            .unwrap_or_else(|e| panic!("{pipeline} refused a native interval: {e}"));
+        assert_eq!(iv.source(), IntervalSource::Native, "{pipeline}");
+        for (idx, _) in LEVELS.iter().enumerate() {
+            let (lo, hi) = iv.band(idx).expect("band");
+            for ((l, h), a) in lo.series(0).iter().zip(hi.series(0)).zip(future) {
+                if l <= a && a <= h {
+                    hits[idx] += 1;
+                }
+            }
+        }
+        events += horizon;
+    }
+    hits.iter().map(|&h| h as f64 / events as f64).collect()
+}
+
+fn assert_calibrated(name: &str, coverage: &[f64]) {
+    let c80 = coverage[0];
+    let c95 = coverage[1];
+    // forecast-step events within a trial are correlated, so the effective
+    // sample is smaller than trials*horizon; the tolerances are set for
+    // that (and the suite is fully seeded, so there is no flake budget)
+    assert!(
+        (0.68..=0.93).contains(&c80),
+        "{name}: 80% band covered {c80:.3}"
+    );
+    assert!(c95 >= 0.86, "{name}: 95% band covered {c95:.3}");
+    assert!(
+        c95 >= c80,
+        "{name}: nesting lost in coverage: {c95} < {c80}"
+    );
+}
+
+#[test]
+fn ar_native_bands_cover_gaussian_ar1() {
+    let mut rng = Rng64::seed_from_u64(0xA21);
+    let ctx = PipelineContext::new(8, 6, vec![12]);
+    let cov = native_coverage(&mut rng, |r, n| ar1(r, n, 0.7, 2.0), "AR", &ctx, 240, 6, 50);
+    assert_calibrated("AR", &cov);
+}
+
+#[test]
+fn arima_native_bands_cover_gaussian_ar1() {
+    let mut rng = Rng64::seed_from_u64(0xA22);
+    let ctx = PipelineContext::new(8, 6, vec![12]);
+    let cov = native_coverage(
+        &mut rng,
+        |r, n| ar1(r, n, 0.6, 2.5),
+        "Arima",
+        &ctx,
+        240,
+        6,
+        40,
+    );
+    assert_calibrated("Arima", &cov);
+}
+
+#[test]
+fn holtwinters_native_bands_cover_seasonal_noise() {
+    let mut rng = Rng64::seed_from_u64(0xA23);
+    let ctx = PipelineContext::new(8, 6, vec![12]);
+    let cov = native_coverage(
+        &mut rng,
+        |r, n| seasonal(r, n, 12, 1.5),
+        "HW-Additive",
+        &ctx,
+        240,
+        6,
+        40,
+    );
+    assert_calibrated("HW-Additive", &cov);
+}
+
+#[test]
+fn zero_model_native_bands_cover_random_walks() {
+    let mut rng = Rng64::seed_from_u64(0xA24);
+    let ctx = PipelineContext::new(8, 6, vec![12]);
+    let cov = native_coverage(
+        &mut rng,
+        |r, n| random_walk(r, n, 0.0, 1.0),
+        "ZeroModel",
+        &ctx,
+        200,
+        6,
+        50,
+    );
+    assert_calibrated("ZeroModel", &cov);
+}
+
+#[test]
+fn garch_native_bands_cover_drifted_random_walks() {
+    let mut rng = Rng64::seed_from_u64(0xA25);
+    let ctx = PipelineContext::new(8, 6, vec![12]);
+    // GARCH's conditional-variance origin wobbles with the last residuals,
+    // so its coverage estimate needs more trials than the constant-variance
+    // families to settle near nominal
+    let cov = native_coverage(
+        &mut rng,
+        |r, n| random_walk(r, n, 0.05, 1.2),
+        "Garch",
+        &ctx,
+        240,
+        6,
+        150,
+    );
+    assert_calibrated("Garch", &cov);
+}
+
+#[test]
+fn conformal_fallback_covers_exchangeable_noise() {
+    // iid observations are exchangeable, so split conformal's marginal
+    // coverage guarantee applies exactly; MT2RForecaster has no native
+    // interval implementation and must take the conformal path
+    let mut rng = Rng64::seed_from_u64(0xC0F);
+    let ctx = PipelineContext::new(8, 6, vec![12]);
+    let (n, calib_len, horizon, trials) = (200usize, 48usize, 6usize, 40usize);
+    let mut hits = vec![0usize; LEVELS.len()];
+    let mut events = 0usize;
+    for _ in 0..trials {
+        let series: Vec<f64> = (0..n + horizon)
+            .map(|_| 40.0 + 3.0 * rng.normal())
+            .collect();
+        let train = TimeSeriesFrame::univariate(series[..n - calib_len].to_vec());
+        let calib = TimeSeriesFrame::univariate(series[n - calib_len..n].to_vec());
+        let future = &series[n..];
+        let mut p = pipeline_by_name("MT2RForecaster", &ctx).expect("resolvable");
+        p.fit(&train).expect("fit");
+        let calibration = ConformalCalibration::calibrate(p.as_ref(), &calib).expect("calibration");
+        let iv = predict_interval_or_conformal(p.as_ref(), horizon, &LEVELS, Some(&calibration))
+            .expect("conformal bands");
+        assert_eq!(iv.source(), IntervalSource::Conformal);
+        for (idx, _) in LEVELS.iter().enumerate() {
+            let (lo, hi) = iv.band(idx).expect("band");
+            for ((l, h), a) in lo.series(0).iter().zip(hi.series(0)).zip(future) {
+                if l <= a && a <= h {
+                    hits[idx] += 1;
+                }
+            }
+        }
+        events += horizon;
+    }
+    for (idx, level) in LEVELS.iter().enumerate() {
+        let cov = hits[idx] as f64 / events as f64;
+        // the guarantee is one-sided (coverage >= level); allow empirical
+        // slack from the finite event count
+        assert!(
+            cov >= level - 0.07,
+            "conformal {level} band covered only {cov:.3}"
+        );
+    }
+}
+
+/// Every pool pipeline (defaults + extensions) must produce valid bands —
+/// native or conformal — across random horizons, and those bands must be
+/// finite, bracket the point forecast, and nest across levels.
+#[test]
+fn all_pool_pipelines_emit_monotone_noncrossing_bands() {
+    let mut rng = Rng64::seed_from_u64(0x90A7);
+    let ctx = PipelineContext::new(8, 6, vec![12]);
+    let names = [
+        "FlattenAutoEnsembler-log",
+        "WindowRandomForest",
+        "WindowSVR",
+        "MT2RForecaster",
+        "bats",
+        "DifferenceFlattenAutoEnsembler-log",
+        "LocalizedFlattenAutoEnsembler",
+        "Arima",
+        "HW-Additive",
+        "HW-Multiplicative",
+        "ZeroModel",
+        "Theta",
+        "NeuralWindow",
+        "FlattenAutoEnsembler",
+        "AR",
+        "SeasonalNaive",
+        "Garch",
+    ];
+    let n = 200usize;
+    let series = seasonal(&mut rng, n, 12, 1.0);
+    let train = TimeSeriesFrame::univariate(series[..n - 24].to_vec());
+    let calib = TimeSeriesFrame::univariate(series[n - 24..].to_vec());
+    let levels = [0.5, 0.8, 0.95];
+    for name in names {
+        let mut p = pipeline_by_name(name, &ctx).unwrap_or_else(|| panic!("{name} resolvable"));
+        p.fit(&train).unwrap_or_else(|e| panic!("{name} fit: {e}"));
+        let calibration = ConformalCalibration::calibrate(p.as_ref(), &calib);
+        for _ in 0..4 {
+            let horizon = rng.gen_range(1..17);
+            let iv: IntervalForecast =
+                predict_interval_or_conformal(p.as_ref(), horizon, &levels, calibration.as_ref())
+                    .unwrap_or_else(|e| panic!("{name} h={horizon}: {e}"));
+            assert_eq!(iv.horizon(), horizon, "{name}");
+            assert_eq!(iv.levels(), &levels, "{name}");
+            // re-assert what the constructor validates, directly on the
+            // band frames: finite, bracketing, nested
+            let point = iv.point();
+            let mut prev_widths: Option<Vec<f64>> = None;
+            for (idx, _) in levels.iter().enumerate() {
+                let (lo, hi) = iv.band(idx).expect("band");
+                let mut widths = Vec::with_capacity(horizon);
+                for ((l, h), c) in lo.series(0).iter().zip(hi.series(0)).zip(point.series(0)) {
+                    assert!(l.is_finite() && h.is_finite(), "{name} non-finite band");
+                    assert!(l <= c && c <= h, "{name} band crosses the point");
+                    widths.push(h - l);
+                }
+                if let Some(prev) = &prev_widths {
+                    for (w, pw) in widths.iter().zip(prev) {
+                        assert!(w + 1e-12 >= *pw, "{name} wider level got narrower");
+                    }
+                }
+                prev_widths = Some(widths);
+            }
+        }
+    }
+}
+
+/// The ladder floor: a ZeroModel fitted on a constant series still emits
+/// valid (zero-width) bands — intervals are *always* available.
+#[test]
+fn constant_series_still_yields_valid_bands() {
+    let ctx = PipelineContext::new(4, 4, vec![]);
+    let mut p = pipeline_by_name("ZeroModel", &ctx).expect("resolvable");
+    p.fit(&TimeSeriesFrame::univariate(vec![7.0; 64]))
+        .expect("fit");
+    let iv = p.predict_interval(5, &LEVELS).expect("bands");
+    assert_eq!(iv.source(), IntervalSource::Native);
+    let (lo, hi) = iv.band(1).expect("95% band");
+    for (l, h) in lo.series(0).iter().zip(hi.series(0)) {
+        assert!((l - 7.0).abs() < 1e-9 && (h - 7.0).abs() < 1e-9);
+    }
+}
