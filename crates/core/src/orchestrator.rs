@@ -332,7 +332,12 @@ impl AutoAITS {
                 let mut conformal = ConformalCalibration::calibrate(result.best.as_ref(), &holdout);
                 let ensemble = result.ensemble.clone();
 
-                let mut degradation = if result.execution.failures().next().is_some() {
+                let mut degradation = if result.execution.failures().next().is_some()
+                    || result.execution.run_deadline_hit
+                {
+                    // a run truncated by the whole-run hard deadline serves
+                    // ranked survivors from partial evidence — surface that
+                    // exactly like a partially-lost pool
                     DegradationLevel::Survivors
                 } else {
                     DegradationLevel::None
@@ -679,6 +684,20 @@ mod tests {
         let mut sys = AutoAITS::with_config(fast_config());
         sys.fit_rows(&seasonal_rows(300)).unwrap();
         assert_eq!(sys.summary().unwrap().degradation, DegradationLevel::None);
+    }
+
+    #[test]
+    fn expired_run_deadline_degrades_to_survivors_and_still_forecasts() {
+        let mut cfg = fast_config();
+        cfg.tdaub.run_hard_deadline = Some(std::time::Duration::ZERO);
+        let mut sys = AutoAITS::with_config(cfg);
+        sys.fit_rows(&seasonal_rows(300)).unwrap();
+        let summary = sys.summary().unwrap();
+        assert_eq!(summary.degradation, DegradationLevel::Survivors);
+        assert!(!summary.best_pipeline.is_empty());
+        // the truncated run still serves usable forecasts
+        let f = sys.predict_rows(6).unwrap();
+        assert_eq!(f.len(), 6);
     }
 
     #[test]

@@ -8,6 +8,45 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+/// Dot product with four independent accumulators.
+///
+/// The split reduction breaks the serial dependence chain of a naive
+/// `sum(a[i] * b[i])`, which is what lets LLVM keep the partial sums in
+/// vector registers. The summation order is fixed (lane sums combined
+/// pairwise, then the scalar tail), so results are deterministic across
+/// runs and threads — they just differ in last-bit rounding from the
+/// strictly sequential order, which no contract in this workspace depends
+/// on. Mismatched lengths use the shorter of the two.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut chunks_a = a.chunks_exact(4);
+    let mut chunks_b = b.chunks_exact(4);
+    let mut acc = [0.0f64; 4];
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    let mut tail = 0.0;
+    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        tail += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Fused scale-and-add `y[i] += a * x[i]`.
+///
+/// A plain elementwise loop with no reduction, so LLVM autovectorizes it
+/// directly. Mismatched lengths use the shorter of the two.
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    let n = x.len().min(y.len());
+    for (yi, &xi) in y[..n].iter_mut().zip(&x[..n]) {
+        *yi += a * xi;
+    }
+}
+
 /// Dense row-major matrix of `f64`.
 #[derive(Clone, PartialEq)]
 pub struct Matrix {
@@ -150,18 +189,30 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // ikj loop order keeps the inner loop streaming over contiguous rows.
+        // Register-tiled ikj: four k-panels fused per pass over the output
+        // row, so each `out` element gets four fused multiply-adds per load
+        // and the inner loop streams over contiguous rows. No zero-skip —
+        // the branch costs more than the multiply and blocks vectorization.
         for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
+            let arow = self.row(i);
+            let orow = out.row_mut(i);
+            let mut k = 0;
+            while k + 4 <= rhs.rows {
+                let (a0, a1, a2, a3) = (arow[k], arow[k + 1], arow[k + 2], arow[k + 3]);
+                let quad = rhs
+                    .row(k)
+                    .iter()
+                    .zip(rhs.row(k + 1))
+                    .zip(rhs.row(k + 2))
+                    .zip(rhs.row(k + 3));
+                for (o, (((&b0, &b1), &b2), &b3)) in orow.iter_mut().zip(quad) {
+                    *o += a0 * b0 + a1 * b1 + a2 * b2 + a3 * b3;
                 }
-                let rrow = rhs.row(k);
-                let orow = out.row_mut(i);
-                for (o, &b) in orow.iter_mut().zip(rrow.iter()) {
-                    *o += a * b;
-                }
+                k += 4;
+            }
+            while k < rhs.rows {
+                axpy(arow[k], rhs.row(k), orow);
+                k += 1;
             }
         }
         out
@@ -177,25 +228,21 @@ impl Matrix {
             self.cols,
             v.len()
         );
-        (0..self.rows)
-            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect()
+        self.rows_iter().map(|row| dot(row, v)).collect()
     }
 
     /// Gram matrix `selfᵀ * self` computed without materializing the transpose.
     pub fn gram(&self) -> Matrix {
         let n = self.cols;
         let mut g = Matrix::zeros(n, n);
+        // Rank-1 updates on the upper triangle, one contiguous axpy per
+        // (row, i) pair; the zero-skip branch is gone for the same reason
+        // as in `matmul`.
         for r in 0..self.rows {
-            let row = self.row(r);
             for i in 0..n {
-                let a = row[i];
-                if a == 0.0 {
-                    continue;
-                }
-                for j in i..n {
-                    g[(i, j)] += a * row[j];
-                }
+                let a = self[(r, i)];
+                let row = &self.data[r * n + i..(r + 1) * n];
+                axpy(a, row, &mut g.row_mut(i)[i..]);
             }
         }
         // mirror the upper triangle
@@ -218,13 +265,8 @@ impl Matrix {
             v.len()
         );
         let mut out = vec![0.0; self.cols];
-        for (r, &w) in v.iter().enumerate() {
-            if w == 0.0 {
-                continue;
-            }
-            for (o, &a) in out.iter_mut().zip(self.row(r)) {
-                *o += w * a;
-            }
+        for (&w, row) in v.iter().zip(self.rows_iter()) {
+            axpy(w, row, &mut out);
         }
         out
     }

@@ -5,7 +5,7 @@
 use autoai_linalg::{parallel_try_map_range, Matrix, Rng64};
 
 use crate::api::{MlError, Regressor};
-use crate::tree::{DecisionTreeConfig, DecisionTreeRegressor};
+use crate::tree::{DecisionTreeConfig, DecisionTreeRegressor, FeatureOrders};
 
 /// Hyperparameters of the random forest.
 #[derive(Debug, Clone)]
@@ -83,6 +83,8 @@ impl Regressor for RandomForestRegressor {
         let n_boot = ((n as f64) * self.config.sample_fraction).round().max(1.0) as usize;
 
         let cfg = &self.config;
+        // one argsort of the shared design matrix serves every tree
+        let shared = FeatureOrders::compute(x);
         let fits: Vec<Result<DecisionTreeRegressor, MlError>> =
             parallel_try_map_range(cfg.n_trees, |t| {
                 let mut rng = Rng64::seed_from_u64(cfg.seed.wrapping_add(t as u64 * 7919));
@@ -95,7 +97,7 @@ impl Regressor for RandomForestRegressor {
                     seed: cfg.seed.wrapping_add(t as u64 * 104729 + 1),
                 };
                 let mut tree = DecisionTreeRegressor::with_config(tree_cfg);
-                tree.fit_indices(x, y, &indices)?;
+                tree.fit_indices_presorted(x, y, &indices, &shared)?;
                 Ok(tree)
             })
             .into_iter()

@@ -11,7 +11,7 @@
 use autoai_linalg::{Matrix, Rng64};
 
 use crate::api::{MlError, Regressor};
-use crate::tree::{DecisionTreeConfig, DecisionTreeRegressor};
+use crate::tree::{DecisionTreeConfig, DecisionTreeRegressor, FeatureOrders};
 
 /// Hyperparameters of the gradient-boosting ensemble.
 #[derive(Debug, Clone)]
@@ -111,6 +111,9 @@ impl Regressor for GradientBoostingRegressor {
         let all_indices: Vec<usize> = (0..n).collect();
         let n_sub = ((n as f64) * self.config.subsample).round().max(2.0) as usize;
         self.stored_lr = self.config.learning_rate * shrink_factor;
+        // every round fits on the same design matrix (only the residual
+        // targets change), so one argsort serves all boosting rounds
+        let shared = FeatureOrders::compute(x);
 
         for round in 0..self.config.n_rounds {
             let residuals: Vec<f64> = y.iter().zip(&pred).map(|(t, p)| t - p).collect();
@@ -130,7 +133,7 @@ impl Regressor for GradientBoostingRegressor {
                 seed: self.config.seed.wrapping_add(round as u64),
             };
             let mut tree = DecisionTreeRegressor::with_config(cfg);
-            tree.fit_indices(x, &residuals, &indices)?;
+            tree.fit_indices_presorted(x, &residuals, &indices, &shared)?;
             for (i, p) in pred.iter_mut().enumerate() {
                 *p += self.stored_lr * tree.predict_row(x.row(i));
             }

@@ -30,4 +30,4 @@ pub use gbm::{GradientBoostingConfig, GradientBoostingRegressor};
 pub use knn::KnnRegressor;
 pub use linear::{LinearRegression, RidgeRegression, SgdConfig, SgdRegressor};
 pub use svr::{KernelRidgeSvr, LinearSvr, SvrConfig};
-pub use tree::{DecisionTreeConfig, DecisionTreeRegressor};
+pub use tree::{DecisionTreeConfig, DecisionTreeRegressor, FeatureOrders};

@@ -2,8 +2,16 @@
 //!
 //! The building block of both the random forest and the gradient-boosted
 //! ensemble. Splits minimize the weighted sum of child variances; candidate
-//! thresholds come from sorting the node's samples per feature, and features
+//! thresholds come from per-feature *presorted* sample orders, and features
 //! can be subsampled per split (`max_features`) for forest decorrelation.
+//!
+//! Split finding never sorts inside the tree: [`FeatureOrders`] argsorts
+//! every feature column once per design matrix, a fit expands that order to
+//! its (possibly bootstrapped) sample multiset, and each split maintains
+//! sortedness by stably partitioning every feature's order into the two
+//! children — O(d·n) per node instead of O(d·n·log n). Because the same
+//! design matrix backs every tree of a forest and every round of a booster,
+//! the argsort is paid once per ensemble fit, not once per node.
 
 use autoai_linalg::{Matrix, Rng64};
 
@@ -49,6 +57,47 @@ enum Node {
     },
 }
 
+/// Per-feature argsort of a design matrix, shareable across every tree of a
+/// forest and every round of a booster fitted on the same matrix.
+///
+/// Sorting is the dominant cost of naive CART split finding; computing the
+/// order once here and letting each fit expand it to its bootstrap multiset
+/// turns per-node split finding into a linear scan.
+pub struct FeatureOrders {
+    /// `orders[f]` lists all row indices sorted ascending by feature `f`
+    /// (`total_cmp`, so NaNs sort last and ties keep row order).
+    orders: Vec<Vec<usize>>,
+    rows: usize,
+}
+
+impl FeatureOrders {
+    /// Argsort every column of `x`.
+    pub fn compute(x: &Matrix) -> Self {
+        let n = x.nrows();
+        let orders = (0..x.ncols())
+            .map(|f| {
+                let col: Vec<f64> = (0..n).map(|r| x[(r, f)]).collect();
+                let mut ord: Vec<usize> = (0..n).collect();
+                ord.sort_by(|&a, &b| col[a].total_cmp(&col[b]));
+                ord
+            })
+            .collect();
+        Self { orders, rows: n }
+    }
+}
+
+/// Reusable per-fit buffers: gathered split-scan columns and the partition
+/// staging area. One allocation set serves the whole tree.
+struct Scratch {
+    vals: Vec<f64>,
+    ys: Vec<f64>,
+    idx: Vec<usize>,
+    /// `side[row] == true` ⇔ the row goes to the left child of the split
+    /// currently being applied; filled once per split so partitioning d
+    /// order arrays does d·n byte lookups instead of d·n matrix accesses.
+    side: Vec<bool>,
+}
+
 /// A fitted CART regression tree.
 #[derive(Debug, Clone)]
 pub struct DecisionTreeRegressor {
@@ -72,31 +121,96 @@ impl DecisionTreeRegressor {
 
     /// Fit on the samples selected by `indices` (bootstrap support).
     pub fn fit_indices(&mut self, x: &Matrix, y: &[f64], indices: &[usize]) -> Result<(), MlError> {
+        let shared = FeatureOrders::compute(x);
+        self.fit_indices_presorted(x, y, indices, &shared)
+    }
+
+    /// [`Self::fit_indices`] with the per-feature argsort supplied by the
+    /// caller, so an ensemble pays for sorting once instead of per tree.
+    pub fn fit_indices_presorted(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        indices: &[usize],
+        shared: &FeatureOrders,
+    ) -> Result<(), MlError> {
         if indices.is_empty() {
             return Err(MlError::new("decision tree: no training samples"));
         }
         if x.nrows() != y.len() {
             return Err(MlError::new("decision tree: X/y row mismatch"));
         }
+        if shared.rows != x.nrows() || shared.orders.len() != x.ncols() {
+            return Err(MlError::new(
+                "decision tree: feature orders were computed for a different matrix",
+            ));
+        }
+        // expand the full-data sort order to this fit's sample multiset: a
+        // row drawn k times by the bootstrap appears k times, in sorted
+        // position, in every feature's order
+        let mut counts = vec![0usize; x.nrows()];
+        for &i in indices {
+            if i >= counts.len() {
+                return Err(MlError::new("decision tree: sample index out of range"));
+            }
+            counts[i] += 1;
+        }
+        let identity = indices.len() == x.nrows() && counts.iter().all(|&c| c == 1);
+        let mut orders: Vec<Vec<usize>> = if identity {
+            // no resampling (e.g. boosting without row subsampling): the
+            // shared order IS this fit's order, so a straight clone suffices
+            shared.orders.clone()
+        } else {
+            shared
+                .orders
+                .iter()
+                .map(|full| {
+                    let mut o = Vec::with_capacity(indices.len());
+                    for &i in full {
+                        for _ in 0..counts[i] {
+                            o.push(i);
+                        }
+                    }
+                    o
+                })
+                .collect()
+        };
         self.nodes.clear();
         let mut rng = Rng64::seed_from_u64(self.config.seed);
-        let mut idx = indices.to_vec();
-        self.build(x, y, &mut idx, 0, &mut rng);
+        let hi = indices.len();
+        let mut scratch = Scratch {
+            vals: Vec::with_capacity(hi),
+            ys: Vec::with_capacity(hi),
+            idx: Vec::with_capacity(hi),
+            side: vec![false; x.nrows()],
+        };
+        self.build(x, y, &mut orders, 0, hi, 0, &mut rng, &mut scratch);
         Ok(())
     }
 
-    /// Recursively grow the tree over `idx`; returns the new node's index.
+    /// Recursively grow the tree over the node occupying `[lo, hi)` of every
+    /// feature's order array; returns the new node's index. Children are
+    /// carved out by stable in-place partition, so the whole build allocates
+    /// nothing beyond the shared scratch.
+    #[allow(clippy::too_many_arguments)]
     fn build(
         &mut self,
         x: &Matrix,
         y: &[f64],
-        idx: &mut [usize],
+        orders: &mut [Vec<usize>],
+        lo: usize,
+        hi: usize,
         depth: usize,
         rng: &mut Rng64,
+        scratch: &mut Scratch,
     ) -> usize {
-        let n = idx.len();
-        let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / n as f64;
-        let node_var: f64 = idx.iter().map(|&i| (y[i] - mean) * (y[i] - mean)).sum();
+        let n = hi - lo;
+        let base: &[usize] = orders
+            .first()
+            .and_then(|o| o.get(lo..hi))
+            .unwrap_or_default();
+        let mean = base.iter().map(|&i| y[i]).sum::<f64>() / (n.max(1)) as f64;
+        let node_var: f64 = base.iter().map(|&i| (y[i] - mean) * (y[i] - mean)).sum();
 
         let make_leaf = |nodes: &mut Vec<Node>| {
             nodes.push(Node::Leaf { value: mean });
@@ -121,34 +235,41 @@ impl DecisionTreeRegressor {
             }
         }
 
-        // best split: minimize sum of child SSEs via sorted prefix scan
+        // best split: minimize sum of child SSEs via a prefix scan over the
+        // presorted order — values and targets are gathered into contiguous
+        // scratch first so the scan itself runs branch-light over two slices
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
         let min_leaf = self.config.min_samples_leaf;
-        let mut order: Vec<usize> = Vec::with_capacity(n);
         for &f in &features {
-            order.clear();
-            order.extend_from_slice(idx);
-            order.sort_by(|&a, &b| x[(a, f)].total_cmp(&x[(b, f)]));
-            // prefix sums of y and y²
+            let order: &[usize] = orders
+                .get(f)
+                .and_then(|o| o.get(lo..hi))
+                .unwrap_or_default();
+            scratch.vals.clear();
+            scratch.ys.clear();
+            for &i in order {
+                scratch.vals.push(x[(i, f)]);
+                scratch.ys.push(y[i]);
+            }
+            let total_sum: f64 = scratch.ys.iter().sum();
+            let total_sq: f64 = scratch.ys.iter().map(|v| v * v).sum();
             let mut sum_l = 0.0;
             let mut sq_l = 0.0;
-            let total_sum: f64 = order.iter().map(|&i| y[i]).sum();
-            let total_sq: f64 = order.iter().map(|&i| y[i] * y[i]).sum();
             for k in 0..n - 1 {
-                let yi = y[order[k]];
+                let yi = scratch.ys[k];
                 sum_l += yi;
                 sq_l += yi * yi;
-                let n_l = (k + 1) as f64;
-                let n_r = (n - k - 1) as f64;
                 // no split between equal feature values
-                let v_cur = x[(order[k], f)];
-                let v_next = x[(order[k + 1], f)];
+                let v_cur = scratch.vals[k];
+                let v_next = scratch.vals[k + 1];
                 if v_next - v_cur < 1e-12 {
                     continue;
                 }
                 if (k + 1) < min_leaf || (n - k - 1) < min_leaf {
                     continue;
                 }
+                let n_l = (k + 1) as f64;
+                let n_r = (n - k - 1) as f64;
                 let sse_l = sq_l - sum_l * sum_l / n_l;
                 let sum_r = total_sum - sum_l;
                 let sse_r = (total_sq - sq_l) - sum_r * sum_r / n_r;
@@ -167,17 +288,45 @@ impl DecisionTreeRegressor {
             return make_leaf(&mut self.nodes);
         }
 
-        // partition in place
-        let mid = itertools_partition(idx, |&i| x[(i, feature)] <= threshold);
+        // stable-partition every feature's order segment by the split
+        // predicate, in place through the shared scratch: stability keeps
+        // each child's segments sorted, so no re-sort is ever needed below.
+        // The predicate is evaluated once per distinct row into `side`, so
+        // the d partition passes do byte lookups, not matrix accesses.
+        let mut mid = 0usize;
+        for &i in base {
+            let left = x[(i, feature)] <= threshold;
+            if let Some(s) = scratch.side.get_mut(i) {
+                *s = left;
+            }
+            mid += left as usize;
+        }
         if mid == 0 || mid == n {
             return make_leaf(&mut self.nodes);
+        }
+        let Scratch { idx, side, .. } = scratch;
+        for order in orders.iter_mut() {
+            let Some(seg) = order.get_mut(lo..hi) else {
+                continue;
+            };
+            idx.clear();
+            idx.extend(
+                seg.iter()
+                    .copied()
+                    .filter(|&i| side.get(i).copied().unwrap_or_default()),
+            );
+            idx.extend(
+                seg.iter()
+                    .copied()
+                    .filter(|&i| !side.get(i).copied().unwrap_or_default()),
+            );
+            seg.copy_from_slice(idx);
         }
         // reserve our slot before recursing
         let slot = self.nodes.len();
         self.nodes.push(Node::Leaf { value: mean });
-        let (left_idx, right_idx) = idx.split_at_mut(mid);
-        let left = self.build(x, y, left_idx, depth + 1, rng);
-        let right = self.build(x, y, right_idx, depth + 1, rng);
+        let left = self.build(x, y, orders, lo, lo + mid, depth + 1, rng, scratch);
+        let right = self.build(x, y, orders, lo + mid, hi, depth + 1, rng, scratch);
         self.nodes[slot] = Node::Split {
             feature,
             threshold,
@@ -191,21 +340,6 @@ impl DecisionTreeRegressor {
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()
     }
-}
-
-/// Stable partition returning the split point (true-block length).
-fn itertools_partition(idx: &mut [usize], pred: impl Fn(&usize) -> bool) -> usize {
-    let mut tmp: Vec<usize> = Vec::with_capacity(idx.len());
-    let mut mid = 0;
-    for &i in idx.iter() {
-        if pred(&i) {
-            mid += 1;
-        }
-    }
-    tmp.extend(idx.iter().copied().filter(|i| pred(i)));
-    tmp.extend(idx.iter().copied().filter(|i| !pred(i)));
-    idx.copy_from_slice(&tmp);
-    mid
 }
 
 impl Default for DecisionTreeRegressor {

@@ -783,11 +783,32 @@ impl Forecaster for HoltWintersPipeline {
 }
 
 /// BATS per series (the `bats` pipeline of Table 6).
+///
+/// Supports a tier-2 (rank-stable) [`Forecaster::fit_incremental`] warm
+/// start: both forward growth (appended rows) and reverse growth (T-Daub's
+/// suffix allocations) re-fit via [`Bats::fit_seeded_with_deadline`], which
+/// pins the component selection (Box-Cox λ, trend, ARMA, periods) found on
+/// the previous view and restarts the smoothing-constant search from the
+/// previous optimum — skipping the 2×2×2 AIC grid and the golden-section λ
+/// search that dominate a cold fit. Fingerprint-verified with a cold-fit
+/// fallback, like every other incremental pipeline.
+///
+/// Seeds go stale: a component selection made on one allocation can be
+/// wrong for the next (the AIC winner flips as data grows), and chained
+/// warm refits would freeze it forever — far enough from the cold model to
+/// perturb T-Daub's ranking. The warm path therefore caps structure age at
+/// one refit: after a seeded refit the next `fit_incremental` is refused,
+/// forcing the executor's cold fallback to re-run the component search, so
+/// warm and cold fits alternate along T-Daub's allocation ladder.
 pub struct BatsPipeline {
     /// Candidate seasonal periods handed to the component search.
     pub periods: Vec<usize>,
     models: Vec<Bats>,
     names: Vec<String>,
+    fitted_rows: usize,
+    /// Consecutive seeded refits since the last full component search.
+    warm_streak: usize,
+    last_fp: Option<FrameFingerprint>,
     budget: Option<Duration>,
 }
 
@@ -798,6 +819,9 @@ impl BatsPipeline {
             periods,
             models: Vec::new(),
             names: Vec::new(),
+            fitted_rows: 0,
+            warm_streak: 0,
+            last_fp: None,
             budget: None,
         }
     }
@@ -813,6 +837,8 @@ impl Forecaster for BatsPipeline {
     fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
         chaos_fit_gate("bats", frame.len())?;
         self.models.clear();
+        self.fitted_rows = 0;
+        self.last_fp = None;
         self.names = frame.names().to_vec();
         let config = BatsConfig::with_periods(self.periods.clone());
         // one absolute deadline shared by every per-series search, so the
@@ -826,7 +852,61 @@ impl Forecaster for BatsPipeline {
         if self.models.is_empty() {
             return Err(PipelineError::InvalidInput("empty frame".into()));
         }
+        self.fitted_rows = frame.len();
+        self.warm_streak = 0;
+        self.last_fp = Some(frame.fingerprint());
         Ok(())
+    }
+
+    fn fit_incremental(
+        &mut self,
+        frame: &TimeSeriesFrame,
+        previous_rows: usize,
+    ) -> Result<bool, PipelineError> {
+        let Some(old_fp) = self.last_fp.as_ref() else {
+            return Ok(false);
+        };
+        let fp = frame.fingerprint();
+        if self.fitted_rows == 0
+            || previous_rows != self.fitted_rows
+            || frame.len() < previous_rows
+            || frame.n_series() != self.models.len()
+        {
+            return Ok(false);
+        }
+        let appended = frame.len() > previous_rows && fp.extends_as_prefix(old_fp);
+        if !appended && !fp.extends_as_suffix(old_fp) {
+            return Ok(false);
+        }
+        // stale seed: the component structure was chosen two refits ago —
+        // refuse the warm path so the executor re-runs the full AIC
+        // component search before the selection drifts from a cold fit's
+        if self.warm_streak >= 1 {
+            return Ok(false);
+        }
+        chaos_fit_gate("bats", frame.len())?;
+        let config = BatsConfig::with_periods(self.periods.clone());
+        let deadline = self.budget.map(|b| Instant::now() + b);
+        // warm models are built into a fresh vec so a failure mid-way
+        // leaves the previous fit untouched for the executor's cold fallback
+        let mut models = Vec::with_capacity(self.models.len());
+        for seed in &self.models {
+            let c = models.len();
+            // a structure change (e.g. a period newly feasible on the grown
+            // series) rejects the seed — report "not incremental" so the
+            // executor falls back to a cold fit with a fresh component search
+            let m = match Bats::fit_seeded_with_deadline(frame.series(c), &config, seed, deadline) {
+                Ok(m) => m,
+                Err(_) => return Ok(false),
+            };
+            models.push(m);
+        }
+        self.models = models;
+        self.names = frame.names().to_vec();
+        self.fitted_rows = frame.len();
+        self.warm_streak += 1;
+        self.last_fp = Some(fp);
+        Ok(true)
     }
 
     fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
@@ -858,10 +938,19 @@ impl Forecaster for BatsPipeline {
 }
 
 /// Theta method per series (extension pipeline, M3 benchmark favorite).
+///
+/// Supports a tier-1 (bit-identical) [`Forecaster::fit_incremental`] warm
+/// start: Theta has no extendable optimizer state, so the seeded restart
+/// ([`ThetaModel::fit_seeded`]) re-sweeps the full α grid in the cold
+/// fit's exact order — results match a cold fit to the last bit, and the
+/// warm-start win is the fingerprint-verified lineage check (no transform
+/// rebuild, no state invalidation). Cold-fit fallback on any mismatch.
 #[derive(Default)]
 pub struct ThetaPipeline {
     models: Vec<ThetaModel>,
     names: Vec<String>,
+    fitted_rows: usize,
+    last_fp: Option<FrameFingerprint>,
 }
 
 impl ThetaPipeline {
@@ -874,6 +963,8 @@ impl ThetaPipeline {
 impl Forecaster for ThetaPipeline {
     fn fit(&mut self, frame: &TimeSeriesFrame) -> Result<(), PipelineError> {
         self.models.clear();
+        self.fitted_rows = 0;
+        self.last_fp = None;
         self.names = frame.names().to_vec();
         for c in 0..frame.n_series() {
             let mut m = ThetaModel::new();
@@ -884,7 +975,45 @@ impl Forecaster for ThetaPipeline {
         if self.models.is_empty() {
             return Err(PipelineError::InvalidInput("empty frame".into()));
         }
+        self.fitted_rows = frame.len();
+        self.last_fp = Some(frame.fingerprint());
         Ok(())
+    }
+
+    fn fit_incremental(
+        &mut self,
+        frame: &TimeSeriesFrame,
+        previous_rows: usize,
+    ) -> Result<bool, PipelineError> {
+        let Some(old_fp) = self.last_fp.as_ref() else {
+            return Ok(false);
+        };
+        let fp = frame.fingerprint();
+        if self.fitted_rows == 0
+            || previous_rows != self.fitted_rows
+            || frame.len() < previous_rows
+            || frame.n_series() != self.models.len()
+        {
+            return Ok(false);
+        }
+        let appended = frame.len() > previous_rows && fp.extends_as_prefix(old_fp);
+        if !appended && !fp.extends_as_suffix(old_fp) {
+            return Ok(false);
+        }
+        let mut models = Vec::with_capacity(self.models.len());
+        for seed in &self.models {
+            let c = models.len();
+            let mut m = ThetaModel::new();
+            if m.fit_seeded(frame.series(c), seed.alpha()).is_err() {
+                return Ok(false);
+            }
+            models.push(m);
+        }
+        self.models = models;
+        self.names = frame.names().to_vec();
+        self.fitted_rows = frame.len();
+        self.last_fp = Some(fp);
+        Ok(true)
     }
 
     fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
@@ -1117,6 +1246,12 @@ impl Forecaster for Mt2rForecaster {
 }
 
 /// Deep-learning pipeline: a direct multi-step MLP over flattened windows.
+///
+/// Deliberately has **no** `fit_incremental` warm start: continued SGD from
+/// previous weights lands in a different optimum than a cold fit, and the
+/// holdout-score drift is large enough to violate the executor's
+/// rank-stability contract (unlike the seeded statistical fits, there is no
+/// cheap way to bound the divergence).
 pub struct NeuralPipeline {
     /// Look-back window length.
     pub lookback: usize,

@@ -12,7 +12,7 @@
 
 use std::time::Instant;
 
-use autoai_linalg::{nelder_mead_budgeted, NelderMeadOptions};
+use autoai_linalg::{nelder_mead_batched, NelderMeadOptions};
 
 use crate::arima::{Arima, ArimaSpec};
 use crate::FitError;
@@ -74,6 +74,10 @@ pub struct Bats {
     pub has_arma: bool,
     es: EsState,
     arma: Option<Arima>,
+    /// Raw (pre-sigmoid) optimizer parameters of the selected smoothing
+    /// constants — the seed for warm restarts via
+    /// [`Bats::fit_seeded_with_deadline`].
+    raw: Vec<f64>,
     /// AIC of the selected configuration.
     pub aic: f64,
     /// True when a fit deadline expired before the component grid (or the
@@ -203,8 +207,8 @@ impl Bats {
                     truncated = true;
                     break;
                 }
-                let (es, es_timed_out) =
-                    match Self::fit_es(&transformed, use_trend, &periods, deadline) {
+                let (es, es_timed_out, es_raw) =
+                    match Self::fit_es(&transformed, use_trend, &periods, deadline, None) {
                         Some(es) => es,
                         None => continue,
                     };
@@ -240,6 +244,7 @@ impl Bats {
                         has_arma,
                         es: es.clone(),
                         arma,
+                        raw: es_raw.clone(),
                         aic,
                         timed_out,
                         n: series.len(),
@@ -256,42 +261,181 @@ impl Bats {
         Ok(best)
     }
 
-    /// Fit the exponential-smoothing core with Nelder–Mead over smoothing
-    /// constants (sigmoid-constrained). The second element of the result
-    /// reports whether the search was cut short by the deadline.
+    /// Warm-restart fit: reuse the component structure and optimizer state
+    /// of a previously fitted model instead of re-running the full
+    /// automatic search.
+    ///
+    /// The expensive parts of [`Bats::fit`] are the 2×2×2 AIC component
+    /// grid (up to eight smoothing-constant searches) and the golden-section
+    /// Box-Cox λ selection. A seeded refit skips both: the seed fixes the
+    /// component selection (Box-Cox/trend/ARMA flags and λ) and its raw
+    /// optimizer vector becomes the Nelder–Mead starting point, so on
+    /// mildly-changed data the search restarts next to the optimum and
+    /// converges in a handful of iterations. The positivity offset is
+    /// recomputed for the new data (reusing a stale offset could push
+    /// observations out of the Box-Cox domain). ARMA error correction, when
+    /// selected, is refitted on the new residuals.
+    ///
+    /// Fails — signalling the caller to fall back to a cold [`Bats::fit`] —
+    /// when the feasible seasonal periods of `series` no longer match the
+    /// seed's (the model structure itself changed).
+    pub fn fit_seeded_with_deadline(
+        series: &[f64],
+        config: &BatsConfig,
+        seed: &Bats,
+        deadline: Option<Instant>,
+    ) -> Result<Self, FitError> {
+        if series.iter().any(|v| !v.is_finite()) {
+            return Err(FitError::new("series contains non-finite values"));
+        }
+        let periods: Vec<usize> = config
+            .seasonal_periods
+            .iter()
+            .copied()
+            .filter(|&m| m >= 2 && 2 * m < series.len())
+            .collect();
+        let max_period = periods.iter().copied().max().unwrap_or(0);
+        if series.len() < (2 * max_period).max(10) {
+            return Err(FitError::new(format!(
+                "series too short for BATS: {} < {}",
+                series.len(),
+                (2 * max_period).max(10)
+            )));
+        }
+        if periods != seed.periods {
+            return Err(FitError::new(
+                "seeded BATS refit: feasible seasonal periods changed",
+            ));
+        }
+
+        let (transformed, lambda, offset) = match seed.lambda {
+            Some(l) => {
+                let min = series.iter().cloned().fold(f64::INFINITY, f64::min);
+                let offset = if min <= 0.0 { 1.0 - min } else { 0.0 };
+                (
+                    series
+                        .iter()
+                        .map(|&v| box_cox(v + offset, l))
+                        .collect::<Vec<f64>>(),
+                    Some(l),
+                    offset,
+                )
+            }
+            None => (series.to_vec(), None, 0.0),
+        };
+
+        let (es, es_timed_out, es_raw) = Self::fit_es(
+            &transformed,
+            seed.has_trend,
+            &periods,
+            deadline,
+            Some(&seed.raw),
+        )
+        .ok_or_else(|| FitError::new("seeded BATS refit: smoothing fit failed"))?;
+
+        let arma = if seed.has_arma && es.residuals.len() >= 30 {
+            Arima::fit_with_deadline(&es.residuals, ArimaSpec::new(1, 0, 1), deadline).ok()
+        } else {
+            None
+        };
+        let sse = match &arma {
+            Some(a) => a.sigma2 * es.residuals.len() as f64,
+            None => es.sse,
+        };
+        let n_eff = es.residuals.len().max(1) as f64;
+        let k = 2.0
+            + periods.len() as f64
+            + if seed.has_trend { 1.0 } else { 0.0 }
+            + if lambda.is_some() { 1.0 } else { 0.0 }
+            + if arma.is_some() { 2.0 } else { 0.0 };
+        let aic = n_eff * (sse / n_eff).max(1e-300).ln() + 2.0 * k;
+        let timed_out = es_timed_out || arma.as_ref().is_some_and(|a| a.timed_out);
+        let has_arma = arma.is_some();
+        Ok(Bats {
+            lambda,
+            offset,
+            has_trend: seed.has_trend,
+            periods,
+            has_arma,
+            es,
+            arma,
+            raw: es_raw,
+            aic,
+            timed_out,
+            n: series.len(),
+        })
+    }
+
+    /// Fit the exponential-smoothing core with batched Nelder–Mead over
+    /// smoothing constants (sigmoid-constrained). The whole candidate set of
+    /// each simplex iteration is evaluated in one objective call with shared
+    /// scratch, amortizing per-candidate setup. The second element of the
+    /// result reports whether the search was cut short by the deadline; the
+    /// third is the raw optimizer vector at the optimum, reusable as a warm
+    /// start via `seed`. A `seed` whose length does not match the parameter
+    /// dimension is ignored (cold start).
     fn fit_es(
         y: &[f64],
         use_trend: bool,
         periods: &[usize],
         deadline: Option<Instant>,
-    ) -> Option<(EsState, bool)> {
+        seed: Option<&[f64]>,
+    ) -> Option<(EsState, bool, Vec<f64>)> {
         let n_gammas = periods.len();
         let dim = 2 + n_gammas;
         // the optimizer's parameter vector always has length `dim`; a
         // defensive 0.0 (sigmoid → 0.5) keeps the lookup total
         let raw_at = |raw: &[f64], i: usize| raw.get(i).copied().unwrap_or(0.0);
-        let objective = |raw: &[f64]| -> f64 {
-            let alpha = sigmoid(raw_at(raw, 0));
-            let beta = if use_trend {
-                sigmoid(raw_at(raw, 1))
-            } else {
-                0.0
-            };
-            let gammas: Vec<f64> = (0..n_gammas)
-                .map(|i| sigmoid(raw_at(raw, 2 + i)) * 0.5)
-                .collect();
-            match Self::run_es(y, use_trend, periods, alpha, beta, &gammas) {
-                Some(st) => st.sse,
-                None => f64::INFINITY,
-            }
+        let mut gamma_scratch = vec![0.0; n_gammas];
+        let mut objective = move |points: &[Vec<f64>]| -> Vec<f64> {
+            points
+                .iter()
+                .map(|raw| {
+                    let alpha = sigmoid(raw_at(raw, 0));
+                    let beta = if use_trend {
+                        sigmoid(raw_at(raw, 1))
+                    } else {
+                        0.0
+                    };
+                    for (g, i) in gamma_scratch.iter_mut().zip(0..) {
+                        *g = sigmoid(raw_at(raw, 2 + i)) * 0.5;
+                    }
+                    match Self::run_es(y, use_trend, periods, alpha, beta, &gamma_scratch) {
+                        Some(st) => st.sse,
+                        None => f64::INFINITY,
+                    }
+                })
+                .collect()
         };
-        let init = vec![-1.0; dim];
+        let cold_init = vec![-1.0; dim];
         let opts = NelderMeadOptions {
             max_evals: 600 * dim,
             deadline,
             ..Default::default()
         };
-        let (raw, _, timed_out) = nelder_mead_budgeted(objective, &init, &opts);
+        // a seeded search restarts from the previous optimum AND from the
+        // cold initialization, keeping whichever converges lower: the seed
+        // usually wins in a handful of iterations, but when the grown data
+        // moved the optimum the cold start stops a stale seed from pinning
+        // the search in its old basin. Ties resolve to the cold-start
+        // result, which is bitwise what a cold fit of this configuration
+        // would produce.
+        let (raw, timed_out) = match seed {
+            Some(s) if s.len() == dim => {
+                let (r_seed, f_seed, t_seed) = nelder_mead_batched(&mut objective, s, &opts);
+                let (r_cold, f_cold, t_cold) =
+                    nelder_mead_batched(&mut objective, &cold_init, &opts);
+                if f_seed < f_cold {
+                    (r_seed, t_seed || t_cold)
+                } else {
+                    (r_cold, t_seed || t_cold)
+                }
+            }
+            _ => {
+                let (r, _, t) = nelder_mead_batched(&mut objective, &cold_init, &opts);
+                (r, t)
+            }
+        };
         let alpha = sigmoid(raw_at(&raw, 0));
         let beta = if use_trend {
             sigmoid(raw_at(&raw, 1))
@@ -301,7 +445,7 @@ impl Bats {
         let gammas: Vec<f64> = (0..n_gammas)
             .map(|i| sigmoid(raw_at(&raw, 2 + i)) * 0.5)
             .collect();
-        Self::run_es(y, use_trend, periods, alpha, beta, &gammas).map(|st| (st, timed_out))
+        Self::run_es(y, use_trend, periods, alpha, beta, &gammas).map(|st| (st, timed_out, raw))
     }
 
     /// One pass of the additive multi-seasonal smoothing recursion.
@@ -547,6 +691,55 @@ mod tests {
         for (a, b) in full.forecast(8).iter().zip(&unbounded.forecast(8)) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn seeded_refit_matches_cold_quality_on_extended_series() {
+        let pattern = [8.0, -3.0, -7.0, 2.0];
+        let gen = |n: usize| -> Vec<f64> { (0..n).map(|i| 50.0 + pattern[i % 4]).collect() };
+        let cfg = BatsConfig::with_periods(vec![4]);
+        let seed = Bats::fit(&gen(80), &cfg).unwrap();
+        let warm = Bats::fit_seeded_with_deadline(&gen(100), &cfg, &seed, None).unwrap();
+        // structure is inherited from the seed, not re-searched
+        assert_eq!(warm.has_trend, seed.has_trend);
+        assert_eq!(warm.has_arma, seed.has_arma);
+        assert_eq!(warm.lambda.is_some(), seed.lambda.is_some());
+        assert_eq!(warm.periods, seed.periods);
+        // and the warm forecast is as good as a cold one
+        for (h, &v) in warm.forecast(8).iter().enumerate() {
+            let truth = 50.0 + pattern[(100 + h) % 4];
+            assert!((v - truth).abs() < 2.0, "h={h}: {v} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn seeded_refit_is_deterministic() {
+        let y: Vec<f64> = (0..90)
+            .map(|i| 20.0 + (i as f64 * 0.3).sin() * 4.0)
+            .collect();
+        let cfg = BatsConfig::auto();
+        let seed = Bats::fit(&y[..70], &cfg).unwrap();
+        let a = Bats::fit_seeded_with_deadline(&y, &cfg, &seed, None).unwrap();
+        let b = Bats::fit_seeded_with_deadline(&y, &cfg, &seed, None).unwrap();
+        for (x, z) in a.forecast(6).iter().zip(&b.forecast(6)) {
+            assert_eq!(x.to_bits(), z.to_bits());
+        }
+    }
+
+    #[test]
+    fn seeded_refit_rejects_structure_change() {
+        let pattern = [8.0, -3.0, -7.0, 2.0];
+        let y: Vec<f64> = (0..100).map(|i| 50.0 + pattern[i % 4]).collect();
+        let seed = Bats::fit(&y, &BatsConfig::with_periods(vec![4])).unwrap();
+        // on a much shorter window the period-4 component is still feasible,
+        // but requesting different periods must refuse the seed
+        let err = Bats::fit_seeded_with_deadline(
+            &y[..40],
+            &BatsConfig::with_periods(vec![12]),
+            &seed,
+            None,
+        );
+        assert!(err.is_err());
     }
 
     #[test]

@@ -202,6 +202,32 @@ impl ThetaModel {
         Ok(())
     }
 
+    /// The SES smoothing constant selected by the last fit.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Warm-restart fit for the `fit_incremental` protocol.
+    ///
+    /// Theta has no extendable optimizer state: the θ=2 line depends on the
+    /// trend regression over the *whole* series, so appending (or, under
+    /// reverse allocation, prepending) data invalidates every intermediate
+    /// SES level — and the α SSE surface is multi-modal enough that a local
+    /// hill-climb from `seed_alpha` can land on a different grid point than
+    /// the cold sweep, which would silently reorder T-Daub rankings. The
+    /// grid is only nineteen candidates, so the seeded restart re-sweeps it
+    /// in full, in the exact iteration order and tie-break of [`Self::fit`]:
+    /// the result is **bit-identical** to a cold fit (tier-1 warm-start
+    /// contract), and the warm-start win for Theta lives at the pipeline
+    /// layer (fingerprint-verified lineage, no transform rebuild) rather
+    /// than in the model fit itself.
+    pub fn fit_seeded(&mut self, series: &[f64], seed_alpha: f64) -> Result<(), FitError> {
+        // the seed can only confirm what the cheap full sweep establishes;
+        // it is accepted for API symmetry with the other seeded restarts
+        let _ = seed_alpha;
+        self.fit(series)
+    }
+
     /// Average the extrapolated trend line and the flat SES forecast.
     pub fn forecast(&self, horizon: usize) -> Vec<f64> {
         assert!(self.fitted, "ThetaModel::forecast before fit");
@@ -219,6 +245,30 @@ impl ThetaModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn theta_seeded_is_bitwise_identical_to_cold_from_any_seed() {
+        // tier-1 warm-start contract: the seeded restart must match the
+        // cold fit to the last bit regardless of the seed's quality
+        let y: Vec<f64> = (0..60)
+            .map(|i| 10.0 + 0.5 * i as f64 + (i % 7) as f64)
+            .collect();
+        let mut cold = ThetaModel::new();
+        cold.fit(&y).unwrap();
+        for seed in [0.0, 0.05, 0.3, 0.77, 1.0, 2.5, cold.alpha()] {
+            let mut warm = ThetaModel::new();
+            warm.fit_seeded(&y, seed).unwrap();
+            assert_eq!(warm.alpha(), cold.alpha(), "seed {seed}");
+            assert!(
+                warm.alpha() > 0.04 && warm.alpha() < 0.96,
+                "{}",
+                warm.alpha()
+            );
+            for (a, b) in warm.forecast(5).iter().zip(&cold.forecast(5)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "seed {seed}");
+            }
+        }
+    }
 
     #[test]
     fn zero_model_repeats_last() {

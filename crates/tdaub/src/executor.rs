@@ -125,6 +125,12 @@ pub struct ExecutionReport {
     /// (delta of `autoai_chaos::injected_count()` across the run; always
     /// zero when no fault plan is installed).
     pub injected_faults: u64,
+    /// True when [`crate::TDaubConfig::run_hard_deadline`] expired before
+    /// the run finished: later allocation rounds, acceleration steps, or
+    /// scoring finalists were skipped and the ranking was built from the
+    /// scores gathered up to that point. The orchestrator surfaces this as
+    /// a typed `Survivors` degradation.
+    pub run_deadline_hit: bool,
 }
 
 impl ExecutionReport {
@@ -288,6 +294,7 @@ pub(crate) fn execution_report(cands: &[Candidate], exec: &Executor<'_>) -> Exec
         duplicate_fits: exec.duplicate_fits.load(Ordering::Relaxed),
         slice_bytes_avoided: exec.slice_bytes_avoided.load(Ordering::Relaxed),
         injected_faults: autoai_chaos::injected_count().saturating_sub(exec.chaos_start),
+        run_deadline_hit: false,
     }
 }
 

@@ -55,6 +55,16 @@ pub struct TDaubConfig {
     /// derives the deadline as 4× `pipeline_time_budget` when a soft budget
     /// is set, and disables the watchdog entirely otherwise.
     pub pipeline_hard_deadline: Option<Duration>,
+    /// Whole-*run* hard wall-clock deadline for the selection process,
+    /// measured from `run_tdaub` entry. Cooperative at phase granularity:
+    /// checked before every fixed-allocation round (after the first, so
+    /// every pipeline holds at least one score), every acceleration step,
+    /// and every run-to-completion finalist. When it expires the remaining
+    /// evaluation work is skipped and the survivors are ranked from the
+    /// evidence gathered so far; [`ExecutionReport::run_deadline_hit`] is
+    /// set and the orchestrator degrades the run to
+    /// `DegradationLevel::Survivors`. `None` (default) = unlimited.
+    pub run_hard_deadline: Option<Duration>,
     /// Share one [`TransformCache`] across the pool so pipelines with the
     /// same look-back reuse flattened design matrices within a round.
     /// `false` gives the uncached comparison mode used by benches and the
@@ -62,9 +72,10 @@ pub struct TDaubConfig {
     pub transform_cache: bool,
     /// Offer warm-started [`Forecaster::fit_incremental`] refits when a
     /// reverse allocation extends a candidate's previous fit. Cheap models
-    /// (tier 1: ZeroModel, SeasonalNaive, AR) only accept when the warm
-    /// state is bit-identical to a full fit. The heavy models (tier 2:
-    /// Holt-Winters, ARIMA, the AutoEnsembler family) accept deterministic
+    /// (tier 1: ZeroModel, SeasonalNaive, AR, Theta) only accept when the
+    /// warm state is bit-identical to a full fit. The heavy models (tier 2:
+    /// Holt-Winters, ARIMA, BATS, the AutoEnsembler family) accept
+    /// deterministic
     /// seeded restarts — verified against the previous fit's frame
     /// fingerprint, falling back to a cold fit whenever the data lineage
     /// does not extend the prior allocation. Disabling this (`false`)
@@ -97,6 +108,7 @@ impl Default for TDaubConfig {
             use_projection: true,
             pipeline_time_budget: None,
             pipeline_hard_deadline: None,
+            run_hard_deadline: None,
             transform_cache: true,
             incremental: true,
             ensemble_top_k: 3,
@@ -192,6 +204,14 @@ pub fn run_tdaub(
         .filter(|b| !b.is_zero())
         .map(|b| b * 4));
 
+    // whole-run deadline: cooperative at phase granularity. `expired` is
+    // re-sampled before each round / acceleration step / finalist; once it
+    // fires, the remaining evaluation work is skipped and the survivors are
+    // ranked from the evidence gathered so far.
+    let run_deadline = config.run_hard_deadline.map(|d| t_start + d);
+    let expired = || run_deadline.is_some_and(|d| Instant::now() >= d);
+    let mut run_deadline_hit = false;
+
     let exec = Executor {
         t1: &t1,
         t2: &t2,
@@ -228,6 +248,12 @@ pub fn run_tdaub(
             .min(l);
         let num_fix_runs = (cutoff / config.min_allocation_size).max(1);
         for i in 1..=num_fix_runs {
+            // the first round always runs so every pipeline holds at least
+            // one score the ranking can use
+            if i > 1 && expired() {
+                run_deadline_hit = true;
+                break;
+            }
             let alloc = (config.min_allocation_size * i).min(l);
             exec.run_round(&mut cands, alloc);
             if alloc == l {
@@ -255,6 +281,10 @@ pub fn run_tdaub(
         let max_accel_steps =
             cands.len() * (2 + (l / config.allocation_size.max(1)).max(1).ilog2() as usize + 1);
         for _ in 0..max_accel_steps {
+            if run_deadline_hit || expired() {
+                run_deadline_hit = true;
+                break;
+            }
             let top = cands
                 .iter()
                 .enumerate()
@@ -300,6 +330,10 @@ pub fn run_tdaub(
             .collect();
         order.sort_by(|a, b| a.0.total_cmp(&b.0));
         for &(_, i) in order.iter().take(config.run_to_completion.max(1)) {
+            if run_deadline_hit || expired() {
+                run_deadline_hit = true;
+                break;
+            }
             let Some(c) = cands.get_mut(i) else { continue };
             // A finalist that already fit the full length during
             // acceleration is served from the executor's fingerprint memo:
@@ -319,7 +353,8 @@ pub fn run_tdaub(
     for c in cands.iter_mut() {
         c.finalize_failure();
     }
-    let execution = execution_report(&cands, &exec);
+    let mut execution = execution_report(&cands, &exec);
+    execution.run_deadline_hit = run_deadline_hit;
 
     let mut order: Vec<(bool, f64, usize)> = cands
         .iter()
@@ -778,5 +813,60 @@ mod tests {
         assert_eq!(sig(&a), sig(&b), "serial reruns diverged");
         assert_eq!(sig(&a), sig(&c), "serial vs parallel diverged");
         assert!(sig(&a).is_some());
+    }
+
+    #[test]
+    fn run_hard_deadline_degrades_to_ranked_survivors() {
+        let frame = seasonal_frame(500);
+        let cfg = TDaubConfig {
+            run_hard_deadline: Some(Duration::ZERO),
+            parallel: false,
+            ..Default::default()
+        };
+        // the deadline is already expired at entry, yet the first fixed
+        // round always runs: every pipeline holds at least one score and the
+        // run still returns ranked survivors instead of an error
+        let result = run_tdaub(pool(), &frame, &cfg).unwrap();
+        assert!(result.execution.run_deadline_hit, "flag not set");
+        assert!(!result.reports.is_empty(), "no survivors ranked");
+        assert_eq!(result.reports.first().map(|r| r.rank), Some(1));
+        // the truncated run skipped the scoring phase entirely
+        assert!(result.reports.iter().all(|r| r.final_score.is_none()));
+    }
+
+    #[test]
+    fn generous_run_deadline_changes_nothing() {
+        let frame = seasonal_frame(400);
+        let base = run_tdaub(
+            pool(),
+            &frame,
+            &TDaubConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let timed = run_tdaub(
+            pool(),
+            &frame,
+            &TDaubConfig {
+                parallel: false,
+                run_hard_deadline: Some(Duration::from_secs(3600)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!timed.execution.run_deadline_hit);
+        assert_eq!(base.best.name(), timed.best.name());
+        assert_eq!(base.reports.len(), timed.reports.len());
+        for (a, b) in base.reports.iter().zip(timed.reports.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(
+                a.projected_score.to_bits(),
+                b.projected_score.to_bits(),
+                "{} projected diverged under a generous deadline",
+                a.name
+            );
+        }
     }
 }

@@ -35,6 +35,11 @@
 //!    truncating casts on length-like values are all flagged — these are
 //!    exactly the bug classes that silently break the serial==parallel
 //!    equivalence T-Daub's ranking guarantees.
+//! 8. **Thread discipline** (`raw-spawn`): `thread::spawn`, `thread::scope`
+//!    and `thread::Builder` are forbidden outside the persistent worker
+//!    pool in [`Config::spawn_exempt_paths`] (`crates/linalg/src/par.rs`).
+//!    Every fan-out must go through the pool so worker threads stay
+//!    accounted, panic-quarantined, and visible to deadline supervision.
 //!
 //! A violation can be waived in place with an escape hatch comment on the
 //! same line or the line above, **with a justification**:
@@ -89,6 +94,9 @@ pub enum Rule {
     LockOrder,
     /// A lock guard held across a fan-out or join call.
     LockAcrossPar,
+    /// Raw `thread::spawn`/`thread::scope`/`thread::Builder` outside the
+    /// persistent worker pool module.
+    RawSpawn,
     /// Iteration over hash-ordered state in a determinism-critical path.
     HashIter,
     /// Wall-clock read outside the budget/watchdog whitelist.
@@ -120,6 +128,7 @@ impl Rule {
             Rule::RawLock => "raw-lock",
             Rule::LockOrder => "lock-order",
             Rule::LockAcrossPar => "lock-across-par",
+            Rule::RawSpawn => "raw-spawn",
             Rule::HashIter => "hash-iter",
             Rule::WallClock => "wall-clock",
             Rule::TruncCast => "trunc-cast",
@@ -184,6 +193,9 @@ pub struct Config {
     /// Path prefixes exempt from [`Rule::RawLock`] — the `linalg::sync`
     /// module itself, which wraps the raw primitives.
     pub lock_exempt_paths: Vec<String>,
+    /// Path prefixes exempt from [`Rule::RawSpawn`] — the persistent worker
+    /// pool in `linalg::par`, the one place allowed to create OS threads.
+    pub spawn_exempt_paths: Vec<String>,
 }
 
 impl Default for Config {
@@ -248,6 +260,7 @@ impl Default for Config {
                 "crates/linalg/src/par.rs".to_string(),
             ],
             lock_exempt_paths: vec!["crates/linalg/src/sync.rs".to_string()],
+            spawn_exempt_paths: vec!["crates/linalg/src/par.rs".to_string()],
         }
     }
 }
@@ -555,6 +568,7 @@ fn token_hits(path: &str, ft: &FileTokens, cfg: &Config) -> Vec<(Rule, usize, St
     let clock_ok = cfg.clock_paths.iter().any(|p| path.starts_with(p));
     let hash_scoped = scoped && cfg.hash_iter_paths.iter().any(|p| path.starts_with(p));
     let lock_exempt = cfg.lock_exempt_paths.iter().any(|p| path.starts_with(p));
+    let spawn_exempt = cfg.spawn_exempt_paths.iter().any(|p| path.starts_with(p));
     let hash_names = if hash_scoped {
         hash_bound_names(&s)
     } else {
@@ -648,6 +662,28 @@ fn token_hits(path: &str, ft: &FileTokens, cfg: &Config) -> Vec<(Rule, usize, St
                             ),
                         ));
                     }
+                }
+            }
+            // raw-spawn: thread::spawn / thread::scope / thread::Builder
+            // outside the persistent worker pool module
+            if !spawn_exempt
+                && s.is_ident(i, "thread")
+                && s.punct(i + 1, ':')
+                && s.punct(i + 2, ':')
+            {
+                if let Some(what) = s
+                    .ident(i + 3)
+                    .filter(|id| ["spawn", "scope", "Builder"].contains(id))
+                {
+                    hits.push((
+                        Rule::RawSpawn,
+                        line,
+                        format!(
+                            "raw `thread::{what}` outside the persistent worker pool; fan out \
+                             through `linalg::par` so threads stay accounted, \
+                             panic-quarantined, and visible to deadline supervision"
+                        ),
+                    ));
                 }
             }
             // wall-clock: Instant::now / SystemTime::now outside whitelist
@@ -1328,6 +1364,30 @@ mod tests {
         assert!(ok.iter().all(|x| x.rule != Rule::WallClock), "{ok:?}");
         // waivable like everything else
         let waived = "fn f() {\n    // tscheck:allow(wall-clock): telemetry only, never ranked\n    let t = Instant::now();\n}\n";
+        let w = check_source("crates/transforms/src/fake.rs", waived, &cfg());
+        assert!(w.is_empty(), "{w:?}");
+    }
+
+    #[test]
+    fn raw_spawn_is_flagged_outside_the_pool_module() {
+        let src = "fn f() {\n    std::thread::spawn(|| work());\n    thread::scope(|s| { s.spawn(|| {}); });\n    let b = thread::Builder::new();\n}\n";
+        let v = check_source("crates/transforms/src/fake.rs", src, &cfg());
+        assert_eq!(
+            v.iter().filter(|x| x.rule == Rule::RawSpawn).count(),
+            3,
+            "{v:?}"
+        );
+        // the pool module itself is exempt
+        let pool = check_source("crates/linalg/src/par.rs", src, &cfg());
+        assert!(pool.iter().all(|x| x.rule != Rule::RawSpawn), "{pool:?}");
+        // test regions may spawn freely
+        let test = "#[cfg(test)]\nmod tests {\n    fn t() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(scoped(test).is_empty(), "{:?}", scoped(test));
+        // sleep / available_parallelism are not spawns
+        let ok = "fn f() {\n    std::thread::sleep(d);\n    let n = std::thread::available_parallelism();\n}\n";
+        assert!(scoped(ok).is_empty(), "{:?}", scoped(ok));
+        // waivable like everything else
+        let waived = "fn f() {\n    // tscheck:allow(raw-spawn): one-shot startup probe thread\n    std::thread::spawn(|| {});\n}\n";
         let w = check_source("crates/transforms/src/fake.rs", waived, &cfg());
         assert!(w.is_empty(), "{w:?}");
     }

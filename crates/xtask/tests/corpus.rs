@@ -93,6 +93,7 @@ fn corpus_covers_every_new_rule_family() {
         "wall-clock",
         "trunc-cast",
         "panic",
+        "raw-spawn",
     ] {
         assert!(covered.contains(rule), "no fixture exercises `{rule}`");
     }

@@ -1,0 +1,37 @@
+//! Raw thread creation outside the persistent pool module is flagged;
+//! sleeping, querying parallelism, and waived one-offs are not.
+
+fn fan_out(items: Vec<u64>) -> Vec<u64> {
+    std::thread::scope(|s| {
+        let h = s.spawn(move || items);
+        h.join().unwrap_or_default()
+    })
+}
+
+fn fire_and_forget() {
+    std::thread::spawn(|| background_work());
+}
+
+fn named_worker() {
+    let b = thread::Builder::new().name("worker".into());
+    drop(b);
+}
+
+fn harmless() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    let n = std::thread::available_parallelism();
+    drop(n);
+}
+
+fn waived() {
+    // tscheck:allow(raw-spawn): startup probe, joined before the pool exists
+    std::thread::spawn(|| probe());
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_spawn_freely() {
+        std::thread::spawn(|| {}).join().ok();
+    }
+}

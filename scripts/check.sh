@@ -41,4 +41,7 @@ cargo test -q --offline --release --test chaos_gauntlet
 echo "==> tdaub bench smoke (cache effectiveness, warm starts, fits avoided, ranking parity)"
 cargo bench -q --offline -p autoai-bench --bench tdaub -- --smoke
 
+echo "==> kernels bench smoke (vectorized kernels >= 2x naive, batched Nelder-Mead bitwise parity)"
+cargo bench -q --offline -p autoai-bench --bench kernels -- --smoke
+
 echo "check.sh: all gates passed"

@@ -6,8 +6,9 @@
 //! rebuilt one, and a T-Daub run produces the same ranking whether the
 //! cache and warm starts are on or off. The warm-start contract is
 //! two-tier (see `Forecaster::fit_incremental`): tier-1 pipelines
-//! (ZeroModel, SeasonalNaive, AR) must be **bit-identical** with the
-//! features on vs off, while tier-2 pipelines (Holt-Winters, ARIMA, the
+//! (ZeroModel, SeasonalNaive, AR, and Theta, whose seeded restart
+//! re-sweeps its full α grid) must be **bit-identical** with the features
+//! on vs off, while tier-2 pipelines (Holt-Winters, ARIMA, BATS, the
 //! AutoEnsembler family) run deterministic seeded restarts and must keep
 //! the **ranking** unchanged. Each test draws randomized cases from the
 //! in-repo deterministic [`Rng64`] so failures reproduce from the fixed
@@ -240,7 +241,8 @@ fn cached_and_uncached_tdaub_rankings_match_over_random_pools() {
 }
 
 /// Tier-2 rank stability: pools including the seeded-restart pipelines
-/// (Holt-Winters, auto-ARIMA, AutoEnsembler) must produce the same
+/// (Holt-Winters, auto-ARIMA, AutoEnsembler, and BATS with its pinned
+/// component structure) must produce the same
 /// *ranking* — pipeline names in rank order — with warm starts on vs off,
 /// with every projected score finite in both runs. Bit-exact scores are
 /// deliberately not required here: a seeded Nelder–Mead restart converges
@@ -253,6 +255,7 @@ fn warm_started_tdaub_preserves_rankings_for_tier2_pools() {
         "HW-Multiplicative",
         "Arima",
         "FlattenAutoEnsembler",
+        "bats",
     ];
     let tier1 = ["ZeroModel", "AR"];
     for case in 0..4 {

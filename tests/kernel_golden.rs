@@ -1,0 +1,215 @@
+//! Golden tests for the vectorized linalg kernels.
+//!
+//! The blocked/register-tiled `matmul`, the rank-1-update `gram`, the
+//! fused `matvec`/`t_matvec`, and the 4-wide `dot`/`axpy` primitives are
+//! compared against straightforward triple-loop references on seeded
+//! random inputs. The vectorized kernels reassociate floating-point sums
+//! (that is the whole point), so elementwise agreement is ULP-bounded
+//! rather than bitwise — but the bound is tight: a few ULPs of the value's
+//! own magnitude scaled by the reduction length, far below anything a
+//! genuine indexing or tiling bug would produce. What *is* bitwise is
+//! determinism: repeated kernel calls on the same inputs must return
+//! identical bits, since T-Daub's serial==parallel contract builds on it.
+
+use autoai_ts_repro::linalg::{axpy, dot, Matrix, Rng64};
+
+fn random_matrix(rng: &mut Rng64, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.range_f64(-5.0, 5.0)).collect(),
+    )
+}
+
+fn random_vec(rng: &mut Rng64, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.range_f64(-5.0, 5.0)).collect()
+}
+
+/// Reassociation-tolerant comparison: `len` is the reduction length that
+/// produced each element.
+fn assert_close(got: f64, want: f64, len: usize, ctx: &str) {
+    let tol = 1e-13 * (len.max(1) as f64) * (1.0 + want.abs());
+    assert!(
+        (got - want).abs() <= tol,
+        "{ctx}: got {got}, want {want} (tol {tol})"
+    );
+}
+
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.nrows(), b.ncols());
+    for i in 0..a.nrows() {
+        for j in 0..b.ncols() {
+            let mut acc = 0.0;
+            for k in 0..a.ncols() {
+                acc += a[(i, k)] * b[(k, j)];
+            }
+            out[(i, j)] = acc;
+        }
+    }
+    out
+}
+
+fn naive_gram(a: &Matrix) -> Matrix {
+    let n = a.ncols();
+    let mut g = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for r in 0..a.nrows() {
+                acc += a[(r, i)] * a[(r, j)];
+            }
+            g[(i, j)] = acc;
+        }
+    }
+    g
+}
+
+#[test]
+fn blocked_matmul_matches_naive_reference() {
+    let mut rng = Rng64::seed_from_u64(0x3A73);
+    // sweep shapes around the 4-wide tile boundary: below, at, above, and
+    // far past it, plus degenerate single-row/column cases
+    for &(m, k, n) in &[
+        (1usize, 1usize, 1usize),
+        (2, 3, 2),
+        (3, 4, 5),
+        (4, 4, 4),
+        (5, 5, 5),
+        (7, 9, 8),
+        (8, 16, 12),
+        (13, 21, 17),
+        (32, 48, 24),
+        (1, 50, 1),
+        (40, 1, 40),
+    ] {
+        let a = random_matrix(&mut rng, m, k);
+        let b = random_matrix(&mut rng, k, n);
+        let fast = a.matmul(&b);
+        let slow = naive_matmul(&a, &b);
+        for i in 0..m {
+            for j in 0..n {
+                assert_close(
+                    fast[(i, j)],
+                    slow[(i, j)],
+                    k,
+                    &format!("matmul {m}x{k}x{n} [{i},{j}]"),
+                );
+            }
+        }
+        // bitwise-deterministic across calls
+        let again = a.matmul(&b);
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(fast[(i, j)].to_bits(), again[(i, j)].to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn matmul_with_zeros_matches_reference_without_the_old_skip_branch() {
+    // the old kernel special-cased `a == 0.0`; the tiled kernel must get
+    // sparse inputs right without it, including signed zeros
+    let mut rng = Rng64::seed_from_u64(0x0B5E);
+    let mut a = random_matrix(&mut rng, 9, 11);
+    for i in 0..9 {
+        for j in 0..11 {
+            if (i + j) % 3 == 0 {
+                a[(i, j)] = 0.0;
+            }
+            if (i + j) % 7 == 0 {
+                a[(i, j)] = -0.0;
+            }
+        }
+    }
+    let b = random_matrix(&mut rng, 11, 6);
+    let fast = a.matmul(&b);
+    let slow = naive_matmul(&a, &b);
+    for i in 0..9 {
+        for j in 0..6 {
+            assert_close(fast[(i, j)], slow[(i, j)], 11, &format!("sparse [{i},{j}]"));
+        }
+    }
+}
+
+#[test]
+fn gram_matches_naive_reference_and_is_symmetric() {
+    let mut rng = Rng64::seed_from_u64(0x96A2);
+    for &(rows, cols) in &[(1usize, 1usize), (3, 2), (5, 5), (17, 7), (64, 12), (2, 20)] {
+        let a = random_matrix(&mut rng, rows, cols);
+        let fast = a.gram();
+        let slow = naive_gram(&a);
+        for i in 0..cols {
+            for j in 0..cols {
+                assert_close(
+                    fast[(i, j)],
+                    slow[(i, j)],
+                    rows,
+                    &format!("gram {rows}x{cols} [{i},{j}]"),
+                );
+                // the mirror step must produce exact symmetry, not
+                // recomputed near-symmetry
+                assert_eq!(
+                    fast[(i, j)].to_bits(),
+                    fast[(j, i)].to_bits(),
+                    "gram not bitwise symmetric at [{i},{j}]"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn matvec_and_t_matvec_match_references() {
+    let mut rng = Rng64::seed_from_u64(0x3417);
+    for &(rows, cols) in &[(1usize, 1usize), (4, 3), (9, 17), (33, 8), (6, 64)] {
+        let a = random_matrix(&mut rng, rows, cols);
+        let v = random_vec(&mut rng, cols);
+        let got = a.matvec(&v);
+        for (i, g) in got.iter().enumerate() {
+            let want: f64 = (0..cols).map(|k| a[(i, k)] * v[k]).sum();
+            assert_close(*g, want, cols, &format!("matvec {rows}x{cols} [{i}]"));
+        }
+        let w = random_vec(&mut rng, rows);
+        let got_t = a.t_matvec(&w);
+        for (j, g) in got_t.iter().enumerate() {
+            let want: f64 = (0..rows).map(|r| a[(r, j)] * w[r]).sum();
+            assert_close(*g, want, rows, &format!("t_matvec {rows}x{cols} [{j}]"));
+        }
+    }
+}
+
+#[test]
+fn dot_and_axpy_match_references_at_every_tail_length() {
+    let mut rng = Rng64::seed_from_u64(0xD07);
+    // every remainder class of the 4-wide unrolling, plus longer runs
+    for n in [0usize, 1, 2, 3, 4, 5, 6, 7, 8, 15, 64, 257] {
+        let x = random_vec(&mut rng, n);
+        let y = random_vec(&mut rng, n);
+        let want: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert_close(dot(&x, &y), want, n, &format!("dot len {n}"));
+        // repeated calls are bitwise stable
+        assert_eq!(dot(&x, &y).to_bits(), dot(&x, &y).to_bits());
+
+        let a = rng.range_f64(-3.0, 3.0);
+        let mut fast = y.clone();
+        axpy(a, &x, &mut fast);
+        for (i, (f, (xi, yi))) in fast.iter().zip(x.iter().zip(&y)).enumerate() {
+            let want = a * xi + yi;
+            assert_eq!(
+                f.to_bits(),
+                want.to_bits(),
+                "axpy len {n} [{i}]: no reduction, must be exact"
+            );
+        }
+    }
+}
+
+#[test]
+fn dot_uses_min_length_semantics() {
+    let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+    let y = [10.0, 20.0];
+    assert_eq!(dot(&x, &y), 50.0);
+    assert_eq!(dot(&y, &x), 50.0);
+    assert_eq!(dot(&x, &[]), 0.0);
+}

@@ -1,0 +1,201 @@
+//! Property suite for the persistent worker pool behind `linalg::par`.
+//!
+//! The pool replaced the old per-call `thread::scope` fan-out, so this
+//! suite pins the contract that swap must preserve:
+//!
+//! * **Bit-identical results** — `parallel_try_map_mut` over seeded
+//!   workloads matches a scoped-thread reference implementation (and the
+//!   sequential path) to the last bit, in order and in value;
+//! * **Panic quarantine** — a panicking item surfaces as its own
+//!   `Err(WorkerPanic)` without poisoning neighbors, the pool, or any
+//!   later batch submitted to the same process-wide workers;
+//! * **No deadlock under nesting** — a worker that itself fans out
+//!   (pipelines calling parallel kernels) completes because batch
+//!   submitters drain their own work instead of parking on a free worker;
+//! * **Zero lock-order inversions** — runtime lock tracking stays silent
+//!   across a mixed batch/supervised workload with seeded panics.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use autoai_ts_repro::linalg::sync as lock_sync;
+use autoai_ts_repro::linalg::{
+    parallel_try_map_mut, parallel_try_map_range, supervised_try_map, Rng64, SupervisedOutcome,
+};
+
+/// Lock tracking is process-global; tests that assert on inversion counts
+/// serialize here.
+static GATE: Mutex<()> = Mutex::new(());
+
+/// Reference implementation: the old per-call scoped fan-out, kept in test
+/// code only (the `raw-spawn` lint forbids it in library code). Workers
+/// claim items through a shared queue, exactly like the pre-pool scoped
+/// path did; the workload below never panics, so no quarantine machinery
+/// is needed to compare results.
+fn scoped_reference<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+        .clamp(1, items.len().max(1));
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    let queue: Mutex<Vec<(&mut T, &mut Option<R>)>> = Mutex::new(
+        items
+            .iter_mut()
+            .zip(out.iter_mut())
+            .rev()
+            .collect::<Vec<_>>(),
+    );
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let claimed = queue.lock().unwrap().pop();
+                let Some((item, slot)) = claimed else { return };
+                *slot = Some(f(item));
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+fn seeded_workload(seed: u64, n: usize) -> Vec<f64> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    (0..n).map(|_| rng.next_f64() * 100.0 - 50.0).collect()
+}
+
+/// A deliberately order-sensitive per-item computation: enough floating
+/// point work that any cross-item interference would show in the bits.
+fn crunch(x: &mut f64) -> f64 {
+    let mut acc = *x;
+    for k in 1..200u32 {
+        acc = (acc * 1.000_1 + f64::from(k).sqrt()).sin() + acc * 0.5;
+    }
+    *x += 1.0;
+    acc
+}
+
+#[test]
+fn pool_matches_scoped_reference_bitwise_on_seeded_workloads() {
+    for seed in [1u64, 7, 42, 1234, 98765] {
+        for n in [1usize, 2, 3, 17, 64, 257] {
+            let mut a = seeded_workload(seed, n);
+            let mut b = a.clone();
+            let pool_out = parallel_try_map_mut(&mut a, crunch);
+            let ref_out = scoped_reference(&mut b, crunch);
+            assert_eq!(a.len(), b.len());
+            for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "item {i} mutated differently");
+            }
+            for (i, (p, r)) in pool_out.iter().zip(ref_out.iter()).enumerate() {
+                let Ok(p) = p else {
+                    panic!("seed {seed} n {n} item {i}: unexpected panic outcome");
+                };
+                assert_eq!(p.to_bits(), r.to_bits(), "seed {seed} n {n} item {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn pool_matches_the_sequential_path_bitwise() {
+    let mut a = seeded_workload(99, 128);
+    let mut b = a.clone();
+    let par: Vec<f64> = parallel_try_map_mut(&mut a, crunch)
+        .into_iter()
+        .map(|r| r.expect("no panics in this workload"))
+        .collect();
+    let seq: Vec<f64> = b.iter_mut().map(crunch).collect();
+    for (i, (p, s)) in par.iter().zip(seq.iter()).enumerate() {
+        assert_eq!(p.to_bits(), s.to_bits(), "item {i} diverged from serial");
+    }
+}
+
+#[test]
+fn panics_are_quarantined_per_item_and_the_pool_survives() {
+    // round after round on the same process-wide pool: the poisoned item
+    // never takes a worker (or a neighbor) down with it
+    for round in 0..20 {
+        let results = parallel_try_map_range(37, move |i| {
+            if i == 13 {
+                panic!("boom in round {round}");
+            }
+            i * 2
+        });
+        assert_eq!(results.len(), 37);
+        for (i, r) in results.iter().enumerate() {
+            if i == 13 {
+                let err = r.as_ref().expect_err("item 13 must be quarantined");
+                assert!(format!("{err}").contains("boom"), "round {round}: {err}");
+            } else {
+                assert_eq!(*r.as_ref().expect("healthy item"), i * 2);
+            }
+        }
+    }
+    // and the pool still does clean work afterwards
+    let clean = parallel_try_map_range(64, |i| i + 1);
+    assert!(clean.iter().all(|r| r.is_ok()));
+}
+
+#[test]
+fn nested_fan_out_completes_without_deadlock() {
+    // more outer items than workers, each fanning out again: if batch
+    // submitters parked waiting for a free worker instead of draining
+    // their own batch, this would wedge
+    let outer = parallel_try_map_range(24, |i| {
+        let inner = parallel_try_map_range(16, move |j| (i * 16 + j) as u64);
+        inner
+            .into_iter()
+            .map(|r| r.expect("inner item"))
+            .sum::<u64>()
+    });
+    let total: u64 = outer.into_iter().map(|r| r.expect("outer item")).sum();
+    let n = 24u64 * 16;
+    assert_eq!(total, n * (n - 1) / 2);
+}
+
+#[test]
+fn mixed_supervised_and_batch_work_keeps_lock_order_clean() {
+    let _gate = GATE.lock().unwrap_or_else(|p| p.into_inner());
+    lock_sync::set_runtime_tracking(true);
+    let before = lock_sync::inversion_count();
+
+    for round in 0..6u64 {
+        let supervised = supervised_try_map(
+            (0..12u64).map(|i| i + round * 100).collect::<Vec<_>>(),
+            Duration::from_secs(5),
+            4,
+            |x: &mut u64| {
+                if *x % 5 == 3 {
+                    panic!("seeded supervised panic");
+                }
+                *x * 3
+            },
+        );
+        assert_eq!(supervised.len(), 12);
+        for out in &supervised {
+            match out {
+                SupervisedOutcome::Completed { .. } => {}
+                SupervisedOutcome::HardTimeout => {
+                    panic!("round {round}: spurious hard timeout")
+                }
+            }
+        }
+        // interleave a plain batch on the same pool
+        let batch = parallel_try_map_range(33, |i| i * i);
+        assert!(batch.iter().all(|r| r.is_ok()));
+    }
+
+    lock_sync::set_runtime_tracking(false);
+    assert_eq!(
+        lock_sync::inversion_count(),
+        before,
+        "lock-order inversions recorded during mixed pool traffic"
+    );
+}
