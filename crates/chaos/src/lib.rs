@@ -5,7 +5,7 @@
 //! on purpose. This crate provides a process-global, explicitly installed
 //! [`FaultPlan`] that production code consults at named injection points
 //! ("pipeline.fit", "pipeline.predict", "predict.interval", "cache.flatten",
-//! "executor.unit", ...). Each point asks
+//! "executor.unit", "service.submit", ...). Each point asks
 //! [`inject`] whether a fault fires; the answer is a **pure function** of the
 //! plan seed, the site name, and a caller-supplied key — never of thread
 //! identity, call order, or wall clock — so a seeded plan perturbs a serial

@@ -27,9 +27,13 @@
 
 pub mod orchestrator;
 pub mod progress;
+pub mod service;
 
 pub use orchestrator::{AutoAITS, AutoAITSConfig, DegradationLevel, FitSummary};
 pub use progress::{LogProgress, NoProgress, Progress, ProgressEvent};
+pub use service::{
+    ForecastService, ServiceFitReport, ServiceLimits, ServiceRequest, ServiceResponse, ServiceStats,
+};
 
 // Re-export the vocabulary types users need at the API boundary.
 pub use autoai_pipelines::{

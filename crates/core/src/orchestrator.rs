@@ -10,7 +10,10 @@ use autoai_pipelines::{
     EnsembleForecaster, Forecaster, IntervalForecast, IntervalSource, PipelineContext,
     PipelineError, ZeroModelPipeline,
 };
-use autoai_tdaub::{run_tdaub, EnsembleSelection, ExecutionReport, PipelineReport, TDaubConfig};
+use autoai_tdaub::{
+    run_tdaub_with_cache, EnsembleSelection, ExecutionReport, PipelineReport, TDaubConfig,
+};
+use autoai_transforms::TransformCache;
 use autoai_tsdata::{clean, holdout_split, quality_check, Metric, QualityReport, TimeSeriesFrame};
 
 use crate::progress::{NoProgress, Progress, ProgressEvent};
@@ -127,6 +130,8 @@ struct FittedState {
 pub struct AutoAITS {
     config: AutoAITSConfig,
     progress: Arc<dyn Progress>,
+    /// Caller-owned cache shared across fits; `None` = per-run cache.
+    transform_cache: Option<Arc<TransformCache>>,
     state: Option<FittedState>,
 }
 
@@ -147,6 +152,7 @@ impl AutoAITS {
         Self {
             config,
             progress: Arc::new(NoProgress),
+            transform_cache: None,
             state: None,
         }
     }
@@ -154,6 +160,15 @@ impl AutoAITS {
     /// Attach a progress sink (CLI/web-UI surface of §4).
     pub fn with_progress(mut self, progress: Arc<dyn Progress>) -> Self {
         self.progress = progress;
+        self
+    }
+
+    /// Share a long-lived [`TransformCache`] across fits. The service layer
+    /// passes one cache for every request on the same series, so flattened
+    /// design matrices survive between requests when the frame fingerprints
+    /// extend. The cache affects wall time only, never the ranking.
+    pub fn with_transform_cache(mut self, cache: Arc<TransformCache>) -> Self {
+        self.transform_cache = Some(cache);
         self
     }
 
@@ -214,8 +229,31 @@ impl AutoAITS {
         self.progress.report(&ProgressEvent::ZeroModelReady);
 
         // ---- 80/20 split: holdout only for reported evaluation ----
-        let holdout_len =
-            ((data.len() as f64 * self.config.holdout_fraction).round() as usize).max(1);
+        // A fraction outside (0, 1) — or one that swallows (nearly) all of
+        // the data — is a configuration error, not a degradable run: reject
+        // it before any work is wasted on a degenerate split.
+        let hf = self.config.holdout_fraction;
+        if !hf.is_finite() || hf <= 0.0 || hf >= 1.0 {
+            return Err(PipelineError::InvalidInput(format!(
+                "holdout_fraction must be a finite fraction in (0, 1), got {hf}"
+            )));
+        }
+        let holdout_len = ((data.len() as f64 * hf).round() as usize).max(1);
+        // T-Daub's small-data bypass handles genuinely short inputs, so the
+        // floor adapts: the training prefix must keep at least the smaller of
+        // the configured minimum allocation and half the data (never < 8).
+        let min_train = self
+            .config
+            .tdaub
+            .min_allocation_size
+            .min(data.len() / 2)
+            .max(8);
+        if data.len() - holdout_len < min_train {
+            return Err(PipelineError::InvalidInput(format!(
+                "holdout_fraction {hf} leaves {} training samples, need at least {min_train}",
+                data.len() - holdout_len
+            )));
+        }
         let (train, holdout) = holdout_split(&data, holdout_len);
 
         // ---- 3. look-back discovery (skipped when user specifies) ----
@@ -300,7 +338,8 @@ impl AutoAITS {
             conformal,
             ensemble,
             degradation,
-        ) = match run_tdaub(pipelines, &train, &tdaub_cfg) {
+        ) = match run_tdaub_with_cache(pipelines, &train, &tdaub_cfg, self.transform_cache.clone())
+        {
             Ok(result) => {
                 for failed in result.execution.failures() {
                     self.progress.report(&ProgressEvent::PipelineExcluded {
@@ -762,6 +801,51 @@ mod tests {
     fn empty_input_rejected() {
         let mut sys = AutoAITS::new();
         assert!(sys.fit_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn degenerate_holdout_fraction_rejected() {
+        let rows = seasonal_rows(300);
+        for hf in [1.0, 1.5, 0.0, -0.2, f64::NAN, f64::INFINITY] {
+            let mut cfg = fast_config();
+            cfg.holdout_fraction = hf;
+            let mut sys = AutoAITS::with_config(cfg);
+            let err = sys.fit_rows(&rows).err().expect("degenerate hf accepted");
+            assert!(
+                matches!(err, PipelineError::InvalidInput(_)),
+                "hf {hf}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn holdout_fraction_starving_the_train_split_rejected() {
+        // 0.95 is inside (0, 1) but leaves 15 training samples on 300 rows —
+        // far below the 50-sample minimum allocation; must be a typed error
+        let mut cfg = fast_config();
+        cfg.holdout_fraction = 0.95;
+        let mut sys = AutoAITS::with_config(cfg);
+        let err = sys
+            .fit_rows(&seasonal_rows(300))
+            .err()
+            .expect("starving split accepted");
+        assert!(matches!(err, PipelineError::InvalidInput(_)), "{err:?}");
+    }
+
+    #[test]
+    fn shared_transform_cache_accumulates_across_fits() {
+        let cache = Arc::new(TransformCache::new());
+        let mut sys = AutoAITS::with_config(fast_config()).with_transform_cache(Arc::clone(&cache));
+        sys.fit_rows(&seasonal_rows(300)).unwrap();
+        let after_first = cache.stats();
+        assert!(
+            after_first.hits + after_first.misses > 0,
+            "shared cache untouched by fit"
+        );
+        // the same fit again reuses the same long-lived cache
+        sys.fit_rows(&seasonal_rows(300)).unwrap();
+        let after_second = cache.stats();
+        assert!(after_second.hits + after_second.misses > after_first.hits + after_first.misses);
     }
 
     #[test]

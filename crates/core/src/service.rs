@@ -1,0 +1,844 @@
+//! The long-lived forecasting service core.
+//!
+//! [`AutoAITS::fit`] is a blocking, single-run entry point; production
+//! traffic is many users hitting the *same* series repeatedly with a new
+//! tail. This module lifts the per-run reuse machinery to cross-run scope:
+//!
+//! - a **series store** whose observe path grows frames through
+//!   [`TimeSeriesFrame::append`]'s in-place branch, so the frame fingerprint
+//!   after `observe` `extends_as_prefix` the fingerprint the previous fit
+//!   ran on — the condition every tier of the reuse stack keys on;
+//! - a **cross-run transform cache**: one [`TransformCache`] shared by every
+//!   request, so flattened design matrices built by run *N* are reused by
+//!   run *N+1* when the lineage extends (the cache affects wall time only,
+//!   never a ranking);
+//! - a **model cache** keyed by [`FrameFingerprint`] + generation: a fit
+//!   request whose frame fingerprints identically to an already-served fit
+//!   replays the stored result without any work, and `predict` requests are
+//!   served straight from the stored fitted system;
+//! - **epoch invalidation** mirroring the executor's `retire_unit`
+//!   generation-stamp scheme: [`ForecastService::invalidate`] bumps the
+//!   generation, so in-flight fits that complete against a stale generation
+//!   are dead on arrival instead of resurrecting flushed state;
+//! - a **job-queue front end**: [`ForecastService::submit`] multiplexes a
+//!   batch of fit/predict requests over the process-wide persistent worker
+//!   pool with admission control (batch + in-flight caps) and per-request
+//!   soft/hard budgets derived from the existing deadline machinery.
+//!
+//! Locking: the three service locks are `linalg::sync` ordered locks with
+//! the order classes `service.queue`, `service.state`, and `service.models`.
+//! They guard short metadata sections only — no fit ever runs while one is
+//! held — and nest exclusively *above* the `cache.*` classes (a `predict`
+//! served under `service.models` may touch the transform cache), keeping
+//! the workspace lock-order graph acyclic.
+//!
+//! Chaos site `service.submit`: keyed by the request's position in its
+//! batch, so a seeded plan perturbs the same requests in serial and
+//! parallel submissions. A `Panic` fault panics inside the worker (the
+//! job queue degrades it to a typed [`PipelineError::Crashed`]), a
+//! `TypedError` fault returns that error directly, a `Delay` sleeps; NaN
+//! poisoning does not apply to request admission.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use autoai_linalg::par::parallel_try_map_mut;
+use autoai_linalg::sync::OrderedMutex;
+use autoai_pipelines::PipelineError;
+use autoai_transforms::{CacheStats, TransformCache};
+use autoai_tsdata::{FrameFingerprint, GrowthRecord, TimeSeriesFrame};
+
+use crate::orchestrator::{AutoAITS, AutoAITSConfig, DegradationLevel};
+
+/// Admission-control and per-request budget limits for a
+/// [`ForecastService`].
+#[derive(Debug, Clone)]
+pub struct ServiceLimits {
+    /// Maximum requests accepted from a single [`ForecastService::submit`]
+    /// batch; the excess is rejected with
+    /// [`PipelineError::BudgetExceeded`].
+    pub max_batch: usize,
+    /// Maximum admitted-but-unfinished requests across concurrent batches.
+    pub max_in_flight: usize,
+    /// Per-request soft budget, applied as the T-Daub per-pipeline
+    /// cooperative time budget when the service config does not already pin
+    /// one.
+    pub soft_budget: Option<Duration>,
+    /// Per-request hard deadline, applied as the whole-run hard deadline
+    /// (watchdog-backed degradation to ranked survivors) when the service
+    /// config does not already pin one.
+    pub hard_deadline: Option<Duration>,
+}
+
+impl Default for ServiceLimits {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_in_flight: 256,
+            soft_budget: None,
+            hard_deadline: None,
+        }
+    }
+}
+
+/// One unit of service work.
+#[derive(Debug, Clone)]
+pub enum ServiceRequest {
+    /// Run the full AutoAI-TS selection on the stored series.
+    Fit {
+        /// Name of an ingested series.
+        series: String,
+    },
+    /// Forecast from the series' most recent fitted system.
+    Predict {
+        /// Name of an ingested series.
+        series: String,
+        /// Number of future rows to forecast.
+        horizon: usize,
+    },
+}
+
+/// Successful outcome of one [`ServiceRequest`].
+#[derive(Debug, Clone)]
+pub enum ServiceResponse {
+    /// Outcome of a `Fit` request.
+    Fit(ServiceFitReport),
+    /// Point forecast answering a `Predict` request.
+    Predict(TimeSeriesFrame),
+}
+
+/// What one fit request did and reused, for cross-run cache accounting.
+#[derive(Debug, Clone)]
+pub struct ServiceFitReport {
+    /// The series this fit ran on.
+    pub series: String,
+    /// Name of the winning pipeline.
+    pub best_pipeline: String,
+    /// Final ranking: `(pipeline name, projected score)` best first. Scores
+    /// are bit-exact reproducible for a fixed seed, so equality of
+    /// `f64::to_bits` across requests is the intended comparison.
+    pub ranking: Vec<(String, f64)>,
+    /// SMAPE of the winner on the holdout split.
+    pub holdout_smape: f64,
+    /// How far down the degradation ladder the fit landed.
+    pub degradation: DegradationLevel,
+    /// Warm-started `fit_incremental` refits inside this run.
+    pub incremental_fits: u64,
+    /// Fit+score units served from the executor's fingerprint memo.
+    pub fits_avoided: u64,
+    /// Executed fits on data a candidate had already fitted — structurally
+    /// zero while the memo is active.
+    pub duplicate_fits: u64,
+    /// Transform-cache hits during this request (cross-run hits included:
+    /// the service cache outlives individual requests).
+    pub cache_hits: u64,
+    /// Transform-cache misses during this request.
+    pub cache_misses: u64,
+    /// Cache misses served by extending a previous run's matrix.
+    pub cache_extensions: u64,
+    /// True when this fit's frame `extends_as_prefix` the fingerprint of
+    /// the previous fit stored for the series — the cross-run warm-lineage
+    /// condition the in-place growth path exists to preserve.
+    pub extends_previous_fit: bool,
+    /// True when no work ran at all: the request's frame fingerprinted
+    /// identically to an already-served fit of the current generation and
+    /// the stored report was replayed.
+    pub reused_model: bool,
+}
+
+/// Aggregate service counters, for dashboards and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests admitted by `submit`.
+    pub admitted: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Admitted requests that have completed (successfully or not).
+    pub completed: u64,
+    /// Admitted requests currently executing.
+    pub in_flight: usize,
+    /// Current invalidation generation (starts at 0).
+    pub generation: u64,
+    /// Number of ingested series.
+    pub series: usize,
+    /// Number of live model-cache entries.
+    pub models: usize,
+    /// Cross-run transform-cache counters.
+    pub cache: CacheStats,
+}
+
+/// One stored series: the live frame plus its growth lineage.
+struct SeriesState {
+    name: String,
+    frame: TimeSeriesFrame,
+    lineage: Vec<GrowthRecord>,
+}
+
+/// One cached fit: the whole fitted system plus the identity it was fit on.
+struct ModelEntry {
+    series: String,
+    fingerprint: FrameFingerprint,
+    generation: u64,
+    model: AutoAITS,
+    report: ServiceFitReport,
+}
+
+/// Admission counters behind the `service.queue` lock.
+#[derive(Default)]
+struct QueueState {
+    in_flight: usize,
+    admitted: u64,
+    rejected: u64,
+    completed: u64,
+}
+
+/// Per-request routing decided by admission control and batch dedup.
+enum Decision {
+    /// Rejected by admission control.
+    Rejected,
+    /// Executes on the worker pool.
+    Primary,
+    /// Duplicate fit of the request at this batch position; replayed from
+    /// the primary's result.
+    DuplicateOf(usize),
+}
+
+/// A long-lived, concurrent front end over [`AutoAITS`]: ingest series once,
+/// then serve repeated fit/predict requests with cross-run reuse.
+pub struct ForecastService {
+    config: AutoAITSConfig,
+    limits: ServiceLimits,
+    cache: Arc<TransformCache>,
+    generation: AtomicU64,
+    service_queue: OrderedMutex<QueueState>,
+    service_state: OrderedMutex<Vec<SeriesState>>,
+    service_models: OrderedMutex<Vec<ModelEntry>>,
+}
+
+impl Default for ForecastService {
+    fn default() -> Self {
+        Self::new(AutoAITSConfig::default())
+    }
+}
+
+impl ForecastService {
+    /// Build a service whose fit requests use `config` as their template.
+    pub fn new(config: AutoAITSConfig) -> Self {
+        Self {
+            config,
+            limits: ServiceLimits::default(),
+            cache: Arc::new(TransformCache::new()),
+            generation: AtomicU64::new(0),
+            service_queue: OrderedMutex::new("service.queue", QueueState::default()),
+            service_state: OrderedMutex::new("service.state", Vec::new()),
+            service_models: OrderedMutex::new("service.models", Vec::new()),
+        }
+    }
+
+    /// Replace the admission-control limits.
+    pub fn with_limits(mut self, limits: ServiceLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Store (or replace) a series under `name`. Returns the fingerprint
+    /// the stored frame will present to the next fit request.
+    pub fn ingest(
+        &self,
+        name: &str,
+        frame: TimeSeriesFrame,
+    ) -> Result<FrameFingerprint, PipelineError> {
+        if frame.is_empty() || frame.n_series() == 0 {
+            return Err(PipelineError::InvalidInput(format!(
+                "ingest `{name}`: empty frame"
+            )));
+        }
+        let fp = frame.fingerprint();
+        let mut state = lock_or_poisoned(&self.service_state)?;
+        match state.iter_mut().find(|s| s.name == name) {
+            Some(slot) => {
+                // the replaced frame's buffers are being retired: purge every
+                // pointer-keyed cache entry that references them so a future
+                // allocation can never collide with a stale key
+                let retired = slot.frame.fingerprint();
+                self.cache.purge_buffers(retired.buffers());
+                slot.frame = frame;
+                slot.lineage.clear();
+            }
+            None => state.push(SeriesState {
+                name: name.to_string(),
+                frame,
+                lineage: Vec::new(),
+            }),
+        }
+        Ok(fp)
+    }
+
+    /// Append `new_rows` (row-major) to the stored series. When the stored
+    /// frame is the unique owner of its buffers — the steady state between
+    /// requests, now that fitted models keep owned tails — the growth is in
+    /// place and the returned record's fingerprints satisfy
+    /// `grown.extends_as_prefix(&base)`, which is what lets the next fit
+    /// request warm-start against the previous one. A forced re-base is
+    /// surfaced in the record, never silent.
+    pub fn observe(
+        &self,
+        name: &str,
+        new_rows: &[Vec<f64>],
+    ) -> Result<GrowthRecord, PipelineError> {
+        let mut state = lock_or_poisoned(&self.service_state)?;
+        let slot = state.iter_mut().find(|s| s.name == name).ok_or_else(|| {
+            PipelineError::InvalidInput(format!("observe: unknown series `{name}`"))
+        })?;
+        let width = slot.frame.n_series();
+        if new_rows.iter().any(|r| r.len() != width) {
+            return Err(PipelineError::InvalidInput(format!(
+                "observe `{name}`: rows must have {width} values"
+            )));
+        }
+        // the cache's ABA pins on these buffers would force a re-base; the
+        // store keeps the buffers alive, so the pins can be safely released
+        self.cache.release_pins(slot.frame.fingerprint().buffers());
+        // take the frame out of the slot so the store itself is not a
+        // co-owner; `extended` consumes it and detects unique ownership
+        let frame = std::mem::replace(&mut slot.frame, TimeSeriesFrame::from_columns(Vec::new()));
+        let (grown, record) = frame.extended(new_rows);
+        if !record.identity_preserved() {
+            // re-based: the old buffers are being retired, so pointer-keyed
+            // entries on them must go before an allocation can recycle them
+            self.cache.purge_buffers(record.base.buffers());
+        }
+        slot.frame = grown;
+        slot.lineage.push(record.clone());
+        Ok(record)
+    }
+
+    /// The growth lineage recorded by `observe` calls since ingest.
+    pub fn lineage(&self, name: &str) -> Vec<GrowthRecord> {
+        self.service_state
+            .lock()
+            .ok()
+            .and_then(|state| {
+                state
+                    .iter()
+                    .find(|s| s.name == name)
+                    .map(|s| s.lineage.clone())
+            })
+            .unwrap_or_default()
+    }
+
+    /// Fingerprint the stored series currently presents to a fit request.
+    pub fn series_fingerprint(&self, name: &str) -> Option<FrameFingerprint> {
+        self.service_state.lock().ok().and_then(|state| {
+            state
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.frame.fingerprint())
+        })
+    }
+
+    /// Submit a batch of requests; the reply vector is index-aligned with
+    /// the batch. Admission control caps the batch size and the number of
+    /// in-flight requests (rejections are
+    /// [`PipelineError::BudgetExceeded`]); duplicate fit requests within
+    /// the batch execute once and replay to the duplicates; everything
+    /// admitted is multiplexed over the process-wide persistent worker
+    /// pool.
+    pub fn submit(
+        &self,
+        requests: &[ServiceRequest],
+    ) -> Vec<Result<ServiceResponse, PipelineError>> {
+        let n = requests.len();
+        // ---- admission: batch cap + in-flight cap, under service.queue ----
+        let allow = {
+            match self.service_queue.lock() {
+                Ok(mut q) => {
+                    let room = self.limits.max_in_flight.saturating_sub(q.in_flight);
+                    let allow = n.min(self.limits.max_batch).min(room);
+                    q.in_flight = q.in_flight.saturating_add(allow);
+                    q.admitted = q.admitted.saturating_add(allow as u64);
+                    q.rejected = q.rejected.saturating_add((n - allow) as u64);
+                    allow
+                }
+                Err(_) => 0,
+            }
+        };
+        // ---- routing: the first `allow` requests are admitted; duplicate
+        // fits of the same series collapse onto their first occurrence ----
+        let mut decisions: Vec<Decision> = Vec::with_capacity(n);
+        let mut fit_primaries: Vec<(usize, String)> = Vec::new();
+        for (i, request) in requests.iter().enumerate() {
+            if i >= allow {
+                decisions.push(Decision::Rejected);
+                continue;
+            }
+            match request {
+                ServiceRequest::Fit { series } => {
+                    match fit_primaries.iter().find(|(_, s)| s == series) {
+                        Some(&(first, _)) => decisions.push(Decision::DuplicateOf(first)),
+                        None => {
+                            fit_primaries.push((i, series.clone()));
+                            decisions.push(Decision::Primary);
+                        }
+                    }
+                }
+                ServiceRequest::Predict { .. } => decisions.push(Decision::Primary),
+            }
+        }
+        // ---- execute primaries on the persistent pool ----
+        let mut work: Vec<(usize, ServiceRequest)> = decisions
+            .iter()
+            .zip(requests.iter())
+            .enumerate()
+            .filter(|(_, (d, _))| matches!(d, Decision::Primary))
+            .map(|(i, (_, r))| (i, r.clone()))
+            .collect();
+        let outcomes = parallel_try_map_mut(&mut work, |(i, request)| self.execute(*i, request));
+        // ---- assemble index-aligned replies; replay duplicates ----
+        let mut done = outcomes.into_iter();
+        let mut responses: Vec<Result<ServiceResponse, PipelineError>> = Vec::with_capacity(n);
+        for decision in &decisions {
+            let reply = match decision {
+                Decision::Rejected => Err(PipelineError::BudgetExceeded),
+                Decision::Primary => match done.next() {
+                    Some(Ok(result)) => result,
+                    Some(Err(panic)) => Err(PipelineError::Crashed(format!(
+                        "service worker panicked: {}",
+                        panic.message
+                    ))),
+                    None => Err(PipelineError::Crashed(
+                        "service worker result missing".into(),
+                    )),
+                },
+                Decision::DuplicateOf(first) => match responses.get(*first) {
+                    Some(Ok(ServiceResponse::Fit(report))) => {
+                        let mut replay = report.clone();
+                        replay.reused_model = true;
+                        Ok(ServiceResponse::Fit(replay))
+                    }
+                    Some(Ok(other)) => Ok(other.clone()),
+                    Some(Err(e)) => Err(e.clone()),
+                    None => Err(PipelineError::Crashed(
+                        "duplicate fit primary missing".into(),
+                    )),
+                },
+            };
+            responses.push(reply);
+        }
+        if let Ok(mut q) = self.service_queue.lock() {
+            q.in_flight = q.in_flight.saturating_sub(allow);
+            q.completed = q.completed.saturating_add(allow as u64);
+        }
+        responses
+    }
+
+    /// Convenience: submit a single fit request for `series`.
+    pub fn fit(&self, series: &str) -> Result<ServiceFitReport, PipelineError> {
+        let mut replies = self.submit(&[ServiceRequest::Fit {
+            series: series.to_string(),
+        }]);
+        match replies.pop() {
+            Some(Ok(ServiceResponse::Fit(report))) => Ok(report),
+            Some(Ok(_)) => Err(PipelineError::Crashed("fit answered with non-fit".into())),
+            Some(Err(e)) => Err(e),
+            None => Err(PipelineError::Crashed("empty submit reply".into())),
+        }
+    }
+
+    /// Convenience: submit a single predict request for `series`.
+    pub fn predict(&self, series: &str, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
+        let mut replies = self.submit(&[ServiceRequest::Predict {
+            series: series.to_string(),
+            horizon,
+        }]);
+        match replies.pop() {
+            Some(Ok(ServiceResponse::Predict(frame))) => Ok(frame),
+            Some(Ok(_)) => Err(PipelineError::Crashed(
+                "predict answered with non-predict".into(),
+            )),
+            Some(Err(e)) => Err(e),
+            None => Err(PipelineError::Crashed("empty submit reply".into())),
+        }
+    }
+
+    /// Flush all cross-run state: bumps the generation stamp (the epoch
+    /// analogue of the executor's `retire_unit`), clears the transform
+    /// cache, and drops model-cache entries of older generations. An
+    /// in-flight fit that completes against a stale generation is dead on
+    /// arrival — its entry is never stored — so flushed state cannot be
+    /// resurrected by a straggler. Returns the new generation.
+    pub fn invalidate(&self) -> u64 {
+        let generation = self
+            .generation
+            .fetch_add(1, Ordering::SeqCst)
+            .saturating_add(1);
+        self.cache.clear();
+        if let Ok(mut models) = self.service_models.lock() {
+            models.retain(|e| e.generation >= generation);
+        }
+        generation
+    }
+
+    /// Aggregate counters (admission, generation, model/series counts, and
+    /// the cross-run transform-cache stats).
+    pub fn stats(&self) -> ServiceStats {
+        let (admitted, rejected, completed, in_flight) = self
+            .service_queue
+            .lock()
+            .map(|q| (q.admitted, q.rejected, q.completed, q.in_flight))
+            .unwrap_or((0, 0, 0, 0));
+        let series = self.service_state.lock().map(|s| s.len()).unwrap_or(0);
+        let models = self.service_models.lock().map(|m| m.len()).unwrap_or(0);
+        ServiceStats {
+            admitted,
+            rejected,
+            completed,
+            in_flight,
+            generation: self.generation.load(Ordering::SeqCst),
+            series,
+            models,
+            cache: self.cache.stats(),
+        }
+    }
+
+    /// One worker's slice of a submitted batch.
+    fn execute(
+        &self,
+        position: usize,
+        request: &ServiceRequest,
+    ) -> Result<ServiceResponse, PipelineError> {
+        self.chaos_gate(position)?;
+        match request {
+            ServiceRequest::Fit { series } => self.fit_series(series).map(ServiceResponse::Fit),
+            ServiceRequest::Predict { series, horizon } => self
+                .predict_series(series, *horizon)
+                .map(ServiceResponse::Predict),
+        }
+    }
+
+    /// Chaos site `service.submit`, keyed by batch position.
+    fn chaos_gate(&self, position: usize) -> Result<(), PipelineError> {
+        if autoai_chaos::enabled() {
+            match autoai_chaos::inject("service.submit", position as u64) {
+                Some(autoai_chaos::Fault::Panic) => {
+                    // tscheck:allow(panic): deliberate chaos fault injection
+                    panic!("chaos: injected service submission failure")
+                }
+                Some(autoai_chaos::Fault::TypedError) => {
+                    return Err(PipelineError::Crashed(
+                        "chaos: injected service submission error".into(),
+                    ))
+                }
+                Some(autoai_chaos::Fault::Delay(ms)) => {
+                    std::thread::sleep(Duration::from_millis(ms))
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-request config: the service template with the admission limits'
+    /// budgets filled in wherever the template leaves them open.
+    fn request_config(&self) -> AutoAITSConfig {
+        let mut config = self.config.clone();
+        if config.tdaub.pipeline_time_budget.is_none() {
+            config.tdaub.pipeline_time_budget = self.limits.soft_budget;
+        }
+        if config.tdaub.run_hard_deadline.is_none() {
+            config.tdaub.run_hard_deadline = self.limits.hard_deadline;
+        }
+        config
+    }
+
+    /// Serve one fit request: replay on an exact fingerprint match, run the
+    /// full selection against the shared cache otherwise.
+    fn fit_series(&self, series: &str) -> Result<ServiceFitReport, PipelineError> {
+        let frame = {
+            let state = lock_or_poisoned(&self.service_state)?;
+            match state.iter().find(|s| s.name == series) {
+                // O(1): shares the stored buffers, which is exactly what
+                // keys the cross-run caches
+                Some(slot) => slot.frame.clone(),
+                None => {
+                    return Err(PipelineError::InvalidInput(format!(
+                        "fit: unknown series `{series}`"
+                    )))
+                }
+            }
+        };
+        let generation = self.generation.load(Ordering::SeqCst);
+        let fingerprint = frame.fingerprint();
+        let extends_previous_fit = {
+            let models = lock_or_poisoned(&self.service_models)?;
+            if let Some(entry) = models.iter().find(|e| {
+                e.series == series && e.generation == generation && e.fingerprint == fingerprint
+            }) {
+                // exact replay: same data, same generation → no work at all
+                let mut report = entry.report.clone();
+                report.reused_model = true;
+                return Ok(report);
+            }
+            models
+                .iter()
+                .find(|e| e.series == series)
+                .is_some_and(|e| fingerprint.extends_as_prefix(&e.fingerprint))
+        };
+        let before = self.cache.stats();
+        let mut model = AutoAITS::with_config(self.request_config())
+            .with_transform_cache(Arc::clone(&self.cache));
+        model.fit(&frame)?;
+        let after = self.cache.stats();
+        let report = {
+            let summary = model.summary().ok_or(PipelineError::NotFitted)?;
+            ServiceFitReport {
+                series: series.to_string(),
+                best_pipeline: summary.best_pipeline.clone(),
+                ranking: summary
+                    .reports
+                    .iter()
+                    .map(|r| (r.name.clone(), r.projected_score))
+                    .collect(),
+                holdout_smape: summary.holdout_smape,
+                degradation: summary.degradation,
+                incremental_fits: summary.execution.incremental_fits,
+                fits_avoided: summary.execution.fits_avoided,
+                duplicate_fits: summary.execution.duplicate_fits,
+                cache_hits: after.hits.saturating_sub(before.hits),
+                cache_misses: after.misses.saturating_sub(before.misses),
+                cache_extensions: after.extensions.saturating_sub(before.extensions),
+                extends_previous_fit,
+                reused_model: false,
+            }
+        };
+        // dead-on-arrival check: an invalidation that raced this fit wins
+        if self.generation.load(Ordering::SeqCst) == generation {
+            let mut models = lock_or_poisoned(&self.service_models)?;
+            models.retain(|e| e.series != series && e.generation == generation);
+            models.push(ModelEntry {
+                series: series.to_string(),
+                fingerprint,
+                generation,
+                model,
+                report: report.clone(),
+            });
+        }
+        Ok(report)
+    }
+
+    /// Serve one predict request from the stored fitted system.
+    fn predict_series(
+        &self,
+        series: &str,
+        horizon: usize,
+    ) -> Result<TimeSeriesFrame, PipelineError> {
+        let generation = self.generation.load(Ordering::SeqCst);
+        let models = lock_or_poisoned(&self.service_models)?;
+        let entry = models
+            .iter()
+            .find(|e| e.series == series && e.generation == generation)
+            .ok_or(PipelineError::NotFitted)?;
+        entry.model.predict(horizon)
+    }
+}
+
+/// Poisoned service locks become a typed error, never a propagated panic.
+fn lock_or_poisoned<'a, T>(
+    lock: &'a OrderedMutex<T>,
+) -> Result<autoai_linalg::sync::OrderedMutexGuard<'a, T>, PipelineError> {
+    lock.lock()
+        .map_err(|_| PipelineError::Crashed(format!("service lock `{}` poisoned", lock.name())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoai_tsdata::GrowthKind;
+
+    fn seasonal_rows(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| vec![20.0 + 5.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin()])
+            .collect()
+    }
+
+    fn fast_service() -> ForecastService {
+        ForecastService::new(AutoAITSConfig {
+            pipeline_names: Some(vec![
+                "MT2RForecaster".into(),
+                "HW-Additive".into(),
+                "ZeroModel".into(),
+            ]),
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn unknown_series_is_typed_invalid_input() {
+        let svc = fast_service();
+        assert!(matches!(
+            svc.fit("nope"),
+            Err(PipelineError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            svc.observe("nope", &[vec![1.0]]),
+            Err(PipelineError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn predict_before_fit_is_not_fitted() {
+        let svc = fast_service();
+        svc.ingest("cpu", TimeSeriesFrame::from_rows(&seasonal_rows(300)))
+            .unwrap();
+        assert!(matches!(
+            svc.predict("cpu", 4),
+            Err(PipelineError::NotFitted)
+        ));
+    }
+
+    #[test]
+    fn fit_then_predict_roundtrip() {
+        let svc = fast_service();
+        svc.ingest("cpu", TimeSeriesFrame::from_rows(&seasonal_rows(300)))
+            .unwrap();
+        let report = svc.fit("cpu").unwrap();
+        assert!(!report.best_pipeline.is_empty());
+        assert!(!report.reused_model);
+        let f = svc.predict("cpu", 6).unwrap();
+        assert_eq!(f.len(), 6);
+        assert_eq!(f.n_series(), 1);
+    }
+
+    #[test]
+    fn identical_fit_replays_from_the_model_cache() {
+        let svc = fast_service();
+        svc.ingest("cpu", TimeSeriesFrame::from_rows(&seasonal_rows(300)))
+            .unwrap();
+        let cold = svc.fit("cpu").unwrap();
+        let warm = svc.fit("cpu").unwrap();
+        assert!(warm.reused_model, "identical request must replay");
+        assert_eq!(cold.best_pipeline, warm.best_pipeline);
+        // replay must be bit-identical, not merely close
+        for ((an, a), (bn, b)) in cold.ranking.iter().zip(warm.ranking.iter()) {
+            assert_eq!(an, bn);
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn observe_grows_in_place_between_requests() {
+        let svc = fast_service();
+        svc.ingest("cpu", TimeSeriesFrame::from_rows(&seasonal_rows(300)))
+            .unwrap();
+        svc.fit("cpu").unwrap();
+        let record = svc.observe("cpu", &seasonal_rows(24)).unwrap();
+        assert_eq!(
+            record.kind,
+            GrowthKind::InPlace,
+            "stored series must grow without severing identity: {record:?}"
+        );
+        assert!(record.grown.extends_as_prefix(&record.base));
+        assert_eq!(svc.lineage("cpu").len(), 1);
+        // the grown frame is what the next fit sees
+        assert_eq!(svc.series_fingerprint("cpu"), Some(record.grown.clone()));
+    }
+
+    #[test]
+    fn duplicate_fits_in_one_batch_run_once() {
+        let svc = fast_service();
+        svc.ingest("cpu", TimeSeriesFrame::from_rows(&seasonal_rows(300)))
+            .unwrap();
+        let replies = svc.submit(&[
+            ServiceRequest::Fit {
+                series: "cpu".into(),
+            },
+            ServiceRequest::Fit {
+                series: "cpu".into(),
+            },
+        ]);
+        assert_eq!(replies.len(), 2);
+        let reports: Vec<&ServiceFitReport> = replies
+            .iter()
+            .map(|r| match r {
+                Ok(ServiceResponse::Fit(rep)) => rep,
+                other => panic!("unexpected reply {other:?}"),
+            })
+            .collect();
+        assert!(!reports.first().unwrap().reused_model);
+        assert!(reports.get(1).unwrap().reused_model);
+    }
+
+    #[test]
+    fn admission_control_rejects_past_the_batch_cap() {
+        let svc = fast_service().with_limits(ServiceLimits {
+            max_batch: 1,
+            ..Default::default()
+        });
+        svc.ingest("cpu", TimeSeriesFrame::from_rows(&seasonal_rows(300)))
+            .unwrap();
+        let replies = svc.submit(&[
+            ServiceRequest::Predict {
+                series: "cpu".into(),
+                horizon: 4,
+            },
+            ServiceRequest::Predict {
+                series: "cpu".into(),
+                horizon: 4,
+            },
+        ]);
+        assert!(matches!(
+            replies.get(1),
+            Some(Err(PipelineError::BudgetExceeded))
+        ));
+        let stats = svc.stats();
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.in_flight, 0);
+    }
+
+    #[test]
+    fn invalidate_flushes_models_and_cache() {
+        let svc = fast_service();
+        svc.ingest("cpu", TimeSeriesFrame::from_rows(&seasonal_rows(300)))
+            .unwrap();
+        svc.fit("cpu").unwrap();
+        assert_eq!(svc.stats().models, 1);
+        let generation = svc.invalidate();
+        assert_eq!(generation, 1);
+        let stats = svc.stats();
+        assert_eq!(stats.models, 0);
+        assert_eq!(stats.cache.hits + stats.cache.misses, 0);
+        // predictions no longer served from the flushed generation
+        assert!(matches!(
+            svc.predict("cpu", 4),
+            Err(PipelineError::NotFitted)
+        ));
+        // but a fresh fit under the new generation works
+        let report = svc.fit("cpu").unwrap();
+        assert!(!report.reused_model);
+        assert!(svc.predict("cpu", 4).is_ok());
+    }
+
+    #[test]
+    fn mixed_batch_serves_fit_and_predict() {
+        let svc = fast_service();
+        svc.ingest("cpu", TimeSeriesFrame::from_rows(&seasonal_rows(300)))
+            .unwrap();
+        svc.fit("cpu").unwrap();
+        let replies = svc.submit(&[
+            ServiceRequest::Predict {
+                series: "cpu".into(),
+                horizon: 3,
+            },
+            ServiceRequest::Fit {
+                series: "cpu".into(),
+            },
+        ]);
+        assert!(matches!(
+            replies.first(),
+            Some(Ok(ServiceResponse::Predict(_)))
+        ));
+        assert!(matches!(replies.get(1), Some(Ok(ServiceResponse::Fit(_)))));
+    }
+}

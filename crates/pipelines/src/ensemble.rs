@@ -302,7 +302,7 @@ impl Forecaster for AutoEnsembler {
                 self.chosen_regressor = self.local_chosen.join(",");
             }
         }
-        self.train_tail = Some(transformed.tail(self.lookback + self.horizon));
+        self.train_tail = Some(transformed.tail(self.lookback + self.horizon).into_owned());
         self.fitted_rows = frame.len();
         self.last_fp = Some(frame.fingerprint());
         Ok(())
@@ -367,7 +367,7 @@ impl Forecaster for AutoEnsembler {
                 self.local_models = models;
             }
         }
-        self.train_tail = Some(transformed.tail(self.lookback + self.horizon));
+        self.train_tail = Some(transformed.tail(self.lookback + self.horizon).into_owned());
         self.fitted_rows = frame.len();
         self.last_fp = Some(fp);
         Ok(true)

@@ -1201,7 +1201,7 @@ impl Forecaster for Mt2rForecaster {
             .fit(&ds.x, &ds.y)
             .map_err(|e| PipelineError::Fit(e.message))?;
         self.model = Some(model);
-        self.train_tail = Some(frame.tail(self.lookback + self.horizon));
+        self.train_tail = Some(frame.tail(self.lookback + self.horizon).into_owned());
         Ok(())
     }
 
@@ -1313,7 +1313,7 @@ impl Forecaster for NeuralPipeline {
             Ok(()) => Some(nll),
             Err(_) => None,
         };
-        self.train_tail = Some(frame.tail(self.lookback + self.horizon));
+        self.train_tail = Some(frame.tail(self.lookback + self.horizon).into_owned());
         Ok(())
     }
 

@@ -104,7 +104,7 @@ impl Forecaster for WindowRegressorPipeline {
             .fit(&ds.x, &ds.y)
             .map_err(|e| PipelineError::Fit(e.message))?;
         self.model = Some(model);
-        self.train_tail = Some(frame.tail(self.lookback));
+        self.train_tail = Some(frame.tail(self.lookback).into_owned());
         Ok(())
     }
 

@@ -165,7 +165,7 @@ impl Forecaster for WindowRegressorSim {
             .fit(&ds.x, &ds.y)
             .map_err(|e| PipelineError::Fit(e.message))?;
         self.model = Some(model);
-        self.tail = Some(frame.tail(self.window));
+        self.tail = Some(frame.tail(self.window).into_owned());
         Ok(())
     }
 

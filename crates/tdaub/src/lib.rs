@@ -25,4 +25,4 @@ pub mod runner;
 
 pub use ensemble::{greedy_select, EnsembleMember, EnsembleSelection};
 pub use executor::{ExecutionReport, FailureKind, PipelineExecution};
-pub use runner::{run_tdaub, PipelineReport, TDaubConfig, TDaubResult};
+pub use runner::{run_tdaub, run_tdaub_with_cache, PipelineReport, TDaubConfig, TDaubResult};

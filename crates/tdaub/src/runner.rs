@@ -175,6 +175,22 @@ pub fn run_tdaub(
     train: &TimeSeriesFrame,
     config: &TDaubConfig,
 ) -> Result<TDaubResult, PipelineError> {
+    run_tdaub_with_cache(pipelines, train, config, None)
+}
+
+/// [`run_tdaub`] with a caller-owned [`TransformCache`] shared **across**
+/// runs. A long-lived service passes the same cache for every request on the
+/// same series, so flattened design matrices built by one run are reused by
+/// the next when the frame fingerprints extend (same buffers, grown tail).
+/// `None` falls back to the per-run cache governed by
+/// [`TDaubConfig::transform_cache`]. The cache affects wall time only —
+/// rankings are identical with or without it.
+pub fn run_tdaub_with_cache(
+    pipelines: Vec<Box<dyn Forecaster>>,
+    train: &TimeSeriesFrame,
+    config: &TDaubConfig,
+    shared_cache: Option<Arc<TransformCache>>,
+) -> Result<TDaubResult, PipelineError> {
     if pipelines.is_empty() {
         return Err(PipelineError::InvalidInput(
             "run_tdaub requires at least one pipeline".into(),
@@ -219,10 +235,12 @@ pub fn run_tdaub(
         reverse: config.reverse_allocation,
         parallel: config.parallel,
         budget: config.pipeline_time_budget,
-        cache: config
-            .transform_cache
-            .then(TransformCache::new)
-            .map(Arc::new),
+        cache: shared_cache.or_else(|| {
+            config
+                .transform_cache
+                .then(TransformCache::new)
+                .map(Arc::new)
+        }),
         incremental: config.incremental,
         hard_deadline,
         chaos_start: autoai_chaos::injected_count(),

@@ -497,6 +497,115 @@ impl TransformCache {
         }
     }
 
+    /// Release the strong input pins this cache holds on the given buffer
+    /// addresses (see [`FrameFingerprint::buffers`]), so a caller that owns
+    /// those buffers can grow them in place without the cache forcing a
+    /// copy-on-write re-base.
+    ///
+    /// **Contract**: the caller must keep the named buffers alive for as
+    /// long as it keeps using this cache — the pins exist so a pointer-keyed
+    /// entry can never alias a recycled allocation, and releasing them moves
+    /// that obligation to the caller. The service layer satisfies it by
+    /// holding every ingested frame in its store and calling
+    /// [`TransformCache::purge_buffers`] whenever a stored frame's buffers
+    /// are actually retired (an ingest replacement or a re-based growth).
+    ///
+    /// Detached entries stay fully servable: same-buffer extension works on
+    /// pointer identity alone and never reads the pinned input, and the
+    /// cross-buffer value-verification path fails closed on a detached
+    /// input (falling back to a full rebuild), so soundness never degrades
+    /// — only an extension opportunity can be lost.
+    pub fn release_pins(&self, buffers: &[usize]) {
+        if buffers.is_empty() {
+            return;
+        }
+        let shares = |fp: &FrameFingerprint| fp.buffers().iter().any(|b| buffers.contains(b));
+        if let Ok(mut map) = self.datasets.lock() {
+            for slot in map.values_mut() {
+                let Some(Some(entry)) = slot.get() else {
+                    continue;
+                };
+                if !shares(&entry.input.fingerprint()) {
+                    continue;
+                }
+                let detached = DatasetEntry {
+                    input: TimeSeriesFrame::from_columns(Vec::new()),
+                    data: Arc::clone(&entry.data),
+                };
+                let fresh: Slot<DatasetEntry> = Arc::new(OnceLock::new());
+                let _ = fresh.set(Some(detached));
+                *slot = fresh;
+            }
+        }
+        if let Ok(mut map) = self.frames.lock() {
+            // An output that itself shares the buffers cannot be detached
+            // (it *is* the cached value) — drop the entry instead; dropping
+            // is always sound, it just costs a future miss.
+            map.retain(|_, slot| match slot.get() {
+                Some(Some(entry)) => !shares(&entry.out.fingerprint()),
+                _ => true,
+            });
+            for slot in map.values_mut() {
+                let Some(Some(entry)) = slot.get() else {
+                    continue;
+                };
+                if !shares(&entry._input.fingerprint()) {
+                    continue;
+                }
+                let detached = FrameEntry {
+                    _input: TimeSeriesFrame::from_columns(Vec::new()),
+                    out: entry.out.clone(),
+                };
+                let fresh: Slot<FrameEntry> = Arc::new(OnceLock::new());
+                let _ = fresh.set(Some(detached));
+                *slot = fresh;
+            }
+        }
+    }
+
+    /// Drop every entry, extension candidate, and lineage record that
+    /// references the given buffer addresses. Callers that released pins
+    /// with [`TransformCache::release_pins`] must call this when the
+    /// buffers are genuinely retired (freed or replaced), so a recycled
+    /// allocation can never collide with a stale pointer-keyed entry.
+    pub fn purge_buffers(&self, buffers: &[usize]) {
+        if buffers.is_empty() {
+            return;
+        }
+        let shares = |fp: &FrameFingerprint| fp.buffers().iter().any(|b| buffers.contains(b));
+        if let Ok(mut map) = self.datasets.lock() {
+            map.retain(|key, slot| {
+                !shares(&key.frame)
+                    && match slot.get() {
+                        Some(Some(entry)) => !shares(&entry.input.fingerprint()),
+                        _ => true,
+                    }
+            });
+        }
+        if let Ok(mut map) = self.frames.lock() {
+            map.retain(|key, slot| {
+                !shares(&key.frame)
+                    && match slot.get() {
+                        Some(Some(entry)) => {
+                            !shares(&entry._input.fingerprint())
+                                && !shares(&entry.out.fingerprint())
+                        }
+                        _ => true,
+                    }
+            });
+        }
+        if let Ok(mut map) = self.latest.lock() {
+            map.retain(|(lineage, _, _), fp| {
+                !shares(fp) && !lineage.buffers.iter().any(|b| buffers.contains(b))
+            });
+        }
+        if let Ok(mut map) = self.lineages.lock() {
+            map.retain(|fp, lineage| {
+                !shares(fp) && !lineage.buffers.iter().any(|b| buffers.contains(b))
+            });
+        }
+    }
+
     /// Snapshot the activity counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -1013,6 +1122,58 @@ mod tests {
         set_hit_verification(false);
         assert_eq!(cache.stats().extensions, 1);
         assert_eq!(hit_mismatches(), 0);
+    }
+
+    #[test]
+    fn release_pins_enables_in_place_growth_and_keeps_entries_servable() {
+        let cache = TransformCache::new();
+        let mut f = frame(60);
+        let _ = cache.flatten(&f.slice(0, 60), 4, 2).unwrap();
+        // the entry's pin makes the buffers shared: growth must re-base
+        let probe = f.clone();
+        let record = f.append(&frame(5));
+        assert!(!record.identity_preserved());
+        drop(probe);
+        // fresh frame, pins released: growth stays in place
+        let mut g = frame(60);
+        let _ = cache.flatten(&g.slice(0, 60), 4, 2).unwrap();
+        cache.release_pins(g.fingerprint().buffers());
+        let record = g.append(&frame(5));
+        assert!(record.identity_preserved(), "{record:?}");
+        // the detached entry still serves hits, and same-buffer extension
+        // still works purely on pointer identity
+        let before = cache.stats();
+        let _ = cache.flatten(&g.slice(0, 60), 4, 2).unwrap();
+        let extended = cache.flatten(&g.slice(0, 65), 4, 2).unwrap();
+        let after = cache.stats();
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.extensions, before.extensions + 1);
+        assert_eq!(*extended, flatten_windows(&g.slice(0, 65), 4, 2));
+    }
+
+    #[test]
+    fn purge_buffers_drops_every_reference_to_the_retired_buffers() {
+        let cache = TransformCache::new();
+        let f = frame(60);
+        let derived = cache
+            .frame_op(&f, "plus1", || {
+                TimeSeriesFrame::from_columns(
+                    (0..f.n_series())
+                        .map(|c| f.series(c).iter().map(|v| v + 1.0).collect())
+                        .collect(),
+                )
+            })
+            .unwrap();
+        let _ = cache.flatten(&f.slice(0, 60), 4, 2).unwrap();
+        let _ = cache.flatten(&derived, 4, 2).unwrap();
+        cache.purge_buffers(f.fingerprint().buffers());
+        // raw entry, frame-op entry, and the lineage-linked derived entry
+        // are all gone: every lookup is a fresh miss
+        let misses = cache.stats().misses;
+        let _ = cache.flatten(&f.slice(0, 60), 4, 2).unwrap();
+        let _ = cache.frame_op(&f, "plus1", || derived.clone()).unwrap();
+        assert_eq!(cache.stats().misses, misses + 2);
+        assert_eq!(cache.stats().hits, 0);
     }
 
     #[test]

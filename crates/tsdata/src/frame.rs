@@ -5,12 +5,18 @@
 //! reference count and adjust the window instead of copying samples. This is
 //! the substrate for T-Daub's allocation loop, where every
 //! (pipeline × allocation) unit takes a prefix or suffix view of the same
-//! training split. Mutation goes through copy-on-write: `series_mut` and
-//! `append` first compact the view into uniquely-owned buffers.
+//! training split. Mutation goes through copy-on-write: `series_mut`
+//! compacts the view into uniquely-owned buffers first, and `append` does
+//! the same **only when it has to** — a frame that uniquely owns its full
+//! buffers grows its tail in place, keeping the `Arc` addresses (and hence
+//! the [`FrameFingerprint`]) stable so suffix-growth detection survives an
+//! observe/append cycle. Each growth returns a [`GrowthRecord`] naming the
+//! before/after fingerprints and whether identity was preserved.
 
 use std::sync::Arc;
 
-use crate::timestamps::{infer_frequency, Frequency};
+use crate::quality::QualityIssue;
+use crate::timestamps::{infer_frequency, regular_step, Frequency};
 
 /// A 2-D time series frame: columns are individual series, rows are samples.
 ///
@@ -88,6 +94,48 @@ impl FrameFingerprint {
     /// the reuse condition for forward (oldest-first) allocations.
     pub fn extends_as_prefix(&self, old: &FrameFingerprint) -> bool {
         self.same_buffers(old) && self.start == old.start && self.rows > old.rows
+    }
+}
+
+/// How a frame acquired its new tail during [`TimeSeriesFrame::append`] or
+/// [`TimeSeriesFrame::extended`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrowthKind {
+    /// The tail was written into the existing uniquely-owned buffers. Every
+    /// `Arc` allocation is reused (`Arc::as_ptr` is the address of the
+    /// `ArcInner`, which is stable even when the `Vec` inside reallocates its
+    /// data heap), so the grown fingerprint `extends_as_prefix` the base one
+    /// and fingerprint-keyed cache entries for the base stay valid.
+    InPlace,
+    /// The frame was shared or a narrowed view, so growth first compacted it
+    /// onto fresh buffers (copy-on-write). Buffer identity was severed;
+    /// callers holding fingerprint-keyed caches must use the lineage in the
+    /// returned [`GrowthRecord`] instead of pointer continuity.
+    Rebased,
+}
+
+/// Lineage record returned by the growth paths: the fingerprints before and
+/// after, whether buffer identity survived, and any timestamp degradation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrowthRecord {
+    /// Fingerprint of the view before growth.
+    pub base: FrameFingerprint,
+    /// Fingerprint of the grown frame.
+    pub grown: FrameFingerprint,
+    /// Whether the buffers survived (`InPlace`) or were re-based.
+    pub kind: GrowthKind,
+    /// Rows shared between the base and grown views (the base length).
+    pub shared_rows: usize,
+    /// Set when appending untimestamped rows forced the timestamp column to
+    /// be dropped because no regular step could be inferred.
+    pub timestamp_issue: Option<QualityIssue>,
+}
+
+impl GrowthRecord {
+    /// True when buffer identity survived growth, i.e. the grown fingerprint
+    /// `extends_as_prefix` the base fingerprint.
+    pub fn identity_preserved(&self) -> bool {
+        self.kind == GrowthKind::InPlace
     }
 }
 
@@ -259,24 +307,125 @@ impl TimeSeriesFrame {
     }
 
     /// Append the rows of `other` (must have same number of series).
-    /// Compacts this frame into owned buffers first (copy-on-write), so
-    /// other views over the previous buffers are unaffected.
-    pub fn append(&mut self, other: &TimeSeriesFrame) {
+    ///
+    /// When this frame uniquely owns its full buffers (no sibling views
+    /// alive, window covers the whole allocation) the tail is written **in
+    /// place**: the `Arc` allocations are reused, so the fingerprint after
+    /// the call `extends_as_prefix` the fingerprint before it and
+    /// fingerprint-keyed caches stay warm across an observe/append cycle.
+    /// Otherwise the frame is first compacted onto fresh buffers
+    /// (copy-on-write — sibling views are unaffected) and the returned
+    /// [`GrowthRecord`] reports `Rebased` so callers can track lineage
+    /// explicitly instead of losing identity silently.
+    ///
+    /// Timestamps: when `other` carries none but this frame does, the
+    /// timestamp column is extended by the inferred regular step when the
+    /// spacing is recognisable; only when it is genuinely unknown are the
+    /// timestamps dropped, reported via
+    /// [`QualityIssue::DroppedTimestamps`] in the record.
+    pub fn append(&mut self, other: &TimeSeriesFrame) -> GrowthRecord {
         assert_eq!(
             self.n_series(),
             other.n_series(),
             "append: series count mismatch"
         );
-        self.make_owned();
+        let base = self.fingerprint();
+        let shared_rows = self.rows;
+        let kind = if self.uniquely_owns_full_buffers() {
+            GrowthKind::InPlace
+        } else {
+            self.make_owned();
+            GrowthKind::Rebased
+        };
         for (col, extra) in self.columns.iter_mut().zip(other.series_iter()) {
             Arc::make_mut(col).extend_from_slice(extra);
         }
-        match (&mut self.timestamps, other.timestamps()) {
-            (Some(ts), Some(ots)) => Arc::make_mut(ts).extend_from_slice(ots),
-            (Some(_), None) => self.timestamps = None,
-            _ => {}
+        let appended = other.len();
+        let timestamp_issue = match (&mut self.timestamps, other.timestamps()) {
+            (Some(ts), Some(ots)) => {
+                Arc::make_mut(ts).extend_from_slice(ots);
+                None
+            }
+            // `other` is untimestamped: both growth paths above leave the
+            // timestamp buffer covering exactly the visible rows (start == 0,
+            // len == rows), so the whole buffer is the inference window.
+            (Some(ts), None) => match regular_step(ts) {
+                Some(step) => {
+                    let last = ts.last().copied().unwrap_or(0);
+                    Arc::make_mut(ts).extend((1..=appended as i64).map(|i| last + i * step));
+                    None
+                }
+                None => {
+                    self.timestamps = None;
+                    Some(QualityIssue::DroppedTimestamps(appended))
+                }
+            },
+            _ => None,
+        };
+        self.rows += appended;
+        GrowthRecord {
+            base,
+            grown: self.fingerprint(),
+            kind,
+            shared_rows,
+            timestamp_issue,
         }
-        self.rows += other.len();
+    }
+
+    /// Grow this frame by `new_rows` (row-major, one `Vec` per new sample),
+    /// consuming it so unique buffer ownership is detectable — with a `&self`
+    /// receiver the receiver itself would keep the `Arc`s alive and in-place
+    /// growth could never fire. Returns the grown frame plus its
+    /// [`GrowthRecord`]; when the consumed frame was the unique full-buffer
+    /// owner the new fingerprint `extends_as_prefix` the old one.
+    pub fn extended(self, new_rows: &[Vec<f64>]) -> (Self, GrowthRecord) {
+        if new_rows.is_empty() {
+            let fp = self.fingerprint();
+            let shared_rows = self.rows;
+            return (
+                self,
+                GrowthRecord {
+                    base: fp.clone(),
+                    grown: fp,
+                    kind: GrowthKind::InPlace,
+                    shared_rows,
+                    timestamp_issue: None,
+                },
+            );
+        }
+        let tail = TimeSeriesFrame::from_rows(new_rows);
+        let mut grown = self;
+        let record = grown.append(&tail);
+        (grown, record)
+    }
+
+    /// Compact this view into a standalone frame that uniquely owns exactly
+    /// the visible rows. Fitted models persist small tails through this so a
+    /// few look-back rows never pin the (much larger) training buffers alive
+    /// — which would both leak memory and block the in-place growth path of
+    /// [`TimeSeriesFrame::append`] on the next observe cycle.
+    pub fn into_owned(mut self) -> Self {
+        self.make_owned();
+        self
+    }
+
+    /// True when this view can grow in place: the window covers each buffer
+    /// from row 0 to its full length and every `Arc` is uniquely held (no
+    /// strong or weak siblings), so extending the `Vec`s is invisible to any
+    /// other frame and keeps every buffer address stable.
+    fn uniquely_owns_full_buffers(&mut self) -> bool {
+        if self.start != 0 {
+            return false;
+        }
+        let rows = self.rows;
+        if let Some(ts) = &mut self.timestamps {
+            if ts.len() != rows || Arc::get_mut(ts).is_none() {
+                return false;
+            }
+        }
+        self.columns
+            .iter_mut()
+            .all(|col| col.len() == rows && Arc::get_mut(col).is_some())
     }
 
     /// Convert to row-major nested vectors (user-facing output shape).
@@ -471,23 +620,70 @@ mod tests {
     }
 
     #[test]
+    fn append_in_place_preserves_buffer_identity() {
+        // a freshly built frame uniquely owns its full buffers, so growth
+        // must keep every Arc address stable and the fingerprint must extend
+        let mut a = sample();
+        let base = a.fingerprint();
+        let rec = a.append(&sample());
+        assert_eq!(rec.kind, GrowthKind::InPlace);
+        assert!(rec.identity_preserved());
+        assert_eq!(rec.base, base);
+        assert_eq!(rec.grown, a.fingerprint());
+        assert_eq!(rec.shared_rows, 4);
+        assert!(a.fingerprint().extends_as_prefix(&base));
+    }
+
+    #[test]
+    fn append_rebases_when_a_sibling_view_is_alive() {
+        let mut a = sample();
+        let view = a.slice(0, 2);
+        let rec = a.append(&sample());
+        assert_eq!(rec.kind, GrowthKind::Rebased);
+        assert!(!rec.identity_preserved());
+        assert!(!rec.grown.same_buffers(&rec.base));
+        // the sibling view is untouched by the rebase
+        assert_eq!(view.series(0), &[1., 2.]);
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
     fn append_to_a_view_copies_on_write() {
         let f = sample();
         let mut v = f.slice(1, 3);
-        v.append(&f.slice(0, 1));
+        let rec = v.append(&f.slice(0, 1));
+        assert_eq!(rec.kind, GrowthKind::Rebased);
         assert_eq!(v.series(0), &[2., 3., 1.]);
         // the original frame is untouched
         assert_eq!(f.series(0), &[1., 2., 3., 4.]);
     }
 
     #[test]
-    fn append_without_timestamps_drops_them() {
-        // appending untimestamped rows invalidates the timestamp column
+    fn append_without_timestamps_extends_by_inferred_step() {
+        // the base frame has a recognisable 60s cadence, so untimestamped
+        // rows get synthetic timestamps continuing that step
         let mut a = sample().with_regular_timestamps(0, 60);
         let b = sample();
-        a.append(&b);
+        let rec = a.append(&b);
+        assert!(rec.timestamp_issue.is_none());
+        let ts = a.timestamps().unwrap();
+        assert_eq!(ts.len(), 8);
+        assert_eq!(&ts[4..], &[240, 300, 360, 420]);
+    }
+
+    #[test]
+    fn append_without_timestamps_drops_them_when_spacing_is_unknown() {
+        // a single timestamp carries no spacing information, so appending
+        // untimestamped rows must drop the column and report it
+        let mut a = TimeSeriesFrame::univariate(vec![5.0]).with_timestamps(vec![100]);
+        let b = TimeSeriesFrame::univariate(vec![6.0, 7.0]);
+        let rec = a.append(&b);
         assert!(a.timestamps().is_none());
-        assert_eq!(a.len(), 8);
+        assert_eq!(
+            rec.timestamp_issue,
+            Some(QualityIssue::DroppedTimestamps(2))
+        );
+        assert_eq!(a.len(), 3);
     }
 
     #[test]
@@ -497,6 +693,39 @@ mod tests {
         a.append(&b);
         assert_eq!(a.timestamps().unwrap().len(), 8);
         assert_eq!(a.timestamps().unwrap()[4], 240);
+    }
+
+    #[test]
+    fn extended_grows_in_place_and_links_lineage() {
+        let f = sample();
+        let base = f.fingerprint();
+        let (g, rec) = f.extended(&[vec![5., 50.], vec![6., 60.]]);
+        assert_eq!(rec.kind, GrowthKind::InPlace);
+        assert!(g.fingerprint().extends_as_prefix(&base));
+        assert_eq!(g.series(0), &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(g.series(1), &[10., 20., 30., 40., 50., 60.]);
+        assert_eq!(rec.shared_rows, 4);
+    }
+
+    #[test]
+    fn extended_with_no_rows_is_identity() {
+        let f = sample();
+        let fp = f.fingerprint();
+        let (g, rec) = f.extended(&[]);
+        assert_eq!(g.fingerprint(), fp);
+        assert_eq!(rec.base, rec.grown);
+        assert_eq!(rec.kind, GrowthKind::InPlace);
+    }
+
+    #[test]
+    fn extended_rebases_when_shared_and_records_it() {
+        let f = sample();
+        let holder = f.clone(); // keeps the Arcs alive
+        let (g, rec) = f.extended(&[vec![5., 50.]]);
+        assert_eq!(rec.kind, GrowthKind::Rebased);
+        assert!(!rec.grown.same_buffers(&rec.base));
+        assert_eq!(holder.series(0), &[1., 2., 3., 4.]);
+        assert_eq!(g.len(), 5);
     }
 
     #[test]

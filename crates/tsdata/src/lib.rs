@@ -19,7 +19,7 @@ pub mod ranking;
 pub mod split;
 pub mod timestamps;
 
-pub use frame::{FrameFingerprint, TimeSeriesFrame};
+pub use frame::{FrameFingerprint, GrowthKind, GrowthRecord, TimeSeriesFrame};
 pub use metrics::{
     crps, interval_coverage, mae, mape, mse, normal_cdf, normal_pdf, normal_quantile, pinball_loss,
     r2_score, rmse, smape, Metric, MetricError,
@@ -27,4 +27,4 @@ pub use metrics::{
 pub use quality::{clean, quality_check, QualityIssue, QualityReport};
 pub use ranking::{average_ranks, rank_histogram, rank_rows, RankSummary};
 pub use split::{holdout_split, reverse_allocation, train_test_split};
-pub use timestamps::{infer_frequency, Frequency};
+pub use timestamps::{infer_frequency, regular_step, Frequency};

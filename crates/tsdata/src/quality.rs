@@ -34,6 +34,10 @@ pub enum QualityIssue {
     NonMonotonicTimestamps,
     /// The frame holds no samples at all.
     Empty,
+    /// Appending untimestamped rows forced the timestamp column to be
+    /// dropped because no regular step could be inferred (count of rows
+    /// appended without timestamps). Reported by the frame growth paths.
+    DroppedTimestamps(usize),
 }
 
 /// Summary of the initial input inspection.

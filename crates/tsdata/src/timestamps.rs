@@ -95,6 +95,25 @@ pub fn infer_frequency(ts: &[i64]) -> Option<Frequency> {
     Some(best)
 }
 
+/// The inferred regular step in epoch seconds: the median positive
+/// inter-arrival, returned only when the series has a recognisable
+/// frequency (see [`infer_frequency`]). `None` when spacing is genuinely
+/// unknown — fewer than 2 timestamps or no positive gap — which is the
+/// signal that synthetic timestamp extension is impossible.
+pub fn regular_step(ts: &[i64]) -> Option<i64> {
+    infer_frequency(ts)?;
+    let mut deltas: Vec<i64> = ts
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .filter(|&d| d > 0)
+        .collect();
+    if deltas.is_empty() {
+        return None;
+    }
+    deltas.sort_unstable();
+    Some(deltas[deltas.len() / 2])
+}
+
 /// Fraction of inter-arrival gaps that deviate from the median by more than
 /// 1% — a measure of sampling irregularity used by the detectors.
 ///

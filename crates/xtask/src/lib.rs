@@ -177,9 +177,10 @@ pub struct Config {
     pub strict: bool,
     /// Repo-relative path prefixes held to the strict rules: the T-Daub
     /// execution engine, the parallel work queue, the windowing kernels,
-    /// the stat-model fit recursions, and the registry/cache layers, where
-    /// an out-of-bounds index, a re-raised worker panic, or an overflowing
-    /// capacity computation would take down a whole AutoML run.
+    /// the stat-model fit recursions, the registry/cache layers, and the
+    /// long-lived forecasting service front end, where an out-of-bounds
+    /// index, a re-raised worker panic, or an overflowing capacity
+    /// computation would take down a whole AutoML run.
     pub strict_paths: Vec<String>,
     /// Path prefixes allowed to read the wall clock (`Instant::now` /
     /// `SystemTime::now`): the budget/watchdog modules whose *outputs* are
@@ -242,6 +243,7 @@ impl Default for Config {
                 "crates/transforms/src/conformal.rs".to_string(),
                 "crates/tsdata/src/metrics.rs".to_string(),
                 "crates/chaos/src/".to_string(),
+                "crates/core/src/service.rs".to_string(),
             ],
             clock_paths: vec![
                 "crates/linalg/src/par.rs".to_string(),

@@ -33,7 +33,10 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use autoai_ts_repro::chaos;
-use autoai_ts_repro::core_ts::{AutoAITS, AutoAITSConfig, DegradationLevel};
+use autoai_ts_repro::core_ts::{
+    AutoAITS, AutoAITSConfig, DegradationLevel, ForecastService, PipelineError, ServiceRequest,
+    ServiceResponse,
+};
 use autoai_ts_repro::linalg::sync as lock_sync;
 use autoai_ts_repro::lookback;
 use autoai_ts_repro::pipelines::{
@@ -350,6 +353,90 @@ fn interval_faults_degrade_to_conformal_and_bands_stay_finite() {
     assert!(conformal > 0, "native faults never degraded to conformal");
     // the ladder stayed total: every call returned a band or a typed error
     assert_eq!(native + conformal + floors, 180);
+}
+
+#[test]
+fn service_submissions_absorb_faults_and_hold_lock_order() {
+    let _gate = GATE.lock().unwrap();
+    lock_sync::set_runtime_tracking(true);
+    let rows_a: Vec<Vec<f64>> = (0..150)
+        .map(|i| vec![20.0 + 4.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin()])
+        .collect();
+    let rows_b: Vec<Vec<f64>> = (0..150)
+        .map(|i| vec![5.0 + 2.0 * (2.0 * std::f64::consts::PI * i as f64 / 8.0).cos()])
+        .collect();
+    let mut injected_total = 0u64;
+    let mut typed_failures = 0usize;
+    for seed in 0..10u64 {
+        chaos::install(chaos::FaultPlan {
+            seed,
+            panic_prob: 0.20,
+            error_prob: 0.25,
+            nan_prob: 0.05,
+            delay_prob: 0.10,
+            max_delay_ms: 2,
+        });
+        let mut cfg = AutoAITSConfig {
+            pipeline_names: Some(vec![
+                "ZeroModel".into(),
+                "SeasonalNaive".into(),
+                "AR".into(),
+            ]),
+            ..Default::default()
+        };
+        cfg.tdaub.pipeline_hard_deadline = Some(Duration::from_secs(10));
+        let svc = ForecastService::new(cfg);
+        svc.ingest("a", TimeSeriesFrame::from_rows(&rows_a))
+            .unwrap();
+        svc.ingest("b", TimeSeriesFrame::from_rows(&rows_b))
+            .unwrap();
+        // a mixed batch under fire: the `service.submit` site panics, errors
+        // and delays requests by position; every outcome must surface as a
+        // reply — Ok or a typed error — never as an escaped panic or a hang
+        let replies = svc.submit(&[
+            ServiceRequest::Fit { series: "a".into() },
+            ServiceRequest::Fit { series: "b".into() },
+            ServiceRequest::Fit { series: "a".into() },
+            ServiceRequest::Predict {
+                series: "a".into(),
+                horizon: 6,
+            },
+        ]);
+        injected_total += chaos::injected_count();
+        chaos::disable();
+        assert_eq!(replies.len(), 4, "seed {seed}: replies must stay aligned");
+        for (i, reply) in replies.iter().enumerate() {
+            match reply {
+                Ok(ServiceResponse::Fit(report)) => {
+                    assert!(!report.best_pipeline.is_empty(), "seed {seed} req {i}")
+                }
+                Ok(ServiceResponse::Predict(f)) => {
+                    assert_eq!(f.len(), 6, "seed {seed} req {i}")
+                }
+                // injected panics land as Crashed via the worker-panic
+                // boundary; a predict racing a faulted fit sees NotFitted
+                Err(
+                    PipelineError::Crashed(_)
+                    | PipelineError::NotFitted
+                    | PipelineError::Fit(_)
+                    | PipelineError::BudgetExceeded,
+                ) => typed_failures += 1,
+                Err(e) => panic!("seed {seed} req {i}: unexpected error {e}"),
+            }
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.in_flight, 0, "seed {seed}: requests leaked");
+        assert_eq!(stats.admitted, 4, "seed {seed}");
+        assert_eq!(stats.completed, 4, "seed {seed}");
+    }
+    let inversions = lock_sync::inversion_count();
+    lock_sync::set_runtime_tracking(false);
+    assert!(injected_total > 0, "the sweep never fired a single fault");
+    assert!(
+        typed_failures > 0,
+        "no submission ever faulted — site dead?"
+    );
+    assert_eq!(inversions, 0, "the sweep recorded a lock-order inversion");
 }
 
 #[test]
