@@ -13,10 +13,13 @@
 //!   copied before/after the zero-copy + caching work).
 //! * `--smoke` — reduced problem size, no JSON; asserts the cache is
 //!   actually effective (hits, extensions, warm starts all non-trivial),
-//!   that cached and uncached runs rank the pool identically, and that the
+//!   that cached and uncached runs rank the pool identically, that the
 //!   scoring phase replays full-length acceleration fits from the memo
-//!   (fits avoided > 0, duplicate full-length fits == 0). Exits non-zero
-//!   on any violation; wired into `scripts/check.sh`.
+//!   (fits avoided > 0, duplicate full-length fits == 0), and that a
+//!   drift-style warm re-selection (previous ranking as priors, restricted
+//!   pool, carried cross-run cache) beats a cold full-pool re-fit by the
+//!   0.6x wall bar while preserving rank parity. Exits non-zero on any
+//!   violation; wired into `scripts/check.sh`.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -25,8 +28,11 @@ use autoai_pipelines::{
     default_pipelines, pipeline_by_name, predict_interval_or_conformal, ConformalCalibration,
     Forecaster, PipelineContext, PipelineError,
 };
-use autoai_tdaub::{run_tdaub, TDaubConfig, TDaubResult};
-use autoai_tsdata::{interval_coverage, pinball_loss, Metric, TimeSeriesFrame};
+use std::sync::Arc;
+
+use autoai_tdaub::{run_tdaub, run_tdaub_with_cache, TDaubConfig, TDaubResult};
+use autoai_transforms::TransformCache;
+use autoai_tsdata::{interval_coverage, pinball_loss, GrowthKind, Metric, TimeSeriesFrame};
 
 /// Two seasonal series with deterministic LCG noise — multivariate so the
 /// localized-flatten path is exercised.
@@ -42,6 +48,30 @@ fn frame(n: usize) -> TimeSeriesFrame {
         .map(|i| 20.0 + 5.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin() + 0.3 * noise())
         .collect();
     let b: Vec<f64> = (0..n)
+        .map(|i| {
+            10.0 + 0.01 * i as f64
+                + 2.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).cos()
+                + 0.3 * noise()
+        })
+        .collect();
+    TimeSeriesFrame::from_columns(vec![a, b])
+}
+
+/// Fresh rows continuing the two seasonal signals past `from` — the tail a
+/// serving loop would `observe` between a fit and a drift-triggered
+/// re-selection. Deterministic, distinct noise seed.
+fn tail_frame(from: usize, extra: usize) -> TimeSeriesFrame {
+    let mut seed = 99u64;
+    let mut noise = || {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    let a: Vec<f64> = (from..from + extra)
+        .map(|i| 20.0 + 5.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin() + 0.3 * noise())
+        .collect();
+    let b: Vec<f64> = (from..from + extra)
         .map(|i| {
             10.0 + 0.01 * i as f64
                 + 2.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).cos()
@@ -227,6 +257,85 @@ fn main() {
         uncached.execution.duplicate_fits, 0,
         "uncached run repeated a fit on an identical frame view"
     );
+    println!("== warm re-selection (drift response) ==");
+    // Mirror the serving loop: fit once against a service-owned cross-run
+    // cache, observe a fresh tail (in-place append keeps buffer identity,
+    // so the cache extends), then compare the drift responses — a cold
+    // full-pool re-fit versus the service's warm re-selection (previous
+    // ranking as priors, previous top ranks + ZeroModel as the pool, same
+    // carried cache).
+    let mut live = frame(n);
+    let service_cache = Arc::new(TransformCache::new());
+    let initial = run_tdaub_with_cache(
+        pool(),
+        &live,
+        &config(true, smoke),
+        Some(Arc::clone(&service_cache)),
+    )
+    .expect("initial service fit");
+    let priors = ranking(&initial);
+    drop(initial); // release every view of `live` so growth stays in place
+                   // the cache's ABA pins co-own the buffers; release them exactly as the
+                   // service's `observe` does so the append stays in place
+    service_cache.release_pins(live.fingerprint().buffers());
+    let record = live.append(&tail_frame(n, 24));
+    assert_eq!(
+        record.kind,
+        GrowthKind::InPlace,
+        "observe-style append re-based the buffers; fingerprint continuity lost"
+    );
+    let (cold_refit_ms, cold_refit) = measure(iters, || {
+        run_tdaub(pool(), &live, &config(true, smoke)).expect("cold re-fit")
+    });
+    let warm_pool = || -> Vec<Box<dyn Forecaster>> {
+        let ctx = PipelineContext::new(8, 12, vec![12]);
+        let mut names: Vec<String> = priors.iter().take(3).cloned().collect();
+        if !names.iter().any(|p| p == "ZeroModel") {
+            names.push("ZeroModel".to_string());
+        }
+        names
+            .iter()
+            .filter_map(|nm| pipeline_by_name(nm, &ctx))
+            .collect()
+    };
+    let warm_cfg = TDaubConfig {
+        warm_priors: Some(priors.clone()),
+        ..config(true, smoke)
+    };
+    let (warm_ms, warm_sel) = measure(iters, || {
+        run_tdaub_with_cache(
+            warm_pool(),
+            &live,
+            &warm_cfg,
+            Some(Arc::clone(&service_cache)),
+        )
+        .expect("warm re-selection")
+    });
+    let warm_ratio = warm_ms / cold_refit_ms.max(1e-9);
+    let warm_names = ranking(&warm_sel);
+    let cold_restricted: Vec<String> = ranking(&cold_refit)
+        .into_iter()
+        .filter(|nm| warm_names.contains(nm))
+        .collect();
+    let reselect_parity = warm_names == cold_restricted;
+    println!(
+        "cold re-fit ({} pipelines)        {cold_refit_ms:>12.3} ms",
+        pool_size
+    );
+    println!(
+        "warm re-select ({} pipelines)      {warm_ms:>12.3} ms   ({warm_ratio:.2}x of cold)",
+        warm_names.len()
+    );
+    println!(
+        "warm winner: {}   rank parity vs cold: {reselect_parity}",
+        warm_names[0]
+    );
+    assert!(
+        reselect_parity,
+        "warm re-selection ranked its pool differently than the cold re-fit: \
+         warm {warm_names:?} vs cold {cold_restricted:?}"
+    );
+
     println!("== ensemble selection & probabilistic bands ==");
     // the default config runs greedy forward selection over the top
     // survivors — selection is prediction-only, so it must not perturb the
@@ -377,7 +486,17 @@ fn main() {
             speedup >= 2.0,
             "tdaub smoke speedup regressed: {speedup:.2}x (floor 2.0x, expected ~2.5x)"
         );
-        println!("smoke: all cache-effectiveness and ensemble assertions passed");
+        // the serving loop's economics: responding to drift with a warm
+        // re-selection (priors + restricted pool + carried cache) must stay
+        // well under a cold full-pool re-fit or the online path is pointless
+        assert!(
+            warm_ratio <= 0.6,
+            "warm re-selection too close to a cold re-fit: \
+             {warm_ms:.3} ms vs {cold_refit_ms:.3} ms ({warm_ratio:.2}x, bar 0.6x)"
+        );
+        println!(
+            "smoke: all cache-effectiveness, ensemble, and warm-reselection assertions passed"
+        );
         return;
     }
 
@@ -440,7 +559,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"tdaub\",\n  \"pool_size\": {pool_size},\n  \"rows\": {n},\n  \"series\": 2,\n  \"iters\": {iters},\n  \"uncached_ms\": {uncached_ms:.3},\n  \"cached_ms\": {cached_ms:.3},\n  \"speedup\": {speedup:.3},\n  \"cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"extensions\": {},\n    \"hit_rate\": {:.4},\n    \"bytes_saved\": {},\n    \"bytes_built\": {}\n  }},\n  \"incremental_fits\": {},\n  \"fits_avoided\": {},\n  \"duplicate_fits\": {},\n  \"slice_bytes_avoided\": {},\n  \"bytes_copied_before\": {bytes_before},\n  \"bytes_copied_after\": {bytes_after},\n  \"copy_reduction\": {copy_reduction:.3},\n  \"rankings_match\": {rankings_match},\n  \"ensemble\": {{\n    \"members\": [{}],\n    \"score\": {:.4},\n    \"best_single\": {:.4},\n    \"rounds\": {}\n  }},\n  \"probabilistic\": {{\n    \"source\": \"{}\",\n    \"smape\": {eval_smape:.4},\n    \"pinball_q10\": {pinball_q10:.4},\n    \"pinball_q90\": {pinball_q90:.4},\n    \"coverage_80\": {coverage_80:.4},\n    \"coverage_95\": {coverage_95:.4}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"tdaub\",\n  \"pool_size\": {pool_size},\n  \"rows\": {n},\n  \"series\": 2,\n  \"iters\": {iters},\n  \"uncached_ms\": {uncached_ms:.3},\n  \"cached_ms\": {cached_ms:.3},\n  \"speedup\": {speedup:.3},\n  \"cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"extensions\": {},\n    \"hit_rate\": {:.4},\n    \"bytes_saved\": {},\n    \"bytes_built\": {}\n  }},\n  \"incremental_fits\": {},\n  \"fits_avoided\": {},\n  \"duplicate_fits\": {},\n  \"slice_bytes_avoided\": {},\n  \"bytes_copied_before\": {bytes_before},\n  \"bytes_copied_after\": {bytes_after},\n  \"copy_reduction\": {copy_reduction:.3},\n  \"rankings_match\": {rankings_match},\n  \"ensemble\": {{\n    \"members\": [{}],\n    \"score\": {:.4},\n    \"best_single\": {:.4},\n    \"rounds\": {}\n  }},\n  \"probabilistic\": {{\n    \"source\": \"{}\",\n    \"smape\": {eval_smape:.4},\n    \"pinball_q10\": {pinball_q10:.4},\n    \"pinball_q90\": {pinball_q90:.4},\n    \"coverage_80\": {coverage_80:.4},\n    \"coverage_95\": {coverage_95:.4}\n  }},\n  \"reselection\": {{\n    \"cold_refit_ms\": {cold_refit_ms:.3},\n    \"warm_ms\": {warm_ms:.3},\n    \"warm_ratio\": {warm_ratio:.3},\n    \"warm_pool\": {},\n    \"rank_parity\": {reselect_parity},\n    \"winner\": \"{}\"\n  }}\n}}\n",
         stats.hits,
         stats.misses,
         stats.extensions,
@@ -456,6 +575,8 @@ fn main() {
         selection.best_single,
         selection.rounds,
         iv.source(),
+        warm_names.len(),
+        warm_names[0],
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tdaub.json");
     std::fs::write(path, json).expect("write BENCH_tdaub.json");

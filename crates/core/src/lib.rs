@@ -25,10 +25,12 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod online;
 pub mod orchestrator;
 pub mod progress;
 pub mod service;
 
+pub use online::{DriftConfig, DriftMonitor, DriftSnapshot, DriftVerdict};
 pub use orchestrator::{AutoAITS, AutoAITSConfig, DegradationLevel, FitSummary};
 pub use progress::{LogProgress, NoProgress, Progress, ProgressEvent};
 pub use service::{

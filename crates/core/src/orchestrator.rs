@@ -14,7 +14,9 @@ use autoai_tdaub::{
     run_tdaub_with_cache, EnsembleSelection, ExecutionReport, PipelineReport, TDaubConfig,
 };
 use autoai_transforms::TransformCache;
-use autoai_tsdata::{clean, holdout_split, quality_check, Metric, QualityReport, TimeSeriesFrame};
+use autoai_tsdata::{
+    clean, holdout_split, quality_check, Metric, QualityIssue, QualityReport, TimeSeriesFrame,
+};
 
 use crate::progress::{NoProgress, Progress, ProgressEvent};
 
@@ -132,6 +134,10 @@ pub struct AutoAITS {
     progress: Arc<dyn Progress>,
     /// Caller-owned cache shared across fits; `None` = per-run cache.
     transform_cache: Option<Arc<TransformCache>>,
+    /// Quality issues observed by a serving loop *between* fits (e.g.
+    /// timestamps dropped while growing a stored series); the next fit
+    /// drains them into its [`FitSummary::quality`] report.
+    carried_issues: Vec<QualityIssue>,
     state: Option<FittedState>,
 }
 
@@ -153,6 +159,7 @@ impl AutoAITS {
             config,
             progress: Arc::new(NoProgress),
             transform_cache: None,
+            carried_issues: Vec::new(),
             state: None,
         }
     }
@@ -169,6 +176,15 @@ impl AutoAITS {
     /// extend. The cache affects wall time only, never the ranking.
     pub fn with_transform_cache(mut self, cache: Arc<TransformCache>) -> Self {
         self.transform_cache = Some(cache);
+        self
+    }
+
+    /// Attach quality issues observed outside `fit` — the serving loop's
+    /// `observe` path reports timestamp drops here — so the next fit's
+    /// [`FitSummary::quality`] surfaces them instead of losing them in the
+    /// growth records. Consumed by the next `fit`.
+    pub fn with_carried_issues(mut self, issues: Vec<QualityIssue>) -> Self {
+        self.carried_issues = issues;
         self
     }
 
@@ -206,7 +222,7 @@ impl AutoAITS {
         // bug in the scan) degrades to a pessimistic report — force the
         // cleaning pass, forbid log transforms — instead of aborting the
         // run. `AssertUnwindSafe` is sound: `frame` is only read.
-        let quality =
+        let mut quality =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| quality_check(frame)))
                 .unwrap_or_else(|_| QualityReport {
                     issues: Vec::new(),
@@ -214,6 +230,10 @@ impl AutoAITS {
                     negative_count: 0,
                     log_transform_safe: false,
                 });
+        // issues the serving loop observed between fits (timestamp drops
+        // during `observe`) belong to this report; drained so one fit
+        // surfaces each of them exactly once
+        quality.issues.extend(self.carried_issues.drain(..));
         self.progress.report(&ProgressEvent::QualityChecked {
             issues: quality.issues.len(),
         });

@@ -131,6 +131,10 @@ pub struct ExecutionReport {
     /// scores gathered up to that point. The orchestrator surfaces this as
     /// a typed `Survivors` degradation.
     pub run_deadline_hit: bool,
+    /// Units of work re-run after a transient typed error
+    /// ([`FailureKind::Errored`]) under [`crate::TDaubConfig::retry_transient`].
+    /// Crashes and hard timeouts are never retried.
+    pub retries: u64,
 }
 
 impl ExecutionReport {
@@ -295,6 +299,7 @@ pub(crate) fn execution_report(cands: &[Candidate], exec: &Executor<'_>) -> Exec
         slice_bytes_avoided: exec.slice_bytes_avoided.load(Ordering::Relaxed),
         injected_faults: autoai_chaos::injected_count().saturating_sub(exec.chaos_start),
         run_deadline_hit: false,
+        retries: exec.retries.load(Ordering::Relaxed),
     }
 }
 
@@ -322,6 +327,9 @@ struct EvalUnit {
     /// Bytes the zero-copy allocation view avoided copying for this unit;
     /// credited in [`Executor::apply`] for the same reason.
     slice_bytes: u64,
+    /// Transient-error retries consumed by this unit; credited in
+    /// [`Executor::apply`] for the same zombie-safety reason.
+    retries: u8,
 }
 
 impl EvalUnit {
@@ -337,6 +345,7 @@ impl EvalUnit {
             from_memo: true,
             warm: false,
             slice_bytes: 0,
+            retries: 0,
         }
     }
 
@@ -352,6 +361,7 @@ impl EvalUnit {
             from_memo: false,
             warm: false,
             slice_bytes: 0,
+            retries: 0,
         }
     }
 }
@@ -369,6 +379,7 @@ struct UnitSpec {
     previous_rows: usize,
     remaining: Option<Duration>,
     cache: Option<Arc<TransformCache>>,
+    retry_transient: u8,
 }
 
 /// A unit of work shipped through the supervised watchdog queue. The
@@ -486,6 +497,7 @@ fn evaluate_unit(pipeline: &mut Box<dyn Forecaster>, spec: &UnitSpec) -> EvalUni
                 from_memo: false,
                 warm,
                 slice_bytes,
+                retries: 0,
             }
         }
         Err(payload) => EvalUnit {
@@ -497,8 +509,29 @@ fn evaluate_unit(pipeline: &mut Box<dyn Forecaster>, spec: &UnitSpec) -> EvalUni
             from_memo: false,
             warm: false,
             slice_bytes,
+            retries: 0,
         },
     }
+}
+
+/// Run a unit and, if it ended in a **typed error** only, re-run it up to
+/// `spec.retry_transient` times within the same budget window. Crashes,
+/// hard timeouts (watchdog-level, never seen here), and non-finite scores
+/// are final on the first attempt; the retried unit carries the cumulative
+/// wall time so budget accounting is unchanged. Deterministic: the retry
+/// decision depends only on the unit outcome, so serial, parallel, and
+/// supervised execution retry identically.
+fn evaluate_unit_with_retry(pipeline: &mut Box<dyn Forecaster>, spec: &UnitSpec) -> EvalUnit {
+    let mut unit = evaluate_unit(pipeline, spec);
+    let mut used: u8 = 0;
+    while used < spec.retry_transient && matches!(unit.error, Some(FailureKind::Errored(_))) {
+        used = used.saturating_add(1);
+        let prior_elapsed = unit.elapsed;
+        unit = evaluate_unit(pipeline, spec);
+        unit.elapsed += prior_elapsed;
+        unit.retries = used;
+    }
+    unit
 }
 
 /// Render a caught panic payload as text (mirrors `WorkerPanic`).
@@ -531,6 +564,9 @@ pub(crate) struct Executor<'a> {
     /// Per-unit **hard** wall-clock deadline enforced by the supervised
     /// watchdog; `None` runs the cooperative-only paths (no watchdog).
     pub hard_deadline: Option<Duration>,
+    /// Re-run a unit that ended in a typed error up to this many times
+    /// (transient-failure tolerance; crashes and hard timeouts are final).
+    pub retry_transient: u8,
     /// `autoai_chaos::injected_count()` snapshot at executor construction;
     /// the run's report carries the delta.
     pub chaos_start: u64,
@@ -543,6 +579,8 @@ pub(crate) struct Executor<'a> {
     pub fits_avoided: AtomicU64,
     /// Executed fits on an allocation the candidate had already fitted.
     pub duplicate_fits: AtomicU64,
+    /// Transient-error retries consumed across the run.
+    pub retries: AtomicU64,
 }
 
 impl Executor<'_> {
@@ -576,7 +614,7 @@ impl Executor<'_> {
             return EvalUnit::replayed(score);
         }
         let spec = self.unit_spec(slice, fp, c);
-        evaluate_unit(&mut c.pipeline, &spec)
+        evaluate_unit_with_retry(&mut c.pipeline, &spec)
     }
 
     /// Everything one unit of work for this candidate needs besides the
@@ -597,6 +635,7 @@ impl Executor<'_> {
             cache: self.cache.clone(),
             slice,
             fp,
+            retry_transient: self.retry_transient,
         }
     }
 
@@ -609,6 +648,10 @@ impl Executor<'_> {
             .fetch_add(unit.slice_bytes, Ordering::Relaxed);
         if unit.warm {
             self.incremental_fits.fetch_add(1, Ordering::Relaxed);
+        }
+        if unit.retries > 0 {
+            self.retries
+                .fetch_add(unit.retries as u64, Ordering::Relaxed);
         }
         c.scores.push((alloc_len, unit.score));
         c.train_time += unit.elapsed;
@@ -744,7 +787,7 @@ impl Executor<'_> {
             if let Some(cache) = u.spec.cache.as_ref() {
                 cache.enter_unit(u.epoch);
             }
-            let unit = evaluate_unit(&mut u.pipeline, &u.spec);
+            let unit = evaluate_unit_with_retry(&mut u.pipeline, &u.spec);
             if let Some(cache) = u.spec.cache.as_ref() {
                 cache.exit_unit();
             }
@@ -833,6 +876,34 @@ mod tests {
         }
     }
 
+    /// Errors with a typed error for the first `failures_left` fit calls,
+    /// then behaves like `Always(value)` — a transient fault.
+    struct FlakyOnce {
+        failures_left: u8,
+        value: f64,
+    }
+    impl Forecaster for FlakyOnce {
+        fn fit(&mut self, _: &TimeSeriesFrame) -> Result<(), PipelineError> {
+            if self.failures_left > 0 {
+                self.failures_left = self.failures_left.saturating_sub(1);
+                return Err(PipelineError::InvalidInput("transient hiccup".into()));
+            }
+            Ok(())
+        }
+        fn predict(&self, horizon: usize) -> Result<TimeSeriesFrame, PipelineError> {
+            Ok(TimeSeriesFrame::univariate(vec![self.value; horizon]))
+        }
+        fn name(&self) -> String {
+            "FlakyOnce".into()
+        }
+        fn clone_unfitted(&self) -> Box<dyn Forecaster> {
+            Box::new(FlakyOnce {
+                failures_left: self.failures_left,
+                value: self.value,
+            })
+        }
+    }
+
     fn frames() -> (TimeSeriesFrame, TimeSeriesFrame) {
         let t1 = TimeSeriesFrame::univariate((0..80).map(|i| i as f64).collect());
         let t2 = TimeSeriesFrame::univariate((80..90).map(|i| i as f64).collect());
@@ -856,10 +927,12 @@ mod tests {
             incremental: false,
             hard_deadline: None,
             chaos_start: 0,
+            retry_transient: 1,
             slice_bytes_avoided: AtomicU64::new(0),
             incremental_fits: AtomicU64::new(0),
             fits_avoided: AtomicU64::new(0),
             duplicate_fits: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
         }
     }
 
@@ -914,6 +987,79 @@ mod tests {
         }
         // the panicking candidate stopped after its first allocation
         assert_eq!(serial.get(1).map(|c| c.allocations), Some(1));
+    }
+
+    #[test]
+    fn transient_error_is_retried_and_counted() {
+        let (t1, t2) = frames();
+        let exec = executor(&t1, &t2, false, None);
+        let mut c = Candidate::new(Box::new(FlakyOnce {
+            failures_left: 1,
+            value: 85.0,
+        }));
+        exec.run_single(&mut c, 40);
+        // one retry absorbed the transient error: the unit scored normally
+        assert!(c.alive());
+        assert_eq!(c.last_error, None);
+        assert!(c.scores.last().is_some_and(|&(_, s)| s.is_finite()));
+        assert_eq!(exec.retries.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn exhausted_retries_leave_the_typed_error() {
+        let (t1, t2) = frames();
+        let exec = executor(&t1, &t2, false, None);
+        let mut c = Candidate::new(Box::new(FlakyOnce {
+            failures_left: 5,
+            value: 85.0,
+        }));
+        exec.run_single(&mut c, 40);
+        // one retry was spent, the error stood — and only Errored retries
+        assert!(matches!(c.last_error, Some(FailureKind::Errored(_))));
+        assert_eq!(exec.retries.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn crashes_are_never_retried() {
+        let (t1, t2) = frames();
+        let exec = executor(&t1, &t2, false, None);
+        let mut c = Candidate::new(Box::new(Panicky));
+        exec.run_single(&mut c, 40);
+        assert!(matches!(c.failure, Some(FailureKind::Crashed(_))));
+        assert_eq!(exec.retries.load(Ordering::Relaxed), 0);
+        assert_eq!(c.allocations, 1);
+    }
+
+    #[test]
+    fn retried_serial_round_matches_parallel() {
+        let (t1, t2) = frames();
+        let build = || {
+            vec![
+                Candidate::new(Box::new(Always(85.0))),
+                Candidate::new(Box::new(FlakyOnce {
+                    failures_left: 1,
+                    value: 84.0,
+                })),
+                Candidate::new(Box::new(Always(83.0))),
+            ]
+        };
+        let serial_exec = executor(&t1, &t2, false, None);
+        let parallel_exec = executor(&t1, &t2, true, None);
+        let mut serial = build();
+        let mut parallel = build();
+        for alloc in [20, 40, 80] {
+            serial_exec.run_round(&mut serial, alloc);
+            parallel_exec.run_round(&mut parallel, alloc);
+        }
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.scores, p.scores, "{}", s.name);
+            assert_eq!(s.last_error, p.last_error, "{}", s.name);
+        }
+        assert_eq!(
+            serial_exec.retries.load(Ordering::Relaxed),
+            parallel_exec.retries.load(Ordering::Relaxed)
+        );
+        assert_eq!(serial_exec.retries.load(Ordering::Relaxed), 1);
     }
 
     /// Scores like `Always` but counts how many times `fit` actually ran,

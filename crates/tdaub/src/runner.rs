@@ -91,6 +91,21 @@ pub struct TDaubConfig {
     /// rounds allow finer weights; the loop stops early at the first round
     /// without strict improvement.
     pub ensemble_rounds: usize,
+    /// How many times a unit of work that ended in a **typed error**
+    /// ([`crate::FailureKind::Errored`]) is re-run before the error stands —
+    /// transient failures (a solver hiccup, an injected chaos error) get a
+    /// second chance within the round's budget. Crashes and hard timeouts
+    /// are never retried: their state is quarantined. Retries are counted in
+    /// [`ExecutionReport::retries`]; serial and parallel runs retry
+    /// identically, so determinism is preserved.
+    pub retry_transient: u8,
+    /// Warm-start priors from a previous run's ranking (best first):
+    /// pipelines named here are evaluated first, in prior order, before the
+    /// rest of the pool. Pure scheduling — per-pipeline scores and the final
+    /// rank sort are unaffected. The service layer passes the previous
+    /// [`crate::TDaubResult`] ranking here when a drift-triggered
+    /// re-selection re-runs the search.
+    pub warm_priors: Option<Vec<String>>,
 }
 
 impl Default for TDaubConfig {
@@ -113,6 +128,8 @@ impl Default for TDaubConfig {
             incremental: true,
             ensemble_top_k: 3,
             ensemble_rounds: 8,
+            retry_transient: 1,
+            warm_priors: None,
         }
     }
 }
@@ -201,6 +218,21 @@ pub fn run_tdaub_with_cache(
 
     let mut cands: Vec<Candidate> = pipelines.into_iter().map(Candidate::new).collect();
 
+    // Warm priors: move pipelines ranked by a previous run to the front, in
+    // prior order, so they hit the score memo / incremental tiers first.
+    // Scheduling only — every candidate is still evaluated and the final
+    // rank sort is by score.
+    if let Some(priors) = &config.warm_priors {
+        let mut prioritized: Vec<Candidate> = Vec::with_capacity(cands.len());
+        for prior in priors {
+            if let Some(pos) = cands.iter().position(|c| &c.name == prior) {
+                prioritized.push(cands.remove(pos));
+            }
+        }
+        prioritized.append(&mut cands);
+        cands = prioritized;
+    }
+
     // T-Daub executes only if the dataset is larger than min_allocation_size;
     // otherwise every pipeline is ranked on the full data directly (§4.2).
     let small_data = n <= config.min_allocation_size + 4;
@@ -242,12 +274,14 @@ pub fn run_tdaub_with_cache(
                 .map(Arc::new)
         }),
         incremental: config.incremental,
+        retry_transient: config.retry_transient,
         hard_deadline,
         chaos_start: autoai_chaos::injected_count(),
         slice_bytes_avoided: AtomicU64::new(0),
         incremental_fits: AtomicU64::new(0),
         fits_avoided: AtomicU64::new(0),
         duplicate_fits: AtomicU64::new(0),
+        retries: AtomicU64::new(0),
     };
 
     if small_data {

@@ -617,6 +617,31 @@ impl TransformCache {
         }
     }
 
+    /// Estimated bytes of derived data resident in populated entries: the
+    /// flatten design matrices plus the frame-op output frames (entry keys,
+    /// pins, and map overhead are not counted). The service layer's
+    /// byte-budget eviction ([`ServiceLimits::max_cache_bytes`] in the core
+    /// crate) polls this between requests; the sum is order-independent, so
+    /// hash-map iteration here cannot perturb any ranking.
+    pub fn resident_bytes(&self) -> u64 {
+        let mut total: u64 = 0;
+        if let Ok(map) = self.datasets.lock() {
+            for slot in map.values() {
+                if let Some(Some(entry)) = slot.get() {
+                    total = total.saturating_add(entry.data.bytes());
+                }
+            }
+        }
+        if let Ok(map) = self.frames.lock() {
+            for slot in map.values() {
+                if let Some(Some(entry)) = slot.get() {
+                    total = total.saturating_add(frame_bytes(&entry.out));
+                }
+            }
+        }
+        total
+    }
+
     /// Drop every entry and reset instrumentation. The T-Daub runner calls
     /// this between independent searches; entries are otherwise retained
     /// for the cache's lifetime (one search holds a few dozen small

@@ -37,9 +37,11 @@ pub enum TokKind {
 pub struct Tok {
     /// Lexical class.
     pub kind: TokKind,
-    /// Source text. For strings/chars this is a placeholder (`""`/`' '`)
-    /// so rule patterns never match literal contents; comments keep their
-    /// full text for waiver-tag lookup.
+    /// Source text. Ordinary string literals keep their quoted source so
+    /// registry rules (e.g. chaos-site) can match contents; raw/byte
+    /// strings and chars are placeholders (`""`/`' '`) so rule patterns
+    /// never match their contents; comments keep their full text for
+    /// waiver-tag lookup.
     pub text: String,
     /// 1-based starting line.
     pub line: usize,
@@ -255,9 +257,15 @@ pub fn lex(src: &str) -> Vec<Tok> {
                     _ => j += 1,
                 }
             }
+            // Ordinary string literals keep their source text (rules
+            // that match registered literals, e.g. chaos-site, need the
+            // contents); raw/byte strings stay redacted to `""`.
             toks.push(Tok {
                 kind: TokKind::Str,
-                text: "\"\"".to_string(),
+                text: b
+                    .get(i..(j + 1).min(n))
+                    .map(String::from_iter)
+                    .unwrap_or_default(),
                 line: start_line,
             });
             i = j + 1;

@@ -113,6 +113,10 @@ pub enum Rule {
     /// `::zeros`, `vec![_; n]`) — overflow panics instead of returning an
     /// error. Use `checked_*`/`saturating_*`.
     AllocArith,
+    /// A chaos injection-site literal (`inject("…")` / `chaos_gate("…")`)
+    /// that is not in the [`Config::chaos_sites`] registry — typo'd sites
+    /// silently never fire, so the gauntlet stops covering them.
+    ChaosSite,
 }
 
 impl Rule {
@@ -135,6 +139,7 @@ impl Rule {
             Rule::StrictIndexing => "strict-index",
             Rule::PanicPropagation => "propagate",
             Rule::AllocArith => "alloc-arith",
+            Rule::ChaosSite => "chaos-site",
         }
     }
 }
@@ -197,6 +202,11 @@ pub struct Config {
     /// Path prefixes exempt from [`Rule::RawSpawn`] — the persistent worker
     /// pool in `linalg::par`, the one place allowed to create OS threads.
     pub spawn_exempt_paths: Vec<String>,
+    /// The registry of valid chaos injection-site names. Every string
+    /// literal passed to `inject(` or `chaos_gate(` in scoped code must be
+    /// listed here ([`Rule::ChaosSite`]); registering a site is the same
+    /// commitment as naming a lock class — the gauntlet sweeps it.
+    pub chaos_sites: Vec<String>,
 }
 
 impl Default for Config {
@@ -244,6 +254,7 @@ impl Default for Config {
                 "crates/tsdata/src/metrics.rs".to_string(),
                 "crates/chaos/src/".to_string(),
                 "crates/core/src/service.rs".to_string(),
+                "crates/core/src/online.rs".to_string(),
             ],
             clock_paths: vec![
                 "crates/linalg/src/par.rs".to_string(),
@@ -263,6 +274,22 @@ impl Default for Config {
             ],
             lock_exempt_paths: vec!["crates/linalg/src/sync.rs".to_string()],
             spawn_exempt_paths: vec!["crates/linalg/src/par.rs".to_string()],
+            chaos_sites: [
+                "service.submit",
+                "executor.unit",
+                "cache.flatten",
+                "pipeline.fit",
+                "pipeline.predict",
+                "predict.interval",
+                "quality.assess",
+                "lookback.discover",
+                "observe.append",
+                "drift.update",
+                "reselect.swap",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         }
     }
 }
@@ -395,6 +422,22 @@ impl<'a> Scan<'a> {
             .code
             .get(i)
             .is_some_and(|t| t.kind == TokKind::Punct(c))
+    }
+
+    /// The string-literal token at `i`, with the surrounding quotes (and
+    /// raw/byte sigils) stripped.
+    fn str_text(&self, i: usize) -> Option<&'a str> {
+        self.ft
+            .code
+            .get(i)
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| {
+                t.text
+                    .as_str()
+                    .trim_start_matches(['b', 'r', '#'])
+                    .trim_end_matches('#')
+                    .trim_matches('"')
+            })
     }
 
     fn line(&self, i: usize) -> usize {
@@ -725,6 +768,23 @@ fn token_hits(path: &str, ft: &FileTokens, cfg: &Config) -> Vec<(Rule, usize, St
                         s.ident(i + 5).unwrap_or("")
                     ),
                 ));
+            }
+            // chaos-site: injection-site literals must come from the
+            // registry — a typo'd site never fires and the gauntlet
+            // silently loses coverage
+            if (s.is_ident(i, "inject") || s.is_ident(i, "chaos_gate")) && s.punct(i + 1, '(') {
+                if let Some(site) = s.str_text(i + 2) {
+                    if !cfg.chaos_sites.iter().any(|k| k == site) {
+                        hits.push((
+                            Rule::ChaosSite,
+                            line,
+                            format!(
+                                "chaos site `{site}` is not in the registry; add it to \
+                                 `Config::chaos_sites` (and the gauntlet) or fix the typo"
+                            ),
+                        ));
+                    }
+                }
             }
             // hash-iter: iteration over hash-ordered bindings
             if hash_scoped {

@@ -94,6 +94,7 @@ fn corpus_covers_every_new_rule_family() {
         "trunc-cast",
         "panic",
         "raw-spawn",
+        "chaos-site",
     ] {
         assert!(covered.contains(rule), "no fixture exercises `{rule}`");
     }

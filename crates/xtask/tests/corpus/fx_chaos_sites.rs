@@ -1,0 +1,23 @@
+//! Chaos injection sites must come from the registry: the online-loop
+//! sites (`observe.append`, `drift.update`, `reselect.swap`) are valid,
+//! a typo'd site is flagged, and non-literal site arguments (the generic
+//! gate helper forwarding a variable) are left alone.
+
+fn gates(name: &str) -> Option<Fault> {
+    let k = autoai_chaos::key(name);
+    if autoai_chaos::inject("observe.append", k).is_some() {
+        return None;
+    }
+    if autoai_chaos::inject("drift.update", k).is_some() {
+        return None;
+    }
+    self.chaos_gate("reselect.swap", k)?;
+    // typo: the registered site is `reselect.swap`
+    self.chaos_gate("reselect.swp", k)?;
+    autoai_chaos::inject("drift.updates", k)
+}
+
+fn forwarded(site: &str, k: u64) -> Option<Fault> {
+    // a variable site is the generic helper itself, not a registration
+    autoai_chaos::inject(site, k)
+}

@@ -35,10 +35,13 @@ cargo test -q --offline --test chaos_gauntlet
 echo "==> isolation tests under --release (timing-sensitive paths)"
 cargo test -q --offline --release --test tdaub_isolation
 
-echo "==> chaos gauntlet under --release (seeded fault plans, watchdog, degradation ladder, runtime lock-order tracking)"
+echo "==> chaos gauntlet under --release (seeded fault plans, watchdog, degradation ladder, runtime lock-order tracking, 160-plan mid-observe/mid-reselect sweep)"
 cargo test -q --offline --release --test chaos_gauntlet
 
-echo "==> tdaub bench smoke (cache effectiveness, warm starts, fits avoided, ranking parity)"
+echo "==> online drift property suite (stationary never re-selects, shifts always trigger, serial==parallel monitor state)"
+cargo test -q --offline --release --test online_drift
+
+echo "==> tdaub bench smoke (cache effectiveness, warm starts, fits avoided, ranking parity, warm re-selection <= 0.6x cold)"
 cargo bench -q --offline -p autoai-bench --bench tdaub -- --smoke
 
 echo "==> kernels bench smoke (vectorized kernels >= 2x naive, batched Nelder-Mead bitwise parity)"

@@ -439,6 +439,161 @@ fn service_submissions_absorb_faults_and_hold_lock_order() {
     assert_eq!(inversions, 0, "the sweep recorded a lock-order inversion");
 }
 
+/// Bit-exact outcome signature for a service fit report (cache counters
+/// excluded: the cache affects wall time, never results).
+fn fit_signature(
+    r: &autoai_ts_repro::core_ts::ServiceFitReport,
+) -> (String, Vec<(String, u64)>, u64, DegradationLevel) {
+    (
+        r.best_pipeline.clone(),
+        r.ranking
+            .iter()
+            .map(|(n, s)| (n.clone(), s.to_bits()))
+            .collect(),
+        r.holdout_smape.to_bits(),
+        r.degradation,
+    )
+}
+
+#[test]
+fn mid_observe_faults_degrade_never_corrupt_across_150_plans() {
+    let _gate = GATE.lock().unwrap();
+    lock_sync::set_runtime_tracking(true);
+    transforms::set_hit_verification(true);
+    let base: Vec<Vec<f64>> = (0..120)
+        .map(|i| vec![20.0 + 4.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin()])
+        .collect();
+    // two stationary batches, then four level-shifted ones: the shift makes
+    // the drift monitor charge and (fault permitting) schedule a warm
+    // re-selection, so the sweep exercises `observe.append`, `drift.update`
+    // and `reselect.swap` on live state
+    let batches: Vec<Vec<Vec<f64>>> = (0..6)
+        .map(|b| {
+            (0..6)
+                .map(|i| {
+                    if b < 2 {
+                        vec![20.0 + 4.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin()]
+                    } else {
+                        vec![400.0 + i as f64]
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let service = || {
+        let mut cfg = AutoAITSConfig {
+            pipeline_names: Some(vec![
+                "ZeroModel".into(),
+                "SeasonalNaive".into(),
+                "AR".into(),
+            ]),
+            ..Default::default()
+        };
+        cfg.tdaub.pipeline_hard_deadline = Some(Duration::from_secs(10));
+        let svc = ForecastService::new(cfg);
+        svc.ingest("s", TimeSeriesFrame::from_rows(&base)).unwrap();
+        svc.fit("s").unwrap();
+        svc
+    };
+    let mut injected_total = 0u64;
+    let mut faulted_observes = 0usize;
+    let mut reselections_seen = 0u64;
+    for seed in 0..160u64 {
+        let svc = service();
+        let mirror = service();
+        chaos::install(chaos::FaultPlan {
+            seed,
+            panic_prob: 0.25,
+            error_prob: 0.25,
+            nan_prob: 0.10,
+            delay_prob: 0.05,
+            max_delay_ms: 2,
+        });
+        // drive the observes under fire, remembering which batches landed
+        let mut landed: Vec<&Vec<Vec<f64>>> = Vec::new();
+        for batch in &batches {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                svc.observe("s", batch).map(|_| ())
+            }));
+            match outcome {
+                Ok(Ok(())) => landed.push(batch),
+                // a typed error or an escaped injected panic both mean the
+                // append never happened: the stored series is untouched
+                Ok(Err(_)) | Err(_) => faulted_observes += 1,
+            }
+        }
+        injected_total += chaos::injected_count();
+        reselections_seen += svc.stats().reselections;
+        chaos::disable();
+        // degrade-never-corrupt: with the plan gone, the service still
+        // serves finite point forecasts and calibrated interval bands
+        let f = svc
+            .predict("s", 6)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(
+            f.series(0).iter().all(|v| v.is_finite()),
+            "seed {seed}: non-finite forecast after mid-observe faults"
+        );
+        let iv = svc
+            .predict_interval("s", 6, &[0.8])
+            .unwrap_or_else(|e| panic!("seed {seed}: interval after faults: {e}"));
+        let (lo, hi) = iv.band(0).expect("requested band");
+        for ((l, u), p) in lo
+            .series(0)
+            .iter()
+            .zip(hi.series(0))
+            .zip(iv.point().series(0))
+        {
+            assert!(
+                l.is_finite() && u.is_finite() && *l <= *p && *p <= *u,
+                "seed {seed}: invalid band [{l}, {u}] around {p}"
+            );
+        }
+        // replay purity: the mirror applies exactly the batches that landed,
+        // fault-free; both frames must be bitwise the same series
+        for batch in landed {
+            mirror.observe("s", batch).unwrap();
+        }
+        // fingerprints are buffer identities, so only the row count is
+        // comparable across services; content equality is pinned below by
+        // the bit-identical clean fit
+        assert_eq!(
+            svc.series_fingerprint("s").map(|f| f.rows()),
+            mirror.series_fingerprint("s").map(|f| f.rows()),
+            "seed {seed}: mid-observe faults corrupted the stored length"
+        );
+        // one more fault-free batch on both sides invalidates any model
+        // entry fingerprint, so the next fit is a full clean refit on both
+        let fresh: Vec<Vec<f64>> = (0..4).map(|i| vec![400.0 + i as f64]).collect();
+        svc.observe("s", &fresh).unwrap();
+        mirror.observe("s", &fresh).unwrap();
+        let a = svc.fit("s").unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let b = mirror
+            .fit("s")
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(
+            fit_signature(&a),
+            fit_signature(&b),
+            "seed {seed}: a clean fit after faults is not bit-identical"
+        );
+    }
+    let mismatches = transforms::hit_mismatches();
+    transforms::set_hit_verification(false);
+    let inversions = lock_sync::inversion_count();
+    lock_sync::set_runtime_tracking(false);
+    assert_eq!(mismatches, 0, "a cache hit served stale bytes");
+    assert_eq!(inversions, 0, "the sweep recorded a lock-order inversion");
+    assert!(injected_total > 0, "the sweep never fired a single fault");
+    assert!(
+        faulted_observes > 0,
+        "no observe ever faulted — sites dead?"
+    );
+    assert!(
+        reselections_seen > 0,
+        "the level shift never completed a re-selection under fire"
+    );
+}
+
 #[test]
 fn an_empty_plan_is_bitwise_invisible() {
     let _gate = GATE.lock().unwrap();

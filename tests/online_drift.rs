@@ -1,0 +1,242 @@
+//! Property tests for the online drift monitor and the serving loop's
+//! re-selection trigger.
+//!
+//! Three families, per the online-loop design (DESIGN.md §16):
+//!
+//! 1. **No false alarms.** Stationary traffic must never produce a
+//!    `Drifted` verdict — swept over 200 deterministically seeded noise
+//!    runs at the monitor level, plus a service-level spot check that no
+//!    re-selection is scheduled.
+//! 2. **Guaranteed detection.** A genuine level shift or variance blowup
+//!    must fire within a bounded number of observed steps, for every seed.
+//! 3. **Bit-identical state.** The monitor is seed-free and deterministic:
+//!    serial and parallel observe schedules (one thread per series) must
+//!    leave byte-for-byte identical monitor state.
+
+use autoai_ts::{
+    AutoAITSConfig, DriftConfig, DriftMonitor, DriftVerdict, ForecastService, TimeSeriesFrame,
+};
+
+/// Deterministic splitmix64 stream → uniform f64 in [0, 1). Tests never
+/// touch the system RNG.
+fn noise_stream(seed: u64) -> impl FnMut() -> f64 {
+    let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+    move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z = z ^ (z >> 31);
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn seasonal_rows_noisy(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut noise = noise_stream(seed);
+    (0..n)
+        .map(|i| {
+            let base = 20.0 + 5.0 * (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin();
+            vec![base + noise() - 0.5]
+        })
+        .collect()
+}
+
+fn fast_service() -> ForecastService {
+    ForecastService::new(AutoAITSConfig {
+        pipeline_names: Some(vec![
+            "MT2RForecaster".into(),
+            "HW-Additive".into(),
+            "ZeroModel".into(),
+        ]),
+        ..Default::default()
+    })
+}
+
+#[test]
+fn stationary_noise_never_drifts_across_200_seeds() {
+    for seed in 0..200u64 {
+        let mut noise = noise_stream(seed);
+        let mut monitor = DriftMonitor::new(DriftConfig::default());
+        for step in 0..300 {
+            // winner and baseline wander independently within ±1.5 SMAPE
+            // points of the same level: classic stationary serving traffic
+            let winner = 3.0 + 3.0 * noise() - 1.5;
+            let baseline = 3.0 + 3.0 * noise() - 1.5;
+            let verdict = monitor.observe_step(winner, baseline);
+            assert_ne!(
+                verdict,
+                DriftVerdict::Drifted,
+                "seed {seed} step {step}: false alarm on stationary noise: {:?}",
+                monitor.snapshot()
+            );
+        }
+    }
+}
+
+#[test]
+fn level_shift_always_fires_within_bound() {
+    for seed in 0..50u64 {
+        let mut noise = noise_stream(seed);
+        let mut monitor = DriftMonitor::new(DriftConfig::default());
+        for _ in 0..30 {
+            monitor.observe_step(3.0 + noise(), 3.0 + noise());
+        }
+        // regime change: the stale winner is suddenly far worse than the
+        // adaptive persistence baseline
+        let mut fired_at = None;
+        for step in 0..25 {
+            let verdict = monitor.observe_step(80.0 + 5.0 * noise(), 8.0 + 5.0 * noise());
+            if verdict == DriftVerdict::Drifted {
+                fired_at = Some(step);
+                break;
+            }
+        }
+        let at = fired_at.unwrap_or_else(|| {
+            panic!(
+                "seed {seed}: level shift never detected: {:?}",
+                monitor.snapshot()
+            )
+        });
+        assert!(at <= 5, "seed {seed}: detection took {at} shifted steps");
+    }
+}
+
+#[test]
+fn variance_blowup_always_fires_within_bound() {
+    for seed in 0..50u64 {
+        let mut noise = noise_stream(seed);
+        let mut monitor = DriftMonitor::new(DriftConfig::default());
+        for _ in 0..30 {
+            monitor.observe_step(2.0 + noise(), 3.0 + noise());
+        }
+        // both losses blow up but the winner still beats the baseline: only
+        // the self-relative statistic can see this regime change
+        let mut fired = false;
+        for _ in 0..30 {
+            let winner = 60.0 + 20.0 * noise();
+            let baseline = winner + 5.0 + noise();
+            if monitor.observe_step(winner, baseline) == DriftVerdict::Drifted {
+                fired = true;
+                break;
+            }
+        }
+        assert!(
+            fired,
+            "seed {seed}: variance blowup never detected: {:?}",
+            monitor.snapshot()
+        );
+    }
+}
+
+#[test]
+fn stationary_service_schedules_no_reselection() {
+    for seed in 0..3u64 {
+        let svc = fast_service();
+        svc.ingest(
+            "cpu",
+            TimeSeriesFrame::from_rows(&seasonal_rows_noisy(300, seed)),
+        )
+        .unwrap();
+        svc.fit("cpu").unwrap();
+        for batch in 0..8 {
+            svc.observe(
+                "cpu",
+                &seasonal_rows_noisy(12, seed.wrapping_mul(1000) + batch),
+            )
+            .unwrap();
+        }
+        assert_eq!(
+            svc.stats().reselections,
+            0,
+            "seed {seed}: stationary traffic must not re-select: {:?}",
+            svc.drift_snapshot("cpu")
+        );
+    }
+}
+
+#[test]
+fn shifted_service_reselects_within_observe_budget() {
+    for seed in 0..3u64 {
+        let svc = fast_service();
+        svc.ingest(
+            "cpu",
+            TimeSeriesFrame::from_rows(&seasonal_rows_noisy(300, seed)),
+        )
+        .unwrap();
+        svc.fit("cpu").unwrap();
+        let mut noise = noise_stream(seed);
+        let mut reselected = false;
+        // a hard level shift must schedule a warm re-selection within a
+        // bounded number of observe batches
+        for _ in 0..12 {
+            let rows: Vec<Vec<f64>> = (0..8).map(|_| vec![900.0 + 10.0 * noise()]).collect();
+            svc.observe("cpu", &rows).unwrap();
+            if svc.stats().reselections > 0 {
+                reselected = true;
+                break;
+            }
+        }
+        assert!(
+            reselected,
+            "seed {seed}: level shift never re-selected: {:?}",
+            svc.drift_snapshot("cpu")
+        );
+        // the service keeps serving finite forecasts throughout
+        let f = svc.predict("cpu", 4).unwrap();
+        assert!(f.row(0).iter().all(|v| v.is_finite()));
+    }
+}
+
+#[test]
+fn monitor_state_is_bit_identical_serial_vs_parallel() {
+    let names = ["cpu", "mem", "disk", "net"];
+    let build = || {
+        let svc = fast_service();
+        for (i, name) in names.iter().enumerate() {
+            svc.ingest(
+                name,
+                TimeSeriesFrame::from_rows(&seasonal_rows_noisy(300, i as u64)),
+            )
+            .unwrap();
+            svc.fit(name).unwrap();
+        }
+        svc
+    };
+    let batches: Vec<Vec<Vec<Vec<f64>>>> = names
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            (0..6)
+                .map(|b| seasonal_rows_noisy(8, (i as u64) * 100 + b))
+                .collect()
+        })
+        .collect();
+
+    // serial: series after series, batch after batch
+    let serial = build();
+    for (name, series_batches) in names.iter().zip(&batches) {
+        for batch in series_batches {
+            serial.observe(name, batch).unwrap();
+        }
+    }
+
+    // parallel: one thread per series, same per-series batch order
+    let parallel = build();
+    std::thread::scope(|scope| {
+        for (name, series_batches) in names.iter().zip(&batches) {
+            let svc = &parallel;
+            scope.spawn(move || {
+                for batch in series_batches {
+                    svc.observe(name, batch).unwrap();
+                }
+            });
+        }
+    });
+
+    for name in names {
+        let a = serial.drift_state_bits(name).expect("serial monitor");
+        let b = parallel.drift_state_bits(name).expect("parallel monitor");
+        assert_eq!(a, b, "monitor state diverged for {name}");
+        assert_eq!(serial.drift_snapshot(name), parallel.drift_snapshot(name));
+    }
+}
